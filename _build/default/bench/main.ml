@@ -1,0 +1,132 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Tables 1-4, Figures 8-12, the Sec. 6.4 area model, the Sec. 6.5
+   power argument and the Sec. 7 Volta scaling) through
+   [Gpr_core.Experiments] — workload generation, the static framework,
+   and the timing simulation all run from scratch.
+
+   Part 2 reports Bechamel micro-benchmarks of the core components so
+   performance regressions in the library itself are visible.
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+(* ---------------------------------------------------------------- *)
+(* Micro-benchmarks *)
+
+let fig8_kernel () =
+  let open Gpr_isa in
+  let open Gpr_isa.Types in
+  let open Builder in
+  let b = create ~name:"fig8" in
+  let out = global_buffer b S32 "out" in
+  let k = var b S32 "k" and i = var b S32 "i" and j = var b S32 "j" in
+  assign b k (ci 0);
+  while_ b
+    (fun () -> ilt b ~$k (ci 50))
+    (fun () ->
+       assign b i (ci 0);
+       assign b j ~$k;
+       while_ b
+         (fun () -> ilt b ~$i ~$j)
+         (fun () ->
+            st b out (ci 0) ~$k;
+            assign b i ~$(iadd b ~$i (ci 1)));
+       assign b k ~$(iadd b ~$k (ci 1)));
+  st b out (ci 1) ~$k;
+  finish b
+
+let hotspot () = Option.get (Gpr_workloads.Registry.by_name "Hotspot")
+
+let micro_tests () =
+  let fig8 = fig8_kernel () in
+  let launch = Gpr_isa.Types.launch_1d ~block:32 ~grid:1 in
+  let w = hotspot () in
+  let hk = w.kernel in
+  let alloc_width = fun _ -> 16 in
+  let fmt16 = Gpr_fp.Format_.of_level 4 in
+  let placement =
+    { Gpr_alloc.Alloc.reg0 = 0; mask0 = 0b1100_0011; reg1 = -1;
+      mask1 = 0; slices = 4; bits = 16; signed = true; is_float = false }
+  in
+  let trace = lazy (Gpr_workloads.Workload.trace w ~quantize:None) in
+  let halloc = lazy (Gpr_alloc.Alloc.baseline hk) in
+  [
+    Test.make ~name:"interval.mul"
+      (Staged.stage (fun () ->
+           ignore
+             (Gpr_util.Interval.mul
+                (Gpr_util.Interval.of_ints (-37) 122)
+                (Gpr_util.Interval.of_ints 5 999))));
+    Test.make ~name:"range-analysis.fig8"
+      (Staged.stage (fun () ->
+           ignore (Gpr_analysis.Range.analyze fig8 ~launch)));
+    Test.make ~name:"ssa.convert.hotspot"
+      (Staged.stage (fun () -> ignore (Gpr_analysis.Ssa.convert hk)));
+    Test.make ~name:"liveness.hotspot"
+      (Staged.stage (fun () -> ignore (Gpr_analysis.Liveness.compute hk)));
+    Test.make ~name:"alloc.pack.hotspot"
+      (Staged.stage (fun () ->
+           ignore (Gpr_alloc.Alloc.run hk ~width_of:alloc_width)));
+    Test.make ~name:"fp.quantize16"
+      (Staged.stage (fun () ->
+           ignore (Gpr_fp.Format_.quantize fmt16 3.14159265)));
+    Test.make ~name:"datapath.roundtrip"
+      (Staged.stage (fun () ->
+           let r0, r1 = Gpr_regfile.Datapath.store_int placement (-1234) in
+           ignore (Gpr_regfile.Datapath.load_int placement ~r0 ~r1)));
+    Test.make ~name:"exec.hotspot-run"
+      (Staged.stage (fun () -> ignore (Gpr_workloads.Workload.reference w)));
+    Test.make ~name:"sim.hotspot-baseline"
+      (Staged.stage (fun () ->
+           ignore
+             (Gpr_sim.Sim.run ~waves:1 Gpr_arch.Config.fermi_gtx480
+                ~trace:(Lazy.force trace) ~alloc:(Lazy.force halloc)
+                ~blocks_per_sm:4 ~mode:Gpr_sim.Sim.Baseline)));
+  ]
+
+let run_micro () =
+  Gpr_util.Tab.section "Micro-benchmarks (Bechamel, monotonic clock)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.map
+      (fun test ->
+         let elt = List.hd (Test.elements test) in
+         let name = Test.Elt.name elt in
+         let results = Benchmark.all cfg instances test in
+         let analysis = Analyze.all ols Instance.monotonic_clock results in
+         let nanos =
+           Hashtbl.fold
+             (fun _ v acc ->
+                match Analyze.OLS.estimates v with
+                | Some [ est ] -> est
+                | _ -> acc)
+             analysis nan
+         in
+         [ name;
+           (if nanos >= 1e6 then Printf.sprintf "%.2f ms/op" (nanos /. 1e6)
+            else if nanos >= 1e3 then Printf.sprintf "%.2f us/op" (nanos /. 1e3)
+            else Printf.sprintf "%.1f ns/op" nanos) ])
+      (micro_tests ())
+  in
+  Gpr_util.Tab.print ~header:[ "component"; "time" ] rows
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  print_endline
+    "Reproduction of 'A GPU Register File using Static Data Compression'\n\
+     (Angerd, Sintorn, Stenstrom - ICPP 2020).  One section per table and\n\
+     figure of the paper; see EXPERIMENTS.md for the paper-vs-measured\n\
+     comparison.";
+  let t0 = Unix.gettimeofday () in
+  Gpr_core.Experiments.print_all ();
+  Printf.printf "\n[evaluation pipeline: %.1f s]\n" (Unix.gettimeofday () -. t0);
+  run_micro ()

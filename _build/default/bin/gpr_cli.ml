@@ -1,0 +1,214 @@
+(* Command-line driver for the reproduction: list kernels, run the
+   static framework on one kernel, run the timing simulation, or print
+   any table/figure of the paper. *)
+
+open Cmdliner
+module Q = Gpr_quality.Quality
+module W = Gpr_workloads.Workload
+module Registry = Gpr_workloads.Registry
+module Compress = Gpr_core.Compress
+module Simulate = Gpr_core.Simulate
+module Experiments = Gpr_core.Experiments
+module Tab = Gpr_util.Tab
+
+let find_workload name =
+  match Registry.by_name name with
+  | Some w -> w
+  | None ->
+    Printf.eprintf "unknown kernel %s; available: %s\n" name
+      (String.concat ", " Registry.names);
+    exit 2
+
+let kernel_arg =
+  let doc = "Kernel name (see $(b,gpr list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : W.t) ->
+         Printf.printf "%-12s group %d  %-11s  %3d regs (paper)  %2d warps/block\n"
+           w.name w.group (Q.metric_name w.metric) w.paper_regs
+           (W.warps_per_block w))
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the evaluated kernels (Table 4)")
+    Term.(const run $ const ())
+
+(* ---------------- pressure ---------------- *)
+
+let pressure_cmd =
+  let run name =
+    let w = find_workload name in
+    let c = Compress.analyze w in
+    Tab.print
+      ~header:[ "Configuration"; "Registers/thread"; "Quality" ]
+      [
+        [ "Original"; string_of_int c.baseline.pressure; "-" ];
+        [ "Narrow integers"; string_of_int c.int_only.pressure; "-" ];
+        [ "Narrow floats (perfect)";
+          string_of_int c.perfect.alloc_float_only.pressure;
+          Q.score_to_string c.perfect.achieved_score ];
+        [ "Narrow floats (high)";
+          string_of_int c.high.alloc_float_only.pressure;
+          Q.score_to_string c.high.achieved_score ];
+        [ "Ints + floats (perfect)";
+          string_of_int c.perfect.alloc_both.pressure;
+          Q.score_to_string c.perfect.achieved_score ];
+        [ "Ints + floats (high)";
+          string_of_int c.high.alloc_both.pressure;
+          Q.score_to_string c.high.achieved_score ];
+      ];
+    let occ alloc = (Compress.occupancy c alloc).Gpr_arch.Occupancy.blocks_per_sm in
+    Printf.printf "Blocks/SM: %d original -> %d (perfect) / %d (high)\n"
+      (occ c.baseline) (occ c.perfect.alloc_both) (occ c.high.alloc_both)
+  in
+  Cmd.v
+    (Cmd.info "pressure"
+       ~doc:"Run the static framework on one kernel and report register \
+             pressure under each configuration (a Fig. 9 column)")
+    Term.(const run $ kernel_arg)
+
+(* ---------------- sim ---------------- *)
+
+let sim_cmd =
+  let delay =
+    Arg.(value & opt int 3
+         & info [ "writeback-delay" ] ~docv:"CYCLES"
+             ~doc:"Writeback delay of the proposed organisation (Sec. 6.3).")
+  in
+  let run name delay =
+    let w = find_workload name in
+    let c = Compress.analyze w in
+    let b = Simulate.baseline c in
+    let p = Simulate.proposed ~writeback_delay:delay c Q.High in
+    let row tag (s : Gpr_sim.Sim.stats) =
+      [ tag; string_of_int s.cycles; Tab.fp s.gpu_ipc;
+        Tab.pct (100.0 *. s.l1_hit_rate); Tab.pct (100.0 *. s.tex_hit_rate);
+        string_of_int s.double_fetches; string_of_int s.conversions ]
+    in
+    Tab.print
+      ~header:[ "Config"; "Cycles"; "IPC"; "L1 hit"; "Tex hit";
+                "Double fetches"; "Conversions" ]
+      [ row "baseline" b; row "proposed(high)" p ];
+    Printf.printf "IPC change: %+.1f%%\n"
+      (100.0 *. ((p.gpu_ipc /. b.gpu_ipc) -. 1.0))
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Simulate one kernel on the baseline and proposed register files")
+    Term.(const run $ kernel_arg $ delay)
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let what =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"WHAT"
+             ~doc:"One of: all, table1, table2, table3, table4, fig8, fig9, \
+                   fig10, fig11, fig12, area, power, volta, volta-sim, \
+                   ablations.")
+  in
+  let run what =
+    match what with
+    | "all" -> Experiments.print_all ()
+    | "table1" -> Experiments.print_table1 ()
+    | "table2" -> Experiments.print_table2 ()
+    | "table3" -> Experiments.print_table3 ()
+    | "table4" -> Experiments.print_table4 ()
+    | "fig8" -> Experiments.print_fig8 ()
+    | "fig9" -> Experiments.print_fig9 ()
+    | "fig10" -> Experiments.print_fig10 ()
+    | "fig11" -> Experiments.print_fig11 ()
+    | "fig12" -> Experiments.print_fig12 ()
+    | "area" -> Experiments.print_area ()
+    | "power" -> Experiments.print_power ()
+    | "volta" -> Experiments.print_volta ()
+    | "ablations" -> Experiments.print_ablations ()
+    | "volta-sim" -> Experiments.print_volta_sim ()
+    | other ->
+      Printf.eprintf "unknown report %s\n" other;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Reproduce a table or figure of the paper")
+    Term.(const run $ what)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Kernel in textual mini-PTX form.")
+  in
+  let block =
+    Arg.(value & opt int 256
+         & info [ "block" ] ~docv:"THREADS" ~doc:"Threads per block.")
+  in
+  let grid =
+    Arg.(value & opt int 16 & info [ "grid" ] ~docv:"BLOCKS" ~doc:"Grid size.")
+  in
+  let optimize =
+    Arg.(value & flag
+         & info [ "O" ] ~doc:"Run constant folding / simplification / DCE \
+                              before the analysis.")
+  in
+  let run file block grid optimize =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Gpr_isa.Parser.parse text with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      exit 1
+    | Ok kernel ->
+      let kernel = if optimize then Gpr_opt.Opt.run kernel else kernel in
+      let launch = Gpr_isa.Types.launch_1d ~block ~grid in
+      let range = Gpr_analysis.Range.analyze kernel ~launch in
+      let baseline = Gpr_alloc.Alloc.baseline kernel in
+      let packed =
+        Gpr_alloc.Alloc.run kernel
+          ~width_of:
+            (Compress.width_fn ~narrow_ints:true ~narrow_floats:None ~range)
+      in
+      Printf.printf "kernel %s: %d static instructions, %d blocks\n"
+        kernel.Gpr_isa.Types.k_name
+        (Gpr_isa.Pp.instr_count kernel)
+        (Array.length kernel.Gpr_isa.Types.k_blocks);
+      Printf.printf
+        "register pressure: %d original -> %d with narrow integers\n"
+        baseline.Gpr_alloc.Alloc.pressure packed.Gpr_alloc.Alloc.pressure;
+      Printf.printf "narrow integer variables: %d\n"
+        (Gpr_analysis.Range.narrow_int_count range kernel);
+      print_endline
+        "(floats require the data-driven tuner; wrap the kernel as a \
+         workload to use it)"
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Parse a textual kernel and run the static integer framework")
+    Term.(const run $ file $ block $ grid $ optimize)
+
+(* ---------------- disasm ---------------- *)
+
+let disasm_cmd =
+  let run name =
+    let w = find_workload name in
+    print_string (Gpr_isa.Pp.kernel_to_string w.kernel)
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Print a kernel in the textual mini-PTX form (parseable back \
+             with Gpr_isa.Parser)")
+    Term.(const run $ kernel_arg)
+
+let () =
+  let info =
+    Cmd.info "gpr" ~version:"1.0.0"
+      ~doc:"GPU register file with static data compression (ICPP 2020 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; pressure_cmd; sim_cmd; report_cmd; disasm_cmd;
+            analyze_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Builder Float Gpr_arch Gpr_core Gpr_exec Gpr_isa Gpr_quality Gpr_workloads List Printf

@@ -1,0 +1,1 @@
+examples/precision_demo.ml: Gpr_core Gpr_fp Gpr_precision Gpr_quality Gpr_workloads Hashtbl List Option Printf String

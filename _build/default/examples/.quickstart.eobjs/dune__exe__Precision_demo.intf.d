@@ -1,0 +1,1 @@
+examples/precision_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Gpr_core Gpr_exec Gpr_isa Gpr_quality Gpr_workloads Pp Printf Stdlib

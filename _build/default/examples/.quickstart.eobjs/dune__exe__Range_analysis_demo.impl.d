@@ -1,0 +1,1 @@
+examples/range_analysis_demo.ml: Builder Gpr_analysis Gpr_isa Gpr_util List Pp Printf

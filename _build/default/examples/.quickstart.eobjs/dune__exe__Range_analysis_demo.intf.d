@@ -1,0 +1,1 @@
+examples/range_analysis_demo.mli:

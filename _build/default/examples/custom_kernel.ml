@@ -1,0 +1,98 @@
+(* How to evaluate your own kernel under the proposed register file:
+   a complete walk from DSL source to Figure-11-style numbers, using a
+   block-tiled matrix-vector product with shared-memory staging.
+
+   Run with:  dune exec examples/custom_kernel.exe *)
+
+open Gpr_isa
+open Gpr_isa.Types
+open Builder
+module E = Gpr_exec.Exec
+module Q = Gpr_quality.Quality
+module W = Gpr_workloads.Workload
+
+let rows = 512
+let cols = 128
+
+(* y[r] = sum_c a[r][c] * x[c], with x staged in shared memory. *)
+let kernel =
+  let b = create ~name:"gemv" in
+  let a = global_buffer b F32 "a" in
+  let x = global_buffer b F32 "x" in
+  let y = global_buffer b F32 "y" in
+  let xs = shared_buffer b F32 "xs" in
+  let t = tid_x b in
+  let row = global_thread_id_x b in
+  (* Stage x cooperatively: 128 threads load one element each. *)
+  if_then b (ilt b ~$t (ci cols)) (fun () ->
+      st b xs ~$t ~$(ld b x ~$t));
+  bar b;
+  let acc = var b F32 "acc" in
+  assign b acc (cf 0.0);
+  for_ b ~lo:(ci 0) ~hi:(ci cols) (fun c ->
+      let av = ld b a ~$(imad b ~$row (ci cols) ~$c) in
+      let xv = ld b xs ~$c in
+      assign b acc ~$(ffma b ~$av ~$xv ~$acc));
+  st b y ~$row ~$acc;
+  finish b
+
+let workload : W.t =
+  {
+    name = "gemv";
+    group = 2;
+    metric = Q.M_deviation;
+    kernel;
+    launch = launch_1d ~block:128 ~grid:(rows / 128);
+    params = [||];
+    data =
+      (fun () ->
+         [ ("a", E.F_data (Gpr_workloads.Inputs.qfloats_range ~seed:7
+                             ~n:(rows * cols) ~lo:(-1.0) ~hi:1.0));
+           ("x", E.F_data (Gpr_workloads.Inputs.qfloats ~seed:8 ~n:cols));
+           ("y", E.F_data (Array.make rows 0.0)) ]);
+    shared = [ ("xs", cols) ];
+    extra_shared_bytes = 0;
+    output = W.Out_floats "y";
+    paper_regs = 0;
+  }
+
+let () =
+  (* 1. Correctness: compare against a host-side reference. *)
+  let out = W.reference workload in
+  let data = workload.data () in
+  let a = match List.assoc "a" data with E.F_data v -> v | _ -> assert false in
+  let x = match List.assoc "x" data with E.F_data v -> v | _ -> assert false in
+  let max_err = ref 0.0 in
+  for r = 0 to rows - 1 do
+    let expect = ref 0.0 in
+    for c = 0 to cols - 1 do
+      expect := !expect +. (a.((r * cols) + c) *. x.(c))
+    done;
+    max_err := Float.max !max_err (Float.abs (out.(r) -. !expect))
+  done;
+  Printf.printf "max |gpu - host| = %g\n" !max_err;
+  assert (!max_err < 1e-3);
+
+  (* 2. The full pipeline: analysis, tuning, packing, simulation. *)
+  let c = Gpr_core.Compress.analyze workload in
+  Printf.printf "\npressure: %d -> %d (perfect) / %d (high)\n"
+    c.baseline.pressure c.perfect.alloc_both.pressure
+    c.high.alloc_both.pressure;
+  let occ alloc =
+    (Gpr_core.Compress.occupancy c alloc).Gpr_arch.Occupancy.blocks_per_sm
+  in
+  Printf.printf "blocks/SM: %d -> %d\n" (occ c.baseline) (occ c.high.alloc_both);
+  let base = Gpr_core.Simulate.baseline c in
+  let prop = Gpr_core.Simulate.proposed c Q.High in
+  Printf.printf "IPC: %.1f baseline -> %.1f proposed (%+.1f%%)\n" base.gpu_ipc
+    prop.gpu_ipc
+    (100.0 *. ((prop.gpu_ipc /. base.gpu_ipc) -. 1.0));
+  Printf.printf "double fetches: %d, conversions: %d\n" prop.double_fetches
+    prop.conversions;
+  print_endline
+    "\nNote: gemv is DRAM-bound and already occupancy-saturated, so\n\
+     compression buys no blocks here and the proposed pipeline's\n\
+     conversion/writeback overheads show as a slowdown — the honest\n\
+     trade-off the paper reports for its memory-bound kernels.  Compare\n\
+     `gpr sim IMGVF` or `gpr sim CFD` for the occupancy-limited case."
+

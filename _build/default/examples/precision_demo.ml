@@ -1,0 +1,55 @@
+(* Precision tuning in isolation: tune the Hotspot stencil's floats at
+   both quality thresholds and print the resulting Table 3 format
+   histogram, the achieved quality, and the registers saved.
+
+   Run with:  dune exec examples/precision_demo.exe *)
+
+module W = Gpr_workloads.Workload
+module P = Gpr_precision.Precision
+module Q = Gpr_quality.Quality
+module F = Gpr_fp.Format_
+
+let () =
+  let w = Option.get (Gpr_workloads.Registry.by_name "Hotspot") in
+  let reference = W.reference w in
+  let sites = W.float_sites w in
+  Printf.printf "kernel %s: %d float definition sites\n" w.name
+    (List.length sites);
+
+  let tune threshold =
+    let evaluate ~quantize = W.evaluate w ~reference ~quantize in
+    let asg = P.tune ~sites ~evaluate ~threshold () in
+    let score = W.evaluate w ~reference ~quantize:(P.quantizer asg) in
+    (asg, score)
+  in
+
+  List.iter
+    (fun threshold ->
+       let asg, score = tune threshold in
+       Printf.printf "\n=== threshold: %s ===\n" (Q.threshold_name threshold);
+       Printf.printf "kernel evaluations spent: %d\n" asg.P.evaluations;
+       Printf.printf "achieved quality: %s\n" (Q.score_to_string score);
+       Printf.printf "mean assigned width: %.1f bits\n" (P.mean_bits asg);
+       (* Histogram over Table 3 formats. *)
+       let hist = Hashtbl.create 8 in
+       List.iter
+         (fun (pc, _) ->
+            let f = Hashtbl.find asg.P.formats pc in
+            let c = Option.value ~default:0 (Hashtbl.find_opt hist f.F.total_bits) in
+            Hashtbl.replace hist f.F.total_bits (c + 1))
+         sites;
+       List.iter
+         (fun f ->
+            match Hashtbl.find_opt hist f.F.total_bits with
+            | Some c ->
+              Printf.printf "  %-12s %3d sites  %s\n" (F.to_string f) c
+                (String.make c '#')
+            | None -> ())
+         F.all)
+    [ Q.Perfect; Q.High ];
+
+  (* What it buys in registers. *)
+  let c = Gpr_core.Compress.analyze w in
+  Printf.printf "\nregister pressure: %d original -> %d (perfect) -> %d (high)\n"
+    c.baseline.pressure c.perfect.alloc_float_only.pressure
+    c.high.alloc_float_only.pressure

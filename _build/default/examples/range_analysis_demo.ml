@@ -1,0 +1,54 @@
+(* The paper's Figure 8 worked example, step by step: the source
+   program, its e-SSA form with π-nodes, the solved ranges per e-SSA
+   name, and the merged per-variable ranges and bitwidths.
+
+   Run with:  dune exec examples/range_analysis_demo.exe *)
+
+open Gpr_isa
+open Gpr_isa.Types
+open Builder
+module R = Gpr_analysis.Range
+module I = Gpr_util.Interval
+
+let () =
+  (* Figure 8a:
+       k = 0
+       while k < 50 { i = 0; j = k; while i < j { print k; i++ }; k++ }
+       print k *)
+  let b = create ~name:"fig8" in
+  let out = global_buffer b S32 "out" in
+  let k = var b S32 "k" and i = var b S32 "i" and j = var b S32 "j" in
+  assign b k (ci 0);
+  while_ b
+    (fun () -> ilt b ~$k (ci 50))
+    (fun () ->
+       assign b i (ci 0);
+       assign b j ~$k;
+       while_ b
+         (fun () -> ilt b ~$i ~$j)
+         (fun () ->
+            st b out (ci 0) ~$k;
+            assign b i ~$(iadd b ~$i (ci 1)));
+       assign b k ~$(iadd b ~$k (ci 1)));
+  st b out (ci 1) ~$k;
+  let kernel = finish b in
+
+  print_endline "=== source program (mini-PTX) ===";
+  print_string (Pp.kernel_to_string kernel);
+
+  print_endline "\n=== e-SSA form (phis and pi-nodes) ===";
+  let essa = Gpr_analysis.Essa.convert (Gpr_analysis.Ssa.convert kernel) in
+  print_string (Pp.kernel_to_string essa.kernel);
+
+  let t = R.analyze kernel ~launch:(launch_1d ~block:32 ~grid:1) in
+  print_endline "\n=== merged ranges per original variable (Fig. 8d) ===";
+  List.iter
+    (fun (name, (v : vreg)) ->
+       Printf.printf "  I[%s] = %-12s -> %d bits (two's complement)\n" name
+         (I.to_string (R.var_range t v.id))
+         (R.var_bitwidth t v.id))
+    [ ("k", k); ("i", i); ("j", j) ];
+  print_endline
+    "(paper reports k=[0,50], i=[0,50], j=[0,49] and 6 bits unsigned;\n\
+    \ our e-SSA also refines i at the inner branch, and S32 variables\n\
+    \ carry a sign bit)"

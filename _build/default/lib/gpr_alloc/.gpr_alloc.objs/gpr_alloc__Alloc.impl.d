@@ -1,0 +1,1 @@
+lib/gpr_alloc/alloc.ml: Array Gpr_analysis Gpr_arch Gpr_isa Gpr_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/gpr_alloc/alloc.mli: Gpr_isa Hashtbl

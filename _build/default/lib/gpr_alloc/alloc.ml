@@ -1,0 +1,266 @@
+open Gpr_isa.Types
+module Bits = Gpr_util.Bits
+
+type placement = {
+  reg0 : int;
+  mask0 : int;
+  reg1 : int;
+  mask1 : int;
+  slices : int;
+  bits : int;
+  signed : bool;
+  is_float : bool;
+}
+
+let is_split p = p.reg1 >= 0
+
+type t = {
+  pressure : int;
+  placements : (int, placement) Hashtbl.t;
+  num_arch_regs : int;
+  peak_slices : int;
+  split_count : int;
+}
+
+(* Growable pool of physical registers, each a free mask over 8 slices. *)
+type pool = {
+  mutable free : int array;  (* 8-bit masks; 0xff = empty register *)
+  mutable nregs : int;
+}
+
+let pool_create () = { free = Array.make 64 0xff; nregs = 64 }
+
+let pool_grow p =
+  let free = Array.make (p.nregs * 2) 0xff in
+  Array.blit p.free 0 free 0 p.nregs;
+  p.free <- free;
+  p.nregs <- p.nregs * 2
+
+(* Lowest [n] set bits of [mask]. *)
+let take_slices mask n =
+  let taken = ref 0 and count = ref 0 in
+  let bit = ref 0 in
+  while !count < n && !bit < 8 do
+    if mask land (1 lsl !bit) <> 0 then begin
+      taken := !taken lor (1 lsl !bit);
+      incr count
+    end;
+    incr bit
+  done;
+  assert (!count = n);
+  !taken
+
+let free_count mask = Bits.popcount mask
+
+(* Allocation preference order (Sec. 4.3: splits exist to minimise
+   fragmentation): first a hole in a partially-used register, then a
+   split across the holes of two partially-used registers, and only
+   then a fresh register. *)
+
+(* Partially-used register with at least [n] free slices; first-fit. *)
+let find_fit_partial p n =
+  let rec go i =
+    if i >= p.nregs then None
+    else
+      let f = free_count p.free.(i) in
+      if f >= n && f < 8 then Some i else go (i + 1)
+  in
+  go 0
+
+(* Fresh (fully-free) register. *)
+let find_fresh p =
+  let rec go i =
+    if i >= p.nregs then None
+    else if p.free.(i) = 0xff then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Two distinct partially-used registers whose combined holes reach [n]:
+   pick the fullest hole as the first half to minimise leftover
+   fragmentation.  Returns (r0, take0, r1, take1). *)
+let find_split p n =
+  let best = ref (-1) and best_free = ref 0 in
+  for i = 0 to p.nregs - 1 do
+    let f = free_count p.free.(i) in
+    if f > 0 && f < n && f > !best_free then begin
+      best := i;
+      best_free := f
+    end
+  done;
+  if !best < 0 then None
+  else
+    let r0 = !best and take0 = !best_free in
+    let rest = n - take0 in
+    let rec go i =
+      if i >= p.nregs then None
+      else
+        let f = free_count p.free.(i) in
+        if i <> r0 && f >= rest && f < 8 then Some i else go (i + 1)
+    in
+    (match go 0 with
+     | Some r1 -> Some (r0, take0, r1, rest)
+     | None -> None)
+
+let alloc_in p r n =
+  let taken = take_slices p.free.(r) n in
+  p.free.(r) <- p.free.(r) land lnot taken;
+  taken
+
+let registers_in_use p =
+  let c = ref 0 in
+  for i = 0 to p.nregs - 1 do
+    if p.free.(i) <> 0xff then incr c
+  done;
+  !c
+
+let slices_in_use p =
+  let c = ref 0 in
+  for i = 0 to p.nregs - 1 do
+    c := !c + (8 - free_count p.free.(i))
+  done;
+  !c
+
+let run ?(allow_split = true) kernel ~width_of =
+  let live = Gpr_analysis.Liveness.compute kernel in
+  let intervals = Gpr_analysis.Liveness.intervals live in
+  (* Recover each variable's vreg record for typing. *)
+  let vregs = Hashtbl.create 64 in
+  let note (r : vreg) = Hashtbl.replace vregs r.id r in
+  Array.iter
+    (fun blk ->
+       Array.iter
+         (fun ins ->
+            (match defs ins with Some d -> note d | None -> ());
+            List.iter note (uses ins))
+         blk.instrs)
+    kernel.k_blocks;
+  List.iter
+    (fun (id, s) ->
+       if not (Hashtbl.mem vregs id) then
+         note { id; ty = S32; name = Gpr_isa.Builder.special_name s })
+    kernel.k_specials;
+
+  (* ---- Pass 1: architectural register naming. ----
+     Variables with disjoint lifetimes share an architectural name
+     (classic linear-scan reuse) so the kernel fits the 256-entry
+     indirection table; names are typed so integer and float values
+     never share an entry (the entry's signed/convert flags are
+     static).  Each name's width is the maximum over its values. *)
+  let var_name = Hashtbl.create 64 in       (* var -> arch name id *)
+  let name_info = Hashtbl.create 64 in      (* name -> (ty, max bits) *)
+  let free_names : (dtype, int list ref) Hashtbl.t = Hashtbl.create 4 in
+  let next_name = ref 0 in
+  let active = ref [] in                    (* (stop, name, ty) *)
+  let release_names now =
+    let dead, alive = List.partition (fun (stop, _, _) -> stop <= now) !active in
+    List.iter
+      (fun (_, name, ty) ->
+         let pool =
+           match Hashtbl.find_opt free_names ty with
+           | Some l -> l
+           | None ->
+             let l = ref [] in
+             Hashtbl.replace free_names ty l;
+             l
+         in
+         pool := name :: !pool)
+      dead;
+    active := alive
+  in
+  List.iter
+    (fun (var, start, stop) ->
+       release_names start;
+       let r = Hashtbl.find vregs var in
+       let bits = max 1 (min 32 (width_of r)) in
+       let name =
+         let pool =
+           match Hashtbl.find_opt free_names r.ty with
+           | Some l -> l
+           | None ->
+             let l = ref [] in
+             Hashtbl.replace free_names r.ty l;
+             l
+         in
+         match !pool with
+         | n :: rest ->
+           pool := rest;
+           n
+         | [] ->
+           let n = !next_name in
+           incr next_name;
+           n
+       in
+       Hashtbl.replace var_name var name;
+       (match Hashtbl.find_opt name_info name with
+        | Some (ty, b) -> Hashtbl.replace name_info name (ty, max b bits)
+        | None -> Hashtbl.replace name_info name (r.ty, bits));
+       active := (stop, name, r.ty) :: !active)
+    intervals;
+
+  (* ---- Pass 2: static slice packing of the architectural names. ----
+     Placements are static for the whole kernel (the indirection table
+     is configured once per kernel, Sec. 3.2), so slices are not reused
+     over time; first-fit with an optional split over two registers. *)
+  let pool = pool_create () in
+  let name_placement = Hashtbl.create 64 in
+  let split_count = ref 0 in
+  let names =
+    Hashtbl.fold (fun n info acc -> (n, info) :: acc) name_info []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, ((ty : dtype), bits)) ->
+       let slices = Bits.slices_of_bits bits in
+       let whole reg =
+         let mask = alloc_in pool reg slices in
+         { reg0 = reg; mask0 = mask; reg1 = -1; mask1 = 0; slices; bits;
+           signed = (ty = S32); is_float = (ty = F32) }
+       in
+       let rec place () =
+         match find_fit_partial pool slices with
+         | Some reg -> whole reg
+         | None ->
+           (match (if allow_split then find_split pool slices else None) with
+            | Some (r0, n0, r1, n1) ->
+              let m0 = alloc_in pool r0 n0 in
+              let m1 = alloc_in pool r1 n1 in
+              incr split_count;
+              { reg0 = r0; mask0 = m0; reg1 = r1; mask1 = m1; slices; bits;
+                signed = (ty = S32); is_float = (ty = F32) }
+            | None ->
+              (match find_fresh pool with
+               | Some reg -> whole reg
+               | None ->
+                 pool_grow pool;
+                 place ()))
+       in
+       Hashtbl.replace name_placement name (place ()))
+    names;
+
+  (* Per-variable view: a variable's placement is its name's. *)
+  let placements = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun var name ->
+       match Hashtbl.find_opt name_placement name with
+       | Some p ->
+         let r = Hashtbl.find vregs var in
+         (* Keep the variable's own signedness for the read path. *)
+         Hashtbl.replace placements var { p with signed = (r.ty = S32) }
+       | None -> ())
+    var_name;
+
+  {
+    pressure = registers_in_use pool;
+    placements;
+    num_arch_regs = !next_name;
+    peak_slices = slices_in_use pool;
+    split_count = !split_count;
+  }
+
+let baseline kernel = run kernel ~width_of:(fun _ -> 32)
+
+let fits_arch_table t =
+  t.num_arch_regs <= Gpr_arch.Config.architectural_registers
+
+let lookup t var = Hashtbl.find_opt t.placements var

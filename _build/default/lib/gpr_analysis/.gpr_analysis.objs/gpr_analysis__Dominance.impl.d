@@ -1,0 +1,1 @@
+lib/gpr_analysis/dominance.ml: Array Gpr_isa List

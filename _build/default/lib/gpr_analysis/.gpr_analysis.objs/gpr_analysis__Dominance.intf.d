@@ -1,0 +1,1 @@
+lib/gpr_analysis/dominance.mli: Gpr_isa

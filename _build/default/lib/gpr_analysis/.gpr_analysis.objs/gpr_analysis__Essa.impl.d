@@ -1,0 +1,1 @@
+lib/gpr_analysis/essa.ml: Array Dominance Gpr_isa Hashtbl List Option Ssa

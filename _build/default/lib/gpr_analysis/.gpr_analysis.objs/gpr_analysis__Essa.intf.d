@@ -1,0 +1,1 @@
+lib/gpr_analysis/essa.mli: Ssa

@@ -1,0 +1,1 @@
+lib/gpr_analysis/liveness.ml: Array Gpr_isa Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/gpr_analysis/liveness.mli: Gpr_isa Set

@@ -1,0 +1,1 @@
+lib/gpr_analysis/range.ml: Array Essa Gpr_isa Gpr_util Hashtbl List Ssa

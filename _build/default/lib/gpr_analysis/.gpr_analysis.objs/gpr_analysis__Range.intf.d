@@ -1,0 +1,1 @@
+lib/gpr_analysis/range.mli: Gpr_isa Gpr_util Ssa

@@ -1,0 +1,1 @@
+lib/gpr_analysis/ssa.ml: Array Dominance Gpr_isa Hashtbl List Liveness Queue

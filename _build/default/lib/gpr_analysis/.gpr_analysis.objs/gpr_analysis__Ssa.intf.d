@@ -1,0 +1,1 @@
+lib/gpr_analysis/ssa.mli: Gpr_isa Hashtbl

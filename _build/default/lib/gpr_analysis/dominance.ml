@@ -1,0 +1,128 @@
+(* Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm".
+   The same engine computes post-dominators on the reversed CFG with a
+   virtual exit node. *)
+
+type tree = {
+  n : int;
+  entry : int;
+  idom : int array;        (* -1 = undefined / unreachable; entry maps to itself *)
+  rpo_num : int array;     (* -1 for unreachable *)
+  children : int list array;
+}
+
+type t = { tree : tree; frontier : int list array }
+type post = { ptree : tree; virtual_exit : int }
+
+let compute_tree ~n ~entry ~succs ~preds =
+  (* Reverse postorder from [entry] following [succs]. *)
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs (succs b);
+      order := b :: !order
+    end
+  in
+  dfs entry;
+  let rpo = Array.of_list !order in
+  let rpo_num = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_num.(b) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(entry) <- entry;
+  let rec intersect b1 b2 =
+    if b1 = b2 then b1
+    else if rpo_num.(b1) > rpo_num.(b2) then intersect idom.(b1) b2
+    else intersect b1 idom.(b2)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+         if b <> entry then begin
+           let processed =
+             List.filter (fun p -> idom.(p) <> -1) (preds b)
+           in
+           match processed with
+           | [] -> ()
+           | first :: rest ->
+             let new_idom = List.fold_left intersect first rest in
+             if idom.(b) <> new_idom then begin
+               idom.(b) <- new_idom;
+               changed := true
+             end
+         end)
+      rpo
+  done;
+  let children = Array.make n [] in
+  Array.iter
+    (fun b ->
+       if b <> entry && idom.(b) <> -1 then
+         children.(idom.(b)) <- b :: children.(idom.(b)))
+    rpo;
+  { n; entry; idom; rpo_num; children }
+
+let tree_idom t b =
+  if b = t.entry || b < 0 || b >= t.n || t.idom.(b) = -1 then None
+  else Some t.idom.(b)
+
+let rec tree_dominates t a b =
+  if a = b then true
+  else
+    match tree_idom t b with
+    | None -> false
+    | Some p -> tree_dominates t a p
+
+let compute cfg =
+  let n = Gpr_isa.Cfg.num_blocks cfg in
+  let tree =
+    compute_tree ~n ~entry:0
+      ~succs:(Gpr_isa.Cfg.succs cfg)
+      ~preds:(Gpr_isa.Cfg.preds cfg)
+  in
+  let frontier = Array.make n [] in
+  for b = 0 to n - 1 do
+    let preds = Gpr_isa.Cfg.preds cfg b in
+    if List.length preds >= 2 && tree.idom.(b) <> -1 then
+      List.iter
+        (fun p ->
+           if tree.rpo_num.(p) <> -1 then begin
+             let runner = ref p in
+             while !runner <> tree.idom.(b) do
+               if not (List.mem b frontier.(!runner)) then
+                 frontier.(!runner) <- b :: frontier.(!runner);
+               runner := tree.idom.(!runner)
+             done
+           end)
+        preds
+  done;
+  { tree; frontier }
+
+let idom t b = tree_idom t.tree b
+let dominates t a b = tree_dominates t.tree a b
+let strictly_dominates t a b = a <> b && dominates t a b
+let children t b = t.tree.children.(b)
+let dominance_frontier t b = t.frontier.(b)
+
+let compute_post cfg =
+  let nb = Gpr_isa.Cfg.num_blocks cfg in
+  let vexit = nb in
+  let n = nb + 1 in
+  let exits = Gpr_isa.Cfg.exit_blocks cfg in
+  (* Reversed graph: successors of b are its CFG predecessors; the
+     virtual exit's successors are the [Ret] blocks. *)
+  let succs b = if b = vexit then exits else Gpr_isa.Cfg.preds cfg b in
+  let preds b =
+    if b = vexit then []
+    else
+      let cfg_succs = Gpr_isa.Cfg.succs cfg b in
+      if List.mem b exits then vexit :: cfg_succs else cfg_succs
+  in
+  let ptree = compute_tree ~n ~entry:vexit ~succs ~preds in
+  { ptree; virtual_exit = vexit }
+
+let ipdom p b =
+  match tree_idom p.ptree b with
+  | Some d when d <> p.virtual_exit -> Some d
+  | _ -> None

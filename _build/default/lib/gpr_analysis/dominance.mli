@@ -1,0 +1,33 @@
+(** Dominator and post-dominator trees (Cooper–Harvey–Kennedy).
+
+    Dominance drives SSA construction and the e-SSA renaming;
+    post-dominance provides the immediate-post-dominator (IPDOM)
+    reconvergence points used by the SIMT executor. *)
+
+type t
+
+val compute : Gpr_isa.Cfg.t -> t
+(** Dominator tree over blocks reachable from entry. *)
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for the entry block and unreachable
+    blocks. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b]?  Reflexive. *)
+
+val strictly_dominates : t -> int -> int -> bool
+val children : t -> int -> int list
+(** Dominator-tree children, for tree walks. *)
+
+val dominance_frontier : t -> int -> int list
+
+type post
+
+val compute_post : Gpr_isa.Cfg.t -> post
+(** Post-dominator tree, computed on the reversed CFG with a virtual
+    exit joining all [Ret] blocks. *)
+
+val ipdom : post -> int -> int option
+(** Immediate post-dominator; [None] when the only post-dominator is the
+    virtual exit. *)

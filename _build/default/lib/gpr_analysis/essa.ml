@@ -1,0 +1,231 @@
+open Gpr_isa.Types
+
+(* Branch-implied filters for one side of [a cmp b].
+   Returns [(refined_operand, filter)] pairs for register operands. *)
+let filters_of_cmp cmp a b ~taken =
+  let neg = function
+    | Lt -> Ge | Le -> Gt | Gt -> Le | Ge -> Lt | Eq -> Ne | Ne -> Eq
+  in
+  let cmp = if taken then cmp else neg cmp in
+  let bound_of op off =
+    match op with
+    | Imm_i c -> Pb_const (c + off)
+    | Reg r -> Pb_var (r.id, off)
+    | Imm_f _ -> Pb_none
+  in
+  let none = { pf_lo = Pb_none; pf_hi = Pb_none } in
+  let for_a =
+    match a with
+    | Reg ra ->
+      let f =
+        match cmp with
+        | Lt -> { none with pf_hi = bound_of b (-1) }
+        | Le -> { none with pf_hi = bound_of b 0 }
+        | Gt -> { none with pf_lo = bound_of b 1 }
+        | Ge -> { none with pf_lo = bound_of b 0 }
+        | Eq -> { pf_lo = bound_of b 0; pf_hi = bound_of b 0 }
+        | Ne -> none
+      in
+      if f = none then [] else [ (ra, f) ]
+    | Imm_i _ | Imm_f _ -> []
+  in
+  let for_b =
+    match b with
+    | Reg rb ->
+      let f =
+        match cmp with
+        | Lt -> { none with pf_lo = bound_of a 1 }   (* a < b: b >= a+1 *)
+        | Le -> { none with pf_lo = bound_of a 0 }
+        | Gt -> { none with pf_hi = bound_of a (-1) }
+        | Ge -> { none with pf_hi = bound_of a 0 }
+        | Eq -> { pf_lo = bound_of a 0; pf_hi = bound_of a 0 }
+        | Ne -> none
+      in
+      if f = none then [] else [ (rb, f) ]
+    | Imm_i _ | Imm_f _ -> []
+  in
+  for_a @ for_b
+
+let convert (ssa : Ssa.t) =
+  let kernel = ssa.kernel in
+  let cfg = Gpr_isa.Cfg.of_kernel kernel in
+  let dom = Dominance.compute cfg in
+  let nblocks = Array.length kernel.k_blocks in
+
+  (* Unique definition of each SSA predicate. *)
+  let def_of = Hashtbl.create 64 in
+  Array.iter
+    (fun blk ->
+       Array.iter
+         (fun ins ->
+            match defs ins with
+            | Some d -> Hashtbl.replace def_of d.id ins
+            | None -> ())
+         blk.instrs)
+    kernel.k_blocks;
+
+  (* Fresh SSA names extend the orig_of_ssa mapping. *)
+  let next_id = ref kernel.k_num_vregs in
+  let extra_orig = ref [] in
+  let fresh (base : vreg) =
+    let orig = ssa.orig_of_ssa.(base.id) in
+    let id = !next_id in
+    incr next_id;
+    extra_orig := orig :: !extra_orig;
+    { id; ty = base.ty; name = base.name }
+  in
+
+  (* Pi nodes to insert: per block, [(base_ssa_id, dst, filter)]. *)
+  let pis_at = Array.make nblocks [] in
+  Array.iter
+    (fun blk ->
+       match blk.term with
+       | Cbr (p, tb, fb) ->
+         (match Hashtbl.find_opt def_of p.id with
+          | Some (Setp (cmp, (S32 | U32), _, a, b)) ->
+            let add_side target ~taken =
+              (* Count only reachable predecessors: early-exit (`ret`)
+                 guards leave unreachable continuation blocks as stale
+                 CFG predecessors of the join. *)
+              let reachable p = p = 0 || Dominance.idom dom p <> None in
+              let preds =
+                List.filter reachable (Gpr_isa.Cfg.preds cfg target)
+              in
+              if List.length preds = 1 then
+                List.iter
+                  (fun (base, filter) ->
+                     if base.ty = S32 || base.ty = U32 then begin
+                       let dst = fresh base in
+                       pis_at.(target) <-
+                         pis_at.(target) @ [ (base.id, dst, filter) ]
+                     end)
+                  (filters_of_cmp cmp a b ~taken)
+            in
+            add_side tb ~taken:true;
+            add_side fb ~taken:false
+          | _ -> ())
+       | Br _ | Ret -> ())
+    kernel.k_blocks;
+
+  (* Rebuild blocks with pi headers; deep-copy instruction arrays so the
+     renaming pass can mutate in place. *)
+  let blocks =
+    Array.map
+      (fun blk ->
+         let phis, rest =
+           Array.to_list blk.instrs
+           |> List.partition (function Phi _ -> true | _ -> false)
+         in
+         let pis =
+           List.map
+             (fun (base, dst, f) ->
+                (* src is provisional; fixed during renaming *)
+                Pi (dst, { id = base; ty = dst.ty; name = dst.name }, f))
+             pis_at.(blk.label)
+         in
+         { blk with instrs = Array.of_list (phis @ pis @ rest) })
+      kernel.k_blocks
+  in
+
+  (* Renaming: dominator-tree walk with a refinement stack per base SSA
+     name.  Only names refined by some pi ever have a non-empty stack. *)
+  let stacks = Hashtbl.create 64 in
+  let top id =
+    match Hashtbl.find_opt stacks id with
+    | Some (r :: _) -> Some r
+    | _ -> None
+  in
+  let push id r =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt stacks id) in
+    Hashtbl.replace stacks id (r :: cur)
+  in
+  let pop id =
+    match Hashtbl.find_opt stacks id with
+    | Some (_ :: rest) -> Hashtbl.replace stacks id rest
+    | _ -> assert false
+  in
+  let rename_reg (r : vreg) =
+    match top r.id with Some r' -> r' | None -> r
+  in
+  let rename_op = function
+    | Reg r -> Reg (rename_reg r)
+    | (Imm_i _ | Imm_f _) as op -> op
+  in
+  let rename_uses ins =
+    match ins with
+    | Ibin (o, d, a, b) -> Ibin (o, d, rename_op a, rename_op b)
+    | Iun (o, d, a) -> Iun (o, d, rename_op a)
+    | Imad (d, a, b, c) -> Imad (d, rename_op a, rename_op b, rename_op c)
+    | Fbin (o, d, a, b) -> Fbin (o, d, rename_op a, rename_op b)
+    | Fun (o, d, a) -> Fun (o, d, rename_op a)
+    | Ffma (d, a, b, c) -> Ffma (d, rename_op a, rename_op b, rename_op c)
+    | Setp (o, ty, p, a, b) -> Setp (o, ty, p, rename_op a, rename_op b)
+    | Selp (d, a, b, p) -> Selp (d, rename_op a, rename_op b, rename_reg p)
+    | Mov (d, a) -> Mov (d, rename_op a)
+    | Cvt (o, d, a) -> Cvt (o, d, rename_op a)
+    | Ld (d, { abuf; aindex }) -> Ld (d, { abuf; aindex = rename_op aindex })
+    | St ({ abuf; aindex }, v) ->
+      St ({ abuf; aindex = rename_op aindex }, rename_op v)
+    | Ld_param _ | Bar -> ins
+    | Phi _ -> ins  (* operands renamed from the predecessor side *)
+    | Pi _ -> ins   (* handled explicitly in the walk *)
+  in
+  let rec walk b =
+    let pushed = ref [] in
+    let blk = blocks.(b) in
+    Array.iteri
+      (fun i ins ->
+         match ins with
+         | Phi _ -> ()
+         | Pi (dst, provisional_src, f) ->
+           let base = provisional_src.id in
+           let src =
+             match top base with
+             | Some r -> r
+             | None ->
+               (* The base name itself. Recover its vreg from orig data:
+                  provisional_src already has the right id/ty/name. *)
+               provisional_src
+           in
+           blk.instrs.(i) <- Pi (dst, src, f);
+           push base dst;
+           pushed := base :: !pushed
+         | _ -> blk.instrs.(i) <- rename_uses ins)
+      blk.instrs;
+    blk.term <-
+      (match blk.term with
+       | Cbr (p, t, f) -> Cbr (rename_reg p, t, f)
+       | (Br _ | Ret) as t -> t);
+    (* Rewrite phi operands in successors for predecessor [b]. *)
+    List.iter
+      (fun s ->
+         let sblk = blocks.(s) in
+         Array.iteri
+           (fun i ins ->
+              match ins with
+              | Phi (d, ops) ->
+                let ops =
+                  List.map
+                    (fun (p, op) -> if p = b then (p, rename_op op) else (p, op))
+                    ops
+                in
+                sblk.instrs.(i) <- Phi (d, ops)
+              | _ -> ())
+           sblk.instrs)
+      (Gpr_isa.Cfg.succs cfg b);
+    List.iter walk (Dominance.children dom b);
+    List.iter pop !pushed
+  in
+  walk 0;
+
+  let num = !next_id in
+  let orig_of_ssa = Array.make num 0 in
+  Array.blit ssa.orig_of_ssa 0 orig_of_ssa 0 kernel.k_num_vregs;
+  List.iteri
+    (fun i v -> orig_of_ssa.(num - 1 - i) <- v)
+    !extra_orig;
+  {
+    Ssa.kernel = { kernel with k_blocks = blocks; k_num_vregs = num };
+    orig_of_ssa;
+    num_orig = ssa.num_orig;
+  }

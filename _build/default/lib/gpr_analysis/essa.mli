@@ -1,0 +1,15 @@
+(** Extended-SSA conversion (Sec. 4.2, following Pereira et al. CGO'13).
+
+    For every conditional branch whose predicate is an integer
+    comparison, π-nodes are inserted at the head of the (single-
+    predecessor) branch targets, creating fresh names that carry the
+    branch-implied range constraint — e.g. after [if (k < 50)] the true
+    side sees [kt = k ∩ [-oo, 49]].  Constraints against another
+    variable become *futures* ([Pb_var]) resolved during range
+    propagation.
+
+    Targets with several predecessors (never produced by
+    {!Gpr_isa.Builder}) are skipped; this only loses precision, never
+    soundness. *)
+
+val convert : Ssa.t -> Ssa.t

@@ -1,0 +1,144 @@
+open Gpr_isa.Types
+module Iset = Set.Make (Int)
+
+type t = {
+  kernel : kernel;
+  cfg : Gpr_isa.Cfg.t;
+  live_in : Iset.t array;
+  live_out : Iset.t array;
+  order : int array;  (* reverse postorder used for linearisation *)
+}
+
+let is_tracked (r : vreg) = r.ty <> Pred
+
+let add_tracked r set = if is_tracked r then Iset.add r.id set else set
+let remove_def ins set =
+  match defs ins with Some d -> Iset.remove d.id set | None -> set
+
+let add_uses ins set =
+  List.fold_left (fun s r -> add_tracked r s) set (uses ins)
+
+(* Phi uses are live-out of the corresponding predecessor, not live-in of
+   the phi's own block. *)
+let phi_uses_for_pred blk ~pred set =
+  Array.fold_left
+    (fun s ins ->
+       match ins with
+       | Phi (_, ins') ->
+         List.fold_left
+           (fun s (p, op) ->
+              match op with
+              | Reg r when p = pred -> add_tracked r s
+              | _ -> s)
+           s ins'
+       | _ -> s)
+    set blk.instrs
+
+let block_transfer blk out =
+  (* Backward walk; phis both define and are skipped for uses here. *)
+  let live = ref (List.fold_left (fun s r -> add_tracked r s) out (term_uses blk.term)) in
+  for i = Array.length blk.instrs - 1 downto 0 do
+    let ins = blk.instrs.(i) in
+    live := remove_def ins !live;
+    (match ins with Phi _ -> () | _ -> live := add_uses ins !live)
+  done;
+  !live
+
+let compute kernel =
+  let cfg = Gpr_isa.Cfg.of_kernel kernel in
+  let n = Array.length kernel.k_blocks in
+  let live_in = Array.make n Iset.empty in
+  let live_out = Array.make n Iset.empty in
+  let order = Gpr_isa.Cfg.reverse_postorder cfg in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = Array.length order - 1 downto 0 do
+      let b = order.(i) in
+      let blk = kernel.k_blocks.(b) in
+      let out =
+        List.fold_left
+          (fun acc s ->
+             let succ_in = live_in.(s) in
+             let with_phis =
+               phi_uses_for_pred kernel.k_blocks.(s) ~pred:b succ_in
+             in
+             Iset.union acc with_phis)
+          Iset.empty (Gpr_isa.Cfg.succs cfg b)
+      in
+      let inn = block_transfer blk out in
+      if not (Iset.equal out live_out.(b) && Iset.equal inn live_in.(b))
+      then begin
+        live_out.(b) <- out;
+        live_in.(b) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { kernel; cfg; live_in; live_out; order }
+
+let live_in t b = t.live_in.(b)
+let live_out t b = t.live_out.(b)
+
+(* Walk every block backward once more, recording per-point live sets.
+   [f point live] is called with the set live *just after* the point's
+   instruction (a def is alive at its own point, even if dead after). *)
+let iter_points t f =
+  let point_base = Array.make (Array.length t.kernel.k_blocks) 0 in
+  let next = ref 0 in
+  Array.iter
+    (fun b ->
+       point_base.(b) <- !next;
+       next := !next + Array.length t.kernel.k_blocks.(b).instrs + 1)
+    t.order;
+  Array.iter
+    (fun b ->
+       let blk = t.kernel.k_blocks.(b) in
+       let base = point_base.(b) in
+       let ninstr = Array.length blk.instrs in
+       (* terminator point *)
+       let live = ref (List.fold_left (fun s r -> add_tracked r s)
+                         t.live_out.(b) (term_uses blk.term)) in
+       f (base + ninstr) !live;
+       for i = ninstr - 1 downto 0 do
+         let ins = blk.instrs.(i) in
+         (* live at this point: def is alive here, plus everything needed
+            below *)
+         let at_point =
+           match defs ins with
+           | Some d -> add_tracked d !live
+           | None -> !live
+         in
+         f (base + i) at_point;
+         live := remove_def ins !live;
+         (match ins with Phi _ -> () | _ -> live := add_uses ins !live)
+       done;
+       (* Block-entry point: covers values that are live-in but consumed
+          by the very first instruction (e.g. special registers). *)
+       f base !live)
+    t.order;
+  !next
+
+let num_points t = iter_points t (fun _ _ -> ())
+
+let max_live t =
+  let m = ref 0 in
+  let _ = iter_points t (fun _ live -> m := max !m (Iset.cardinal live)) in
+  !m
+
+let intervals t =
+  let lo = Hashtbl.create 64 and hi = Hashtbl.create 64 in
+  let _ =
+    iter_points t (fun p live ->
+        Iset.iter
+          (fun v ->
+             (match Hashtbl.find_opt lo v with
+              | None -> Hashtbl.replace lo v p
+              | Some l -> if p < l then Hashtbl.replace lo v p);
+             match Hashtbl.find_opt hi v with
+             | None -> Hashtbl.replace hi v (p + 1)
+             | Some h -> if p + 1 > h then Hashtbl.replace hi v (p + 1))
+          live)
+  in
+  Hashtbl.fold (fun v l acc -> (v, l, Hashtbl.find hi v) :: acc) lo []
+  |> List.sort (fun (_, l1, _) (_, l2, _) -> compare l1 l2)

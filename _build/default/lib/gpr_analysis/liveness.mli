@@ -1,0 +1,33 @@
+(** Live-variable analysis over a kernel's virtual registers.
+
+    Predicates are excluded throughout: like the hardware the paper
+    models, predicates live in a separate predicate file and never
+    occupy general-purpose register slices.
+
+    Special registers (tid.x, …) are treated as defined at kernel entry,
+    so they stay live from entry to their last use — matching how PTX
+    materialises them into general registers. *)
+
+module Iset : Set.S with type elt = int
+
+type t
+
+val compute : Gpr_isa.Types.kernel -> t
+
+val live_in : t -> int -> Iset.t
+(** Live variables at a block's entry. *)
+
+val live_out : t -> int -> Iset.t
+
+val max_live : t -> int
+(** Maximum number of simultaneously live (non-predicate) variables over
+    all program points — the baseline register pressure, where every
+    variable occupies one full 32-bit register. *)
+
+val intervals : t -> (int * int * int) list
+(** [(vreg, start, stop)] live-interval hulls over a linearised program
+    (blocks in reverse postorder), suitable for linear-scan allocation.
+    Sorted by [start].  Intervals are half-open: the variable is live on
+    points [start, stop). *)
+
+val num_points : t -> int

@@ -1,0 +1,35 @@
+(** Static range analysis of integer operands (Sec. 4.2).
+
+    Pipeline: pruned SSA ({!Ssa}) → e-SSA with π-nodes ({!Essa}) →
+    sparse constraint solving in strongly-connected-component order,
+    with interval widening inside cyclic components, future resolution
+    for symbolic π-bounds, and a bounded narrowing phase — following
+    Pereira, Rodrigues & Campos (CGO'13), the algorithm the paper
+    adopts.
+
+    Finally the ranges of all e-SSA versions of each original variable
+    are merged by union (Fig. 8d), and a required bitwidth is derived
+    per variable. *)
+
+open Gpr_isa.Types
+
+type t = {
+  essa : Ssa.t;                          (** analysed e-SSA form *)
+  ssa_ranges : Gpr_util.Interval.t array; (** per e-SSA name *)
+  var_ranges : Gpr_util.Interval.t array; (** per original variable; [Bot] for untracked (float/pred) variables *)
+  var_bits : int array;
+      (** per original variable: required bits (1–32); 32 for floats
+          (refined separately by precision tuning), predicates and
+          unbounded integers *)
+}
+
+val analyze : kernel -> launch:launch -> t
+(** [launch] seeds the special registers: tid.x ∈ [0, ntid_x-1],
+    ctaid.x ∈ [0, nctaid_x-1], and so on. *)
+
+val var_range : t -> int -> Gpr_util.Interval.t
+val var_bitwidth : t -> int -> int
+
+val narrow_int_count : t -> kernel -> int
+(** Number of integer variables whose required width is below 32 bits —
+    a summary statistic used in reports. *)

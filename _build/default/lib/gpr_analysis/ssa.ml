@@ -1,0 +1,284 @@
+open Gpr_isa.Types
+
+type t = {
+  kernel : kernel;
+  orig_of_ssa : int array;
+  num_orig : int;
+}
+
+let def_sites kernel =
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun blk ->
+       Array.iteri
+         (fun i ins ->
+            match defs ins with
+            | Some d -> Hashtbl.replace tbl d.id (blk.label, i)
+            | None -> ())
+         blk.instrs)
+    kernel.k_blocks;
+  tbl
+
+let convert kernel =
+  let cfg = Gpr_isa.Cfg.of_kernel kernel in
+  let dom = Dominance.compute cfg in
+  let live = Liveness.compute kernel in
+  let nblocks = Array.length kernel.k_blocks in
+  let nvars = kernel.k_num_vregs in
+  let orig = Array.make nvars None in
+  Array.iter
+    (fun blk ->
+       Array.iter
+         (fun ins ->
+            List.iter
+              (fun (r : vreg) -> orig.(r.id) <- Some r)
+              ((match defs ins with Some d -> [ d ] | None -> []) @ uses ins))
+         blk.instrs)
+    kernel.k_blocks;
+  List.iter
+    (fun (id, s) ->
+       if orig.(id) = None then
+         orig.(id) <- Some { id; ty = S32; name = Gpr_isa.Builder.special_name s })
+    kernel.k_specials;
+
+  (* 1. Definition sites per variable. *)
+  let def_blocks = Array.make nvars [] in
+  Array.iter
+    (fun blk ->
+       Array.iter
+         (fun ins ->
+            match defs ins with
+            | Some d ->
+              if not (List.mem blk.label def_blocks.(d.id)) then
+                def_blocks.(d.id) <- blk.label :: def_blocks.(d.id)
+            | None -> ())
+         blk.instrs)
+    kernel.k_blocks;
+
+  (* 2. Pruned phi insertion: iterated dominance frontier, but only
+     where the variable is live-in. *)
+  let phis_at = Array.make nblocks [] in  (* orig var ids, reversed *)
+  for v = 0 to nvars - 1 do
+    if orig.(v) <> None then begin
+      let work = Queue.create () in
+      List.iter (fun b -> Queue.add b work) def_blocks.(v);
+      let has_phi = Array.make nblocks false in
+      let enqueued = Array.make nblocks false in
+      List.iter (fun b -> enqueued.(b) <- true) def_blocks.(v);
+      while not (Queue.is_empty work) do
+        let b = Queue.pop work in
+        List.iter
+          (fun df ->
+             if (not has_phi.(df))
+             && Liveness.Iset.mem v (Liveness.live_in live df) then begin
+               has_phi.(df) <- true;
+               phis_at.(df) <- v :: phis_at.(df);
+               if not enqueued.(df) then begin
+                 enqueued.(df) <- true;
+                 Queue.add df work
+               end
+             end)
+          (Dominance.dominance_frontier dom b)
+      done
+    end
+  done;
+
+  (* 3. Renaming. *)
+  let next_id = ref 0 in
+  let orig_of_ssa = ref [] in
+  let fresh v =
+    let o = match orig.(v) with Some r -> r | None -> assert false in
+    let id = !next_id in
+    incr next_id;
+    orig_of_ssa := v :: !orig_of_ssa;
+    { id; ty = o.ty; name = o.name }
+  in
+  let stacks = Array.make nvars [] in
+  let undef_cache = Array.make nvars None in
+  let top v =
+    match stacks.(v) with
+    | r :: _ -> r
+    | [] ->
+      (* Variable used on a path where it was never assigned: bind it to
+         a single entry-level undef version (range: top). *)
+      (match undef_cache.(v) with
+       | Some r -> r
+       | None ->
+         let r = fresh v in
+         undef_cache.(v) <- Some r;
+         r)
+  in
+  (* Specials get an entry-level version. *)
+  let new_specials = ref [] in
+  List.iter
+    (fun (v, s) ->
+       let r = fresh v in
+       stacks.(v) <- r :: stacks.(v);
+       new_specials := (r.id, s) :: !new_specials)
+    kernel.k_specials;
+
+  let rewrite_operand = function
+    | Reg r -> Reg (top r.id)
+    | (Imm_i _ | Imm_f _) as op -> op
+  in
+  (* New blocks under construction: instrs as reversed lists, with phi
+     operand maps filled as predecessors are visited. *)
+  let new_instrs = Array.make nblocks [] in
+  let new_terms = Array.make nblocks Ret in
+
+  (* Pre-create phi records (dst assigned during the rename walk). *)
+  let phi_records = Array.make nblocks [||] in
+  for b = 0 to nblocks - 1 do
+    phi_records.(b) <-
+      Array.of_list
+        (List.rev_map (fun v -> (v, ref None, Hashtbl.create 4)) phis_at.(b))
+  done;
+
+  let rec walk b =
+    let pushed = ref [] in
+    let push v r =
+      stacks.(v) <- r :: stacks.(v);
+      pushed := v :: !pushed
+    in
+    (* Phi definitions first. *)
+    Array.iter
+      (fun (v, dst, _) ->
+         let r = fresh v in
+         dst := Some r;
+         push v r)
+      phi_records.(b);
+    (* Ordinary instructions. *)
+    let blk = kernel.k_blocks.(b) in
+    let out = ref [] in
+    Array.iter
+      (fun ins ->
+         let ins' =
+           match ins with
+           | Ibin (op, d, a, x) ->
+             let a = rewrite_operand a and x = rewrite_operand x in
+             let d' = fresh d.id in
+             push d.id d';
+             Ibin (op, d', a, x)
+           | Iun (op, d, a) ->
+             let a = rewrite_operand a in
+             let d' = fresh d.id in
+             push d.id d';
+             Iun (op, d', a)
+           | Imad (d, a, x, c) ->
+             let a = rewrite_operand a
+             and x = rewrite_operand x
+             and c = rewrite_operand c in
+             let d' = fresh d.id in
+             push d.id d';
+             Imad (d', a, x, c)
+           | Fbin (op, d, a, x) ->
+             let a = rewrite_operand a and x = rewrite_operand x in
+             let d' = fresh d.id in
+             push d.id d';
+             Fbin (op, d', a, x)
+           | Fun (op, d, a) ->
+             let a = rewrite_operand a in
+             let d' = fresh d.id in
+             push d.id d';
+             Fun (op, d', a)
+           | Ffma (d, a, x, c) ->
+             let a = rewrite_operand a
+             and x = rewrite_operand x
+             and c = rewrite_operand c in
+             let d' = fresh d.id in
+             push d.id d';
+             Ffma (d', a, x, c)
+           | Setp (op, ty, p, a, x) ->
+             let a = rewrite_operand a and x = rewrite_operand x in
+             let p' = fresh p.id in
+             push p.id p';
+             Setp (op, ty, p', a, x)
+           | Selp (d, a, x, p) ->
+             let a = rewrite_operand a and x = rewrite_operand x in
+             let p = top p.id in
+             let d' = fresh d.id in
+             push d.id d';
+             Selp (d', a, x, p)
+           | Mov (d, a) ->
+             let a = rewrite_operand a in
+             let d' = fresh d.id in
+             push d.id d';
+             Mov (d', a)
+           | Cvt (op, d, a) ->
+             let a = rewrite_operand a in
+             let d' = fresh d.id in
+             push d.id d';
+             Cvt (op, d', a)
+           | Ld (d, { abuf; aindex }) ->
+             let aindex = rewrite_operand aindex in
+             let d' = fresh d.id in
+             push d.id d';
+             Ld (d', { abuf; aindex })
+           | Ld_param (d, i) ->
+             let d' = fresh d.id in
+             push d.id d';
+             Ld_param (d', i)
+           | St ({ abuf; aindex }, v) ->
+             St ({ abuf; aindex = rewrite_operand aindex }, rewrite_operand v)
+           | Bar -> Bar
+           | Phi _ | Pi _ ->
+             invalid_arg "Ssa.convert: input already in SSA form"
+         in
+         out := ins' :: !out)
+      blk.instrs;
+    new_instrs.(b) <- List.rev !out;
+    new_terms.(b) <-
+      (match blk.term with
+       | Br l -> Br l
+       | Cbr (p, tl, fl) -> Cbr (top p.id, tl, fl)
+       | Ret -> Ret);
+    (* Fill phi operands in successors. *)
+    List.iter
+      (fun s ->
+         Array.iter
+           (fun (v, _, operands) ->
+              Hashtbl.replace operands b (Reg (top v)))
+           phi_records.(s))
+      (Gpr_isa.Cfg.succs cfg b);
+    (* Recurse over dominator-tree children. *)
+    List.iter walk (Dominance.children dom b);
+    (* Pop. *)
+    List.iter
+      (fun v ->
+         match stacks.(v) with
+         | _ :: rest -> stacks.(v) <- rest
+         | [] -> assert false)
+      !pushed
+  in
+  walk 0;
+
+  let blocks =
+    Array.init nblocks (fun b ->
+        let phis =
+          Array.to_list phi_records.(b)
+          |> List.map (fun (_, dst, operands) ->
+              let d = match !dst with Some d -> d | None -> assert false in
+              let ins =
+                Hashtbl.fold (fun p op acc -> (p, op) :: acc) operands []
+                |> List.sort compare
+              in
+              Phi (d, ins))
+        in
+        { label = b;
+          instrs = Array.of_list (phis @ new_instrs.(b));
+          term = new_terms.(b) })
+  in
+  let num = !next_id in
+  let orig_arr = Array.make num 0 in
+  List.iteri
+    (fun i v -> orig_arr.(num - 1 - i) <- v)
+    !orig_of_ssa;
+  {
+    kernel =
+      { kernel with
+        k_blocks = blocks;
+        k_num_vregs = num;
+        k_specials = !new_specials };
+    orig_of_ssa = orig_arr;
+    num_orig = nvars;
+  }

@@ -1,0 +1,20 @@
+(** Pruned SSA construction (phi insertion on iterated dominance
+    frontiers, rename along the dominator tree).
+
+    The resulting kernel contains {!Gpr_isa.Types.instr.Phi} nodes and is
+    meant for analysis only.  [orig_of_ssa] maps every SSA name back to
+    the virtual register of the input kernel it versions; the range
+    analysis uses it to merge e-SSA ranges per original variable
+    (Fig. 8d of the paper). *)
+
+type t = {
+  kernel : Gpr_isa.Types.kernel;
+  orig_of_ssa : int array;  (** ssa vreg id -> original vreg id *)
+  num_orig : int;
+}
+
+val convert : Gpr_isa.Types.kernel -> t
+
+val def_sites : Gpr_isa.Types.kernel -> (int, int * int) Hashtbl.t
+(** Map from SSA name to its unique [(block, instr_index)] definition.
+    Names without an entry are entry-defined (specials, undefs). *)

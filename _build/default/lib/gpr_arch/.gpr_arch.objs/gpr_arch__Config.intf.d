@@ -1,0 +1,1 @@
+lib/gpr_arch/config.mli:

@@ -1,0 +1,1 @@
+lib/gpr_arch/occupancy.ml: Config List Printf

@@ -1,0 +1,115 @@
+type scheduler_policy = Gto | Lrr
+
+type t = {
+  name : string;
+  clock_mhz : int;
+  num_sms : int;
+  warp_size : int;
+  warp_schedulers : int;
+  max_warps : int;
+  max_blocks : int;
+  registers_per_sm : int;
+  register_banks : int;
+  register_bank_width_bits : int;
+  entries_per_bank : int;
+  operand_collectors : int;
+  shared_mem_bytes : int;
+  l1_bytes : int;
+  l1_line_bytes : int;
+  tex_bytes : int;
+  l2_bytes : int;
+  scheduler : scheduler_policy;
+  spu_latency : int;
+  sfu_latency : int;
+  shared_latency : int;
+  l1_hit_latency : int;
+  l2_hit_latency : int;
+  dram_latency : int;
+  writeback_width : int;
+  dram_line_interval : int;
+  l2_line_interval : int;
+  total_transistors : float;
+  register_files_per_sm : int;
+}
+
+(* Table 2 of the paper (Fermi GTX 480), completed with the standard
+   GPGPU-Sim GTX 480 latencies for the parameters the table omits. *)
+let fermi_gtx480 =
+  {
+    name = "Fermi GTX 480";
+    clock_mhz = 1400;
+    num_sms = 15;
+    warp_size = 32;
+    warp_schedulers = 2;
+    max_warps = 48;
+    max_blocks = 8;
+    registers_per_sm = 32768;
+    register_banks = 16;
+    register_bank_width_bits = 1024;
+    entries_per_bank = 64;
+    operand_collectors = 16;
+    shared_mem_bytes = 48 * 1024;
+    l1_bytes = 16 * 1024;
+    l1_line_bytes = 128;
+    tex_bytes = 12 * 1024;
+    l2_bytes = 786 * 1024;
+    scheduler = Gto;
+    spu_latency = 4;
+    sfu_latency = 8;
+    shared_latency = 24;
+    l1_hit_latency = 28;
+    l2_hit_latency = 120;
+    dram_latency = 440;
+    writeback_width = 3;
+    (* 177 GB/s over 15 SMs at 1.4 GHz and 128-byte lines: one DRAM
+       line every ~15 cycles per SM. *)
+    dram_line_interval = 15;
+    (* L2-to-SM bandwidth: ~32 B per core cycle per SM = one 128-byte
+       line every 4 cycles. *)
+    l2_line_interval = 4;
+    total_transistors = 3.1e9;
+    register_files_per_sm = 1;
+  }
+
+(* Sec. 7: Volta V100.  Each SM is partitioned into 4 processing blocks,
+   each with a dedicated 64 KB register file and warp scheduler. *)
+let volta_v100 =
+  {
+    name = "Volta V100";
+    clock_mhz = 1455;
+    num_sms = 84;
+    warp_size = 32;
+    warp_schedulers = 4;
+    max_warps = 64;
+    max_blocks = 32;
+    registers_per_sm = 65536;
+    register_banks = 8;
+    register_bank_width_bits = 1024;
+    entries_per_bank = 64;
+    operand_collectors = 16;
+    shared_mem_bytes = 96 * 1024;
+    l1_bytes = 128 * 1024;
+    l1_line_bytes = 128;
+    tex_bytes = 32 * 1024;
+    l2_bytes = 6 * 1024 * 1024;
+    scheduler = Gto;
+    spu_latency = 4;
+    sfu_latency = 8;
+    shared_latency = 19;
+    l1_hit_latency = 28;
+    l2_hit_latency = 190;
+    dram_latency = 400;
+    writeback_width = 3;
+    (* 900 GB/s over 84 SMs at 1.455 GHz: ~17 cycles per line. *)
+    dram_line_interval = 17;
+    l2_line_interval = 6;
+    total_transistors = 21.1e9;
+    register_files_per_sm = 4;
+  }
+
+let registers_per_block t ~regs_per_thread ~warps_per_block =
+  regs_per_thread * t.warp_size * warps_per_block
+
+let architectural_registers = 256
+let slice_bits = 4
+let slices_per_register = 8

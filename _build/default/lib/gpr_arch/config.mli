@@ -1,0 +1,61 @@
+(** GPU architecture parameters.
+
+    {!fermi_gtx480} reproduces Table 2 of the paper; {!volta_v100}
+    carries the Sec. 7 scaling discussion. *)
+
+type scheduler_policy =
+  | Gto  (** greedy-then-oldest (Table 2 default) *)
+  | Lrr  (** loose round-robin, used as an ablation *)
+
+type t = {
+  name : string;
+  clock_mhz : int;
+  num_sms : int;
+  (* per SM *)
+  warp_size : int;
+  warp_schedulers : int;
+  max_warps : int;             (** maximum resident warps per SM *)
+  max_blocks : int;            (** maximum resident thread blocks per SM *)
+  registers_per_sm : int;      (** 32-bit thread registers *)
+  register_banks : int;
+  register_bank_width_bits : int;
+  entries_per_bank : int;
+  operand_collectors : int;
+  shared_mem_bytes : int;
+  l1_bytes : int;
+  l1_line_bytes : int;
+  tex_bytes : int;             (** dedicated texture cache *)
+  l2_bytes : int;              (** shared across SMs *)
+  scheduler : scheduler_policy;
+  (* latencies, in core cycles *)
+  spu_latency : int;
+  sfu_latency : int;
+  shared_latency : int;
+  l1_hit_latency : int;
+  l2_hit_latency : int;
+  dram_latency : int;
+  writeback_width : int;       (** operands per cycle on the writeback bus *)
+  dram_line_interval : int;    (** cycles between DRAM line services, per SM
+                                   (models the SM's share of memory bandwidth) *)
+  l2_line_interval : int;      (** cycles between L2 line services, per SM *)
+  (* chip-level figures used by the area model *)
+  total_transistors : float;
+  register_files_per_sm : int; (** 1 for Fermi; 4 processing blocks in Volta *)
+}
+
+val fermi_gtx480 : t
+val volta_v100 : t
+
+val registers_per_block : t -> regs_per_thread:int -> warps_per_block:int -> int
+(** Register-file allocation granularity is the warp: a block consumes
+    [regs_per_thread * warp_size * warps_per_block] physical registers. *)
+
+val architectural_registers : int
+(** Number of architectural (ISA-visible) registers assumed by the
+    indirection table: 256 (Sec. 3.2.2). *)
+
+val slice_bits : int
+(** Register slice granularity: 4 bits (Sec. 3.2). *)
+
+val slices_per_register : int
+(** 32-bit thread register = 8 slices. *)

@@ -1,0 +1,55 @@
+type limiter = Registers | Shared_memory | Warp_slots | Block_slots
+
+type result = {
+  blocks_per_sm : int;
+  warps_per_sm : int;
+  occupancy : float;
+  limiter : limiter;
+  registers_used : int;
+}
+
+let limiter_to_string = function
+  | Registers -> "registers"
+  | Shared_memory -> "shared memory"
+  | Warp_slots -> "warp slots"
+  | Block_slots -> "block slots"
+
+let compute (cfg : Config.t) ~regs_per_thread ~warps_per_block
+    ~shared_bytes_per_block =
+  if warps_per_block <= 0 then invalid_arg "Occupancy.compute: no warps";
+  let regs_per_block =
+    Config.registers_per_block cfg ~regs_per_thread ~warps_per_block
+  in
+  let by_regs =
+    if regs_per_block = 0 then max_int
+    else cfg.registers_per_sm / regs_per_block
+  in
+  let by_shared =
+    (* A kernel with no shared memory is never shared-memory limited. *)
+    if shared_bytes_per_block = 0 then max_int
+    else cfg.shared_mem_bytes / shared_bytes_per_block
+  in
+  let by_warps = cfg.max_warps / warps_per_block in
+  let by_blocks = cfg.max_blocks in
+  let candidates =
+    [ (by_regs, Registers); (by_shared, Shared_memory);
+      (by_warps, Warp_slots); (by_blocks, Block_slots) ]
+  in
+  let blocks, limiter =
+    List.fold_left
+      (fun (b, l) (b', l') -> if b' < b then (b', l') else (b, l))
+      (max_int, Block_slots) candidates
+  in
+  if blocks <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Occupancy.compute: one block exceeds SM resources (%s)"
+         (limiter_to_string limiter));
+  let warps = blocks * warps_per_block in
+  {
+    blocks_per_sm = blocks;
+    warps_per_sm = warps;
+    occupancy = float_of_int warps /. float_of_int cfg.max_warps;
+    limiter;
+    registers_used = blocks * regs_per_block;
+  }

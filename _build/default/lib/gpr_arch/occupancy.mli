@@ -1,0 +1,26 @@
+(** Occupancy calculation (Sec. 2 / Sec. 6.1).
+
+    A kernel's resident blocks per SM are bounded by four resources:
+    registers, shared memory, the maximum warp count and the maximum
+    block count.  Occupancy is the ratio of active warps to
+    [max_warps]. *)
+
+type limiter = Registers | Shared_memory | Warp_slots | Block_slots
+
+type result = {
+  blocks_per_sm : int;
+  warps_per_sm : int;
+  occupancy : float;          (** active warps / max warps *)
+  limiter : limiter;          (** the binding constraint *)
+  registers_used : int;       (** per SM *)
+}
+
+val limiter_to_string : limiter -> string
+
+val compute :
+  Config.t ->
+  regs_per_thread:int ->
+  warps_per_block:int ->
+  shared_bytes_per_block:int ->
+  result
+(** @raise Invalid_argument if a single block exceeds an SM resource. *)

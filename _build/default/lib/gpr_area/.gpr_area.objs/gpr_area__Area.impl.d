@@ -1,0 +1,1 @@
+lib/gpr_area/area.ml: Gpr_arch

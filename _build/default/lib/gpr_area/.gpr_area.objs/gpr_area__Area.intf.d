@@ -1,0 +1,1 @@
+lib/gpr_area/area.mli: Gpr_arch

@@ -1,0 +1,84 @@
+type breakdown = {
+  tve_transistors : int;
+  value_extractors : int;
+  value_converters : int;
+  indirection_tables : int;
+  value_truncators : int;
+  cu_extensions : int;
+  total_per_sm : int;
+  total_chip : int;
+  fraction_of_chip : float;
+}
+
+(* Counting rules of Sec. 6.4.  The paper counts 1536 transistors for a
+   TVE's eight 9:1 multiplexers (8 muxes x 32 bits x 6-transistor AOI
+   cells) plus 24 for the 4-bit 2:1 padding multiplexer. *)
+
+let tve_transistors = (8 * 32 * 6) + 24
+let () = assert (tve_transistors = 1560)
+
+let tve_mux_only = 1536
+
+let warp_extractor = 32 * (tve_mux_only + 24)  (* ≈50 K, "about 50K" in the paper *)
+
+let converter_per_thread = 1300
+let truncator_per_thread = (1 * converter_per_thread) + (2 * 2048)
+(* Sec. 6.4 uses 2048 per TVE inside the truncator (a conservative
+   per-thread extractor figure) giving 5396 per thread-level unit. *)
+
+let () = assert (truncator_per_thread = 5396)
+
+let indirection_table_entries = 256
+let indirection_table_bits = 32
+
+let for_config (cfg : Gpr_arch.Config.t) ~extractors_per_rf =
+  let value_extractors = extractors_per_rf * warp_extractor in
+  let value_converters = 6 * 32 * converter_per_thread in
+  let indirection_tables =
+    2 * indirection_table_entries * indirection_table_bits * 6
+  in
+  let value_truncators = cfg.writeback_width * 32 * truncator_per_thread in
+  let cu_extensions =
+    cfg.operand_collectors * ((1024 * 6) + (35 * 3 * 6))
+  in
+  let per_rf =
+    value_extractors + value_converters + indirection_tables
+    + value_truncators + cu_extensions
+  in
+  let total_per_sm = per_rf * cfg.register_files_per_sm in
+  let total_chip = total_per_sm * cfg.num_sms in
+  {
+    tve_transistors;
+    value_extractors;
+    value_converters;
+    indirection_tables;
+    value_truncators;
+    cu_extensions;
+    total_per_sm;
+    total_chip;
+    fraction_of_chip = float_of_int total_chip /. cfg.total_transistors;
+  }
+
+let fermi =
+  for_config Gpr_arch.Config.fermi_gtx480
+    ~extractors_per_rf:Gpr_arch.Config.fermi_gtx480.register_banks
+
+let volta =
+  (* Sec. 7: one extractor per bank, and Volta needs half the Fermi
+     extractor count per register file (one scheduler per processing
+     block vs two per Fermi SM). *)
+  for_config Gpr_arch.Config.volta_v100
+    ~extractors_per_rf:(Gpr_arch.Config.fermi_gtx480.register_banks / 2)
+
+type power_summary = {
+  static_overhead_fraction : float;
+  double_fetch_read_energy_factor : float;
+  doubled_regfile_read_energy_factor : float;
+}
+
+let power b =
+  {
+    static_overhead_fraction = b.fraction_of_chip;
+    double_fetch_read_energy_factor = 2.0;
+    doubled_regfile_read_energy_factor = 2.0;
+  }

@@ -1,0 +1,52 @@
+(** Transistor-count area model (Sec. 6.4) and its Volta scaling
+    (Sec. 7), plus the Sec. 6.5 power argument.
+
+    The paper's own counting rules, implemented directly:
+    - TVE: eight 32-bit-wide 9:1 multiplexers at 8 six-transistor AOI
+      cells per bit, plus one 4-bit 2:1 multiplexer;
+    - value extractor: 32 TVEs per warp-level unit, one unit per
+      register bank;
+    - value converter: ≈1300 transistors per thread-level unit,
+      6 warp-level units of 32;
+    - indirection tables: 256 × 32-bit 6T SRAM entries, two tables;
+    - value truncator: one converter-equivalent + two TVEs per thread,
+      3 warp-level units of 32;
+    - collector-unit extension: a 1024-bit 6T OR gate + 35×3 bits of
+      SRAM per CU, 16 CUs. *)
+
+type breakdown = {
+  tve_transistors : int;              (** one thread-level extractor *)
+  value_extractors : int;             (** all warp-level extractors *)
+  value_converters : int;
+  indirection_tables : int;
+  value_truncators : int;
+  cu_extensions : int;
+  total_per_sm : int;
+  total_chip : int;
+  fraction_of_chip : float;
+}
+
+val fermi : breakdown
+(** Sec. 6.4 numbers: ≈1.8 M transistors per SM, ≈27 M total, <1 % of
+    the GTX 480's 3.1 B budget. *)
+
+val volta : breakdown
+(** Sec. 7: per processing block the extractors halve (one bank's worth
+    per scheduler), ≈1.4 M per block, ≈5.6 M per SM, ≈470 M for 84 SMs
+    — just over 2 % of 21 B. *)
+
+val for_config : Gpr_arch.Config.t -> extractors_per_rf:int -> breakdown
+
+(** {1 Power (Sec. 6.5)} *)
+
+type power_summary = {
+  static_overhead_fraction : float;
+      (** static power scales with area: equals the area fraction *)
+  double_fetch_read_energy_factor : float;
+      (** worst-case dynamic factor on register reads (2× on split) *)
+  doubled_regfile_read_energy_factor : float;
+      (** the comparison point: doubling the register file doubles
+          bitline length and hence read energy *)
+}
+
+val power : breakdown -> power_summary

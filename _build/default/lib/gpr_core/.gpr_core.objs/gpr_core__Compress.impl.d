@@ -1,0 +1,1 @@
+lib/gpr_core/compress.ml: Array Gpr_alloc Gpr_analysis Gpr_arch Gpr_isa Gpr_precision Gpr_quality Gpr_workloads Hashtbl List Workload

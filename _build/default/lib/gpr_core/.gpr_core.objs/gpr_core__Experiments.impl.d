@@ -1,0 +1,1 @@
+lib/gpr_core/experiments.ml: Builder Compress Gpr_alloc Gpr_analysis Gpr_arch Gpr_area Gpr_fp Gpr_isa Gpr_quality Gpr_sim Gpr_util Gpr_workloads List Option Printf Registry Simulate Workload

@@ -1,0 +1,1 @@
+lib/gpr_core/simulate.ml: Compress Gpr_arch Gpr_exec Gpr_precision Gpr_quality Gpr_sim Gpr_workloads Hashtbl Printf Workload

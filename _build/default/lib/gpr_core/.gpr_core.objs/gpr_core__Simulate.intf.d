@@ -1,0 +1,1 @@
+lib/gpr_core/simulate.mli: Compress Gpr_exec Gpr_quality Gpr_sim

@@ -1,0 +1,96 @@
+open Gpr_isa.Types
+open Gpr_workloads
+module Q = Gpr_quality.Quality
+module P = Gpr_precision.Precision
+module Alloc = Gpr_alloc.Alloc
+
+type per_threshold = {
+  assignment : P.assignment;
+  achieved_score : Q.score;
+  alloc_float_only : Alloc.t;
+  alloc_both : Alloc.t;
+}
+
+type t = {
+  w : Workload.t;
+  reference : float array;
+  range : Gpr_analysis.Range.t;
+  baseline : Alloc.t;
+  int_only : Alloc.t;
+  perfect : per_threshold;
+  high : per_threshold;
+}
+
+let width_fn ~narrow_ints ~narrow_floats ~range (r : vreg) =
+  match r.ty with
+  | Pred -> 32  (* excluded from allocation by liveness anyway *)
+  | F32 ->
+    (match narrow_floats with
+     | None -> 32
+     | Some asg ->
+       let bits = P.var_bits asg in
+       (match Hashtbl.find_opt bits r.id with Some b -> b | None -> 32))
+  | S32 | U32 ->
+    if narrow_ints && r.id < Array.length range.Gpr_analysis.Range.var_bits
+    then Gpr_analysis.Range.var_bitwidth range r.id
+    else 32
+
+(* Tuning cost scales with the site count; large kernels get coarser
+   groups and a bounded evaluation budget (both knobs of the original
+   framework, Sec. 4.1). *)
+let tuning_knobs sites =
+  let n = List.length sites in
+  let min_group = if n > 96 then 8 else if n > 48 then 4 else 1 in
+  let budget = if n > 96 then 200 else 140 in
+  (min_group, budget)
+
+let tune_threshold (w : Workload.t) ~reference ~range threshold =
+  let sites = Workload.float_sites w in
+  let min_group, budget = tuning_knobs sites in
+  let evaluate ~quantize = Workload.evaluate w ~reference ~quantize in
+  let assignment =
+    P.tune ~min_group ~budget ~sites ~evaluate ~threshold ()
+  in
+  let achieved_score =
+    Workload.evaluate w ~reference ~quantize:(P.quantizer assignment)
+  in
+  let alloc_float_only =
+    Alloc.run w.kernel
+      ~width_of:(width_fn ~narrow_ints:false ~narrow_floats:(Some assignment) ~range)
+  in
+  let alloc_both =
+    Alloc.run w.kernel
+      ~width_of:(width_fn ~narrow_ints:true ~narrow_floats:(Some assignment) ~range)
+  in
+  { assignment; achieved_score; alloc_float_only; alloc_both }
+
+let cache : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let clear_cache () = Hashtbl.reset cache
+
+let analyze (w : Workload.t) =
+  match Hashtbl.find_opt cache w.name with
+  | Some t -> t
+  | None ->
+    let reference = Workload.reference w in
+    let range = Gpr_analysis.Range.analyze w.kernel ~launch:w.launch in
+    let baseline = Alloc.baseline w.kernel in
+    let int_only =
+      Alloc.run w.kernel
+        ~width_of:(width_fn ~narrow_ints:true ~narrow_floats:None ~range)
+    in
+    let perfect = tune_threshold w ~reference ~range Q.Perfect in
+    let high = tune_threshold w ~reference ~range Q.High in
+    let t = { w; reference; range; baseline; int_only; perfect; high } in
+    Hashtbl.replace cache w.name t;
+    t
+
+let threshold_data t = function
+  | Q.Perfect -> t.perfect
+  | Q.High -> t.high
+
+let occupancy t (alloc : Alloc.t) =
+  Gpr_arch.Occupancy.compute Gpr_arch.Config.fermi_gtx480
+    ~regs_per_thread:alloc.pressure
+    ~warps_per_block:(Workload.warps_per_block t.w)
+    ~shared_bytes_per_block:(Workload.shared_bytes_per_block t.w)

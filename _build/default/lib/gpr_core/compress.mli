@@ -1,0 +1,44 @@
+(** The end-to-end static framework of Fig. 7: range analysis for
+    integers, precision tuning for floats, slice-granular register
+    allocation, and the resulting occupancy — everything up to (but not
+    including) timing simulation, for one kernel. *)
+
+open Gpr_workloads
+
+type per_threshold = {
+  assignment : Gpr_precision.Precision.assignment;
+  achieved_score : Gpr_quality.Quality.score;
+      (** quality of the final tuned configuration on the sample input *)
+  alloc_float_only : Gpr_alloc.Alloc.t;
+  alloc_both : Gpr_alloc.Alloc.t;
+}
+
+type t = {
+  w : Workload.t;
+  reference : float array;
+  range : Gpr_analysis.Range.t;
+  baseline : Gpr_alloc.Alloc.t;   (** original (32-bit) allocation *)
+  int_only : Gpr_alloc.Alloc.t;
+  perfect : per_threshold;
+  high : per_threshold;
+}
+
+val analyze : Workload.t -> t
+(** Runs the full static framework.  Expensive (the tuner re-executes
+    the kernel many times); results are memoised per workload name. *)
+
+val clear_cache : unit -> unit
+
+val threshold_data : t -> Gpr_quality.Quality.threshold -> per_threshold
+
+val occupancy :
+  t -> Gpr_alloc.Alloc.t -> Gpr_arch.Occupancy.result
+(** Occupancy on the Fermi configuration at the allocation's register
+    pressure and the workload's block geometry. *)
+
+val width_fn :
+  narrow_ints:bool ->
+  narrow_floats:Gpr_precision.Precision.assignment option ->
+  range:Gpr_analysis.Range.t ->
+  Gpr_isa.Types.vreg -> int
+(** The per-variable width function handed to the allocator. *)

@@ -1,0 +1,84 @@
+open Gpr_workloads
+module Q = Gpr_quality.Quality
+module P = Gpr_precision.Precision
+module Sim = Gpr_sim.Sim
+
+let trace_cache : (string, Gpr_exec.Trace.t) Hashtbl.t = Hashtbl.create 32
+let stats_cache : (string, Sim.stats) Hashtbl.t = Hashtbl.create 32
+
+let clear_cache () =
+  Hashtbl.reset trace_cache;
+  Hashtbl.reset stats_cache
+
+let trace_for (c : Compress.t) quantize_key quantize =
+  let key = c.w.name ^ "/" ^ quantize_key in
+  match Hashtbl.find_opt trace_cache key with
+  | Some t -> t
+  | None ->
+    let t = Workload.trace c.w ~quantize in
+    Hashtbl.replace trace_cache key t;
+    t
+
+let cfg = Gpr_arch.Config.fermi_gtx480
+
+let trace_plain (c : Compress.t) = trace_for c "plain" None
+
+let trace_quantized (c : Compress.t) threshold =
+  let data = Compress.threshold_data c threshold in
+  trace_for c
+    ("quant-" ^ Q.threshold_name threshold)
+    (Some (P.quantizer data.assignment))
+
+let baseline (c : Compress.t) =
+  let key = c.w.name ^ "/baseline" in
+  match Hashtbl.find_opt stats_cache key with
+  | Some s -> s
+  | None ->
+    let trace = trace_for c "plain" None in
+    let occ = Compress.occupancy c c.baseline in
+    let s =
+      Sim.run cfg ~trace ~alloc:c.baseline ~blocks_per_sm:occ.blocks_per_sm
+        ~mode:Sim.Baseline
+    in
+    Hashtbl.replace stats_cache key s;
+    s
+
+let proposed ?(writeback_delay = 3) (c : Compress.t) threshold =
+  let key =
+    Printf.sprintf "%s/proposed/%s/wb%d" c.w.name
+      (Q.threshold_name threshold) writeback_delay
+  in
+  match Hashtbl.find_opt stats_cache key with
+  | Some s -> s
+  | None ->
+    let data = Compress.threshold_data c threshold in
+    let trace =
+      trace_for c
+        ("quant-" ^ Q.threshold_name threshold)
+        (Some (P.quantizer data.assignment))
+    in
+    let occ = Compress.occupancy c data.alloc_both in
+    let s =
+      Sim.run cfg ~trace ~alloc:data.alloc_both
+        ~blocks_per_sm:occ.blocks_per_sm
+        ~mode:(Sim.Proposed { writeback_delay })
+    in
+    Hashtbl.replace stats_cache key s;
+    s
+
+let artificial (c : Compress.t) threshold =
+  let key =
+    Printf.sprintf "%s/artificial/%s" c.w.name (Q.threshold_name threshold)
+  in
+  match Hashtbl.find_opt stats_cache key with
+  | Some s -> s
+  | None ->
+    let data = Compress.threshold_data c threshold in
+    let trace = trace_for c "plain" None in
+    let occ = Compress.occupancy c data.alloc_both in
+    let s =
+      Sim.run cfg ~trace ~alloc:c.baseline ~blocks_per_sm:occ.blocks_per_sm
+        ~mode:Sim.Baseline
+    in
+    Hashtbl.replace stats_cache key s;
+    s

@@ -1,0 +1,32 @@
+(** Timing-simulation wrappers over {!Gpr_sim.Sim} for the three
+    configurations the paper compares:
+
+    - {e baseline}: conventional 32-bit register file at the original
+      occupancy;
+    - {e proposed}: the indirection-table register file at the
+      compressed occupancy (with configurable writeback delay,
+      Sec. 6.3);
+    - {e artificial}: the Table 1 control — the baseline register file
+      with occupancy artificially raised to the compressed level, i.e.
+      the upper bound an ideally free compression scheme could reach.
+
+    Traces and simulation results are memoised per (kernel,
+    configuration). *)
+
+val baseline : Compress.t -> Gpr_sim.Sim.stats
+
+val proposed :
+  ?writeback_delay:int ->
+  Compress.t ->
+  Gpr_quality.Quality.threshold ->
+  Gpr_sim.Sim.stats
+
+val artificial : Compress.t -> Gpr_quality.Quality.threshold -> Gpr_sim.Sim.stats
+
+val clear_cache : unit -> unit
+
+val trace_plain : Compress.t -> Gpr_exec.Trace.t
+(** Unquantised trace (memoised) — used by ablation sweeps. *)
+
+val trace_quantized :
+  Compress.t -> Gpr_quality.Quality.threshold -> Gpr_exec.Trace.t

@@ -1,0 +1,1 @@
+lib/gpr_exec/exec.ml: Array Float Gpr_analysis Gpr_isa Gpr_util Int32 List Printf Trace

@@ -1,0 +1,1 @@
+lib/gpr_exec/exec.mli: Gpr_isa Trace

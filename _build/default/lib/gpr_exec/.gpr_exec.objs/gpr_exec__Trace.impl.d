@@ -1,0 +1,1 @@
+lib/gpr_exec/trace.ml: Array Gpr_isa List

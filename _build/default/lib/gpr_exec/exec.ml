@@ -1,0 +1,615 @@
+open Gpr_isa.Types
+
+type storage = I_data of int array | F_data of float array
+type binding = Buf_data of storage | Buf_shared of int
+type pvalue = P_int of int | P_float of float
+
+type config = {
+  quantize : (int -> float -> float) option;
+  collect_trace : bool;
+}
+
+let default_config = { quantize = None; collect_trace = false }
+
+(* ------------------------------------------------------------------ *)
+(* 32-bit semantics helpers *)
+
+let wrap_s32 x =
+  let y = x land 0xffff_ffff in
+  if y >= 0x8000_0000 then y - 0x1_0000_0000 else y
+
+let wrap_u32 x = x land 0xffff_ffff
+
+let f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let ftoi_trunc x =
+  if Float.is_nan x then 0
+  else if x >= 2147483647.0 then 2147483647
+  else if x <= -2147483648.0 then -2147483648
+  else int_of_float (Float.trunc x)
+
+let ftou_trunc x =
+  if Float.is_nan x then 0
+  else if x >= 4294967295.0 then 4294967295
+  else if x <= 0.0 then 0
+  else int_of_float (Float.trunc x)
+
+(* ------------------------------------------------------------------ *)
+(* Static instruction numbering *)
+
+let pc_bases kernel =
+  let n = Array.length kernel.k_blocks in
+  let bases = Array.make n 0 in
+  let acc = ref 0 in
+  for b = 0 to n - 1 do
+    bases.(b) <- !acc;
+    acc := !acc + Array.length kernel.k_blocks.(b).instrs
+  done;
+  (bases, !acc)
+
+let static_pc kernel ~block ~idx = fst (pc_bases kernel) |> fun b -> b.(block) + idx
+
+let count_static_instrs kernel = snd (pc_bases kernel)
+
+let float_def_sites kernel =
+  let bases, _ = pc_bases kernel in
+  let out = ref [] in
+  Array.iter
+    (fun blk ->
+       Array.iteri
+         (fun i ins ->
+            match defs ins with
+            | Some d when d.ty = F32 ->
+              out := (bases.(blk.label) + i, d) :: !out
+            | _ -> ())
+         blk.instrs)
+    kernel.k_blocks;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Bindings *)
+
+let bindings_for kernel ~data ?(shared = []) () =
+  Array.map
+    (fun buf ->
+       match buf.buf_space with
+       | Global | Texture ->
+         (match List.assoc_opt buf.buf_name data with
+          | Some (I_data _ as s) when buf.buf_elem <> F32 -> Buf_data s
+          | Some (F_data _ as s) when buf.buf_elem = F32 -> Buf_data s
+          | Some _ ->
+            invalid_arg
+              (Printf.sprintf "bindings_for: type mismatch for buffer %s"
+                 buf.buf_name)
+          | None ->
+            invalid_arg
+              (Printf.sprintf "bindings_for: missing data for buffer %s"
+                 buf.buf_name))
+       | Shared ->
+         (match List.assoc_opt buf.buf_name shared with
+          | Some n -> Buf_shared n
+          | None ->
+            invalid_arg
+              (Printf.sprintf "bindings_for: missing shared size for %s"
+                 buf.buf_name))
+       | Param -> invalid_arg "bindings_for: param buffers are not supported")
+    kernel.k_buffers
+
+(* ------------------------------------------------------------------ *)
+(* Warp state *)
+
+type frame = {
+  rpc : int;  (* reconvergence block, -1 = none *)
+  mutable blk : int;
+  mutable idx : int;
+  mutable mask : int;
+}
+
+type warp = {
+  wid : int;
+  regs_i : int array;    (* vreg r, lane l at r*32 + l *)
+  regs_f : float array;
+  mutable stack : frame list;
+  mutable exited : int;
+}
+
+type status = Barrier | Finished
+
+(* ------------------------------------------------------------------ *)
+
+let run kernel ~launch ~params ~bindings config =
+  let nvr = kernel.k_num_vregs in
+  let pc_base, _ = pc_bases kernel in
+  let cfg = Gpr_isa.Cfg.of_kernel kernel in
+  let post = Gpr_analysis.Dominance.compute_post cfg in
+  let ipdom = Array.init (Array.length kernel.k_blocks)
+      (fun b -> match Gpr_analysis.Dominance.ipdom post b with
+         | Some r -> r
+         | None -> -1)
+  in
+  let nbuf = Array.length kernel.k_buffers in
+  if Array.length bindings <> nbuf then
+    failwith "Exec.run: binding count mismatch";
+  (* Distinct byte-address bases per global/texture buffer, for the
+     cache model.  Shared buffers get small per-space bases. *)
+  let buf_base = Array.make nbuf 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i buf ->
+       match buf.buf_space with
+       | Global | Texture ->
+         buf_base.(i) <- !acc;
+         let len =
+           match bindings.(i) with
+           | Buf_data (I_data a) -> Array.length a
+           | Buf_data (F_data a) -> Array.length a
+           | Buf_shared _ -> failwith "Exec.run: shared binding for global"
+         in
+         acc := !acc + ((len * 4 + 127) / 128 * 128) + 128
+       | Shared ->
+         (match bindings.(i) with
+          | Buf_shared _ -> ()
+          | Buf_data _ -> failwith "Exec.run: global binding for shared")
+       | Param -> ())
+    kernel.k_buffers;
+  let shared_base = Array.make nbuf 0 in
+  let sacc = ref 0 in
+  Array.iteri
+    (fun i buf ->
+       if buf.buf_space = Shared then begin
+         shared_base.(i) <- !sacc;
+         match bindings.(i) with
+         | Buf_shared n -> sacc := !sacc + (n * 4)
+         | Buf_data _ -> ()
+       end)
+    kernel.k_buffers;
+
+  let tpb = threads_per_block launch in
+  let warps_per_block = (tpb + 31) / 32 in
+  let nblocks = num_blocks launch in
+
+  let trace_buf = ref [] in
+  let trace_count = ref 0 in
+  let thread_instrs = ref 0 in
+  let quantize = config.quantize in
+
+  (* Per-block execution. *)
+  let run_block block_id =
+    let bx = block_id mod launch.nctaid_x in
+    let by = block_id / launch.nctaid_x in
+    (* Shared memory instances for this block. *)
+    let shared =
+      Array.mapi
+        (fun i buf ->
+           match bindings.(i) with
+           | Buf_shared n ->
+             if buf.buf_elem = F32 then Some (F_data (Array.make n 0.0))
+             else Some (I_data (Array.make n 0))
+           | Buf_data _ -> None)
+        kernel.k_buffers
+    in
+    let storage_of i =
+      match kernel.k_buffers.(i).buf_space with
+      | Global | Texture ->
+        (match bindings.(i) with
+         | Buf_data s -> s
+         | Buf_shared _ -> assert false)
+      | Shared ->
+        (match shared.(i) with Some s -> s | None -> assert false)
+      | Param -> assert false
+    in
+
+    let make_warp wid =
+      let w =
+        {
+          wid;
+          regs_i = Array.make (nvr * 32) 0;
+          regs_f = Array.make (nvr * 32) 0.0;
+          stack = [ { rpc = -1; blk = 0; idx = 0; mask = 0 } ];
+          exited = 0;
+        }
+      in
+      (* Valid lanes (last warp may be partial) and special registers. *)
+      let mask = ref 0 in
+      for lane = 0 to 31 do
+        let t = (wid * 32) + lane in
+        if t < tpb then begin
+          mask := !mask lor (1 lsl lane);
+          let tx = t mod launch.ntid_x and ty = t / launch.ntid_x in
+          List.iter
+            (fun (vid, s) ->
+               let v =
+                 match s with
+                 | Tid_x -> tx
+                 | Tid_y -> ty
+                 | Ntid_x -> launch.ntid_x
+                 | Ntid_y -> launch.ntid_y
+                 | Ctaid_x -> bx
+                 | Ctaid_y -> by
+                 | Nctaid_x -> launch.nctaid_x
+                 | Nctaid_y -> launch.nctaid_y
+               in
+               w.regs_i.((vid * 32) + lane) <- v)
+            kernel.k_specials
+        end
+      done;
+      (match w.stack with [ fr ] -> fr.mask <- !mask | _ -> assert false);
+      w
+    in
+    let warps = Array.init warps_per_block make_warp in
+
+    (* Per-lane operand evaluation. *)
+    let geti w (r : vreg) lane = w.regs_i.((r.id * 32) + lane) in
+    let getf w (r : vreg) lane = w.regs_f.((r.id * 32) + lane) in
+    let eval_i w op lane =
+      match op with
+      | Reg r -> geti w r lane
+      | Imm_i c -> c
+      | Imm_f _ -> failwith "Exec: float immediate in integer context"
+    in
+    let eval_f w op lane =
+      match op with
+      | Reg r -> getf w r lane
+      | Imm_f c -> f32 c
+      | Imm_i c -> failwith (Printf.sprintf "Exec: int immediate %d in float context" c)
+    in
+    let seti w (r : vreg) lane v = w.regs_i.((r.id * 32) + lane) <- v in
+    let setf w (r : vreg) lane v pc =
+      let v =
+        match quantize with None -> v | Some q -> q pc v
+      in
+      w.regs_f.((r.id * 32) + lane) <- v
+    in
+
+    let emit_trace w pc ins mask mem =
+      if config.collect_trace then begin
+        let srcs =
+          uses ins
+          |> List.filter_map (fun (r : vreg) ->
+              if r.ty = Pred then None else Some r.id)
+        in
+        let dst, dst_float =
+          match defs ins with
+          | Some d when d.ty <> Pred -> (Some d.id, d.ty = F32)
+          | _ -> (None, false)
+        in
+        let item =
+          {
+            Trace.t_warp = w.wid;
+            t_block_id = block_id;
+            t_pc = pc;
+            t_unit = unit_class_of ins;
+            t_srcs = srcs;
+            t_dst = dst;
+            t_dst_float = dst_float;
+            t_active = Gpr_util.Bits.popcount mask;
+            t_mem = mem;
+          }
+        in
+        trace_buf := item :: !trace_buf;
+        incr trace_count
+      end;
+      thread_instrs := !thread_instrs + Gpr_util.Bits.popcount mask
+    in
+
+    let mem_read buf_idx w idx_op mask (d : vreg) pc ins =
+      let s = storage_of buf_idx in
+      let buf = kernel.k_buffers.(buf_idx) in
+      let addrs = ref [] in
+      for lane = 31 downto 0 do
+        if mask land (1 lsl lane) <> 0 then begin
+          let idx = eval_i w idx_op lane in
+          let len =
+            match s with I_data a -> Array.length a | F_data a -> Array.length a
+          in
+          if idx < 0 || idx >= len then
+            failwith
+              (Printf.sprintf "%s: ld %s[%d] out of bounds (len %d)"
+                 kernel.k_name buf.buf_name idx len);
+          (match s, d.ty with
+           | I_data a, (S32 | U32) -> seti w d lane a.(idx)
+           | F_data a, F32 -> setf w d lane a.(idx) pc
+           | I_data _, _ | F_data _, _ ->
+             failwith (kernel.k_name ^ ": load type mismatch"));
+          let base =
+            if buf.buf_space = Shared then shared_base.(buf_idx)
+            else buf_base.(buf_idx)
+          in
+          addrs := (base + (idx * 4)) :: !addrs
+        end
+      done;
+      emit_trace w pc ins mask
+        (Some { Trace.m_space = buf.buf_space;
+                m_addresses = Array.of_list !addrs })
+    in
+
+    let mem_write buf_idx w idx_op value_op mask pc ins =
+      let s = storage_of buf_idx in
+      let buf = kernel.k_buffers.(buf_idx) in
+      if buf.buf_space = Texture then
+        failwith (kernel.k_name ^ ": store to read-only texture space");
+      let addrs = ref [] in
+      for lane = 31 downto 0 do
+        if mask land (1 lsl lane) <> 0 then begin
+          let idx = eval_i w idx_op lane in
+          let len =
+            match s with I_data a -> Array.length a | F_data a -> Array.length a
+          in
+          if idx < 0 || idx >= len then
+            failwith
+              (Printf.sprintf "%s: st %s[%d] out of bounds (len %d)"
+                 kernel.k_name buf.buf_name idx len);
+          (match s with
+           | I_data a -> a.(idx) <- eval_i w value_op lane
+           | F_data a -> a.(idx) <- eval_f w value_op lane);
+          let base =
+            if buf.buf_space = Shared then shared_base.(buf_idx)
+            else buf_base.(buf_idx)
+          in
+          addrs := (base + (idx * 4)) :: !addrs
+        end
+      done;
+      emit_trace w pc ins mask
+        (Some { Trace.m_space = buf.buf_space;
+                m_addresses = Array.of_list !addrs })
+    in
+
+    let exec_instr w ins mask pc =
+      match ins with
+      | Ibin (op, d, a, b) ->
+        let wrap = if d.ty = U32 then wrap_u32 else wrap_s32 in
+        for lane = 0 to 31 do
+          if mask land (1 lsl lane) <> 0 then begin
+            let x = eval_i w a lane and y = eval_i w b lane in
+            let v =
+              match op with
+              | Add -> x + y
+              | Sub -> x - y
+              | Mul -> x * y
+              | Div -> if y = 0 then 0 else x / y
+              | Rem -> if y = 0 then x else x mod y
+              | Min -> min x y
+              | Max -> max x y
+              | And -> x land y
+              | Or -> x lor y
+              | Xor -> x lxor y
+              | Shl -> x lsl (y land 31)
+              | Shr ->
+                if d.ty = U32 then wrap_u32 x lsr (y land 31)
+                else x asr (y land 31)
+            in
+            seti w d lane (wrap v)
+          end
+        done;
+        emit_trace w pc ins mask None
+      | Iun (op, d, a) ->
+        let wrap = if d.ty = U32 then wrap_u32 else wrap_s32 in
+        for lane = 0 to 31 do
+          if mask land (1 lsl lane) <> 0 then begin
+            let x = eval_i w a lane in
+            let v =
+              match op with
+              | Ineg -> -x
+              | Inot -> lnot x
+              | Iabs -> abs x
+            in
+            seti w d lane (wrap v)
+          end
+        done;
+        emit_trace w pc ins mask None
+      | Imad (d, a, b, c) ->
+        let wrap = if d.ty = U32 then wrap_u32 else wrap_s32 in
+        for lane = 0 to 31 do
+          if mask land (1 lsl lane) <> 0 then
+            seti w d lane
+              (wrap ((eval_i w a lane * eval_i w b lane) + eval_i w c lane))
+        done;
+        emit_trace w pc ins mask None
+      | Fbin (op, d, a, b) ->
+        for lane = 0 to 31 do
+          if mask land (1 lsl lane) <> 0 then begin
+            let x = eval_f w a lane and y = eval_f w b lane in
+            let v =
+              match op with
+              | Fadd -> x +. y
+              | Fsub -> x -. y
+              | Fmul -> x *. y
+              | Fdiv -> x /. y
+              | Fmin -> Float.min x y
+              | Fmax -> Float.max x y
+            in
+            setf w d lane (f32 v) pc
+          end
+        done;
+        emit_trace w pc ins mask None
+      | Fun (op, d, a) ->
+        for lane = 0 to 31 do
+          if mask land (1 lsl lane) <> 0 then begin
+            let x = eval_f w a lane in
+            let v =
+              match op with
+              | Fneg -> -.x
+              | Fabs -> Float.abs x
+              | Ffloor -> Float.floor x
+              | Fsqrt -> sqrt x
+              | Frsqrt -> 1.0 /. sqrt x
+              | Frcp -> 1.0 /. x
+              | Fsin -> sin x
+              | Fcos -> cos x
+              | Fex2 -> Float.exp2 x
+              | Flg2 -> Float.log2 x
+            in
+            setf w d lane (f32 v) pc
+          end
+        done;
+        emit_trace w pc ins mask None
+      | Ffma (d, a, b, c) ->
+        for lane = 0 to 31 do
+          if mask land (1 lsl lane) <> 0 then
+            setf w d lane
+              (f32 ((eval_f w a lane *. eval_f w b lane) +. eval_f w c lane))
+              pc
+        done;
+        emit_trace w pc ins mask None
+      | Setp (op, ty, p, a, b) ->
+        for lane = 0 to 31 do
+          if mask land (1 lsl lane) <> 0 then begin
+            let c =
+              if ty = F32 then
+                compare (eval_f w a lane) (eval_f w b lane)
+              else if ty = U32 then
+                compare (wrap_u32 (eval_i w a lane)) (wrap_u32 (eval_i w b lane))
+              else compare (eval_i w a lane) (eval_i w b lane)
+            in
+            let v =
+              match op with
+              | Eq -> c = 0
+              | Ne -> c <> 0
+              | Lt -> c < 0
+              | Le -> c <= 0
+              | Gt -> c > 0
+              | Ge -> c >= 0
+            in
+            seti w p lane (if v then 1 else 0)
+          end
+        done;
+        emit_trace w pc ins mask None
+      | Selp (d, a, b, p) ->
+        for lane = 0 to 31 do
+          if mask land (1 lsl lane) <> 0 then begin
+            let c = geti w p lane <> 0 in
+            if d.ty = F32 then
+              setf w d lane (if c then eval_f w a lane else eval_f w b lane) pc
+            else
+              seti w d lane (if c then eval_i w a lane else eval_i w b lane)
+          end
+        done;
+        emit_trace w pc ins mask None
+      | Mov (d, a) ->
+        for lane = 0 to 31 do
+          if mask land (1 lsl lane) <> 0 then
+            if d.ty = F32 then setf w d lane (eval_f w a lane) pc
+            else seti w d lane (eval_i w a lane)
+        done;
+        emit_trace w pc ins mask None
+      | Cvt (op, d, a) ->
+        for lane = 0 to 31 do
+          if mask land (1 lsl lane) <> 0 then
+            match op with
+            | F32_of_s32 -> setf w d lane (f32 (float_of_int (eval_i w a lane))) pc
+            | F32_of_u32 ->
+              setf w d lane (f32 (float_of_int (wrap_u32 (eval_i w a lane)))) pc
+            | S32_of_f32 -> seti w d lane (wrap_s32 (ftoi_trunc (eval_f w a lane)))
+            | U32_of_f32 -> seti w d lane (ftou_trunc (eval_f w a lane))
+            | S32_of_u32 -> seti w d lane (wrap_s32 (eval_i w a lane))
+            | U32_of_s32 -> seti w d lane (wrap_u32 (eval_i w a lane))
+        done;
+        emit_trace w pc ins mask None
+      | Ld (d, { abuf; aindex }) -> mem_read abuf.buf_id w aindex mask d pc ins
+      | St ({ abuf; aindex }, v) -> mem_write abuf.buf_id w aindex v mask pc ins
+      | Ld_param (d, i) ->
+        (match params.(i), d.ty with
+         | P_int v, (S32 | U32) ->
+           for lane = 0 to 31 do
+             if mask land (1 lsl lane) <> 0 then seti w d lane v
+           done
+         | P_float v, F32 ->
+           for lane = 0 to 31 do
+             if mask land (1 lsl lane) <> 0 then setf w d lane (f32 v) pc
+           done
+         | _ -> failwith (kernel.k_name ^ ": param type mismatch"));
+        emit_trace w pc ins mask None
+      | Bar -> emit_trace w pc ins mask None
+      | Phi _ | Pi _ ->
+        failwith (kernel.k_name ^ ": SSA-only instruction in executable kernel")
+    in
+
+    (* Run one warp until barrier or completion. *)
+    let step_warp w : status =
+      let result = ref Finished in
+      let running = ref true in
+      while !running do
+        match w.stack with
+        | [] ->
+          running := false;
+          result := Finished
+        | fr :: rest ->
+          fr.mask <- fr.mask land lnot w.exited;
+          if fr.mask = 0 then w.stack <- rest
+          else if fr.idx = 0 && fr.blk = fr.rpc then w.stack <- rest
+          else begin
+            let blk = kernel.k_blocks.(fr.blk) in
+            if fr.idx < Array.length blk.instrs then begin
+              let ins = blk.instrs.(fr.idx) in
+              let pc = pc_base.(fr.blk) + fr.idx in
+              exec_instr w ins fr.mask pc;
+              fr.idx <- fr.idx + 1;
+              if ins = Bar then begin
+                running := false;
+                result := Barrier
+              end
+            end
+            else
+              match blk.term with
+              | Ret ->
+                w.exited <- w.exited lor fr.mask;
+                w.stack <- rest
+              | Br l ->
+                fr.blk <- l;
+                fr.idx <- 0
+              | Cbr (p, t, f) ->
+                let mt = ref 0 in
+                for lane = 0 to 31 do
+                  if fr.mask land (1 lsl lane) <> 0 && geti w p lane <> 0 then
+                    mt := !mt lor (1 lsl lane)
+                done;
+                let mt = !mt in
+                let mf = fr.mask land lnot mt in
+                if mf = 0 then begin fr.blk <- t; fr.idx <- 0 end
+                else if mt = 0 then begin fr.blk <- f; fr.idx <- 0 end
+                else begin
+                  let r = ipdom.(fr.blk) in
+                  let side rpc blk mask = { rpc; blk; idx = 0; mask } in
+                  if r >= 0 then begin
+                    fr.blk <- r;
+                    fr.idx <- 0;
+                    w.stack <- side r t mt :: side r f mf :: w.stack
+                  end
+                  else begin
+                    (* Both sides exit before meeting: no reconvergence. *)
+                    w.stack <- side (-1) t mt :: side (-1) f mf :: rest
+                  end
+                end
+          end
+      done;
+      !result
+
+    in
+    (* Barrier-synchronised round-robin over the block's warps. *)
+    let finished = Array.make warps_per_block false in
+    let remaining = ref warps_per_block in
+    while !remaining > 0 do
+      for wid = 0 to warps_per_block - 1 do
+        if not finished.(wid) then
+          match step_warp warps.(wid) with
+          | Barrier -> ()
+          | Finished ->
+            finished.(wid) <- true;
+            decr remaining
+      done
+    done
+  in
+
+  for block_id = 0 to nblocks - 1 do
+    run_block block_id
+  done;
+
+  if config.collect_trace then
+    Some
+      {
+        Trace.items = Array.of_list (List.rev !trace_buf);
+        warps_per_block;
+        num_blocks = nblocks;
+        thread_instructions = !thread_instrs;
+      }
+  else None

@@ -1,0 +1,66 @@
+(** Functional SIMT executor.
+
+    Executes a kernel warp-by-warp in lockstep with an IPDOM
+    reconvergence stack (the mechanism of the paper's baseline GPU,
+    Sec. 3.1), mutating bound global buffers.  It serves three roles:
+
+    - producing reference outputs for the quality metrics;
+    - re-running kernels under per-site float quantisation for the
+      precision tuner ({!Gpr_precision});
+    - emitting dynamic warp traces for the timing simulator
+      ({!Gpr_sim}).
+
+    Deterministic: blocks run in linear CTA order, warps round-robin at
+    barrier granularity. *)
+
+open Gpr_isa.Types
+
+type storage =
+  | I_data of int array    (** S32/U32 elements *)
+  | F_data of float array  (** F32 elements *)
+
+type binding =
+  | Buf_data of storage  (** backing store for a global/texture buffer *)
+  | Buf_shared of int    (** element count of a per-block shared buffer *)
+
+type pvalue = P_int of int | P_float of float
+
+type config = {
+  quantize : (int -> float -> float) option;
+      (** [quantize pc v]: applied to every F32 value defined by the
+          static instruction [pc] — the hook the precision tuner uses to
+          simulate reduced-precision register storage *)
+  collect_trace : bool;
+}
+
+val default_config : config
+
+val bindings_for :
+  kernel ->
+  data:(string * storage) list ->
+  ?shared:(string * int) list ->
+  unit ->
+  binding array
+(** Build the per-buffer binding array by buffer name.
+    @raise Invalid_argument on missing/mistyped bindings. *)
+
+val run :
+  kernel ->
+  launch:launch ->
+  params:pvalue array ->
+  bindings:binding array ->
+  config ->
+  Trace.t option
+(** Executes the kernel, mutating the arrays inside [bindings].
+    Returns a trace when [collect_trace] is set.
+    @raise Failure on out-of-bounds accesses or binding mismatches. *)
+
+val static_pc : kernel -> block:int -> idx:int -> int
+(** The unique static instruction id used by traces and the quantise
+    hook. *)
+
+val float_def_sites : kernel -> (int * vreg) list
+(** All static instructions defining an F32 register, as
+    [(pc, destination)] — the tuning points of the precision framework. *)
+
+val count_static_instrs : kernel -> int

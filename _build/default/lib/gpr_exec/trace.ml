@@ -1,0 +1,41 @@
+(** Dynamic warp-instruction traces.
+
+    The functional executor ({!Exec}) emits one record per executed warp
+    instruction; the timing simulator ({!Gpr_sim}) replays them through
+    the pipeline model.  Records reference *virtual* registers — the
+    simulator maps them to physical registers through the allocation
+    produced by {!Gpr_alloc}. *)
+
+open Gpr_isa.Types
+
+type mem_access = {
+  m_space : space;
+  m_addresses : int array;
+      (** byte address per active lane, in lane order (length = number of
+          active lanes) *)
+}
+
+type item = {
+  t_warp : int;        (** warp id within its block *)
+  t_block_id : int;    (** linear CTA index *)
+  t_pc : int;          (** static instruction id (unique per site) *)
+  t_unit : unit_class;
+  t_srcs : int list;   (** virtual registers read (non-predicate) *)
+  t_dst : int option;  (** virtual register written (non-predicate) *)
+  t_dst_float : bool;  (** written register is F32 (may need conversion) *)
+  t_active : int;      (** active-lane count *)
+  t_mem : mem_access option;
+}
+
+type t = {
+  items : item array;          (** program order per warp, interleaved *)
+  warps_per_block : int;
+  num_blocks : int;
+  thread_instructions : int;   (** total dynamic thread instructions *)
+}
+
+let warp_items t ~block_id ~warp =
+  Array.to_list t.items
+  |> List.filter (fun i -> i.t_block_id = block_id && i.t_warp = warp)
+
+let num_warp_instructions t = Array.length t.items

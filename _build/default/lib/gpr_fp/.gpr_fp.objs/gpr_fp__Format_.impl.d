@@ -1,0 +1,1 @@
+lib/gpr_fp/format_.ml: Int32 List Printf

@@ -1,0 +1,1 @@
+lib/gpr_fp/format_.mli:

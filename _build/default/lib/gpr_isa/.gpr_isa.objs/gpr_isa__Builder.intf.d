@@ -1,0 +1,1 @@
+lib/gpr_isa/builder.mli: Types

@@ -1,0 +1,1 @@
+lib/gpr_isa/cfg.ml: Array Format List Printf Types

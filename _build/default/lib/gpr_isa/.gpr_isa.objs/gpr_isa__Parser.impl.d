@@ -1,0 +1,1 @@
+lib/gpr_isa/parser.ml: Array Buffer Cfg Format Fun Hashtbl List Option Printf Scanf String Types

@@ -1,0 +1,1 @@
+lib/gpr_isa/pp.ml: Array Format List Types

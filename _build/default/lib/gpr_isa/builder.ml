@@ -1,0 +1,317 @@
+open Types
+
+type block_acc = {
+  b_label : int;
+  mutable b_instrs : instr list;  (* reversed *)
+  mutable b_term : terminator option;
+}
+
+type t = {
+  name : string;
+  mutable blocks : block_acc list;  (* reversed; includes current *)
+  mutable cur : block_acc;
+  mutable next_label : int;
+  mutable next_vreg : int;
+  mutable params : param list;     (* reversed *)
+  mutable buffers : buffer list;   (* reversed *)
+  mutable specials : (int * special) list;
+  mutable special_cache : (special * vreg) list;
+  mutable gtid_cache : vreg option;
+}
+
+let create ~name =
+  let entry = { b_label = 0; b_instrs = []; b_term = None } in
+  {
+    name;
+    blocks = [ entry ];
+    cur = entry;
+    next_label = 1;
+    next_vreg = 0;
+    params = [];
+    buffers = [];
+    specials = [];
+    special_cache = [];
+    gtid_cache = None;
+  }
+
+let fresh t ty name =
+  let id = t.next_vreg in
+  t.next_vreg <- id + 1;
+  { id; ty; name }
+
+let emit t ins = t.cur.b_instrs <- ins :: t.cur.b_instrs
+
+let new_block t =
+  let b = { b_label = t.next_label; b_instrs = []; b_term = None } in
+  t.next_label <- t.next_label + 1;
+  t.blocks <- b :: t.blocks;
+  b
+
+let terminate t term =
+  match t.cur.b_term with
+  | Some _ -> ()  (* already sealed (e.g. by [ret] inside the body) *)
+  | None -> t.cur.b_term <- Some term
+
+let switch_to t b = t.cur <- b
+
+let ( ~$ ) r = Reg r
+let ci i = Imm_i i
+let cf f = Imm_f f
+
+(* ------------------------------------------------------------------ *)
+(* Parameters, buffers, specials *)
+
+let add_param t ty ?range name =
+  let p_index = List.length t.params in
+  t.params <- { p_index; p_name = name; p_ty = ty; p_range = range } :: t.params;
+  let d = fresh t ty name in
+  emit t (Ld_param (d, p_index));
+  d
+
+let param_i32 t ?range name = add_param t S32 ?range name
+let param_u32 t ?range name = add_param t U32 ?range name
+let param_f32 t name = add_param t F32 name
+
+let add_buffer t space elem ?range name =
+  let buf =
+    { buf_id = List.length t.buffers; buf_name = name; buf_space = space;
+      buf_elem = elem; buf_range = range }
+  in
+  t.buffers <- buf :: t.buffers;
+  buf
+
+let global_buffer t elem ?range name = add_buffer t Global elem ?range name
+let shared_buffer t elem ?range name = add_buffer t Shared elem ?range name
+let texture_buffer t elem ?range name = add_buffer t Texture elem ?range name
+
+let special_name = function
+  | Tid_x -> "tid.x" | Tid_y -> "tid.y"
+  | Ntid_x -> "ntid.x" | Ntid_y -> "ntid.y"
+  | Ctaid_x -> "ctaid.x" | Ctaid_y -> "ctaid.y"
+  | Nctaid_x -> "nctaid.x" | Nctaid_y -> "nctaid.y"
+
+let special t s =
+  match List.assoc_opt s t.special_cache with
+  | Some r -> r
+  | None ->
+    let r = fresh t S32 (special_name s) in
+    t.specials <- (r.id, s) :: t.specials;
+    t.special_cache <- (s, r) :: t.special_cache;
+    r
+
+let tid_x t = special t Tid_x
+let tid_y t = special t Tid_y
+let ntid_x t = special t Ntid_x
+let ntid_y t = special t Ntid_y
+let ctaid_x t = special t Ctaid_x
+let ctaid_y t = special t Ctaid_y
+let nctaid_x t = special t Nctaid_x
+let nctaid_y t = special t Nctaid_y
+
+(* ------------------------------------------------------------------ *)
+(* Instructions *)
+
+let ibin t op ?(ty = S32) a b name =
+  let d = fresh t ty name in
+  emit t (Ibin (op, d, a, b));
+  d
+
+let iadd t ?ty a b = ibin t Add ?ty a b "t"
+let isub t ?ty a b = ibin t Sub ?ty a b "t"
+let imul t ?ty a b = ibin t Mul ?ty a b "t"
+let idiv t ?ty a b = ibin t Div ?ty a b "t"
+let irem t ?ty a b = ibin t Rem ?ty a b "t"
+let imin t ?ty a b = ibin t Min ?ty a b "t"
+let imax t ?ty a b = ibin t Max ?ty a b "t"
+let iand t ?ty a b = ibin t And ?ty a b "t"
+let ior t ?ty a b = ibin t Or ?ty a b "t"
+let ixor t ?ty a b = ibin t Xor ?ty a b "t"
+let ishl t ?ty a b = ibin t Shl ?ty a b "t"
+let ishr t ?ty a b = ibin t Shr ?ty a b "t"
+
+let imad t ?(ty = S32) a b c =
+  let d = fresh t ty "t" in
+  emit t (Imad (d, a, b, c));
+  d
+
+let iun t op ?(ty = S32) a =
+  let d = fresh t ty "t" in
+  emit t (Iun (op, d, a));
+  d
+
+let ineg t ?ty a = iun t Ineg ?ty a
+let inot t ?ty a = iun t Inot ?ty a
+let iabs t ?ty a = iun t Iabs ?ty a
+
+let fbin t op a b =
+  let d = fresh t F32 "f" in
+  emit t (Fbin (op, d, a, b));
+  d
+
+let fadd t a b = fbin t Fadd a b
+let fsub t a b = fbin t Fsub a b
+let fmul t a b = fbin t Fmul a b
+let fdiv t a b = fbin t Fdiv a b
+let fmin t a b = fbin t Fmin a b
+let fmax t a b = fbin t Fmax a b
+
+let ffma t a b c =
+  let d = fresh t F32 "f" in
+  emit t (Ffma (d, a, b, c));
+  d
+
+let funop t op a =
+  let d = fresh t F32 "f" in
+  emit t (Fun (op, d, a));
+  d
+
+let fneg t a = funop t Fneg a
+let fabs t a = funop t Fabs a
+let ffloor t a = funop t Ffloor a
+let fsqrt t a = funop t Fsqrt a
+let frsqrt t a = funop t Frsqrt a
+let frcp t a = funop t Frcp a
+let fsin t a = funop t Fsin a
+let fcos t a = funop t Fcos a
+let fex2 t a = funop t Fex2 a
+let flg2 t a = funop t Flg2 a
+
+let setp t op ty a b =
+  let p = fresh t Pred "p" in
+  emit t (Setp (op, ty, p, a, b));
+  p
+
+let ilt t a b = setp t Lt S32 a b
+let ile t a b = setp t Le S32 a b
+let igt t a b = setp t Gt S32 a b
+let ige t a b = setp t Ge S32 a b
+let ieq t a b = setp t Eq S32 a b
+let ine t a b = setp t Ne S32 a b
+let flt t a b = setp t Lt F32 a b
+let fle t a b = setp t Le F32 a b
+let fgt t a b = setp t Gt F32 a b
+let fge t a b = setp t Ge F32 a b
+
+let selp t ty a b p =
+  let d = fresh t ty "sel" in
+  emit t (Selp (d, a, b, p));
+  d
+
+let pand t p q =
+  (* p && q as integers: selp gives 1/0, then setp against 0. *)
+  let pi = selp t S32 (Imm_i 1) (Imm_i 0) p in
+  let qi = selp t S32 (Imm_i 1) (Imm_i 0) q in
+  let both = ibin t And (Reg pi) (Reg qi) "pq" in
+  setp t Ne S32 (Reg both) (Imm_i 0)
+
+let cvt t op a name =
+  let ty = match op with
+    | F32_of_s32 | F32_of_u32 -> F32
+    | S32_of_f32 | S32_of_u32 -> S32
+    | U32_of_f32 | U32_of_s32 -> U32
+  in
+  let d = fresh t ty name in
+  emit t (Cvt (op, d, a));
+  d
+
+let itof t a = cvt t F32_of_s32 a "f"
+let utof t a = cvt t F32_of_u32 a "f"
+let ftoi t a = cvt t S32_of_f32 a "i"
+let ftou t a = cvt t U32_of_f32 a "u"
+
+let mov t ty a =
+  let d = fresh t ty "m" in
+  emit t (Mov (d, a));
+  d
+
+let ld t buf idx =
+  let d = fresh t buf.buf_elem buf.buf_name in
+  emit t (Ld (d, { abuf = buf; aindex = idx }));
+  d
+
+let st t buf idx v = emit t (St ({ abuf = buf; aindex = idx }, v))
+let bar t = emit t Bar
+
+let global_thread_id_x t =
+  match t.gtid_cache with
+  | Some r -> r
+  | None ->
+    let r =
+      imad t (Reg (ctaid_x t)) (Reg (ntid_x t)) (Reg (tid_x t))
+    in
+    t.gtid_cache <- Some r;
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Variables and control flow *)
+
+let var t ty name = fresh t ty name
+let assign t r op = emit t (Mov (r, op))
+
+let if_ t p then_ else_ =
+  let bt = new_block t and bf = new_block t and bj = new_block t in
+  terminate t (Cbr (p, bt.b_label, bf.b_label));
+  switch_to t bt;
+  then_ ();
+  terminate t (Br bj.b_label);
+  switch_to t bf;
+  else_ ();
+  terminate t (Br bj.b_label);
+  switch_to t bj
+
+let if_then t p then_ = if_ t p then_ (fun () -> ())
+
+let while_ t cond body =
+  let bh = new_block t in
+  terminate t (Br bh.b_label);
+  switch_to t bh;
+  let p = cond () in
+  let bb = new_block t and bx = new_block t in
+  terminate t (Cbr (p, bb.b_label, bx.b_label));
+  switch_to t bb;
+  body ();
+  terminate t (Br bh.b_label);
+  switch_to t bx
+
+let for_ t ?(var_name = "i") ~lo ~hi body =
+  let i = var t S32 var_name in
+  assign t i lo;
+  while_ t
+    (fun () -> ilt t (Reg i) hi)
+    (fun () ->
+       body i;
+       assign t i (Reg (iadd t (Reg i) (Imm_i 1))))
+
+let ret t =
+  terminate t Ret;
+  let cont = new_block t in
+  switch_to t cont
+
+(* ------------------------------------------------------------------ *)
+
+let finish t =
+  terminate t Ret;
+  let accs = List.rev t.blocks in
+  let blocks =
+    List.map
+      (fun acc ->
+         let term = match acc.b_term with Some tm -> tm | None -> Ret in
+         { label = acc.b_label;
+           instrs = Array.of_list (List.rev acc.b_instrs);
+           term })
+      accs
+    |> Array.of_list
+  in
+  let kernel =
+    {
+      k_name = t.name;
+      k_blocks = blocks;
+      k_params = Array.of_list (List.rev t.params);
+      k_buffers = Array.of_list (List.rev t.buffers);
+      k_num_vregs = t.next_vreg;
+      k_specials = t.specials;
+    }
+  in
+  match Cfg.validate kernel with
+  | Ok () -> kernel
+  | Error msg -> invalid_arg ("Builder.finish: " ^ msg)

@@ -1,0 +1,151 @@
+(** Imperative builder DSL for mini-PTX kernels.
+
+    Kernels are written as OCaml functions over a builder value; value-
+    producing operations allocate a fresh virtual register, and
+    structured control flow ([if_] / [while_] / [for_]) is lowered to
+    basic blocks with conditional branches.  Loop-carried values use
+    explicit mutable variables ({!var} / {!assign}).
+
+    {[
+      let k =
+        let b = Builder.create ~name:"saxpy" in
+        let n = Builder.param_i32 b ~range:(0, 4096) "n" in
+        let a = Builder.param_f32 b "a" in
+        let x = Builder.global_buffer b F32 "x" in
+        let y = Builder.global_buffer b F32 "y" in
+        let i = Builder.global_thread_id_x b in
+        Builder.if_then b (Builder.ilt b ~$i ~$n) (fun () ->
+          let xi = Builder.ld b x ~$i in
+          let yi = Builder.ld b y ~$i in
+          let r = Builder.ffma b ~$a ~$xi ~$yi in
+          Builder.st b y ~$i ~$r);
+        Builder.finish b
+    ]} *)
+
+open Types
+
+type t
+
+val create : name:string -> t
+
+val finish : t -> kernel
+(** Seals the current block with [Ret] if needed and validates the CFG.
+    @raise Invalid_argument when {!Cfg.validate} fails. *)
+
+val ( ~$ ) : vreg -> operand
+val ci : int -> operand
+val cf : float -> operand
+
+(** {1 Parameters, buffers, special registers} *)
+
+val param_i32 : t -> ?range:int * int -> string -> vreg
+val param_u32 : t -> ?range:int * int -> string -> vreg
+val param_f32 : t -> string -> vreg
+val global_buffer : t -> dtype -> ?range:int * int -> string -> buffer
+val shared_buffer : t -> dtype -> ?range:int * int -> string -> buffer
+val texture_buffer : t -> dtype -> ?range:int * int -> string -> buffer
+
+val special_name : special -> string
+(** Display name of a special register ("tid.x", …). *)
+
+val tid_x : t -> vreg
+val tid_y : t -> vreg
+val ntid_x : t -> vreg
+val ntid_y : t -> vreg
+val ctaid_x : t -> vreg
+val ctaid_y : t -> vreg
+val nctaid_x : t -> vreg
+val nctaid_y : t -> vreg
+
+val global_thread_id_x : t -> vreg
+(** [ctaid.x * ntid.x + tid.x], the usual global index idiom. *)
+
+(** {1 Integer arithmetic} — destination type defaults to [S32]. *)
+
+val iadd : t -> ?ty:dtype -> operand -> operand -> vreg
+val isub : t -> ?ty:dtype -> operand -> operand -> vreg
+val imul : t -> ?ty:dtype -> operand -> operand -> vreg
+val idiv : t -> ?ty:dtype -> operand -> operand -> vreg
+val irem : t -> ?ty:dtype -> operand -> operand -> vreg
+val imin : t -> ?ty:dtype -> operand -> operand -> vreg
+val imax : t -> ?ty:dtype -> operand -> operand -> vreg
+val iand : t -> ?ty:dtype -> operand -> operand -> vreg
+val ior : t -> ?ty:dtype -> operand -> operand -> vreg
+val ixor : t -> ?ty:dtype -> operand -> operand -> vreg
+val ishl : t -> ?ty:dtype -> operand -> operand -> vreg
+val ishr : t -> ?ty:dtype -> operand -> operand -> vreg
+val imad : t -> ?ty:dtype -> operand -> operand -> operand -> vreg
+val ineg : t -> ?ty:dtype -> operand -> vreg
+val inot : t -> ?ty:dtype -> operand -> vreg
+val iabs : t -> ?ty:dtype -> operand -> vreg
+
+(** {1 Floating point} *)
+
+val fadd : t -> operand -> operand -> vreg
+val fsub : t -> operand -> operand -> vreg
+val fmul : t -> operand -> operand -> vreg
+val fdiv : t -> operand -> operand -> vreg
+val fmin : t -> operand -> operand -> vreg
+val fmax : t -> operand -> operand -> vreg
+val ffma : t -> operand -> operand -> operand -> vreg
+val fneg : t -> operand -> vreg
+val fabs : t -> operand -> vreg
+val ffloor : t -> operand -> vreg
+val fsqrt : t -> operand -> vreg
+val frsqrt : t -> operand -> vreg
+val frcp : t -> operand -> vreg
+val fsin : t -> operand -> vreg
+val fcos : t -> operand -> vreg
+val fex2 : t -> operand -> vreg
+val flg2 : t -> operand -> vreg
+
+(** {1 Comparison, selection, conversion, moves} *)
+
+val setp : t -> cmpop -> dtype -> operand -> operand -> vreg
+val ilt : t -> operand -> operand -> vreg
+val ile : t -> operand -> operand -> vreg
+val igt : t -> operand -> operand -> vreg
+val ige : t -> operand -> operand -> vreg
+val ieq : t -> operand -> operand -> vreg
+val ine : t -> operand -> operand -> vreg
+val flt : t -> operand -> operand -> vreg
+val fle : t -> operand -> operand -> vreg
+val fgt : t -> operand -> operand -> vreg
+val fge : t -> operand -> operand -> vreg
+val pand : t -> vreg -> vreg -> vreg
+(** Conjunction of predicates (lowered to selp + setp). *)
+
+val selp : t -> dtype -> operand -> operand -> vreg -> vreg
+val itof : t -> operand -> vreg
+val utof : t -> operand -> vreg
+val ftoi : t -> operand -> vreg
+val ftou : t -> operand -> vreg
+val mov : t -> dtype -> operand -> vreg
+
+(** {1 Memory} *)
+
+val ld : t -> buffer -> operand -> vreg
+val st : t -> buffer -> operand -> operand -> unit
+val bar : t -> unit
+
+(** {1 Variables and control flow} *)
+
+val var : t -> dtype -> string -> vreg
+(** A mutable variable (loop-carried value).  Assign before use. *)
+
+val assign : t -> vreg -> operand -> unit
+
+val if_ : t -> vreg -> (unit -> unit) -> (unit -> unit) -> unit
+val if_then : t -> vreg -> (unit -> unit) -> unit
+val while_ : t -> (unit -> vreg) -> (unit -> unit) -> unit
+(** [while_ b cond body]: [cond] is rebuilt in the loop header and must
+    return a predicate register. *)
+
+val for_ : t -> ?var_name:string -> lo:operand -> hi:operand -> (vreg -> unit) -> unit
+(** Counted loop [for i = lo; i < hi; i++].  The induction variable is a
+    fresh [S32] variable passed to the body. *)
+
+val ret : t -> unit
+(** Early exit: terminates the current block with [Ret] and switches to a
+    fresh unreachable... rather, a fresh continuation block for any code
+    emitted afterwards (matching PTX [exit] inside a conditional). *)

@@ -1,0 +1,105 @@
+open Types
+
+type t = {
+  kernel : kernel;
+  succs : int list array;
+  preds : int list array;
+}
+
+let of_kernel kernel =
+  let n = Array.length kernel.k_blocks in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iter
+    (fun b ->
+       let ss = successors b.term in
+       succs.(b.label) <- ss;
+       List.iter (fun s -> preds.(s) <- b.label :: preds.(s)) ss)
+    kernel.k_blocks;
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  { kernel; succs; preds }
+
+let num_blocks t = Array.length t.kernel.k_blocks
+let block t i = t.kernel.k_blocks.(i)
+let succs t i = t.succs.(i)
+let preds t i = t.preds.(i)
+
+let postorder t =
+  let n = num_blocks t in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs t.succs.(b);
+      order := b :: !order
+    end
+  in
+  dfs 0;
+  (* [order] now holds reverse postorder; postorder is its reverse. *)
+  Array.of_list (List.rev !order)
+
+let reverse_postorder t =
+  let po = postorder t in
+  let n = Array.length po in
+  Array.init n (fun i -> po.(n - 1 - i))
+
+let exit_blocks t =
+  Array.to_list t.kernel.k_blocks
+  |> List.filter_map (fun b -> match b.term with Ret -> Some b.label | _ -> None)
+
+let validate kernel =
+  let n = Array.length kernel.k_blocks in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_target l = l >= 0 && l < n in
+  let exception Bad of string in
+  try
+    if n = 0 then raise (Bad "kernel has no blocks");
+    Array.iteri
+      (fun i b ->
+         if b.label <> i then
+           raise (Bad (Printf.sprintf "block %d has label %d" i b.label));
+         List.iter
+           (fun s ->
+              if not (check_target s) then
+                raise (Bad (Printf.sprintf "block %d branches to missing %d" i s)))
+           (successors b.term);
+         let seen_non_phi = ref false in
+         Array.iter
+           (fun ins ->
+              (match ins with
+               | Phi _ ->
+                 if !seen_non_phi then
+                   raise (Bad (Printf.sprintf "phi after non-phi in block %d" i))
+               | _ -> seen_non_phi := true);
+              let regs =
+                (match defs ins with Some d -> [ d ] | None -> []) @ uses ins
+              in
+              List.iter
+                (fun r ->
+                   if r.id < 0 || r.id >= kernel.k_num_vregs then
+                     raise
+                       (Bad
+                          (Printf.sprintf "vreg %%%d out of range in block %d"
+                             r.id i)))
+                regs;
+              match ins with
+              | Setp (_, _, p, _, _) when p.ty <> Pred ->
+                raise (Bad "setp destination is not a predicate")
+              | Selp (_, _, _, p) when p.ty <> Pred ->
+                raise (Bad "selp selector is not a predicate")
+              | Fbin (_, d, _, _) | Fun (_, d, _) | Ffma (d, _, _, _)
+                when d.ty <> F32 ->
+                raise (Bad "float op with non-f32 destination")
+              | Ibin (_, d, _, _) | Iun (_, d, _) | Imad (d, _, _, _)
+                when d.ty = F32 || d.ty = Pred ->
+                raise (Bad "integer op with non-integer destination")
+              | _ -> ())
+           b.instrs;
+         match b.term with
+         | Cbr (p, _, _) when p.ty <> Pred ->
+           raise (Bad (Printf.sprintf "block %d: cbr on non-predicate" i))
+         | _ -> ())
+      kernel.k_blocks;
+    Ok ()
+  with Bad msg -> err "%s: %s" kernel.k_name msg

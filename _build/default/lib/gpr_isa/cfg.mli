@@ -1,0 +1,24 @@
+(** Control-flow-graph queries over a {!Types.kernel}. *)
+
+open Types
+
+type t
+
+val of_kernel : kernel -> t
+val num_blocks : t -> int
+val block : t -> int -> block
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+
+val reverse_postorder : t -> int array
+(** Blocks reachable from entry, in reverse postorder (entry first). *)
+
+val postorder : t -> int array
+
+val exit_blocks : t -> int list
+(** Blocks terminated by [Ret]. *)
+
+val validate : kernel -> (unit, string) result
+(** Structural checks: branch targets in range, entry exists, every
+    reachable block terminated, no [Phi] outside block heads, vreg ids
+    within [k_num_vregs], operand/instruction type consistency. *)

@@ -1,0 +1,449 @@
+open Types
+
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexical helpers *)
+
+(* Strip one /* ... */ comment, returning (text, comment_body option). *)
+let split_comment s =
+  match String.index_opt s '*' with
+  | Some i when i > 0 && s.[i - 1] = '/' ->
+    let start = i - 1 in
+    (match
+       let rec find j =
+         if j + 1 >= String.length s then None
+         else if s.[j] = '*' && s.[j + 1] = '/' then Some j
+         else find (j + 1)
+       in
+       find (i + 1)
+     with
+     | Some stop ->
+       let body = String.trim (String.sub s (i + 1) (stop - i - 1)) in
+       let before = String.sub s 0 start in
+       let after = String.sub s (stop + 2) (String.length s - stop - 2) in
+       (before ^ after, Some body)
+     | None -> (s, None))
+  | _ -> (s, None)
+
+let parse_range line body =
+  (* "[lo,hi]" *)
+  try Scanf.sscanf body "[%d,%d]" (fun lo hi -> (lo, hi))
+  with _ -> fail line "malformed range annotation %S" body
+
+(* Split on whitespace and commas. *)
+let tokens s =
+  String.map (function ',' -> ' ' | c -> c) s
+  |> String.split_on_char ' '
+  |> List.filter (fun t -> t <> "")
+
+let dtype_of_string line = function
+  | "s32" -> S32
+  | "u32" -> U32
+  | "f32" -> F32
+  | "pred" -> Pred
+  | other -> fail line "unknown type %S" other
+
+let special_of_string line = function
+  | "tid.x" -> Tid_x | "tid.y" -> Tid_y
+  | "ntid.x" -> Ntid_x | "ntid.y" -> Ntid_y
+  | "ctaid.x" -> Ctaid_x | "ctaid.y" -> Ctaid_y
+  | "nctaid.x" -> Nctaid_x | "nctaid.y" -> Nctaid_y
+  | other -> fail line "unknown special register %S" other
+
+(* ------------------------------------------------------------------ *)
+(* Parser state *)
+
+type state = {
+  mutable name : string;
+  mutable params : param list;       (* reversed *)
+  mutable buffers : buffer list;     (* reversed *)
+  mutable specials : (int * special) list;
+  types : (int, dtype) Hashtbl.t;    (* vreg id -> type *)
+  names : (int, string) Hashtbl.t;   (* vreg id -> display name *)
+  mutable blocks : (int * instr list ref * terminator option ref) list;
+      (* reversed *)
+  mutable cur : (instr list ref * terminator option ref) option;
+  mutable max_id : int;
+}
+
+let reg_id st line tok =
+  (* %name_id *)
+  if String.length tok < 2 || tok.[0] <> '%' then
+    fail line "expected register, got %S" tok;
+  match String.rindex_opt tok '_' with
+  | None -> fail line "malformed register %S" tok
+  | Some u ->
+    let name = String.sub tok 1 (u - 1) in
+    let id =
+      try int_of_string (String.sub tok (u + 1) (String.length tok - u - 1))
+      with _ -> fail line "malformed register id in %S" tok
+    in
+    if not (Hashtbl.mem st.names id) then Hashtbl.replace st.names id name;
+    st.max_id <- max st.max_id id;
+    id
+
+let def_reg st line tok ty =
+  let id = reg_id st line tok in
+  (match Hashtbl.find_opt st.types id with
+   | Some old when old <> ty ->
+     fail line "register %S redefined at type %s (was %s)" tok
+       (dtype_to_string ty) (dtype_to_string old)
+   | _ -> Hashtbl.replace st.types id ty);
+  { id; ty; name = Hashtbl.find st.names id }
+
+let use_reg st line tok =
+  let id = reg_id st line tok in
+  match Hashtbl.find_opt st.types id with
+  | Some ty -> { id; ty; name = Hashtbl.find st.names id }
+  | None -> fail line "register %S used before definition" tok
+
+let operand st line tok =
+  if tok.[0] = '%' then Reg (use_reg st line tok)
+  else
+    match int_of_string_opt tok with
+    | Some i -> Imm_i i
+    | None ->
+      (match float_of_string_opt tok with
+       | Some f -> Imm_f f
+       | None -> fail line "malformed operand %S" tok)
+
+let float_operand st line tok =
+  (* Integer-looking literals in float positions are float immediates. *)
+  if tok.[0] = '%' then Reg (use_reg st line tok)
+  else
+    match float_of_string_opt tok with
+    | Some f -> Imm_f f
+    | None -> fail line "malformed float operand %S" tok
+
+let find_buffer st line name =
+  match List.find_opt (fun b -> b.buf_name = name) st.buffers with
+  | Some b -> b
+  | None -> fail line "unknown buffer %S" name
+
+(* "buf[operand]" *)
+let parse_addr st line tok =
+  match String.index_opt tok '[' with
+  | Some i when String.length tok > 0 && tok.[String.length tok - 1] = ']' ->
+    let bname = String.sub tok 0 i in
+    let inner = String.sub tok (i + 1) (String.length tok - i - 2) in
+    { abuf = find_buffer st line bname; aindex = operand st line inner }
+  | _ -> fail line "malformed address %S" tok
+
+let block_label line tok =
+  (* "bbN" *)
+  if String.length tok > 2 && String.sub tok 0 2 = "bb" then
+    match int_of_string_opt (String.sub tok 2 (String.length tok - 2)) with
+    | Some n -> n
+    | None -> fail line "malformed block label %S" tok
+  else fail line "expected block label, got %S" tok
+
+(* ------------------------------------------------------------------ *)
+(* Instruction parsing *)
+
+let ibinop_of = function
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul
+  | "div" -> Some Div | "rem" -> Some Rem | "min" -> Some Min
+  | "max" -> Some Max | "and" -> Some And | "or" -> Some Or
+  | "xor" -> Some Xor | "shl" -> Some Shl | "shr" -> Some Shr
+  | _ -> None
+
+let fbinop_of = function
+  | "add" -> Some Fadd | "sub" -> Some Fsub | "mul" -> Some Fmul
+  | "div" -> Some Fdiv | "min" -> Some Fmin | "max" -> Some Fmax
+  | _ -> None
+
+let iunop_of = function
+  | "neg" -> Some Ineg | "not" -> Some Inot | "abs" -> Some Iabs
+  | _ -> None
+
+let funop_of = function
+  | "neg" -> Some Fneg | "abs" -> Some Fabs | "floor" -> Some Ffloor
+  | "sqrt" -> Some Fsqrt | "rsqrt" -> Some Frsqrt | "rcp" -> Some Frcp
+  | "sin" -> Some Fsin | "cos" -> Some Fcos | "ex2" -> Some Fex2
+  | "lg2" -> Some Flg2
+  | _ -> None
+
+let cmpop_of line = function
+  | "eq" -> Eq | "ne" -> Ne | "lt" -> Lt | "le" -> Le | "gt" -> Gt | "ge" -> Ge
+  | other -> fail line "unknown comparison %S" other
+
+let parse_instr st line toks =
+  match toks with
+  | [] -> None
+  | op :: args ->
+    let parts = String.split_on_char '.' op in
+    (match parts, args with
+     (* cvt.*: full opcode strings *)
+     | ("cvt" :: _), [ d; a ] ->
+       let cv, dty =
+         match op with
+         | "cvt.rn.f32.s32" -> (F32_of_s32, F32)
+         | "cvt.rn.f32.u32" -> (F32_of_u32, F32)
+         | "cvt.rzi.s32.f32" -> (S32_of_f32, S32)
+         | "cvt.rzi.u32.f32" -> (U32_of_f32, U32)
+         | "cvt.s32.u32" -> (S32_of_u32, S32)
+         | "cvt.u32.s32" -> (U32_of_s32, U32)
+         | other -> fail line "unknown conversion %S" other
+       in
+       let a = operand st line a in
+       Some (Cvt (cv, def_reg st line d dty, a))
+     | [ "mad"; "lo"; ty ], [ d; a; b; c ] ->
+       let ty = dtype_of_string line ty in
+       let a = operand st line a and b = operand st line b
+       and c = operand st line c in
+       Some (Imad (def_reg st line d ty, a, b, c))
+     | [ "fma"; "rn"; "f32" ], [ d; a; b; c ] ->
+       let a = float_operand st line a and b = float_operand st line b
+       and c = float_operand st line c in
+       Some (Ffma (def_reg st line d F32, a, b, c))
+     | [ "setp"; cmp; ty ], [ p; a; b ] ->
+       let cmp = cmpop_of line cmp in
+       let ty = dtype_of_string line ty in
+       let parse_op = if ty = F32 then float_operand else operand in
+       let a = parse_op st line a and b = parse_op st line b in
+       Some (Setp (cmp, ty, def_reg st line p Pred, a, b))
+     | [ "selp"; ty ], [ d; a; b; p ] ->
+       let ty = dtype_of_string line ty in
+       let parse_op = if ty = F32 then float_operand else operand in
+       let a = parse_op st line a and b = parse_op st line b in
+       let p = use_reg st line p in
+       Some (Selp (def_reg st line d ty, a, b, p))
+     | [ "mov"; ty ], [ d; a ] ->
+       let ty = dtype_of_string line ty in
+       let parse_op = if ty = F32 then float_operand else operand in
+       let a = parse_op st line a in
+       Some (Mov (def_reg st line d ty, a))
+     | [ "ld"; "param"; ty ], [ d; slot ] ->
+       let ty = dtype_of_string line ty in
+       let idx =
+         try Scanf.sscanf slot "[param%d]" Fun.id
+         with _ -> fail line "malformed param slot %S" slot
+       in
+       Some (Ld_param (def_reg st line d ty, idx))
+     | [ "ld"; _space; ty ], [ d; addr ] ->
+       let ty = dtype_of_string line ty in
+       Some (Ld (def_reg st line d ty, parse_addr st line addr))
+     | [ "st"; _space ], [ addr; v ] ->
+       let a = parse_addr st line addr in
+       let parse_op = if a.abuf.buf_elem = F32 then float_operand else operand in
+       Some (St (a, parse_op st line v))
+     | [ "bar"; "sync" ], [ _ ] -> Some Bar
+     | [ opname; ty ], [ d; a; b ] ->
+       let ty = dtype_of_string line ty in
+       (match ty with
+        | F32 ->
+          (match fbinop_of opname with
+           | Some o ->
+             let a = float_operand st line a and b = float_operand st line b in
+             Some (Fbin (o, def_reg st line d F32, a, b))
+           | None -> fail line "unknown float op %S" opname)
+        | S32 | U32 ->
+          (match ibinop_of opname with
+           | Some o ->
+             let a = operand st line a and b = operand st line b in
+             Some (Ibin (o, def_reg st line d ty, a, b))
+           | None -> fail line "unknown integer op %S" opname)
+        | Pred -> fail line "predicate-typed ALU op %S" op)
+     | [ opname; ty ], [ d; a ] ->
+       let ty = dtype_of_string line ty in
+       (match ty with
+        | F32 ->
+          (match funop_of opname with
+           | Some o ->
+             let a = float_operand st line a in
+             Some (Fun (o, def_reg st line d F32, a))
+           | None -> fail line "unknown float unop %S" opname)
+        | S32 | U32 ->
+          (match iunop_of opname with
+           | Some o ->
+             let a = operand st line a in
+             Some (Iun (o, def_reg st line d ty, a))
+           | None -> fail line "unknown integer unop %S" opname)
+        | Pred -> fail line "predicate-typed unop %S" op)
+     | _ -> fail line "cannot parse instruction %S" (String.concat " " toks))
+
+(* Terminators:
+     "ret" | "bra bbN" | "@%p_1 bra bbN; bra bbM" *)
+let parse_terminator st line raw =
+  let raw = String.trim raw in
+  if raw = "ret" then Some Ret
+  else
+    match tokens (String.map (function ';' -> ' ' | c -> c) raw) with
+    | [ "bra"; l ] -> Some (Br (block_label line l))
+    | [ guard; "bra"; t; "bra"; f ] when guard.[0] = '@' ->
+      let p = use_reg st line (String.sub guard 1 (String.length guard - 1)) in
+      Some (Cbr (p, block_label line t, block_label line f))
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+
+let parse_header st line text =
+  (* ".entry NAME (decl, decl, ...)" *)
+  let open_p =
+    match String.index_opt text '(' with
+    | Some i -> i
+    | None -> fail line "missing '(' in .entry"
+  in
+  let close_p =
+    match String.rindex_opt text ')' with
+    | Some i -> i
+    | None -> fail line "missing ')' in .entry"
+  in
+  (match tokens (String.sub text 0 open_p) with
+   | [ ".entry"; name ] -> st.name <- name
+   | _ -> fail line "malformed .entry line");
+  let decls = String.sub text (open_p + 1) (close_p - open_p - 1) in
+  (* Split on commas that are outside range comments. *)
+  let split_decls s =
+    let out = ref [] and buf = Buffer.create 16 in
+    let in_comment = ref false in
+    String.iteri
+      (fun i c ->
+         if !in_comment then begin
+           Buffer.add_char buf c;
+           if c = '/' && i > 0 && s.[i - 1] = '*' then in_comment := false
+         end
+         else if c = '*' && i > 0 && s.[i - 1] = '/' then begin
+           Buffer.add_char buf c;
+           in_comment := true
+         end
+         else if c = ',' then begin
+           out := Buffer.contents buf :: !out;
+           Buffer.clear buf
+         end
+         else Buffer.add_char buf c)
+      s;
+    out := Buffer.contents buf :: !out;
+    List.rev !out
+  in
+  if String.trim decls <> "" then
+    split_decls decls
+    |> List.iter (fun d ->
+        let d, comment = split_comment d in
+        match tokens d with
+        | [ ".param"; ty; pname ] ->
+          let ty = dtype_of_string line (String.sub ty 1 (String.length ty - 1)) in
+          let p_range = Option.map (parse_range line) comment in
+          st.params <-
+            { p_index = List.length st.params; p_name = pname; p_ty = ty;
+              p_range }
+            :: st.params
+        | _ -> fail line "malformed parameter declaration %S" d)
+
+let parse text =
+  let st =
+    {
+      name = "";
+      params = [];
+      buffers = [];
+      specials = [];
+      types = Hashtbl.create 64;
+      names = Hashtbl.create 64;
+      blocks = [];
+      cur = None;
+      max_id = -1;
+    }
+  in
+  try
+    let lines = String.split_on_char '\n' text in
+    List.iteri
+      (fun lno raw ->
+         let line = lno + 1 in
+         let text, comment = split_comment raw in
+         let text = String.trim text in
+         if text = "" then ()
+         else if String.length text > 6 && String.sub text 0 6 = ".entry" then
+           parse_header st line raw
+         else if text.[0] = '.' then begin
+           match tokens text with
+           | [ ".sreg"; id; sname ] ->
+             let id =
+               match int_of_string_opt id with
+               | Some i -> i
+               | None -> fail line "malformed .sreg id"
+             in
+             let sp = special_of_string line sname in
+             Hashtbl.replace st.types id S32;
+             Hashtbl.replace st.names id sname;
+             st.max_id <- max st.max_id id;
+             st.specials <- (id, sp) :: st.specials
+           | [ space; ty; bname ] ->
+             let buf_space =
+               match space with
+               | ".global" -> Global
+               | ".shared" -> Shared
+               | ".tex" -> Texture
+               | other -> fail line "unknown buffer space %S" other
+             in
+             let buf_elem =
+               dtype_of_string line (String.sub ty 1 (String.length ty - 1))
+             in
+             let buf_range = Option.map (parse_range line) comment in
+             st.buffers <-
+               { buf_id = List.length st.buffers; buf_name = bname;
+                 buf_space; buf_elem; buf_range }
+               :: st.buffers
+           | _ -> fail line "cannot parse declaration %S" text
+         end
+         else if String.length text > 2 && String.sub text 0 2 = "bb"
+                 && text.[String.length text - 1] = ':' then begin
+           let label =
+             block_label line (String.sub text 0 (String.length text - 1))
+           in
+           if label <> List.length st.blocks then
+             fail line "block labels must be dense and in order (got bb%d)"
+               label;
+           let instrs = ref [] and term = ref None in
+           st.blocks <- (label, instrs, term) :: st.blocks;
+           st.cur <- Some (instrs, term)
+         end
+         else begin
+           let instrs, term =
+             match st.cur with
+             | Some c -> c
+             | None -> fail line "instruction outside a block"
+           in
+           if !term <> None then
+             fail line "instruction after terminator";
+           match parse_terminator st line text with
+           | Some t -> term := Some t
+           | None ->
+             (match parse_instr st line (tokens text) with
+              | Some ins -> instrs := ins :: !instrs
+              | None -> ())
+         end)
+      lines;
+    let blocks =
+      List.rev st.blocks
+      |> List.map (fun (label, instrs, term) ->
+          match !term with
+          | Some t ->
+            { label; instrs = Array.of_list (List.rev !instrs); term = t }
+          | None -> fail 0 "block bb%d has no terminator" label)
+      |> Array.of_list
+    in
+    if Array.length blocks = 0 then fail 0 "no blocks";
+    if st.name = "" then fail 0 "missing .entry declaration";
+    let kernel =
+      {
+        k_name = st.name;
+        k_blocks = blocks;
+        k_params = Array.of_list (List.rev st.params);
+        k_buffers = Array.of_list (List.rev st.buffers);
+        k_num_vregs = st.max_id + 1;
+        k_specials = st.specials;
+      }
+    in
+    (match Cfg.validate kernel with
+     | Ok () -> Ok kernel
+     | Error e -> Error e)
+  with Parse_error (line, msg) ->
+    Error (Printf.sprintf "line %d: %s" line msg)
+
+let parse_exn text =
+  match parse text with
+  | Ok k -> k
+  | Error e -> invalid_arg ("Parser.parse: " ^ e)

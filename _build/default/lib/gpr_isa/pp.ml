@@ -1,0 +1,146 @@
+open Types
+
+let pp_vreg ppf r = Format.fprintf ppf "%%%s_%d" r.name r.id
+
+let pp_operand ppf = function
+  | Reg r -> pp_vreg ppf r
+  | Imm_i i -> Format.pp_print_int ppf i
+  | Imm_f f -> Format.fprintf ppf "%h" f
+
+let ibinop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | Min -> "min" | Max -> "max" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Shr -> "shr"
+
+let iunop_name = function Ineg -> "neg" | Inot -> "not" | Iabs -> "abs"
+
+let fbinop_name = function
+  | Fadd -> "add" | Fsub -> "sub" | Fmul -> "mul" | Fdiv -> "div"
+  | Fmin -> "min" | Fmax -> "max"
+
+let funop_name = function
+  | Fneg -> "neg" | Fabs -> "abs" | Ffloor -> "floor"
+  | Fsqrt -> "sqrt" | Frsqrt -> "rsqrt" | Frcp -> "rcp"
+  | Fsin -> "sin" | Fcos -> "cos" | Fex2 -> "ex2" | Flg2 -> "lg2"
+
+let cmpop_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let cvtop_name = function
+  | F32_of_s32 -> "cvt.rn.f32.s32"
+  | F32_of_u32 -> "cvt.rn.f32.u32"
+  | S32_of_f32 -> "cvt.rzi.s32.f32"
+  | U32_of_f32 -> "cvt.rzi.u32.f32"
+  | S32_of_u32 -> "cvt.s32.u32"
+  | U32_of_s32 -> "cvt.u32.s32"
+
+let space_name = function
+  | Global -> "global" | Shared -> "shared" | Texture -> "tex" | Param -> "param"
+
+let pp_addr ppf { abuf; aindex } =
+  Format.fprintf ppf "%s[%a]" abuf.buf_name pp_operand aindex
+
+let pp_instr ppf = function
+  | Ibin (op, d, a, b) ->
+    Format.fprintf ppf "%s.%s %a, %a, %a" (ibinop_name op)
+      (dtype_to_string d.ty) pp_vreg d pp_operand a pp_operand b
+  | Iun (op, d, a) ->
+    Format.fprintf ppf "%s.%s %a, %a" (iunop_name op) (dtype_to_string d.ty)
+      pp_vreg d pp_operand a
+  | Imad (d, a, b, c) ->
+    Format.fprintf ppf "mad.lo.%s %a, %a, %a, %a" (dtype_to_string d.ty)
+      pp_vreg d pp_operand a pp_operand b pp_operand c
+  | Fbin (op, d, a, b) ->
+    Format.fprintf ppf "%s.f32 %a, %a, %a" (fbinop_name op) pp_vreg d
+      pp_operand a pp_operand b
+  | Fun (op, d, a) ->
+    Format.fprintf ppf "%s.f32 %a, %a" (funop_name op) pp_vreg d pp_operand a
+  | Ffma (d, a, b, c) ->
+    Format.fprintf ppf "fma.rn.f32 %a, %a, %a, %a" pp_vreg d pp_operand a
+      pp_operand b pp_operand c
+  | Setp (op, ty, p, a, b) ->
+    Format.fprintf ppf "setp.%s.%s %a, %a, %a" (cmpop_name op)
+      (dtype_to_string ty) pp_vreg p pp_operand a pp_operand b
+  | Selp (d, a, b, p) ->
+    Format.fprintf ppf "selp.%s %a, %a, %a, %a" (dtype_to_string d.ty)
+      pp_vreg d pp_operand a pp_operand b pp_vreg p
+  | Mov (d, a) ->
+    Format.fprintf ppf "mov.%s %a, %a" (dtype_to_string d.ty) pp_vreg d
+      pp_operand a
+  | Cvt (op, d, a) ->
+    Format.fprintf ppf "%s %a, %a" (cvtop_name op) pp_vreg d pp_operand a
+  | Ld (d, a) ->
+    Format.fprintf ppf "ld.%s.%s %a, %a" (space_name a.abuf.buf_space)
+      (dtype_to_string d.ty) pp_vreg d pp_addr a
+  | Ld_param (d, i) ->
+    Format.fprintf ppf "ld.param.%s %a, [param%d]" (dtype_to_string d.ty)
+      pp_vreg d i
+  | St (a, v) ->
+    Format.fprintf ppf "st.%s %a, %a" (space_name a.abuf.buf_space) pp_addr a
+      pp_operand v
+  | Bar -> Format.pp_print_string ppf "bar.sync 0"
+  | Phi (d, ins) ->
+    Format.fprintf ppf "phi.%s %a, %a" (dtype_to_string d.ty) pp_vreg d
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (l, op) -> Format.fprintf ppf "[bb%d: %a]" l pp_operand op))
+      ins
+  | Pi (d, s, f) ->
+    let pp_bound ppf = function
+      | Pb_none -> Format.pp_print_string ppf "_"
+      | Pb_const c -> Format.pp_print_int ppf c
+      | Pb_var (v, off) ->
+        if off = 0 then Format.fprintf ppf "ft(%%%d)" v
+        else Format.fprintf ppf "ft(%%%d)%+d" v off
+    in
+    Format.fprintf ppf "pi.%s %a, %a meet [%a, %a]" (dtype_to_string d.ty)
+      pp_vreg d pp_vreg s pp_bound f.pf_lo pp_bound f.pf_hi
+
+let pp_terminator ppf = function
+  | Br l -> Format.fprintf ppf "bra bb%d" l
+  | Cbr (p, tl, fl) ->
+    Format.fprintf ppf "@%a bra bb%d; bra bb%d" pp_vreg p tl fl
+  | Ret -> Format.pp_print_string ppf "ret"
+
+let pp_kernel ppf k =
+  Format.fprintf ppf ".entry %s (" k.k_name;
+  Array.iteri
+    (fun i p ->
+       if i > 0 then Format.pp_print_string ppf ", ";
+       Format.fprintf ppf ".param .%s %s" (dtype_to_string p.p_ty) p.p_name;
+       match p.p_range with
+       | Some (lo, hi) -> Format.fprintf ppf " /* [%d,%d] */" lo hi
+       | None -> ())
+    k.k_params;
+  Format.fprintf ppf ")@.";
+  Array.iter
+    (fun buf ->
+       Format.fprintf ppf ".%s .%s %s" (space_name buf.buf_space)
+         (dtype_to_string buf.buf_elem) buf.buf_name;
+       (match buf.buf_range with
+        | Some (lo, hi) -> Format.fprintf ppf " /* [%d,%d] */" lo hi
+        | None -> ());
+       Format.fprintf ppf "@.")
+    k.k_buffers;
+  List.iter
+    (fun (id, sp) ->
+       let name =
+         match sp with
+         | Tid_x -> "tid.x" | Tid_y -> "tid.y"
+         | Ntid_x -> "ntid.x" | Ntid_y -> "ntid.y"
+         | Ctaid_x -> "ctaid.x" | Ctaid_y -> "ctaid.y"
+         | Nctaid_x -> "nctaid.x" | Nctaid_y -> "nctaid.y"
+       in
+       Format.fprintf ppf ".sreg %d %s@." id name)
+    (List.sort compare k.k_specials);
+  Array.iter
+    (fun b ->
+       Format.fprintf ppf "bb%d:@." b.label;
+       Array.iter (fun i -> Format.fprintf ppf "  %a@." pp_instr i) b.instrs;
+       Format.fprintf ppf "  %a@." pp_terminator b.term)
+    k.k_blocks
+
+let kernel_to_string k = Format.asprintf "%a" pp_kernel k
+
+let instr_count k =
+  Array.fold_left (fun acc b -> acc + Array.length b.instrs) 0 k.k_blocks

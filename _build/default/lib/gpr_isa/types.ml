@@ -1,0 +1,220 @@
+(** Core types of the mini-PTX virtual ISA.
+
+    The ISA mirrors the level at which the paper's static framework
+    operates (Sec. 5.1): NVIDIA PTX before [ptxas] register allocation —
+    an unbounded set of *typed virtual registers*, structured control
+    flow lowered to basic blocks with conditional branches, and distinct
+    memory spaces (global / shared / texture / param).
+
+    Design restrictions (documented deviations from full PTX):
+    - no predicated guards on ordinary instructions; predicates feed only
+      {!terminator.Cbr} and {!instr.Selp}.  The builder lowers small
+      conditionals to [Selp] and larger ones to CFG diamonds.
+    - memory operands are (buffer, element-index) pairs rather than raw
+      byte pointers; the simulator derives byte addresses as
+      [4 * index] within each buffer, which preserves coalescing
+      behaviour while keeping the range analysis exact. *)
+
+type dtype =
+  | S32   (** signed 32-bit integer *)
+  | U32   (** unsigned 32-bit integer *)
+  | F32   (** IEEE-754 single precision *)
+  | Pred  (** 1-bit predicate *)
+
+let dtype_equal (a : dtype) b = a = b
+
+let dtype_to_string = function
+  | S32 -> "s32"
+  | U32 -> "u32"
+  | F32 -> "f32"
+  | Pred -> "pred"
+
+type vreg = { id : int; ty : dtype; name : string }
+
+let vreg_equal (a : vreg) (b : vreg) = a.id = b.id
+
+type operand =
+  | Reg of vreg
+  | Imm_i of int    (** integer immediate (also used for U32) *)
+  | Imm_f of float
+
+type space =
+  | Global
+  | Shared
+  | Texture  (** read-only, cached in the per-SM texture cache *)
+  | Param    (** kernel parameters, read-only *)
+
+type ibinop =
+  | Add | Sub | Mul | Div | Rem
+  | Min | Max
+  | And | Or | Xor
+  | Shl | Shr  (** [Shr] is arithmetic for S32, logical for U32 *)
+
+type iunop = Ineg | Inot | Iabs
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+
+type funop =
+  | Fneg | Fabs | Ffloor
+  | Fsqrt | Frsqrt | Frcp    (** executed on the SFU *)
+  | Fsin | Fcos | Fex2 | Flg2  (** transcendental, SFU *)
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type cvtop =
+  | F32_of_s32  (** cvt.rn.f32.s32 *)
+  | F32_of_u32
+  | S32_of_f32  (** cvt.rzi.s32.f32 — truncate toward zero *)
+  | U32_of_f32
+  | S32_of_u32  (** reinterpret width-preserving move *)
+  | U32_of_s32
+
+(** A buffer is a linear array of 32-bit elements in some memory space.
+    [buf_range] optionally declares a static value range for integer
+    buffers (e.g. 8-bit image data loaded as [0, 255]); the range
+    analysis seeds loads from it, mirroring the domain-knowledge
+    annotations the paper's framework relies on. *)
+type buffer = {
+  buf_id : int;
+  buf_name : string;
+  buf_space : space;
+  buf_elem : dtype;  (** S32/U32/F32 *)
+  buf_range : (int * int) option;
+}
+
+(** Address of a 32-bit element: [buffer[index]]. *)
+type addr = { abuf : buffer; aindex : operand }
+
+(** Branch-implied bound used by e-SSA π-nodes (analysis-only).
+    [Pb_var (v, off)] is a *future* in Pereira's terminology: the bound
+    is [off] plus the (not yet known) bound of vreg [v]. *)
+type pi_bound =
+  | Pb_none
+  | Pb_const of int
+  | Pb_var of int * int
+
+type pi_filter = { pf_lo : pi_bound; pf_hi : pi_bound }
+
+type instr =
+  | Ibin of ibinop * vreg * operand * operand
+  | Iun of iunop * vreg * operand
+  | Imad of vreg * operand * operand * operand  (** d = a*b + c *)
+  | Fbin of fbinop * vreg * operand * operand
+  | Fun of funop * vreg * operand
+  | Ffma of vreg * operand * operand * operand  (** d = a*b + c *)
+  | Setp of cmpop * dtype * vreg * operand * operand
+      (** [Setp (op, cmp_ty, p, a, b)]: p := a `op` b at type [cmp_ty] *)
+  | Selp of vreg * operand * operand * vreg
+      (** d := if p then a else b *)
+  | Mov of vreg * operand
+  | Cvt of cvtop * vreg * operand
+  | Ld of vreg * addr
+  | Ld_param of vreg * int  (** parameter index *)
+  | St of addr * operand
+  | Bar  (** CTA-wide barrier *)
+  | Phi of vreg * (int * operand) list
+      (** SSA only: [(pred_block, value)] per predecessor.  Produced by
+          {!Gpr_analysis.Ssa}; never present in executable kernels. *)
+  | Pi of vreg * vreg * pi_filter
+      (** e-SSA only: [Pi (d, s, f)] renames [s] to [d] on a branch edge,
+          asserting the branch-implied range filter [f].  Produced by
+          {!Gpr_analysis.Essa}; never present in executable kernels. *)
+
+type terminator =
+  | Br of int             (** unconditional branch to block label *)
+  | Cbr of vreg * int * int  (** if pred then b_true else b_false *)
+  | Ret
+
+type block = {
+  label : int;
+  mutable instrs : instr array;
+  mutable term : terminator;
+}
+
+(** Kernel parameter declaration.  [p_range] carries an optional static
+    value range (e.g. an image dimension known at kernel-launch time);
+    the range analysis seeds parameter loads from it, mirroring how the
+    paper's framework knows launch bounds per kernel. *)
+type param = {
+  p_index : int;
+  p_name : string;
+  p_ty : dtype;
+  p_range : (int * int) option;
+}
+
+type special = Tid_x | Tid_y | Ntid_x | Ntid_y | Ctaid_x | Ctaid_y | Nctaid_x | Nctaid_y
+
+type kernel = {
+  k_name : string;
+  k_blocks : block array;     (** entry is [k_blocks.(0)] *)
+  k_params : param array;
+  k_buffers : buffer array;
+  k_num_vregs : int;
+  k_specials : (int * special) list;
+      (** vreg id -> special register it was seeded from *)
+}
+
+(** Launch geometry of a kernel invocation (CTA and grid shape). *)
+type launch = {
+  ntid_x : int;
+  ntid_y : int;
+  nctaid_x : int;
+  nctaid_y : int;
+}
+
+let launch_1d ~block ~grid = { ntid_x = block; ntid_y = 1; nctaid_x = grid; nctaid_y = 1 }
+let threads_per_block l = l.ntid_x * l.ntid_y
+let num_blocks l = l.nctaid_x * l.nctaid_y
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let defs = function
+  | Ibin (_, d, _, _) | Iun (_, d, _) | Imad (d, _, _, _)
+  | Fbin (_, d, _, _) | Fun (_, d, _) | Ffma (d, _, _, _)
+  | Setp (_, _, d, _, _) | Selp (d, _, _, _)
+  | Mov (d, _) | Cvt (_, d, _) | Ld (d, _) | Ld_param (d, _)
+  | Phi (d, _) | Pi (d, _, _) -> Some d
+  | St _ | Bar -> None
+
+let operand_uses op acc = match op with Reg r -> r :: acc | Imm_i _ | Imm_f _ -> acc
+
+let uses = function
+  | Ibin (_, _, a, b) | Fbin (_, _, a, b) | Setp (_, _, _, a, b) ->
+    operand_uses a (operand_uses b [])
+  | Iun (_, _, a) | Fun (_, _, a) | Mov (_, a) | Cvt (_, _, a) -> operand_uses a []
+  | Imad (_, a, b, c) | Ffma (_, a, b, c) ->
+    operand_uses a (operand_uses b (operand_uses c []))
+  | Selp (_, a, b, p) -> p :: operand_uses a (operand_uses b [])
+  | Ld (_, { aindex; _ }) -> operand_uses aindex []
+  | St ({ aindex; _ }, v) -> operand_uses aindex (operand_uses v [])
+  | Ld_param _ | Bar -> []
+  | Phi (_, ins) -> List.fold_left (fun acc (_, op) -> operand_uses op acc) [] ins
+  | Pi (_, s, _) -> [ s ]
+
+let term_uses = function
+  | Br _ | Ret -> []
+  | Cbr (p, _, _) -> [ p ]
+
+let successors = function
+  | Br l -> [ l ]
+  | Cbr (_, t, f) -> [ t; f ]
+  | Ret -> []
+
+(** Execution-unit class of an instruction, used by the timing model.
+    Matches the Fermi assignment in Sec. 3.1: SPUs execute everything
+    except built-in trigonometric/logarithmic (and other multi-cycle
+    special) operations, which go to the SFU; LD/ST handles memory. *)
+type unit_class = Spu | Sfu | Ldst | Sync
+
+let unit_class_of = function
+  | Fun (f, _, _) ->
+    (match f with
+     | Fsqrt | Frsqrt | Frcp | Fsin | Fcos | Fex2 | Flg2 -> Sfu
+     | Fneg | Fabs | Ffloor -> Spu)
+  | Ibin ((Div | Rem), _, _, _) -> Sfu
+  | Fbin (Fdiv, _, _, _) -> Sfu
+  | Ld _ | St _ | Ld_param _ -> Ldst
+  | Bar -> Sync
+  | Ibin _ | Iun _ | Imad _ | Fbin _ | Ffma _ | Setp _ | Selp _ | Mov _
+  | Cvt _ | Phi _ | Pi _ -> Spu

@@ -1,0 +1,1 @@
+lib/gpr_opt/opt.ml: Array Float Gpr_isa Hashtbl Int32 List Option

@@ -1,0 +1,1 @@
+lib/gpr_opt/opt.mli: Gpr_isa

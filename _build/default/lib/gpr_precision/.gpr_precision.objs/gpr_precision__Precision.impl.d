@@ -1,0 +1,1 @@
+lib/gpr_precision/precision.ml: Gpr_fp Gpr_isa Gpr_quality Hashtbl List

@@ -1,0 +1,99 @@
+open Gpr_isa.Types
+module F = Gpr_fp.Format_
+module Q = Gpr_quality.Quality
+
+type assignment = {
+  formats : (int, F.t) Hashtbl.t;
+  sites : (int * vreg) list;
+  evaluations : int;
+}
+
+let no_reduction ~sites =
+  let formats = Hashtbl.create 16 in
+  List.iter (fun (pc, _) -> Hashtbl.replace formats pc F.f32) sites;
+  { formats; sites; evaluations = 0 }
+
+let quantizer t pc v =
+  match Hashtbl.find_opt t.formats pc with
+  | Some f when f.F.total_bits < 32 -> F.quantize f v
+  | Some _ | None -> v
+
+let tune ?(min_group = 1) ?(budget = max_int) ~sites ~evaluate ~threshold () =
+  let formats = Hashtbl.create 16 in
+  List.iter (fun (pc, _) -> Hashtbl.replace formats pc F.f32) sites;
+  let evaluations = ref 0 in
+  let out_of_budget () = !evaluations >= budget in
+  let current_ok quantize =
+    incr evaluations;
+    Q.meets (evaluate ~quantize) threshold
+  in
+  let hook pc v =
+    match Hashtbl.find_opt formats pc with
+    | Some f when f.F.total_bits < 32 -> F.quantize f v
+    | Some _ | None -> v
+  in
+  (* Tentatively narrow every site of [group] one step; keep on success. *)
+  let try_step group =
+    if out_of_budget () then false
+    else begin
+      let moved =
+        List.filter_map
+          (fun (pc, _) ->
+             let cur = Hashtbl.find formats pc in
+             match F.next_narrower cur with
+             | Some nxt ->
+               Hashtbl.replace formats pc nxt;
+               Some (pc, cur)
+             | None -> None)
+          group
+      in
+      if moved = [] then false
+      else if current_ok hook then true
+      else begin
+        List.iter (fun (pc, old) -> Hashtbl.replace formats pc old) moved;
+        false
+      end
+    end
+  in
+  let rec refine group =
+    match group with
+    | [] -> ()
+    | _ ->
+      while try_step group do
+        ()
+      done;
+      let n = List.length group in
+      if n > max 1 min_group && not (out_of_budget ()) then begin
+        let left = List.filteri (fun i _ -> i < n / 2) group in
+        let right = List.filteri (fun i _ -> i >= n / 2) group in
+        refine left;
+        refine right
+      end
+  in
+  refine sites;
+  { formats; sites; evaluations = !evaluations }
+
+let var_bits t =
+  let out = Hashtbl.create 16 in
+  List.iter
+    (fun (pc, (r : vreg)) ->
+       let f = try Hashtbl.find t.formats pc with Not_found -> F.f32 in
+       let bits = f.F.total_bits in
+       match Hashtbl.find_opt out r.id with
+       | Some prev -> if bits > prev then Hashtbl.replace out r.id bits
+       | None -> Hashtbl.replace out r.id bits)
+    t.sites;
+  out
+
+let mean_bits t =
+  match t.sites with
+  | [] -> 32.0
+  | sites ->
+    let sum =
+      List.fold_left
+        (fun acc (pc, _) ->
+           let f = try Hashtbl.find t.formats pc with Not_found -> F.f32 in
+           acc + f.F.total_bits)
+        0 sites
+    in
+    float_of_int sum /. float_of_int (List.length sites)

@@ -1,0 +1,1 @@
+lib/gpr_quality/quality.ml: Array Float Gpr_util Printf

@@ -1,0 +1,1 @@
+lib/gpr_quality/quality.mli: Gpr_util

@@ -1,0 +1,115 @@
+type metric = M_ssim | M_deviation | M_binary
+
+let metric_name = function
+  | M_ssim -> "SSIM"
+  | M_deviation -> "% deviation"
+  | M_binary -> "Binary"
+
+type threshold = Perfect | High
+
+let threshold_name = function Perfect -> "perfect" | High -> "high"
+
+type score =
+  | S_ssim of float
+  | S_deviation_pct of float
+  | S_binary of bool
+
+let score_to_string = function
+  | S_ssim s -> Printf.sprintf "SSIM=%.4f" s
+  | S_deviation_pct d -> Printf.sprintf "dev=%.3f%%" d
+  | S_binary b -> if b then "correct" else "WRONG"
+
+(* "Perfect" means no deviation at the precision the metrics are
+   reported with (SSIM to four decimals, deviation to two): iterative
+   kernels are contractive, so sufficiently wide reduced formats land on
+   outputs indistinguishable from the originals without being bit-equal
+   — which is how the paper's perfect-quality IMGVF still compresses
+   floats.  The binary metric remains exact. *)
+let ssim_perfect = 0.99995
+let deviation_perfect_pct = 0.05
+
+let meets score threshold =
+  match score, threshold with
+  | S_ssim s, Perfect -> s >= ssim_perfect
+  | S_ssim s, High -> s >= 0.9
+  | S_deviation_pct d, Perfect -> d <= deviation_perfect_pct
+  | S_deviation_pct d, High -> d <= 10.0
+  | S_binary b, (Perfect | High) -> b
+
+let ssim ?(window = 8) ?(dynamic_range = 1.0) img ~reference =
+  let open Gpr_util.Image in
+  if img.width <> reference.width || img.height <> reference.height then
+    invalid_arg "Quality.ssim: dimension mismatch";
+  let k1 = 0.01 and k2 = 0.03 in
+  let c1 = (k1 *. dynamic_range) ** 2.0 in
+  let c2 = (k2 *. dynamic_range) ** 2.0 in
+  let w = min window (min img.width img.height) in
+  let n = float_of_int (w * w) in
+  let total = ref 0.0 and count = ref 0 in
+  for y0 = 0 to img.height - w do
+    for x0 = 0 to img.width - w do
+      let sum_a = ref 0.0 and sum_b = ref 0.0 in
+      let sum_aa = ref 0.0 and sum_bb = ref 0.0 and sum_ab = ref 0.0 in
+      for dy = 0 to w - 1 do
+        for dx = 0 to w - 1 do
+          let a = get img ~x:(x0 + dx) ~y:(y0 + dy) in
+          let b = get reference ~x:(x0 + dx) ~y:(y0 + dy) in
+          sum_a := !sum_a +. a;
+          sum_b := !sum_b +. b;
+          sum_aa := !sum_aa +. (a *. a);
+          sum_bb := !sum_bb +. (b *. b);
+          sum_ab := !sum_ab +. (a *. b)
+        done
+      done;
+      let mu_a = !sum_a /. n and mu_b = !sum_b /. n in
+      let var_a = (!sum_aa /. n) -. (mu_a *. mu_a) in
+      let var_b = (!sum_bb /. n) -. (mu_b *. mu_b) in
+      let cov = (!sum_ab /. n) -. (mu_a *. mu_b) in
+      let num = ((2.0 *. mu_a *. mu_b) +. c1) *. ((2.0 *. cov) +. c2) in
+      let den =
+        ((mu_a *. mu_a) +. (mu_b *. mu_b) +. c1) *. (var_a +. var_b +. c2)
+      in
+      total := !total +. (num /. den);
+      incr count
+    done
+  done;
+  if !count = 0 then 1.0 else !total /. float_of_int !count
+
+let deviation_pct out ~reference =
+  if Array.length out <> Array.length reference then
+    invalid_arg "Quality.deviation_pct: length mismatch";
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i r ->
+       let o = out.(i) in
+       let d = if Float.is_nan o || Float.is_nan r then Float.abs r else Float.abs (o -. r) in
+       num := !num +. d;
+       den := !den +. Float.abs r)
+    reference;
+  let den = Float.max !den 1e-30 in
+  100.0 *. !num /. den
+
+let max_abs_error out ~reference =
+  if Array.length out <> Array.length reference then
+    invalid_arg "Quality.max_abs_error: length mismatch";
+  let m = ref 0.0 in
+  Array.iteri
+    (fun i r -> m := Float.max !m (Float.abs (out.(i) -. r)))
+    reference;
+  !m
+
+let binary_equal_int a b = a = b
+
+let is_sorted a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i - 1) > a.(i) then ok := false
+  done;
+  !ok
+
+let score_floats metric out ~reference =
+  match metric with
+  | M_deviation -> S_deviation_pct (deviation_pct out ~reference)
+  | M_binary ->
+    S_binary (Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) out reference)
+  | M_ssim -> invalid_arg "Quality.score_floats: SSIM needs images"

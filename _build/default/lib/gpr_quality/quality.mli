@@ -1,0 +1,44 @@
+(** Output-quality metrics and thresholds (Sec. 5.3 / 6.1).
+
+    - graphics kernels: SSIM (Wang et al. 2004);
+    - numeric kernels: percentage deviation from the reference output;
+    - Hybridsort: binary (correct or wrong).
+
+    Thresholds: {e perfect} = SSIM 1.0 / 0 % deviation / correct;
+    {e high} = SSIM 0.9 / 10 % deviation / correct. *)
+
+type metric = M_ssim | M_deviation | M_binary
+
+val metric_name : metric -> string
+
+type threshold = Perfect | High
+
+val threshold_name : threshold -> string
+
+type score =
+  | S_ssim of float
+  | S_deviation_pct of float
+  | S_binary of bool
+
+val score_to_string : score -> string
+
+val meets : score -> threshold -> bool
+(** Sec. 6.1: perfect = SSIM 1.0 / 0 % / correct;
+    high = SSIM ≥ 0.9 / ≤ 10 % / correct. *)
+
+val ssim : ?window:int -> ?dynamic_range:float -> Gpr_util.Image.t -> reference:Gpr_util.Image.t -> float
+(** Mean SSIM over sliding [window]×[window] patches (default 8) with
+    the standard constants K1 = 0.01, K2 = 0.03.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val deviation_pct : float array -> reference:float array -> float
+(** Relative L1 deviation, in percent:
+    [100 * Σ|a_i - r_i| / max(Σ|r_i|, ε)]. *)
+
+val max_abs_error : float array -> reference:float array -> float
+
+val binary_equal_int : int array -> int array -> bool
+val is_sorted : int array -> bool
+
+val score_floats : metric -> float array -> reference:float array -> score
+(** Convenience dispatch for float outputs; [M_ssim] is invalid here. *)

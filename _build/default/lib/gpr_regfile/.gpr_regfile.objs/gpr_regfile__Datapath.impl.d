@@ -1,0 +1,1 @@
+lib/gpr_regfile/datapath.ml: Gpr_alloc Gpr_fp Gpr_util Int32 Printf

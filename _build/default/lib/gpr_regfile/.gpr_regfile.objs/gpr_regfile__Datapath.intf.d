@@ -1,0 +1,1 @@
+lib/gpr_regfile/datapath.mli: Gpr_alloc Gpr_fp

@@ -1,0 +1,1 @@
+lib/gpr_regfile/indirection.ml: Array Gpr_alloc Gpr_arch Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/gpr_regfile/indirection.mli: Gpr_alloc

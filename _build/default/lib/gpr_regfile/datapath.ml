@@ -1,0 +1,80 @@
+open Gpr_alloc.Alloc
+module Bits = Gpr_util.Bits
+module F = Gpr_fp.Format_
+
+let scatter ~mask v =
+  let out = ref 0 in
+  let src = ref 0 in
+  for slice = 0 to 7 do
+    if mask land (1 lsl slice) <> 0 then begin
+      let nibble = (v lsr (!src * 4)) land 0xf in
+      out := !out lor (nibble lsl (slice * 4));
+      incr src
+    end
+  done;
+  !out
+
+let gather ~mask r =
+  let out = ref 0 in
+  let dst = ref 0 in
+  for slice = 0 to 7 do
+    if mask land (1 lsl slice) <> 0 then begin
+      let nibble = (r lsr (slice * 4)) land 0xf in
+      out := !out lor (nibble lsl (!dst * 4));
+      incr dst
+    end
+  done;
+  !out
+
+let storage_width p = p.slices * 4
+
+(* The operand's dense narrow value is distributed LSB-first: the first
+   [popcount mask0] nibbles live in reg0, the rest in reg1. *)
+let store_narrow p narrow =
+  let n0 = Bits.popcount p.mask0 in
+  let low = narrow land Bits.mask (n0 * 4) in
+  let high = narrow lsr (n0 * 4) in
+  (scatter ~mask:p.mask0 low, scatter ~mask:p.mask1 high)
+
+let store_int p v =
+  let narrow = v land Bits.mask (storage_width p) in
+  store_narrow p narrow
+
+let extract_part p ~part r =
+  match part with
+  | `First -> gather ~mask:p.mask0 r
+  | `Second ->
+    let n0 = Bits.popcount p.mask0 in
+    gather ~mask:p.mask1 r lsl (n0 * 4)
+
+let merge p ~r0 ~r1 =
+  let a = extract_part p ~part:`First r0 in
+  let b = if p.reg1 >= 0 then extract_part p ~part:`Second r1 else 0 in
+  a lor b
+
+let load_int p ~r0 ~r1 =
+  let narrow = merge p ~r0 ~r1 in
+  let w = storage_width p in
+  if p.signed then Bits.sign_extend ~width:w narrow
+  else Bits.zero_extend ~width:w narrow
+
+let format_of_placement p =
+  match F.of_total_bits (storage_width p) with
+  | Some f -> f
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Datapath: %d bits is not a Table 3 float width"
+         (storage_width p))
+
+let store_float p v =
+  if storage_width p >= 32 then
+    store_narrow p (Int32.to_int (Int32.bits_of_float v) land 0xffff_ffff)
+  else
+    let f = format_of_placement p in
+    store_narrow p (F.encode f v)
+
+let load_float p ~r0 ~r1 =
+  let narrow = merge p ~r0 ~r1 in
+  if storage_width p >= 32 then
+    Int32.float_of_bits (Int32.of_int (Bits.sign_extend ~width:32 narrow))
+  else F.decode (format_of_placement p) narrow

@@ -1,0 +1,57 @@
+(** Bit-exact models of the value truncator (TVT) and value extractor
+    (TVE) datapaths (Sec. 3.2.3–3.2.6, Figs. 3–5).
+
+    A thread register is 8 slices of 4 bits.  A placement (from
+    {!Gpr_alloc.Alloc}) assigns an operand's data slices to arbitrary
+    slice positions of up to two physical registers.  On a store the
+    TVT converts a narrow float to its reduced format (or keeps the low
+    bits of a narrow integer) and scatters the data slices to their
+    assigned positions; on a load the TVE gathers the slices, aligns
+    them, zero-fills the rest and sign-extends integers; narrow floats
+    are then expanded to single precision by the value converter.
+
+    Split operands are fetched as two partial registers whose extracted
+    halves are OR-merged, exactly as in the extended collector unit
+    (Sec. 3.2.4). *)
+
+open Gpr_alloc.Alloc
+
+val scatter : mask:int -> int -> int
+(** [scatter ~mask v] places the [popcount mask] low nibbles of [v]
+    into the slice positions set in [mask] (LSB-first), zeroes
+    elsewhere — the physical-register image of a store. *)
+
+val gather : mask:int -> int -> int
+(** Inverse of {!scatter}: collects the masked slices of a register
+    into a dense low-aligned value. *)
+
+val storage_width : placement -> int
+(** Slice-rounded operand width in bits ([slices * 4]). *)
+
+(** {1 Integer path} *)
+
+val store_int : placement -> int -> int * int
+(** 32-bit register images [(r0, r1)] written on a store (only masked
+    bit lanes are driven; the rest read as zero here). *)
+
+val extract_part : placement -> part:[ `First | `Second ] -> int -> int
+(** TVE output for one fetched physical register: the operand's slices
+    aligned to their position in the dense narrow value, zeroes
+    elsewhere.  The collector unit ORs the parts. *)
+
+val load_int : placement -> r0:int -> r1:int -> int
+(** Full load path: gather, OR-merge, then sign- or zero-extend
+    according to the placement.  Result is a 32-bit value (signed
+    values are negative OCaml ints). *)
+
+(** {1 Float path} *)
+
+val store_float : placement -> float -> int * int
+(** TVT step 1 (convert to the reduced Table 3 format of width
+    [placement.bits]) + step 2 (scatter).
+    @raise Invalid_argument if [bits] is not a Table 3 width. *)
+
+val load_float : placement -> r0:int -> r1:int -> float
+(** TVE + value converter: gather, merge and expand to f32. *)
+
+val format_of_placement : placement -> Gpr_fp.Format_.t

@@ -1,0 +1,38 @@
+open Gpr_alloc.Alloc
+
+type t = {
+  banks : int;
+  table : (int, placement) Hashtbl.t;
+}
+
+let create ?(banks = 16) (alloc : Gpr_alloc.Alloc.t) =
+  if alloc.num_arch_regs > Gpr_arch.Config.architectural_registers then
+    invalid_arg
+      (Printf.sprintf
+         "Indirection.create: %d architectural registers exceed the %d-entry table"
+         alloc.num_arch_regs Gpr_arch.Config.architectural_registers);
+  { banks; table = Hashtbl.copy alloc.placements }
+
+let banks t = t.banks
+let bank_of t arch_reg = arch_reg mod t.banks
+let lookup t arch_reg = Hashtbl.find_opt t.table arch_reg
+let num_entries t = Hashtbl.length t.table
+
+let entry_bits (_ : placement) =
+  (* m0 + m1 masks (8 bits each), two physical register ids (6 bits
+     each: a thread's allocation spans at most 64 registers), signed
+     and convert flags — 30 bits, within the 32 the paper budgets. *)
+  8 + 8 + 6 + 6 + 1 + 1
+
+let grant t requests =
+  let used = Array.make t.banks false in
+  List.fold_left
+    (fun (granted, deferred) r ->
+       let b = bank_of t r in
+       if used.(b) then (granted, r :: deferred)
+       else begin
+         used.(b) <- true;
+         (r :: granted, deferred)
+       end)
+    ([], []) requests
+  |> fun (g, d) -> (List.rev g, List.rev d)

@@ -1,0 +1,38 @@
+(** The configurable indirection table (Sec. 3.2.2).
+
+    One entry per architectural register holds the r0/m0/r1/m1 placement
+    plus the signed and convert flags — 32 bits per entry, 256 entries.
+    The SRAM is divided into 16 banks like the register file, with a
+    dedicated arbitrator; separate but identical tables serve the read
+    (source) and write (destination) paths.
+
+    This module models contents and bank arbitration; cycle accounting
+    lives in {!Gpr_sim}. *)
+
+open Gpr_alloc.Alloc
+
+type t
+
+val create : ?banks:int -> Gpr_alloc.Alloc.t -> t
+(** Populate from an allocation (default 16 banks).
+    @raise Invalid_argument if the allocation exceeds 256 entries. *)
+
+val banks : t -> int
+val bank_of : t -> int -> int
+(** Bank holding an architectural register's entry. *)
+
+val lookup : t -> int -> placement option
+(** [lookup t arch_reg] — the hardware read, nil for never-allocated
+    registers. *)
+
+val entry_bits : placement -> int
+(** Encoded entry: 8+8 bits of masks, 2×6 bits of physical register
+    ids, signed + convert flags — must fit the 32 bits per entry the
+    paper budgets. *)
+
+val grant : t -> int list -> int list * int list
+(** One-cycle arbitration: given requested architectural registers,
+    grant at most one access per bank (first-come), returning
+    [(granted, deferred)]. *)
+
+val num_entries : t -> int

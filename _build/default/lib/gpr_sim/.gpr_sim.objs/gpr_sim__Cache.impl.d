@@ -1,0 +1,1 @@
+lib/gpr_sim/cache.ml: Array

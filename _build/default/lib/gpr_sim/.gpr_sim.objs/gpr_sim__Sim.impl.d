@@ -1,0 +1,1 @@
+lib/gpr_sim/sim.ml: Array Cache Gpr_alloc Gpr_arch Gpr_exec Gpr_isa Hashtbl Int List Map Option

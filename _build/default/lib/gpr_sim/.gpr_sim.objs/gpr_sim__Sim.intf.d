@@ -1,0 +1,1 @@
+lib/gpr_sim/sim.mli: Gpr_alloc Gpr_arch Gpr_exec

@@ -1,0 +1,63 @@
+type t = {
+  line_bytes : int;
+  num_sets : int;
+  assoc : int;
+  tags : int array;      (* set * assoc + way; -1 = invalid *)
+  lru : int array;       (* last-use stamp per way *)
+  mutable stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity_bytes ~line_bytes ~assoc =
+  let lines = max assoc (capacity_bytes / line_bytes) in
+  let num_sets = max 1 (lines / assoc) in
+  {
+    line_bytes;
+    num_sets;
+    assoc;
+    tags = Array.make (num_sets * assoc) (-1);
+    lru = Array.make (num_sets * assoc) 0;
+    stamp = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let access t addr =
+  let line = addr / t.line_bytes in
+  let set = line mod t.num_sets in
+  let base = set * t.assoc in
+  t.stamp <- t.stamp + 1;
+  let rec find way =
+    if way >= t.assoc then None
+    else if t.tags.(base + way) = line then Some way
+    else find (way + 1)
+  in
+  match find 0 with
+  | Some way ->
+    t.lru.(base + way) <- t.stamp;
+    t.hits <- t.hits + 1;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict LRU way. *)
+    let victim = ref 0 in
+    for way = 1 to t.assoc - 1 do
+      if t.lru.(base + way) < t.lru.(base + !victim) then victim := way
+    done;
+    t.tags.(base + !victim) <- line;
+    t.lru.(base + !victim) <- t.stamp;
+    false
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 1.0 else float_of_int t.hits /. float_of_int total
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let line_bytes t = t.line_bytes

@@ -1,0 +1,16 @@
+(** Set-associative LRU cache model for the L1 data, texture and L2
+    caches of the baseline GPU (Table 2). *)
+
+type t
+
+val create : capacity_bytes:int -> line_bytes:int -> assoc:int -> t
+
+val access : t -> int -> bool
+(** [access t byte_addr] — true on hit; a miss fills the line (allocate
+    on read; we only model loads). *)
+
+val hits : t -> int
+val misses : t -> int
+val hit_rate : t -> float
+val reset_stats : t -> unit
+val line_bytes : t -> int

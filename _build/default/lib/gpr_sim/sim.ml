@@ -1,0 +1,619 @@
+open Gpr_isa.Types
+module Trace = Gpr_exec.Trace
+module Alloc = Gpr_alloc.Alloc
+
+type regfile_mode =
+  | Baseline
+  | Proposed of { writeback_delay : int }
+
+type stats = {
+  cycles : int;
+  thread_instructions : int;
+  warp_instructions : int;
+  sm_ipc : float;
+  gpu_ipc : float;
+  issued_per_cycle : float;
+  l1_hit_rate : float;
+  tex_hit_rate : float;
+  l2_hit_rate : float;
+  tex_accesses : int;
+  double_fetches : int;
+  conversions : int;
+  stall_scoreboard : int;
+  stall_no_cu : int;
+  idle_cycles : int;
+}
+
+(* ------------------------------------------------------------------ *)
+
+type opnd_stage = S_loc | S_fetch | S_convert | S_done
+
+type opnd = {
+  o_arch : int;
+  mutable o_stage : opnd_stage;
+  mutable o_banks : int list;  (* remaining register-fetch banks *)
+  o_convert : bool;
+}
+
+type wctx = {
+  w_items : Trace.item array;
+  mutable w_ptr : int;
+  w_slot : int;        (* resident-block slot *)
+  w_id : int;          (* resident warp index (bank swizzle, scheduler) *)
+  w_age : int;
+  mutable w_barrier : bool;
+  mutable w_bars_left : int;    (* Sync items not yet issued *)
+  mutable w_outstanding : int;  (* issued, not yet retired *)
+  w_scoreboard : (int, int) Hashtbl.t;
+}
+
+type cu = {
+  c_warp : wctx;
+  c_item : Trace.item;
+  mutable c_ops : opnd list;
+  c_mem_latency : int;  (* precomputed for Ldst items, else unit latency *)
+  c_unit_busy : int;    (* cycles the execution unit is occupied *)
+}
+
+type rblock = { mutable rb_warps : wctx list }
+
+module Imap = Map.Make (Int)
+
+type event = Retire of wctx * int option
+
+let run ?(waves = 6) (cfg : Gpr_arch.Config.t) ~(trace : Trace.t)
+    ~(alloc : Alloc.t) ~blocks_per_sm ~mode =
+  let proposed_delay =
+    match mode with Baseline -> 0 | Proposed { writeback_delay } -> writeback_delay
+  in
+  let is_proposed = match mode with Baseline -> false | Proposed _ -> true in
+
+  (* --- Partition the trace into per-(block, warp) streams. --- *)
+  let streams = Hashtbl.create 256 in
+  Array.iter
+    (fun (it : Trace.item) ->
+       let key = (it.t_block_id, it.t_warp) in
+       let l = try Hashtbl.find streams key with Not_found -> ref [] in
+       if not (Hashtbl.mem streams key) then Hashtbl.replace streams key l;
+       l := it :: !l)
+    trace.items;
+  let stream_of block warp =
+    match Hashtbl.find_opt streams (block, warp) with
+    | Some l -> Array.of_list (List.rev !l)
+    | None -> [||]
+  in
+
+  (* --- This SM's workload: [waves] waves of resident blocks, drawing
+     block traces round-robin from the measured grid.  All benchmark
+     grids are homogeneous across blocks, so this measures steady-state
+     throughput at the configured occupancy without requiring the
+     functional run to execute [waves * blocks_per_sm * num_sms]
+     blocks. --- *)
+  let my_blocks =
+    List.init
+      (max 1 (waves * blocks_per_sm))
+      (fun i -> i mod trace.num_blocks)
+  in
+  let feeder = ref my_blocks in
+
+  (* --- Memory hierarchy. --- *)
+  let l1 = Cache.create ~capacity_bytes:cfg.l1_bytes ~line_bytes:cfg.l1_line_bytes ~assoc:4 in
+  let tex = Cache.create ~capacity_bytes:cfg.tex_bytes ~line_bytes:cfg.l1_line_bytes ~assoc:4 in
+  let l2 =
+    Cache.create ~capacity_bytes:(cfg.l2_bytes / cfg.num_sms)
+      ~line_bytes:cfg.l1_line_bytes ~assoc:8
+  in
+  let tex_accesses = ref 0 in
+  (* Bandwidth model: DRAM and L2 serve one line every
+     [dram_line_interval] / [l2_line_interval] cycles (the SM's share of
+     chip bandwidth); requests queue behind the previous service. *)
+  let dram_free = ref 0 in
+  let l2_free = ref 0 in
+
+  (* Returns (latency, ldst_busy_cycles): latency until the value is
+     back, and how long the LD/ST unit is occupied issuing the access's
+     transactions (coalesced transactions and shared-memory conflicts
+     serialise at one per cycle, as in GPGPU-Sim). *)
+  let mem_latency now (it : Trace.item) =
+    match it.t_mem with
+    | None -> (cfg.spu_latency, 1)
+    | Some m ->
+      (match m.m_space with
+       | Param -> (cfg.spu_latency * 2, 1)  (* constant cache *)
+       | Shared ->
+         (* Bank-conflict serialisation over 32 word-banks. *)
+         let counts = Array.make 32 0 in
+         Array.iter
+           (fun a ->
+              let b = (a / 4) mod 32 in
+              counts.(b) <- counts.(b) + 1)
+           m.m_addresses;
+         let factor = Array.fold_left max 1 counts in
+         (cfg.shared_latency + factor - 1, factor)
+       | Global | Texture ->
+         (* Coalesce per-lane addresses into cache-line transactions. *)
+         let lines = Hashtbl.create 8 in
+         Array.iter
+           (fun a -> Hashtbl.replace lines (a / cfg.l1_line_bytes) ())
+           m.m_addresses;
+         let ntxn = max 1 (Hashtbl.length lines) in
+         let worst = ref 0 in
+         Hashtbl.iter
+           (fun line () ->
+              let addr = line * cfg.l1_line_bytes in
+              let l1_hit =
+                if m.m_space = Texture then begin
+                  incr tex_accesses;
+                  Cache.access tex addr
+                end
+                else Cache.access l1 addr
+              in
+              let lat =
+                if l1_hit then cfg.l1_hit_latency
+                else if Cache.access l2 addr then begin
+                  l2_free := max !l2_free now + cfg.l2_line_interval;
+                  (!l2_free - now) + cfg.l2_hit_latency
+                end
+                else begin
+                  l2_free := max !l2_free now + cfg.l2_line_interval;
+                  dram_free := max !dram_free now + cfg.dram_line_interval;
+                  (!dram_free - now) + cfg.dram_latency
+                end
+              in
+              worst := max !worst lat)
+           lines;
+         (!worst + ntxn - 1, ntxn))
+  in
+
+  (* --- Resident blocks and warps. --- *)
+  let warps_per_block = trace.warps_per_block in
+  let age_counter = ref 0 in
+  let active_warps : wctx list ref = ref [] in
+  let rblocks = Array.make blocks_per_sm None in
+
+  let warp_done w =
+    w.w_ptr >= Array.length w.w_items && w.w_outstanding = 0
+  in
+  let launch_block slot block_id =
+    let warps =
+      List.init warps_per_block (fun w ->
+          incr age_counter;
+          let items = stream_of block_id w in
+          let bars =
+            Array.fold_left
+              (fun acc (it : Trace.item) ->
+                 if it.t_unit = Sync then acc + 1 else acc)
+              0 items
+          in
+          {
+            w_items = items;
+            w_ptr = 0;
+            w_slot = slot;
+            w_id = (slot * warps_per_block) + w;
+            w_age = !age_counter;
+            w_barrier = false;
+            w_bars_left = bars;
+            w_outstanding = 0;
+            w_scoreboard = Hashtbl.create 16;
+          })
+    in
+    rblocks.(slot) <- Some { rb_warps = warps };
+    active_warps := !active_warps @ warps
+  in
+  let rec try_launch slot =
+    match !feeder with
+    | [] -> rblocks.(slot) <- None
+    | b :: rest ->
+      feeder := rest;
+      launch_block slot b;
+      (* A block whose warps have empty streams retires immediately. *)
+      (match rblocks.(slot) with
+       | Some rb when List.for_all warp_done rb.rb_warps ->
+         active_warps :=
+           List.filter (fun w -> not (List.memq w rb.rb_warps)) !active_warps;
+         try_launch slot
+       | _ -> ())
+  in
+  for slot = 0 to blocks_per_sm - 1 do
+    try_launch slot
+  done;
+
+  (* --- Pipeline state. --- *)
+  let cus : cu option array = Array.make cfg.operand_collectors None in
+  let events : event list Imap.t ref = ref Imap.empty in
+  let schedule cycle ev =
+    events :=
+      Imap.update cycle
+        (function None -> Some [ ev ] | Some l -> Some (ev :: l))
+        !events
+  in
+  (* Writeback bus usage per cycle. *)
+  let wb_used : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let alloc_wb_slot earliest =
+    let c = ref earliest in
+    let rec go () =
+      let used = try Hashtbl.find wb_used !c with Not_found -> 0 in
+      if used < cfg.writeback_width then begin
+        Hashtbl.replace wb_used !c (used + 1)
+      end
+      else begin
+        incr c;
+        go ()
+      end
+    in
+    go ();
+    !c
+  in
+
+  let placement_of arch = Alloc.lookup alloc arch in
+  let fetch_banks warp arch =
+    match placement_of arch with
+    | None -> [ (arch + warp.w_id) mod cfg.register_banks ]
+    | Some p ->
+      if is_proposed && Alloc.is_split p then
+        [ (p.reg0 + warp.w_id) mod cfg.register_banks;
+          (p.reg1 + warp.w_id) mod cfg.register_banks ]
+      else [ (p.reg0 + warp.w_id) mod cfg.register_banks ]
+  in
+  let needs_convert arch =
+    is_proposed
+    &&
+    match placement_of arch with
+    | Some p -> p.is_float && p.slices < 8
+    | None -> false
+  in
+
+  (* Stats. *)
+  let double_fetches = ref 0 in
+  let conversions = ref 0 in
+  let stall_scoreboard = ref 0 in
+  let stall_no_cu = ref 0 in
+  let idle_cycles = ref 0 in
+  let issued_warp_instrs = ref 0 in
+  let executed_threads = ref 0 in
+
+  (* Exec units: next cycle each may accept work. *)
+  let spu_free = [| 0; 0 |] in
+  let sfu_free = ref 0 in
+  let ldst_free = ref 0 in
+
+  let cycle = ref 0 in
+  let finished () =
+    !feeder = []
+    && Array.for_all (fun rb -> rb = None) rblocks
+  in
+
+  let retire_block_if_done slot =
+    match rblocks.(slot) with
+    | None -> ()
+    | Some rb ->
+      if List.for_all warp_done rb.rb_warps then begin
+        active_warps :=
+          List.filter (fun w -> not (List.memq w rb.rb_warps)) !active_warps;
+        try_launch slot
+      end
+  in
+
+  (* GTO state per scheduler. *)
+  let last_issued = Array.make cfg.warp_schedulers None in
+  let rr_ptr = Array.make cfg.warp_schedulers 0 in
+
+  let scoreboard_ready w (it : Trace.item) =
+    let pending r = Hashtbl.mem w.w_scoreboard r in
+    (not (List.exists pending it.t_srcs))
+    && (match it.t_dst with Some d -> not (pending d) | None -> true)
+  in
+
+  let free_cu () =
+    let rec go i =
+      if i >= Array.length cus then None
+      else match cus.(i) with None -> Some i | Some _ -> go (i + 1)
+    in
+    go 0
+  in
+
+  (* Can this warp issue its next instruction right now? *)
+  let can_issue w =
+    (not w.w_barrier)
+    && w.w_ptr < Array.length w.w_items
+    &&
+    let it = w.w_items.(w.w_ptr) in
+    scoreboard_ready w it
+    &&
+    (* bar.sync completes the warp's outstanding memory operations
+       before synchronising. *)
+    if it.t_unit = Sync then w.w_outstanding = 0 else free_cu () <> None
+  in
+  (* Why is this (stalled) warp not issuing?  Used for coarse stall
+     accounting when a scheduler finds no eligible warp. *)
+  let note_stall w =
+    if (not w.w_barrier) && w.w_ptr < Array.length w.w_items then begin
+      let it = w.w_items.(w.w_ptr) in
+      if not (scoreboard_ready w it) then incr stall_scoreboard
+      else if it.t_unit <> Sync && free_cu () = None then incr stall_no_cu
+    end
+  in
+
+  let do_issue w =
+    let it = w.w_items.(w.w_ptr) in
+    w.w_ptr <- w.w_ptr + 1;
+    issued_warp_instrs := !issued_warp_instrs + 1;
+    executed_threads := !executed_threads + it.t_active;
+    if it.t_unit = Sync then begin
+      (* Barrier: the warp waits until every block warp that still has a
+         barrier ahead of it has arrived.  Warps whose threads all
+         exited early (no Sync left) never block the others. *)
+      w.w_bars_left <- w.w_bars_left - 1;
+      w.w_barrier <- true;
+      match rblocks.(w.w_slot) with
+      | None -> w.w_barrier <- false
+      | Some rb ->
+        let all_arrived =
+          List.for_all
+            (fun x -> x.w_barrier || x.w_bars_left = 0)
+            rb.rb_warps
+        in
+        if all_arrived then
+          List.iter (fun x -> x.w_barrier <- false) rb.rb_warps
+    end
+    else begin
+      let slot = Option.get (free_cu ()) in
+      (* Distinct source architectural registers. *)
+      let srcs = List.sort_uniq compare it.t_srcs in
+      let ops =
+        List.map
+          (fun arch ->
+             let banks = fetch_banks w arch in
+             if List.length banks > 1 then incr double_fetches;
+             {
+               o_arch = arch;
+               o_stage = (if is_proposed then S_loc else S_fetch);
+               o_banks = banks;
+               o_convert = needs_convert arch;
+             })
+          srcs
+      in
+      (match it.t_dst with
+       | Some d ->
+         Hashtbl.replace w.w_scoreboard d
+           (1 + Option.value ~default:0 (Hashtbl.find_opt w.w_scoreboard d))
+       | None -> ());
+      w.w_outstanding <- w.w_outstanding + 1;
+      let lat, busy =
+        match it.t_unit with
+        | Spu -> (cfg.spu_latency, 1)
+        | Sfu -> (cfg.sfu_latency, 1)
+        | Ldst -> mem_latency !cycle it
+        | Sync -> (0, 1)
+      in
+      cus.(slot) <-
+        Some { c_warp = w; c_item = it; c_ops = ops; c_mem_latency = lat;
+               c_unit_busy = busy }
+    end
+  in
+
+  (* ---------------- main loop ---------------- *)
+  let max_cycles = 200_000_000 in
+  while (not (finished ())) && !cycle < max_cycles do
+    let now = !cycle in
+    let progress = ref false in
+
+    (* 1. Retire events. *)
+    (match Imap.find_opt now !events with
+     | Some evs ->
+       progress := true;
+       List.iter
+         (fun (Retire (w, dst)) ->
+            (match dst with
+             | Some d ->
+               (match Hashtbl.find_opt w.w_scoreboard d with
+                | Some 1 -> Hashtbl.remove w.w_scoreboard d
+                | Some n -> Hashtbl.replace w.w_scoreboard d (n - 1)
+                | None -> ())
+             | None -> ());
+            w.w_outstanding <- w.w_outstanding - 1;
+            if warp_done w then retire_block_if_done w.w_slot)
+         evs;
+       events := Imap.remove now !events
+     | None -> ());
+    Hashtbl.remove wb_used now;
+
+    (* 2. Dispatch ready collector units to execution units. *)
+    Array.iteri
+      (fun i cu_opt ->
+         match cu_opt with
+         | Some cu when List.for_all (fun o -> o.o_stage = S_done) cu.c_ops ->
+           let unit_ok =
+             (* Initiation intervals follow the Fermi datapath widths: a
+                16-lane SPU needs two cycles per 32-thread warp, the
+                4-lane SFU eight, and the LD/ST unit is busy for its
+                transaction count (at least two cycles per warp). *)
+             match cu.c_item.t_unit with
+             | Spu ->
+               if spu_free.(0) <= now then (spu_free.(0) <- now + 2; true)
+               else if spu_free.(1) <= now then (spu_free.(1) <- now + 2; true)
+               else false
+             | Sfu ->
+               if !sfu_free <= now then (sfu_free := now + 8; true) else false
+             | Ldst ->
+               if !ldst_free <= now then begin
+                 ldst_free := now + max 2 cu.c_unit_busy;
+                 true
+               end
+               else false
+             | Sync -> true
+           in
+           if unit_ok then begin
+             progress := true;
+             let complete = now + cu.c_mem_latency in
+             let retire_cycle =
+               match cu.c_item.t_dst with
+               | Some _ ->
+                 let wb = alloc_wb_slot complete in
+                 wb + proposed_delay
+               | None -> complete
+             in
+             schedule (max (now + 1) retire_cycle)
+               (Retire (cu.c_warp, cu.c_item.t_dst));
+             cus.(i) <- None
+           end
+         | _ -> ())
+      cus;
+
+    (* 3. Value converter: up to 6 narrow-float operands per cycle. *)
+    let vc_slots = ref 6 in
+    Array.iter
+      (fun cu_opt ->
+         match cu_opt with
+         | Some cu ->
+           List.iter
+             (fun o ->
+                if o.o_stage = S_convert && !vc_slots > 0 then begin
+                  decr vc_slots;
+                  incr conversions;
+                  o.o_stage <- S_done;
+                  progress := true
+                end)
+             cu.c_ops
+         | None -> ())
+      cus;
+
+    (* 4. Register-fetch arbitration: one operand per CU, one access per
+       bank per cycle. *)
+    let bank_used = Array.make cfg.register_banks false in
+    Array.iter
+      (fun cu_opt ->
+         match cu_opt with
+         | Some cu ->
+           let granted = ref false in
+           List.iter
+             (fun o ->
+                if (not !granted) && o.o_stage = S_fetch then
+                  match o.o_banks with
+                  | b :: rest when not bank_used.(b) ->
+                    bank_used.(b) <- true;
+                    granted := true;
+                    progress := true;
+                    o.o_banks <- rest;
+                    if rest = [] then
+                      o.o_stage <- (if o.o_convert then S_convert else S_done)
+                  | _ -> ())
+             cu.c_ops
+         | None -> ())
+      cus;
+
+    (* 5. Source indirection-table arbitration (proposed only). *)
+    if is_proposed then begin
+      let tbl_used = Array.make cfg.register_banks false in
+      Array.iter
+        (fun cu_opt ->
+           match cu_opt with
+           | Some cu ->
+             List.iter
+               (fun o ->
+                  if o.o_stage = S_loc then begin
+                    let b = o.o_arch mod cfg.register_banks in
+                    if not tbl_used.(b) then begin
+                      tbl_used.(b) <- true;
+                      o.o_stage <- S_fetch;
+                      progress := true
+                    end
+                  end)
+               cu.c_ops
+           | None -> ())
+        cus
+    end;
+
+    (* 6. Issue: each scheduler picks one warp (GTO or LRR). *)
+    for sched = 0 to cfg.warp_schedulers - 1 do
+      let mine =
+        List.filter (fun w -> w.w_id mod cfg.warp_schedulers = sched)
+          !active_warps
+      in
+      let pick =
+        match cfg.scheduler with
+        | Gto ->
+          (* Greedy: stick with the last warp; else oldest ready. *)
+          let greedy =
+            match last_issued.(sched) with
+            | Some w when List.memq w mine && can_issue w -> Some w
+            | _ -> None
+          in
+          (match greedy with
+           | Some w -> Some w
+           | None ->
+             List.filter can_issue mine
+             |> List.sort (fun a b -> compare a.w_age b.w_age)
+             |> function [] -> None | w :: _ -> Some w)
+        | Lrr ->
+          let n = List.length mine in
+          if n = 0 then None
+          else begin
+            let arr = Array.of_list mine in
+            let start = rr_ptr.(sched) mod n in
+            let rec go k =
+              if k >= n then None
+              else
+                let w = arr.((start + k) mod n) in
+                if can_issue w then begin
+                  rr_ptr.(sched) <- start + k + 1;
+                  Some w
+                end
+                else go (k + 1)
+            in
+            go 0
+          end
+      in
+      match pick with
+      | Some w ->
+        progress := true;
+        last_issued.(sched) <- Some w;
+        do_issue w
+      | None ->
+        last_issued.(sched) <- None;
+        List.iter note_stall mine
+    done;
+
+    (* Also retire blocks whose warps had empty streams. *)
+    if not !progress then begin
+      incr idle_cycles;
+      (* Jump to the next scheduled event if nothing can change. *)
+      match Imap.min_binding_opt !events with
+      | Some (c, _) when c > now + 1 ->
+        idle_cycles := !idle_cycles + (c - now - 1);
+        cycle := c
+      | _ -> incr cycle
+    end
+    else incr cycle;
+
+    (* Handle blocks whose warps never had work (defensive). *)
+    if !cycle land 0xfff = 0 then
+      for slot = 0 to blocks_per_sm - 1 do
+        retire_block_if_done slot
+      done
+  done;
+
+  (* Defensive final drain for empty-stream corner cases. *)
+  for slot = 0 to blocks_per_sm - 1 do
+    retire_block_if_done slot
+  done;
+
+  let cycles = max 1 !cycle in
+  let sm_ipc = float_of_int !executed_threads /. float_of_int cycles in
+  {
+    cycles;
+    thread_instructions = !executed_threads;
+    warp_instructions = !issued_warp_instrs;
+    sm_ipc;
+    gpu_ipc = sm_ipc *. float_of_int cfg.num_sms;
+    issued_per_cycle = float_of_int !issued_warp_instrs /. float_of_int cycles;
+    l1_hit_rate = Cache.hit_rate l1;
+    tex_hit_rate = Cache.hit_rate tex;
+    l2_hit_rate = Cache.hit_rate l2;
+    tex_accesses = !tex_accesses;
+    double_fetches = !double_fetches;
+    conversions = !conversions;
+    stall_scoreboard = !stall_scoreboard;
+    stall_no_cu = !stall_no_cu;
+    idle_cycles = !idle_cycles;
+  }

@@ -1,0 +1,56 @@
+(** Cycle-level model of one streaming multiprocessor (Sec. 3.1/3.2).
+
+    Trace-driven: the functional executor's warp streams are replayed
+    through a Fermi-style SM — dual GTO warp schedulers, a scoreboard
+    (no forwarding, Sec. 6.3), a 16-bank register file behind an
+    operand collector with 16 collector units and a throughput-
+    oriented arbitrator, two SPUs, one SFU, one LD/ST unit with
+    L1/texture/L2/DRAM hierarchy and shared-memory bank conflicts, and
+    a 3-operand-wide writeback bus.
+
+    The proposed register file adds: source/destination indirection-
+    table lookups (banked, arbitrated), double fetches for operands
+    split across two physical registers, value-converter slots
+    (6/cycle) for narrow-float sources, and a configurable extra
+    writeback delay (default 3 cycles, Sec. 3.2.8 — swept in Fig. 12).
+
+    The SM simulates its round-robin share of the grid's blocks at the
+    given occupancy; [gpu_ipc] scales to the full chip under the
+    homogeneous-blocks assumption (all our workloads satisfy it). *)
+
+type regfile_mode =
+  | Baseline
+  | Proposed of { writeback_delay : int }
+
+type stats = {
+  cycles : int;
+  thread_instructions : int;   (** executed on this SM *)
+  warp_instructions : int;
+  sm_ipc : float;              (** thread instructions / cycle, this SM *)
+  gpu_ipc : float;             (** [sm_ipc * num_sms] — the whole-chip IPC
+                                   under the homogeneous-blocks assumption *)
+  issued_per_cycle : float;
+  l1_hit_rate : float;
+  tex_hit_rate : float;
+  l2_hit_rate : float;
+  tex_accesses : int;
+  double_fetches : int;        (** operand fetches split over two registers *)
+  conversions : int;           (** value-converter uses *)
+  stall_scoreboard : int;
+  stall_no_cu : int;
+  idle_cycles : int;
+}
+
+val run :
+  ?waves:int ->
+  Gpr_arch.Config.t ->
+  trace:Gpr_exec.Trace.t ->
+  alloc:Gpr_alloc.Alloc.t ->
+  blocks_per_sm:int ->
+  mode:regfile_mode ->
+  stats
+(** [alloc] supplies placements: pass {!Gpr_alloc.Alloc.baseline}'s
+    result for [Baseline] mode and the packed allocation for
+    [Proposed]. [blocks_per_sm] comes from {!Gpr_arch.Occupancy}.
+    [waves] (default 6) is the number of block waves fed through each
+    resident slot; block traces are drawn round-robin from the grid. *)

@@ -1,0 +1,1 @@
+lib/gpr_util/bits.mli:

@@ -1,0 +1,1 @@
+lib/gpr_util/interval.mli: Format

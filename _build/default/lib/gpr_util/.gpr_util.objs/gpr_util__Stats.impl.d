@@ -1,0 +1,1 @@
+lib/gpr_util/stats.ml: Array List

@@ -1,0 +1,1 @@
+lib/gpr_util/tab.ml: Array List Printf String

@@ -1,0 +1,35 @@
+(** Bit-level helpers shared by the bitwidth annotation, the slice-granular
+    allocator and the register-file datapath models. *)
+
+val bits_for_unsigned : int -> int
+(** Smallest [n >= 1] such that [0 <= x <= 2^n - 1].  Requires [x >= 0]. *)
+
+val bits_for_signed : int -> int
+(** Smallest [n >= 1] such that [-2^(n-1) <= x <= 2^(n-1) - 1]
+    (two's-complement width including the sign bit). *)
+
+val bits_for_signed_range : int -> int -> int
+(** Width covering both bounds of a signed range. *)
+
+val bits_for_unsigned_range : int -> int -> int
+(** Width covering an unsigned range; requires [0 <= lo <= hi]. *)
+
+val mask : int -> int
+(** [mask n] is the [n]-bit all-ones pattern; [mask 0 = 0], [n <= 62]. *)
+
+val popcount : int -> int
+
+val sign_extend : width:int -> int -> int
+(** Interpret the low [width] bits of the argument as a two's-complement
+    value of that width. *)
+
+val zero_extend : width:int -> int -> int
+
+val fits_signed : width:int -> int -> bool
+val fits_unsigned : width:int -> int -> bool
+
+val slices_of_bits : int -> int
+(** Number of 4-bit register slices needed for a [bits]-wide operand,
+    clamped to [1, 8] (a thread register is 32 bits = 8 slices). *)
+
+val round_up : int -> multiple:int -> int

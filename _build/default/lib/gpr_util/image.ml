@@ -1,0 +1,40 @@
+type t = { width : int; height : int; data : float array }
+
+let create ~width ~height =
+  assert (width > 0 && height > 0);
+  { width; height; data = Array.make (width * height) 0.0 }
+
+let init ~width ~height f =
+  let img = create ~width ~height in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      img.data.((y * width) + x) <- f ~x ~y
+    done
+  done;
+  img
+
+let get t ~x ~y =
+  assert (x >= 0 && x < t.width && y >= 0 && y < t.height);
+  t.data.((y * t.width) + x)
+
+let set t ~x ~y v =
+  assert (x >= 0 && x < t.width && y >= 0 && y < t.height);
+  t.data.((y * t.width) + x) <- v
+
+let get_clamped t ~x ~y =
+  let x = max 0 (min (t.width - 1) x) in
+  let y = max 0 (min (t.height - 1) y) in
+  t.data.((y * t.width) + x)
+
+let of_array ~width ~height data =
+  assert (Array.length data = width * height);
+  { width; height; data }
+
+let map f t = { t with data = Array.map f t.data }
+
+let mean t =
+  Array.fold_left ( +. ) 0.0 t.data /. float_of_int (Array.length t.data)
+
+let equal_eps ~eps a b =
+  a.width = b.width && a.height = b.height
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data

@@ -1,0 +1,22 @@
+(** Grayscale float images.
+
+    The graphics workloads (Deferred, SSAO, Elevated, Pathtracer) render
+    into these, and {!Gpr_quality.Ssim} compares them. *)
+
+type t = {
+  width : int;
+  height : int;
+  data : float array;  (** row-major, length [width * height] *)
+}
+
+val create : width:int -> height:int -> t
+val init : width:int -> height:int -> (x:int -> y:int -> float) -> t
+val get : t -> x:int -> y:int -> float
+val set : t -> x:int -> y:int -> float -> unit
+val get_clamped : t -> x:int -> y:int -> float
+(** Out-of-bounds coordinates are clamped to the border. *)
+
+val of_array : width:int -> height:int -> float array -> t
+val map : (float -> float) -> t -> t
+val mean : t -> float
+val equal_eps : eps:float -> t -> t -> bool

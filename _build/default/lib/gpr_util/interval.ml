@@ -1,0 +1,318 @@
+type bound =
+  | Neg_inf
+  | Finite of int
+  | Pos_inf
+
+type t =
+  | Bot
+  | Range of bound * bound
+
+let bot = Bot
+let top = Range (Neg_inf, Pos_inf)
+
+let compare_bound a b =
+  match a, b with
+  | Neg_inf, Neg_inf | Pos_inf, Pos_inf -> 0
+  | Neg_inf, _ -> -1
+  | _, Neg_inf -> 1
+  | Pos_inf, _ -> 1
+  | _, Pos_inf -> -1
+  | Finite x, Finite y -> compare x y
+
+let min_bound a b = if compare_bound a b <= 0 then a else b
+let max_bound a b = if compare_bound a b >= 0 then a else b
+
+let range lo hi = if compare_bound lo hi > 0 then Bot else Range (lo, hi)
+let of_ints lo hi = range (Finite lo) (Finite hi)
+let of_const c = Range (Finite c, Finite c)
+
+let min_i32 = -0x8000_0000
+let max_i32 = 0x7fff_ffff
+let max_u32 = 0xffff_ffff
+let i32 = of_ints min_i32 max_i32
+let u32 = of_ints 0 max_u32
+
+let is_bot t = t = Bot
+
+let equal a b =
+  match a, b with
+  | Bot, Bot -> true
+  | Range (l1, h1), Range (l2, h2) ->
+    compare_bound l1 l2 = 0 && compare_bound h1 h2 = 0
+  | Bot, Range _ | Range _, Bot -> false
+
+let lo = function Bot -> Pos_inf | Range (l, _) -> l
+let hi = function Bot -> Neg_inf | Range (_, h) -> h
+
+let contains t x =
+  match t with
+  | Bot -> false
+  | Range (l, h) ->
+    compare_bound l (Finite x) <= 0 && compare_bound (Finite x) h <= 0
+
+let subset a b =
+  match a, b with
+  | Bot, _ -> true
+  | Range _, Bot -> false
+  | Range (l1, h1), Range (l2, h2) ->
+    compare_bound l2 l1 <= 0 && compare_bound h1 h2 <= 0
+
+let join a b =
+  match a, b with
+  | Bot, x | x, Bot -> x
+  | Range (l1, h1), Range (l2, h2) ->
+    Range (min_bound l1 l2, max_bound h1 h2)
+
+let meet a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Range (l1, h1), Range (l2, h2) ->
+    range (max_bound l1 l2) (min_bound h1 h2)
+
+let widen old new_ =
+  match old, new_ with
+  | Bot, x -> x
+  | x, Bot -> x
+  | Range (l1, h1), Range (l2, h2) ->
+    let l = if compare_bound l2 l1 < 0 then Neg_inf else l1 in
+    let h = if compare_bound h2 h1 > 0 then Pos_inf else h1 in
+    Range (l, h)
+
+let narrow old new_ =
+  match old, new_ with
+  | Bot, _ -> Bot
+  | x, Bot -> x
+  | Range (l1, h1), Range (l2, h2) ->
+    let l = if l1 = Neg_inf then l2 else l1 in
+    let h = if h1 = Pos_inf then h2 else h1 in
+    range l h
+
+(* Bound arithmetic.  [Neg_inf + Pos_inf] never occurs for the bound
+   combinations produced below; we still give it a sound default. *)
+let add_bound a b =
+  match a, b with
+  | Finite x, Finite y -> Finite (x + y)
+  | Neg_inf, Pos_inf | Pos_inf, Neg_inf -> Finite 0
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+
+let neg_bound = function
+  | Neg_inf -> Pos_inf
+  | Pos_inf -> Neg_inf
+  | Finite x -> Finite (-x)
+
+let mul_bound a b =
+  let sign_of = function
+    | Neg_inf -> -1
+    | Pos_inf -> 1
+    | Finite x -> compare x 0
+  in
+  match a, b with
+  | Finite x, Finite y -> Finite (x * y)
+  | _ ->
+    (match sign_of a * sign_of b with
+     | 0 -> Finite 0
+     | s when s > 0 -> Pos_inf
+     | _ -> Neg_inf)
+
+let add a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Range (l1, h1), Range (l2, h2) ->
+    Range (add_bound l1 l2, add_bound h1 h2)
+
+let neg = function
+  | Bot -> Bot
+  | Range (l, h) -> Range (neg_bound h, neg_bound l)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Range (l1, h1), Range (l2, h2) ->
+    let cands = [ mul_bound l1 l2; mul_bound l1 h2;
+                  mul_bound h1 l2; mul_bound h1 h2 ] in
+    let lo = List.fold_left min_bound Pos_inf cands in
+    let hi = List.fold_left max_bound Neg_inf cands in
+    Range (lo, hi)
+
+let div a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Range (l1, h1), Range (l2, h2) ->
+    if contains b 0 && equal b (of_const 0) then Bot
+    else
+      (* Exclude 0 from the divisor range on the side it touches. *)
+      let b' =
+        match l2, h2 with
+        | Finite 0, _ -> range (Finite 1) h2
+        | _, Finite 0 -> range l2 (Finite (-1))
+        | _ -> Range (l2, h2)
+      in
+      (match b' with
+       | Bot -> Bot
+       | Range (l2, h2) ->
+         if contains b' 0 then
+           (* Divisor straddles zero: magnitudes can only shrink. *)
+           let mag = function
+             | Neg_inf | Pos_inf -> Pos_inf
+             | Finite x -> Finite (abs x)
+           in
+           let m = max_bound (mag l1) (mag h1) in
+           Range (neg_bound m, m)
+         else
+           let div_bound x y =
+             match x, y with
+             | Finite a, Finite b -> Finite (a / b)
+             | Neg_inf, Finite b -> if b > 0 then Neg_inf else Pos_inf
+             | Pos_inf, Finite b -> if b > 0 then Pos_inf else Neg_inf
+             | Finite _, (Neg_inf | Pos_inf) -> Finite 0
+             | Neg_inf, Neg_inf | Pos_inf, Pos_inf -> Pos_inf
+             | Neg_inf, Pos_inf | Pos_inf, Neg_inf -> Neg_inf
+           in
+           let cands = [ div_bound l1 l2; div_bound l1 h2;
+                         div_bound h1 l2; div_bound h1 h2 ] in
+           let lo = List.fold_left min_bound Pos_inf cands in
+           let hi = List.fold_left max_bound Neg_inf cands in
+           Range (lo, hi))
+
+let abs = function
+  | Bot -> Bot
+  | Range (l, h) as t ->
+    if compare_bound l (Finite 0) >= 0 then t
+    else if compare_bound h (Finite 0) <= 0 then neg t
+    else Range (Finite 0, max_bound (neg_bound l) h)
+
+let rem a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Range (l1, h1), Range (l2, h2) ->
+    (* OCaml/PTX rem: sign follows the dividend; |result| < |divisor|. *)
+    let mag = function Neg_inf | Pos_inf -> Pos_inf | Finite x -> Finite (Stdlib.abs x) in
+    let m =
+      match add_bound (max_bound (mag l2) (mag h2)) (Finite (-1)) with
+      | Neg_inf -> Finite 0
+      | x -> x
+    in
+    let nonneg = compare_bound l1 (Finite 0) >= 0 in
+    let nonpos = compare_bound h1 (Finite 0) <= 0 in
+    let full = Range ((if nonneg then Finite 0 else neg_bound m),
+                      (if nonpos then Finite 0 else m)) in
+    (* Identity when |a| is below the *smallest* possible |divisor|. *)
+    let min_abs_b =
+      let straddles =
+        compare_bound l2 (Finite 0) < 0 && compare_bound h2 (Finite 0) > 0
+      in
+      if straddles then Finite 1
+      else
+        let candidate =
+          if compare_bound l2 (Finite 0) >= 0 then l2 else mag h2
+        in
+        (match candidate with Finite 0 -> Finite 1 | x -> x)
+    in
+    let abs_a_hi = max_bound (mag l1) (mag h1) in
+    if compare_bound abs_a_hi min_abs_b < 0 then Range (l1, h1) else full
+
+let min_ a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Range (l1, h1), Range (l2, h2) ->
+    Range (min_bound l1 l2, min_bound h1 h2)
+
+let max_ a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Range (l1, h1), Range (l2, h2) ->
+    Range (max_bound l1 l2, max_bound h1 h2)
+
+let shl a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | _, Range (Finite s1, Finite s2) when s1 >= 0 && s2 < 32 ->
+    let pow s = of_const (1 lsl s) in
+    join (mul a (pow s1)) (mul a (pow s2))
+  | _ -> top
+
+let shr a b =
+  (* Arithmetic shift floors (x asr s = floor(x / 2^s)), so dividing
+     with truncation would be unsound for negative values: -2 asr 3 is
+     -1, not 0.  The shift is monotone in the value and, per value
+     sign, monotone in the shift amount, so the corner evaluations
+     bound the result. *)
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Range (l, h), Range (Finite s1, Finite s2) when s1 >= 0 && s2 < 32 ->
+    let sh bnd s =
+      match bnd with
+      | Neg_inf -> Neg_inf
+      | Pos_inf -> Pos_inf
+      | Finite x -> Finite (x asr s)
+    in
+    let cands = [ sh l s1; sh l s2; sh h s1; sh h s2 ] in
+    Range
+      ( List.fold_left min_bound Pos_inf cands,
+        List.fold_left max_bound Neg_inf cands )
+  | _ -> top
+
+let band a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Range (l1, h1), Range (l2, h2) ->
+    let nonneg l = compare_bound l (Finite 0) >= 0 in
+    if nonneg l1 && nonneg l2 then
+      (* x land y <= min x y for non-negative operands. *)
+      Range (Finite 0, min_bound h1 h2)
+    else top
+
+let bor a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Range (l1, h1), Range (l2, h2) ->
+    (match l1, l2, h1, h2 with
+     | Finite l1', Finite l2', Finite h1', Finite h2'
+       when l1' >= 0 && l2' >= 0 ->
+       (* x lor y < 2^(bits(max x y) ) for non-negative operands. *)
+       let m = max h1' h2' in
+       let rec next_pow2 p = if p > m then p else next_pow2 (p * 2) in
+       let cap = next_pow2 1 - 1 in
+       Range (Finite (max l1' l2'), Finite cap)
+     | _ -> top)
+
+let bxor a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Range (l1, h1), Range (l2, h2) ->
+    (match l1, l2, h1, h2 with
+     | Finite l1', Finite l2', Finite h1', Finite h2'
+       when l1' >= 0 && l2' >= 0 ->
+       let m = max h1' h2' in
+       let rec next_pow2 p = if p > m then p else next_pow2 (p * 2) in
+       Range (Finite 0, Finite (next_pow2 1 - 1))
+     | _ -> top)
+
+let clamp_i32 t =
+  match t with
+  | Bot -> Bot
+  | _ -> if subset t i32 then t else i32
+
+let clamp_u32 t =
+  match t with
+  | Bot -> Bot
+  | _ -> if subset t u32 then t else u32
+
+let size = function
+  | Bot -> Some 0
+  | Range (Finite l, Finite h) -> Some (h - l + 1)
+  | Range _ -> None
+
+let pp_bound ppf = function
+  | Neg_inf -> Format.pp_print_string ppf "-oo"
+  | Pos_inf -> Format.pp_print_string ppf "+oo"
+  | Finite x -> Format.pp_print_int ppf x
+
+let pp ppf = function
+  | Bot -> Format.pp_print_string ppf "_|_"
+  | Range (l, h) -> Format.fprintf ppf "[%a, %a]" pp_bound l pp_bound h
+
+let to_string t = Format.asprintf "%a" pp t

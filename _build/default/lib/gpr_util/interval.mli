@@ -1,0 +1,88 @@
+(** Intervals over the integers extended with [-oo] and [+oo].
+
+    This is the abstract domain used by the static range analysis
+    ({!Gpr_analysis.Range}).  Intervals are closed: [range lo hi] denotes
+    all integers [x] with [lo <= x <= hi].  The empty interval [bot] is
+    the bottom element of the lattice; [top] is [[-oo, +oo]]. *)
+
+type bound =
+  | Neg_inf
+  | Finite of int
+  | Pos_inf
+
+type t =
+  | Bot                        (** empty set *)
+  | Range of bound * bound     (** invariant: lo <= hi *)
+
+val bot : t
+val top : t
+
+val of_const : int -> t
+(** Singleton interval. *)
+
+val range : bound -> bound -> t
+(** [range lo hi] is [Bot] when [lo > hi]. *)
+
+val of_ints : int -> int -> t
+(** [of_ints lo hi]; [Bot] when [lo > hi]. *)
+
+val i32 : t
+(** The full signed 32-bit range [[-2^31, 2^31-1]]. *)
+
+val u32 : t
+(** The full unsigned 32-bit range [[0, 2^32-1]]. *)
+
+val is_bot : t -> bool
+val equal : t -> t -> bool
+val compare_bound : bound -> bound -> int
+
+val lo : t -> bound
+val hi : t -> bound
+
+val contains : t -> int -> bool
+val subset : t -> t -> bool
+(** [subset a b] is true when [a] ⊆ [b]. *)
+
+val join : t -> t -> t
+(** Least upper bound (range union hull). *)
+
+val meet : t -> t -> t
+(** Greatest lower bound (intersection). *)
+
+val widen : t -> t -> t
+(** [widen old new_] jumps unstable bounds to the corresponding infinity
+    (standard interval widening). *)
+
+val narrow : t -> t -> t
+(** [narrow old new_] refines infinite bounds of [old] with the finite
+    bounds of [new_]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val rem : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+val shl : t -> t -> t
+val shr : t -> t -> t
+val band : t -> t -> t
+(** Conservative bitwise-and: precise for non-negative operands where one
+    side is a constant mask, otherwise falls back to a sound hull. *)
+
+val bor : t -> t -> t
+val bxor : t -> t -> t
+
+val clamp_i32 : t -> t
+(** Meet with {!i32}; models 32-bit signed wrap-around conservatively
+    (an interval escaping the 32-bit range becomes {!i32}). *)
+
+val clamp_u32 : t -> t
+
+val size : t -> int option
+(** Number of integers contained, when finite and representable. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,44 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  if seed = 0 then { state = 0x9E3779B97F4A7C15L }
+  else { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let int64 t =
+  let open Int64 in
+  let x = t.state in
+  let x = logxor x (shift_right_logical x 12) in
+  let x = logxor x (shift_left x 25) in
+  let x = logxor x (shift_right_logical x 27) in
+  t.state <- x;
+  mul x 0x2545F4914F6CDD1DL
+
+let int t bound =
+  assert (bound > 0);
+  let x = Int64.to_int (int64 t) land max_int in
+  x mod bound
+
+let uniform t =
+  let x = Int64.to_int (int64 t) land max_int in
+  float_of_int x /. float_of_int max_int
+
+let float t bound = uniform t *. bound
+
+let range t lo hi = lo +. uniform t *. (hi -. lo)
+
+let gaussian t =
+  let u1 = max 1e-12 (uniform t) in
+  let u2 = uniform t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,27 @@
+(** Deterministic xorshift64* pseudo-random generator.
+
+    Every workload input generator draws from this so that reference
+    outputs, traces and benchmark numbers are reproducible run to run. *)
+
+type t
+
+val create : int -> t
+(** Seed must be non-zero; zero is mapped to a fixed constant. *)
+
+val copy : t -> t
+val int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound); requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val uniform : t -> float
+(** Uniform in [0, 1). *)
+
+val range : t -> float -> float -> float
+val gaussian : t -> float
+(** Standard normal via Box-Muller. *)
+
+val bool : t -> bool
+val shuffle : t -> 'a array -> unit

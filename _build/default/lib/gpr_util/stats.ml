@@ -1,0 +1,40 @@
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> nan
+  | xs ->
+    let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (logsum /. float_of_int (List.length xs))
+
+let geomean_ratio pcts =
+  let ratios = List.map (fun p -> 1.0 +. (p /. 100.0)) pcts in
+  (geomean ratios -. 1.0) *. 100.0
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. (n -. 1.0))
+
+let min_max = function
+  | [] -> (nan, nan)
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let percentile xs p =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)

@@ -1,0 +1,14 @@
+(** Small statistics helpers used when summarising benchmark results. *)
+
+val mean : float list -> float
+val geomean : float list -> float
+(** Geometric mean; requires all elements > 0. *)
+
+val geomean_ratio : float list -> float
+(** Geometric mean of [1 + x/100] ratios, returned back as a percentage
+    increase — the aggregation the paper uses for Figure 11. *)
+
+val stddev : float list -> float
+val min_max : float list -> float * float
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0, 100]; linear interpolation. *)

@@ -1,0 +1,41 @@
+type align = Left | Right
+
+let render ?aligns ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+       List.iteri
+         (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+         row)
+    all;
+  let aligns =
+    match aligns with
+    | Some a -> Array.of_list a
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let align_of i = if i < Array.length aligns then aligns.(i) else Right in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    match align_of i with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let line row = row |> List.mapi pad |> String.concat "  " in
+  let rule =
+    Array.to_list widths
+    |> List.map (fun w -> String.make w '-')
+    |> String.concat "  "
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let print ?aligns ~header rows =
+  print_endline (render ?aligns ~header rows)
+
+let fp ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+let pct ?(digits = 1) x = Printf.sprintf "%.*f%%" digits x
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

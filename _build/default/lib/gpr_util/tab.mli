@@ -1,0 +1,19 @@
+(** Plain-text column-aligned tables, used by the benchmark harness to
+    print each reproduced table/figure in the paper's layout. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] pads every column to its widest cell.  [aligns]
+    defaults to left for the first column and right for the rest. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+
+val fp : ?digits:int -> float -> string
+(** Fixed-point formatting helper ([digits] defaults to 2). *)
+
+val pct : ?digits:int -> float -> string
+(** [fp] with a trailing ["%"]. *)
+
+val section : string -> unit
+(** Print an underlined section heading. *)

@@ -1,0 +1,1 @@
+lib/gpr_workloads/glib.ml: Builder Gpr_isa

@@ -1,0 +1,1 @@
+lib/gpr_workloads/glib.mli: Builder Gpr_isa

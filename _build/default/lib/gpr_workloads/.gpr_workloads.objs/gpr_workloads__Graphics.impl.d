@@ -1,0 +1,1 @@
+lib/gpr_workloads/graphics.ml: Builder Glib Gpr_exec Gpr_isa Gpr_quality Inputs List Workload

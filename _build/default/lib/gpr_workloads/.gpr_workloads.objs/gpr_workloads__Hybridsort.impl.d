@@ -1,0 +1,1 @@
+lib/gpr_workloads/hybridsort.ml: Array Builder Gpr_exec Gpr_isa Gpr_quality Inputs List Workload

@@ -1,0 +1,1 @@
+lib/gpr_workloads/inputs.ml: Array Gpr_util

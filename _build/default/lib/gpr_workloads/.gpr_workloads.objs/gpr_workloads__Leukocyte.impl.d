@@ -1,0 +1,1 @@
+lib/gpr_workloads/leukocyte.ml: Array Builder Float Glib Gpr_exec Gpr_isa Gpr_quality Inputs List Workload

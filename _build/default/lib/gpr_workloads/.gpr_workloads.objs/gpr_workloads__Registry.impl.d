@@ -1,0 +1,1 @@
+lib/gpr_workloads/registry.ml: Graphics Hybridsort Leukocyte List Rodinia String Workload

@@ -1,0 +1,1 @@
+lib/gpr_workloads/registry.mli: Workload

@@ -1,0 +1,1 @@
+lib/gpr_workloads/rodinia.ml: Array Builder Glib Gpr_exec Gpr_isa Gpr_quality Gpr_util Inputs List Stdlib Workload

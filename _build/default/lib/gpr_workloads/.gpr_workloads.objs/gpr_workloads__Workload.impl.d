@@ -1,0 +1,1 @@
+lib/gpr_workloads/workload.ml: Array Gpr_exec Gpr_isa Gpr_quality Gpr_util List

@@ -1,0 +1,1 @@
+lib/gpr_workloads/workload.mli: Gpr_exec Gpr_isa Gpr_quality

@@ -1,0 +1,57 @@
+open Gpr_isa
+open Builder
+
+let fract b v =
+  let fl = ffloor b v in
+  fsub b v ~$fl
+
+let mix b a x t =
+  let d = fsub b x a in
+  ffma b ~$d t a
+
+let clamp01 b v =
+  let lo = fmax b v (cf 0.0) in
+  fmin b ~$lo (cf 1.0)
+
+let smoothstep01 b t =
+  (* t * t * (3 - 2t) *)
+  let t2 = fmul b t t in
+  let m = ffma b (cf (-2.0)) t (cf 3.0) in
+  fmul b ~$t2 ~$m
+
+let hash11 b x =
+  let s = fsin b x in
+  let big = fmul b ~$s (cf 43758.5453) in
+  fract b ~$big
+
+let noise2 b ~x ~y =
+  let ix = ffloor b x and iy = ffloor b y in
+  let fx = fsub b x ~$ix and fy = fsub b y ~$iy in
+  let ux = smoothstep01 b ~$fx and uy = smoothstep01 b ~$fy in
+  let corner dx dy =
+    let cx = fadd b ~$ix (cf dx) and cy = fadd b ~$iy (cf dy) in
+    let n = ffma b ~$cy (cf 57.0) ~$cx in
+    hash11 b ~$n
+  in
+  let n00 = corner 0.0 0.0 and n10 = corner 1.0 0.0 in
+  let n01 = corner 0.0 1.0 and n11 = corner 1.0 1.0 in
+  let nx0 = mix b ~$n00 ~$n10 ~$ux in
+  let nx1 = mix b ~$n01 ~$n11 ~$ux in
+  mix b ~$nx0 ~$nx1 ~$uy
+
+let dot3 b (ax, ay, az) (bx, by, bz) =
+  let xy = fmul b ax bx in
+  let xyz = ffma b ay by ~$xy in
+  ffma b az bz ~$xyz
+
+let length3 b v = fsqrt b ~$(dot3 b v v)
+
+let normalize3 b (x, y, z) =
+  let inv = frsqrt b ~$(dot3 b (x, y, z) (x, y, z)) in
+  (fmul b x ~$inv, fmul b y ~$inv, fmul b z ~$inv)
+
+let pixel_xy b ~width =
+  let gid = global_thread_id_x b in
+  let x = irem b ~$gid (ci width) in
+  let y = idiv b ~$gid (ci width) in
+  (gid, x, y)

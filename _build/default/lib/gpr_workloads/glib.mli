@@ -1,0 +1,36 @@
+(** Small shader-math library over the kernel builder: the common
+    subexpressions of the graphics workloads (Sec. 5.3 — Shadertoy-
+    style kernels use fract/hash/value-noise/lerp idioms heavily). *)
+
+open Gpr_isa
+open Gpr_isa.Types
+
+val fract : Builder.t -> operand -> vreg
+val mix : Builder.t -> operand -> operand -> operand -> vreg
+(** [mix a b t] = a + (b - a) * t *)
+
+val clamp01 : Builder.t -> operand -> vreg
+val smoothstep01 : Builder.t -> operand -> vreg
+(** 3t² − 2t³ for t in [0,1]. *)
+
+val hash11 : Builder.t -> operand -> vreg
+(** fract(sin(x) · 43758.5453) — the classic shader hash. *)
+
+val noise2 : Builder.t -> x:operand -> y:operand -> vreg
+(** Value noise on the integer lattice with smooth interpolation. *)
+
+val dot3 :
+  Builder.t ->
+  operand * operand * operand ->
+  operand * operand * operand ->
+  vreg
+
+val normalize3 :
+  Builder.t ->
+  operand * operand * operand ->
+  vreg * vreg * vreg
+
+val length3 : Builder.t -> operand * operand * operand -> vreg
+
+val pixel_xy : Builder.t -> width:int -> vreg * vreg * vreg
+(** [(gid, x, y)] for a 1-D launch over a [width]-wide image. *)

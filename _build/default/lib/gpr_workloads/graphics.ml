@@ -1,0 +1,510 @@
+(** The four graphics kernels of Table 4 (group 1, SSIM metric):
+    Deferred and SSAO are standard real-time rendering passes; Elevated
+    and Pathtracer re-implement the two Shadertoy kernels — a
+    ray-marched value-noise terrain and a small path tracer.
+
+    All render a [dim]×[dim] luminance image with 256 threads per block
+    (8 warps, matching Table 4). *)
+
+open Gpr_isa
+open Gpr_isa.Types
+open Builder
+module Q = Gpr_quality.Quality
+
+(* Texture-consuming passes render 64x64 so their G-buffer working sets
+   exceed the L1/texture caches, as the originals' full-resolution
+   buffers do; the procedural kernels render 32x32 (their cost is pure
+   compute, so resolution only scales runtime). *)
+let tex_dim = 96
+let tex_pixels = tex_dim * tex_dim
+let tex_launch = launch_1d ~block:256 ~grid:(tex_pixels / 256)
+let dim = 32
+let pixels = dim * dim
+let launch = launch_1d ~block:256 ~grid:(pixels / 256)
+
+(* ------------------------------------------------------------------ *)
+(* SSAO: 8-sample screen-space ambient occlusion over a depth texture. *)
+
+let ssao_kernel () =
+  let b = create ~name:"ssao" in
+  let depth = texture_buffer b F32 "depth" in
+  let normal = texture_buffer b F32 "normal" in
+  let ao = global_buffer b F32 "ao" in
+  let gid, x, y = Glib.pixel_xy b ~width:tex_dim in
+  let d0 = ld b depth ~$gid in
+  let n0 = ld b normal ~$gid in
+  let offsets =
+    [ (1, 0, 0.14); (-1, 0, 0.14); (0, 1, 0.14); (0, -1, 0.14);
+      (2, 1, 0.09); (-2, 1, 0.09); (2, -1, 0.09); (-2, -1, 0.09);
+      (1, 2, 0.06); (-1, 2, 0.06); (1, -2, 0.06); (-1, -2, 0.06);
+      (3, 3, 0.03); (-3, 3, 0.03); (3, -3, 0.03); (-3, -3, 0.03) ]
+  in
+  (* Phase 1: fetch all sixteen neighbour depths; they stay live while
+     the occlusion terms are evaluated. *)
+  let samples =
+    List.map
+      (fun (dx, dy, w) ->
+         let xs = imin b ~$(imax b ~$(iadd b ~$x (ci dx)) (ci 0)) (ci (tex_dim - 1)) in
+         let ys = imin b ~$(imax b ~$(iadd b ~$y (ci dy)) (ci 0)) (ci (tex_dim - 1)) in
+         let idx = imad b ~$ys (ci tex_dim) ~$xs in
+         (ld b depth ~$idx, w))
+      offsets
+  in
+  (* Phase 2: every sample's occlusion contribution, all live before
+     the weighted reduction. *)
+  let contribs =
+    List.map
+      (fun (ds, w) ->
+         let diff = fsub b ~$d0 ~$ds in
+         let biased = fsub b ~$diff (cf 0.02) in
+         let falloff = frcp b ~$(ffma b ~$biased (cf 4.0) (cf 1.0)) in
+         (fmul b ~$(fmax b ~$biased (cf 0.0)) ~$falloff, w))
+      samples
+  in
+  let occ =
+    List.fold_left
+      (fun acc (contrib, w) -> ffma b ~$contrib (cf w) ~$acc)
+      (mov b F32 (cf 0.0)) contribs
+  in
+  (* Second statistics pass over the same samples (mean neighbourhood
+     depth drives a range tint), so the fetched depths stay live through
+     the whole occlusion evaluation. *)
+  let avg =
+    List.fold_left
+      (fun acc (ds, _) -> fadd b ~$acc ~$ds)
+      (mov b F32 (cf 0.0)) samples
+  in
+  let tint = ffma b ~$avg (cf (0.1 /. 16.0)) (cf 0.95) in
+  let shaped =
+    fmul b ~$(fmul b ~$occ ~$tint) ~$(ffma b ~$n0 (cf 0.5) (cf 0.75))
+  in
+  let result = Glib.clamp01 b ~$(fsub b (cf 1.0) ~$shaped) in
+  st b ao ~$gid ~$result;
+  finish b
+
+let ssao : Workload.t =
+  {
+    name = "SSAO";
+    group = 1;
+    metric = Q.M_ssim;
+    kernel = ssao_kernel ();
+    launch = tex_launch;
+    params = [||];
+    data =
+      (fun () ->
+         [ ("depth", Gpr_exec.Exec.F_data (Inputs.qfloats ~seed:101 ~n:tex_pixels));
+           ("normal", Gpr_exec.Exec.F_data (Inputs.qfloats ~seed:102 ~n:tex_pixels));
+           ("ao", Gpr_exec.Exec.F_data (Inputs.zeros_f tex_pixels)) ]);
+    shared = [];
+    extra_shared_bytes = 0;
+    output = Workload.Out_image ("ao", tex_dim, tex_dim);
+    paper_regs = 28;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Deferred: G-buffer lighting with four point lights and Blinn-style
+   specular highlights. *)
+
+let deferred_kernel () =
+  let b = create ~name:"deferred" in
+  let nx = texture_buffer b F32 "nx" in
+  let ny = texture_buffer b F32 "ny" in
+  let nz = texture_buffer b F32 "nz" in
+  let depth = texture_buffer b F32 "depth" in
+  let albedo = texture_buffer b F32 "albedo" in
+  let out = global_buffer b F32 "shaded" in
+  let gid, x, y = Glib.pixel_xy b ~width:tex_dim in
+  let inv = 1.0 /. float_of_int tex_dim in
+  let px =
+    ffma b ~$(Builder.itof b ~$x) (cf inv) (cf (-0.5))
+  in
+  let py =
+    ffma b ~$(Builder.itof b ~$y) (cf inv) (cf (-0.5))
+  in
+  let pz = ld b depth ~$gid in
+  let nvx = ld b nx ~$gid and nvy = ld b ny ~$gid and nvz = ld b nz ~$gid in
+  let nxn, nyn, nzn = Glib.normalize3 b (~$nvx, ~$nvy, ~$nvz) in
+  let alb = ld b albedo ~$gid in
+  (* View vector for Blinn-Phong half-vector speculars. *)
+  let vx, vy, vz = Glib.normalize3 b (~$(fneg b ~$px), ~$(fneg b ~$py), ~$(fneg b ~$pz)) in
+  (* Phase 1: evaluate every light's diffuse and specular partials; all
+     sixteen stay live until the combine (the original shades all
+     lights from the G-buffer in one pass). *)
+  let light (lx, ly, lz) intensity =
+    let dx = fsub b (cf lx) ~$px in
+    let dy = fsub b (cf ly) ~$py in
+    let dz = fsub b (cf lz) ~$pz in
+    let d2 = Glib.dot3 b (~$dx, ~$dy, ~$dz) (~$dx, ~$dy, ~$dz) in
+    let irt = frsqrt b ~$d2 in
+    let lxh = fmul b ~$dx ~$irt
+    and lyh = fmul b ~$dy ~$irt
+    and lzh = fmul b ~$dz ~$irt in
+    let ndl =
+      fmax b ~$(Glib.dot3 b (~$nxn, ~$nyn, ~$nzn) (~$lxh, ~$lyh, ~$lzh))
+        (cf 0.0)
+    in
+    (* Half vector between light and view. *)
+    let hx, hy, hz =
+      Glib.normalize3 b
+        (~$(fadd b ~$lxh ~$vx), ~$(fadd b ~$lyh ~$vy), ~$(fadd b ~$lzh ~$vz))
+    in
+    let ndh =
+      fmax b ~$(Glib.dot3 b (~$nxn, ~$nyn, ~$nzn) (~$hx, ~$hy, ~$hz)) (cf 1e-3)
+    in
+    let atten = frcp b ~$(ffma b ~$d2 (cf 4.0) (cf 1.0)) in
+    let diff = fmul b ~$(fmul b ~$ndl ~$atten) (cf intensity) in
+    (* ndh^16 via exp2/log2 *)
+    let p16 = fex2 b ~$(fmul b ~$(flg2 b ~$ndh) (cf 16.0)) in
+    let spec = fmul b ~$(fmul b ~$p16 ~$atten) (cf (0.3 *. intensity)) in
+    (diff, spec)
+  in
+  let lights =
+    [ ((0.4, 0.3, 0.2), 1.0); ((-0.4, -0.2, 0.4), 0.8);
+      ((0.1, -0.4, 0.6), 0.6); ((-0.2, 0.4, 0.8), 0.5);
+      ((0.6, -0.1, 0.9), 0.4); ((-0.6, 0.2, 0.3), 0.35);
+      ((0.3, 0.6, 0.5), 0.3); ((-0.1, -0.6, 0.7), 0.25);
+      ((0.7, 0.4, 0.1), 0.22); ((-0.7, -0.4, 0.8), 0.2);
+      ((0.2, 0.7, 0.9), 0.18); ((-0.3, -0.7, 0.2), 0.15) ]
+  in
+  let partials = List.map (fun (pos, i) -> light pos i) lights in
+  (* Phase 2: combine. *)
+  let diffuse =
+    List.fold_left (fun acc (d, _) -> fadd b ~$acc ~$d)
+      (mov b F32 (cf 0.0)) partials
+  in
+  let specular =
+    List.fold_left (fun acc (_, sp) -> fadd b ~$acc ~$sp)
+      (mov b F32 (cf 0.0)) partials
+  in
+  let lum = ffma b ~$alb ~$(fadd b (cf 0.05) ~$diffuse) ~$specular in
+  st b out ~$gid ~$(Glib.clamp01 b ~$lum);
+  finish b
+
+let deferred : Workload.t =
+  {
+    name = "Deferred";
+    group = 1;
+    metric = Q.M_ssim;
+    kernel = deferred_kernel ();
+    launch = tex_launch;
+    params = [||];
+    data =
+      (fun () ->
+         [ ("nx", Gpr_exec.Exec.F_data (Inputs.qfloats_range ~seed:201 ~n:tex_pixels ~lo:(-1.0) ~hi:1.0));
+           ("ny", Gpr_exec.Exec.F_data (Inputs.qfloats_range ~seed:202 ~n:tex_pixels ~lo:(-1.0) ~hi:1.0));
+           ("nz", Gpr_exec.Exec.F_data (Inputs.qfloats_range ~seed:203 ~n:tex_pixels ~lo:0.1 ~hi:1.0));
+           ("depth", Gpr_exec.Exec.F_data (Inputs.qfloats ~seed:204 ~n:tex_pixels));
+           ("albedo", Gpr_exec.Exec.F_data (Inputs.qfloats ~seed:205 ~n:tex_pixels));
+           ("shaded", Gpr_exec.Exec.F_data (Inputs.zeros_f tex_pixels)) ]);
+    shared = [];
+    extra_shared_bytes = 0;
+    output = Workload.Out_image ("shaded", tex_dim, tex_dim);
+    paper_regs = 47;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Elevated: ray-marched fractal landscape (value noise octaves),
+   finite-difference normals, fog. *)
+
+let terrain b ~x ~z =
+  (* Four octaves, all evaluated before the weighted combine. *)
+  let o1 = Glib.noise2 b ~x ~y:z in
+  let x2 = ffma b x (cf 2.0) (cf 5.3) and z2 = ffma b z (cf 2.0) (cf 1.7) in
+  let o2 = Glib.noise2 b ~x:~$x2 ~y:~$z2 in
+  let x3 = ffma b x (cf 4.0) (cf 9.1) and z3 = ffma b z (cf 4.0) (cf 4.2) in
+  let o3 = Glib.noise2 b ~x:~$x3 ~y:~$z3 in
+  let x4 = ffma b x (cf 8.0) (cf 3.7) and z4 = ffma b z (cf 8.0) (cf 6.1) in
+  let o4 = Glib.noise2 b ~x:~$x4 ~y:~$z4 in
+  let h = ffma b ~$o1 (cf 0.55) (cf 0.0) in
+  let h = ffma b ~$o2 (cf 0.25) ~$h in
+  let h = ffma b ~$o3 (cf 0.10) ~$h in
+  ffma b ~$o4 (cf 0.05) ~$h
+
+let elevated_kernel () =
+  let b = create ~name:"elevated" in
+  let out = global_buffer b F32 "terrain_img" in
+  let gid, x, y = Glib.pixel_xy b ~width:dim in
+  let inv = 1.0 /. float_of_int dim in
+  let ux = ffma b ~$(itof b ~$x) (cf inv) (cf (-0.5)) in
+  let uy = ffma b ~$(itof b ~$y) (cf inv) (cf (-0.5)) in
+  (* Ray from above the terrain, looking slightly down. *)
+  let rdy0 = ffma b ~$uy (cf 0.6) (cf (-0.18)) in
+  let rdx, rdy, rdz = Glib.normalize3 b (~$ux, ~$rdy0, cf 1.0) in
+  let oy = 1.1 in
+  (* Sky colour (cloud layer) is computed before the march and stays
+     live across the whole loop, as in the original shader. *)
+  let cloud =
+    Glib.noise2 b ~x:~$(ffma b ~$rdx (cf 6.0) (cf 11.0))
+      ~y:~$(ffma b ~$rdz (cf 6.0) (cf 7.0))
+  in
+  let cloud2 =
+    Glib.noise2 b ~x:~$(ffma b ~$rdx (cf 13.0) (cf 3.0))
+      ~y:~$(ffma b ~$rdz (cf 13.0) (cf 17.0))
+  in
+  let sky_tint = ffma b ~$cloud2 (cf 0.15) ~$(ffma b ~$cloud (cf 0.3) (cf 0.55)) in
+  (* Loop-carried march state: position parameter, previous signed
+     distance (for the final interpolation), closest approach (a cheap
+     soft-shadow/AO proxy) — all live across the whole march, as in the
+     original shader. *)
+  let t = var b F32 "t" in
+  let prev_d = var b F32 "prev_d" in
+  let min_d = var b F32 "min_d" in
+  let ao = var b F32 "ao" in
+  assign b t (cf 0.4);
+  assign b prev_d (cf 1.0);
+  assign b min_d (cf 10.0);
+  assign b ao (cf 0.0);
+  for_ b ~lo:(ci 0) ~hi:(ci 12) (fun _ ->
+      let px = fmul b ~$rdx ~$t in
+      let py = ffma b ~$rdy ~$t (cf oy) in
+      let pz = fmul b ~$rdz ~$t in
+      let h = terrain b ~x:~$px ~z:~$pz in
+      let d = fsub b ~$py ~$h in
+      assign b min_d ~$(fmin b ~$min_d ~$(fmul b ~$d ~$(frcp b ~$t)));
+      assign b ao ~$(ffma b ~$(fmax b ~$d (cf 0.0)) (cf 0.08) ~$ao);
+      assign b prev_d ~$d;
+      let step = fmax b ~$(fmul b ~$d (cf 0.55)) (cf 0.04) in
+      assign b t ~$(fadd b ~$t ~$step));
+  (* Interpolated hit refinement using the last two distances. *)
+  let refine =
+    fmul b ~$(fmax b ~$prev_d (cf 0.0)) (cf 0.3)
+  in
+  let t_hit = fsub b ~$t ~$refine in
+  (* Shade at the refined position: four terrain evaluations for the
+     finite-difference normal are all live together. *)
+  let px = fmul b ~$rdx ~$t_hit in
+  let pz = fmul b ~$rdz ~$t_hit in
+  let py = ffma b ~$rdy ~$t_hit (cf oy) in
+  let eps = 0.04 in
+  let hx1 = terrain b ~x:~$(fadd b ~$px (cf eps)) ~z:~$pz in
+  let hx0 = terrain b ~x:~$(fsub b ~$px (cf eps)) ~z:~$pz in
+  let hz1 = terrain b ~x:~$px ~z:~$(fadd b ~$pz (cf eps)) in
+  let hz0 = terrain b ~x:~$px ~z:~$(fsub b ~$pz (cf eps)) in
+  let nx = fsub b ~$hx0 ~$hx1 in
+  let nz = fsub b ~$hz0 ~$hz1 in
+  let nxn, nyn, nzn = Glib.normalize3 b (~$nx, cf (2.0 *. eps), ~$nz) in
+  let sun = Glib.dot3 b (~$nxn, ~$nyn, ~$nzn) (cf 0.57735, cf 0.57735, cf 0.57735) in
+  let lit = fmax b ~$sun (cf 0.0) in
+  (* Altitude-banded material (grass / rock / snow), slope-modulated. *)
+  let altitude = Glib.clamp01 b ~$(fmul b ~$py (cf 1.4)) in
+  let slope = Glib.clamp01 b ~$(fmul b ~$nyn ~$nyn) in
+  let grass = 0.35 and rock = 0.55 and snow = 0.9 in
+  let lo_band = Glib.mix b (cf grass) (cf rock) ~$altitude in
+  let material = Glib.mix b ~$lo_band (cf snow) ~$(fmul b ~$altitude ~$slope) in
+  let shadow = Glib.clamp01 b ~$(ffma b ~$min_d (cf 4.0) (cf 0.6)) in
+  let ambient = Glib.clamp01 b ~$(fmul b ~$ao (cf 0.8)) in
+  (* High-frequency detail bump modulating the direct term. *)
+  let detail =
+    Glib.noise2 b ~x:~$(fmul b ~$px (cf 9.0)) ~y:~$(fmul b ~$pz (cf 9.0))
+  in
+  let bump = ffma b ~$detail (cf 0.2) (cf 0.9) in
+  let direct = fmul b ~$(fmul b ~$(fmul b ~$lit ~$shadow) ~$material) ~$bump in
+  let indirect = fmul b ~$ambient (cf 0.25) in
+  let fog = fex2 b ~$(fmul b ~$t_hit (cf (-0.55))) in
+  let sky_base = fsub b (cf 1.0) ~$fog in
+  let sky = fmul b ~$sky_base ~$sky_tint in
+  let ground = fmul b ~$(fadd b ~$direct ~$indirect) ~$fog in
+  let lum = ffma b ~$sky (cf 0.65) ~$ground in
+  st b out ~$gid ~$(Glib.clamp01 b ~$lum);
+  finish b
+
+let elevated : Workload.t =
+  {
+    name = "Elevated";
+    group = 1;
+    metric = Q.M_ssim;
+    kernel = elevated_kernel ();
+    launch;
+    params = [||];
+    data =
+      (fun () ->
+         [ ("terrain_img", Gpr_exec.Exec.F_data (Inputs.zeros_f pixels)) ]);
+    shared = [];
+    extra_shared_bytes = 0;
+    output = Workload.Out_image ("terrain_img", dim, dim);
+    paper_regs = 46;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pathtracer: one sample, two bounces over a plane and three spheres;
+   per-thread integer xorshift-style RNG (kept 32-bit — the RNG state
+   is genuinely incompressible, as in the original kernel). *)
+
+type sphere = { cx : float; cy : float; cz : float; r : float; refl : float }
+
+let scene =
+  [ { cx = 0.0; cy = 1.0; cz = 3.0; r = 1.0; refl = 0.9 };
+    { cx = 1.7; cy = 0.7; cz = 2.4; r = 0.7; refl = 0.55 };
+    { cx = -1.5; cy = 0.6; cz = 3.5; r = 0.6; refl = 0.35 };
+    { cx = 0.9; cy = 0.4; cz = 4.2; r = 0.4; refl = 0.7 };
+    { cx = -0.7; cy = 0.3; cz = 2.0; r = 0.3; refl = 0.45 } ]
+
+let pathtracer_kernel () =
+  let b = create ~name:"pathtracer" in
+  let out = global_buffer b F32 "radiance" in
+  let gid, x, y = Glib.pixel_xy b ~width:dim in
+  (* Integer RNG state (LCG); drives the bounce jitter. *)
+  let seed = var b S32 "seed" in
+  assign b seed ~$(imad b ~$gid (ci 747796405) (ci 2891336453));
+  let next_rand () =
+    assign b seed ~$(imad b ~$seed (ci 1103515245) (ci 12345));
+    let bits = iand b ~$(ishr b ~$seed (ci 9)) (ci 0x7fffff) in
+    fmul b ~$(itof b ~$bits) (cf (1.0 /. 8388608.0))
+  in
+  let inv = 1.0 /. float_of_int dim in
+  let ux = ffma b ~$(itof b ~$x) (cf inv) (cf (-0.5)) in
+  let uy = ffma b ~$(itof b ~$y) (cf inv) (cf (-0.3)) in
+  (* Mutable ray state across bounces. *)
+  let ox = var b F32 "ox" and oy = var b F32 "oy" and oz = var b F32 "oz" in
+  let dx = var b F32 "dx" and dy = var b F32 "dy" and dz = var b F32 "dz" in
+  let acc = var b F32 "acc" and thru = var b F32 "through" in
+  assign b ox (cf 0.0); assign b oy (cf 1.0); assign b oz (cf (-1.2));
+  let d0x, d0y, d0z = Glib.normalize3 b (~$ux, ~$uy, cf 1.0) in
+  assign b dx ~$d0x; assign b dy ~$d0y; assign b dz ~$d0z;
+  assign b acc (cf 0.0);
+  assign b thru (cf 1.0);
+  let big = 1e9 in
+  let bounce () =
+    (* Nearest hit over the plane y=0 and the three spheres. *)
+    let tplane =
+      (* t = -oy/dy when dy < 0, else big *)
+      let t = fdiv b ~$(fneg b ~$oy) ~$dy in
+      let valid = flt b ~$dy (cf (-1e-6)) in
+      let tpos = fgt b ~$t (cf 1e-3) in
+      selp b F32 ~$t (cf big) (pand b valid tpos)
+    in
+    (* All sphere tests evaluated before the nearest-hit selection:
+       their candidate distances are live together. *)
+    let candidates =
+      List.map
+        (fun s ->
+           let ocx = fsub b ~$ox (cf s.cx) in
+           let ocy = fsub b ~$oy (cf s.cy) in
+           let ocz = fsub b ~$oz (cf s.cz) in
+           let bq = Glib.dot3 b (~$ocx, ~$ocy, ~$ocz) (~$dx, ~$dy, ~$dz) in
+           let cq =
+             fsub b ~$(Glib.dot3 b (~$ocx, ~$ocy, ~$ocz) (~$ocx, ~$ocy, ~$ocz))
+               (cf (s.r *. s.r))
+           in
+           let disc = fsub b ~$(fmul b ~$bq ~$bq) ~$cq in
+           let sq = fsqrt b ~$(fmax b ~$disc (cf 0.0)) in
+           let th = fsub b ~$(fneg b ~$bq) ~$sq in
+           let hit = pand b (fgt b ~$disc (cf 0.0)) (fgt b ~$th (cf 1e-3)) in
+           selp b F32 ~$th (cf big) hit)
+        scene
+    in
+    let best_t = var b F32 "best_t" and best_id = var b S32 "best_id" in
+    assign b best_t ~$tplane;
+    assign b best_id (ci 0);
+    List.iteri
+      (fun i t ->
+         let closer = flt b ~$t ~$best_t in
+         assign b best_id ~$(selp b S32 (ci (i + 1)) ~$best_id closer);
+         assign b best_t ~$(selp b F32 ~$t ~$best_t closer))
+      candidates;
+    (* Shade: sky on miss, Lambert + bounce on hit. *)
+    let missed = fge b ~$best_t (cf (big *. 0.5)) in
+    let skyv = ffma b ~$dy (cf 0.4) (cf 0.5) in
+    if_ b missed
+      (fun () ->
+         assign b acc ~$(ffma b ~$thru ~$skyv ~$acc);
+         assign b thru (cf 0.0))
+      (fun () ->
+         let hx = ffma b ~$dx ~$best_t ~$ox in
+         let hy = ffma b ~$dy ~$best_t ~$oy in
+         let hz = ffma b ~$dz ~$best_t ~$oz in
+         (* Normal: plane -> (0,1,0); sphere i -> (h - c)/r.  Selp chains
+            keyed on best_id. *)
+         let nxv = var b F32 "nx" and nyv = var b F32 "ny" and nzv = var b F32 "nz" in
+         let albv = var b F32 "alb" in
+         assign b nxv (cf 0.0); assign b nyv (cf 1.0); assign b nzv (cf 0.0);
+         (* checkerboard-ish plane albedo from position *)
+         let cx = ffloor b ~$(fmul b ~$hx (cf 1.0)) in
+         let cz = ffloor b ~$(fmul b ~$hz (cf 1.0)) in
+         let par = Glib.fract b ~$(fmul b ~$(fadd b ~$cx ~$cz) (cf 0.5)) in
+         assign b albv ~$(ffma b ~$par (cf 0.6) (cf 0.25));
+         (* All candidate sphere normals are computed eagerly before
+            the id-keyed selection, so they are live together. *)
+         let normals =
+           List.map
+             (fun s ->
+                let inv_r = 1.0 /. s.r in
+                let snx = fmul b ~$(fsub b ~$hx (cf s.cx)) (cf inv_r) in
+                let sny = fmul b ~$(fsub b ~$hy (cf s.cy)) (cf inv_r) in
+                let snz = fmul b ~$(fsub b ~$hz (cf s.cz)) (cf inv_r) in
+                (snx, sny, snz))
+             scene
+         in
+         List.iteri
+           (fun i ((snx, sny, snz), s) ->
+              let is_i = ieq b ~$best_id (ci (i + 1)) in
+              assign b nxv ~$(selp b F32 ~$snx ~$nxv is_i);
+              assign b nyv ~$(selp b F32 ~$sny ~$nyv is_i);
+              assign b nzv ~$(selp b F32 ~$snz ~$nzv is_i);
+              assign b albv ~$(selp b F32 (cf s.refl) ~$albv is_i))
+           (List.combine normals scene);
+         let sun = Glib.dot3 b (~$nxv, ~$nyv, ~$nzv) (cf 0.5, cf 0.7, cf (-0.5)) in
+         (* Shadow ray towards the sun: occlusion tests against every
+            sphere stay live until combined. *)
+         let sun_dir = (0.5, 0.7, -0.5) in
+         let shadow =
+           List.fold_left
+             (fun acc s ->
+                let (sdx, sdy, sdz) = sun_dir in
+                let ocx = fsub b ~$hx (cf s.cx) in
+                let ocy = fsub b ~$hy (cf s.cy) in
+                let ocz = fsub b ~$hz (cf s.cz) in
+                let bq =
+                  Glib.dot3 b (~$ocx, ~$ocy, ~$ocz) (cf sdx, cf sdy, cf sdz)
+                in
+                let cq =
+                  fsub b
+                    ~$(Glib.dot3 b (~$ocx, ~$ocy, ~$ocz) (~$ocx, ~$ocy, ~$ocz))
+                    (cf (s.r *. s.r))
+                in
+                let disc = fsub b ~$(fmul b ~$bq ~$bq) ~$cq in
+                let th = fsub b ~$(fneg b ~$bq) ~$(fsqrt b ~$(fmax b ~$disc (cf 0.0))) in
+                let blocked = pand b (fgt b ~$disc (cf 1e-4)) (fgt b ~$th (cf 1e-2)) in
+                selp b F32 (cf 0.0) ~$acc blocked)
+             (mov b F32 (cf 1.0)) scene
+         in
+         let direct = fmul b ~$(fmax b ~$sun (cf 0.0)) ~$shadow in
+         assign b acc ~$(ffma b ~$(fmul b ~$thru ~$albv) ~$direct ~$acc);
+         assign b thru ~$(fmul b ~$thru ~$(fmul b ~$albv (cf 0.5)));
+         (* Diffuse bounce: jittered normal direction. *)
+         let jx = ffma b ~$(next_rand ()) (cf 2.0) (cf (-1.0)) in
+         let jy = ffma b ~$(next_rand ()) (cf 2.0) (cf (-1.0)) in
+         let jz = ffma b ~$(next_rand ()) (cf 2.0) (cf (-1.0)) in
+         let bx = ffma b ~$jx (cf 0.8) ~$nxv in
+         let by = ffma b ~$jy (cf 0.8) ~$nyv in
+         let bz = ffma b ~$jz (cf 0.8) ~$nzv in
+         let ndx, ndy, ndz = Glib.normalize3 b (~$bx, ~$by, ~$bz) in
+         assign b ox ~$(ffma b ~$nxv (cf 1e-3) ~$hx);
+         assign b oy ~$(ffma b ~$nyv (cf 1e-3) ~$hy);
+         assign b oz ~$(ffma b ~$nzv (cf 1e-3) ~$hz);
+         assign b dx ~$ndx; assign b dy ~$ndy; assign b dz ~$ndz)
+  in
+  bounce ();
+  bounce ();
+  (* Final sky contribution for rays still alive. *)
+  let skyv = ffma b ~$dy (cf 0.4) (cf 0.5) in
+  assign b acc ~$(ffma b ~$thru ~$skyv ~$acc);
+  st b out ~$gid ~$(Glib.clamp01 b ~$acc);
+  finish b
+
+let pathtracer : Workload.t =
+  {
+    name = "Pathtracer";
+    group = 1;
+    metric = Q.M_ssim;
+    kernel = pathtracer_kernel ();
+    launch;
+    params = [||];
+    data =
+      (fun () ->
+         [ ("radiance", Gpr_exec.Exec.F_data (Inputs.zeros_f pixels)) ]);
+    shared = [];
+    extra_shared_bytes = 0;
+    output = Workload.Out_image ("radiance", dim, dim);
+    paper_regs = 50;
+  }

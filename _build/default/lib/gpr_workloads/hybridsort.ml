@@ -1,0 +1,113 @@
+(** Hybridsort (Table 4, group 3, binary metric): each block sorts a
+    1024-key tile — a register-resident 4-key sorting network per
+    thread followed by a shared-memory bitonic merge, the structure of
+    the original bucket+merge hybrid's block-sort stage.  Keys are
+    1/256-quantised floats, so the output is bit-reproducible under
+    sufficiently wide reduced formats — which is exactly how the
+    paper's binary-metric kernel still benefits from float
+    compression. *)
+
+open Gpr_isa
+open Gpr_isa.Types
+open Builder
+module Q = Gpr_quality.Quality
+module E = Gpr_exec.Exec
+
+let tile_n = 2048
+let threads = 256
+let blocks = 2
+let total = tile_n * blocks
+let keys_per_thread = tile_n / threads
+
+let kernel () =
+  let b = create ~name:"hybridsort" in
+  let keys_in = global_buffer b F32 "keys_in" in
+  let keys_out = global_buffer b F32 "keys_out" in
+  let tile = shared_buffer b F32 "sort_tile" in
+  let t = tid_x b in
+  let base = imul b ~$(ctaid_x b) (ci tile_n) in
+  (* ---- Register-resident 8-key Batcher sorting network: all eight
+     keys live through the nineteen compare-exchanges. ---- *)
+  let k0 = imul b ~$t (ci keys_per_thread) in
+  let key i = ld b keys_in ~$(iadd b ~$base ~$(iadd b ~$k0 (ci i))) in
+  let keys = Array.init keys_per_thread key in
+  let cmpx i j =
+    let lo = fmin b ~$(keys.(i)) ~$(keys.(j)) in
+    let hi = fmax b ~$(keys.(i)) ~$(keys.(j)) in
+    keys.(i) <- lo;
+    keys.(j) <- hi
+  in
+  (* Batcher odd-even merge network for 8 inputs. *)
+  List.iter (fun (i, j) -> cmpx i j)
+    [ (0,1); (2,3); (4,5); (6,7);
+      (0,2); (1,3); (4,6); (5,7);
+      (1,2); (5,6);
+      (0,4); (1,5); (2,6); (3,7);
+      (2,4); (3,5);
+      (1,2); (3,4); (5,6) ];
+  Array.iteri
+    (fun i k -> st b tile ~$(iadd b ~$k0 (ci i)) ~$k)
+    keys;
+  bar b;
+  (* ---- Bitonic merge over the 1024-key tile.  Each substage handles
+     512 pairs with 256 threads: two pairs per thread, both exchanges
+     live together.  The 4-key presort leaves ascending runs of 4, so
+     the network starts at k = 8. ---- *)
+  let exchange jj kk tv =
+    let low = irem b tv (ci jj) in
+    let high = imul b ~$(idiv b tv (ci jj)) (ci (2 * jj)) in
+    let i = iadd b ~$high ~$low in
+    let ixj = iadd b ~$i (ci jj) in
+    let ascending = ieq b ~$(iand b ~$i (ci kk)) (ci 0) in
+    let x = ld b tile ~$i in
+    let y = ld b tile ~$ixj in
+    let x_gt = fgt b ~$x ~$y in
+    let x_lt = flt b ~$x ~$y in
+    let gt_i = selp b S32 (ci 1) (ci 0) x_gt in
+    let lt_i = selp b S32 (ci 1) (ci 0) x_lt in
+    let want = selp b S32 ~$gt_i ~$lt_i ascending in
+    let swap = ine b ~$want (ci 0) in
+    st b tile ~$i ~$(selp b F32 ~$y ~$x swap);
+    st b tile ~$ixj ~$(selp b F32 ~$x ~$y swap)
+  in
+  (* Sorting runs of 4 are ascending, but bitonic stage k requires the
+     blocks below it to alternate direction, so we include k = 4 and 8
+     stages to rebuild the bitonic structure, then continue upward. *)
+  let k = ref 2 in
+  while !k <= tile_n do
+    let j = ref (!k / 2) in
+    while !j >= 1 do
+      (* Four pair exchanges per thread per substage. *)
+      exchange !j !k ~$t;
+      exchange !j !k ~$(iadd b ~$t (ci threads));
+      exchange !j !k ~$(iadd b ~$t (ci (2 * threads)));
+      exchange !j !k ~$(iadd b ~$t (ci (3 * threads)));
+      bar b;
+      j := !j / 2
+    done;
+    k := !k * 2
+  done;
+  bar b;
+  for i = 0 to keys_per_thread - 1 do
+    let idx = iadd b ~$k0 (ci i) in
+    st b keys_out ~$(iadd b ~$base ~$idx) ~$(ld b tile ~$idx)
+  done;
+  finish b
+
+let hybridsort : Workload.t =
+  {
+    name = "Hybridsort";
+    group = 3;
+    metric = Q.M_binary;
+    kernel = kernel ();
+    launch = launch_1d ~block:threads ~grid:blocks;
+    params = [||];
+    data =
+      (fun () ->
+         [ ("keys_in", E.F_data (Inputs.qfloats ~seed:501 ~n:total));
+           ("keys_out", E.F_data (Inputs.zeros_f total)) ]);
+    shared = [ ("sort_tile", tile_n) ];
+    extra_shared_bytes = 0;
+    output = Workload.Out_floats "keys_out";
+    paper_regs = 36;
+  }

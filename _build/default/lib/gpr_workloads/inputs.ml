@@ -1,0 +1,15 @@
+let qfloats ~seed ~n =
+  let rng = Gpr_util.Rng.create seed in
+  Array.init n (fun _ -> float_of_int (Gpr_util.Rng.int rng 256) /. 256.0)
+
+let qfloats_range ~seed ~n ~lo ~hi =
+  let rng = Gpr_util.Rng.create seed in
+  Array.init n (fun _ ->
+      lo +. (float_of_int (Gpr_util.Rng.int rng 256) /. 256.0 *. (hi -. lo)))
+
+let ints ~seed ~n ~bound =
+  let rng = Gpr_util.Rng.create seed in
+  Array.init n (fun _ -> Gpr_util.Rng.int rng bound)
+
+let zeros_f n = Array.make n 0.0
+let zeros_i n = Array.make n 0

@@ -1,0 +1,18 @@
+(** Deterministic input generators.
+
+    Float inputs are quantised to multiples of 1/256 (the granularity of
+    8-bit image data, which most of the original benchmarks consume).
+    Such values are exactly representable in the wider Table 3 formats,
+    which is what lets the precision tuner find reductions even under
+    the {e perfect} quality threshold — mirroring the behaviour the
+    paper reports. *)
+
+val qfloats : seed:int -> n:int -> float array
+(** Values k/256, k uniform in [0, 255]. *)
+
+val qfloats_range : seed:int -> n:int -> lo:float -> hi:float -> float array
+(** [lo + (k/256)*(hi-lo)] — quantised within a range. *)
+
+val ints : seed:int -> n:int -> bound:int -> int array
+val zeros_f : int -> float array
+val zeros_i : int -> int array

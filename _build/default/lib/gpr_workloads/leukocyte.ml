@@ -1,0 +1,255 @@
+(** The two Leukocyte-tracking kernels (Rodinia): IMGVF — the iterative
+    motion-gradient-vector-flow solver that motivates the paper's
+    Sec. 2 example (10 warps per block, heavy shared-memory tile) — and
+    GICOV, the gradient-inverse-coefficient-of-variation score over a
+    texture (whose texture-cache contention explains its Fig. 11
+    slowdown). *)
+
+open Gpr_isa
+open Gpr_isa.Types
+open Builder
+module Q = Gpr_quality.Quality
+module E = Gpr_exec.Exec
+
+(* ------------------------------------------------------------------ *)
+(* IMGVF.  Image 64 x 50; each block of 320 threads (10 warps) owns a
+   64 x 5 strip staged in a shared halo tile of (64+2) x (5+2).  The
+   original kernel's shared allocation is 14,560 bytes per block
+   (Sec. 6.1); our modelled tile covers part of it and
+   [extra_shared_bytes] accounts for the remainder so occupancy
+   matches. *)
+
+let iv_w = 64
+let iv_h = 60
+let iv_strip = 20
+let iv_cells = iv_w * iv_h
+let iv_tile_w = iv_w + 2
+let iv_tile_h = iv_strip + 2
+let iv_tile = iv_tile_w * iv_tile_h
+let iv_iters = 4
+let iv_threads = 320           (* 10 warps; each thread owns four cells *)
+let iv_cells_per_thread = 4
+let paper_imgvf_shared = 14560
+
+let imgvf_kernel () =
+  let b = create ~name:"imgvf" in
+  let u_in = global_buffer b F32 "u" in
+  let img = global_buffer b F32 "img" in
+  let u_out = global_buffer b F32 "u_out" in
+  let conv = global_buffer b F32 "conv" in
+  let tile = shared_buffer b F32 "tile" in
+  let t = tid_x b in
+  let blk = ctaid_x b in
+  let strip_y0 = imul b ~$blk (ci iv_strip) in
+  (* Stage the halo tile: 1452 entries loaded by 320 threads in five
+     rounds (the last partial). *)
+  let load_entry idx =
+    let tx = irem b idx (ci iv_tile_w) in
+    let ty = idiv b idx (ci iv_tile_w) in
+    let gx = imin b ~$(imax b ~$(iadd b ~$tx (ci (-1))) (ci 0)) (ci (iv_w - 1)) in
+    let gy0 = iadd b ~$(iadd b ~$strip_y0 ~$ty) (ci (-1)) in
+    let gy = imin b ~$(imax b ~$gy0 (ci 0)) (ci (iv_h - 1)) in
+    let v = ld b u_in ~$(imad b ~$gy (ci iv_w) ~$gx) in
+    st b tile idx ~$v
+  in
+  let rounds = (iv_tile + iv_threads - 1) / iv_threads in
+  for r = 0 to rounds - 1 do
+    let idx = iadd b ~$t (ci (r * iv_threads)) in
+    if (r + 1) * iv_threads <= iv_tile then load_entry ~$idx
+    else if_then b (ilt b ~$idx (ci iv_tile)) (fun () -> load_entry ~$idx)
+  done;
+  bar b;
+  (* Each thread owns four vertically adjacent cells of the strip; the
+     whole column of state is live across the iteration, as in the
+     original's unrolled update. *)
+  let lx = irem b ~$t (ci iv_w) in
+  let ly0 = imul b ~$(idiv b ~$t (ci iv_w)) (ci iv_cells_per_thread) in
+  let cell_of k =
+    let ly = iadd b ~$ly0 (ci k) in
+    let cx = iadd b ~$lx (ci 1) in
+    let cy = iadd b ~$ly (ci 1) in
+    let centre = imad b ~$cy (ci iv_tile_w) ~$cx in
+    let gy = iadd b ~$strip_y0 ~$ly in
+    let gidx = imad b ~$gy (ci iv_w) ~$lx in
+    (centre, gidx, ld b img ~$gidx)
+  in
+  let cells = Array.init iv_cells_per_thread cell_of in
+  (* Per-thread convergence accumulator (the original kernel tracks the
+     total absolute change to decide when to stop iterating). *)
+  let total_change = var b F32 "total_change" in
+  assign b total_change (cf 0.0);
+  let inv_ln2 = 1.4426950408889634 in
+  let offsets =
+    (* Dyadic weights keep the diffusion arithmetic exactly
+       representable under modest mantissa reduction. *)
+    [ (0, -1, 1.0); (0, 1, 1.0); (-1, 0, 1.0); (1, 0, 1.0);
+      (-1, -1, 0.75); (1, -1, 0.75); (-1, 1, 0.75); (1, 1, 0.75) ]
+  in
+  for _ = 1 to iv_iters do
+    (* Phase 1: every cell's eight neighbour differences. *)
+    let us =
+      Array.map (fun (c, _, _) -> ld b tile ~$c) cells
+    in
+    let dus =
+      Array.mapi
+        (fun k (c, _, _) ->
+           List.map
+             (fun (dx, dy, w) ->
+                let nidx = iadd b ~$c (ci ((dy * iv_tile_w) + dx)) in
+                let un = ld b tile ~$nidx in
+                (fsub b ~$un ~$(us.(k)), w))
+             offsets)
+        cells
+    in
+    (* Phase 2: Heaviside weights H(du) = 1 / (1 + exp(-80 du)), all
+       held live before the combines. *)
+    let hws =
+      Array.map
+        (fun dul ->
+           List.map
+             (fun (du, w) ->
+                let arg = fmul b ~$du (cf (-80.0 *. inv_ln2)) in
+                let h = frcp b ~$(fadd b (cf 1.0) ~$(fex2 b ~$arg)) in
+                (fmul b ~$h ~$du, w))
+             dul)
+        dus
+    in
+    (* Phase 3: combine with dyadic diffusion/source coefficients. *)
+    let news =
+      Array.mapi
+        (fun k (_, _, i0) ->
+           let acc =
+             List.fold_left
+               (fun acc (hw, w) -> ffma b ~$hw (cf w) ~$acc)
+               (mov b F32 (cf 0.0)) hws.(k)
+           in
+           let diffused = ffma b ~$acc (cf 0.25) ~$(us.(k)) in
+           ffma b ~$(fsub b ~$i0 ~$(us.(k))) (cf 0.125) ~$diffused)
+        cells
+    in
+    Array.iteri
+      (fun k _ ->
+         let d = fabs b ~$(fsub b ~$(news.(k)) ~$(us.(k))) in
+         assign b total_change ~$(fadd b ~$total_change ~$d))
+      cells;
+    bar b;
+    Array.iteri (fun k (c, _, _) -> st b tile ~$c ~$(news.(k))) cells;
+    bar b
+  done;
+  Array.iter
+    (fun (c, gidx, _) -> st b u_out ~$gidx ~$(ld b tile ~$c))
+    cells;
+  st b conv ~$(imad b ~$blk (ci iv_threads) ~$t) ~$total_change;
+  finish b
+
+let imgvf : Workload.t =
+  {
+    name = "IMGVF";
+    group = 2;
+    metric = Q.M_deviation;
+    kernel = imgvf_kernel ();
+    launch = launch_1d ~block:iv_threads ~grid:(iv_cells / (iv_w * iv_strip));
+    params = [||];
+    data =
+      (fun () ->
+         [ ("u", E.F_data (Inputs.qfloats ~seed:401 ~n:iv_cells));
+           ("img", E.F_data (Inputs.qfloats ~seed:402 ~n:iv_cells));
+           ("u_out", E.F_data (Inputs.zeros_f iv_cells));
+           ("conv", E.F_data (Inputs.zeros_f (iv_threads * 3))) ]);
+    shared = [ ("tile", iv_tile) ];
+    extra_shared_bytes = paper_imgvf_shared - (iv_tile * 4);
+    output = Workload.Out_floats "u_out";
+    paper_regs = 52;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* GICOV: per pixel, sample the gradient texture around circles of two
+   radii and score mean^2 / variance; keep the best.  The scattered
+   texture reads are what stress the texture cache at high occupancy
+   (Sec. 6.2 explains GICOV's slowdown by the miss rate rising from
+   76% to 86%). *)
+
+let gc_dim = 96           (* output grid *)
+let gc_src = 256          (* gradient texture resolution *)
+let gc_cells = gc_dim * gc_dim
+let gc_src_cells = gc_src * gc_src
+
+(* 12 offsets around a circle of radius r (precomputed on the host, as
+   the original precomputes its sample stencil). *)
+let gc_samples = 12
+
+let circle_offsets r =
+  List.init gc_samples (fun k ->
+      let a = float_of_int k *. 2.0 *. Float.pi /. float_of_int gc_samples in
+      ( int_of_float (Float.round (r *. cos a)),
+        int_of_float (Float.round (r *. sin a)) ))
+
+let gicov_kernel () =
+  let b = create ~name:"gicov" in
+  let grad = texture_buffer b F32 "grad" in
+  let out = global_buffer b F32 "gicov_out" in
+  let gid, x, y = Glib.pixel_xy b ~width:gc_dim in
+  (* Radii are processed in pairs whose sample sets are loaded before
+     either is scored — the texture reads of both circles are in flight
+     and live together, as in the original's unrolled sample loop. *)
+  (* Sample positions live on the full-resolution gradient texture:
+     output pixel (x, y) maps to (2x, 2y), as the original operates on
+     a finer grid than it scores. *)
+  let load_radius r =
+    List.map
+      (fun (dx, dy) ->
+         let sx = iadd b ~$(ishl b ~$x (ci 1)) (ci dx) in
+         let sy = iadd b ~$(ishl b ~$y (ci 1)) (ci dy) in
+         let xs = imin b ~$(imax b ~$sx (ci 0)) (ci (gc_src - 1)) in
+         let ys = imin b ~$(imax b ~$sy (ci 0)) (ci (gc_src - 1)) in
+         ld b grad ~$(imad b ~$ys (ci gc_src) ~$xs))
+      (circle_offsets r)
+  in
+  let stats samples =
+    let sum =
+      List.fold_left (fun acc s -> fadd b ~$acc ~$s)
+        (mov b F32 (cf 0.0)) samples
+    in
+    let mean = fmul b ~$sum (cf (1.0 /. float_of_int gc_samples)) in
+    let var =
+      List.fold_left
+        (fun acc s ->
+           let d = fsub b ~$s ~$mean in
+           ffma b ~$d ~$d ~$acc)
+        (mov b F32 (cf 0.0)) samples
+    in
+    let var = ffma b ~$var (cf (1.0 /. float_of_int gc_samples)) (cf 1e-4) in
+    fmul b ~$(fmul b ~$mean ~$mean) ~$(frcp b ~$var)
+  in
+  let score_pair r1 r2 =
+    let s1 = load_radius r1 in
+    let s2 = load_radius r2 in
+    (stats s1, stats s2)
+  in
+  let a1, a2 = score_pair 5.0 9.0 in
+  let b1, b2 = score_pair 13.0 17.0 in
+  let best =
+    List.fold_left
+      (fun acc sc -> fmax b ~$acc ~$sc)
+      (mov b F32 (cf 0.0)) [ a1; a2; b1; b2 ]
+  in
+  st b out ~$gid ~$best;
+  finish b
+
+let gicov : Workload.t =
+  {
+    name = "GICOV";
+    group = 2;
+    metric = Q.M_deviation;
+    kernel = gicov_kernel ();
+    launch = launch_1d ~block:192 ~grid:(gc_cells / 192);
+    params = [||];
+    data =
+      (fun () ->
+         [ ("grad", E.F_data (Inputs.qfloats ~seed:411 ~n:gc_src_cells));
+           ("gicov_out", E.F_data (Inputs.zeros_f gc_cells)) ]);
+    shared = [];
+    extra_shared_bytes = 0;
+    output = Workload.Out_floats "gicov_out";
+    paper_regs = 24;
+  }

@@ -1,0 +1,5 @@
+(** The eleven kernels of Table 4, in the paper's listing order. *)
+
+val all : Workload.t list
+val by_name : string -> Workload.t option
+val names : string list

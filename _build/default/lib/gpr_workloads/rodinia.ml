@@ -1,0 +1,441 @@
+(** Rodinia kernels (Table 4, group 2, %-deviation metric): Hotspot and
+    Hotspot3D thermal stencils, the DWT2D Haar wavelet, and the CFD
+    Euler-flux kernel.  Re-implemented in mini-PTX with the same
+    algorithmic structure and operand mix as the originals — including
+    the thread coarsening the real kernels use (Hotspot's pyramid
+    expansion processes a tile per thread; CFD keeps the full
+    conservative state and fluxes of four faces live), which is what
+    gives them their high register pressure.  Problem sizes are scaled
+    down so the full evaluation runs in minutes. *)
+
+open Gpr_isa
+open Gpr_isa.Types
+open Builder
+module Q = Gpr_quality.Quality
+module E = Gpr_exec.Exec
+
+let clamp_coord b v hi = imin b ~$(imax b v (ci 0)) (ci hi)
+
+(* ------------------------------------------------------------------ *)
+(* Hotspot: 2-D 5-point thermal stencil, one 2x2 cell tile per thread
+   (as the original's pyramid expansion does).  The four cell
+   temperatures, four power values and the shared halo reads are live
+   together; loop indices and coordinates are the narrow integers that
+   make the int framework matter here. *)
+
+let hs_dim = 64
+let hs_cells = hs_dim * hs_dim
+let hs_threads = hs_cells / 4  (* 2x2 tile per thread *)
+
+let hotspot_kernel () =
+  let b = create ~name:"hotspot" in
+  let temp = global_buffer b F32 "temp" in
+  let power = global_buffer b F32 "power" in
+  let out = global_buffer b F32 "temp_out" in
+  let step = param_f32 b "step" in
+  let rx = param_f32 b "rx" in
+  let rz = param_f32 b "rz" in
+  let amb = param_f32 b "amb" in
+  let half = hs_dim / 2 in
+  let gid, bx, by = Glib.pixel_xy b ~width:half in
+  ignore gid;
+  let x0 = ishl b ~$bx (ci 1) in
+  let y0 = ishl b ~$by (ci 1) in
+  let cell_at xs ys =
+    let xc = clamp_coord b xs (hs_dim - 1) in
+    let yc = clamp_coord b ys (hs_dim - 1) in
+    imad b ~$yc (ci hs_dim) ~$xc
+  in
+  (* Load the 2x2 tile of temperatures and powers: all eight stay live
+     across the whole stencil evaluation. *)
+  let idx00 = cell_at ~$x0 ~$y0 in
+  let idx10 = cell_at ~$(iadd b ~$x0 (ci 1)) ~$y0 in
+  let idx01 = cell_at ~$x0 ~$(iadd b ~$y0 (ci 1)) in
+  let idx11 = cell_at ~$(iadd b ~$x0 (ci 1)) ~$(iadd b ~$y0 (ci 1)) in
+  let t00 = ld b temp ~$idx00 and t10 = ld b temp ~$idx10 in
+  let t01 = ld b temp ~$idx01 and t11 = ld b temp ~$idx11 in
+  let p00 = ld b power ~$idx00 and p10 = ld b power ~$idx10 in
+  let p01 = ld b power ~$idx01 and p11 = ld b power ~$idx11 in
+  (* Halo reads around the tile (8 values, all live with the tile). *)
+  let halo dx dy =
+    ld b temp ~$(cell_at ~$(iadd b ~$x0 (ci dx)) ~$(iadd b ~$y0 (ci dy)))
+  in
+  let hn0 = halo 0 (-1) and hn1 = halo 1 (-1) in
+  let hs0 = halo 0 2 and hs1 = halo 1 2 in
+  let hw0 = halo (-1) 0 and hw1 = halo (-1) 1 in
+  let he0 = halo 2 0 and he1 = halo 2 1 in
+  let update t0 p0 north south east west =
+    let lap =
+      let sum = fadd b ~$(fadd b north south) ~$(fadd b east west) in
+      ffma b t0 (cf (-4.0)) ~$sum
+    in
+    let drive = ffma b p0 ~$rx ~$(fmul b ~$lap (cf 0.25)) in
+    let cool = fmul b ~$(fsub b ~$amb t0) ~$rz in
+    let delta = fmul b ~$(fadd b ~$drive ~$cool) ~$step in
+    fadd b t0 ~$delta
+  in
+  let n00 = update ~$t00 ~$p00 ~$hn0 ~$t01 ~$t10 ~$hw0 in
+  let n10 = update ~$t10 ~$p10 ~$hn1 ~$t11 ~$he0 ~$t00 in
+  let n01 = update ~$t01 ~$p01 ~$t00 ~$hs0 ~$t11 ~$hw1 in
+  let n11 = update ~$t11 ~$p11 ~$t10 ~$hs1 ~$he1 ~$t01 in
+  st b out ~$idx00 ~$n00;
+  st b out ~$idx10 ~$n10;
+  st b out ~$idx01 ~$n01;
+  st b out ~$idx11 ~$n11;
+  finish b
+
+let hotspot : Workload.t =
+  {
+    name = "Hotspot";
+    group = 2;
+    metric = Q.M_deviation;
+    kernel = hotspot_kernel ();
+    launch = launch_1d ~block:256 ~grid:(hs_threads / 256);
+    params =
+      [| E.P_float 0.25; E.P_float 0.125; E.P_float 0.0625; E.P_float 0.5 |];
+    data =
+      (fun () ->
+         [ ("temp", E.F_data (Inputs.qfloats ~seed:301 ~n:hs_cells));
+           ("power", E.F_data (Inputs.qfloats ~seed:302 ~n:hs_cells));
+           ("temp_out", E.F_data (Inputs.zeros_f hs_cells)) ]);
+    shared = [];
+    extra_shared_bytes = 0;
+    output = Workload.Out_floats "temp_out";
+    paper_regs = 31;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Hotspot3D: 7-point stencil on a 32x32x16 volume, two z-levels per
+   thread (the original's z-coarsening).  Both cells' neighbourhoods
+   are live together. *)
+
+let h3_dim = 32
+let h3_depth = 16
+let h3_cells = h3_dim * h3_dim * h3_depth
+let h3_coarsen = 4  (* z-levels per thread *)
+let h3_threads = h3_cells / h3_coarsen
+
+let hotspot3d_kernel () =
+  let b = create ~name:"hotspot3d" in
+  let temp = global_buffer b F32 "t3d" in
+  let power = global_buffer b F32 "p3d" in
+  let out = global_buffer b F32 "t3d_out" in
+  let sdc = param_f32 b "sdc" in
+  let amb = param_f32 b "amb" in
+  let gid = global_thread_id_x b in
+  let plane = h3_dim * h3_dim in
+  let zquad = idiv b ~$gid (ci plane) in
+  let rest = irem b ~$gid (ci plane) in
+  let y = idiv b ~$rest (ci h3_dim) in
+  let x = irem b ~$rest (ci h3_dim) in
+  let zbase = imul b ~$zquad (ci h3_coarsen) in
+  let zs = Array.init h3_coarsen (fun k -> iadd b ~$zbase (ci k)) in
+  let at xs ys zv =
+    let xc = clamp_coord b xs (h3_dim - 1) in
+    let yc = clamp_coord b ys (h3_dim - 1) in
+    let zc = clamp_coord b zv (h3_depth - 1) in
+    ld b temp ~$(imad b ~$zc (ci plane) ~$(imad b ~$yc (ci h3_dim) ~$xc))
+  in
+  let idx_of zv = imad b zv (ci plane) ~$(imad b ~$y (ci h3_dim) ~$x) in
+  let idx = Array.map (fun z -> idx_of ~$z) zs in
+  (* The whole z-column of temperatures and powers stays live, plus the
+     lateral neighbours of every level. *)
+  let t = Array.map (fun i -> ld b temp ~$i) idx in
+  let p = Array.map (fun i -> ld b power ~$i) idx in
+  let xe = iadd b ~$x (ci 1) and xw = iadd b ~$x (ci (-1)) in
+  let yn = iadd b ~$y (ci 1) and ysb = iadd b ~$y (ci (-1)) in
+  let east = Array.map (fun z -> at ~$xe ~$y ~$z) zs in
+  let west = Array.map (fun z -> at ~$xw ~$y ~$z) zs in
+  let north = Array.map (fun z -> at ~$x ~$yn ~$z) zs in
+  let south = Array.map (fun z -> at ~$x ~$ysb ~$z) zs in
+  let below = at ~$x ~$y ~$(iadd b ~$zbase (ci (-1))) in
+  let above = at ~$x ~$y ~$(iadd b ~$zbase (ci h3_coarsen)) in
+  let cxw = 0.13 and cyw = 0.09 and czw = 0.05 in
+  let centre = -2.0 *. (cxw +. cyw +. czw) in
+  let cell t0 p0 east west north south down up =
+    let acc = fmul b ~$(fadd b east west) (cf cxw) in
+    let acc = ffma b ~$(fadd b north south) (cf cyw) ~$acc in
+    let acc = ffma b ~$(fadd b down up) (cf czw) ~$acc in
+    let acc = ffma b t0 (cf centre) ~$acc in
+    let acc = ffma b p0 ~$sdc ~$acc in
+    let cool = fmul b ~$(fsub b ~$amb t0) (cf 0.02) in
+    fadd b t0 ~$(fadd b ~$acc ~$cool)
+  in
+  for k = 0 to h3_coarsen - 1 do
+    let down = if k = 0 then below else t.(k - 1) in
+    let up = if k = h3_coarsen - 1 then above else t.(k + 1) in
+    let r =
+      cell ~$(t.(k)) ~$(p.(k)) ~$(east.(k)) ~$(west.(k)) ~$(north.(k))
+        ~$(south.(k)) ~$down ~$up
+    in
+    st b out ~$(idx.(k)) ~$r
+  done;
+  finish b
+
+let hotspot3d : Workload.t =
+  {
+    name = "Hotspot3D";
+    group = 2;
+    metric = Q.M_deviation;
+    kernel = hotspot3d_kernel ();
+    launch = launch_1d ~block:256 ~grid:(h3_threads / 256);
+    params = [| E.P_float 0.0625; E.P_float 0.5 |];
+    data =
+      (fun () ->
+         [ ("t3d", E.F_data (Inputs.qfloats ~seed:311 ~n:h3_cells));
+           ("p3d", E.F_data (Inputs.qfloats ~seed:312 ~n:h3_cells));
+           ("t3d_out", E.F_data (Inputs.zeros_f h3_cells)) ]);
+    shared = [];
+    extra_shared_bytes = 0;
+    output = Workload.Out_floats "t3d_out";
+    paper_regs = 42;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* DWT2D: two levels of the 2-D Haar transform fused in one kernel.
+   Each thread transforms a 4x4 input block: sixteen pixels are live
+   through level 1, then the four level-1 LL coefficients go through a
+   second 2x2 transform.  Output is scattered into the usual quadrant
+   pyramid — almost pure narrow index arithmetic. *)
+
+let dwt_dim = 96
+let dwt_rows = 48
+let dwt_threads = dwt_dim * dwt_rows / 32  (* two 4x4 blocks per thread *)
+
+let haar4 b a c d e =
+  (* Returns (ll, lh, hl, hh) of a 2x2 block [a c; d e]. *)
+  let sum = fadd b ~$(fadd b a c) ~$(fadd b d e) in
+  let ll = fmul b ~$sum (cf 0.25) in
+  let lh = fmul b ~$(fsub b ~$(fadd b a c) ~$(fadd b d e)) (cf 0.25) in
+  let hl = fmul b ~$(fsub b ~$(fadd b a d) ~$(fadd b c e)) (cf 0.25) in
+  let hh = fmul b ~$(fsub b ~$(fadd b a e) ~$(fadd b c d)) (cf 0.25) in
+  (ll, lh, hl, hh)
+
+let dwt2d_kernel () =
+  let b = create ~name:"dwt2d" in
+  let src = global_buffer b F32 "dwt_in" in
+  let dst = global_buffer b F32 "dwt_out" in
+  let gid = global_thread_id_x b in
+  if_then b (ige b ~$gid (ci dwt_threads)) (fun () -> ret b);
+  let pair_cols = dwt_dim / 8 in  (* 4x4 block pairs per row *)
+  let pxc = irem b ~$gid (ci pair_cols) in
+  let by = idiv b ~$gid (ci pair_cols) in
+  let store qx_scale qy_scale scale_div bxv byv v =
+    (* Position within a quadrant whose origin is
+       (qx_scale * width/div, qy_scale * height/div). *)
+    let xs = iadd b bxv (ci (qx_scale * (dwt_dim / scale_div))) in
+    let ys = iadd b byv (ci (qy_scale * (dwt_rows / scale_div))) in
+    st b dst ~$(imad b ~$ys (ci dwt_dim) ~$xs) v
+  in
+  let transform_block bx =
+    let x0 = ishl b ~$bx (ci 2) in
+    let y0 = ishl b ~$by (ci 2) in
+    let at dx dy =
+      ld b src
+        ~$(imad b ~$(iadd b ~$y0 (ci dy)) (ci dwt_dim) ~$(iadd b ~$x0 (ci dx)))
+    in
+    (* Load the 4x4 block; all sixteen pixels live through level 1. *)
+    let px = Array.init 16 (fun i -> at (i mod 4) (i / 4)) in
+    let get i j = ~$(px.((j * 4) + i)) in
+    let l1 =
+      Array.init 4 (fun q ->
+          let qx = (q mod 2) * 2 and qy = q / 2 * 2 in
+          haar4 b (get qx qy) (get (qx + 1) qy) (get qx (qy + 1))
+            (get (qx + 1) (qy + 1)))
+    in
+    let ll q = let l, _, _, _ = l1.(q) in l in
+    let ll2, lh2, hl2, hh2 = haar4 b ~$(ll 0) ~$(ll 1) ~$(ll 2) ~$(ll 3) in
+    (bx, l1, ll2, lh2, hl2, hh2)
+  in
+  (* Both blocks fully transformed before any store: their coefficient
+     sets are live together (as in the original's line-pair pipeline). *)
+  let bx_a = ishl b ~$pxc (ci 1) in
+  let bx_b = iadd b ~$bx_a (ci 1) in
+  let results = [ transform_block bx_a; transform_block bx_b ] in
+  List.iter
+    (fun (bx, l1, ll2, lh2, hl2, hh2) ->
+       Array.iteri
+         (fun q (_, lh, hl, hh) ->
+            let qx = q mod 2 and qy = q / 2 in
+            let sx = iadd b ~$(ishl b ~$bx (ci 1)) (ci qx) in
+            let sy = iadd b ~$(ishl b ~$by (ci 1)) (ci qy) in
+            store 1 0 2 ~$sx ~$sy ~$lh;
+            store 0 1 2 ~$sx ~$sy ~$hl;
+            store 1 1 2 ~$sx ~$sy ~$hh)
+         l1;
+       store 0 0 4 ~$bx ~$by ~$ll2;
+       store 1 0 4 ~$bx ~$by ~$lh2;
+       store 0 1 4 ~$bx ~$by ~$hl2;
+       store 1 1 4 ~$bx ~$by ~$hh2)
+    results;
+  finish b
+
+let dwt2d : Workload.t =
+  {
+    name = "DWT2D";
+    group = 2;
+    metric = Q.M_deviation;
+    kernel = dwt2d_kernel ();
+    launch = launch_1d ~block:192 ~grid:((dwt_threads + 191) / 192);
+    params = [||];
+    data =
+      (fun () ->
+         [ ("dwt_in", E.F_data (Inputs.qfloats ~seed:321 ~n:(dwt_dim * dwt_rows)));
+           ("dwt_out", E.F_data (Inputs.zeros_f (dwt_dim * dwt_rows))) ]);
+    shared = [];
+    extra_shared_bytes = 0;
+    output = Workload.Out_floats "dwt_out";
+    paper_regs = 38;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CFD: the Euler-flux kernel (compute_flux).  Per element: the full
+   conservative state (rho, mx, my, E) of the element and of four
+   neighbours, pressures, sound speeds, and Rusanov flux contributions
+   for all four equations are live together — the largest register
+   footprint of the suite (60 in the paper). *)
+
+let cfd_elems = 2048
+
+let cfd_kernel () =
+  let b = create ~name:"cfd" in
+  let rho = global_buffer b F32 "rho" in
+  let mx = global_buffer b F32 "mx" in
+  let my = global_buffer b F32 "my" in
+  let mz = global_buffer b F32 "mz" in
+  let en = global_buffer b F32 "energy" in
+  let nb = global_buffer b S32 ~range:(0, cfd_elems - 1) "neighbours" in
+  let rho_out = global_buffer b F32 "rho_out" in
+  let mx_out = global_buffer b F32 "mx_out" in
+  let my_out = global_buffer b F32 "my_out" in
+  let mz_out = global_buffer b F32 "mz_out" in
+  let en_out = global_buffer b F32 "en_out" in
+  let gid = global_thread_id_x b in
+  (* Grid over-provisions threads; out-of-range threads exit early, as
+     in the original kernel. *)
+  if_then b (ige b ~$gid (ci cfd_elems)) (fun () -> ret b);
+  let gamma_m1 = 0.4 in
+  let load_state idx =
+    (ld b rho idx, ld b mx idx, ld b my idx, ld b mz idx, ld b en idx)
+  in
+  let derived (r, u, v, w_, e) =
+    let inv_r = frcp b ~$r in
+    let m2 =
+      fadd b ~$(fadd b ~$(fmul b ~$u ~$u) ~$(fmul b ~$v ~$v))
+        ~$(fmul b ~$w_ ~$w_)
+    in
+    let ke = fmul b ~$m2 ~$(fmul b (cf 0.5) ~$inv_r) in
+    let p = fmul b ~$(fsub b ~$e ~$ke) (cf gamma_m1) in
+    let c = fsqrt b ~$(fmul b (cf 1.4) ~$(fmul b ~$p ~$inv_r)) in
+    (inv_r, p, c)
+  in
+  let (r0, u0, v0, w0v, e0) = load_state ~$gid in
+  let inv0, p0, c0 = derived (r0, u0, v0, w0v, e0) in
+  (* Software-pipelined form, as in the original: all four neighbour
+     states and their derived quantities are loaded before any flux is
+     computed, so they are live simultaneously. *)
+  let nstate =
+    Array.init 4 (fun k ->
+        let nidx = ld b nb ~$(imad b ~$gid (ci 4) (ci k)) in
+        let (rn, un, vn, wn_, enn) = load_state ~$nidx in
+        let invn, pn, cn = derived (rn, un, vn, wn_, enn) in
+        (rn, un, vn, wn_, enn, invn, pn, cn))
+  in
+  let acc_r = Stdlib.ref (mov b F32 (cf 0.0)) in
+  let acc_u = Stdlib.ref (mov b F32 (cf 0.0)) in
+  let acc_v = Stdlib.ref (mov b F32 (cf 0.0)) in
+  let acc_w = Stdlib.ref (mov b F32 (cf 0.0)) in
+  let acc_e = Stdlib.ref (mov b F32 (cf 0.0)) in
+  for k = 0 to 3 do
+    let (rn, un, vn, wn_, enn, invn, pn, cn) = nstate.(k) in
+    (* Face normals cycle through 3-D directions. *)
+    let nx, ny, nz =
+      match k with
+      | 0 -> (0.8, 0.6, 0.0)
+      | 1 -> (0.0, 0.8, 0.6)
+      | 2 -> (0.6, 0.0, 0.8)
+      | _ -> (0.57735, 0.57735, 0.57735)
+    in
+    let vel_n inv_r n_u n_v n_w =
+      let s = fmul b ~$(fmul b n_u (cf nx)) inv_r in
+      let s = ffma b ~$(fmul b n_v (cf ny)) inv_r ~$s in
+      ffma b ~$(fmul b n_w (cf nz)) inv_r ~$s
+    in
+    let w0 = vel_n ~$inv0 ~$u0 ~$v0 ~$w0v in
+    let wn = vel_n ~$invn ~$un ~$vn ~$wn_ in
+    let smax =
+      fmax b ~$(fadd b ~$(fabs b ~$w0) ~$c0) ~$(fadd b ~$(fabs b ~$wn) ~$cn)
+    in
+    (* Rusanov flux for each conserved quantity:
+       0.5 (F0 + Fn) - 0.5 smax (Qn - Q0). *)
+    let rusanov f0 fn q0 qn =
+      let avg = fmul b ~$(fadd b f0 fn) (cf 0.5) in
+      let diff = fmul b ~$(fsub b qn q0) ~$smax in
+      ffma b ~$diff (cf (-0.5)) ~$avg
+    in
+    let f0_r = fmul b ~$r0 ~$w0 and fn_r = fmul b ~$rn ~$wn in
+    let f0_u = ffma b ~$u0 ~$w0 ~$(fmul b ~$p0 (cf nx)) in
+    let fn_u = ffma b ~$un ~$wn ~$(fmul b ~$pn (cf nx)) in
+    let f0_v = ffma b ~$v0 ~$w0 ~$(fmul b ~$p0 (cf ny)) in
+    let fn_v = ffma b ~$vn ~$wn ~$(fmul b ~$pn (cf ny)) in
+    let f0_w = ffma b ~$w0v ~$w0 ~$(fmul b ~$p0 (cf nz)) in
+    let fn_w = ffma b ~$wn_ ~$wn ~$(fmul b ~$pn (cf nz)) in
+    let h0 = fmul b ~$(fadd b ~$e0 ~$p0) ~$w0 in
+    let hn = fmul b ~$(fadd b ~$enn ~$pn) ~$wn in
+    acc_r := fadd b ~$(!acc_r) ~$(rusanov ~$f0_r ~$fn_r ~$r0 ~$rn);
+    acc_u := fadd b ~$(!acc_u) ~$(rusanov ~$f0_u ~$fn_u ~$u0 ~$un);
+    acc_v := fadd b ~$(!acc_v) ~$(rusanov ~$f0_v ~$fn_v ~$v0 ~$vn);
+    acc_w := fadd b ~$(!acc_w) ~$(rusanov ~$f0_w ~$fn_w ~$w0v ~$wn_);
+    acc_e := fadd b ~$(!acc_e) ~$(rusanov ~$h0 ~$hn ~$e0 ~$enn)
+  done;
+  let dt = 0.0005 in
+  let update q acc = ffma b acc (cf (-.dt)) q in
+  st b rho_out ~$gid ~$(update ~$r0 ~$(!acc_r));
+  st b mx_out ~$gid ~$(update ~$u0 ~$(!acc_u));
+  st b my_out ~$gid ~$(update ~$v0 ~$(!acc_v));
+  st b mz_out ~$gid ~$(update ~$w0v ~$(!acc_w));
+  st b en_out ~$gid ~$(update ~$e0 ~$(!acc_e));
+  finish b
+
+let cfd : Workload.t =
+  {
+    name = "CFD";
+    group = 2;
+    metric = Q.M_deviation;
+    kernel = cfd_kernel ();
+    launch = launch_1d ~block:192 ~grid:((cfd_elems + 191) / 192);
+    params = [||];
+    data =
+      (fun () ->
+         let rng = Gpr_util.Rng.create 333 in
+         (* Mesh connectivity with the locality of the original
+            fan-shaped mesh: faces connect to nearby elements, with a
+            sparse sprinkling of medium-range edges. *)
+         let neighbours =
+           Array.init (cfd_elems * 4) (fun i ->
+               let e = i / 4 in
+               let k = i mod 4 in
+               let near = [| -2; -1; 1; 2 |] in
+               let d =
+                 if Gpr_util.Rng.int rng 16 = 0 then
+                   Gpr_util.Rng.int rng 128 - 64
+                 else near.(k)
+               in
+               (e + d + cfd_elems) mod cfd_elems)
+         in
+         [ ("rho", E.F_data (Inputs.qfloats_range ~seed:331 ~n:cfd_elems ~lo:0.5 ~hi:1.5));
+           ("mx", E.F_data (Inputs.qfloats_range ~seed:332 ~n:cfd_elems ~lo:(-0.5) ~hi:0.5));
+           ("my", E.F_data (Inputs.qfloats_range ~seed:334 ~n:cfd_elems ~lo:(-0.5) ~hi:0.5));
+           ("mz", E.F_data (Inputs.qfloats_range ~seed:336 ~n:cfd_elems ~lo:(-0.5) ~hi:0.5));
+           ("energy", E.F_data (Inputs.qfloats_range ~seed:335 ~n:cfd_elems ~lo:2.0 ~hi:3.0));
+           ("neighbours", E.I_data neighbours);
+           ("rho_out", E.F_data (Inputs.zeros_f cfd_elems));
+           ("mx_out", E.F_data (Inputs.zeros_f cfd_elems));
+           ("my_out", E.F_data (Inputs.zeros_f cfd_elems));
+           ("mz_out", E.F_data (Inputs.zeros_f cfd_elems));
+           ("en_out", E.F_data (Inputs.zeros_f cfd_elems)) ]);
+    shared = [];
+    extra_shared_bytes = 0;
+    output = Workload.Out_floats "rho_out";
+    paper_regs = 60;
+  }

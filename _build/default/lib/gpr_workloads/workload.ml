@@ -1,0 +1,83 @@
+open Gpr_isa.Types
+module Exec = Gpr_exec.Exec
+module Q = Gpr_quality.Quality
+
+type output_spec =
+  | Out_floats of string
+  | Out_image of string * int * int
+  | Out_ints of string
+
+type t = {
+  name : string;
+  group : int;
+  metric : Q.metric;
+  kernel : kernel;
+  launch : launch;
+  params : Exec.pvalue array;
+  data : unit -> (string * Exec.storage) list;
+  shared : (string * int) list;
+  extra_shared_bytes : int;
+  output : output_spec;
+  paper_regs : int;
+}
+
+let warps_per_block t = (threads_per_block t.launch + 31) / 32
+
+let shared_bytes_per_block t =
+  List.fold_left (fun acc (_, n) -> acc + (n * 4)) t.extra_shared_bytes t.shared
+
+let output_name t =
+  match t.output with
+  | Out_floats n | Out_image (n, _, _) | Out_ints n -> n
+
+let run t ~quantize ~collect_trace =
+  let data = t.data () in
+  let bindings =
+    Exec.bindings_for t.kernel ~data ~shared:t.shared ()
+  in
+  let config = { Exec.quantize; collect_trace } in
+  let trace =
+    Exec.run t.kernel ~launch:t.launch ~params:t.params ~bindings config
+  in
+  let out =
+    match List.assoc_opt (output_name t) data with
+    | Some (Exec.F_data a) -> Array.copy a
+    | Some (Exec.I_data a) -> Array.map float_of_int a
+    | None -> failwith (t.name ^ ": output buffer not bound")
+  in
+  (out, trace)
+
+let reference t = fst (run t ~quantize:None ~collect_trace:false)
+
+let run_quantized t ~quantize =
+  fst (run t ~quantize:(Some quantize) ~collect_trace:false)
+
+let score t ~out ~reference =
+  match t.output with
+  | Out_image (_, w, h) ->
+    let img = Gpr_util.Image.of_array ~width:w ~height:h out in
+    let ref_img = Gpr_util.Image.of_array ~width:w ~height:h reference in
+    Q.S_ssim (Q.ssim img ~reference:ref_img)
+  | Out_floats _ ->
+    (match t.metric with
+     | Q.M_binary ->
+       Q.S_binary
+         (Array.length out = Array.length reference
+          && Array.for_all2 (fun a b -> a = b) out reference)
+     | Q.M_deviation | Q.M_ssim ->
+       Q.S_deviation_pct (Q.deviation_pct out ~reference))
+  | Out_ints _ ->
+    Q.S_binary
+      (Array.length out = Array.length reference
+       && Array.for_all2 (fun a b -> a = b) out reference)
+
+let evaluate t ~reference ~quantize =
+  let out = run_quantized t ~quantize in
+  score t ~out ~reference
+
+let trace t ~quantize =
+  match snd (run t ~quantize ~collect_trace:true) with
+  | Some tr -> tr
+  | None -> assert false
+
+let float_sites t = Exec.float_def_sites t.kernel

@@ -1,0 +1,50 @@
+(** Common shape of the eleven evaluated kernels (Table 4).
+
+    Each workload bundles a mini-PTX kernel, its launch geometry,
+    deterministic input data, the output buffer to score and the quality
+    metric — everything {!Gpr_core} needs to run the paper's pipeline
+    end to end. *)
+
+open Gpr_isa.Types
+
+type output_spec =
+  | Out_floats of string            (** buffer scored with the workload metric *)
+  | Out_image of string * int * int (** buffer rendered as [w]×[h], scored with SSIM *)
+  | Out_ints of string              (** buffer compared exactly (binary metric) *)
+
+type t = {
+  name : string;
+  group : int;  (** 1 = graphics, 2 = Rodinia, 3 = Hybridsort (Table 4) *)
+  metric : Gpr_quality.Quality.metric;
+  kernel : kernel;
+  launch : launch;
+  params : Gpr_exec.Exec.pvalue array;
+  data : unit -> (string * Gpr_exec.Exec.storage) list;
+      (** fresh, deterministic input and output arrays *)
+  shared : (string * int) list;  (** shared buffer sizes, elements *)
+  extra_shared_bytes : int;
+      (** shared memory the real kernel allocates beyond the modelled
+          buffers (affects occupancy only) *)
+  output : output_spec;
+  paper_regs : int;        (** Table 4 "Register usage per thread" *)
+}
+
+val warps_per_block : t -> int
+val shared_bytes_per_block : t -> int
+
+val reference : t -> float array
+(** Run at full precision and return the output buffer as floats
+    (ints are converted) — the "original output" of Sec. 5.3. *)
+
+val run_quantized : t -> quantize:(int -> float -> float) -> float array
+(** Re-run on the same inputs under a register-quantisation hook. *)
+
+val score : t -> out:float array -> reference:float array -> Gpr_quality.Quality.score
+
+val evaluate : t -> reference:float array -> quantize:(int -> float -> float) -> Gpr_quality.Quality.score
+
+val trace :
+  t -> quantize:(int -> float -> float) option -> Gpr_exec.Trace.t
+(** Execute with trace collection for the timing simulator. *)
+
+val float_sites : t -> (int * vreg) list

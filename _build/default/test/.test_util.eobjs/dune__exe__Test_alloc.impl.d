@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Builder Cfg Gpr_alloc Gpr_analysis Gpr_isa Gpr_util Gpr_workloads Hashtbl List Printf QCheck QCheck_alcotest

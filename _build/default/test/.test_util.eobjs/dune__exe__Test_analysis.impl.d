@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Builder Cfg Gpr_analysis Gpr_exec Gpr_isa Gpr_util Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Gpr_alloc Gpr_arch Gpr_area Gpr_core Gpr_isa Gpr_quality Gpr_workloads Option Unix

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Builder Float Gpr_exec Gpr_fp Gpr_isa Int32 List Option Printf QCheck QCheck_alcotest

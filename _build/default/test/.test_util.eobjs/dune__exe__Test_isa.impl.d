@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Builder Cfg Float Gpr_arch Gpr_exec Gpr_fp Gpr_isa Int32 List Option Pp QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Builder Gpr_exec Gpr_isa Gpr_opt Gpr_util Gpr_workloads List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Builder Gpr_isa Gpr_workloads List Option Parser Pp Printf String

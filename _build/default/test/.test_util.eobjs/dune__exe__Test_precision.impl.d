@@ -1,0 +1,1 @@
+test/test_precision.ml: Alcotest Builder Gpr_exec Gpr_fp Gpr_isa Gpr_precision Gpr_quality Gpr_workloads Hashtbl List Printf

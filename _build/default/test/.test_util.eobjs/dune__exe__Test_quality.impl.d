@@ -1,0 +1,1 @@
+test/test_quality.ml: Alcotest Array Float Gpr_quality Gpr_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_regfile.ml: Alcotest Array Float Fun Gpr_alloc Gpr_fp Gpr_isa Gpr_regfile Gpr_util Hashtbl List Printf QCheck QCheck_alcotest

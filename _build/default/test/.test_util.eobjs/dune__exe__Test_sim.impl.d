@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Builder Fun Gpr_alloc Gpr_arch Gpr_exec Gpr_isa Gpr_sim Gpr_workloads Hashtbl List Option

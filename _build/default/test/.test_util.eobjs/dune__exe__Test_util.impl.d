@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gpr_util List Printf QCheck QCheck_alcotest String

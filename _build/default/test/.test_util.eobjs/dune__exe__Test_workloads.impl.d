@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cfg Float Gpr_exec Gpr_fp Gpr_isa Gpr_quality Gpr_workloads Int32 List Option Printf

@@ -1,0 +1,436 @@
+(* Functional-executor tests: arithmetic semantics vs reference
+   implementations, SIMT divergence and reconvergence, barriers with
+   shared memory, traces, and the quantisation hook. *)
+
+open Gpr_isa
+open Gpr_isa.Types
+module E = Gpr_exec.Exec
+module T = Gpr_exec.Trace
+
+let run_kernel kernel ~launch ~params ~data ?(shared = []) ?(config = E.default_config) () =
+  let bindings = E.bindings_for kernel ~data ~shared () in
+  E.run kernel ~launch ~params ~bindings config
+
+(* ---------------------------------------------------------------- *)
+
+let test_saxpy () =
+  let b = Builder.create ~name:"saxpy" in
+  let open Builder in
+  let n = 256 in
+  let x = global_buffer b F32 "x" in
+  let y = global_buffer b F32 "y" in
+  let a = param_f32 b "a" in
+  let i = global_thread_id_x b in
+  let xi = ld b x ~$i in
+  let yi = ld b y ~$i in
+  st b y ~$i ~$(ffma b ~$a ~$xi ~$yi);
+  let kernel = finish b in
+  let xs = Array.init n (fun i -> float_of_int i /. 8.0) in
+  let ys = Array.init n (fun i -> float_of_int (n - i)) in
+  let expect = Array.mapi (fun i x -> (2.5 *. x) +. ys.(i)) xs in
+  let ydata = Array.copy ys in
+  let _ =
+    run_kernel kernel ~launch:(launch_1d ~block:64 ~grid:4)
+      ~params:[| E.P_float 2.5 |]
+      ~data:[ ("x", E.F_data xs); ("y", E.F_data ydata) ] ()
+  in
+  Array.iteri
+    (fun i e ->
+       Alcotest.(check (float 1e-4)) (Printf.sprintf "y[%d]" i) e ydata.(i))
+    expect
+
+let test_integer_semantics () =
+  (* Check S32 wrap-around, division, shift semantics against OCaml. *)
+  let b = Builder.create ~name:"ints" in
+  let open Builder in
+  let inp = global_buffer b S32 "inp" in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  let v = ld b inp ~$i in
+  let r0 = imul b ~$v ~$v in                       (* may wrap *)
+  let r1 = idiv b ~$v (ci 7) in
+  let r2 = irem b ~$v (ci 7) in
+  let r3 = ishr b ~$v (ci 2) in
+  let r4 = iand b ~$v (ci 0xff) in
+  let base = imul b ~$i (ci 5) in
+  st b out ~$base ~$r0;
+  st b out ~$(iadd b ~$base (ci 1)) ~$r1;
+  st b out ~$(iadd b ~$base (ci 2)) ~$r2;
+  st b out ~$(iadd b ~$base (ci 3)) ~$r3;
+  st b out ~$(iadd b ~$base (ci 4)) ~$r4;
+  let kernel = finish b in
+  let values = [| 0; 1; -1; 7; -7; 123456; -123456; 0x7fffffff; -0x80000000;
+                  65535; -65536; 42; 99; -100; 3; 2; 1; 0; 5; -5; 10; -10;
+                  1000; -1000; 77; -77; 31; -31; 64; -64; 12345; -54321 |] in
+  let outd = Array.make (32 * 5) 0 in
+  let _ =
+    run_kernel kernel ~launch:(launch_1d ~block:32 ~grid:1) ~params:[||]
+      ~data:[ ("inp", E.I_data (Array.copy values)); ("out", E.I_data outd) ] ()
+  in
+  let wrap x =
+    let y = x land 0xffff_ffff in
+    if y >= 0x8000_0000 then y - 0x1_0000_0000 else y
+  in
+  Array.iteri
+    (fun i v ->
+       Alcotest.(check int) "mul wrap" (wrap (v * v)) outd.(i * 5);
+       Alcotest.(check int) "div" (v / 7) outd.((i * 5) + 1);
+       Alcotest.(check int) "rem" (v mod 7) outd.((i * 5) + 2);
+       Alcotest.(check int) "shr" (v asr 2) outd.((i * 5) + 3);
+       Alcotest.(check int) "and" (wrap (v land 0xff)) outd.((i * 5) + 4))
+    values
+
+let test_divergence_reconvergence () =
+  (* Threads branch by parity; both sides write; afterwards all threads
+     write a common value — checks IPDOM reconvergence executes both
+     paths with the right masks. *)
+  let b = Builder.create ~name:"diverge" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let post = global_buffer b S32 "post" in
+  let i = global_thread_id_x b in
+  let even = ieq b ~$(iand b ~$i (ci 1)) (ci 0) in
+  if_ b even
+    (fun () -> st b out ~$i (ci 100))
+    (fun () -> st b out ~$i (ci 200));
+  st b post ~$i ~$(iadd b ~$i (ci 1000));
+  let kernel = finish b in
+  let n = 64 in
+  let outd = Array.make n 0 and postd = Array.make n 0 in
+  let _ =
+    run_kernel kernel ~launch:(launch_1d ~block:n ~grid:1) ~params:[||]
+      ~data:[ ("out", E.I_data outd); ("post", E.I_data postd) ] ()
+  in
+  for i = 0 to n - 1 do
+    Alcotest.(check int) "branch value" (if i land 1 = 0 then 100 else 200)
+      outd.(i);
+    Alcotest.(check int) "post-reconvergence" (i + 1000) postd.(i)
+  done
+
+let test_loop_trip_counts () =
+  (* Data-dependent loop: thread i iterates i times. *)
+  let b = Builder.create ~name:"trips" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  let acc = var b S32 "acc" in
+  assign b acc (ci 0);
+  for_ b ~lo:(ci 0) ~hi:~$i (fun _ ->
+      assign b acc ~$(iadd b ~$acc (ci 3)));
+  st b out ~$i ~$acc;
+  let kernel = finish b in
+  let n = 96 in
+  let outd = Array.make n (-1) in
+  let _ =
+    run_kernel kernel ~launch:(launch_1d ~block:32 ~grid:3) ~params:[||]
+      ~data:[ ("out", E.I_data outd) ] ()
+  in
+  for i = 0 to n - 1 do
+    Alcotest.(check int) (Printf.sprintf "acc[%d]" i) (3 * i) outd.(i)
+  done
+
+let test_early_ret_guard () =
+  let b = Builder.create ~name:"guard" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  if_then b (ige b ~$i (ci 10)) (fun () -> ret b);
+  st b out ~$i (ci 7);
+  let kernel = finish b in
+  let outd = Array.make 10 0 in
+  let _ =
+    run_kernel kernel ~launch:(launch_1d ~block:32 ~grid:1) ~params:[||]
+      ~data:[ ("out", E.I_data outd) ] ()
+  in
+  Array.iter (fun v -> Alcotest.(check int) "guarded" 7 v) outd
+
+let test_shared_memory_barrier () =
+  (* Block-wide reversal through shared memory: requires the barrier to
+     order producer and consumer warps. *)
+  let b = Builder.create ~name:"reverse" in
+  let open Builder in
+  let inp = global_buffer b S32 "inp" in
+  let out = global_buffer b S32 "out" in
+  let tile = shared_buffer b S32 "tile" in
+  let t = tid_x b in
+  let blk = ctaid_x b in
+  let base = imul b ~$blk (ci 128) in
+  let g = iadd b ~$base ~$t in
+  st b tile ~$t ~$(ld b inp ~$g);
+  bar b;
+  let rev = isub b (ci 127) ~$t in
+  st b out ~$g ~$(ld b tile ~$rev);
+  let kernel = finish b in
+  let n = 256 in
+  let inpd = Array.init n (fun i -> i * 11) in
+  let outd = Array.make n 0 in
+  let _ =
+    run_kernel kernel ~launch:(launch_1d ~block:128 ~grid:2) ~params:[||]
+      ~data:[ ("inp", E.I_data inpd); ("out", E.I_data outd) ]
+      ~shared:[ ("tile", 128) ] ()
+  in
+  for i = 0 to n - 1 do
+    let blk = i / 128 and t = i mod 128 in
+    Alcotest.(check int) "reversed" (((blk * 128) + (127 - t)) * 11) outd.(i)
+  done
+
+let test_launch_2d () =
+  let b = Builder.create ~name:"grid2d" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let x = imad b ~$(ctaid_x b) ~$(ntid_x b) ~$(tid_x b) in
+  let y = imad b ~$(ctaid_y b) ~$(ntid_y b) ~$(tid_y b) in
+  let w = imul b ~$(nctaid_x b) ~$(ntid_x b) in
+  let idx = imad b ~$y ~$w ~$x in
+  st b out ~$idx ~$(imad b ~$y (ci 1000) ~$x);
+  let kernel = finish b in
+  let launch = { ntid_x = 8; ntid_y = 4; nctaid_x = 2; nctaid_y = 3 } in
+  let n = 16 * 12 in
+  let outd = Array.make n (-1) in
+  let _ =
+    run_kernel kernel ~launch ~params:[||] ~data:[ ("out", E.I_data outd) ] ()
+  in
+  for y = 0 to 11 do
+    for x = 0 to 15 do
+      Alcotest.(check int) "2d index" ((y * 1000) + x) outd.((y * 16) + x)
+    done
+  done
+
+let test_quantize_hook () =
+  (* The hook must apply per static site: quantise one instruction's
+     result to fp8 and check the output reflects it. *)
+  let b = Builder.create ~name:"qh" in
+  let open Builder in
+  let out = global_buffer b F32 "out" in
+  let i = global_thread_id_x b in
+  let v = fadd b (cf 1.0) (cf 0.2345678) in
+  st b out ~$i ~$v;
+  let kernel = finish b in
+  let sites = E.float_def_sites kernel in
+  Alcotest.(check int) "one float site" 1 (List.length sites);
+  let pc, _ = List.hd sites in
+  let fp8 = Gpr_fp.Format_.of_level 6 in
+  let config =
+    { E.quantize = Some (fun p v -> if p = pc then Gpr_fp.Format_.quantize fp8 v else v);
+      collect_trace = false }
+  in
+  let outd = Array.make 32 0.0 in
+  let _ =
+    run_kernel kernel ~launch:(launch_1d ~block:32 ~grid:1) ~params:[||]
+      ~data:[ ("out", E.F_data outd) ] ~config ()
+  in
+  let expect = Gpr_fp.Format_.quantize fp8 1.2345678 in
+  Alcotest.(check (float 0.0)) "quantised result" expect outd.(0);
+  Alcotest.(check bool) "actually changed" true (outd.(0) <> 1.2345678)
+
+let test_trace_contents () =
+  let b = Builder.create ~name:"tr" in
+  let open Builder in
+  let x = global_buffer b F32 "x" in
+  let i = global_thread_id_x b in
+  let v = ld b x ~$i in
+  let w = fmul b ~$v ~$v in
+  st b x ~$i ~$w;
+  let kernel = finish b in
+  let data = [ ("x", E.F_data (Array.make 64 1.5)) ] in
+  let bindings = E.bindings_for kernel ~data () in
+  let trace =
+    Option.get
+      (E.run kernel ~launch:(launch_1d ~block:32 ~grid:2)
+         ~params:[||] ~bindings { E.quantize = None; collect_trace = true })
+  in
+  Alcotest.(check int) "blocks" 2 trace.T.num_blocks;
+  Alcotest.(check int) "warps/block" 1 trace.T.warps_per_block;
+  (* 4 static instrs (imad for gid, ld, fmul, st) x 2 warps *)
+  Alcotest.(check int) "items" 8 (Array.length trace.T.items);
+  let w0 = T.warp_items trace ~block_id:0 ~warp:0 in
+  Alcotest.(check int) "warp stream" 4 (List.length w0);
+  let lds = List.filter (fun (it : T.item) -> it.t_mem <> None) w0 in
+  Alcotest.(check int) "mem items" 2 (List.length lds);
+  List.iter
+    (fun (it : T.item) ->
+       match it.t_mem with
+       | Some m ->
+         Alcotest.(check int) "full warp" 32 (Array.length m.m_addresses);
+         Alcotest.(check bool) "coalesced" true
+           (let sorted = Array.copy m.m_addresses in
+            Array.sort compare sorted;
+            sorted.(31) - sorted.(0) = 31 * 4)
+       | None -> ())
+    lds;
+  Alcotest.(check int) "thread instrs" (4 * 64) trace.T.thread_instructions
+
+let test_partial_warp () =
+  (* 48 threads per block: second warp is half empty. *)
+  let b = Builder.create ~name:"partial" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  st b out ~$i ~$(iadd b ~$i (ci 1));
+  let kernel = finish b in
+  let outd = Array.make 48 0 in
+  let _ =
+    run_kernel kernel ~launch:(launch_1d ~block:48 ~grid:1) ~params:[||]
+      ~data:[ ("out", E.I_data outd) ] ()
+  in
+  for i = 0 to 47 do
+    Alcotest.(check int) "partial warp" (i + 1) outd.(i)
+  done
+
+let test_out_of_bounds_raises () =
+  let b = Builder.create ~name:"oob" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  st b out ~$(iadd b ~$i (ci 1000)) (ci 1);
+  let kernel = finish b in
+  Alcotest.check_raises "oob store"
+    (Failure "oob: st out[1031] out of bounds (len 32)")
+    (fun () ->
+       ignore
+         (run_kernel kernel ~launch:(launch_1d ~block:32 ~grid:1) ~params:[||]
+            ~data:[ ("out", E.I_data (Array.make 32 0)) ] ()))
+
+let test_selp_and_cvt () =
+  let b = Builder.create ~name:"selcvt" in
+  let open Builder in
+  let out = global_buffer b F32 "out" in
+  let i = global_thread_id_x b in
+  let p = ilt b ~$i (ci 16) in
+  let sel = selp b S32 (ci 3) (ci (-4)) p in
+  let f = itof b ~$sel in
+  let back = ftoi b ~$(fmul b ~$f (cf 2.5)) in
+  st b out ~$i ~$(itof b ~$back);
+  let kernel = finish b in
+  let outd = Array.make 32 0.0 in
+  let _ =
+    run_kernel kernel ~launch:(launch_1d ~block:32 ~grid:1) ~params:[||]
+      ~data:[ ("out", E.F_data outd) ] ()
+  in
+  for i = 0 to 31 do
+    (* 3 * 2.5 = 7.5 -> trunc 7 ; -4 * 2.5 = -10 -> -10 *)
+    Alcotest.(check (float 0.0)) "selp+cvt"
+      (if i < 16 then 7.0 else -10.0)
+      outd.(i)
+  done
+
+let test_transcendentals_match_reference () =
+  let b = Builder.create ~name:"sfu" in
+  let open Builder in
+  let inp = global_buffer b F32 "inp" in
+  let out = global_buffer b F32 "out" in
+  let i = global_thread_id_x b in
+  let x = ld b inp ~$i in
+  let base = imul b ~$i (ci 6) in
+  st b out ~$base ~$(fsin b ~$x);
+  st b out ~$(iadd b ~$base (ci 1)) ~$(fcos b ~$x);
+  st b out ~$(iadd b ~$base (ci 2)) ~$(fex2 b ~$x);
+  st b out ~$(iadd b ~$base (ci 3)) ~$(flg2 b ~$(fabs b ~$x));
+  st b out ~$(iadd b ~$base (ci 4)) ~$(frsqrt b ~$(fabs b ~$x));
+  st b out ~$(iadd b ~$base (ci 5)) ~$(ffloor b ~$x);
+  let kernel = finish b in
+  let f32 v = Int32.float_of_bits (Int32.bits_of_float v) in
+  let xs = Array.init 32 (fun k -> f32 (0.1 +. (float_of_int k /. 7.0))) in
+  let outd = Array.make (32 * 6) 0.0 in
+  let _ =
+    run_kernel kernel ~launch:(launch_1d ~block:32 ~grid:1) ~params:[||]
+      ~data:[ ("inp", E.F_data (Array.copy xs)); ("out", E.F_data outd) ] ()
+  in
+  Array.iteri
+    (fun k x ->
+       let check name expect got =
+         Alcotest.(check (float 1e-6)) (Printf.sprintf "%s(%g)" name x)
+           (f32 expect) got
+       in
+       check "sin" (sin x) outd.(k * 6);
+       check "cos" (cos x) outd.((k * 6) + 1);
+       check "ex2" (Float.exp2 x) outd.((k * 6) + 2);
+       check "lg2" (Float.log2 (Float.abs x)) outd.((k * 6) + 3);
+       check "rsqrt" (1.0 /. sqrt (Float.abs x)) outd.((k * 6) + 4);
+       check "floor" (Float.floor x) outd.((k * 6) + 5))
+    xs
+
+let test_u32_semantics () =
+  (* Unsigned compare and logical shift differ from the signed path. *)
+  let b = Builder.create ~name:"u32" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  let neg = mov b U32 (ci (-1)) in          (* 0xffffffff *)
+  let shifted = ishr b ~ty:U32 ~$neg (ci 4) in (* logical: 0x0fffffff *)
+  let pu = setp b Lt U32 (ci 1) ~$neg in    (* 1 <u 0xffffffff: true *)
+  let ps = ilt b (ci 1) (ci (-1)) in        (* 1 <s -1: false *)
+  let r1 = selp b S32 (ci 1) (ci 0) pu in
+  let r2 = selp b S32 (ci 1) (ci 0) ps in
+  let base = imul b ~$i (ci 3) in
+  st b out ~$base ~$shifted;
+  st b out ~$(iadd b ~$base (ci 1)) ~$r1;
+  st b out ~$(iadd b ~$base (ci 2)) ~$r2;
+  let kernel = finish b in
+  let outd = Array.make 96 0 in
+  let _ =
+    run_kernel kernel ~launch:(launch_1d ~block:32 ~grid:1) ~params:[||]
+      ~data:[ ("out", E.I_data outd) ] ()
+  in
+  Alcotest.(check int) "logical shift" 0x0fffffff outd.(0);
+  Alcotest.(check int) "unsigned lt" 1 outd.(1);
+  Alcotest.(check int) "signed lt" 0 outd.(2)
+
+let prop_float_ops_match_reference =
+  QCheck.Test.make ~name:"warp float ops match scalar reference" ~count:50
+    QCheck.(pair (float_range (-100.0) 100.0) (float_range 0.1 100.0))
+    (fun (a, c) ->
+       let b = Builder.create ~name:"fref" in
+       let open Builder in
+       let out = global_buffer b F32 "out" in
+       let i = global_thread_id_x b in
+       let x = fadd b (cf a) (cf c) in
+       let y = fmul b ~$x (cf a) in
+       let z = fdiv b ~$y (cf c) in
+       let w = fsqrt b ~$(fabs b ~$z) in
+       st b out ~$i ~$w;
+       let kernel = finish b in
+       let outd = Array.make 32 0.0 in
+       let _ =
+         run_kernel kernel ~launch:(launch_1d ~block:32 ~grid:1) ~params:[||]
+           ~data:[ ("out", E.F_data outd) ] ()
+       in
+       let f32 v = Int32.float_of_bits (Int32.bits_of_float v) in
+       (* Immediates are rounded to f32 before use, as in the executor. *)
+       let a = f32 a and c = f32 c in
+       let expect =
+         f32 (sqrt (Float.abs (f32 (f32 (f32 (a +. c) *. a) /. c))))
+       in
+       Float.abs (outd.(0) -. expect) <= 1e-6 *. Float.max 1.0 (Float.abs expect))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~verbose:false in
+  Alcotest.run "exec"
+    [
+      ( "functional",
+        [
+          Alcotest.test_case "saxpy" `Quick test_saxpy;
+          Alcotest.test_case "integer semantics" `Quick test_integer_semantics;
+          Alcotest.test_case "selp + cvt" `Quick test_selp_and_cvt;
+          Alcotest.test_case "transcendentals" `Quick
+            test_transcendentals_match_reference;
+          Alcotest.test_case "u32 semantics" `Quick test_u32_semantics;
+          Alcotest.test_case "partial warp" `Quick test_partial_warp;
+          Alcotest.test_case "2d launch" `Quick test_launch_2d;
+        ] );
+      ( "divergence",
+        [
+          Alcotest.test_case "if reconvergence" `Quick test_divergence_reconvergence;
+          Alcotest.test_case "per-thread trip counts" `Quick test_loop_trip_counts;
+          Alcotest.test_case "early ret guard" `Quick test_early_ret_guard;
+        ] );
+      ( "shared+barrier",
+        [ Alcotest.test_case "block reversal" `Quick test_shared_memory_barrier ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "quantize hook" `Quick test_quantize_hook;
+          Alcotest.test_case "trace contents" `Quick test_trace_contents;
+          Alcotest.test_case "oob raises" `Quick test_out_of_bounds_raises;
+        ] );
+      ("props", [ q prop_float_ops_match_reference ]);
+    ]

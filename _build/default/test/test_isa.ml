@@ -1,0 +1,439 @@
+(* Tests for the mini-PTX ISA: builder lowering, CFG structure,
+   validation, pretty-printing, plus arch/occupancy and the Table 3
+   float formats. *)
+
+open Gpr_isa
+open Gpr_isa.Types
+module F = Gpr_fp.Format_
+
+(* ---------------------------------------------------------------- *)
+(* Builder / CFG *)
+
+let test_builder_straightline () =
+  let b = Builder.create ~name:"s" in
+  let open Builder in
+  let out = global_buffer b F32 "out" in
+  let x = fadd b (cf 1.0) (cf 2.0) in
+  st b out (ci 0) ~$x;
+  let k = finish b in
+  Alcotest.(check int) "one block" 1 (Array.length k.k_blocks);
+  Alcotest.(check int) "two instrs" 2 (Array.length k.k_blocks.(0).instrs);
+  (match k.k_blocks.(0).term with
+   | Ret -> ()
+   | _ -> Alcotest.fail "expected ret")
+
+let test_builder_if_shape () =
+  let b = Builder.create ~name:"if" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let p = ilt b (ci 0) (ci 1) in
+  if_ b p
+    (fun () -> st b out (ci 0) (ci 1))
+    (fun () -> st b out (ci 0) (ci 2));
+  let k = finish b in
+  Alcotest.(check int) "four blocks" 4 (Array.length k.k_blocks);
+  (match k.k_blocks.(0).term with
+   | Cbr (_, 1, 2) -> ()
+   | _ -> Alcotest.fail "entry should cbr to 1/2");
+  let cfg = Cfg.of_kernel k in
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ] (Cfg.preds cfg 3)
+
+let test_builder_while_shape () =
+  let b = Builder.create ~name:"w" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = var b S32 "i" in
+  assign b i (ci 0);
+  while_ b
+    (fun () -> ilt b ~$i (ci 10))
+    (fun () ->
+       st b out ~$i ~$i;
+       assign b i ~$(iadd b ~$i (ci 1)));
+  let k = finish b in
+  (* entry, header, body, exit *)
+  Alcotest.(check int) "four blocks" 4 (Array.length k.k_blocks);
+  let cfg = Cfg.of_kernel k in
+  (* header has two predecessors: entry and body *)
+  Alcotest.(check int) "header preds" 2 (List.length (Cfg.preds cfg 1))
+
+let test_builder_for_counts () =
+  let b = Builder.create ~name:"f" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  for_ b ~lo:(ci 0) ~hi:(ci 5) (fun i -> st b out ~$i ~$i);
+  let k = finish b in
+  Alcotest.(check bool) "kernel valid" true
+    (match Cfg.validate k with Ok () -> true | Error _ -> false)
+
+let test_builder_ret_early () =
+  let b = Builder.create ~name:"r" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let p = ilt b (ci 1) (ci 0) in
+  if_then b p (fun () -> ret b);
+  st b out (ci 0) (ci 1);
+  let k = finish b in
+  let cfg = Cfg.of_kernel k in
+  Alcotest.(check bool) "multiple exits" true
+    (List.length (Cfg.exit_blocks cfg) >= 2)
+
+let test_validate_catches_bad_branch () =
+  let blk = { label = 0; instrs = [||]; term = Br 7 } in
+  let k =
+    { k_name = "bad"; k_blocks = [| blk |]; k_params = [||];
+      k_buffers = [||]; k_num_vregs = 0; k_specials = [] }
+  in
+  (match Cfg.validate k with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "expected invalid")
+
+let test_validate_catches_type_error () =
+  let f = { id = 0; ty = F32; name = "f" } in
+  let blk =
+    { label = 0; instrs = [| Ibin (Add, f, Imm_i 1, Imm_i 2) |]; term = Ret }
+  in
+  let k =
+    { k_name = "bad"; k_blocks = [| blk |]; k_params = [||];
+      k_buffers = [||]; k_num_vregs = 1; k_specials = [] }
+  in
+  (match Cfg.validate k with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "expected type error")
+
+let test_rpo_starts_at_entry () =
+  let b = Builder.create ~name:"rpo" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  for_ b ~lo:(ci 0) ~hi:(ci 3) (fun i -> st b out ~$i ~$i);
+  let k = finish b in
+  let cfg = Cfg.of_kernel k in
+  let rpo = Cfg.reverse_postorder cfg in
+  Alcotest.(check int) "entry first" 0 rpo.(0)
+
+let contains_substring s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let test_pp_roundtrip_mentions_ops () =
+  let b = Builder.create ~name:"pp" in
+  let open Builder in
+  let out = global_buffer b F32 "out" in
+  let x = ffma b (cf 1.0) (cf 2.0) (cf 3.0) in
+  let y = fsqrt b ~$x in
+  st b out (ci 0) ~$y;
+  let k = finish b in
+  let s = Pp.kernel_to_string k in
+  List.iter
+    (fun needle ->
+       Alcotest.(check bool) (needle ^ " printed") true (contains_substring s needle))
+    [ "fma.rn.f32"; "sqrt.f32"; "st.global"; ".entry pp"; "ret" ]
+
+let test_instr_count () =
+  let b = Builder.create ~name:"cnt" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let x = iadd b (ci 1) (ci 2) in
+  let y = imul b ~$x (ci 3) in
+  st b out (ci 0) ~$y;
+  Alcotest.(check int) "three instrs" 3 (Pp.instr_count (finish b))
+
+let test_unit_classes () =
+  let f = { id = 0; ty = F32; name = "f" } in
+  let s = { id = 1; ty = S32; name = "s" } in
+  Alcotest.(check bool) "sin is sfu" true
+    (unit_class_of (Fun (Fsin, f, Imm_f 1.0)) = Sfu);
+  Alcotest.(check bool) "fadd is spu" true
+    (unit_class_of (Fbin (Fadd, f, Imm_f 1.0, Imm_f 2.0)) = Spu);
+  Alcotest.(check bool) "idiv is sfu" true
+    (unit_class_of (Ibin (Div, s, Imm_i 1, Imm_i 2)) = Sfu);
+  Alcotest.(check bool) "iadd is spu" true
+    (unit_class_of (Ibin (Add, s, Imm_i 1, Imm_i 2)) = Spu);
+  Alcotest.(check bool) "bar is sync" true (unit_class_of Bar = Sync)
+
+let test_nested_control_flow () =
+  (* if inside while inside if: the builder must produce a valid CFG
+     with correct reconvergence structure. *)
+  let b = Builder.create ~name:"nest" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  let outer = ilt b ~$i (ci 16) in
+  if_then b outer (fun () ->
+      let acc = var b S32 "acc" in
+      assign b acc (ci 0);
+      while_ b
+        (fun () -> ilt b ~$acc (ci 8))
+        (fun () ->
+           let odd = ieq b ~$(iand b ~$acc (ci 1)) (ci 1) in
+           if_ b odd
+             (fun () -> assign b acc ~$(iadd b ~$acc (ci 3)))
+             (fun () -> assign b acc ~$(iadd b ~$acc (ci 1))));
+      st b out ~$i ~$acc);
+  let k = finish b in
+  (match Cfg.validate k with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (* And it executes correctly: 0 ->1 ->4 ->5 ->8. *)
+  let module E = Gpr_exec.Exec in
+  let outd = Array.make 32 (-1) in
+  let bindings = E.bindings_for k ~data:[ ("out", E.I_data outd) ] () in
+  ignore (E.run k ~launch:(launch_1d ~block:32 ~grid:1) ~params:[||]
+            ~bindings E.default_config);
+  for t = 0 to 31 do
+    Alcotest.(check int) "nested result" (if t < 16 then 8 else -1) outd.(t)
+  done
+
+let test_pand () =
+  let b = Builder.create ~name:"pand" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  let p1 = ige b ~$i (ci 4) in
+  let p2 = ilt b ~$i (ci 8) in
+  let both = pand b p1 p2 in
+  st b out ~$i ~$(selp b S32 (ci 1) (ci 0) both);
+  let k = finish b in
+  let module E = Gpr_exec.Exec in
+  let outd = Array.make 32 (-1) in
+  let bindings = E.bindings_for k ~data:[ ("out", E.I_data outd) ] () in
+  ignore (E.run k ~launch:(launch_1d ~block:32 ~grid:1) ~params:[||]
+            ~bindings E.default_config);
+  for t = 0 to 31 do
+    Alcotest.(check int) "conjunction" (if t >= 4 && t < 8 then 1 else 0)
+      outd.(t)
+  done
+
+let test_specials_cached () =
+  (* Repeated tid_x calls reuse one register. *)
+  let b = Builder.create ~name:"cache" in
+  let open Builder in
+  let t1 = tid_x b and t2 = tid_x b in
+  let g1 = global_thread_id_x b and g2 = global_thread_id_x b in
+  Alcotest.(check int) "tid cached" t1.id t2.id;
+  Alcotest.(check int) "gtid cached" g1.id g2.id;
+  let out = global_buffer b S32 "out" in
+  st b out ~$g1 ~$t1;
+  ignore (finish b)
+
+(* ---------------------------------------------------------------- *)
+(* Occupancy (Sec. 2 motivating numbers) *)
+
+let test_occupancy_imgvf_paper_example () =
+  let cfg = Gpr_arch.Config.fermi_gtx480 in
+  (* Original IMGVF: 52 regs, 10 warps/block -> 1 block, 21% occupancy. *)
+  let r =
+    Gpr_arch.Occupancy.compute cfg ~regs_per_thread:52 ~warps_per_block:10
+      ~shared_bytes_per_block:14560
+  in
+  Alcotest.(check int) "blocks" 1 r.blocks_per_sm;
+  Alcotest.(check bool) "occ ~21%" true (abs_float (r.occupancy -. 0.2083) < 0.01);
+  (* Compressed: 29 regs -> 3 blocks, 62.5%. *)
+  let r =
+    Gpr_arch.Occupancy.compute cfg ~regs_per_thread:29 ~warps_per_block:10
+      ~shared_bytes_per_block:14560
+  in
+  Alcotest.(check int) "blocks compressed" 3 r.blocks_per_sm;
+  Alcotest.(check (float 1e-9)) "occ 62.5%" 0.625 r.occupancy
+
+let test_occupancy_shared_limit () =
+  let cfg = Gpr_arch.Config.fermi_gtx480 in
+  (* IMGVF at high quality: 24 regs would allow 4 blocks, but shared
+     memory caps it at 3 (Sec. 6.1). *)
+  let r =
+    Gpr_arch.Occupancy.compute cfg ~regs_per_thread:24 ~warps_per_block:10
+      ~shared_bytes_per_block:14560
+  in
+  Alcotest.(check int) "blocks" 3 r.blocks_per_sm;
+  Alcotest.(check string) "limiter" "shared memory"
+    (Gpr_arch.Occupancy.limiter_to_string r.limiter)
+
+let test_occupancy_warp_limit () =
+  let cfg = Gpr_arch.Config.fermi_gtx480 in
+  let r =
+    Gpr_arch.Occupancy.compute cfg ~regs_per_thread:10 ~warps_per_block:8
+      ~shared_bytes_per_block:0
+  in
+  Alcotest.(check int) "blocks" 6 r.blocks_per_sm;
+  Alcotest.(check (float 1e-9)) "full occupancy" 1.0 r.occupancy
+
+let test_occupancy_block_limit () =
+  let cfg = Gpr_arch.Config.fermi_gtx480 in
+  let r =
+    Gpr_arch.Occupancy.compute cfg ~regs_per_thread:4 ~warps_per_block:1
+      ~shared_bytes_per_block:0
+  in
+  Alcotest.(check int) "max 8 blocks" 8 r.blocks_per_sm
+
+let test_occupancy_too_big () =
+  let cfg = Gpr_arch.Config.fermi_gtx480 in
+  Alcotest.check_raises "block too large"
+    (Invalid_argument
+       "Occupancy.compute: one block exceeds SM resources (registers)")
+    (fun () ->
+       ignore
+         (Gpr_arch.Occupancy.compute cfg ~regs_per_thread:70 ~warps_per_block:16
+            ~shared_bytes_per_block:0))
+
+(* ---------------------------------------------------------------- *)
+(* Float formats (Table 3) *)
+
+let test_formats_table3 () =
+  let expect = [ (32, 8, 23); (28, 7, 20); (24, 6, 17); (20, 5, 14);
+                 (16, 5, 10); (12, 4, 7); (8, 3, 4) ] in
+  List.iter2
+    (fun f (total, e, m) ->
+       Alcotest.(check int) "total" total f.F.total_bits;
+       Alcotest.(check int) "exp" e f.F.exp_bits;
+       Alcotest.(check int) "man" m f.F.man_bits)
+    F.all expect
+
+let test_format_f32_identity () =
+  List.iter
+    (fun x ->
+       (* Values must already be representable in single precision. *)
+       let x = Int32.float_of_bits (Int32.bits_of_float x) in
+       Alcotest.(check (float 0.0)) "f32 identity" x (F.quantize F.f32 x))
+    [ 0.0; 1.0; -1.5; 3.14159265; 1e-20; 1e20; -0.125 ]
+
+let test_format_fp16_values () =
+  let fp16 = Option.get (F.of_total_bits 16) in
+  (* 1.0 and powers of two are exact in every format. *)
+  Alcotest.(check (float 0.0)) "1.0 exact" 1.0 (F.quantize fp16 1.0);
+  Alcotest.(check (float 0.0)) "0.5 exact" 0.5 (F.quantize fp16 0.5);
+  Alcotest.(check (float 0.0)) "-4.0 exact" (-4.0) (F.quantize fp16 (-4.0));
+  (* fp16 (e5m10) max normal is 65504. *)
+  Alcotest.(check (float 0.0)) "max finite" 65504.0 (F.max_finite fp16);
+  Alcotest.(check bool) "overflow to inf" true
+    (F.quantize fp16 1e6 = infinity);
+  Alcotest.(check bool) "neg overflow" true
+    (F.quantize fp16 (-1e6) = neg_infinity);
+  (* Denormal flush. *)
+  Alcotest.(check (float 0.0)) "underflow to zero" 0.0 (F.quantize fp16 1e-8)
+
+let test_format_special_values () =
+  List.iter
+    (fun f ->
+       Alcotest.(check bool) (F.to_string f ^ " inf") true
+         (F.quantize f infinity = infinity);
+       Alcotest.(check bool) (F.to_string f ^ " -inf") true
+         (F.quantize f neg_infinity = neg_infinity);
+       Alcotest.(check bool) (F.to_string f ^ " nan") true
+         (Float.is_nan (F.quantize f nan));
+       Alcotest.(check bool) (F.to_string f ^ " nan pattern") true
+         (F.is_nan_pattern f (F.encode f nan));
+       Alcotest.(check bool) (F.to_string f ^ " inf pattern") true
+         (F.is_inf_pattern f (F.encode f infinity)))
+    F.all
+
+let test_format_levels () =
+  Alcotest.(check int) "f32 level" 0 (F.level F.f32);
+  Alcotest.(check int) "narrowest" 8 (F.of_level 6).F.total_bits;
+  Alcotest.(check bool) "next narrower of 8 is none" true
+    (F.next_narrower (F.of_level 6) = None);
+  Alcotest.(check bool) "next wider of 32 is none" true
+    (F.next_wider F.f32 = None)
+
+let prop_quantize_error_bound =
+  QCheck.Test.make ~name:"relative error within bound" ~count:1000
+    (QCheck.float_range (-1e4) 1e4)
+    (fun x ->
+       let x = Int32.float_of_bits (Int32.bits_of_float x) in
+       QCheck.assume (Float.is_finite x && Float.abs x > 1e-3);
+       List.for_all
+         (fun f ->
+            let q = F.quantize f x in
+            (* Skip if out of the format's range (overflow/underflow). *)
+            if Float.abs x > F.max_finite f
+            || Float.abs x < F.min_positive_normal f then true
+            else
+              Float.abs (q -. x) /. Float.abs x
+              <= F.relative_error_bound f *. 1.0001)
+         F.all)
+
+let prop_encode_fits_width =
+  QCheck.Test.make ~name:"encode fits declared width" ~count:1000
+    (QCheck.float_range (-1e30) 1e30)
+    (fun x ->
+       List.for_all
+         (fun f ->
+            let bits = F.encode f x in
+            bits >= 0 && bits < 1 lsl f.F.total_bits)
+         F.all)
+
+let prop_quantize_idempotent =
+  QCheck.Test.make ~name:"quantize idempotent" ~count:1000
+    (QCheck.float_range (-1e6) 1e6)
+    (fun x ->
+       List.for_all
+         (fun f ->
+            let q = F.quantize f x in
+            (not (Float.is_finite q)) || F.quantize f q = q)
+         F.all)
+
+let prop_quantize_monotone_width =
+  QCheck.Test.make ~name:"wider format never worse" ~count:500
+    (QCheck.float_range (-1e3) 1e3)
+    (fun x ->
+       let x = Int32.float_of_bits (Int32.bits_of_float x) in
+       QCheck.assume (Float.is_finite x);
+       let err f =
+         let q = F.quantize f x in
+         if Float.is_finite q then Float.abs (q -. x) else infinity
+       in
+       let errors = List.map err F.all in
+       let rec nondecreasing = function
+         | a :: (b :: _ as rest) -> a <= b +. 1e-30 && nondecreasing rest
+         | _ -> true
+       in
+       nondecreasing errors)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~verbose:false in
+  Alcotest.run "isa-arch-fp"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "straightline" `Quick test_builder_straightline;
+          Alcotest.test_case "if shape" `Quick test_builder_if_shape;
+          Alcotest.test_case "while shape" `Quick test_builder_while_shape;
+          Alcotest.test_case "for valid" `Quick test_builder_for_counts;
+          Alcotest.test_case "early ret" `Quick test_builder_ret_early;
+          Alcotest.test_case "instr count" `Quick test_instr_count;
+          Alcotest.test_case "pp mentions ops" `Quick test_pp_roundtrip_mentions_ops;
+          Alcotest.test_case "nested control flow" `Quick test_nested_control_flow;
+          Alcotest.test_case "pand" `Quick test_pand;
+          Alcotest.test_case "specials cached" `Quick test_specials_cached;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "bad branch" `Quick test_validate_catches_bad_branch;
+          Alcotest.test_case "type error" `Quick test_validate_catches_type_error;
+          Alcotest.test_case "rpo entry" `Quick test_rpo_starts_at_entry;
+          Alcotest.test_case "unit classes" `Quick test_unit_classes;
+        ] );
+      ( "occupancy",
+        [
+          Alcotest.test_case "imgvf example" `Quick
+            test_occupancy_imgvf_paper_example;
+          Alcotest.test_case "shared limit" `Quick test_occupancy_shared_limit;
+          Alcotest.test_case "warp limit" `Quick test_occupancy_warp_limit;
+          Alcotest.test_case "block limit" `Quick test_occupancy_block_limit;
+          Alcotest.test_case "too big" `Quick test_occupancy_too_big;
+        ] );
+      ( "fp-formats",
+        [
+          Alcotest.test_case "table3" `Quick test_formats_table3;
+          Alcotest.test_case "f32 identity" `Quick test_format_f32_identity;
+          Alcotest.test_case "fp16 values" `Quick test_format_fp16_values;
+          Alcotest.test_case "specials" `Quick test_format_special_values;
+          Alcotest.test_case "levels" `Quick test_format_levels;
+        ] );
+      ( "fp-props",
+        [
+          q prop_quantize_error_bound;
+          q prop_encode_fits_width;
+          q prop_quantize_idempotent;
+          q prop_quantize_monotone_width;
+        ] );
+    ]

@@ -1,0 +1,187 @@
+(* Optimisation-pass tests: semantic preservation (optimised kernels
+   produce bit-identical outputs), folding and DCE effectiveness, and
+   idempotence. *)
+
+open Gpr_isa
+open Gpr_isa.Types
+module O = Gpr_opt.Opt
+module E = Gpr_exec.Exec
+module W = Gpr_workloads.Workload
+
+let run_ints kernel ~launch ~n =
+  let outd = Array.make n 0 in
+  let bindings = E.bindings_for kernel ~data:[ ("out", E.I_data outd) ] () in
+  ignore (E.run kernel ~launch ~params:[||] ~bindings E.default_config);
+  outd
+
+let test_constant_folding_chain () =
+  let b = Builder.create ~name:"cf" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  (* A chain of foldable arithmetic: (3 + 4) * 2 - 6 = 8. *)
+  let a = iadd b (ci 3) (ci 4) in
+  let c = imul b ~$a (ci 2) in
+  let d = isub b ~$c (ci 6) in
+  st b out ~$i ~$d;
+  let k = finish b in
+  let k' = O.run k in
+  Alcotest.(check bool) "fewer instructions" true
+    (O.instruction_count k' < O.instruction_count k);
+  let launch = launch_1d ~block:32 ~grid:1 in
+  Alcotest.(check bool) "same outputs" true
+    (run_ints k ~launch ~n:32 = run_ints k' ~launch ~n:32)
+
+let test_simplify_identities () =
+  let b = Builder.create ~name:"ids" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  let v = iadd b ~$i (ci 0) in       (* x + 0 *)
+  let v = imul b ~$v (ci 1) in       (* x * 1 *)
+  let v = ior b ~$v (ci 0) in        (* x | 0 *)
+  let v = ishl b ~$v (ci 0) in       (* x << 0 *)
+  let dead = imul b ~$v (ci 0) in    (* x * 0 -> 0 *)
+  let v = iadd b ~$v ~$dead in       (* x + 0 after folding *)
+  st b out ~$i ~$v;
+  let k = finish b in
+  let k' = O.run k in
+  (* Everything reduces to the gid computation plus the store. *)
+  Alcotest.(check bool) "heavily reduced" true
+    (O.instruction_count k' <= O.instruction_count k - 4);
+  let launch = launch_1d ~block:32 ~grid:1 in
+  Alcotest.(check bool) "same outputs" true
+    (run_ints k ~launch ~n:32 = run_ints k' ~launch ~n:32)
+
+let test_dce_removes_unused () =
+  let b = Builder.create ~name:"dce" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  let _unused1 = fmul b (cf 1.5) (cf 2.5) in
+  let _unused2 = fsin b (cf 0.5) in
+  let _unused3 = iadd b ~$i (ci 99) in
+  st b out ~$i ~$i;
+  let k = finish b in
+  let k' = O.dead_code_elim k in
+  Alcotest.(check int) "three dead removed"
+    (O.instruction_count k - 3)
+    (O.instruction_count k')
+
+let test_dce_keeps_side_effects () =
+  let b = Builder.create ~name:"keep" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let sh = shared_buffer b S32 "sh" in
+  let i = global_thread_id_x b in
+  st b sh ~$(iand b ~$i (ci 31)) ~$i;
+  bar b;
+  let v = ld b sh ~$(iand b ~$i (ci 31)) in
+  st b out ~$i ~$v;
+  let k = finish b in
+  let k' = O.run k in
+  Alcotest.(check int) "stores/bars/loads survive" (O.instruction_count k)
+    (O.instruction_count k')
+
+let test_idempotent () =
+  List.iter
+    (fun (w : W.t) ->
+       let once = O.run w.kernel in
+       let twice = O.run once in
+       Alcotest.(check int) (w.name ^ " idempotent")
+         (O.instruction_count once) (O.instruction_count twice))
+    Gpr_workloads.Registry.all
+
+let test_workloads_preserved () =
+  (* The strongest check: optimised workload kernels produce the exact
+     reference outputs. *)
+  List.iter
+    (fun (w : W.t) ->
+       let w' = { w with kernel = O.run w.kernel } in
+       let a = W.reference w in
+       let b = W.reference w' in
+       Alcotest.(check bool) (w.name ^ " outputs preserved") true (a = b))
+    [ Option.get (Gpr_workloads.Registry.by_name "Hotspot");
+      Option.get (Gpr_workloads.Registry.by_name "DWT2D");
+      Option.get (Gpr_workloads.Registry.by_name "Hybridsort");
+      Option.get (Gpr_workloads.Registry.by_name "SSAO") ]
+
+let test_loop_variables_not_folded () =
+  (* A loop counter has several definitions: constant propagation must
+     not treat its initial value as its only value. *)
+  let b = Builder.create ~name:"loopvar" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let i = global_thread_id_x b in
+  let acc = var b S32 "acc" in
+  assign b acc (ci 0);
+  for_ b ~lo:(ci 0) ~hi:(ci 5) (fun _ ->
+      assign b acc ~$(iadd b ~$acc (ci 2)));
+  st b out ~$i ~$acc;
+  let k = finish b in
+  let k' = O.run k in
+  let launch = launch_1d ~block:32 ~grid:1 in
+  let a = run_ints k ~launch ~n:32 in
+  Alcotest.(check int) "loop result" 10 a.(0);
+  Alcotest.(check bool) "same outputs" true (a = run_ints k' ~launch ~n:32)
+
+let prop_random_arith_preserved =
+  QCheck.Test.make ~name:"optimised arithmetic preserves outputs" ~count:40
+    (QCheck.int_range 1 1_000_000)
+    (fun seed ->
+       (* Random straight-line integer DAG over gid and constants. *)
+       let rng = Gpr_util.Rng.create seed in
+       let b = Builder.create ~name:"rand" in
+       let open Builder in
+       let out = global_buffer b S32 "out" in
+       let i = global_thread_id_x b in
+       let nodes = ref [ i ] in
+       let pick () =
+         List.nth !nodes (Gpr_util.Rng.int rng (List.length !nodes))
+       in
+       for _ = 1 to 12 do
+         let a = pick () and c = pick () in
+         let const = Gpr_util.Rng.int rng 19 - 9 in
+         let v =
+           match Gpr_util.Rng.int rng 6 with
+           | 0 -> iadd b ~$a ~$c
+           | 1 -> isub b ~$a (ci const)
+           | 2 -> imul b ~$a (ci const)
+           | 3 -> iand b ~$a (ci 0xff)
+           | 4 -> imax b ~$a ~$c
+           | _ -> iadd b ~$a (ci 0)
+         in
+         nodes := v :: !nodes
+       done;
+       let result = List.hd !nodes in
+       st b out ~$i ~$result;
+       let k = finish b in
+       let k' = O.run k in
+       let launch = launch_1d ~block:32 ~grid:1 in
+       run_ints k ~launch ~n:32 = run_ints k' ~launch ~n:32)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~verbose:false in
+  Alcotest.run "opt"
+    [
+      ( "folding",
+        [
+          Alcotest.test_case "constant chain" `Quick test_constant_folding_chain;
+          Alcotest.test_case "identities" `Quick test_simplify_identities;
+          Alcotest.test_case "loop vars safe" `Quick
+            test_loop_variables_not_folded;
+        ] );
+      ( "dce",
+        [
+          Alcotest.test_case "removes unused" `Quick test_dce_removes_unused;
+          Alcotest.test_case "keeps side effects" `Quick
+            test_dce_keeps_side_effects;
+        ] );
+      ( "global",
+        [
+          Alcotest.test_case "idempotent" `Quick test_idempotent;
+          Alcotest.test_case "workload outputs preserved" `Slow
+            test_workloads_preserved;
+        ] );
+      ("props", [ q prop_random_arith_preserved ]);
+    ]

@@ -1,0 +1,197 @@
+(* Parser tests: print/parse round trips for hand-written kernels and
+   for every Table 4 workload, plus diagnostics for malformed input. *)
+
+open Gpr_isa
+open Gpr_isa.Types
+
+let roundtrip kernel =
+  let text = Pp.kernel_to_string kernel in
+  match Parser.parse text with
+  | Error e -> Alcotest.fail (kernel.k_name ^ ": " ^ e ^ "\n" ^ text)
+  | Ok k -> k
+
+(* Structural equality that ignores register display names. *)
+let strip_names kernel =
+  let strip (r : vreg) = { r with name = "" } in
+  let strip_op = function
+    | Reg r -> Reg (strip r)
+    | (Imm_i _ | Imm_f _) as o -> o
+  in
+  let strip_instr = function
+    | Ibin (o, d, a, b) -> Ibin (o, strip d, strip_op a, strip_op b)
+    | Iun (o, d, a) -> Iun (o, strip d, strip_op a)
+    | Imad (d, a, b, c) -> Imad (strip d, strip_op a, strip_op b, strip_op c)
+    | Fbin (o, d, a, b) -> Fbin (o, strip d, strip_op a, strip_op b)
+    | Fun (o, d, a) -> Fun (o, strip d, strip_op a)
+    | Ffma (d, a, b, c) -> Ffma (strip d, strip_op a, strip_op b, strip_op c)
+    | Setp (o, ty, p, a, b) -> Setp (o, ty, strip p, strip_op a, strip_op b)
+    | Selp (d, a, b, p) -> Selp (strip d, strip_op a, strip_op b, strip p)
+    | Mov (d, a) -> Mov (strip d, strip_op a)
+    | Cvt (o, d, a) -> Cvt (o, strip d, strip_op a)
+    | Ld (d, { abuf; aindex }) -> Ld (strip d, { abuf; aindex = strip_op aindex })
+    | Ld_param (d, i) -> Ld_param (strip d, i)
+    | St ({ abuf; aindex }, v) ->
+      St ({ abuf; aindex = strip_op aindex }, strip_op v)
+    | Bar -> Bar
+    | Phi (d, ops) -> Phi (strip d, List.map (fun (l, o) -> (l, strip_op o)) ops)
+    | Pi (d, s, f) -> Pi (strip d, strip s, f)
+  in
+  let strip_term = function
+    | Br l -> Br l
+    | Cbr (p, t, f) -> Cbr (strip p, t, f)
+    | Ret -> Ret
+  in
+  {
+    kernel with
+    k_blocks =
+      Array.map
+        (fun b ->
+           { b with
+             instrs = Array.map strip_instr b.instrs;
+             term = strip_term b.term })
+        kernel.k_blocks;
+  }
+
+let check_roundtrip kernel =
+  let back = roundtrip kernel in
+  let a = strip_names kernel and b = strip_names back in
+  Alcotest.(check string) (kernel.k_name ^ " name") a.k_name b.k_name;
+  Alcotest.(check int) "blocks" (Array.length a.k_blocks) (Array.length b.k_blocks);
+  Alcotest.(check int) "params" (Array.length a.k_params) (Array.length b.k_params);
+  Alcotest.(check int) "buffers" (Array.length a.k_buffers) (Array.length b.k_buffers);
+  Alcotest.(check bool) "params equal" true (a.k_params = b.k_params);
+  Alcotest.(check bool) "buffers equal" true (a.k_buffers = b.k_buffers);
+  Alcotest.(check bool) "specials equal" true
+    (List.sort compare a.k_specials = List.sort compare b.k_specials);
+  Array.iteri
+    (fun i blk ->
+       let blk' = b.k_blocks.(i) in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s bb%d instrs" kernel.k_name i)
+         true (blk.instrs = blk'.instrs);
+       Alcotest.(check bool)
+         (Printf.sprintf "%s bb%d term" kernel.k_name i)
+         true (blk.term = blk'.term))
+    a.k_blocks
+
+let test_roundtrip_small () =
+  let b = Builder.create ~name:"small" in
+  let open Builder in
+  let n = param_i32 b ~range:(0, 4096) "n" in
+  let a = param_f32 b "a" in
+  let x = global_buffer b F32 "x" in
+  let y = global_buffer b F32 ~range:(0, 255) "y" in
+  let i = global_thread_id_x b in
+  if_then b (ilt b ~$i ~$n) (fun () ->
+      let xi = ld b x ~$i in
+      let yi = ld b y ~$i in
+      st b y ~$i ~$(ffma b ~$a ~$xi ~$yi));
+  check_roundtrip (finish b)
+
+let cvt_chain b u =
+  let open Builder in
+  let si = iadd b ~ty:U32 ~$u (ci 1) in
+  let f1 = utof b ~$si in
+  let i1 = ftoi b ~$f1 in
+  itof b ~$i1
+
+let test_roundtrip_all_ops () =
+  let b = Builder.create ~name:"allops" in
+  let open Builder in
+  let gi = global_buffer b S32 "gi" in
+  let gf = global_buffer b F32 "gf" in
+  let sh = shared_buffer b S32 "sh" in
+  let tx = texture_buffer b F32 "tx" in
+  let i = global_thread_id_x b in
+  let v = ld b gi ~$i in
+  let ops =
+    [ iadd b ~$v (ci 1); isub b ~$v (ci 2); imul b ~$v ~$v;
+      idiv b ~$v (ci 3); irem b ~$v (ci 5); imin b ~$v (ci 7);
+      imax b ~$v (ci (-7)); iand b ~$v (ci 0xff); ior b ~$v (ci 1);
+      ixor b ~$v (ci 3); ishl b ~$v (ci 2); ishr b ~$v (ci 1);
+      ineg b ~$v; inot b ~$v; iabs b ~$v;
+      imad b ~$v ~$v (ci 3) ]
+  in
+  let s = List.fold_left (fun acc r -> iadd b ~$acc ~$r) (mov b S32 (ci 0)) ops in
+  st b sh ~$(iand b ~$i (ci 31)) ~$s;
+  bar b;
+  let f = ld b tx ~$i in
+  let fops =
+    [ fadd b ~$f (cf 1.5); fsub b ~$f (cf 0.25); fmul b ~$f ~$f;
+      fdiv b ~$f (cf 2.0); fmin b ~$f (cf 0.5); fmax b ~$f (cf (-0.5));
+      fneg b ~$f; fabs b ~$f; ffloor b ~$f; fsqrt b ~$f; frsqrt b ~$f;
+      frcp b ~$f; fsin b ~$f; fcos b ~$f; fex2 b ~$f; flg2 b ~$f;
+      ffma b ~$f ~$f (cf 1.0) ]
+  in
+  let fs = List.fold_left (fun acc r -> fadd b ~$acc ~$r) (mov b F32 (cf 0.0)) fops in
+  let p = flt b ~$fs (cf 100.0) in
+  let sel = selp b F32 ~$fs (cf 0.0) p in
+  let u = ftou b ~$sel in
+  let s2 = cvt_chain b u in
+  st b gf ~$i ~$s2;
+  check_roundtrip (finish b)
+
+let test_roundtrip_workloads () =
+  List.iter
+    (fun (w : Gpr_workloads.Workload.t) -> check_roundtrip w.kernel)
+    Gpr_workloads.Registry.all
+
+let test_parsed_kernel_executes () =
+  (* Round-tripped kernel must produce the same outputs. *)
+  let w = Option.get (Gpr_workloads.Registry.by_name "Hotspot") in
+  let parsed = roundtrip w.kernel in
+  let w' = { w with kernel = parsed } in
+  let a = Gpr_workloads.Workload.reference w in
+  let b = Gpr_workloads.Workload.reference w' in
+  Alcotest.(check bool) "same outputs" true (a = b)
+
+let expect_error text needle =
+  match Parser.parse text with
+  | Ok _ -> Alcotest.fail ("expected parse error mentioning " ^ needle)
+  | Error e ->
+    let contains =
+      let n = String.length needle and m = String.length e in
+      let rec go i = i + n <= m && (String.sub e i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) ("error mentions " ^ needle ^ ": " ^ e) true contains
+
+let test_errors () =
+  expect_error ".entry f ()\nbb0:\n  add.s32 %t_0, %u_9, 1\n  ret\n"
+    "used before definition";
+  expect_error ".entry f ()\nbb0:\n  frobnicate.s32 %t_0, 1, 2\n  ret\n"
+    "unknown integer op";
+  expect_error ".entry f ()\nbb0:\n  mov.s32 %t_0, 1\n"
+    "no terminator";
+  expect_error ".entry f ()\nbb0:\n  bra bb7\n" "branches to missing";
+  expect_error ".entry f ()\nbb0:\n  ld.global.s32 %t_0, nosuch[0]\n  ret\n"
+    "unknown buffer";
+  expect_error "bb0:\n  mov.s32 %t_0, 1\n  ret\n" "";
+  expect_error ".entry f ()\n  mov.s32 %t_0, 1\n  ret\n" "outside a block"
+
+let test_float_immediates_roundtrip () =
+  let b = Builder.create ~name:"fimm" in
+  let open Builder in
+  let out = global_buffer b F32 "out" in
+  let vals = [ 0.0; -0.0; 1.5; -3.25; 0.1; 1e-20; 1e20; 43758.5453 ] in
+  let acc =
+    List.fold_left (fun acc v -> fadd b ~$acc (cf v)) (mov b F32 (cf 0.0)) vals
+  in
+  st b out (ci 0) ~$acc;
+  check_roundtrip (finish b)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "small kernel" `Quick test_roundtrip_small;
+          Alcotest.test_case "all opcodes" `Quick test_roundtrip_all_ops;
+          Alcotest.test_case "float immediates" `Quick
+            test_float_immediates_roundtrip;
+          Alcotest.test_case "all workloads" `Quick test_roundtrip_workloads;
+          Alcotest.test_case "parsed kernel executes" `Quick
+            test_parsed_kernel_executes;
+        ] );
+      ("errors", [ Alcotest.test_case "diagnostics" `Quick test_errors ]);
+    ]

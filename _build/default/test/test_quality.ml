@@ -1,0 +1,138 @@
+(* Quality metrics: SSIM, percentage deviation, binary, and the
+   perfect/high thresholds of Sec. 6.1. *)
+
+module Q = Gpr_quality.Quality
+module Img = Gpr_util.Image
+
+let img_of f = Img.init ~width:16 ~height:16 f
+
+let gradient = img_of (fun ~x ~y -> float_of_int (x + y) /. 30.0)
+
+let test_ssim_identity () =
+  Alcotest.(check (float 1e-9)) "self" 1.0 (Q.ssim gradient ~reference:gradient)
+
+let test_ssim_symmetry () =
+  let noisy =
+    Img.init ~width:16 ~height:16 (fun ~x ~y ->
+        Img.get gradient ~x ~y +. (0.05 *. sin (float_of_int ((x * 7) + y))))
+  in
+  let a = Q.ssim noisy ~reference:gradient in
+  let b = Q.ssim gradient ~reference:noisy in
+  Alcotest.(check (float 1e-9)) "symmetric" a b;
+  Alcotest.(check bool) "below one" true (a < 1.0);
+  Alcotest.(check bool) "still high" true (a > 0.5)
+
+let test_ssim_orders_degradation () =
+  let perturb eps =
+    Img.init ~width:16 ~height:16 (fun ~x ~y ->
+        Img.get gradient ~x ~y +. (eps *. cos (float_of_int ((3 * x) - y))))
+  in
+  let s1 = Q.ssim (perturb 0.01) ~reference:gradient in
+  let s2 = Q.ssim (perturb 0.05) ~reference:gradient in
+  let s3 = Q.ssim (perturb 0.2) ~reference:gradient in
+  Alcotest.(check bool) "monotone degradation" true (s1 > s2 && s2 > s3)
+
+let test_ssim_constant_images () =
+  let white = img_of (fun ~x:_ ~y:_ -> 1.0) in
+  let black = img_of (fun ~x:_ ~y:_ -> 0.0) in
+  Alcotest.(check (float 1e-9)) "identical constants" 1.0
+    (Q.ssim white ~reference:white);
+  Alcotest.(check bool) "opposite constants low" true
+    (Q.ssim white ~reference:black < 0.1)
+
+let test_ssim_dim_mismatch () =
+  let small = Img.create ~width:8 ~height:8 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Quality.ssim: dimension mismatch") (fun () ->
+        ignore (Q.ssim small ~reference:gradient))
+
+let test_deviation () =
+  let r = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "zero" 0.0
+    (Q.deviation_pct (Array.copy r) ~reference:r);
+  Alcotest.(check (float 1e-6)) "ten percent" 10.0
+    (Q.deviation_pct [| 1.1; 2.2; 3.3; 4.4 |] ~reference:r);
+  Alcotest.(check (float 1e-6)) "abs works" 10.0
+    (Q.deviation_pct [| 0.9; 1.8; 2.7; 3.6 |] ~reference:r)
+
+let test_deviation_nan_penalised () =
+  let r = [| 1.0; 1.0 |] in
+  let d = Q.deviation_pct [| nan; 1.0 |] ~reference:r in
+  Alcotest.(check bool) "nan counts as error" true (d > 0.0)
+
+let test_max_abs_error () =
+  Alcotest.(check (float 1e-9)) "max" 0.5
+    (Q.max_abs_error [| 1.0; 2.5 |] ~reference:[| 1.0; 2.0 |])
+
+let test_binary_and_sorted () =
+  Alcotest.(check bool) "equal" true (Q.binary_equal_int [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check bool) "unequal" false (Q.binary_equal_int [| 1; 2 |] [| 2; 1 |]);
+  Alcotest.(check bool) "sorted" true (Q.is_sorted [| 1; 1; 2; 9 |]);
+  Alcotest.(check bool) "unsorted" false (Q.is_sorted [| 1; 3; 2 |]);
+  Alcotest.(check bool) "empty sorted" true (Q.is_sorted [||])
+
+let test_thresholds () =
+  Alcotest.(check bool) "ssim perfect" true (Q.meets (Q.S_ssim 1.0) Q.Perfect);
+  Alcotest.(check bool) "ssim 0.9999+ still perfect" true
+    (Q.meets (Q.S_ssim 0.99996) Q.Perfect);
+  Alcotest.(check bool) "ssim 0.95 not perfect" false
+    (Q.meets (Q.S_ssim 0.95) Q.Perfect);
+  Alcotest.(check bool) "ssim 0.95 high" true (Q.meets (Q.S_ssim 0.95) Q.High);
+  Alcotest.(check bool) "ssim 0.85 not high" false
+    (Q.meets (Q.S_ssim 0.85) Q.High);
+  Alcotest.(check bool) "dev 0 perfect" true
+    (Q.meets (Q.S_deviation_pct 0.0) Q.Perfect);
+  Alcotest.(check bool) "dev 0.04 perfect (reported precision)" true
+    (Q.meets (Q.S_deviation_pct 0.04) Q.Perfect);
+  Alcotest.(check bool) "dev 1 not perfect" false
+    (Q.meets (Q.S_deviation_pct 1.0) Q.Perfect);
+  Alcotest.(check bool) "dev 9.9 high" true
+    (Q.meets (Q.S_deviation_pct 9.9) Q.High);
+  Alcotest.(check bool) "dev 10.1 not high" false
+    (Q.meets (Q.S_deviation_pct 10.1) Q.High);
+  Alcotest.(check bool) "binary wrong fails both" false
+    (Q.meets (Q.S_binary false) Q.High)
+
+let prop_ssim_bounded =
+  QCheck.Test.make ~name:"ssim within [-1, 1]" ~count:100
+    QCheck.(pair (int_range 1 1000000) (int_range 1 1000000))
+    (fun (s1, s2) ->
+       let r1 = Gpr_util.Rng.create s1 and r2 = Gpr_util.Rng.create s2 in
+       let a = img_of (fun ~x:_ ~y:_ -> Gpr_util.Rng.uniform r1) in
+       let b = img_of (fun ~x:_ ~y:_ -> Gpr_util.Rng.uniform r2) in
+       let s = Q.ssim a ~reference:b in
+       s >= -1.0 && s <= 1.0 +. 1e-9)
+
+let prop_deviation_scale =
+  QCheck.Test.make ~name:"deviation scales linearly" ~count:100
+    (QCheck.float_range 0.01 0.2)
+    (fun eps ->
+       let r = Array.init 32 (fun i -> 1.0 +. float_of_int i) in
+       let out = Array.map (fun v -> v *. (1.0 +. eps)) r in
+       let d = Q.deviation_pct out ~reference:r in
+       Float.abs (d -. (100.0 *. eps)) < 1e-6)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~verbose:false in
+  Alcotest.run "quality"
+    [
+      ( "ssim",
+        [
+          Alcotest.test_case "identity" `Quick test_ssim_identity;
+          Alcotest.test_case "symmetry" `Quick test_ssim_symmetry;
+          Alcotest.test_case "orders degradation" `Quick
+            test_ssim_orders_degradation;
+          Alcotest.test_case "constants" `Quick test_ssim_constant_images;
+          Alcotest.test_case "dim mismatch" `Quick test_ssim_dim_mismatch;
+        ] );
+      ( "deviation",
+        [
+          Alcotest.test_case "basic" `Quick test_deviation;
+          Alcotest.test_case "nan penalised" `Quick test_deviation_nan_penalised;
+          Alcotest.test_case "max abs" `Quick test_max_abs_error;
+        ] );
+      ( "binary",
+        [ Alcotest.test_case "binary + sorted" `Quick test_binary_and_sorted ] );
+      ( "thresholds", [ Alcotest.test_case "sec 6.1" `Quick test_thresholds ] );
+      ("props", [ q prop_ssim_bounded; q prop_deviation_scale ]);
+    ]

@@ -1,0 +1,220 @@
+(* Bit-exact datapath tests (value truncator / extractor / converter,
+   Fig. 3's worked example) and indirection-table arbitration, plus the
+   slice-granular allocator's invariants. *)
+
+open Gpr_alloc.Alloc
+module D = Gpr_regfile.Datapath
+module Ind = Gpr_regfile.Indirection
+module Bits = Gpr_util.Bits
+
+let mk ?(reg1 = -1) ?(mask1 = 0) ?(signed = false) ?(is_float = false)
+    ~reg0 ~mask0 ~bits () =
+  let slices = Bits.popcount mask0 + Bits.popcount mask1 in
+  { reg0; mask0; reg1; mask1; slices; bits; signed; is_float }
+
+(* ---------------------------------------------------------------- *)
+(* Scatter / gather *)
+
+let test_scatter_gather_identity () =
+  let mask = 0b0110_1001 in
+  let v = 0xABCD in
+  let image = D.scatter ~mask v in
+  Alcotest.(check int) "gather inverts scatter" (v land 0xFFFF)
+    (D.gather ~mask image)
+
+let test_scatter_positions () =
+  (* Value 0x21 into slices {1, 4}: nibble 1 -> slice 1, nibble 2 -> 4. *)
+  let image = D.scatter ~mask:0b0001_0010 0x21 in
+  Alcotest.(check int) "slice1" 0x1 ((image lsr 4) land 0xf);
+  Alcotest.(check int) "slice4" 0x2 ((image lsr 16) land 0xf);
+  Alcotest.(check int) "exact image" 0x2_0_01_0 image
+
+(* Fig. 3: a 16-bit float split across two registers — data slice 0 in
+   slice 7 of r0; data slices 1, 2, 3 in slices 2, 3 and 6 of r1. *)
+let test_fig3_example () =
+  let p =
+    mk ~reg0:0 ~mask0:0b1000_0000 ~reg1:1 ~mask1:0b0100_1100 ~bits:16
+      ~is_float:true ()
+  in
+  Alcotest.(check bool) "is split" true (is_split p);
+  Alcotest.(check int) "storage width" 16 (D.storage_width p);
+  let value = 1.5 in
+  let r0, r1 = D.store_float p value in
+  (* Only the masked slices may be driven. *)
+  Alcotest.(check int) "r0 respects mask" 0 (r0 land lnot (D.scatter ~mask:0b1000_0000 0xf));
+  let fmt = D.format_of_placement p in
+  let narrow = Gpr_fp.Format_.encode fmt value in
+  Alcotest.(check int) "r0 slice7 holds nibble0" (narrow land 0xf)
+    ((r0 lsr 28) land 0xf);
+  Alcotest.(check int) "r1 slice2 holds nibble1" ((narrow lsr 4) land 0xf)
+    ((r1 lsr 8) land 0xf);
+  Alcotest.(check int) "r1 slice3 holds nibble2" ((narrow lsr 8) land 0xf)
+    ((r1 lsr 12) land 0xf);
+  Alcotest.(check int) "r1 slice6 holds nibble3" ((narrow lsr 12) land 0xf)
+    ((r1 lsr 24) land 0xf);
+  (* The collector-unit OR of the two extracted parts restores the value. *)
+  let part0 = D.extract_part p ~part:`First r0 in
+  let part1 = D.extract_part p ~part:`Second r1 in
+  Alcotest.(check int) "parts disjoint" 0 (part0 land part1);
+  Alcotest.(check (float 0.0)) "roundtrip" 1.5 (D.load_float p ~r0 ~r1)
+
+let test_int_sign_extension () =
+  let p = mk ~reg0:3 ~mask0:0b0000_0011 ~bits:8 ~signed:true () in
+  let r0, r1 = D.store_int p (-5) in
+  Alcotest.(check int) "load sign-extends" (-5) (D.load_int p ~r0 ~r1);
+  let pu = mk ~reg0:3 ~mask0:0b0000_0011 ~bits:8 ~signed:false () in
+  let r0, r1 = D.store_int pu 0xAB in
+  Alcotest.(check int) "unsigned zero-extends" 0xAB (D.load_int pu ~r0 ~r1)
+
+let test_full_width_roundtrip () =
+  let p = mk ~reg0:0 ~mask0:0xff ~bits:32 ~signed:true () in
+  List.iter
+    (fun v ->
+       let r0, r1 = D.store_int p v in
+       Alcotest.(check int) (Printf.sprintf "%d" v) v (D.load_int p ~r0 ~r1))
+    [ 0; 1; -1; 0x7fffffff; -0x80000000; 123456789; -123456789 ]
+
+(* Property: random placement + value fitting the width round-trips. *)
+let gen_placement =
+  QCheck.Gen.(
+    let* total_slices = int_range 1 8 in
+    let* split = bool in
+    let* signed = bool in
+    (* pick [total_slices] distinct slice positions, split or not *)
+    let* perm =
+      let a = Array.init 8 Fun.id in
+      let* seed = int in
+      let rng = Gpr_util.Rng.create (1 + abs seed) in
+      Gpr_util.Rng.shuffle rng a;
+      return a
+    in
+    let n0 = if split && total_slices > 1 then total_slices / 2 else total_slices in
+    let mask_of lo n =
+      Array.to_list (Array.sub perm lo n)
+      |> List.fold_left (fun m s -> m lor (1 lsl s)) 0
+    in
+    let mask0 = mask_of 0 n0 in
+    let mask1 = if n0 < total_slices then mask_of n0 (total_slices - n0) else 0 in
+    let bits = total_slices * 4 in
+    return
+      {
+        reg0 = 0;
+        mask0;
+        reg1 = (if mask1 = 0 then -1 else 1);
+        mask1;
+        slices = total_slices;
+        bits;
+        signed;
+        is_float = false;
+      })
+
+let arb_placement =
+  QCheck.make
+    ~print:(fun p ->
+        Printf.sprintf "{m0=%02x m1=%02x bits=%d signed=%b}" p.mask0 p.mask1
+          p.bits p.signed)
+    gen_placement
+
+let prop_int_roundtrip =
+  QCheck.Test.make ~name:"store/load int roundtrip" ~count:1000
+    (QCheck.pair arb_placement (QCheck.int_range (-2000000) 2000000))
+    (fun (p, v) ->
+       let w = D.storage_width p in
+       let v =
+         if p.signed then
+           if Bits.fits_signed ~width:w v then v
+           else Bits.sign_extend ~width:w v
+         else Bits.zero_extend ~width:w v
+       in
+       let r0, r1 = D.store_int p v in
+       D.load_int p ~r0 ~r1 = v)
+
+let prop_store_respects_masks =
+  QCheck.Test.make ~name:"store drives only masked slices" ~count:500
+    (QCheck.pair arb_placement QCheck.int)
+    (fun (p, v) ->
+       let full0 = D.scatter ~mask:p.mask0 0xffff_ffff in
+       let full1 = D.scatter ~mask:p.mask1 0xffff_ffff in
+       let r0, r1 = D.store_int p v in
+       r0 land lnot full0 = 0 && r1 land lnot full1 = 0)
+
+let prop_float_roundtrip_table3 =
+  QCheck.Test.make ~name:"narrow float roundtrip = quantize" ~count:500
+    (QCheck.pair (QCheck.int_range 1 6) (QCheck.float_range (-1000.0) 1000.0))
+    (fun (level, v) ->
+       let fmt = Gpr_fp.Format_.of_level level in
+       let slices = fmt.Gpr_fp.Format_.total_bits / 4 in
+       let p =
+         mk ~reg0:0 ~mask0:(Bits.mask slices) ~bits:fmt.Gpr_fp.Format_.total_bits
+           ~is_float:true ()
+       in
+       let r0, r1 = D.store_float p v in
+       let got = D.load_float p ~r0 ~r1 in
+       let expect = Gpr_fp.Format_.quantize fmt v in
+       got = expect || (Float.is_nan got && Float.is_nan expect))
+
+(* ---------------------------------------------------------------- *)
+(* Indirection table *)
+
+let small_alloc () =
+  (* Build a real allocation from a tiny kernel. *)
+  let b = Gpr_isa.Builder.create ~name:"tiny" in
+  let open Gpr_isa.Builder in
+  let out = global_buffer b Gpr_isa.Types.S32 "out" in
+  let i = global_thread_id_x b in
+  let v = iadd b ~$i (ci 1) in
+  st b out ~$i ~$v;
+  Gpr_alloc.Alloc.baseline (finish b)
+
+let test_indirection_lookup () =
+  let alloc = small_alloc () in
+  let t = Ind.create alloc in
+  Alcotest.(check int) "banks" 16 (Ind.banks t);
+  (* The table stores one placement per variable alias; distinct
+     architectural names bound the placements from below. *)
+  Alcotest.(check bool) "entries cover names" true
+    (Ind.num_entries t >= alloc.num_arch_regs);
+  Hashtbl.iter
+    (fun arch pl ->
+       match Ind.lookup t arch with
+       | Some pl' -> Alcotest.(check int) "same reg0" pl.reg0 pl'.reg0
+       | None -> Alcotest.fail "missing entry")
+    alloc.placements
+
+let test_indirection_grant () =
+  let alloc = small_alloc () in
+  let t = Ind.create alloc in
+  (* Registers 0 and 16 share bank 0: only one is granted per cycle. *)
+  let granted, deferred = Ind.grant t [ 0; 16; 1; 17 ] in
+  Alcotest.(check (list int)) "granted" [ 0; 1 ] granted;
+  Alcotest.(check (list int)) "deferred" [ 16; 17 ] deferred;
+  let granted, deferred = Ind.grant t [ 5; 6; 7 ] in
+  Alcotest.(check int) "all granted" 3 (List.length granted);
+  Alcotest.(check int) "none deferred" 0 (List.length deferred)
+
+let test_entry_bits_fit () =
+  let p = mk ~reg0:63 ~mask0:0xff ~reg1:62 ~mask1:0xff ~bits:32 () in
+  Alcotest.(check bool) "fits 32 bits" true (Ind.entry_bits p <= 32)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~verbose:false in
+  Alcotest.run "regfile"
+    [
+      ( "datapath",
+        [
+          Alcotest.test_case "scatter/gather" `Quick test_scatter_gather_identity;
+          Alcotest.test_case "scatter positions" `Quick test_scatter_positions;
+          Alcotest.test_case "fig3 example" `Quick test_fig3_example;
+          Alcotest.test_case "sign extension" `Quick test_int_sign_extension;
+          Alcotest.test_case "full width" `Quick test_full_width_roundtrip;
+        ] );
+      ( "datapath-props",
+        [ q prop_int_roundtrip; q prop_store_respects_masks;
+          q prop_float_roundtrip_table3 ] );
+      ( "indirection",
+        [
+          Alcotest.test_case "lookup" `Quick test_indirection_lookup;
+          Alcotest.test_case "bank grant" `Quick test_indirection_grant;
+          Alcotest.test_case "entry bits" `Quick test_entry_bits_fit;
+        ] );
+    ]

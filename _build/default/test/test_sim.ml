@@ -1,0 +1,292 @@
+(* Timing-simulator tests: latency hiding, scoreboard serialisation,
+   writeback-delay sensitivity, barrier progress, cache model, and the
+   proposed-path overheads (conversions, double fetches). *)
+
+open Gpr_isa
+open Gpr_isa.Types
+module E = Gpr_exec.Exec
+module T = Gpr_exec.Trace
+module Sim = Gpr_sim.Sim
+module A = Gpr_alloc.Alloc
+
+let cfg = Gpr_arch.Config.fermi_gtx480
+
+(* ---------------------------------------------------------------- *)
+(* Synthetic traces *)
+
+let item ?(warp = 0) ?(block = 0) ?(unit_ = Spu) ?(srcs = []) ?dst
+    ?(dst_float = false) ?mem pc =
+  {
+    T.t_warp = warp;
+    t_block_id = block;
+    t_pc = pc;
+    t_unit = unit_;
+    t_srcs = srcs;
+    t_dst = dst;
+    t_dst_float = dst_float;
+    t_active = 32;
+    t_mem = mem;
+  }
+
+let mk_trace ?(warps_per_block = 1) ?(num_blocks = 1) items =
+  {
+    T.items = Array.of_list items;
+    warps_per_block;
+    num_blocks;
+    thread_instructions = List.fold_left (fun a (i : T.item) -> a + i.t_active) 0 items;
+  }
+
+(* An allocation covering registers 0..n-1 at full width. *)
+let full_alloc n =
+  let placements = Hashtbl.create 16 in
+  for v = 0 to n - 1 do
+    Hashtbl.replace placements v
+      { A.reg0 = v; mask0 = 0xff; reg1 = -1; mask1 = 0; slices = 8; bits = 32;
+        signed = true; is_float = false }
+  done;
+  { A.pressure = n; placements; num_arch_regs = n; peak_slices = n * 8;
+    split_count = 0 }
+
+let run ?(waves = 1) ?(blocks = 1) ?(mode = Sim.Baseline) ?alloc trace =
+  let alloc = match alloc with Some a -> a | None -> full_alloc 64 in
+  Sim.run ~waves cfg ~trace ~alloc ~blocks_per_sm:blocks ~mode
+
+let test_dependent_chain_serialises () =
+  (* r(i+1) depends on r(i): each instruction waits for the previous
+     writeback; cycles must scale with the chain length. *)
+  let n = 32 in
+  let chain =
+    List.init n (fun i ->
+        item ~srcs:(if i = 0 then [] else [ i - 1 ]) ~dst:i i)
+  in
+  let dep = run (mk_trace chain) in
+  let indep = List.init n (fun i -> item ~dst:i i) in
+  let ind = run (mk_trace indep) in
+  Alcotest.(check bool) "dependency costs cycles" true
+    (dep.Sim.cycles > ind.Sim.cycles + (n * (cfg.spu_latency - 1)) / 2);
+  Alcotest.(check int) "same work" dep.Sim.warp_instructions
+    ind.Sim.warp_instructions
+
+let test_more_warps_hide_latency () =
+  (* The same dependent chain in many warps: IPC should rise with the
+     number of resident warps. *)
+  let chain w =
+    List.init 24 (fun i ->
+        item ~warp:w ~srcs:(if i = 0 then [] else [ i - 1 ]) ~dst:i i)
+  in
+  let one = run (mk_trace (chain 0)) in
+  let eight =
+    run
+      (mk_trace ~warps_per_block:8
+         (List.concat_map chain (List.init 8 Fun.id)))
+  in
+  Alcotest.(check bool) "8 warps faster per instr" true
+    (eight.Sim.sm_ipc > 3.0 *. one.Sim.sm_ipc)
+
+let test_writeback_delay_monotone () =
+  let chain =
+    List.init 24 (fun i ->
+        item ~srcs:(if i = 0 then [] else [ i - 1 ]) ~dst:i i)
+  in
+  let trace = mk_trace chain in
+  let cycles d =
+    (run ~mode:(Sim.Proposed { writeback_delay = d }) trace).Sim.cycles
+  in
+  let cs = List.map cycles [ 0; 2; 4; 8 ] in
+  let rec nondecr = function
+    | a :: (b :: _ as r) -> a <= b && nondecr r
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone in writeback delay" true (nondecr cs);
+  Alcotest.(check bool) "strictly grows overall" true
+    (List.nth cs 3 > List.hd cs)
+
+let test_proposed_overhead_at_same_occupancy () =
+  let chain =
+    List.init 32 (fun i ->
+        item ~srcs:(if i = 0 then [] else [ i - 1 ]) ~dst:i i)
+  in
+  let trace = mk_trace chain in
+  let b = run trace in
+  let p = run ~mode:(Sim.Proposed { writeback_delay = 3 }) trace in
+  Alcotest.(check bool) "proposed not faster at equal occupancy" true
+    (p.Sim.cycles >= b.Sim.cycles)
+
+let test_conversions_counted () =
+  (* Narrow float sources must pass through the value converter. *)
+  let placements = Hashtbl.create 4 in
+  Hashtbl.replace placements 0
+    { A.reg0 = 0; mask0 = 0xf; reg1 = -1; mask1 = 0; slices = 4; bits = 16;
+      signed = false; is_float = true };
+  let alloc =
+    { A.pressure = 1; placements; num_arch_regs = 1; peak_slices = 4;
+      split_count = 0 }
+  in
+  let items = List.init 6 (fun i -> item ~srcs:[ 0 ] i) in
+  let s =
+    run ~alloc ~mode:(Sim.Proposed { writeback_delay = 3 })
+      (mk_trace (item ~dst:0 99 :: items))
+  in
+  Alcotest.(check int) "six conversions" 6 s.Sim.conversions;
+  let sbase = run ~alloc (mk_trace (item ~dst:0 99 :: items)) in
+  Alcotest.(check int) "baseline never converts" 0 sbase.Sim.conversions
+
+let test_double_fetch_counted () =
+  let placements = Hashtbl.create 4 in
+  Hashtbl.replace placements 0
+    { A.reg0 = 0; mask0 = 0x3; reg1 = 1; mask1 = 0x3; slices = 4; bits = 16;
+      signed = true; is_float = false };
+  let alloc =
+    { A.pressure = 2; placements; num_arch_regs = 1; peak_slices = 4;
+      split_count = 1 }
+  in
+  let items = List.init 4 (fun i -> item ~srcs:[ 0 ] i) in
+  let s =
+    run ~alloc ~mode:(Sim.Proposed { writeback_delay = 3 })
+      (mk_trace (item ~dst:0 99 :: items))
+  in
+  Alcotest.(check int) "double fetches" 4 s.Sim.double_fetches;
+  let sb = run ~alloc (mk_trace (item ~dst:0 99 :: items)) in
+  Alcotest.(check int) "baseline single fetch" 0 sb.Sim.double_fetches
+
+let test_barrier_completes () =
+  (* Two warps with interleaved barriers must make progress. *)
+  let w warp =
+    [ item ~warp ~dst:0 0; item ~warp ~unit_:Sync 1; item ~warp ~dst:1 2;
+      item ~warp ~unit_:Sync 3; item ~warp ~dst:2 4 ]
+  in
+  let s = run (mk_trace ~warps_per_block:2 (w 0 @ w 1)) in
+  Alcotest.(check int) "all issued" 10 s.Sim.warp_instructions;
+  Alcotest.(check bool) "finished quickly" true (s.Sim.cycles < 10_000)
+
+let test_waves_scale_work () =
+  let items = List.init 16 (fun i -> item ~dst:i i) in
+  let one = run ~waves:1 (mk_trace items) in
+  let four = run ~waves:4 (mk_trace items) in
+  Alcotest.(check int) "4x thread instructions"
+    (4 * one.Sim.thread_instructions) four.Sim.thread_instructions
+
+let test_memory_latency_and_caches () =
+  (* Same address repeatedly: first access misses, later ones hit. *)
+  let mem = { T.m_space = Global; m_addresses = Array.init 32 (fun l -> l * 4) } in
+  let loads = List.init 8 (fun i -> item ~dst:i ~unit_:Ldst ~mem i) in
+  let s = run (mk_trace loads) in
+  Alcotest.(check bool) "l1 mostly hits after warmup" true
+    (s.Sim.l1_hit_rate > 0.8);
+  (* Scattered addresses (one line per lane) serialise the LD/ST unit. *)
+  let scat = { T.m_space = Global; m_addresses = Array.init 32 (fun l -> l * 128) } in
+  let sloads = List.init 8 (fun i -> item ~dst:i ~unit_:Ldst ~mem:scat i) in
+  let s2 = run (mk_trace sloads) in
+  Alcotest.(check bool) "scatter slower than coalesced" true
+    (s2.Sim.cycles > s.Sim.cycles)
+
+let test_texture_accesses_tracked () =
+  let mem = { T.m_space = Texture; m_addresses = Array.init 32 (fun l -> l * 128) } in
+  let loads = List.init 4 (fun i -> item ~dst:i ~unit_:Ldst ~mem i) in
+  let s = run (mk_trace loads) in
+  Alcotest.(check int) "texture line accesses" (4 * 32) s.Sim.tex_accesses
+
+let test_sfu_throughput_bound () =
+  (* Independent SFU ops: bound by the 8-cycle SFU initiation interval. *)
+  let n = 32 in
+  let sfu = List.init n (fun i -> item ~unit_:Sfu ~dst:i i) in
+  let s = run (mk_trace sfu) in
+  Alcotest.(check bool) "at least II x n cycles" true (s.Sim.cycles >= 8 * (n - 1));
+  let spu = List.init n (fun i -> item ~dst:i i) in
+  let s2 = run (mk_trace spu) in
+  Alcotest.(check bool) "spu stream faster" true (s2.Sim.cycles < s.Sim.cycles)
+
+(* ---------------------------------------------------------------- *)
+(* Cache unit tests *)
+
+let test_cache_basics () =
+  let c = Gpr_sim.Cache.create ~capacity_bytes:1024 ~line_bytes:128 ~assoc:2 in
+  Alcotest.(check bool) "first miss" false (Gpr_sim.Cache.access c 0);
+  Alcotest.(check bool) "then hit" true (Gpr_sim.Cache.access c 64);
+  Alcotest.(check int) "hits" 1 (Gpr_sim.Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Gpr_sim.Cache.misses c)
+
+let test_cache_lru_eviction () =
+  (* 2 sets x 2 ways of 128B: three lines mapping to one set evict LRU. *)
+  let c = Gpr_sim.Cache.create ~capacity_bytes:512 ~line_bytes:128 ~assoc:2 in
+  ignore (Gpr_sim.Cache.access c 0);      (* set 0 *)
+  ignore (Gpr_sim.Cache.access c 256);    (* set 0 *)
+  ignore (Gpr_sim.Cache.access c 512);    (* set 0: evicts addr 0 *)
+  Alcotest.(check bool) "0 evicted" false (Gpr_sim.Cache.access c 0);
+  Alcotest.(check bool) "512 retained" true (Gpr_sim.Cache.access c 512)
+
+let test_cache_hit_rate_reset () =
+  let c = Gpr_sim.Cache.create ~capacity_bytes:1024 ~line_bytes:128 ~assoc:4 in
+  ignore (Gpr_sim.Cache.access c 0);
+  ignore (Gpr_sim.Cache.access c 0);
+  Alcotest.(check (float 1e-9)) "50%" 0.5 (Gpr_sim.Cache.hit_rate c);
+  Gpr_sim.Cache.reset_stats c;
+  Alcotest.(check (float 1e-9)) "reset -> 1.0 (vacuous)" 1.0
+    (Gpr_sim.Cache.hit_rate c)
+
+(* ---------------------------------------------------------------- *)
+(* End-to-end on a real kernel: occupancy helps a latency-bound kernel. *)
+
+let test_occupancy_improves_latency_bound_kernel () =
+  let b = Builder.create ~name:"lat" in
+  let open Builder in
+  let x = global_buffer b F32 "x" in
+  let y = global_buffer b F32 "y" in
+  let i = global_thread_id_x b in
+  (* A pointer-chase-flavoured dependent chain of loads. *)
+  let v0 = ld b x ~$i in
+  let v1 = ld b x ~$(iand b ~$(ftoi b ~$(fmul b ~$v0 (cf 1000.0))) (ci 1023)) in
+  let v2 = ld b x ~$(iand b ~$(ftoi b ~$(fmul b ~$v1 (cf 1000.0))) (ci 1023)) in
+  st b y ~$i ~$v2;
+  let kernel = finish b in
+  let data =
+    [ ("x", E.F_data (Gpr_workloads.Inputs.qfloats ~seed:5 ~n:1024));
+      ("y", E.F_data (Array.make 1024 0.0)) ]
+  in
+  let bindings = E.bindings_for kernel ~data () in
+  let trace =
+    Option.get
+      (E.run kernel ~launch:(launch_1d ~block:64 ~grid:16) ~params:[||]
+         ~bindings { E.quantize = None; collect_trace = true })
+  in
+  let alloc = A.baseline kernel in
+  let ipc blocks =
+    (Sim.run ~waves:4 cfg ~trace ~alloc ~blocks_per_sm:blocks
+       ~mode:Sim.Baseline).Sim.sm_ipc
+  in
+  Alcotest.(check bool) "4 blocks beat 1" true (ipc 4 > 1.5 *. ipc 1)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "dependent chain" `Quick test_dependent_chain_serialises;
+          Alcotest.test_case "latency hiding" `Quick test_more_warps_hide_latency;
+          Alcotest.test_case "writeback monotone" `Quick test_writeback_delay_monotone;
+          Alcotest.test_case "proposed overhead" `Quick
+            test_proposed_overhead_at_same_occupancy;
+          Alcotest.test_case "sfu bound" `Quick test_sfu_throughput_bound;
+        ] );
+      ( "proposed-path",
+        [
+          Alcotest.test_case "conversions" `Quick test_conversions_counted;
+          Alcotest.test_case "double fetches" `Quick test_double_fetch_counted;
+        ] );
+      ( "sync+waves",
+        [
+          Alcotest.test_case "barrier completes" `Quick test_barrier_completes;
+          Alcotest.test_case "waves scale" `Quick test_waves_scale_work;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "latency + caches" `Quick test_memory_latency_and_caches;
+          Alcotest.test_case "texture tracked" `Quick test_texture_accesses_tracked;
+          Alcotest.test_case "cache basics" `Quick test_cache_basics;
+          Alcotest.test_case "cache lru" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "cache reset" `Quick test_cache_hit_rate_reset;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "occupancy helps" `Quick
+            test_occupancy_improves_latency_bound_kernel ] );
+    ]
