@@ -189,6 +189,54 @@ let analyze_cmd =
        ~doc:"Parse a textual kernel and run the static integer framework")
     Term.(const run $ file $ block $ grid $ optimize)
 
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"First seed to check.")
+  in
+  let count =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~docv:"K" ~doc:"Number of consecutive seeds.")
+  in
+  let max_seconds =
+    Arg.(value & opt (some float) None
+         & info [ "max-seconds" ] ~docv:"S"
+             ~doc:"Stop after S seconds even if seeds remain (CI smoke runs).")
+  in
+  let no_shrink =
+    Arg.(value & flag
+         & info [ "no-shrink" ]
+             ~doc:"Report counterexamples without minimising them.")
+  in
+  let run seed count max_seconds no_shrink =
+    let module R = Gpr_check.Runner in
+    let progress s =
+      if (s - seed) mod 25 = 0 && s <> seed then
+        Printf.printf "  ... %d/%d seeds clean\n%!" (s - seed) count
+    in
+    let summary =
+      R.run ~shrink:(not no_shrink) ?max_seconds ~progress ~seed ~count ()
+    in
+    List.iter (fun r -> print_string (R.report_to_string r)) summary.R.reports;
+    Printf.printf "checked %d seed%s (%d..%d): %d failure%s\n"
+      summary.R.checked
+      (if summary.R.checked = 1 then "" else "s")
+      seed
+      (seed + summary.R.checked - 1)
+      (List.length summary.R.reports)
+      (if List.length summary.R.reports = 1 then "" else "s");
+    if summary.R.reports <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Differential fuzzing: run random kernels plain and through the \
+             compressed register file (range analysis, slice allocation, \
+             indirection table, TVT/TVE datapath, timing-model invariants) \
+             and fail on any divergence, with shrunk counterexamples")
+    Term.(const run $ seed $ count $ max_seconds $ no_shrink)
+
 (* ---------------- disasm ---------------- *)
 
 let disasm_cmd =
@@ -211,4 +259,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; pressure_cmd; sim_cmd; report_cmd; disasm_cmd;
-            analyze_cmd ]))
+            analyze_cmd; check_cmd ]))

@@ -1,0 +1,320 @@
+open Gpr_isa.Types
+module E = Gpr_exec.Exec
+module I = Gpr_util.Interval
+module Range = Gpr_analysis.Range
+module Alloc = Gpr_alloc.Alloc
+module Ind = Gpr_regfile.Indirection
+module Dp = Gpr_regfile.Datapath
+module F = Gpr_fp.Format_
+
+type mode = Exact | Narrow
+
+type failure =
+  | Range_violation of {
+      pc : int;
+      reg : vreg;
+      value : int;
+      range : I.t;
+    }
+  | Storage_violation of {
+      pc : int;
+      reg : vreg;
+      value : int;
+      roundtrip : int;
+      bits : int;
+    }
+  | Alloc_violation of string
+  | Output_mismatch of {
+      mode : mode;
+      buffer : string;
+      index : int;
+      expected : string;
+      got : string;
+    }
+  | Exec_failure of string
+  | Sim_violation of string
+
+exception Check_failed of failure
+
+let mode_name = function Exact -> "exact" | Narrow -> "narrow"
+
+let category = function
+  | Range_violation _ -> "range"
+  | Storage_violation _ -> "storage"
+  | Alloc_violation _ -> "alloc"
+  | Output_mismatch { mode; _ } -> "output-" ^ mode_name mode
+  | Exec_failure _ -> "exec"
+  | Sim_violation _ -> "sim"
+
+let to_string = function
+  | Range_violation { pc; reg; value; range } ->
+    Printf.sprintf
+      "range violation: pc %d wrote %%%s%d = %d outside static range %s" pc
+      reg.name reg.id value (I.to_string range)
+  | Storage_violation { pc; reg; value; roundtrip; bits } ->
+    Printf.sprintf
+      "storage violation: pc %d wrote %%%s%d = %d but its %d-bit slices read \
+       back %d"
+      pc reg.name reg.id value bits roundtrip
+  | Alloc_violation s -> "allocation violation: " ^ s
+  | Output_mismatch { mode; buffer; index; expected; got } ->
+    Printf.sprintf "output mismatch (%s mode): %s[%d] = %s, reference %s"
+      (mode_name mode) buffer index got expected
+  | Exec_failure s -> "executor failure: " ^ s
+  | Sim_violation s -> "simulator invariant: " ^ s
+
+let fail f = raise (Check_failed f)
+
+(* Executor faults (out-of-bounds, step budget, binding mismatches) and
+   library invariant errors become a distinct failure class so the
+   shrinker never confuses them with an oracle violation. *)
+let guard f =
+  try f () with
+  | Check_failed _ as e -> raise e
+  | Failure msg -> fail (Exec_failure msg)
+  | Invalid_argument msg -> fail (Exec_failure ("invalid argument: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Static allocation invariants *)
+
+let check_alloc_static (alloc : Alloc.t) =
+  if not (Alloc.fits_arch_table alloc) then
+    fail
+      (Alloc_violation
+         (Printf.sprintf "%d architectural registers exceed the 256-entry table"
+            alloc.num_arch_regs));
+  let storages = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun _ (p : Alloc.placement) ->
+       Hashtbl.replace storages (p.reg0, p.mask0, p.reg1, p.mask1) p)
+    alloc.placements;
+  let distinct = Hashtbl.fold (fun _ p acc -> p :: acc) storages [] in
+  let pieces (p : Alloc.placement) =
+    (p.reg0, p.mask0) :: (if p.reg1 >= 0 then [ (p.reg1, p.mask1) ] else [])
+  in
+  List.iter
+    (fun (p : Alloc.placement) ->
+       let pop = Gpr_util.Bits.popcount in
+       if pop p.mask0 + (if p.reg1 >= 0 then pop p.mask1 else 0) <> p.slices
+       then
+         fail
+           (Alloc_violation
+              (Printf.sprintf "mask popcount disagrees with %d slices" p.slices));
+       if Gpr_util.Bits.slices_of_bits p.bits <> p.slices then
+         fail
+           (Alloc_violation
+              (Printf.sprintf "%d bits need %d slices, placement has %d" p.bits
+                 (Gpr_util.Bits.slices_of_bits p.bits) p.slices));
+       if p.is_float && F.of_total_bits p.bits = None then
+         fail
+           (Alloc_violation
+              (Printf.sprintf "float placement width %d is not a Table 3 format"
+                 p.bits));
+       if Ind.entry_bits p > 32 then
+         fail (Alloc_violation "indirection entry exceeds 32 bits"))
+    distinct;
+  (* Slices are never reused over time (the table is static), so every
+     pair of distinct storage placements must be slice-disjoint. *)
+  let rec pairs = function
+    | [] -> ()
+    | p :: rest ->
+      List.iter
+        (fun q ->
+           List.iter
+             (fun (r, m) ->
+                List.iter
+                  (fun (r', m') ->
+                     if r = r' && m land m' <> 0 then
+                       fail
+                         (Alloc_violation
+                            (Printf.sprintf
+                               "two placements overlap in register %d (masks \
+                                %#x / %#x)"
+                               r m m')))
+                  (pieces q))
+             (pieces p))
+        rest;
+      pairs rest
+  in
+  pairs distinct
+
+(* ------------------------------------------------------------------ *)
+
+let dst_of_pc kernel =
+  let tbl = Hashtbl.create 64 in
+  Array.iteri
+    (fun bi blk ->
+       Array.iteri
+         (fun ii ins ->
+            match defs ins with
+            | Some d ->
+              Hashtbl.replace tbl (E.static_pc kernel ~block:bi ~idx:ii) d
+            | None -> ())
+         blk.instrs)
+    kernel.k_blocks;
+  tbl
+
+let float_bits_eq a b =
+  Int32.bits_of_float a = Int32.bits_of_float b
+  || (Float.is_nan a && Float.is_nan b)
+
+let compare_outputs mode ref_data packed_data =
+  List.iter2
+    (fun (name, a) (name', b) ->
+       assert (name = name');
+       let mismatch index expected got =
+         fail (Output_mismatch { mode; buffer = name; index; expected; got })
+       in
+       match (a, b) with
+       | E.I_data x, E.I_data y ->
+         Array.iteri
+           (fun i v ->
+              if v <> y.(i) then mismatch i (string_of_int v) (string_of_int y.(i)))
+           x
+       | E.F_data x, E.F_data y ->
+         Array.iteri
+           (fun i v ->
+              if not (float_bits_eq v y.(i)) then
+                mismatch i
+                  (Printf.sprintf "%h" v)
+                  (Printf.sprintf "%h" y.(i)))
+           x
+       | _ -> mismatch 0 "storage kind" "storage kind")
+    ref_data packed_data
+
+let default_analyze k ~launch = Range.analyze k ~launch
+
+let check ?(analyze = default_analyze) ?(max_steps = 2_000_000) mode
+    (case : Gen.case) =
+  guard @@ fun () ->
+  let kernel = case.kernel in
+  let rt = analyze kernel ~launch:case.launch in
+  let float_bits (r : vreg) =
+    match mode with
+    | Exact -> 32
+    | Narrow -> (F.of_level (case.float_level r)).F.total_bits
+  in
+  let width_of (r : vreg) =
+    match r.ty with
+    | Pred -> 32
+    | F32 -> float_bits r
+    | S32 | U32 -> Range.var_bitwidth rt r.id
+  in
+  let alloc = Alloc.run kernel ~width_of in
+  check_alloc_static alloc;
+  let table = Ind.create alloc in
+  let dsts = dst_of_pc kernel in
+  (* Reference: quantise float definitions exactly as their allocated
+     storage will (placements may be wider than requested when an
+     architectural name is shared, so the format comes from the
+     placement, not from the requested level). *)
+  let ref_quantize pc v =
+    match Hashtbl.find_opt dsts pc with
+    | Some d ->
+      (match Ind.lookup table d.id with
+       | Some p when p.is_float -> F.quantize (Dp.format_of_placement p) v
+       | _ -> F.quantize F.f32 v)
+    | None -> F.quantize F.f32 v
+  in
+  (* Packed: round-trip every write through the indirection table and
+     the TVT/TVE datapath, validating integers on the way. *)
+  let on_write pc (d : vreg) v =
+    match v with
+    | E.P_int iv ->
+      (match d.ty with
+       | S32 | U32 ->
+         (match Range.var_range rt d.id with
+          | I.Bot -> ()
+          | range ->
+            if not (I.contains range iv) then
+              fail (Range_violation { pc; reg = d; value = iv; range }))
+       | F32 | Pred -> ());
+      (match Ind.lookup table d.id with
+       | Some p when not p.is_float ->
+         let r0, r1 = Dp.store_int p iv in
+         let back = Dp.load_int p ~r0 ~r1 in
+         if back <> iv then
+           fail
+             (Storage_violation
+                { pc; reg = d; value = iv; roundtrip = back; bits = p.bits });
+         E.P_int back
+       | _ -> v)
+    | E.P_float fv ->
+      (match Ind.lookup table d.id with
+       | Some p when p.is_float ->
+         let r0, r1 = Dp.store_float p fv in
+         E.P_float (Dp.load_float p ~r0 ~r1)
+       | _ -> E.P_float (F.quantize F.f32 fv))
+  in
+  let run config data =
+    let bindings = E.bindings_for kernel ~data ~shared:case.shared () in
+    ignore
+      (E.run kernel ~launch:case.launch ~params:case.params ~bindings config)
+  in
+  let ref_data = case.data () in
+  run
+    {
+      E.default_config with
+      quantize = Some ref_quantize;
+      max_steps = Some max_steps;
+    }
+    ref_data;
+  let packed_data = case.data () in
+  run
+    { E.default_config with on_write = Some on_write; max_steps = Some max_steps }
+    packed_data;
+  compare_outputs mode ref_data packed_data
+
+(* ------------------------------------------------------------------ *)
+
+let check_sim ?(max_steps = 2_000_000) (case : Gen.case) =
+  guard @@ fun () ->
+  let kernel = case.kernel in
+  let data = case.data () in
+  let bindings = E.bindings_for kernel ~data ~shared:case.shared () in
+  let trace =
+    match
+      E.run kernel ~launch:case.launch ~params:case.params ~bindings
+        {
+          E.default_config with
+          collect_trace = true;
+          max_steps = Some max_steps;
+        }
+    with
+    | Some t -> t
+    | None -> fail (Exec_failure "trace collection returned no trace")
+  in
+  let rt = Range.analyze kernel ~launch:case.launch in
+  let width_of (r : vreg) =
+    match r.ty with
+    | Pred | F32 -> 32
+    | S32 | U32 -> Range.var_bitwidth rt r.id
+  in
+  let alloc_base = Alloc.baseline kernel in
+  let alloc_comp = Alloc.run kernel ~width_of in
+  let cfg = Gpr_arch.Config.fermi_gtx480 in
+  let shared_bytes =
+    4 * List.fold_left (fun acc (_, n) -> acc + n) 0 case.shared
+  in
+  let occ (a : Alloc.t) =
+    (Gpr_arch.Occupancy.compute cfg ~regs_per_thread:(max 1 a.pressure)
+       ~warps_per_block:trace.Gpr_exec.Trace.warps_per_block
+       ~shared_bytes_per_block:shared_bytes)
+      .Gpr_arch.Occupancy.blocks_per_sm
+  in
+  let occ_base = occ alloc_base and occ_comp = occ alloc_comp in
+  if occ_comp < occ_base then
+    fail
+      (Sim_violation
+         (Printf.sprintf
+            "compressed occupancy %d blocks/SM below baseline %d" occ_comp
+            occ_base));
+  let run alloc blocks_per_sm mode =
+    try
+      ignore
+        (Gpr_sim.Sim.run ~check:true ~waves:2 cfg ~trace ~alloc ~blocks_per_sm
+           ~mode)
+    with Gpr_sim.Sim.Invariant_violation msg -> fail (Sim_violation msg)
+  in
+  run alloc_base occ_base Gpr_sim.Sim.Baseline;
+  run alloc_comp occ_comp (Gpr_sim.Sim.Proposed { writeback_delay = 3 })

@@ -1,0 +1,85 @@
+(** Cross-layer differential oracle.
+
+    A generated case is executed twice and the runs must agree bit for
+    bit:
+
+    - the {e reference} run quantises every float definition with the
+      Table 3 format of its allocated placement (identity modulo
+      round-to-single + flush-to-zero when the placement is 32 bits
+      wide);
+    - the {e packed} run round-trips {e every} register write through
+      the compressed register file: range analysis → slice-granular
+      allocation → indirection table → TVT/TVE datapath
+      ({!Gpr_regfile.Datapath.store_int}/[load_int] and the float
+      equivalents).
+
+    On the way, every written integer is validated against its static
+    {!Gpr_analysis.Range} interval (the runtime soundness check) and
+    against its allocated slice capacity, and the allocation itself is
+    checked for structural invariants (pairwise-disjoint slices,
+    Table 3 float widths, indirection-entry budget).
+
+    [Exact] keeps floats at 32 bits, so the packed run must reproduce
+    the plain outputs bit-identically.  [Narrow] forces each float
+    register to the case's Table 3 level; the reference is then the
+    quantised run, which the packed storage must still match exactly —
+    quantised floats may legitimately change integer outputs (via
+    [ftoi], comparisons), so both runs see the same rounding. *)
+
+open Gpr_isa.Types
+
+type mode = Exact | Narrow
+
+type failure =
+  | Range_violation of {
+      pc : int;
+      reg : vreg;
+      value : int;
+      range : Gpr_util.Interval.t;
+    }  (** a written value escaped its static interval *)
+  | Storage_violation of {
+      pc : int;
+      reg : vreg;
+      value : int;
+      roundtrip : int;
+      bits : int;
+    }  (** a written value did not survive its allocated slices *)
+  | Alloc_violation of string
+      (** structural invariant of the allocation / indirection table *)
+  | Output_mismatch of {
+      mode : mode;
+      buffer : string;
+      index : int;
+      expected : string;
+      got : string;
+    }
+  | Exec_failure of string  (** executor fault (bounds, step budget, …) *)
+  | Sim_violation of string  (** timing-model invariant *)
+
+exception Check_failed of failure
+
+val mode_name : mode -> string
+val category : failure -> string
+(** Coarse failure class used by the shrinker to reject candidates that
+    fail differently from the original. *)
+
+val to_string : failure -> string
+
+val check :
+  ?analyze:(kernel -> launch:launch -> Gpr_analysis.Range.t) ->
+  ?max_steps:int ->
+  mode ->
+  Gen.case ->
+  unit
+(** Run the differential oracle; raises {!Check_failed} on any
+    violation.  [analyze] (default {!Gpr_analysis.Range.analyze})
+    exists so tests can inject a deliberately corrupted analysis and
+    watch the oracle catch it.  [max_steps] (default 2M thread
+    instructions) bounds runaway kernels, which greedy shrinking can
+    create. *)
+
+val check_sim : ?max_steps:int -> Gen.case -> unit
+(** Replay the case's trace through {!Gpr_sim.Sim} in both register-
+    file modes with the simulator's self-checks enabled, and assert
+    that compressed occupancy is never below baseline.  Raises
+    {!Check_failed} with [Sim_violation] / [Exec_failure]. *)

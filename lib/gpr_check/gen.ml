@@ -1,0 +1,409 @@
+open Gpr_isa.Types
+module B = Gpr_isa.Builder
+module Rng = Gpr_util.Rng
+module I = Gpr_util.Interval
+module E = Gpr_exec.Exec
+
+type case = {
+  seed : int;
+  kernel : kernel;
+  launch : launch;
+  params : E.pvalue array;
+  data : unit -> (string * E.storage) list;
+  shared : (string * int) list;
+  float_level : vreg -> int;
+}
+
+(* The range analysis works over Z (no 32-bit wrap model), so execution
+   must never wrap: every pool value keeps a conservative interval
+   estimate and operator picks are gated to stay inside ±2^30. *)
+let safe = I.of_ints (-(1 lsl 30)) (1 lsl 30)
+
+let in_n = 256 (* input-buffer length; power of two so indices mask cheaply *)
+
+let generate ?(size = 24) seed =
+  let rng = Rng.create (if seed = 0 then 0x600dcafe else seed) in
+  let block = if Rng.bool rng then 32 else 64 in
+  let grid = 1 + Rng.int rng 2 in
+  let launch = launch_1d ~block ~grid in
+  let nthreads = block * grid in
+  let b = B.create ~name:(Printf.sprintf "fuzz%d" seed) in
+  let open B in
+  let in_i = global_buffer b S32 ~range:(0, 255) "in_i" in
+  let in_f = global_buffer b F32 "in_f" in
+  let out_i = global_buffer b S32 "out_i" in
+  let out_f = global_buffer b F32 "out_f" in
+  (* A kernel uses either barriers or early returns, never both: a
+     thread that already returned must not be needed at a barrier. *)
+  let use_shared = Rng.int rng 3 = 0 in
+  let sh = if use_shared then Some (shared_buffer b S32 "sh") else None in
+  let k_value = 1 + Rng.int rng 8 in
+  let p_k = param_i32 b ~range:(1, 8) "k" in
+  let p_scale = param_f32 b "scale" in
+  let scale_value = Rng.range rng 0.5 2.0 in
+  let gid = global_thread_id_x b in
+  let tid = tid_x b in
+
+  (* Value pools.  Only defs that dominate the current insertion point
+     are pickable: scopes save/restore the pools around nested bodies,
+     so a use can never observe the executor's default-zero register of
+     a skipped definition (which would sit outside its static range). *)
+  let ints =
+    ref
+      [
+        (gid, I.of_ints 0 (nthreads - 1));
+        (tid, I.of_ints 0 (block - 1));
+        (p_k, I.of_ints 1 8);
+      ]
+  in
+  let floats = ref [ p_scale ] in
+  let preds = ref [] in
+  let slot_i = ref 0 in
+  let slot_f = ref 0 in
+
+  let pick_int () = List.nth !ints (Rng.int rng (List.length !ints)) in
+  let pick_float () = List.nth !floats (Rng.int rng (List.length !floats)) in
+
+  (* Slot-major output layout: slot s of thread g lives at
+     [s * nthreads + g], so buffer sizes follow the final slot count. *)
+  let store_i (v : vreg) =
+    let s = !slot_i in
+    incr slot_i;
+    let idx = iadd b (ci (s * nthreads)) ~$gid in
+    st b out_i ~$idx ~$v
+  in
+  let store_f (v : vreg) =
+    let s = !slot_f in
+    incr slot_f;
+    let idx = iadd b (ci (s * nthreads)) ~$gid in
+    st b out_f ~$idx ~$v
+  in
+  let push_int v est =
+    ints := (v, est) :: !ints;
+    store_i v
+  in
+  let push_float v =
+    floats := v :: !floats;
+    store_f v
+  in
+
+  let clamp_to v lo hi =
+    let v' = imax b ~$(imin b ~$v (ci hi)) (ci lo) in
+    (v', I.of_ints lo hi)
+  in
+
+  let new_pred () =
+    let icmp () =
+      let a, _ = pick_int () and c, _ = pick_int () in
+      match Rng.int rng 6 with
+      | 0 -> ilt b ~$a ~$c
+      | 1 -> ile b ~$a ~$c
+      | 2 -> igt b ~$a ~$c
+      | 3 -> ige b ~$a ~$c
+      | 4 -> ieq b ~$a ~$c
+      | _ -> ine b ~$a ~$c
+    in
+    let p =
+      match Rng.int rng 4 with
+      | 0 | 1 -> icmp ()
+      | 2 ->
+        let x = pick_float () and y = pick_float () in
+        (match Rng.int rng 4 with
+         | 0 -> flt b ~$x ~$y
+         | 1 -> fle b ~$x ~$y
+         | 2 -> fgt b ~$x ~$y
+         | _ -> fge b ~$x ~$y)
+      | _ ->
+        (match !preds with
+         | p :: q :: _ -> pand b p q
+         | _ -> icmp ())
+    in
+    preds := p :: !preds;
+    p
+  in
+  let get_pred () =
+    match !preds with
+    | [] -> new_pred ()
+    | l -> List.nth l (Rng.int rng (List.length l))
+  in
+
+  let new_int () =
+    let a, ia = pick_int () and c, ic = pick_int () in
+    let k = 1 + Rng.int rng 9 in
+    let s = k land 3 in
+    let kk = I.of_const k in
+    (* (estimate, emitter) pairs: the estimate is computed before any
+       instruction is emitted so rejected candidates cost nothing. *)
+    let candidates =
+      [
+        (I.add ia ic, fun () -> iadd b ~$a ~$c);
+        (I.sub ia ic, fun () -> isub b ~$a ~$c);
+        (I.mul ia kk, fun () -> imul b ~$a (ci k));
+        (I.add (I.mul ia kk) ic, fun () -> imad b ~$a (ci k) ~$c);
+        (I.min_ ia ic, fun () -> imin b ~$a ~$c);
+        (I.max_ ia ic, fun () -> imax b ~$a ~$c);
+        (I.of_ints 0 0xff, fun () -> iand b ~$a (ci 0xff));
+        (I.shr ia (I.of_const s), fun () -> ishr b ~$a (ci s));
+        ( (if I.subset ia (I.of_ints 0 (1 lsl 20)) then
+             I.shl ia (I.of_const s)
+           else I.top),
+          fun () -> ishl b ~$a (ci s) );
+        (I.of_ints (-(k - 1)) (k - 1), fun () -> irem b ~$a (ci k));
+        (I.div ia kk, fun () -> idiv b ~$a (ci k));
+        (I.neg ia, fun () -> ineg b ~$a);
+        (I.abs ia, fun () -> iabs b ~$a);
+        (I.sub (I.of_const (-1)) ia, fun () -> inot b ~$a);
+        ( (if !preds = [] then I.top else I.join ia ic),
+          fun () -> selp b S32 ~$a ~$c (get_pred ()) );
+        (I.of_const k, fun () -> mov b S32 (ci k));
+      ]
+    in
+    let arr = Array.of_list candidates in
+    Rng.shuffle rng arr;
+    let rec find i =
+      if i >= Array.length arr then None
+      else
+        let est, emit = arr.(i) in
+        if I.subset est safe && not (I.is_bot est) then Some (est, emit)
+        else find (i + 1)
+    in
+    match find 0 with
+    | Some (est, emit) -> push_int (emit ()) est
+    | None ->
+      (* Unreachable in practice (imin/imax always qualify), but keep a
+         total fallback. *)
+      let v, est = clamp_to a (-1024) 1024 in
+      push_int v est
+  in
+
+  let new_float () =
+    let x = pick_float () and y = pick_float () in
+    let v =
+      match Rng.int rng 14 with
+      | 0 -> fadd b ~$x ~$y
+      | 1 -> fsub b ~$x ~$y
+      | 2 -> fmul b ~$x ~$y
+      | 3 -> fmin b ~$x ~$y
+      | 4 -> fmax b ~$x ~$y
+      | 5 -> ffma b ~$x ~$y ~$(pick_float ())
+      | 6 -> fneg b ~$x
+      | 7 -> fabs b ~$x
+      | 8 -> ffloor b ~$x
+      | 9 -> fsqrt b ~$x
+      | 10 -> fdiv b ~$x ~$y
+      | 11 ->
+        let a, _ = pick_int () in
+        itof b ~$a
+      | 12 -> fsin b ~$x
+      | 13 ->
+        let p = get_pred () in
+        selp b F32 ~$x ~$y p
+      | _ -> assert false
+    in
+    push_float v
+  in
+
+  let new_ftoi () =
+    (* ftoi saturates at ±2^31 in the executor and the analysis cannot
+       bound it, so clamp before the value joins the pool. *)
+    let x = pick_float () in
+    let v = ftoi b ~$x in
+    let v', est = clamp_to v 0 255 in
+    push_int v' est
+  in
+
+  let new_load_i () =
+    let a, _ = pick_int () in
+    let idx = iand b ~$a (ci (in_n - 1)) in
+    let v = ld b in_i ~$idx in
+    push_int v (I.of_ints 0 255)
+  in
+  let new_load_f () =
+    let a, _ = pick_int () in
+    let idx = iand b ~$a (ci (in_n - 1)) in
+    push_float (ld b in_f ~$idx)
+  in
+
+  let shared_exchange () =
+    match sh with
+    | None -> new_int ()
+    | Some sbuf ->
+      (* Rotate a value one lane through shared memory: store, barrier,
+         load the neighbour's slot.  Uniform control flow only. *)
+      let v, est = pick_int () in
+      st b sbuf ~$tid ~$v;
+      bar b;
+      let idx = irem b ~$(iadd b ~$tid (ci 1)) (ci block) in
+      let u = ld b sbuf ~$idx in
+      push_int u (I.join est (I.of_const 0))
+  in
+
+  let scoped f =
+    let si = !ints and sf = !floats and sp = !preds in
+    f ();
+    ints := si;
+    floats := sf;
+    preds := sp
+  in
+
+  let rec stmts depth budget =
+    for _ = 1 to budget do
+      production depth
+    done
+  and production depth =
+    let body_budget () = 1 + Rng.int rng 3 in
+    match Rng.int rng 100 with
+    | n when n < 28 -> new_int ()
+    | n when n < 44 -> new_float ()
+    | n when n < 50 -> ignore (new_pred ())
+    | n when n < 56 -> new_load_i ()
+    | n when n < 61 -> new_load_f ()
+    | n when n < 66 -> new_ftoi ()
+    | n when n < 76 ->
+      if depth >= 2 then new_int ()
+      else begin
+        let p = get_pred () in
+        if Rng.bool rng then
+          if_then b p (fun () -> scoped (fun () -> stmts (depth + 1) (body_budget ())))
+        else
+          if_ b p
+            (fun () -> scoped (fun () -> stmts (depth + 1) (body_budget ())))
+            (fun () -> scoped (fun () -> stmts (depth + 1) (body_budget ())))
+      end
+    | n when n < 84 ->
+      if depth >= 2 then new_float ()
+      else begin
+        (* Counted loop with a clamped carried accumulator. *)
+        let trips = 1 + Rng.int rng 4 in
+        let acc = var b S32 "acc" in
+        let v0, _ = pick_int () in
+        let v0', _ = clamp_to v0 (-1024) 1024 in
+        assign b acc ~$v0';
+        for_ b ~lo:(ci 0) ~hi:(ci trips) (fun i ->
+            scoped (fun () ->
+                ints :=
+                  (i, I.of_ints 0 (trips - 1))
+                  :: (acc, I.of_ints (-1024) 1024)
+                  :: !ints;
+                stmts (depth + 1) (1 + Rng.int rng 2);
+                let w, _ = pick_int () in
+                let w', _ = clamp_to w (-1024) 1024 in
+                let t = iadd b ~$acc ~$w' in
+                let t', _ = clamp_to t (-1024) 1024 in
+                assign b acc ~$t'));
+        push_int acc (I.of_ints (-1024) 1024)
+      end
+    | n when n < 89 ->
+      if depth >= 2 then new_int ()
+      else begin
+        (* While-style loop on an explicit counter. *)
+        let trips = 1 + Rng.int rng 3 in
+        let cnt = var b S32 "cnt" in
+        assign b cnt (ci 0);
+        while_ b
+          (fun () -> ilt b ~$cnt (ci trips))
+          (fun () ->
+             scoped (fun () ->
+                 ints := (cnt, I.of_ints 0 trips) :: !ints;
+                 stmts (depth + 1) 1);
+             assign b cnt ~$(iadd b ~$cnt (ci 1)));
+        push_int cnt (I.of_ints 0 trips)
+      end
+    | n when n < 93 -> if depth = 0 then shared_exchange () else new_load_i ()
+    | n when n < 96 ->
+      (* Divergent early exit — only when no barrier can follow. *)
+      if depth = 0 && not use_shared && Rng.int rng 2 = 0 then begin
+        let p = get_pred () in
+        if_then b p (fun () -> ret b)
+      end
+      else ignore (new_pred ())
+    | _ -> new_int ()
+  in
+  stmts 0 size;
+  (* Make sure both output buffers are bound with at least one slot. *)
+  if !slot_i = 0 then new_int ();
+  if !slot_f = 0 then new_float ();
+  let kernel = finish b in
+  let slots_i = !slot_i and slots_f = !slot_f in
+  let data () =
+    let drng = Rng.create (seed lxor 0x5eed5eed) in
+    let ai = Array.init in_n (fun _ -> Rng.int drng 256) in
+    let af = Array.init in_n (fun _ -> Rng.range drng (-8.0) 8.0) in
+    [
+      ("in_i", E.I_data ai);
+      ("in_f", E.F_data af);
+      ("out_i", E.I_data (Array.make (slots_i * nthreads) 0));
+      ("out_f", E.F_data (Array.make (slots_f * nthreads) 0.0));
+    ]
+  in
+  {
+    seed;
+    kernel;
+    launch;
+    params = [| E.P_int k_value; E.P_float scale_value |];
+    data;
+    shared = (if use_shared then [ ("sh", block) ] else []);
+    float_level =
+      (fun (r : vreg) -> (((seed * 31) + (r.id * 2654435761)) land max_int) mod 7);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Structure-only generators shared with the test suite. *)
+
+let random_cfg_kernel rng n =
+  let pred = { id = 0; ty = Pred; name = "p" } in
+  let blocks =
+    Array.init n (fun label ->
+        let term =
+          match Rng.int rng 4 with
+          | 0 -> Ret
+          | 1 -> Br (Rng.int rng n)
+          | _ -> Cbr (pred, Rng.int rng n, Rng.int rng n)
+        in
+        { label; instrs = [||]; term })
+  in
+  (* Ensure at least one exit. *)
+  blocks.(n - 1) <- { (blocks.(n - 1)) with term = Ret };
+  {
+    k_name = "random";
+    k_blocks = blocks;
+    k_params = [||];
+    k_buffers = [||];
+    k_num_vregs = 1;
+    k_specials = [];
+  }
+
+let random_straightline rng ~n_nodes =
+  let b = B.create ~name:"rsound" in
+  let open B in
+  let out = global_buffer b S32 "out" in
+  let gid = global_thread_id_x b in
+  let nodes = ref [ gid ] in
+  let pick () = List.nth !nodes (Rng.int rng (List.length !nodes)) in
+  let tracked = ref [] in
+  for slot = 0 to n_nodes - 1 do
+    let a = pick () and c = pick () in
+    let k = 1 + Rng.int rng 9 in
+    let v =
+      match Rng.int rng 8 with
+      | 0 -> iadd b ~$a ~$c
+      | 1 -> isub b ~$a (ci k)
+      | 2 -> iand b ~$a (ci 0xff)
+      | 3 -> imin b ~$a ~$c
+      | 4 -> imax b ~$a (ci k)
+      | 5 -> ishr b ~$a (ci (k land 3))
+      | 6 -> irem b ~$a (ci k)
+      | _ ->
+        let p = ilt b ~$a ~$c in
+        selp b S32 ~$a ~$c p
+    in
+    nodes := v :: !nodes;
+    tracked := (v, slot) :: !tracked
+  done;
+  (* Store every node so the executed values are observable. *)
+  List.iter
+    (fun ((v : vreg), slot) ->
+       let idx = imad b ~$gid (ci n_nodes) (ci slot) in
+       st b out ~$idx ~$v)
+    !tracked;
+  (finish b, !tracked)

@@ -1,0 +1,50 @@
+(** Seeded random kernel generation for the differential oracle.
+
+    Kernels come out of {!Gpr_isa.Builder}, so they are well-typed and
+    CFG-valid by construction: arbitrary nests of diamonds, counted and
+    while-style loops, early returns, predication through [selp],
+    integer/float mixes, global loads and stores, and (optionally)
+    shared-memory exchanges through a barrier.
+
+    The generator is {e overflow-disciplined}: the range analysis
+    ({!Gpr_analysis.Range}) deliberately works over the unbounded
+    integers and does not model 32-bit wrap-around, so a kernel whose
+    values wrap would make a sound analysis look unsound.  Every
+    generated integer therefore carries a conservative interval
+    estimate, operator choices are gated so results stay within
+    [±2^30], unbounded values ([ftoi] results, loop carries) are
+    clamped before arithmetic use, and input buffers/parameters honour
+    their declared ranges.  Every generated value is stored to an
+    output buffer so the differential oracle observes it. *)
+
+open Gpr_isa.Types
+
+type case = {
+  seed : int;
+  kernel : kernel;
+  launch : launch;
+  params : Gpr_exec.Exec.pvalue array;
+  data : unit -> (string * Gpr_exec.Exec.storage) list;
+      (** fresh, deterministic (per-seed identical) buffer contents *)
+  shared : (string * int) list;  (** shared-buffer element counts *)
+  float_level : vreg -> int;
+      (** Table-3 level (0–6) per float register, for the
+          reduced-precision oracle mode *)
+}
+
+val generate : ?size:int -> int -> case
+(** [generate seed] builds a deterministic random case; [size]
+    (default 24) is the top-level statement budget. *)
+
+val random_cfg_kernel : Gpr_util.Rng.t -> int -> kernel
+(** [n] empty blocks with random [Ret]/[Br]/[Cbr] terminators (the last
+    block is forced to [Ret]) — instruction-free CFG soup for dominance
+    and CFG-structure properties. *)
+
+val random_straightline :
+  Gpr_util.Rng.t -> n_nodes:int -> kernel * (vreg * int) list
+(** Straight-line kernel of [n_nodes] growth-bounded integer operations
+    over the global thread id, each stored to slot
+    [gid * n_nodes + slot] of a buffer named ["out"].  Returns the
+    tracked [(vreg, slot)] pairs.  Built for the range-soundness
+    property: no operator can overflow 32 bits. *)

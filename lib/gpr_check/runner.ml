@@ -1,0 +1,98 @@
+type stage = Stage_exact | Stage_narrow | Stage_sim
+
+type report = {
+  seed : int;
+  stage : stage;
+  failure : Diff.failure;
+  original : Gpr_isa.Types.kernel;
+  shrunk : Gpr_isa.Types.kernel;
+}
+
+type summary = {
+  checked : int;
+  reports : report list;
+}
+
+let stage_name = function
+  | Stage_exact -> "exact"
+  | Stage_narrow -> "narrow"
+  | Stage_sim -> "sim"
+
+let stages = [ Stage_exact; Stage_narrow; Stage_sim ]
+
+let run_stage stage case =
+  match stage with
+  | Stage_exact -> Diff.check Diff.Exact case
+  | Stage_narrow -> Diff.check Diff.Narrow case
+  | Stage_sim -> Diff.check_sim case
+
+let first_failure case =
+  let rec go = function
+    | [] -> None
+    | stage :: rest ->
+      (match run_stage stage case with
+       | () -> go rest
+       | exception Diff.Check_failed f -> Some (stage, f))
+  in
+  go stages
+
+let run_seed ?(shrink = true) seed =
+  let case = Gen.generate seed in
+  match first_failure case with
+  | None -> None
+  | Some (stage, failure) ->
+    let shrunk =
+      if not shrink then case.kernel
+      else begin
+        let want = Diff.category failure in
+        let still_fails kernel =
+          let case' = { case with Gen.kernel = kernel } in
+          match run_stage stage case' with
+          | () -> false
+          | exception Diff.Check_failed f -> Diff.category f = want
+          | exception _ -> false
+        in
+        Shrink.shrink ~still_fails case.kernel
+      end
+    in
+    (* Re-derive the failure from the shrunk kernel so the report shows
+       the violation the minimised kernel actually produces. *)
+    let failure =
+      match run_stage stage { case with Gen.kernel = shrunk } with
+      | () -> failure
+      | exception Diff.Check_failed f -> f
+      | exception _ -> failure
+    in
+    Some { seed; stage; failure; original = case.kernel; shrunk }
+
+let run ?(shrink = true) ?max_seconds ?(progress = fun _ -> ()) ~seed ~count ()
+    =
+  let t0 = Sys.time () in
+  let out_of_time () =
+    match max_seconds with
+    | None -> false
+    | Some s -> Sys.time () -. t0 >= s
+  in
+  let reports = ref [] in
+  let checked = ref 0 in
+  (try
+     for s = seed to seed + count - 1 do
+       if out_of_time () then raise Exit;
+       progress s;
+       (match run_seed ~shrink s with
+        | Some r -> reports := r :: !reports
+        | None -> ());
+       incr checked
+     done
+   with Exit -> ());
+  { checked = !checked; reports = List.rev !reports }
+
+let report_to_string r =
+  Printf.sprintf
+    "seed %d failed in %s stage:\n  %s\n\nshrunk kernel (%d of %d \
+     instructions):\n%s\nreproduce with: gpr check --seed %d --count 1\n"
+    r.seed (stage_name r.stage)
+    (Diff.to_string r.failure)
+    (Shrink.size r.shrunk) (Shrink.size r.original)
+    (Gpr_isa.Pp.kernel_to_string r.shrunk)
+    r.seed

@@ -1,0 +1,45 @@
+(** Fuzzing campaign driver: generate → check → shrink → report.
+
+    Every seed runs three oracle stages in order: the exact
+    differential mode, the reduced-precision mode, and the timing-model
+    replay ({!Diff}).  The first failing stage is shrunk with a
+    predicate that demands the same failure class, so the reported
+    counterexample reproduces the original violation, not an artefact
+    of shrinking. *)
+
+type stage = Stage_exact | Stage_narrow | Stage_sim
+
+type report = {
+  seed : int;
+  stage : stage;
+  failure : Diff.failure;
+  original : Gpr_isa.Types.kernel;
+  shrunk : Gpr_isa.Types.kernel;
+}
+
+type summary = {
+  checked : int;      (** seeds fully checked *)
+  reports : report list;  (** failures, oldest first *)
+}
+
+val stage_name : stage -> string
+
+val run_seed : ?shrink:bool -> int -> report option
+(** Check one seed; [shrink] (default true) minimises any
+    counterexample before reporting. *)
+
+val run :
+  ?shrink:bool ->
+  ?max_seconds:float ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** Check [count] consecutive seeds starting at [seed].  [max_seconds]
+    bounds wall time (checked between seeds — for CI smoke runs);
+    [progress] is called with each seed before it runs. *)
+
+val report_to_string : report -> string
+(** Human-readable counterexample: failing stage, violation, the shrunk
+    kernel and the command line that reproduces it. *)

@@ -1,0 +1,75 @@
+open Gpr_isa.Types
+
+let size kernel =
+  Array.fold_left
+    (fun acc blk ->
+       acc + Array.length blk.instrs
+       + (match blk.term with Cbr _ -> 1 | Br _ | Ret -> 0))
+    0 kernel.k_blocks
+
+let copy_kernel kernel =
+  {
+    kernel with
+    k_blocks =
+      Array.map
+        (fun blk -> { blk with instrs = Array.copy blk.instrs })
+        kernel.k_blocks;
+  }
+
+let remove_instr kernel bi ii =
+  let k = copy_kernel kernel in
+  let blk = k.k_blocks.(bi) in
+  blk.instrs <-
+    Array.append (Array.sub blk.instrs 0 ii)
+      (Array.sub blk.instrs (ii + 1) (Array.length blk.instrs - ii - 1));
+  k
+
+let empty_block kernel bi =
+  let k = copy_kernel kernel in
+  k.k_blocks.(bi).instrs <- [||];
+  k
+
+let set_term kernel bi term =
+  let k = copy_kernel kernel in
+  k.k_blocks.(bi).term <- term;
+  k
+
+(* Coarse candidates first: emptying a block or collapsing a branch can
+   discharge many single-instruction attempts at once. *)
+let candidates kernel =
+  let out = ref [] in
+  Array.iteri
+    (fun bi blk ->
+       Array.iteri (fun ii _ -> out := remove_instr kernel bi ii :: !out)
+         blk.instrs;
+       (match blk.term with
+        | Cbr (_, t, f) ->
+          out := set_term kernel bi (Br f) :: set_term kernel bi (Br t) :: !out
+        | Br _ | Ret -> ());
+       if Array.length blk.instrs > 1 then
+         out := empty_block kernel bi :: !out)
+    kernel.k_blocks;
+  List.rev !out
+
+let shrink ?(max_attempts = 4000) ~still_fails kernel =
+  let cur = ref kernel in
+  let attempts = ref 0 in
+  let improved = ref true in
+  while !improved && !attempts < max_attempts do
+    improved := false;
+    (try
+       List.iter
+         (fun cand ->
+            if !attempts >= max_attempts then raise Exit;
+            if size cand < size !cur then begin
+              incr attempts;
+              if still_fails cand then begin
+                cur := cand;
+                improved := true;
+                raise Exit
+              end
+            end)
+         (candidates !cur)
+     with Exit -> ())
+  done;
+  !cur

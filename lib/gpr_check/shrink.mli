@@ -1,0 +1,29 @@
+(** Greedy counterexample shrinking.
+
+    Works on the kernel structure directly: candidate edits remove one
+    instruction (the executor reads never-written registers as zero, so
+    removal keeps the kernel executable), rewrite a conditional branch
+    to either arm, or empty a whole block.  Each candidate is a fresh
+    deep copy — kernels are memoised by physical identity elsewhere, so
+    in-place mutation is never safe.
+
+    The caller's [still_fails] predicate should accept only candidates
+    that reproduce the {e same class} of failure (see
+    {!Diff.category}); shrinking can manufacture unrelated failures —
+    most notably infinite loops when a loop increment is removed, which
+    the executor's step budget turns into a distinct [Exec_failure]. *)
+
+open Gpr_isa.Types
+
+val size : kernel -> int
+(** Instructions plus conditional branches — the measure greedy
+    shrinking decreases. *)
+
+val copy_kernel : kernel -> kernel
+(** Deep copy (fresh block records and instruction arrays). *)
+
+val shrink :
+  ?max_attempts:int -> still_fails:(kernel -> bool) -> kernel -> kernel
+(** First-improvement greedy descent to a local minimum, restarting the
+    candidate scan after every accepted edit; stops after
+    [max_attempts] (default 4000) predicate calls. *)

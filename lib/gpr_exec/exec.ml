@@ -7,9 +7,12 @@ type pvalue = P_int of int | P_float of float
 type config = {
   quantize : (int -> float -> float) option;
   collect_trace : bool;
+  on_write : (int -> vreg -> pvalue -> pvalue) option;
+  max_steps : int option;
 }
 
-let default_config = { quantize = None; collect_trace = false }
+let default_config =
+  { quantize = None; collect_trace = false; on_write = None; max_steps = None }
 
 (* ------------------------------------------------------------------ *)
 (* 32-bit semantics helpers *)
@@ -37,15 +40,32 @@ let ftou_trunc x =
 (* ------------------------------------------------------------------ *)
 (* Static instruction numbering *)
 
+(* Memoised per kernel (physical identity): [static_pc] is called from
+   hot per-value hooks, and recomputing the O(instructions) walk on
+   every call dominated profiles.  A short bounded association list is
+   enough — callers work on a handful of kernels at a time. *)
+let pc_cache : (kernel * (int array * int)) list ref = ref []
+let pc_cache_limit = 8
+
 let pc_bases kernel =
-  let n = Array.length kernel.k_blocks in
-  let bases = Array.make n 0 in
-  let acc = ref 0 in
-  for b = 0 to n - 1 do
-    bases.(b) <- !acc;
-    acc := !acc + Array.length kernel.k_blocks.(b).instrs
-  done;
-  (bases, !acc)
+  match List.assq_opt kernel !pc_cache with
+  | Some r -> r
+  | None ->
+    let n = Array.length kernel.k_blocks in
+    let bases = Array.make n 0 in
+    let acc = ref 0 in
+    for b = 0 to n - 1 do
+      bases.(b) <- !acc;
+      acc := !acc + Array.length kernel.k_blocks.(b).instrs
+    done;
+    let r = (bases, !acc) in
+    let kept =
+      if List.length !pc_cache >= pc_cache_limit then
+        List.filteri (fun i _ -> i < pc_cache_limit - 1) !pc_cache
+      else !pc_cache
+    in
+    pc_cache := (kernel, r) :: kept;
+    r
 
 let static_pc kernel ~block ~idx = fst (pc_bases kernel) |> fun b -> b.(block) + idx
 
@@ -172,6 +192,7 @@ let run kernel ~launch ~params ~bindings config =
   let trace_count = ref 0 in
   let thread_instrs = ref 0 in
   let quantize = config.quantize in
+  let on_write = config.on_write in
 
   (* Per-block execution. *)
   let run_block block_id =
@@ -253,10 +274,28 @@ let run kernel ~launch ~params ~bindings config =
       | Imm_f c -> f32 c
       | Imm_i c -> failwith (Printf.sprintf "Exec: int immediate %d in float context" c)
     in
-    let seti w (r : vreg) lane v = w.regs_i.((r.id * 32) + lane) <- v in
+    let seti w (r : vreg) lane v pc =
+      let v =
+        match on_write with
+        | None -> v
+        | Some h ->
+          (match h pc r (P_int v) with
+           | P_int v' -> v'
+           | P_float _ -> failwith "Exec: on_write changed an int to a float")
+      in
+      w.regs_i.((r.id * 32) + lane) <- v
+    in
     let setf w (r : vreg) lane v pc =
       let v =
         match quantize with None -> v | Some q -> q pc v
+      in
+      let v =
+        match on_write with
+        | None -> v
+        | Some h ->
+          (match h pc r (P_float v) with
+           | P_float v' -> v'
+           | P_int _ -> failwith "Exec: on_write changed a float to an int")
       in
       w.regs_f.((r.id * 32) + lane) <- v
     in
@@ -289,7 +328,13 @@ let run kernel ~launch ~params ~bindings config =
         trace_buf := item :: !trace_buf;
         incr trace_count
       end;
-      thread_instrs := !thread_instrs + Gpr_util.Bits.popcount mask
+      thread_instrs := !thread_instrs + Gpr_util.Bits.popcount mask;
+      match config.max_steps with
+      | Some budget when !thread_instrs > budget ->
+        failwith
+          (Printf.sprintf "%s: step budget of %d thread instructions exceeded"
+             kernel.k_name budget)
+      | _ -> ()
     in
 
     let mem_read buf_idx w idx_op mask (d : vreg) pc ins =
@@ -307,7 +352,7 @@ let run kernel ~launch ~params ~bindings config =
               (Printf.sprintf "%s: ld %s[%d] out of bounds (len %d)"
                  kernel.k_name buf.buf_name idx len);
           (match s, d.ty with
-           | I_data a, (S32 | U32) -> seti w d lane a.(idx)
+           | I_data a, (S32 | U32) -> seti w d lane a.(idx) pc
            | F_data a, F32 -> setf w d lane a.(idx) pc
            | I_data _, _ | F_data _, _ ->
              failwith (kernel.k_name ^ ": load type mismatch"));
@@ -378,7 +423,7 @@ let run kernel ~launch ~params ~bindings config =
                 if d.ty = U32 then wrap_u32 x lsr (y land 31)
                 else x asr (y land 31)
             in
-            seti w d lane (wrap v)
+            seti w d lane (wrap v) pc
           end
         done;
         emit_trace w pc ins mask None
@@ -393,7 +438,7 @@ let run kernel ~launch ~params ~bindings config =
               | Inot -> lnot x
               | Iabs -> abs x
             in
-            seti w d lane (wrap v)
+            seti w d lane (wrap v) pc
           end
         done;
         emit_trace w pc ins mask None
@@ -403,6 +448,7 @@ let run kernel ~launch ~params ~bindings config =
           if mask land (1 lsl lane) <> 0 then
             seti w d lane
               (wrap ((eval_i w a lane * eval_i w b lane) + eval_i w c lane))
+              pc
         done;
         emit_trace w pc ins mask None
       | Fbin (op, d, a, b) ->
@@ -470,7 +516,7 @@ let run kernel ~launch ~params ~bindings config =
               | Gt -> c > 0
               | Ge -> c >= 0
             in
-            seti w p lane (if v then 1 else 0)
+            seti w p lane (if v then 1 else 0) pc
           end
         done;
         emit_trace w pc ins mask None
@@ -481,7 +527,7 @@ let run kernel ~launch ~params ~bindings config =
             if d.ty = F32 then
               setf w d lane (if c then eval_f w a lane else eval_f w b lane) pc
             else
-              seti w d lane (if c then eval_i w a lane else eval_i w b lane)
+              seti w d lane (if c then eval_i w a lane else eval_i w b lane) pc
           end
         done;
         emit_trace w pc ins mask None
@@ -489,7 +535,7 @@ let run kernel ~launch ~params ~bindings config =
         for lane = 0 to 31 do
           if mask land (1 lsl lane) <> 0 then
             if d.ty = F32 then setf w d lane (eval_f w a lane) pc
-            else seti w d lane (eval_i w a lane)
+            else seti w d lane (eval_i w a lane) pc
         done;
         emit_trace w pc ins mask None
       | Cvt (op, d, a) ->
@@ -499,10 +545,10 @@ let run kernel ~launch ~params ~bindings config =
             | F32_of_s32 -> setf w d lane (f32 (float_of_int (eval_i w a lane))) pc
             | F32_of_u32 ->
               setf w d lane (f32 (float_of_int (wrap_u32 (eval_i w a lane)))) pc
-            | S32_of_f32 -> seti w d lane (wrap_s32 (ftoi_trunc (eval_f w a lane)))
-            | U32_of_f32 -> seti w d lane (ftou_trunc (eval_f w a lane))
-            | S32_of_u32 -> seti w d lane (wrap_s32 (eval_i w a lane))
-            | U32_of_s32 -> seti w d lane (wrap_u32 (eval_i w a lane))
+            | S32_of_f32 -> seti w d lane (wrap_s32 (ftoi_trunc (eval_f w a lane))) pc
+            | U32_of_f32 -> seti w d lane (ftou_trunc (eval_f w a lane)) pc
+            | S32_of_u32 -> seti w d lane (wrap_s32 (eval_i w a lane)) pc
+            | U32_of_s32 -> seti w d lane (wrap_u32 (eval_i w a lane)) pc
         done;
         emit_trace w pc ins mask None
       | Ld (d, { abuf; aindex }) -> mem_read abuf.buf_id w aindex mask d pc ins
@@ -511,7 +557,7 @@ let run kernel ~launch ~params ~bindings config =
         (match params.(i), d.ty with
          | P_int v, (S32 | U32) ->
            for lane = 0 to 31 do
-             if mask land (1 lsl lane) <> 0 then seti w d lane v
+             if mask land (1 lsl lane) <> 0 then seti w d lane v pc
            done
          | P_float v, F32 ->
            for lane = 0 to 31 do

@@ -31,6 +31,18 @@ type config = {
           static instruction [pc] — the hook the precision tuner uses to
           simulate reduced-precision register storage *)
   collect_trace : bool;
+  on_write : (int -> vreg -> pvalue -> pvalue) option;
+      (** [on_write pc dst v]: intercepts every register write (integer
+          and float, after [quantize]) and may replace the stored value.
+          {!Gpr_check} uses it both to validate written values against
+          the static analysis (raising on a violation) and to round-trip
+          values through the packed register-file datapath.  Not applied
+          to the special-register seeding, which happens before any
+          instruction executes.  Must preserve the value's kind. *)
+  max_steps : int option;
+      (** Abort ([Failure]) once this many dynamic thread instructions
+          have executed — a watchdog for fuzzed kernels that the
+          shrinker may have turned into infinite loops. *)
 }
 
 val default_config : config

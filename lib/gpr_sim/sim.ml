@@ -61,8 +61,12 @@ module Imap = Map.Make (Int)
 
 type event = Retire of wctx * int option
 
-let run ?(waves = 6) (cfg : Gpr_arch.Config.t) ~(trace : Trace.t)
-    ~(alloc : Alloc.t) ~blocks_per_sm ~mode =
+exception Invariant_violation of string
+
+let violated fmt = Printf.ksprintf (fun s -> raise (Invariant_violation s)) fmt
+
+let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
+    ~(trace : Trace.t) ~(alloc : Alloc.t) ~blocks_per_sm ~mode =
   let proposed_delay =
     match mode with Baseline -> 0 | Proposed { writeback_delay } -> writeback_delay
   in
@@ -271,6 +275,23 @@ let run ?(waves = 6) (cfg : Gpr_arch.Config.t) ~(trace : Trace.t)
   let idle_cycles = ref 0 in
   let issued_warp_instrs = ref 0 in
   let executed_threads = ref 0 in
+  (* Invariant-check accounting ([check] mode): every non-barrier issue
+     must eventually produce exactly one retire event, and the SM must
+     replay exactly the warp instructions of the blocks it was fed. *)
+  let issued_nonsync = ref 0 in
+  let retired = ref 0 in
+  let expected_warp_instrs =
+    if not check then 0
+    else
+      List.fold_left
+        (fun acc b ->
+           let per_block = ref 0 in
+           for w = 0 to trace.warps_per_block - 1 do
+             per_block := !per_block + Array.length (stream_of b w)
+           done;
+           acc + !per_block)
+        0 my_blocks
+  in
 
   (* Exec units: next cycle each may accept work. *)
   let spu_free = [| 0; 0 |] in
@@ -336,6 +357,9 @@ let run ?(waves = 6) (cfg : Gpr_arch.Config.t) ~(trace : Trace.t)
 
   let do_issue w =
     let it = w.w_items.(w.w_ptr) in
+    if check && not (scoreboard_ready w it) then
+      violated "scoreboard: warp %d issued pc %d with a pending hazard"
+        w.w_id it.t_pc;
     w.w_ptr <- w.w_ptr + 1;
     issued_warp_instrs := !issued_warp_instrs + 1;
     executed_threads := !executed_threads + it.t_active;
@@ -357,6 +381,7 @@ let run ?(waves = 6) (cfg : Gpr_arch.Config.t) ~(trace : Trace.t)
           List.iter (fun x -> x.w_barrier <- false) rb.rb_warps
     end
     else begin
+      incr issued_nonsync;
       let slot = Option.get (free_cu ()) in
       (* Distinct source architectural registers. *)
       let srcs = List.sort_uniq compare it.t_srcs in
@@ -412,6 +437,9 @@ let run ?(waves = 6) (cfg : Gpr_arch.Config.t) ~(trace : Trace.t)
                 | None -> ())
              | None -> ());
             w.w_outstanding <- w.w_outstanding - 1;
+            incr retired;
+            if check && w.w_outstanding < 0 then
+              violated "warp %d retired more instructions than it issued" w.w_id;
             if warp_done w then retire_block_if_done w.w_slot)
          evs;
        events := Imap.remove now !events
@@ -597,6 +625,21 @@ let run ?(waves = 6) (cfg : Gpr_arch.Config.t) ~(trace : Trace.t)
   for slot = 0 to blocks_per_sm - 1 do
     retire_block_if_done slot
   done;
+
+  if check then begin
+    if not (finished ()) then
+      violated "simulation hit the %d-cycle bailout without draining"
+        max_cycles;
+    if !retired <> !issued_nonsync then
+      violated "conservation: issued %d non-sync instructions but retired %d"
+        !issued_nonsync !retired;
+    if !issued_warp_instrs <> expected_warp_instrs then
+      violated "conservation: issued %d warp instructions, trace holds %d"
+        !issued_warp_instrs expected_warp_instrs;
+    if !executed_threads > 32 * !issued_warp_instrs then
+      violated "executed %d thread instructions from %d warp issues"
+        !executed_threads !issued_warp_instrs
+  end;
 
   let cycles = max 1 !cycle in
   let sm_ipc = float_of_int !executed_threads /. float_of_int cycles in

@@ -41,7 +41,12 @@ type stats = {
   idle_cycles : int;
 }
 
+exception Invariant_violation of string
+(** Raised by {!run} when [~check:true] and a structural invariant of
+    the pipeline model is broken (see below). *)
+
 val run :
+  ?check:bool ->
   ?waves:int ->
   Gpr_arch.Config.t ->
   trace:Gpr_exec.Trace.t ->
@@ -53,4 +58,15 @@ val run :
     result for [Baseline] mode and the packed allocation for
     [Proposed]. [blocks_per_sm] comes from {!Gpr_arch.Occupancy}.
     [waves] (default 6) is the number of block waves fed through each
-    resident slot; block traces are drawn round-robin from the grid. *)
+    resident slot; block traces are drawn round-robin from the grid.
+
+    With [~check:true] (default false) the model audits itself and
+    raises {!Invariant_violation} if any of these break:
+    - the scoreboard never lets an instruction issue with a pending
+      RAW/WAW hazard on its registers;
+    - every issued non-sync instruction retires exactly once, and no
+      warp retires more than it issued;
+    - the issued warp-instruction count equals the total stream length
+      of the blocks this SM was given;
+    - executed thread instructions never exceed 32x warp issues;
+    - the simulation drains rather than hitting the cycle bailout. *)

@@ -35,7 +35,7 @@ let run t ~quantize ~collect_trace =
   let bindings =
     Exec.bindings_for t.kernel ~data ~shared:t.shared ()
   in
-  let config = { Exec.quantize; collect_trace } in
+  let config = { Exec.default_config with quantize; collect_trace } in
   let trace =
     Exec.run t.kernel ~launch:t.launch ~params:t.params ~bindings config
   in

@@ -306,23 +306,9 @@ let test_essa_has_pis () =
 
 (* Property: CHK dominators agree with brute-force dominance (b is
    dominated by a iff removing a makes b unreachable from entry) on
-   random CFGs. *)
-let random_cfg_kernel rng n =
-  let pred = { id = 0; ty = Pred; name = "p" } in
-  let blocks =
-    Array.init n (fun label ->
-        let term =
-          match Gpr_util.Rng.int rng 4 with
-          | 0 -> Ret
-          | 1 -> Br (Gpr_util.Rng.int rng n)
-          | _ -> Cbr (pred, Gpr_util.Rng.int rng n, Gpr_util.Rng.int rng n)
-        in
-        { label; instrs = [||]; term })
-  in
-  (* Ensure at least one exit. *)
-  blocks.(n - 1) <- { (blocks.(n - 1)) with term = Ret };
-  { k_name = "random"; k_blocks = blocks; k_params = [||]; k_buffers = [||];
-    k_num_vregs = 1; k_specials = [] }
+   random CFGs.  The generator lives in {!Gpr_check.Gen}, shared with
+   the differential fuzzer. *)
+let random_cfg_kernel = Gpr_check.Gen.random_cfg_kernel
 
 let reachable_without kernel ~removed =
   let n = Array.length kernel.k_blocks in
@@ -367,43 +353,11 @@ let prop_ranges_sound =
     (QCheck.int_range 1 1_000_000)
     (fun seed ->
        let rng = Gpr_util.Rng.create seed in
-       let b = Builder.create ~name:"rsound" in
-       let open Builder in
        let n_nodes = 10 in
-       let out = global_buffer b S32 "out" in
-       let gid = global_thread_id_x b in
-       let nodes = ref [ gid ] in
-       let pick () =
-         List.nth !nodes (Gpr_util.Rng.int rng (List.length !nodes))
+       let kernel, tracked =
+         Gpr_check.Gen.random_straightline rng ~n_nodes
        in
-       let tracked = ref [] in
-       for slot = 0 to n_nodes - 1 do
-         let a = pick () and c = pick () in
-         let k = 1 + Gpr_util.Rng.int rng 9 in
-         let v =
-           match Gpr_util.Rng.int rng 8 with
-           | 0 -> iadd b ~$a ~$c
-           | 1 -> isub b ~$a (ci k)
-           | 2 -> iand b ~$a (ci 0xff)
-           | 3 -> imin b ~$a ~$c
-           | 4 -> imax b ~$a (ci k)
-           | 5 -> ishr b ~$a (ci (k land 3))
-           | 6 -> irem b ~$a (ci k)
-           | _ ->
-             let p = ilt b ~$a ~$c in
-             selp b S32 ~$a ~$c p
-         in
-         nodes := v :: !nodes;
-         tracked := (v, slot) :: !tracked
-       done;
-       (* Store every node so the executed values are observable. *)
        let nthreads = 64 in
-       List.iter
-         (fun ((v : vreg), slot) ->
-            let idx = imad b ~$gid (ci n_nodes) (ci slot) in
-            st b out ~$idx ~$v)
-         !tracked;
-       let kernel = finish b in
        let launch = launch_1d ~block:32 ~grid:2 in
        let t = A.Range.analyze kernel ~launch in
        let outd = Array.make (nthreads * n_nodes) 0 in
@@ -421,7 +375,7 @@ let prop_ranges_sound =
                 ok := false
             done;
             !ok)
-         !tracked)
+         tracked)
 
 let () =
   Alcotest.run "analysis"

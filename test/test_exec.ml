@@ -211,8 +211,8 @@ let test_quantize_hook () =
   let pc, _ = List.hd sites in
   let fp8 = Gpr_fp.Format_.of_level 6 in
   let config =
-    { E.quantize = Some (fun p v -> if p = pc then Gpr_fp.Format_.quantize fp8 v else v);
-      collect_trace = false }
+    { E.default_config with
+      quantize = Some (fun p v -> if p = pc then Gpr_fp.Format_.quantize fp8 v else v) }
   in
   let outd = Array.make 32 0.0 in
   let _ =
@@ -237,7 +237,7 @@ let test_trace_contents () =
   let trace =
     Option.get
       (E.run kernel ~launch:(launch_1d ~block:32 ~grid:2)
-         ~params:[||] ~bindings { E.quantize = None; collect_trace = true })
+         ~params:[||] ~bindings { E.default_config with collect_trace = true })
   in
   Alcotest.(check int) "blocks" 2 trace.T.num_blocks;
   Alcotest.(check int) "warps/block" 1 trace.T.warps_per_block;

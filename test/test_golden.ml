@@ -1,0 +1,61 @@
+(* Golden-stats regression: a fixed Rodinia workload (hotspot) through
+   the full pipeline — trace, allocation, occupancy, timing model in
+   Baseline and Proposed modes with the simulator's invariant checks
+   enabled.  IPC is pinned with a loose tolerance so refactors that
+   accidentally change pipeline behaviour fail fast, while legitimate
+   model retunes only need one constant updated; occupancy is exact. *)
+
+module Compress = Gpr_core.Compress
+module Sim = Gpr_sim.Sim
+module Q = Gpr_quality.Quality
+module W = Gpr_workloads.Workload
+module P = Gpr_precision.Precision
+
+let cfg = Gpr_arch.Config.fermi_gtx480
+
+let hotspot () =
+  match Gpr_workloads.Registry.by_name "hotspot" with
+  | Some w -> w
+  | None -> Alcotest.fail "hotspot workload missing"
+
+let check_close name ~tolerance expected actual =
+  let ok = Float.abs (actual -. expected) <= tolerance *. expected in
+  if not ok then
+    Alcotest.failf "%s: expected %.4f +/- %.0f%%, got %.4f" name expected
+      (tolerance *. 100.) actual
+
+let test_golden_hotspot () =
+  let w = hotspot () in
+  let c = Compress.analyze w in
+  let data = Compress.threshold_data c Q.High in
+  let trace = W.trace w ~quantize:None in
+  let trace_q = W.trace w ~quantize:(Some (P.quantizer data.Compress.assignment)) in
+  let occ_base = (Compress.occupancy c c.Compress.baseline).Gpr_arch.Occupancy.blocks_per_sm in
+  let occ_comp =
+    (Compress.occupancy c data.Compress.alloc_both).Gpr_arch.Occupancy.blocks_per_sm
+  in
+  (* Occupancy is a small integer: pin it exactly, and the compressed
+     register file must never fit fewer blocks than the baseline. *)
+  Alcotest.(check int) "baseline blocks/SM" 4 occ_base;
+  Alcotest.(check int) "compressed blocks/SM" 6 occ_comp;
+  Alcotest.(check bool) "occupancy never regresses" true (occ_comp >= occ_base);
+  let sbase =
+    Sim.run ~check:true cfg ~trace ~alloc:c.Compress.baseline
+      ~blocks_per_sm:occ_base ~mode:Sim.Baseline
+  in
+  let sprop =
+    Sim.run ~check:true cfg ~trace:trace_q ~alloc:data.Compress.alloc_both
+      ~blocks_per_sm:occ_comp ~mode:(Sim.Proposed { writeback_delay = 3 })
+  in
+  check_close "baseline sm_ipc" ~tolerance:0.10 34.8521 sbase.Sim.sm_ipc;
+  check_close "proposed sm_ipc" ~tolerance:0.10 37.1730 sprop.Sim.sm_ipc;
+  (* The paper's headline direction: compression must not hurt. *)
+  Alcotest.(check bool) "proposed ipc >= baseline" true
+    (sprop.Sim.sm_ipc >= sbase.Sim.sm_ipc)
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "hotspot",
+        [ Alcotest.test_case "pipeline stats" `Quick test_golden_hotspot ] );
+    ]

@@ -138,7 +138,7 @@ let test_tuner_on_real_kernel () =
     let bindings = E.bindings_for kernel ~data:[ ("out", E.F_data data) ] () in
     ignore
       (E.run kernel ~launch ~params:[||] ~bindings
-         { E.quantize; collect_trace = false });
+         { E.default_config with quantize });
     data
   in
   let reference = run None in

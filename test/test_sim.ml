@@ -247,7 +247,7 @@ let test_occupancy_improves_latency_bound_kernel () =
   let trace =
     Option.get
       (E.run kernel ~launch:(launch_1d ~block:64 ~grid:16) ~params:[||]
-         ~bindings { E.quantize = None; collect_trace = true })
+         ~bindings { E.default_config with collect_trace = true })
   in
   let alloc = A.baseline kernel in
   let ipc blocks =

@@ -122,6 +122,63 @@ let prop_widen_upper =
        let w = I.widen a b in
        I.subset a w && I.subset b w)
 
+(* Lattice laws over a generator that also hits the extreme elements:
+   join/meet form a bounded lattice with [bot] and [top]. *)
+let arb_interval_ext =
+  let gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (8, gen_interval);
+          (1, return I.bot);
+          (1, return I.top);
+          (1, return I.i32);
+          (1, map (fun a -> I.range (I.Finite a) I.Pos_inf) gen_small);
+        ])
+  in
+  QCheck.make ~print:I.to_string gen
+
+let prop_lattice_commutes =
+  QCheck.Test.make ~name:"join/meet commute" ~count:500
+    (QCheck.pair arb_interval_ext arb_interval_ext)
+    (fun (a, b) ->
+       I.equal (I.join a b) (I.join b a) && I.equal (I.meet a b) (I.meet b a))
+
+let prop_lattice_idempotent =
+  QCheck.Test.make ~name:"join/meet idempotent" ~count:500 arb_interval_ext
+    (fun a -> I.equal (I.join a a) a && I.equal (I.meet a a) a)
+
+let prop_lattice_assoc =
+  QCheck.Test.make ~name:"join/meet associate" ~count:500
+    (QCheck.triple arb_interval_ext arb_interval_ext arb_interval_ext)
+    (fun (a, b, c) ->
+       I.equal (I.join a (I.join b c)) (I.join (I.join a b) c)
+       && I.equal (I.meet a (I.meet b c)) (I.meet (I.meet a b) c))
+
+(* Intervals are not a distributive lattice in general, but absorption
+   holds whenever meet is exact — which it is, since the meet of two
+   intervals is an interval. *)
+let prop_lattice_absorption =
+  QCheck.Test.make ~name:"absorption laws" ~count:500
+    (QCheck.pair arb_interval_ext arb_interval_ext)
+    (fun (a, b) ->
+       I.equal (I.join a (I.meet a b)) a && I.equal (I.meet a (I.join a b)) a)
+
+let prop_lattice_units =
+  QCheck.Test.make ~name:"bot/top are units" ~count:500 arb_interval_ext
+    (fun a ->
+       I.equal (I.join a I.bot) a
+       && I.equal (I.meet a I.top) a
+       && I.equal (I.meet a I.bot) I.bot
+       && I.equal (I.join a I.top) I.top)
+
+let prop_subset_order =
+  QCheck.Test.make ~name:"subset agrees with join/meet" ~count:500
+    (QCheck.pair arb_interval_ext arb_interval_ext)
+    (fun (a, b) ->
+       (I.subset a b = I.equal (I.join a b) b)
+       && (I.subset a b = I.equal (I.meet a b) a))
+
 let prop_band_sound =
   QCheck.Test.make ~name:"band sound for non-negative" ~count:500
     (QCheck.pair (QCheck.int_bound 1000) (QCheck.int_bound 1000))
@@ -168,6 +225,64 @@ let prop_sign_extend_roundtrip =
     (fun (w, x) ->
        QCheck.assume (Bits.fits_signed ~width:w x);
        Bits.sign_extend ~width:w (x land Bits.mask w) = x)
+
+(* Pack/unpack identity: storing a value in [width] low bits and
+   reading it back through the matching extension is the identity on
+   every value that fits — exactly the contract the slice-packed
+   register datapath relies on. *)
+let prop_pack_unpack_signed =
+  QCheck.Test.make ~name:"signed pack/unpack identity" ~count:500
+    (QCheck.pair (QCheck.int_range 1 30) (QCheck.int_range (-100000) 100000))
+    (fun (w, x) ->
+       QCheck.assume (Bits.fits_signed ~width:w x);
+       Bits.sign_extend ~width:w (x land Bits.mask w) = x)
+
+let prop_pack_unpack_unsigned =
+  QCheck.Test.make ~name:"unsigned pack/unpack identity" ~count:500
+    (QCheck.pair (QCheck.int_range 1 30) (QCheck.int_range 0 200000))
+    (fun (w, x) ->
+       QCheck.assume (Bits.fits_unsigned ~width:w x);
+       Bits.zero_extend ~width:w (x land Bits.mask w) = x)
+
+let prop_extend_canonical =
+  (* Both extensions are projections: re-masking the extended value
+     recovers the stored bit pattern for arbitrary inputs. *)
+  QCheck.Test.make ~name:"extend then mask is mask" ~count:500
+    (QCheck.pair (QCheck.int_range 1 30) (QCheck.int_range (-100000) 100000))
+    (fun (w, x) ->
+       Bits.sign_extend ~width:w x land Bits.mask w = x land Bits.mask w
+       && Bits.zero_extend ~width:w x = x land Bits.mask w)
+
+let prop_bits_for_minimal =
+  QCheck.Test.make ~name:"bits_for widths are minimal" ~count:500
+    (QCheck.int_range (-100000) 100000)
+    (fun x ->
+       let w = Bits.bits_for_signed x in
+       Bits.fits_signed ~width:w x
+       && (w = 1 || not (Bits.fits_signed ~width:(w - 1) x))
+       &&
+       if x >= 0 then
+         let u = Bits.bits_for_unsigned x in
+         Bits.fits_unsigned ~width:u x
+         && (u = 1 || not (Bits.fits_unsigned ~width:(u - 1) x))
+       else true)
+
+let prop_popcount =
+  QCheck.Test.make ~name:"popcount matches naive count" ~count:500
+    (QCheck.int_range 0 0x3fffffff)
+    (fun x ->
+       let naive = ref 0 in
+       for i = 0 to 62 do
+         if (x lsr i) land 1 = 1 then incr naive
+       done;
+       Bits.popcount x = !naive)
+
+let prop_slices =
+  QCheck.Test.make ~name:"slices_of_bits is a clamped ceiling" ~count:200
+    (QCheck.int_range 1 64)
+    (fun b ->
+       let s = Bits.slices_of_bits b in
+       s = max 1 (min 8 ((b + 3) / 4)))
 
 (* ---------------------------------------------------------------- *)
 (* Rng determinism and distribution sanity *)
@@ -262,14 +377,24 @@ let () =
         ] );
       qsuite "interval-props"
         (interval_soundness_tests
-         @ [ prop_join_contains; prop_meet_subset; prop_widen_upper; prop_band_sound ]);
+         @ [
+             prop_join_contains; prop_meet_subset; prop_widen_upper;
+             prop_band_sound; prop_lattice_commutes; prop_lattice_idempotent;
+             prop_lattice_assoc; prop_lattice_absorption; prop_lattice_units;
+             prop_subset_order;
+           ]);
       ( "bits",
         [
           Alcotest.test_case "widths" `Quick test_bits_widths;
           Alcotest.test_case "extend" `Quick test_bits_extend;
           Alcotest.test_case "slices" `Quick test_bits_slices;
         ] );
-      qsuite "bits-props" [ prop_sign_extend_roundtrip ];
+      qsuite "bits-props"
+        [
+          prop_sign_extend_roundtrip; prop_pack_unpack_signed;
+          prop_pack_unpack_unsigned; prop_extend_canonical;
+          prop_bits_for_minimal; prop_popcount; prop_slices;
+        ];
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
