@@ -4,12 +4,18 @@
    (Tables 1-4, Figures 8-12, the Sec. 6.4 area model, the Sec. 6.5
    power argument and the Sec. 7 Volta scaling) through
    [Gpr_core.Experiments] — workload generation, the static framework,
-   and the timing simulation all run from scratch.
+   and the timing simulation all run from scratch (or from the
+   content-addressed store with [--cache-dir]).
 
    Part 2 reports Bechamel micro-benchmarks of the core components so
    performance regressions in the library itself are visible.
 
-   Run with:  dune exec bench/main.exe *)
+   Tables and figures go to stdout; per-section timings and cache
+   statistics go to stderr and to BENCH_engine.json, so stdout is
+   byte-comparable across [-j 1] and [-j N] runs.
+
+   Run with:  dune exec bench/main.exe -- [-j N] [--cache-dir DIR]
+                                          [--no-micro] *)
 
 open Bechamel
 open Toolkit
@@ -119,14 +125,126 @@ let run_micro () =
   Gpr_util.Tab.print ~header:[ "component"; "time" ] rows
 
 (* ---------------------------------------------------------------- *)
+(* Engine flags and per-section timing *)
+
+let jobs = ref 0
+let cache_dir = ref ""
+let no_micro = ref false
+
+let speclist =
+  [
+    ("-j", Arg.Set_int jobs,
+     "N  Parallel jobs (0 = auto: GPR_JOBS or the recommended domain count)");
+    ("--jobs", Arg.Set_int jobs, "N  Same as -j");
+    ("--cache-dir", Arg.Set_string cache_dir,
+     "DIR  Content-addressed on-disk result cache");
+    ("--no-micro", Arg.Set no_micro,
+     "  Skip the Bechamel micro-benchmarks (part 2)");
+  ]
+
+(* One timed section per table/figure of the evaluation, in
+   [Experiments.print_all] order. *)
+let sections : (string * (unit -> unit)) list =
+  let module E = Gpr_core.Experiments in
+  [
+    ("table2", E.print_table2);
+    ("table3", E.print_table3);
+    ("fig8", E.print_fig8);
+    ("table4", E.print_table4);
+    ("table1", E.print_table1);
+    ("fig9", E.print_fig9);
+    ("fig10", E.print_fig10);
+    ("fig11", E.print_fig11);
+    ("fig12", E.print_fig12);
+    ("area", E.print_area);
+    ("power", E.print_power);
+    ("volta", E.print_volta);
+    ("ablations", E.print_ablations);
+  ]
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_engine_json ~jobs ~cache ~timed ~total =
+  let hits, misses =
+    match cache with
+    | None -> (0, 0)
+    | Some s -> (Gpr_engine.Store.hits s, Gpr_engine.Store.misses s)
+  in
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"cache_dir\": \"%s\",\n"
+    (json_escape (match cache with None -> "" | Some s -> Gpr_engine.Store.dir s));
+  Printf.fprintf oc "  \"cache_hits\": %d,\n  \"cache_misses\": %d,\n" hits misses;
+  Printf.fprintf oc "  \"total_seconds\": %.3f,\n  \"sections\": [\n" total;
+  List.iteri
+    (fun i (name, secs) ->
+       Printf.fprintf oc "    { \"section\": \"%s\", \"seconds\": %.3f }%s\n"
+         (json_escape name) secs
+         (if i = List.length timed - 1 then "" else ","))
+    timed;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
 
 let () =
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "dune exec bench/main.exe -- [-j N] [--cache-dir DIR] [--no-micro]";
+  let jobs =
+    if !jobs <= 0 then Gpr_engine.Pool.default_jobs () else !jobs
+  in
+  let cache =
+    if !cache_dir = "" then None
+    else begin
+      let s = Gpr_engine.Store.create ~dir:!cache_dir in
+      Gpr_core.Compress.set_store (Some s);
+      Gpr_core.Simulate.set_store (Some s);
+      Some s
+    end
+  in
   print_endline
     "Reproduction of 'A GPU Register File using Static Data Compression'\n\
      (Angerd, Sintorn, Stenstrom - ICPP 2020).  One section per table and\n\
      figure of the paper; see EXPERIMENTS.md for the paper-vs-measured\n\
      comparison.";
   let t0 = Unix.gettimeofday () in
-  Gpr_core.Experiments.print_all ();
-  Printf.printf "\n[evaluation pipeline: %.1f s]\n" (Unix.gettimeofday () -. t0);
-  run_micro ()
+  let timed =
+    Gpr_engine.Pool.with_pool ~jobs (fun pool ->
+        Gpr_core.Experiments.use_pool (Some pool);
+        Fun.protect
+          ~finally:(fun () -> Gpr_core.Experiments.use_pool None)
+          (fun () ->
+             List.map
+               (fun (name, f) ->
+                  let s0 = Unix.gettimeofday () in
+                  f ();
+                  (name, Unix.gettimeofday () -. s0))
+               sections))
+  in
+  let micro_timed =
+    if !no_micro then []
+    else begin
+      let s0 = Unix.gettimeofday () in
+      run_micro ();
+      [ ("micro", Unix.gettimeofday () -. s0) ]
+    end
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  let timed = timed @ micro_timed in
+  Printf.eprintf "\n[engine: %d job%s%s]\n" jobs
+    (if jobs = 1 then "" else "s")
+    (match cache with
+     | None -> ""
+     | Some s ->
+       Printf.sprintf "; cache %s: %d hits, %d misses"
+         (Gpr_engine.Store.dir s) (Gpr_engine.Store.hits s)
+         (Gpr_engine.Store.misses s));
+  List.iter
+    (fun (name, secs) -> Printf.eprintf "[section %-10s %8.2f s]\n" name secs)
+    timed;
+  Printf.eprintf "[evaluation pipeline: %.1f s]\n%!" total;
+  write_engine_json ~jobs ~cache ~timed ~total

@@ -23,6 +23,56 @@ let kernel_arg =
   let doc = "Kernel name (see $(b,gpr list))." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
 
+(* ---------------- execution engine plumbing ---------------- *)
+
+let jobs_arg =
+  let doc =
+    "Parallel jobs for the execution engine.  0 (the default) means \
+     auto: the $(b,GPR_JOBS) environment variable when set, otherwise \
+     the recommended domain count.  Serial and parallel runs produce \
+     identical output."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Content-addressed on-disk result cache (created if missing).  Warm \
+     runs skip the precision tuner and the timing simulations; stale or \
+     corrupt entries are recomputed silently."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let resolve_jobs n = if n <= 0 then Gpr_engine.Pool.default_jobs () else n
+
+let setup_store = function
+  | None -> None
+  | Some d ->
+    let s = Gpr_engine.Store.create ~dir:d in
+    Compress.set_store (Some s);
+    Simulate.set_store (Some s);
+    Some s
+
+(* Stats go to stderr so stdout stays byte-comparable across cold and
+   warm runs (the CI smoke relies on this). *)
+let print_store_stats = function
+  | None -> ()
+  | Some s ->
+    Printf.eprintf "[gpr cache: %d hits, %d misses, dir %s]\n%!"
+      (Gpr_engine.Store.hits s) (Gpr_engine.Store.misses s)
+      (Gpr_engine.Store.dir s)
+
+let with_engine ~jobs ~cache_dir f =
+  let store = setup_store cache_dir in
+  let jobs = resolve_jobs jobs in
+  Fun.protect
+    ~finally:(fun () -> print_store_stats store)
+    (fun () ->
+       Gpr_engine.Pool.with_pool ~jobs (fun pool ->
+           Experiments.use_pool (Some pool);
+           Fun.protect
+             ~finally:(fun () -> Experiments.use_pool None)
+             (fun () -> f ())))
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -40,7 +90,9 @@ let list_cmd =
 (* ---------------- pressure ---------------- *)
 
 let pressure_cmd =
-  let run name =
+  let run name cache_dir =
+    let store = setup_store cache_dir in
+    Fun.protect ~finally:(fun () -> print_store_stats store) @@ fun () ->
     let w = find_workload name in
     let c = Compress.analyze w in
     Tab.print
@@ -69,7 +121,7 @@ let pressure_cmd =
     (Cmd.info "pressure"
        ~doc:"Run the static framework on one kernel and report register \
              pressure under each configuration (a Fig. 9 column)")
-    Term.(const run $ kernel_arg)
+    Term.(const run $ kernel_arg $ cache_dir_arg)
 
 (* ---------------- sim ---------------- *)
 
@@ -79,7 +131,9 @@ let sim_cmd =
          & info [ "writeback-delay" ] ~docv:"CYCLES"
              ~doc:"Writeback delay of the proposed organisation (Sec. 6.3).")
   in
-  let run name delay =
+  let run name delay cache_dir =
+    let store = setup_store cache_dir in
+    Fun.protect ~finally:(fun () -> print_store_stats store) @@ fun () ->
     let w = find_workload name in
     let c = Compress.analyze w in
     let b = Simulate.baseline c in
@@ -99,7 +153,7 @@ let sim_cmd =
   Cmd.v
     (Cmd.info "sim"
        ~doc:"Simulate one kernel on the baseline and proposed register files")
-    Term.(const run $ kernel_arg $ delay)
+    Term.(const run $ kernel_arg $ delay $ cache_dir_arg)
 
 (* ---------------- report ---------------- *)
 
@@ -111,7 +165,8 @@ let report_cmd =
                    fig10, fig11, fig12, area, power, volta, volta-sim, \
                    ablations.")
   in
-  let run what =
+  let run what jobs cache_dir =
+    with_engine ~jobs ~cache_dir @@ fun () ->
     match what with
     | "all" -> Experiments.print_all ()
     | "table1" -> Experiments.print_table1 ()
@@ -134,7 +189,7 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Reproduce a table or figure of the paper")
-    Term.(const run $ what)
+    Term.(const run $ what $ jobs_arg $ cache_dir_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -210,14 +265,16 @@ let check_cmd =
          & info [ "no-shrink" ]
              ~doc:"Report counterexamples without minimising them.")
   in
-  let run seed count max_seconds no_shrink =
+  let run seed count max_seconds no_shrink jobs =
     let module R = Gpr_check.Runner in
+    let jobs = resolve_jobs jobs in
     let progress s =
       if (s - seed) mod 25 = 0 && s <> seed then
         Printf.printf "  ... %d/%d seeds clean\n%!" (s - seed) count
     in
     let summary =
-      R.run ~shrink:(not no_shrink) ?max_seconds ~progress ~seed ~count ()
+      R.run ~shrink:(not no_shrink) ?max_seconds ~progress ~jobs ~seed ~count
+        ()
     in
     List.iter (fun r -> print_string (R.report_to_string r)) summary.R.reports;
     Printf.printf "checked %d seed%s (%d..%d): %d failure%s\n"
@@ -234,8 +291,9 @@ let check_cmd =
        ~doc:"Differential fuzzing: run random kernels plain and through the \
              compressed register file (range analysis, slice allocation, \
              indirection table, TVT/TVE datapath, timing-model invariants) \
-             and fail on any divergence, with shrunk counterexamples")
-    Term.(const run $ seed $ count $ max_seconds $ no_shrink)
+             and fail on any divergence, with shrunk counterexamples; \
+             seeds are sharded across the -j engine pool")
+    Term.(const run $ seed $ count $ max_seconds $ no_shrink $ jobs_arg)
 
 (* ---------------- disasm ---------------- *)
 

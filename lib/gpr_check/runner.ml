@@ -65,14 +65,7 @@ let run_seed ?(shrink = true) seed =
     in
     Some { seed; stage; failure; original = case.kernel; shrunk }
 
-let run ?(shrink = true) ?max_seconds ?(progress = fun _ -> ()) ~seed ~count ()
-    =
-  let t0 = Sys.time () in
-  let out_of_time () =
-    match max_seconds with
-    | None -> false
-    | Some s -> Sys.time () -. t0 >= s
-  in
+let run_serial ~shrink ~out_of_time ~progress ~seed ~count =
   let reports = ref [] in
   let checked = ref 0 in
   (try
@@ -86,6 +79,48 @@ let run ?(shrink = true) ?max_seconds ?(progress = fun _ -> ()) ~seed ~count ()
      done
    with Exit -> ());
   { checked = !checked; reports = List.rev !reports }
+
+(* Parallel sharding: seeds are checked in chunks of [4 * jobs]; every
+   seed is an independent job (generation, the oracles and shrinking
+   are all deterministic functions of the seed — per-job xorshift, no
+   shared RNG), and chunk results are collected in seed order, so the
+   summary is identical to a serial run over the same seeds.  The time
+   budget is re-checked between chunks, mirroring the serial runner's
+   between-seeds check. *)
+let run_sharded pool ~shrink ~out_of_time ~progress ~seed ~count =
+  let chunk = 4 * Gpr_engine.Pool.jobs pool in
+  let reports = ref [] in
+  let checked = ref 0 in
+  let s = ref seed in
+  let remaining = ref count in
+  while !remaining > 0 && not (out_of_time ()) do
+    let n = min chunk !remaining in
+    let seeds = List.init n (fun i -> !s + i) in
+    List.iter progress seeds;
+    let results =
+      Gpr_engine.Pool.map_list pool (fun sd -> run_seed ~shrink sd) seeds
+    in
+    List.iter
+      (function Some r -> reports := r :: !reports | None -> ())
+      results;
+    checked := !checked + n;
+    s := !s + n;
+    remaining := !remaining - n
+  done;
+  { checked = !checked; reports = List.rev !reports }
+
+let run ?(shrink = true) ?max_seconds ?(progress = fun _ -> ()) ?(jobs = 1)
+    ~seed ~count () =
+  let t0 = Unix.gettimeofday () in
+  let out_of_time () =
+    match max_seconds with
+    | None -> false
+    | Some s -> Unix.gettimeofday () -. t0 >= s
+  in
+  if jobs <= 1 then run_serial ~shrink ~out_of_time ~progress ~seed ~count
+  else
+    Gpr_engine.Pool.with_pool ~jobs (fun pool ->
+        run_sharded pool ~shrink ~out_of_time ~progress ~seed ~count)
 
 let report_to_string r =
   Printf.sprintf

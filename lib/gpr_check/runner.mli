@@ -32,13 +32,21 @@ val run :
   ?shrink:bool ->
   ?max_seconds:float ->
   ?progress:(int -> unit) ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   unit ->
   summary
 (** Check [count] consecutive seeds starting at [seed].  [max_seconds]
-    bounds wall time (checked between seeds — for CI smoke runs);
-    [progress] is called with each seed before it runs. *)
+    bounds wall time (checked between seeds, or between chunks when
+    parallel — for CI smoke runs); [progress] is called with each seed
+    before its chunk runs.
+
+    [jobs] (default 1) shards the seed space over a
+    {!Gpr_engine.Pool}: each seed is an independent job with its own
+    deterministic generator, and results are collected in seed order,
+    so the summary is identical to a serial run — only wall clock
+    changes. *)
 
 val report_to_string : report -> string
 (** Human-readable counterexample: failing stage, violation, the shrunk

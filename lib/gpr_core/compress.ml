@@ -13,6 +13,7 @@ type per_threshold = {
 
 type t = {
   w : Workload.t;
+  fingerprint : Gpr_engine.Fingerprint.t;
   reference : float array;
   range : Gpr_analysis.Range.t;
   baseline : Alloc.t;
@@ -64,25 +65,71 @@ let tune_threshold (w : Workload.t) ~reference ~range threshold =
   in
   { assignment; achieved_score; alloc_float_only; alloc_both }
 
+(* Memoisation is keyed by content fingerprint, not by workload name:
+   two distinct kernels sharing a name must not return each other's
+   results (they used to — see the regression test in test_core).  The
+   table is mutex-guarded so engine worker domains can share it; the
+   expensive computation runs outside the lock, so two domains racing
+   on the same fingerprint may both compute, but they store identical
+   values (the whole pipeline is deterministic). *)
 let cache : (string, t) Hashtbl.t = Hashtbl.create 16
+let cache_mutex = Mutex.create ()
 
-let clear_cache () = Hashtbl.reset cache
+let store : Gpr_engine.Store.t option ref = ref None
+let set_store s = store := s
+
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex
+
+let fingerprint (w : Workload.t) = Gpr_engine.Fingerprint.workload w
+
+(* The workload record holds closures (its input generator), so the
+   on-disk store persists only the computed, closure-free part. *)
+type stored = {
+  s_reference : float array;
+  s_range : Gpr_analysis.Range.t;
+  s_baseline : Alloc.t;
+  s_int_only : Alloc.t;
+  s_perfect : per_threshold;
+  s_high : per_threshold;
+}
+
+let compute (w : Workload.t) =
+  let reference = Workload.reference w in
+  let range = Gpr_analysis.Range.analyze w.kernel ~launch:w.launch in
+  let baseline = Alloc.baseline w.kernel in
+  let int_only =
+    Alloc.run w.kernel
+      ~width_of:(width_fn ~narrow_ints:true ~narrow_floats:None ~range)
+  in
+  let perfect = tune_threshold w ~reference ~range Q.Perfect in
+  let high = tune_threshold w ~reference ~range Q.High in
+  { s_reference = reference; s_range = range; s_baseline = baseline;
+    s_int_only = int_only; s_perfect = perfect; s_high = high }
 
 let analyze (w : Workload.t) =
-  match Hashtbl.find_opt cache w.name with
+  let fp = fingerprint w in
+  let key = Gpr_engine.Fingerprint.to_hex fp in
+  Mutex.lock cache_mutex;
+  let cached = Hashtbl.find_opt cache key in
+  Mutex.unlock cache_mutex;
+  match cached with
   | Some t -> t
   | None ->
-    let reference = Workload.reference w in
-    let range = Gpr_analysis.Range.analyze w.kernel ~launch:w.launch in
-    let baseline = Alloc.baseline w.kernel in
-    let int_only =
-      Alloc.run w.kernel
-        ~width_of:(width_fn ~narrow_ints:true ~narrow_floats:None ~range)
+    let s =
+      Gpr_engine.Store.memoize !store ~kind:"analyze" ~key:fp (fun () ->
+          compute w)
     in
-    let perfect = tune_threshold w ~reference ~range Q.Perfect in
-    let high = tune_threshold w ~reference ~range Q.High in
-    let t = { w; reference; range; baseline; int_only; perfect; high } in
-    Hashtbl.replace cache w.name t;
+    let t =
+      { w; fingerprint = fp; reference = s.s_reference; range = s.s_range;
+        baseline = s.s_baseline; int_only = s.s_int_only;
+        perfect = s.s_perfect; high = s.s_high }
+    in
+    Mutex.lock cache_mutex;
+    Hashtbl.replace cache key t;
+    Mutex.unlock cache_mutex;
     t
 
 let threshold_data t = function

@@ -15,6 +15,8 @@ type per_threshold = {
 
 type t = {
   w : Workload.t;
+  fingerprint : Gpr_engine.Fingerprint.t;
+      (** content fingerprint of [w] — the memo/store key *)
   reference : float array;
   range : Gpr_analysis.Range.t;
   baseline : Gpr_alloc.Alloc.t;   (** original (32-bit) allocation *)
@@ -25,9 +27,20 @@ type t = {
 
 val analyze : Workload.t -> t
 (** Runs the full static framework.  Expensive (the tuner re-executes
-    the kernel many times); results are memoised per workload name. *)
+    the kernel many times); results are memoised by content
+    fingerprint ({!Gpr_engine.Fingerprint.workload}) in a domain-safe
+    table, and persisted to the {!Gpr_engine.Store} configured with
+    {!set_store} (when any). *)
+
+val fingerprint : Workload.t -> Gpr_engine.Fingerprint.t
+(** The memo key [analyze] uses. *)
+
+val set_store : Gpr_engine.Store.t option -> unit
+(** Attach (or detach) an on-disk result store.  Warm runs then skip
+    the precision tuner entirely. *)
 
 val clear_cache : unit -> unit
+(** Clears the in-memory memo table only, never the on-disk store. *)
 
 val threshold_data : t -> Gpr_quality.Quality.threshold -> per_threshold
 

@@ -12,6 +12,30 @@ let analyze name =
   | None -> failwith ("unknown workload " ^ name)
 
 (* ------------------------------------------------------------------ *)
+(* Execution engine.  Every data function fans its independent
+   per-(kernel, configuration) jobs out over the configured pool;
+   [Pool.map_list] preserves list order, so serial and parallel runs
+   produce bit-identical tables.  With no pool (or [jobs = 1]) the
+   helpers degrade to [List.map]. *)
+
+module Pool = Gpr_engine.Pool
+
+let pool : Pool.t option ref = ref None
+
+let use_pool p = pool := p
+
+let pmap f xs =
+  match !pool with
+  | Some p when Pool.jobs p > 1 -> Pool.map_list p f xs
+  | _ -> List.map f xs
+
+(* Run the static framework on every kernel, in parallel, before any
+   per-configuration fan-out: per-(kernel, config) jobs all start with
+   [Compress.analyze] and would otherwise duplicate the expensive tuner
+   run for a kernel whose analysis is not memoised yet. *)
+let analyzed_all () = pmap Compress.analyze Registry.all
+
+(* ------------------------------------------------------------------ *)
 (* Table 1: motivation (IMGVF, perfect quality). *)
 
 type table1 = {
@@ -114,7 +138,7 @@ type table4_row = {
 }
 
 let table4_data () =
-  List.map
+  pmap
     (fun (w : Workload.t) ->
        let c = Compress.analyze w in
        {
@@ -186,7 +210,7 @@ type fig9_row = {
 }
 
 let fig9_data () =
-  List.map
+  pmap
     (fun (w : Workload.t) ->
        let c = Compress.analyze w in
        {
@@ -224,7 +248,7 @@ type fig10_row = {
 }
 
 let fig10_data () =
-  List.map
+  pmap
     (fun (w : Workload.t) ->
        let c = Compress.analyze w in
        let occ alloc = Compress.occupancy c alloc in
@@ -264,23 +288,40 @@ type fig11_row = {
   f11_incr_high_pct : float;
 }
 
+(* Per-(kernel, configuration) fan-out: the three simulated
+   configurations of each kernel use three different traces (plain,
+   quantised-perfect, quantised-high), so they parallelise without
+   duplicating any memoised work once the analyses are warm. *)
 let fig11_data () =
-  List.map
-    (fun (w : Workload.t) ->
-       let c = Compress.analyze w in
-       let base = (Simulate.baseline c).gpu_ipc in
-       let p = (Simulate.proposed c Q.Perfect).gpu_ipc in
-       let h = (Simulate.proposed c Q.High).gpu_ipc in
-       let incr x = 100.0 *. ((x /. base) -. 1.0) in
-       {
-         f11_name = w.name;
-         f11_ipc_base = base;
-         f11_ipc_perfect = p;
-         f11_ipc_high = h;
-         f11_incr_perfect_pct = incr p;
-         f11_incr_high_pct = incr h;
-       })
-    Registry.all
+  let cs = analyzed_all () in
+  let ipcs =
+    pmap
+      (fun (c, which) ->
+         match which with
+         | `Base -> (Simulate.baseline c).Gpr_sim.Sim.gpu_ipc
+         | `Perfect -> (Simulate.proposed c Q.Perfect).Gpr_sim.Sim.gpu_ipc
+         | `High -> (Simulate.proposed c Q.High).Gpr_sim.Sim.gpu_ipc)
+      (List.concat_map
+         (fun c -> [ (c, `Base); (c, `Perfect); (c, `High) ])
+         cs)
+  in
+  let rec rows cs ipcs =
+    match cs, ipcs with
+    | [], [] -> []
+    | c :: cs', base :: p :: h :: ipcs' ->
+      let incr x = 100.0 *. ((x /. base) -. 1.0) in
+      {
+        f11_name = c.Compress.w.name;
+        f11_ipc_base = base;
+        f11_ipc_perfect = p;
+        f11_ipc_high = h;
+        f11_incr_perfect_pct = incr p;
+        f11_incr_high_pct = incr h;
+      }
+      :: rows cs' ipcs'
+    | _ -> assert false
+  in
+  rows cs ipcs
 
 let fig11_geomeans rows =
   ( Stats.geomean_ratio (List.map (fun r -> r.f11_incr_perfect_pct) rows),
@@ -310,16 +351,25 @@ type fig12_row = { f12_name : string; f12_ipc_by_delay : (int * float) list }
 let fig12_delays = [ 0; 2; 4; 8 ]
 
 let fig12_data () =
-  List.map
-    (fun (w : Workload.t) ->
-       let c = Compress.analyze w in
-       let ipcs =
-         List.map
-           (fun d -> (d, (Simulate.proposed ~writeback_delay:d c Q.High).gpu_ipc))
-           fig12_delays
+  let cs = analyzed_all () in
+  (* Warm the quantised trace of each kernel once, in parallel, so the
+     per-(kernel, delay) jobs below re-simulate without re-executing. *)
+  let _ = pmap (fun c -> ignore (Simulate.trace_quantized c Q.High)) cs in
+  let ipcs =
+    pmap
+      (fun (c, d) ->
+         (Simulate.proposed ~writeback_delay:d c Q.High).Gpr_sim.Sim.gpu_ipc)
+      (List.concat_map (fun c -> List.map (fun d -> (c, d)) fig12_delays) cs)
+  in
+  let n = List.length fig12_delays in
+  List.mapi
+    (fun i c ->
+       let mine =
+         List.filteri (fun j _ -> j / n = i) ipcs
+         |> List.map2 (fun d ipc -> (d, ipc)) fig12_delays
        in
-       { f12_name = w.name; f12_ipc_by_delay = ipcs })
-    Registry.all
+       { f12_name = c.Compress.w.name; f12_ipc_by_delay = mine })
+    cs
 
 let print_fig12 () =
   Tab.section "Figure 12: IPC vs writeback delay (high quality)";
@@ -382,7 +432,7 @@ let ablation_kernels = [ "Hotspot"; "CFD"; "IMGVF" ]
 let print_ablation_scheduler () =
   Tab.section "Ablation: warp scheduler policy (GTO vs LRR, baseline RF)";
   let rows =
-    List.map
+    pmap
       (fun name ->
          let c = analyze name in
          let trace = Simulate.trace_plain c in
@@ -403,7 +453,7 @@ let print_ablation_banks () =
   Tab.section
     "Ablation: register/indirection bank count (proposed RF, high quality)";
   let rows =
-    List.map
+    pmap
       (fun name ->
          let c = analyze name in
          let data = Compress.threshold_data c Gpr_quality.Quality.High in
@@ -425,7 +475,7 @@ let print_ablation_split () =
   Tab.section
     "Ablation: split placements (fragmentation vs double fetches, high quality)";
   let rows =
-    List.map
+    pmap
       (fun name ->
          let c = analyze name in
          let data = Compress.threshold_data c Gpr_quality.Quality.High in
@@ -452,7 +502,7 @@ let print_volta_sim () =
   Tab.section "Sec. 7 extension: proposed register file on Volta V100";
   let vcfg = Gpr_arch.Config.volta_v100 in
   let rows =
-    List.map
+    pmap
       (fun name ->
          let c = analyze name in
          let w = Option.get (Registry.by_name name) in

@@ -3,7 +3,17 @@
     Each [*_data] function returns structured rows (used by the tests),
     and each [print_*] renders them in the paper's layout.  Everything
     is memoised through {!Compress} and {!Simulate}, so printing the
-    full suite runs the static framework once per kernel. *)
+    full suite runs the static framework once per kernel.
+
+    With {!use_pool}, every data function fans its independent
+    per-(kernel, configuration) jobs out over the given
+    {!Gpr_engine.Pool}.  Fan-out preserves row order and all printing
+    stays in the calling domain, so serial and parallel runs produce
+    bit-identical output. *)
+
+val use_pool : Gpr_engine.Pool.t option -> unit
+(** Set (or clear) the execution pool used by the data functions.
+    [None], or a pool with [jobs = 1], means serial evaluation. *)
 
 type table1 = {
   t1_pressure_orig : int;

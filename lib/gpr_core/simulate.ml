@@ -2,24 +2,52 @@ open Gpr_workloads
 module Q = Gpr_quality.Quality
 module P = Gpr_precision.Precision
 module Sim = Gpr_sim.Sim
+module Fp = Gpr_engine.Fingerprint
+module Store = Gpr_engine.Store
 
+(* Both tables are keyed by content fingerprint (workload ⊕ arch config
+   ⊕ variant), never by workload name, and are mutex-guarded so engine
+   worker domains can share them.  Computation runs outside the lock:
+   racing domains may duplicate work but store identical values.
+   Traces are memoised in memory only (they are large and cheap
+   relative to the tuner); [Sim.stats] records are additionally
+   persisted to the optional on-disk store, so a warm run never
+   re-executes a kernel or the timing model. *)
 let trace_cache : (string, Gpr_exec.Trace.t) Hashtbl.t = Hashtbl.create 32
 let stats_cache : (string, Sim.stats) Hashtbl.t = Hashtbl.create 32
+let cache_mutex = Mutex.create ()
+
+let store : Store.t option ref = ref None
+let set_store s = store := s
 
 let clear_cache () =
+  Mutex.lock cache_mutex;
   Hashtbl.reset trace_cache;
-  Hashtbl.reset stats_cache
+  Hashtbl.reset stats_cache;
+  Mutex.unlock cache_mutex
+
+let cfg = Gpr_arch.Config.fermi_gtx480
+let cfg_fp = lazy (Fp.to_hex (Fp.config cfg))
+
+let find_cached tbl key =
+  Mutex.lock cache_mutex;
+  let r = Hashtbl.find_opt tbl key in
+  Mutex.unlock cache_mutex;
+  r
+
+let put_cached tbl key v =
+  Mutex.lock cache_mutex;
+  Hashtbl.replace tbl key v;
+  Mutex.unlock cache_mutex
 
 let trace_for (c : Compress.t) quantize_key quantize =
-  let key = c.w.name ^ "/" ^ quantize_key in
-  match Hashtbl.find_opt trace_cache key with
+  let key = Fp.to_hex c.fingerprint ^ "/" ^ quantize_key in
+  match find_cached trace_cache key with
   | Some t -> t
   | None ->
     let t = Workload.trace c.w ~quantize in
-    Hashtbl.replace trace_cache key t;
+    put_cached trace_cache key t;
     t
-
-let cfg = Gpr_arch.Config.fermi_gtx480
 
 let trace_plain (c : Compress.t) = trace_for c "plain" None
 
@@ -29,56 +57,53 @@ let trace_quantized (c : Compress.t) threshold =
     ("quant-" ^ Q.threshold_name threshold)
     (Some (P.quantizer data.assignment))
 
-let baseline (c : Compress.t) =
-  let key = c.w.name ^ "/baseline" in
-  match Hashtbl.find_opt stats_cache key with
+(* Stats are cheap to recompute only when the trace is warm; on a cold
+   store-backed run we want to skip the kernel re-execution too, so the
+   disk lookup happens before the trace is (lazily) built. *)
+let stats_for (c : Compress.t) variant compute =
+  let key =
+    Printf.sprintf "%s/%s/%s" (Fp.to_hex c.fingerprint) (Lazy.force cfg_fp)
+      variant
+  in
+  match find_cached stats_cache key with
   | Some s -> s
   | None ->
-    let trace = trace_for c "plain" None in
-    let occ = Compress.occupancy c c.baseline in
-    let s =
-      Sim.run cfg ~trace ~alloc:c.baseline ~blocks_per_sm:occ.blocks_per_sm
-        ~mode:Sim.Baseline
-    in
-    Hashtbl.replace stats_cache key s;
+    let fp = Fp.of_strings [ "stats"; key ] in
+    let s = Store.memoize !store ~kind:"stats" ~key:fp compute in
+    put_cached stats_cache key s;
     s
+
+let baseline (c : Compress.t) =
+  stats_for c "baseline" (fun () ->
+      let trace = trace_for c "plain" None in
+      let occ = Compress.occupancy c c.baseline in
+      Sim.run cfg ~trace ~alloc:c.baseline ~blocks_per_sm:occ.blocks_per_sm
+        ~mode:Sim.Baseline)
 
 let proposed ?(writeback_delay = 3) (c : Compress.t) threshold =
-  let key =
-    Printf.sprintf "%s/proposed/%s/wb%d" c.w.name
-      (Q.threshold_name threshold) writeback_delay
+  let variant =
+    Printf.sprintf "proposed/%s/wb%d" (Q.threshold_name threshold)
+      writeback_delay
   in
-  match Hashtbl.find_opt stats_cache key with
-  | Some s -> s
-  | None ->
-    let data = Compress.threshold_data c threshold in
-    let trace =
-      trace_for c
-        ("quant-" ^ Q.threshold_name threshold)
-        (Some (P.quantizer data.assignment))
-    in
-    let occ = Compress.occupancy c data.alloc_both in
-    let s =
+  stats_for c variant (fun () ->
+      let data = Compress.threshold_data c threshold in
+      let trace =
+        trace_for c
+          ("quant-" ^ Q.threshold_name threshold)
+          (Some (P.quantizer data.assignment))
+      in
+      let occ = Compress.occupancy c data.alloc_both in
       Sim.run cfg ~trace ~alloc:data.alloc_both
         ~blocks_per_sm:occ.blocks_per_sm
-        ~mode:(Sim.Proposed { writeback_delay })
-    in
-    Hashtbl.replace stats_cache key s;
-    s
+        ~mode:(Sim.Proposed { writeback_delay }))
 
 let artificial (c : Compress.t) threshold =
-  let key =
-    Printf.sprintf "%s/artificial/%s" c.w.name (Q.threshold_name threshold)
+  let variant =
+    Printf.sprintf "artificial/%s" (Q.threshold_name threshold)
   in
-  match Hashtbl.find_opt stats_cache key with
-  | Some s -> s
-  | None ->
-    let data = Compress.threshold_data c threshold in
-    let trace = trace_for c "plain" None in
-    let occ = Compress.occupancy c data.alloc_both in
-    let s =
+  stats_for c variant (fun () ->
+      let data = Compress.threshold_data c threshold in
+      let trace = trace_for c "plain" None in
+      let occ = Compress.occupancy c data.alloc_both in
       Sim.run cfg ~trace ~alloc:c.baseline ~blocks_per_sm:occ.blocks_per_sm
-        ~mode:Sim.Baseline
-    in
-    Hashtbl.replace stats_cache key s;
-    s
+        ~mode:Sim.Baseline)

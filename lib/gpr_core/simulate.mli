@@ -10,8 +10,10 @@
       with occupancy artificially raised to the compressed level, i.e.
       the upper bound an ideally free compression scheme could reach.
 
-    Traces and simulation results are memoised per (kernel,
-    configuration). *)
+    Traces and simulation results are memoised per (kernel fingerprint,
+    architecture fingerprint, variant) in domain-safe tables; stats are
+    additionally persisted to the optional on-disk store, so a warm run
+    re-executes neither the kernel nor the timing model. *)
 
 val baseline : Compress.t -> Gpr_sim.Sim.stats
 
@@ -24,6 +26,10 @@ val proposed :
 val artificial : Compress.t -> Gpr_quality.Quality.threshold -> Gpr_sim.Sim.stats
 
 val clear_cache : unit -> unit
+(** Clears the in-memory memo tables only, never the on-disk store. *)
+
+val set_store : Gpr_engine.Store.t option -> unit
+(** Attach (or detach) an on-disk store for simulation stats. *)
 
 val trace_plain : Compress.t -> Gpr_exec.Trace.t
 (** Unquantised trace (memoised) — used by ablation sweeps. *)

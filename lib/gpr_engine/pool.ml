@@ -1,0 +1,126 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable cell : 'a state;
+}
+
+type shared = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+}
+
+type t = {
+  n_jobs : int;
+  shared : shared option;  (* None: serial, run tasks inline *)
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "GPR_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n > 0 -> n
+     | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.n_jobs
+
+let rec worker sh =
+  Mutex.lock sh.mutex;
+  while Queue.is_empty sh.queue && not sh.stop do
+    Condition.wait sh.nonempty sh.mutex
+  done;
+  if Queue.is_empty sh.queue then Mutex.unlock sh.mutex (* stop, drained *)
+  else begin
+    let job = Queue.pop sh.queue in
+    Mutex.unlock sh.mutex;
+    job ();
+    worker sh
+  end
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  if jobs = 1 then { n_jobs = 1; shared = None; domains = [] }
+  else begin
+    let sh =
+      { mutex = Mutex.create (); nonempty = Condition.create ();
+        queue = Queue.create (); stop = false }
+    in
+    let domains =
+      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker sh))
+    in
+    { n_jobs = jobs; shared = Some sh; domains }
+  end
+
+let fresh_future () =
+  { fm = Mutex.create (); fc = Condition.create (); cell = Pending }
+
+let run_into fut f =
+  let r =
+    match f () with
+    | v -> Done v
+    | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+  in
+  Mutex.lock fut.fm;
+  fut.cell <- r;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let submit t f =
+  let fut = fresh_future () in
+  (match t.shared with
+   | None -> run_into fut f
+   | Some sh ->
+     Mutex.lock sh.mutex;
+     if sh.stop then begin
+       Mutex.unlock sh.mutex;
+       invalid_arg "Pool.submit: pool is shut down"
+     end;
+     Queue.push (fun () -> run_into fut f) sh.queue;
+     Condition.signal sh.nonempty;
+     Mutex.unlock sh.mutex);
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.cell with
+    | Pending -> Condition.wait fut.fc fut.fm; wait ()
+    | Done v -> Mutex.unlock fut.fm; v
+    | Failed (e, bt) ->
+      Mutex.unlock fut.fm;
+      Printexc.raise_with_backtrace e bt
+  in
+  wait ()
+
+let map_list t f xs =
+  List.map await (List.map (fun x -> submit t (fun () -> f x)) xs)
+
+let iter_list t f xs = ignore (map_list t f xs)
+
+let shutdown t =
+  match t.shared with
+  | None -> ()
+  | Some sh ->
+    Mutex.lock sh.mutex;
+    sh.stop <- true;
+    Condition.broadcast sh.nonempty;
+    Mutex.unlock sh.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  match f t with
+  | v -> shutdown t; v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    shutdown t;
+    Printexc.raise_with_backtrace e bt

@@ -1,0 +1,105 @@
+type t = {
+  dir : string;
+  m : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable tmp_counter : int;
+}
+
+let magic = "gpr-store"
+let version_line = Fingerprint.version ^ ";ocaml-" ^ Sys.ocaml_version
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (try Unix.mkdir dir 0o755 with
+     | Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  { dir; m = Mutex.create (); hits = 0; misses = 0; tmp_counter = 0 }
+
+let dir t = t.dir
+
+let hits t = Mutex.lock t.m; let h = t.hits in Mutex.unlock t.m; h
+let misses t = Mutex.lock t.m; let m = t.misses in Mutex.unlock t.m; m
+
+let path t ~kind ~key =
+  Filename.concat t.dir (kind ^ "-" ^ Fingerprint.to_hex key ^ ".bin")
+
+let count_hit t = Mutex.lock t.m; t.hits <- t.hits + 1; Mutex.unlock t.m
+let count_miss t = Mutex.lock t.m; t.misses <- t.misses + 1; Mutex.unlock t.m
+
+let read_entry file =
+  match open_in_bin file with
+  | exception Sys_error _ -> None
+  | ic ->
+    let r =
+      (* Any malformed entry — wrong magic, stale version, truncated
+         file or corrupt payload — degrades to a miss.  Marshal alone
+         cannot detect flipped bytes in flat data (e.g. float arrays),
+         so the payload is guarded by its own digest. *)
+      match
+        let m = input_line ic in
+        let v = input_line ic in
+        let dg = input_line ic in
+        if m <> magic || v <> version_line then None
+        else begin
+          let len = in_channel_length ic - pos_in ic in
+          let payload = really_input_string ic len in
+          if Digest.to_hex (Digest.string payload) <> dg then None
+          else Some (Marshal.from_string payload 0)
+        end
+      with
+      | r -> r
+      | exception (End_of_file | Failure _ | Sys_error _
+                  | Invalid_argument _) -> None
+    in
+    close_in_noerr ic;
+    r
+
+let find t ~kind ~key =
+  match read_entry (path t ~kind ~key) with
+  | Some v -> count_hit t; Some v
+  | None -> count_miss t; None
+
+let fresh_tmp t =
+  Mutex.lock t.m;
+  t.tmp_counter <- t.tmp_counter + 1;
+  let n = t.tmp_counter in
+  Mutex.unlock t.m;
+  Filename.concat t.dir
+    (Printf.sprintf ".tmp-%d-%d.bin" (Unix.getpid ()) n)
+
+let add t ~kind ~key v =
+  let tmp = fresh_tmp t in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> ()
+  | oc ->
+    (match
+       let payload = Marshal.to_string v [] in
+       output_string oc magic; output_char oc '\n';
+       output_string oc version_line; output_char oc '\n';
+       output_string oc (Digest.to_hex (Digest.string payload));
+       output_char oc '\n';
+       output_string oc payload;
+       close_out oc;
+       Sys.rename tmp (path t ~kind ~key)
+     with
+     | () -> ()
+     | exception Sys_error _ ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ()))
+
+let memoize store ~kind ~key f =
+  match store with
+  | None -> f ()
+  | Some t ->
+    (match find t ~kind ~key with
+     | Some v -> v
+     | None ->
+       let v = f () in
+       add t ~kind ~key v;
+       v)

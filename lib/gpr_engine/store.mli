@@ -1,0 +1,46 @@
+(** Optional on-disk result cache, content-addressed by {!Fingerprint}.
+
+    One file per entry, named [<kind>-<fingerprint>.bin] inside the
+    store directory.  Each file carries a three-line header (magic, then
+    [Fingerprint.version] / [Sys.ocaml_version], then the payload
+    digest) followed by a [Marshal]
+    blob.  Robustness rules:
+
+    - writes go to a unique temporary file in the same directory and
+      are published with [Sys.rename], so readers never observe a
+      partial entry and concurrent writers of the same key are safe
+      (last rename wins; both wrote identical content);
+    - any read failure — missing file, truncated blob, corrupt bytes,
+      header or version mismatch — silently degrades to a miss and the
+      value is recomputed;
+    - values must be closure-free (Marshal is used without
+      [Closures]); attempting to store a closure raises, so gpr_core
+      persists workload-independent records only.
+
+    Hit/miss counters are mutex-guarded so worker domains can share one
+    store. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] (and missing parents) on first use. *)
+
+val dir : t -> string
+
+val find : t -> kind:string -> key:Fingerprint.t -> 'a option
+(** [None] on any miss or unreadable entry.  The type ['a] is trusted:
+    callers must pair each [kind] with exactly one stored type. *)
+
+val add : t -> kind:string -> key:Fingerprint.t -> 'a -> unit
+(** Atomic publish; I/O errors (full disk, unwritable dir) are
+    swallowed — the store is an accelerator, never a correctness
+    dependency. *)
+
+val memoize : t option -> kind:string -> key:Fingerprint.t -> (unit -> 'a) -> 'a
+(** [memoize store ~kind ~key f]: disk lookup, else [f ()] then
+    {!add}.  [None] just runs [f]. *)
+
+val hits : t -> int
+val misses : t -> int
+(** Counters over {!find}/{!memoize} calls ({!add}-only paths do not
+    count).  A warm rerun of the same pipeline reports all hits. *)

@@ -43,11 +43,16 @@ let ftou_trunc x =
 (* Memoised per kernel (physical identity): [static_pc] is called from
    hot per-value hooks, and recomputing the O(instructions) walk on
    every call dominated profiles.  A short bounded association list is
-   enough — callers work on a handful of kernels at a time. *)
-let pc_cache : (kernel * (int array * int)) list ref = ref []
+   enough — callers work on a handful of kernels at a time.  The cache
+   is domain-local so worker domains of the execution engine never
+   contend (or race) on it; each domain warms its own copy. *)
+let pc_cache_key : (kernel * (int array * int)) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
 let pc_cache_limit = 8
 
 let pc_bases kernel =
+  let pc_cache = Domain.DLS.get pc_cache_key in
   match List.assq_opt kernel !pc_cache with
   | Some r -> r
   | None ->

@@ -170,6 +170,18 @@ let test_exec_step_budget () =
     in
     Alcotest.(check bool) "mentions the budget" true (contains msg "budget")
 
+(* Sharding the seed space over a domain pool must produce the same
+   summary as the serial run — seeds are independent and results are
+   collected in seed order. *)
+let test_sharded_matches_serial () =
+  let serial = Runner.run ~shrink:false ~seed:1 ~count:16 () in
+  let sharded = Runner.run ~shrink:false ~seed:1 ~count:16 ~jobs:3 () in
+  Alcotest.(check int) "same checked" serial.Runner.checked
+    sharded.Runner.checked;
+  Alcotest.(check (list string)) "same reports"
+    (List.map Runner.report_to_string serial.Runner.reports)
+    (List.map Runner.report_to_string sharded.Runner.reports)
+
 let prop_random_seeds_clean =
   QCheck.Test.make ~name:"oracle clean on random seeds" ~count:25
     (QCheck.int_range 1000 1_000_000)
@@ -189,6 +201,8 @@ let () =
           Alcotest.test_case "catches bad ranges" `Quick test_catches_bad_ranges;
           Alcotest.test_case "catches bad widths" `Quick test_catches_bad_widths;
           Alcotest.test_case "step budget" `Quick test_exec_step_budget;
+          Alcotest.test_case "sharded matches serial" `Quick
+            test_sharded_matches_serial;
         ] );
       ( "shrink",
         [

@@ -77,6 +77,73 @@ let test_width_fn () =
     Alcotest.(check bool) "bounded" true (w >= 1 && w <= 32)
   done
 
+(* A minimal workload whose kernel body bakes in [value], so two
+   instances can share a name while computing different things. *)
+let tiny_workload ?(name = "tiny") ~value () =
+  let open Gpr_isa.Builder in
+  let b = create ~name in
+  let out = global_buffer b Gpr_isa.Types.F32 "out" in
+  let tid = tid_x b in
+  let v = var b Gpr_isa.Types.F32 "v" in
+  assign b v (cf value);
+  let v2 = fadd b ~$v (cf 0.25) in
+  st b out ~$tid ~$v2;
+  let kernel = finish b in
+  {
+    Gpr_workloads.Workload.name;
+    group = 2;
+    metric = Q.M_deviation;
+    kernel;
+    launch = Gpr_isa.Types.launch_1d ~block:4 ~grid:1;
+    params = [||];
+    data = (fun () -> [ ("out", Gpr_exec.Exec.F_data (Array.make 4 0.0)) ]);
+    shared = [];
+    extra_shared_bytes = 0;
+    output = Gpr_workloads.Workload.Out_floats "out";
+    paper_regs = 0;
+  }
+
+(* Regression: the memo table used to be keyed by [w.name], so a second
+   workload reusing a name was served the first one's analysis.  Keys
+   are now content fingerprints. *)
+let test_compress_no_name_staleness () =
+  C.clear_cache ();
+  let w1 = tiny_workload ~name:"stale" ~value:1.0 () in
+  let w2 = tiny_workload ~name:"stale" ~value:2.0 () in
+  let c1 = C.analyze w1 in
+  let c2 = C.analyze w2 in
+  Alcotest.(check bool) "distinct memo keys" false
+    (Gpr_engine.Fingerprint.equal c1.C.fingerprint c2.C.fingerprint);
+  (* The second analysis must reflect the second kernel body
+     (out[i] = 2.25), not the cached first one (out[i] = 1.25). *)
+  Alcotest.(check (float 1e-6)) "w1 reference" 1.25 c1.C.reference.(0);
+  Alcotest.(check (float 1e-6)) "w2 reference" 2.25 c2.C.reference.(0)
+
+(* Cold compute, drop the in-memory memo, re-analyze: the result must
+   come back from the on-disk store, identical to the cold one. *)
+let test_compress_store_roundtrip () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gpr-core-store-%d" (Unix.getpid ()))
+  in
+  let store = Gpr_engine.Store.create ~dir in
+  C.set_store (Some store);
+  Fun.protect
+    ~finally:(fun () -> C.set_store None)
+    (fun () ->
+       C.clear_cache ();
+       let w = tiny_workload ~name:"persist" ~value:3.0 () in
+       let cold = C.analyze w in
+       C.clear_cache ();
+       let warm = C.analyze w in
+       Alcotest.(check bool) "served from disk" true
+         (Gpr_engine.Store.hits store > 0);
+       Alcotest.(check int) "same pressure"
+         cold.C.perfect.C.alloc_both.pressure
+         warm.C.perfect.C.alloc_both.pressure;
+       Alcotest.(check (float 0.0)) "same reference" cold.C.reference.(0)
+         warm.C.reference.(0))
+
 (* ---------------------------------------------------------------- *)
 (* Area model vs the paper's published constants (Sec. 6.4 / Sec. 7) *)
 
@@ -130,6 +197,10 @@ let () =
           Alcotest.test_case "occupancy grows" `Slow test_compress_occupancy_grows;
           Alcotest.test_case "memoised" `Slow test_compress_cache;
           Alcotest.test_case "width fn" `Slow test_width_fn;
+          Alcotest.test_case "no name staleness" `Quick
+            test_compress_no_name_staleness;
+          Alcotest.test_case "store roundtrip" `Quick
+            test_compress_store_roundtrip;
         ] );
       ( "simulate",
         [ Alcotest.test_case "consistency" `Slow test_simulate_consistency ] );

@@ -1,0 +1,346 @@
+(* gpr_engine: domain pool, content fingerprints, on-disk store.
+
+   Pool properties are QCheck-driven: deterministic-order map_list
+   against List.map at random parallelism, exception propagation, and
+   a jobs ≫ domains stress.  Store tests cover round-trips plus the
+   silent-recompute paths (missing, truncated, corrupt, wrong
+   version).  Fingerprint tests pin the sensitivity contract: any edit
+   to kernel, launch, params, data, config or threshold changes the
+   key, and rebuilding the same content reproduces it. *)
+
+module Pool = Gpr_engine.Pool
+module Fp = Gpr_engine.Fingerprint
+module Store = Gpr_engine.Store
+
+(* ---------------------------------------------------------------- *)
+(* Pool *)
+
+let qcheck_case ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name gen prop)
+
+let pool_map_matches_serial =
+  qcheck_case "map_list == List.map"
+    QCheck.(pair (int_range 1 6) (small_list small_int))
+    (fun (jobs, xs) ->
+       let f x = (x * 31) lxor 17 in
+       Pool.with_pool ~jobs (fun p -> Pool.map_list p f xs) = List.map f xs)
+
+let pool_order_preserved =
+  qcheck_case "ordering at jobs >> domains"
+    QCheck.(int_range 2 5)
+    (fun jobs ->
+       (* 200 tasks on few domains: results must come back in submit
+          order whatever the completion interleaving. *)
+       let xs = List.init 200 Fun.id in
+       Pool.with_pool ~jobs (fun p -> Pool.map_list p (fun x -> x * x) xs)
+       = List.map (fun x -> x * x) xs)
+
+exception Boom of int
+
+let test_pool_exception () =
+  let r =
+    Pool.with_pool ~jobs:3 (fun p ->
+        match
+          Pool.map_list p
+            (fun x -> if x = 7 then raise (Boom x) else x)
+            [ 1; 3; 7; 9 ]
+        with
+        | _ -> `No_exn
+        | exception Boom 7 -> `Boom)
+  in
+  Alcotest.(check bool) "exception re-raised in awaiting domain" true
+    (r = `Boom)
+
+let test_pool_exception_serial () =
+  (* jobs = 1 runs inline but must still defer the exception to await. *)
+  let r =
+    Pool.with_pool ~jobs:1 (fun p ->
+        match Pool.map_list p (fun _ -> failwith "boom") [ () ] with
+        | _ -> `No_exn
+        | exception Failure _ -> `Boom)
+  in
+  Alcotest.(check bool) "serial exception at await" true (r = `Boom)
+
+let test_pool_futures () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let futs = List.init 50 (fun i -> Pool.submit p (fun () -> i + 1)) in
+      (* Await out of submission order. *)
+      let rev = List.rev_map Pool.await futs in
+      Alcotest.(check (list int)) "futures independent of await order"
+        (List.init 50 (fun i -> 50 - i)) rev)
+
+let test_pool_empty_and_shutdown () =
+  Alcotest.(check (list int)) "empty map" []
+    (Pool.with_pool ~jobs:4 (fun p -> Pool.map_list p Fun.id []));
+  let p = Pool.create ~jobs:3 in
+  Alcotest.(check int) "jobs recorded" 3 (Pool.jobs p);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *)
+
+let test_default_jobs () =
+  Alcotest.(check bool) "positive" true (Pool.default_jobs () >= 1)
+
+(* ---------------------------------------------------------------- *)
+(* Fingerprint *)
+
+let builder_kernel ?(name = "fp") value =
+  let open Gpr_isa.Builder in
+  let b = create ~name in
+  let out = global_buffer b Gpr_isa.Types.S32 "out" in
+  let tid = tid_x b in
+  let v = iadd b ~$tid (ci value) in
+  st b out ~$tid ~$v;
+  finish b
+
+let test_fp_kernel_sensitivity () =
+  let k1 = builder_kernel 1 and k1' = builder_kernel 1 in
+  let k2 = builder_kernel 2 in
+  Alcotest.(check bool) "same content, same key" true
+    (Fp.equal (Fp.kernel k1) (Fp.kernel k1'));
+  Alcotest.(check bool) "edited constant changes key" false
+    (Fp.equal (Fp.kernel k1) (Fp.kernel k2))
+
+let test_fp_generated_kernels_distinct () =
+  let fps =
+    List.init 25 (fun i ->
+        Fp.to_hex (Fp.kernel (Gpr_check.Gen.generate (i + 1)).kernel))
+  in
+  let distinct = List.sort_uniq compare fps in
+  Alcotest.(check int) "25 generated kernels, 25 keys" 25
+    (List.length distinct)
+
+let test_fp_config_sensitivity () =
+  let fermi = Gpr_arch.Config.fermi_gtx480 in
+  Alcotest.(check bool) "same config" true
+    (Fp.equal (Fp.config fermi) (Fp.config fermi));
+  Alcotest.(check bool) "fermi <> volta" false
+    (Fp.equal (Fp.config fermi) (Fp.config Gpr_arch.Config.volta_v100));
+  Alcotest.(check bool) "one field edit" false
+    (Fp.equal (Fp.config fermi)
+       (Fp.config { fermi with register_banks = fermi.register_banks * 2 }))
+
+let test_fp_threshold_and_launch () =
+  Alcotest.(check bool) "thresholds differ" false
+    (Fp.equal
+       (Fp.threshold Gpr_quality.Quality.Perfect)
+       (Fp.threshold Gpr_quality.Quality.High));
+  let l = Gpr_isa.Types.launch_1d ~block:64 ~grid:4 in
+  Alcotest.(check bool) "launch differs" false
+    (Fp.equal (Fp.launch l)
+       (Fp.launch (Gpr_isa.Types.launch_1d ~block:128 ~grid:4)));
+  Alcotest.(check bool) "launch equal" true (Fp.equal (Fp.launch l) (Fp.launch l))
+
+let test_fp_of_strings_unambiguous () =
+  (* Length prefixing: ["ab";"c"] must not collide with ["a";"bc"]. *)
+  Alcotest.(check bool) "no concat collision" false
+    (Fp.equal (Fp.of_strings [ "ab"; "c" ]) (Fp.of_strings [ "a"; "bc" ]))
+
+(* A tiny but complete workload; [value] is baked into the kernel body
+   so two instances can share a name with different content. *)
+let tiny_workload ?(name = "tiny") ?(value = 1.0) ?(fill = 0.0) () =
+  let open Gpr_isa.Builder in
+  let b = create ~name in
+  let out = global_buffer b Gpr_isa.Types.F32 "out" in
+  let tid = tid_x b in
+  let v = var b Gpr_isa.Types.F32 "v" in
+  assign b v (cf value);
+  let v2 = fadd b ~$v (cf 0.25) in
+  st b out ~$tid ~$v2;
+  let kernel = finish b in
+  {
+    Gpr_workloads.Workload.name;
+    group = 2;
+    metric = Gpr_quality.Quality.M_deviation;
+    kernel;
+    launch = Gpr_isa.Types.launch_1d ~block:4 ~grid:1;
+    params = [||];
+    data = (fun () -> [ ("out", Gpr_exec.Exec.F_data (Array.make 4 fill)) ]);
+    shared = [];
+    extra_shared_bytes = 0;
+    output = Gpr_workloads.Workload.Out_floats "out";
+    paper_regs = 0;
+  }
+
+let test_fp_workload_sensitivity () =
+  let base = tiny_workload () in
+  let same = tiny_workload () in
+  Alcotest.(check bool) "identical workloads share a key" true
+    (Fp.equal (Fp.workload base) (Fp.workload same));
+  let differs w = not (Fp.equal (Fp.workload base) (Fp.workload w)) in
+  Alcotest.(check bool) "kernel edit" true
+    (differs (tiny_workload ~value:2.0 ()));
+  Alcotest.(check bool) "same name, different body" true
+    (differs (tiny_workload ~name:"tiny" ~value:3.0 ()));
+  Alcotest.(check bool) "input data edit" true
+    (differs (tiny_workload ~fill:1.0 ()));
+  Alcotest.(check bool) "launch edit" true
+    (differs { base with launch = Gpr_isa.Types.launch_1d ~block:8 ~grid:1 });
+  Alcotest.(check bool) "params edit" true
+    (differs { base with params = [| Gpr_exec.Exec.P_int 42 |] });
+  Alcotest.(check bool) "metric edit" true
+    (differs { base with metric = Gpr_quality.Quality.M_binary })
+
+(* ---------------------------------------------------------------- *)
+(* Store *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gpr-store-test-%d-%d" (Unix.getpid ()) !n)
+
+let entry_file dir =
+  match
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".bin")
+  with
+  | [ f ] -> Filename.concat dir f
+  | files ->
+    Alcotest.failf "expected exactly one entry, found %d" (List.length files)
+
+let test_store_roundtrip () =
+  let s = Store.create ~dir:(fresh_dir ()) in
+  let key = Fp.of_strings [ "roundtrip" ] in
+  let v = ([ 1; 2; 3 ], [| 1.5; -2.25 |], "hello") in
+  Alcotest.(check bool) "cold miss" true (Store.find s ~kind:"t" ~key = None);
+  Store.add s ~kind:"t" ~key v;
+  Alcotest.(check bool) "hit after add" true
+    (Store.find s ~kind:"t" ~key = Some v);
+  Alcotest.(check bool) "kind namespaces keys" true
+    (Store.find s ~kind:"other" ~key = None);
+  Alcotest.(check int) "hits" 1 (Store.hits s);
+  Alcotest.(check int) "misses" 2 (Store.misses s)
+
+let test_store_memoize () =
+  let s = Store.create ~dir:(fresh_dir ()) in
+  let key = Fp.of_strings [ "memo" ] in
+  let calls = ref 0 in
+  let f () = incr calls; 40 + 2 in
+  Alcotest.(check int) "computed" 42 (Store.memoize (Some s) ~kind:"m" ~key f);
+  Alcotest.(check int) "served from disk" 42
+    (Store.memoize (Some s) ~kind:"m" ~key f);
+  Alcotest.(check int) "one compute" 1 !calls;
+  Alcotest.(check int) "no store, always computes" 42
+    (Store.memoize None ~kind:"m" ~key f);
+  Alcotest.(check int) "two computes" 2 !calls
+
+let corrupt_with dir f =
+  let file = entry_file dir in
+  let content =
+    In_channel.with_open_bin file In_channel.input_all
+  in
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc (f content))
+
+let test_store_truncated () =
+  let dir = fresh_dir () in
+  let s = Store.create ~dir in
+  let key = Fp.of_strings [ "trunc" ] in
+  Store.add s ~kind:"t" ~key [ 1; 2; 3; 4; 5 ];
+  corrupt_with dir (fun c -> String.sub c 0 (String.length c / 2));
+  Alcotest.(check bool) "truncated entry is a miss" true
+    (Store.find s ~kind:"t" ~key = None);
+  (* memoize recomputes and repairs the entry *)
+  Alcotest.(check (list int)) "recomputed" [ 9 ]
+    (Store.memoize (Some s) ~kind:"t" ~key (fun () -> [ 9 ]));
+  Alcotest.(check bool) "repaired" true
+    (Store.find s ~kind:"t" ~key = Some [ 9 ])
+
+let test_store_corrupt_bytes () =
+  let dir = fresh_dir () in
+  let s = Store.create ~dir in
+  let key = Fp.of_strings [ "corrupt" ] in
+  Store.add s ~kind:"t" ~key [| 3.14; 2.71 |];
+  corrupt_with dir (fun c ->
+      let b = Bytes.of_string c in
+      (* Smash the Marshal payload (past the two header lines). *)
+      for i = String.length c - 8 to String.length c - 1 do
+        Bytes.set b i '\xff'
+      done;
+      Bytes.to_string b);
+  Alcotest.(check bool) "corrupt entry is a miss" true
+    (Store.find s ~kind:"t" ~key = None)
+
+let test_store_version_mismatch () =
+  let dir = fresh_dir () in
+  let s = Store.create ~dir in
+  let key = Fp.of_strings [ "version" ] in
+  Store.add s ~kind:"t" ~key 123;
+  corrupt_with dir (fun c ->
+      (* Rewrite the version line, keeping the magic. *)
+      match String.index_opt c '\n' with
+      | None -> c
+      | Some i ->
+        let rest = String.sub c i (String.length c - i) in
+        (match String.index_from_opt c (i + 1) '\n' with
+         | None -> c
+         | Some j ->
+           String.sub c 0 (i + 1) ^ "written-by-older-library"
+           ^ String.sub c j (String.length c - j))
+        |> fun s' -> ignore rest; s');
+  Alcotest.(check bool) "stale-version entry is a miss" true
+    (Store.find s ~kind:"t" ~key = None)
+
+let test_store_shared_across_domains () =
+  (* One store, many domains: counters stay consistent and every
+     memoize returns the right value. *)
+  let s = Store.create ~dir:(fresh_dir ()) in
+  let results =
+    Pool.with_pool ~jobs:4 (fun p ->
+        Pool.map_list p
+          (fun i ->
+             let key = Fp.of_strings [ "shard"; string_of_int (i mod 5) ] in
+             Store.memoize (Some s) ~kind:"d" ~key (fun () -> i mod 5))
+          (List.init 40 Fun.id))
+  in
+  Alcotest.(check (list int)) "all values correct"
+    (List.init 40 (fun i -> i mod 5))
+    results;
+  Alcotest.(check int) "every lookup counted" 40
+    (Store.hits s + Store.misses s)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "pool",
+        [
+          pool_map_matches_serial;
+          pool_order_preserved;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "serial exception" `Quick
+            test_pool_exception_serial;
+          Alcotest.test_case "futures" `Quick test_pool_futures;
+          Alcotest.test_case "empty + shutdown" `Quick
+            test_pool_empty_and_shutdown;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "kernel sensitivity" `Quick
+            test_fp_kernel_sensitivity;
+          Alcotest.test_case "generated kernels distinct" `Quick
+            test_fp_generated_kernels_distinct;
+          Alcotest.test_case "config sensitivity" `Quick
+            test_fp_config_sensitivity;
+          Alcotest.test_case "threshold + launch" `Quick
+            test_fp_threshold_and_launch;
+          Alcotest.test_case "no concat ambiguity" `Quick
+            test_fp_of_strings_unambiguous;
+          Alcotest.test_case "workload sensitivity" `Quick
+            test_fp_workload_sensitivity;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "memoize" `Quick test_store_memoize;
+          Alcotest.test_case "truncated file" `Quick test_store_truncated;
+          Alcotest.test_case "corrupt bytes" `Quick test_store_corrupt_bytes;
+          Alcotest.test_case "version mismatch" `Quick
+            test_store_version_mismatch;
+          Alcotest.test_case "shared across domains" `Quick
+            test_store_shared_across_domains;
+        ] );
+    ]
