@@ -12,7 +12,8 @@
 
    Tables and figures go to stdout; per-section timings and cache
    statistics go to stderr and to BENCH_engine.json, so stdout is
-   byte-comparable across [-j 1] and [-j N] runs.
+   byte-comparable across [-j 1] and [-j N] runs.  The static verifier
+   is timed per pass over the registry and reported in BENCH_lint.json.
 
    Run with:  dune exec bench/main.exe -- [-j N] [--cache-dir DIR]
                                           [--no-micro] *)
@@ -190,6 +191,75 @@ let write_engine_json ~jobs ~cache ~timed ~total =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
+(* ---------------------------------------------------------------- *)
+(* Static verifier benchmark: per-pass time over the Table 4 registry
+   plus the diagnostic counts, written to BENCH_lint.json so lint
+   throughput regressions are visible alongside the engine timings. *)
+
+let lint_buffer_len (w : Gpr_workloads.Workload.t) =
+  let data = w.data () in
+  fun name ->
+    match List.assoc_opt name w.shared with
+    | Some n -> Some n
+    | None -> (
+      match List.assoc_opt name data with
+      | Some (Gpr_exec.Exec.I_data a) -> Some (Array.length a)
+      | Some (Gpr_exec.Exec.F_data a) -> Some (Array.length a)
+      | None -> None)
+
+let run_lint_bench () =
+  let module L = Gpr_lint.Lint in
+  let module D = Gpr_lint.Diag in
+  let workloads = Gpr_workloads.Registry.all in
+  let reps = 5 in
+  let t0 = Unix.gettimeofday () in
+  let ctxs =
+    List.map
+      (fun (w : Gpr_workloads.Workload.t) ->
+        L.make_ctx ~buffer_len:(lint_buffer_len w) w.kernel ~launch:w.launch)
+      workloads
+  in
+  let ctx_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+  let per_pass =
+    List.map
+      (fun (p : L.pass) ->
+        let diags = List.concat_map p.p_run ctxs in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          List.iter (fun ctx -> ignore (p.p_run ctx)) ctxs
+        done;
+        let us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps in
+        (p.p_name, us, List.length diags))
+      L.passes
+  in
+  let all = List.concat_map L.run ctxs in
+  let count sev = D.count sev all in
+  (* Timings are nondeterministic, so like the engine timings they go to
+     stderr — stdout stays byte-comparable across runs. *)
+  List.iter
+    (fun (name, us, n) ->
+      Printf.eprintf "[lint %-12s %10.1f us  %4d diagnostic(s)]\n" name us n)
+    per_pass;
+  Printf.eprintf
+    "[lint: %d kernels, %d error(s), %d warning(s), %d info]\n"
+    (List.length workloads) (count D.Error) (count D.Warning) (count D.Info);
+  let oc = open_out "BENCH_lint.json" in
+  Printf.fprintf oc "{\n  \"kernels\": %d,\n" (List.length workloads);
+  Printf.fprintf oc "  \"make_ctx_us\": %.1f,\n" ctx_us;
+  Printf.fprintf oc
+    "  \"diagnostics\": { \"error\": %d, \"warning\": %d, \"info\": %d },\n"
+    (count D.Error) (count D.Warning) (count D.Info);
+  Printf.fprintf oc "  \"passes\": [\n";
+  List.iteri
+    (fun i (name, us, n) ->
+      Printf.fprintf oc
+        "    { \"pass\": \"%s\", \"us\": %.1f, \"diags\": %d }%s\n"
+        (json_escape name) us n
+        (if i = List.length per_pass - 1 then "" else ","))
+    per_pass;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
 let () =
   Arg.parse speclist
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
@@ -225,6 +295,11 @@ let () =
                   (name, Unix.gettimeofday () -. s0))
                sections))
   in
+  let lint_timed =
+    let s0 = Unix.gettimeofday () in
+    run_lint_bench ();
+    [ ("lint", Unix.gettimeofday () -. s0) ]
+  in
   let micro_timed =
     if !no_micro then []
     else begin
@@ -234,7 +309,7 @@ let () =
     end
   in
   let total = Unix.gettimeofday () -. t0 in
-  let timed = timed @ micro_timed in
+  let timed = timed @ lint_timed @ micro_timed in
   Printf.eprintf "\n[engine: %d job%s%s]\n" jobs
     (if jobs = 1 then "" else "s")
     (match cache with

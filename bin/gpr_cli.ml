@@ -295,6 +295,101 @@ let check_cmd =
              seeds are sharded across the -j engine pool")
     Term.(const run $ seed $ count $ max_seconds $ no_shrink $ jobs_arg)
 
+(* ---------------- lint ---------------- *)
+
+let workload_buffer_len (w : W.t) =
+  let data = w.data () in
+  fun name ->
+    match List.assoc_opt name w.shared with
+    | Some n -> Some n
+    | None -> (
+      match List.assoc_opt name data with
+      | Some (Gpr_exec.Exec.I_data a) -> Some (Array.length a)
+      | Some (Gpr_exec.Exec.F_data a) -> Some (Array.length a)
+      | None -> None)
+
+let lint_cmd =
+  let module L = Gpr_lint.Lint in
+  let module D = Gpr_lint.Diag in
+  let target =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "A kernel name from $(b,gpr list), $(b,all) for every registry \
+             kernel, or a file in textual mini-PTX form.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON array of diagnostics.")
+  in
+  let block =
+    Arg.(value & opt int 256
+         & info [ "block" ] ~docv:"THREADS"
+             ~doc:"Threads per block (file targets only).")
+  in
+  let grid =
+    Arg.(value & opt int 16
+         & info [ "grid" ] ~docv:"BLOCKS" ~doc:"Grid size (file targets only).")
+  in
+  let lint_workload (w : W.t) =
+    L.lint ~buffer_len:(workload_buffer_len w) w.kernel ~launch:w.launch
+  in
+  let run target json block grid =
+    let targets =
+      if target = "all" then
+        List.map (fun (w : W.t) -> (w.kernel, lint_workload w)) Registry.all
+      else
+        match Registry.by_name target with
+        | Some w -> [ (w.kernel, lint_workload w) ]
+        | None ->
+          if not (Sys.file_exists target) then begin
+            Printf.eprintf
+              "unknown kernel or file %s; available kernels: %s\n" target
+              (String.concat ", " Registry.names);
+            exit 2
+          end;
+          let text = In_channel.with_open_text target In_channel.input_all in
+          (match Gpr_isa.Parser.parse text with
+          | Error e ->
+            Printf.eprintf "%s: %s\n" target e;
+            exit 1
+          | Ok kernel ->
+            let launch = Gpr_isa.Types.launch_1d ~block ~grid in
+            [ (kernel, L.lint kernel ~launch) ])
+    in
+    if json then begin
+      let chunks =
+        List.map
+          (fun ((k : Gpr_isa.Types.kernel), ds) ->
+            List.map (D.to_json ~kernel_name:k.k_name) (List.sort D.compare ds))
+          targets
+        |> List.concat
+      in
+      print_endline ("[" ^ String.concat "," chunks ^ "]")
+    end
+    else
+      List.iter
+        (fun ((k : Gpr_isa.Types.kernel), ds) ->
+          List.iter
+            (fun d -> print_endline (D.to_string_quoted k d))
+            (List.sort D.compare ds);
+          Printf.printf "%s: %d error(s), %d warning(s), %d info\n" k.k_name
+            (D.count D.Error ds) (D.count D.Warning ds) (D.count D.Info ds))
+        targets;
+    let has_error =
+      List.exists (fun (_, ds) -> D.count D.Error ds > 0) targets
+    in
+    if has_error then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static kernel verification: divergence/barrier safety, \
+          shared-memory race detection, compression-soundness audit, \
+          bounds and definite-assignment lints.  Exits 1 on any \
+          error-severity diagnostic.")
+    Term.(const run $ target $ json $ block $ grid)
+
 (* ---------------- disasm ---------------- *)
 
 let disasm_cmd =
@@ -317,4 +412,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; pressure_cmd; sim_cmd; report_cmd; disasm_cmd;
-            analyze_cmd; check_cmd ]))
+            analyze_cmd; check_cmd; lint_cmd ]))

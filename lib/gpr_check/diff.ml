@@ -33,6 +33,7 @@ type failure =
     }
   | Exec_failure of string
   | Sim_violation of string
+  | Lint_unsound of { event : string; diags : int }
 
 exception Check_failed of failure
 
@@ -45,6 +46,7 @@ let category = function
   | Output_mismatch { mode; _ } -> "output-" ^ mode_name mode
   | Exec_failure _ -> "exec"
   | Sim_violation _ -> "sim"
+  | Lint_unsound _ -> "lint"
 
 let to_string = function
   | Range_violation { pc; reg; value; range } ->
@@ -62,6 +64,11 @@ let to_string = function
       (mode_name mode) buffer index got expected
   | Exec_failure s -> "executor failure: " ^ s
   | Sim_violation s -> "simulator invariant: " ^ s
+  | Lint_unsound { event; diags } ->
+    Printf.sprintf
+      "lint unsound: dynamic monitor fired (%s) on a kernel the static \
+       verifier passed as monitor-clean (%d static diagnostics)"
+      event diags
 
 let fail f = raise (Check_failed f)
 
@@ -266,6 +273,36 @@ let check ?(analyze = default_analyze) ?(max_steps = 2_000_000) mode
   compare_outputs mode ref_data packed_data
 
 (* ------------------------------------------------------------------ *)
+
+(* Static/dynamic soundness parity (the lint stage of the fuzzer): the
+   static verifier's barrier and shared-race passes over-approximate,
+   so a kernel they pass as clean must execute without a single dynamic
+   monitor event.  The converse direction is deliberately one-sided —
+   the monitor confirming a statically-reported hazard is agreement. *)
+let check_lint ?(max_steps = 2_000_000) (case : Gen.case) =
+  guard @@ fun () ->
+  let diags = Gpr_lint.Lint.lint case.kernel ~launch:case.launch in
+  let clean = Gpr_lint.Lint.monitor_clean diags in
+  let events = ref [] in
+  let data = case.data () in
+  let bindings = E.bindings_for case.kernel ~data ~shared:case.shared () in
+  ignore
+    (E.run ~check:true case.kernel ~launch:case.launch ~params:case.params
+       ~bindings
+       {
+         E.default_config with
+         max_steps = Some max_steps;
+         on_monitor = Some (fun ev -> events := ev :: !events);
+       });
+  match (clean, List.rev !events) with
+  | _, [] | false, _ -> ()
+  | true, ev :: _ ->
+    fail
+      (Lint_unsound
+         {
+           event = Gpr_exec.Trace.monitor_event_to_string ev;
+           diags = List.length diags;
+         })
 
 let check_sim ?(max_steps = 2_000_000) (case : Gen.case) =
   guard @@ fun () ->

@@ -55,6 +55,11 @@ type failure =
     }
   | Exec_failure of string  (** executor fault (bounds, step budget, …) *)
   | Sim_violation of string  (** timing-model invariant *)
+  | Lint_unsound of { event : string; diags : int }
+      (** the dynamic barrier/race monitor fired on a kernel the static
+          verifier ({!Gpr_lint.Lint}) passed as monitor-clean — a false
+          negative of the static analysis.  [diags] is the number of
+          static diagnostics (of any pass) that were reported. *)
 
 exception Check_failed of failure
 
@@ -77,6 +82,15 @@ val check :
     watch the oracle catch it.  [max_steps] (default 2M thread
     instructions) bounds runaway kernels, which greedy shrinking can
     create. *)
+
+val check_lint : ?max_steps:int -> Gen.case -> unit
+(** Static/dynamic soundness parity: lint the kernel with
+    {!Gpr_lint.Lint}, execute it once with the dynamic barrier/race
+    monitor armed, and raise [Lint_unsound] if the monitor produces an
+    event while the static ["barrier"] and ["shared-race"] passes
+    reported nothing ({!Gpr_lint.Lint.monitor_clean}).  Kernels the
+    static passes already flag are exempt: the monitor confirming a
+    reported hazard is agreement, not a violation. *)
 
 val check_sim : ?max_steps:int -> Gen.case -> unit
 (** Replay the case's trace through {!Gpr_sim.Sim} in both register-

@@ -1,4 +1,4 @@
-type stage = Stage_exact | Stage_narrow | Stage_sim
+type stage = Stage_exact | Stage_narrow | Stage_sim | Stage_lint
 
 type report = {
   seed : int;
@@ -17,14 +17,16 @@ let stage_name = function
   | Stage_exact -> "exact"
   | Stage_narrow -> "narrow"
   | Stage_sim -> "sim"
+  | Stage_lint -> "lint"
 
-let stages = [ Stage_exact; Stage_narrow; Stage_sim ]
+let stages = [ Stage_exact; Stage_narrow; Stage_sim; Stage_lint ]
 
 let run_stage stage case =
   match stage with
   | Stage_exact -> Diff.check Diff.Exact case
   | Stage_narrow -> Diff.check Diff.Narrow case
   | Stage_sim -> Diff.check_sim case
+  | Stage_lint -> Diff.check_lint case
 
 let first_failure case =
   let rec go = function
@@ -122,12 +124,37 @@ let run ?(shrink = true) ?max_seconds ?(progress = fun _ -> ()) ?(jobs = 1)
     Gpr_engine.Pool.with_pool ~jobs (fun pool ->
         run_sharded pool ~shrink ~out_of_time ~progress ~seed ~count)
 
+(* Lint annotations for a counterexample: static diagnostics often
+   explain *why* a shrunk kernel misbehaves (a race the exact stage saw
+   as an output mismatch, a divergent barrier behind a deadlock).  The
+   launch geometry is recovered from the deterministic generator. *)
+let lint_annotations r =
+  match
+    let case = Gen.generate r.seed in
+    Gpr_lint.Lint.lint r.shrunk ~launch:case.Gen.launch
+  with
+  | [] -> "lint: clean\n"
+  | diags ->
+    let keep, dropped =
+      let d = List.sort Gpr_lint.Diag.compare diags in
+      if List.length d <= 8 then (d, 0)
+      else (List.filteri (fun i _ -> i < 8) d, List.length d - 8)
+    in
+    String.concat ""
+      (List.map
+         (fun d ->
+           Printf.sprintf "lint: %s\n" (Gpr_lint.Diag.to_string r.shrunk d))
+         keep)
+    ^ (if dropped > 0 then Printf.sprintf "lint: ... %d more\n" dropped else "")
+  | exception _ -> ""
+
 let report_to_string r =
   Printf.sprintf
     "seed %d failed in %s stage:\n  %s\n\nshrunk kernel (%d of %d \
-     instructions):\n%s\nreproduce with: gpr check --seed %d --count 1\n"
+     instructions):\n%s%s\nreproduce with: gpr check --seed %d --count 1\n"
     r.seed (stage_name r.stage)
     (Diff.to_string r.failure)
     (Shrink.size r.shrunk) (Shrink.size r.original)
     (Gpr_isa.Pp.kernel_to_string r.shrunk)
+    (lint_annotations r)
     r.seed

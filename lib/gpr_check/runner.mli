@@ -1,13 +1,13 @@
 (** Fuzzing campaign driver: generate → check → shrink → report.
 
-    Every seed runs three oracle stages in order: the exact
-    differential mode, the reduced-precision mode, and the timing-model
-    replay ({!Diff}).  The first failing stage is shrunk with a
-    predicate that demands the same failure class, so the reported
-    counterexample reproduces the original violation, not an artefact
-    of shrinking. *)
+    Every seed runs four oracle stages in order: the exact differential
+    mode, the reduced-precision mode, the timing-model replay, and the
+    static/dynamic lint-soundness parity ({!Diff}).  The first failing
+    stage is shrunk with a predicate that demands the same failure
+    class, so the reported counterexample reproduces the original
+    violation, not an artefact of shrinking. *)
 
-type stage = Stage_exact | Stage_narrow | Stage_sim
+type stage = Stage_exact | Stage_narrow | Stage_sim | Stage_lint
 
 type report = {
   seed : int;
@@ -50,4 +50,5 @@ val run :
 
 val report_to_string : report -> string
 (** Human-readable counterexample: failing stage, violation, the shrunk
-    kernel and the command line that reproduces it. *)
+    kernel annotated with its {!Gpr_lint.Lint} diagnostics, and the
+    command line that reproduces it. *)

@@ -9,10 +9,12 @@ type config = {
   collect_trace : bool;
   on_write : (int -> vreg -> pvalue -> pvalue) option;
   max_steps : int option;
+  on_monitor : (Trace.monitor_event -> unit) option;
 }
 
 let default_config =
-  { quantize = None; collect_trace = false; on_write = None; max_steps = None }
+  { quantize = None; collect_trace = false; on_write = None; max_steps = None;
+    on_monitor = None }
 
 (* ------------------------------------------------------------------ *)
 (* 32-bit semantics helpers *)
@@ -132,6 +134,7 @@ type frame = {
 
 type warp = {
   wid : int;
+  valid : int;           (* lanes that started (last warp may be partial) *)
   regs_i : int array;    (* vreg r, lane l at r*32 + l *)
   regs_f : float array;
   mutable stack : frame list;
@@ -142,8 +145,17 @@ type status = Barrier | Finished
 
 (* ------------------------------------------------------------------ *)
 
-let run kernel ~launch ~params ~bindings config =
+let run ?(check = false) kernel ~launch ~params ~bindings config =
   let nvr = kernel.k_num_vregs in
+  (* Dynamic barrier/race monitor (the runtime counterpart of the static
+     [Gpr_lint] passes).  Events go to [on_monitor] when set, otherwise
+     they abort the run. *)
+  let monitor_emit ev =
+    match config.on_monitor with
+    | Some h -> h ev
+    | None ->
+      failwith (kernel.k_name ^ ": " ^ Trace.monitor_event_to_string ev)
+  in
   let pc_base, _ = pc_bases kernel in
   let cfg = Gpr_isa.Cfg.of_kernel kernel in
   let post = Gpr_analysis.Dominance.compute_post cfg in
@@ -226,21 +238,24 @@ let run kernel ~launch ~params ~bindings config =
     in
 
     let make_warp wid =
+      let valid = ref 0 in
+      for lane = 0 to 31 do
+        if (wid * 32) + lane < tpb then valid := !valid lor (1 lsl lane)
+      done;
       let w =
         {
           wid;
+          valid = !valid;
           regs_i = Array.make (nvr * 32) 0;
           regs_f = Array.make (nvr * 32) 0.0;
-          stack = [ { rpc = -1; blk = 0; idx = 0; mask = 0 } ];
+          stack = [ { rpc = -1; blk = 0; idx = 0; mask = !valid } ];
           exited = 0;
         }
       in
-      (* Valid lanes (last warp may be partial) and special registers. *)
-      let mask = ref 0 in
+      (* Seed the special registers of every valid lane. *)
       for lane = 0 to 31 do
         let t = (wid * 32) + lane in
         if t < tpb then begin
-          mask := !mask lor (1 lsl lane);
           let tx = t mod launch.ntid_x and ty = t / launch.ntid_x in
           List.iter
             (fun (vid, s) ->
@@ -259,10 +274,65 @@ let run kernel ~launch ~params ~bindings config =
             kernel.k_specials
         end
       done;
-      (match w.stack with [ fr ] -> fr.mask <- !mask | _ -> assert false);
       w
     in
     let warps = Array.init warps_per_block make_warp in
+
+    (* Shared-race monitor state: per shared element, the last writer and
+       up to two distinct readers of the current barrier interval
+       (-1 = none, -2 = multiple distinct writers, already reported). *)
+    let race =
+      if not check then [||]
+      else
+        Array.mapi
+          (fun i _ ->
+             match bindings.(i) with
+             | Buf_shared n ->
+               Some (Array.make n (-1), Array.make n (-1), Array.make n (-1))
+             | Buf_data _ -> None)
+          kernel.k_buffers
+    in
+    let race_reset () =
+      Array.iter
+        (function
+          | Some (wr, r1, r2) ->
+            Array.fill wr 0 (Array.length wr) (-1);
+            Array.fill r1 0 (Array.length r1) (-1);
+            Array.fill r2 0 (Array.length r2) (-1)
+          | None -> ())
+        race
+    in
+    let race_event buf_idx idx kind ~thread ~other pc =
+      monitor_emit
+        (Trace.Shared_race
+           { block_id; buffer = kernel.k_buffers.(buf_idx).buf_name;
+             index = idx; kind; thread; other; pc })
+    in
+    let monitor_read buf_idx idx t pc =
+      if check then
+        match race.(buf_idx) with
+        | None -> ()
+        | Some (wr, r1, r2) ->
+          if wr.(idx) >= 0 && wr.(idx) <> t then
+            race_event buf_idx idx Trace.Read_write ~thread:t ~other:wr.(idx) pc;
+          if r1.(idx) = -1 then r1.(idx) <- t
+          else if r1.(idx) <> t && r2.(idx) = -1 then r2.(idx) <- t
+    in
+    let monitor_write buf_idx idx t pc =
+      if check then
+        match race.(buf_idx) with
+        | None -> ()
+        | Some (wr, r1, r2) ->
+          if wr.(idx) >= 0 && wr.(idx) <> t then begin
+            race_event buf_idx idx Trace.Write_write ~thread:t ~other:wr.(idx) pc;
+            wr.(idx) <- -2
+          end
+          else if wr.(idx) = -1 then wr.(idx) <- t;
+          if r1.(idx) >= 0 && r1.(idx) <> t then
+            race_event buf_idx idx Trace.Read_write ~thread:t ~other:r1.(idx) pc
+          else if r2.(idx) >= 0 && r2.(idx) <> t then
+            race_event buf_idx idx Trace.Read_write ~thread:t ~other:r2.(idx) pc
+    in
 
     (* Per-lane operand evaluation. *)
     let geti w (r : vreg) lane = w.regs_i.((r.id * 32) + lane) in
@@ -356,6 +426,7 @@ let run kernel ~launch ~params ~bindings config =
             failwith
               (Printf.sprintf "%s: ld %s[%d] out of bounds (len %d)"
                  kernel.k_name buf.buf_name idx len);
+          monitor_read buf_idx idx ((w.wid * 32) + lane) pc;
           (match s, d.ty with
            | I_data a, (S32 | U32) -> seti w d lane a.(idx) pc
            | F_data a, F32 -> setf w d lane a.(idx) pc
@@ -389,6 +460,7 @@ let run kernel ~launch ~params ~bindings config =
             failwith
               (Printf.sprintf "%s: st %s[%d] out of bounds (len %d)"
                  kernel.k_name buf.buf_name idx len);
+          monitor_write buf_idx idx ((w.wid * 32) + lane) pc;
           (match s with
            | I_data a -> a.(idx) <- eval_i w value_op lane
            | F_data a -> a.(idx) <- eval_f w value_op lane);
@@ -596,6 +668,11 @@ let run kernel ~launch ~params ~bindings config =
               exec_instr w ins fr.mask pc;
               fr.idx <- fr.idx + 1;
               if ins = Bar then begin
+                if check && fr.mask <> w.valid then
+                  monitor_emit
+                    (Trace.Divergent_barrier
+                       { block_id; warp = w.wid; pc; mask = fr.mask;
+                         expected = w.valid });
                 running := false;
                 result := Barrier
               end
@@ -647,7 +724,11 @@ let run kernel ~launch ~params ~bindings config =
           | Finished ->
             finished.(wid) <- true;
             decr remaining
-      done
+      done;
+      (* Every unfinished warp just ran up to its next barrier, so a
+         scheduler pass boundary is a barrier-interval boundary: clear
+         the race-monitor access records. *)
+      if check then race_reset ()
     done
   in
 

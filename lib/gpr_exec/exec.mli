@@ -43,6 +43,10 @@ type config = {
       (** Abort ([Failure]) once this many dynamic thread instructions
           have executed — a watchdog for fuzzed kernels that the
           shrinker may have turned into infinite loops. *)
+  on_monitor : (Trace.monitor_event -> unit) option;
+      (** Receives the events of the dynamic barrier/race monitor when
+          {!run} is called with [~check:true].  When unset, the first
+          event aborts the run with [Failure]. *)
 }
 
 val default_config : config
@@ -57,6 +61,7 @@ val bindings_for :
     @raise Invalid_argument on missing/mistyped bindings. *)
 
 val run :
+  ?check:bool ->
   kernel ->
   launch:launch ->
   params:pvalue array ->
@@ -65,6 +70,14 @@ val run :
   Trace.t option
 (** Executes the kernel, mutating the arrays inside [bindings].
     Returns a trace when [collect_trace] is set.
+
+    [check] (default false) arms the dynamic barrier/race monitor: a
+    warp reaching [Bar] with lanes missing, or two distinct threads
+    touching the same shared element between barriers with at least one
+    write, produces a {!Trace.monitor_event} (delivered to
+    [config.on_monitor], or raised as [Failure] when no handler is
+    set).  The monitor is the runtime counterpart of the [Gpr_lint]
+    divergence and race passes.
     @raise Failure on out-of-bounds accesses or binding mismatches. *)
 
 val static_pc : kernel -> block:int -> idx:int -> int

@@ -39,3 +39,49 @@ let warp_items t ~block_id ~warp =
   |> List.filter (fun i -> i.t_block_id = block_id && i.t_warp = warp)
 
 let num_warp_instructions t = Array.length t.items
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic barrier/race monitor events (emitted by [Exec.run ~check:true]).
+
+   The monitor is the runtime counterpart of the static divergence and
+   race passes in [Gpr_lint]: a [Divergent_barrier] fires when a warp
+   reaches [Bar] with lanes missing (branch divergence or a divergent
+   early exit), a [Shared_race] when two distinct threads of a CTA
+   touch the same shared element between two barriers with at least
+   one write. *)
+
+type race_kind = Write_write | Read_write
+
+type monitor_event =
+  | Divergent_barrier of {
+      block_id : int;
+      warp : int;
+      pc : int;
+      mask : int;
+      expected : int;
+    }
+  | Shared_race of {
+      block_id : int;
+      buffer : string;
+      index : int;
+      kind : race_kind;
+      thread : int;
+      other : int;
+      pc : int;
+    }
+
+let race_kind_to_string = function
+  | Write_write -> "write-write"
+  | Read_write -> "read-write"
+
+let monitor_event_to_string = function
+  | Divergent_barrier { block_id; warp; pc; mask; expected } ->
+    Printf.sprintf
+      "divergent barrier: block %d warp %d reached bar.sync at pc %d with \
+       mask %#x (expected %#x)"
+      block_id warp pc mask expected
+  | Shared_race { block_id; buffer; index; kind; thread; other; pc } ->
+    Printf.sprintf
+      "shared-memory %s race: block %d threads %d and %d both touch %s[%d] \
+       in the same barrier interval (pc %d)"
+      (race_kind_to_string kind) block_id thread other buffer index pc

@@ -1,0 +1,72 @@
+(** Dynamic warp-instruction traces.
+
+    The functional executor ({!Exec}) emits one record per executed warp
+    instruction; the timing simulator ({!Gpr_sim}) replays them through
+    the pipeline model.  Records reference *virtual* registers — the
+    simulator maps them to physical registers through the allocation
+    produced by {!Gpr_alloc}.
+
+    The module also declares the events of the dynamic barrier/race
+    monitor ({!Exec.run} with [~check:true]) — the runtime counterpart
+    of the static divergence and shared-memory race passes in
+    [Gpr_lint]. *)
+
+open Gpr_isa.Types
+
+type mem_access = {
+  m_space : space;
+  m_addresses : int array;
+      (** byte address per active lane, in lane order (length = number of
+          active lanes) *)
+}
+
+type item = {
+  t_warp : int;        (** warp id within its block *)
+  t_block_id : int;    (** linear CTA index *)
+  t_pc : int;          (** static instruction id (unique per site) *)
+  t_unit : unit_class;
+  t_srcs : int list;   (** virtual registers read (non-predicate) *)
+  t_dst : int option;  (** virtual register written (non-predicate) *)
+  t_dst_float : bool;  (** written register is F32 (may need conversion) *)
+  t_active : int;      (** active-lane count *)
+  t_mem : mem_access option;
+}
+
+type t = {
+  items : item array;          (** program order per warp, interleaved *)
+  warps_per_block : int;
+  num_blocks : int;
+  thread_instructions : int;   (** total dynamic thread instructions *)
+}
+
+val warp_items : t -> block_id:int -> warp:int -> item list
+val num_warp_instructions : t -> int
+
+(** {1 Dynamic monitor events} *)
+
+type race_kind = Write_write | Read_write
+
+type monitor_event =
+  | Divergent_barrier of {
+      block_id : int;   (** linear CTA index *)
+      warp : int;       (** warp id within the block *)
+      pc : int;         (** static id of the [Bar] instruction *)
+      mask : int;       (** active-lane mask at the barrier *)
+      expected : int;   (** the warp's full valid-lane mask *)
+    }
+      (** A warp reached [Bar] with lanes missing: branch divergence or a
+          divergent early exit left part of the warp inactive. *)
+  | Shared_race of {
+      block_id : int;
+      buffer : string;  (** shared buffer name *)
+      index : int;      (** element index within the buffer *)
+      kind : race_kind;
+      thread : int;     (** thread making the access that exposed the race *)
+      other : int;      (** conflicting thread recorded earlier this interval *)
+      pc : int;         (** static id of the exposing access *)
+    }
+      (** Two distinct threads of a CTA touched the same shared element in
+          the same barrier interval, at least one of them writing. *)
+
+val race_kind_to_string : race_kind -> string
+val monitor_event_to_string : monitor_event -> string

@@ -1,0 +1,80 @@
+(** Static kernel verifier: six analysis passes over a
+    {!Gpr_isa.Types.kernel}, producing {!Diag.t} diagnostics.
+
+    The passes, in the order {!passes} lists them:
+
+    + ["divergence"] — {!Uniformity} classification of every branch;
+      [GL100] (info) for each conditional branch on a thread-divergent
+      predicate.
+    + ["barrier"] — [GL101] (error): a [Bar] executing under
+      thread-divergent control flow; [GL102] (error): a thread-divergent
+      [Ret] in a kernel that synchronises.
+    + ["shared-race"] — affine analysis of [Shared] accesses between
+      barriers.  [GL201]/[GL202] (error): provable write-write /
+      read-write races; [GL203] (warning): possible race the analysis
+      cannot discharge; [GL204] (info): benign broadcast (all threads
+      store the same constant to the same element).
+    + ["compression"] — the static restatement of the fuzzer's runtime
+      storage-soundness oracle.  [GL301] (error): an allocator slice
+      mask narrower than the interval proven by {!Gpr_analysis.Range};
+      [GL302] (error): structurally malformed placement; [GL303]
+      (error): two placements sharing a slice while simultaneously
+      live.
+    + ["bounds"] — [GL401] (error): an access whose index interval lies
+      entirely outside the buffer; [GL402] (warning): an index that may
+      be negative or may exceed a declared buffer length.
+    + ["defs"] — [GL501] (warning): a register read on some path before
+      any assignment (it silently reads the default 0); [GL502]
+      (warning): a dead store — a defined value never used.
+
+    Soundness contract with the dynamic monitor ({!Gpr_exec.Exec.run}
+    [~check:true]): if a kernel is {!monitor_clean}, executing it never
+    produces a monitor event.  The fuzzer checks this parity on
+    generated kernels. *)
+
+open Gpr_isa.Types
+
+type ctx
+(** Precomputed analysis state shared by the passes: CFG, post-dominators,
+    {!Gpr_analysis.Range}, {!Uniformity}, {!Gpr_analysis.Liveness} and the
+    slice allocation under audit. *)
+
+val make_ctx :
+  ?buffer_len:(string -> int option) ->
+  ?width_of:(vreg -> int) ->
+  ?alloc:Gpr_alloc.Alloc.t ->
+  kernel ->
+  launch:launch ->
+  ctx
+(** [buffer_len] declares element counts for bound buffers (by name) so
+    the bounds pass can check upper bounds; default: unknown.
+    [width_of] overrides the bitwidth function fed to the allocator
+    (default: range-analysis widths for integers, 32 for floats);
+    [alloc] supplies an existing allocation to audit instead of running
+    the allocator — both exist so tests can audit deliberately unsound
+    configurations. *)
+
+val kernel_of : ctx -> kernel
+val uniformity : ctx -> Uniformity.t
+val range_of : ctx -> Gpr_analysis.Range.t
+
+type pass = {
+  p_name : string;
+  p_codes : string list;  (** diagnostic codes the pass can produce *)
+  p_run : ctx -> Diag.t list;
+}
+
+val passes : pass list
+(** The six passes in canonical order. *)
+
+val run : ctx -> Diag.t list
+(** All passes, sorted with {!Diag.compare}. *)
+
+val lint :
+  ?buffer_len:(string -> int option) -> kernel -> launch:launch -> Diag.t list
+(** [make_ctx] + [run] with default analyses. *)
+
+val monitor_clean : Diag.t list -> bool
+(** No diagnostic (of any severity) from the ["barrier"] or
+    ["shared-race"] passes — the static precondition under which the
+    dynamic barrier/race monitor is guaranteed silent. *)

@@ -1,0 +1,280 @@
+(** Uniformity / divergence analysis.  See the interface for the
+    lattice; this file implements the optimistic fixpoint. *)
+
+open Gpr_isa.Types
+module I = Gpr_util.Interval
+module Cfg = Gpr_isa.Cfg
+module Dominance = Gpr_analysis.Dominance
+
+type av = Bot | Affine of int * I.t | Divergent
+
+type t = {
+  values : av array;
+  div_block : bool array;
+  div_exit : bool;
+}
+
+let value t id = if id < Array.length t.values then t.values.(id) else Bot
+let block_divergent t b = b >= 0 && b < Array.length t.div_block && t.div_block.(b)
+let divergent_exit t = t.div_exit
+
+let av_equal a b =
+  match (a, b) with
+  | Bot, Bot | Divergent, Divergent -> true
+  | Affine (s1, b1), Affine (s2, b2) -> s1 = s2 && I.equal b1 b2
+  | _ -> false
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Divergent, _ | _, Divergent -> Divergent
+  | Affine (s1, b1), Affine (s2, b2) ->
+    if s1 = s2 then Affine (s1, I.join b1 b2) else Divergent
+
+let is_uniform = function Bot | Affine (0, _) -> true | _ -> false
+let is_divergent = function Divergent -> true | _ -> false
+
+let av_to_string = function
+  | Bot -> "bot"
+  | Affine (0, b) -> Printf.sprintf "uniform%s" (I.to_string b)
+  | Affine (s, b) -> Printf.sprintf "tid-affine(%d*tid + %s)" s (I.to_string b)
+  | Divergent -> "divergent"
+
+let singleton = function
+  | I.Range (I.Finite a, I.Finite b) when a = b -> Some a
+  | _ -> None
+
+(* Guard against pathological strides: an |s| beyond the 32-bit range
+   would alias through wrap-around, which the affine model ignores. *)
+let affine s b = if abs s > 0xFFFFFFFF then Divergent else Affine (s, b)
+
+let av_add a b =
+  match (a, b) with
+  | Divergent, _ | _, Divergent -> Divergent
+  | Bot, x | x, Bot -> x
+  | Affine (s1, b1), Affine (s2, b2) -> affine (s1 + s2) (I.add b1 b2)
+
+let av_sub a b =
+  match (a, b) with
+  | Divergent, _ | _, Divergent -> Divergent
+  | Bot, x | x, Bot -> x
+  | Affine (s1, b1), Affine (s2, b2) -> affine (s1 - s2) (I.sub b1 b2)
+
+let av_neg = function
+  | Divergent -> Divergent
+  | Bot -> Bot
+  | Affine (s, b) -> Affine (-s, I.neg b)
+
+let av_mul a b =
+  match (a, b) with
+  | Divergent, _ | _, Divergent -> Divergent
+  | Bot, _ | _, Bot -> Bot
+  | Affine (0, b1), Affine (0, b2) -> Affine (0, I.clamp_i32 (I.mul b1 b2))
+  | Affine (s, b), Affine (0, c) | Affine (0, c), Affine (s, b) -> (
+    match singleton c with
+    | Some k -> affine (s * k) (I.mul b (I.of_const k))
+    | None -> Divergent)
+  | _ -> Divergent
+
+(* Uniform-only fallback for operators with no affine transfer. *)
+let av_uniform2 f a b =
+  match (a, b) with
+  | Affine (0, b1), Affine (0, b2) -> Affine (0, I.clamp_i32 (f b1 b2))
+  | Bot, _ | _, Bot -> Bot
+  | _ -> Divergent
+
+let float_top = Affine (0, I.top)
+
+let av_uniform_all avs = if List.for_all is_uniform avs then float_top else Divergent
+
+let transfer_ibin op a b =
+  match op with
+  | Add -> av_add a b
+  | Sub -> av_sub a b
+  | Mul -> av_mul a b
+  | Min -> (
+    match (a, b) with
+    | Affine (s1, b1), Affine (s2, b2) when s1 = s2 -> Affine (s1, I.min_ b1 b2)
+    | Bot, _ | _, Bot -> Bot
+    | _ -> Divergent)
+  | Max -> (
+    match (a, b) with
+    | Affine (s1, b1), Affine (s2, b2) when s1 = s2 -> Affine (s1, I.max_ b1 b2)
+    | Bot, _ | _, Bot -> Bot
+    | _ -> Divergent)
+  | Shl -> (
+    match (a, b) with
+    | Affine (s, ba), Affine (0, c) when s <> 0 -> (
+      match singleton c with
+      | Some k when k >= 0 && k < 32 -> affine (s lsl k) (I.shl ba (I.of_const k))
+      | _ -> Divergent)
+    | _ -> av_uniform2 I.shl a b)
+  | Div -> av_uniform2 I.div a b
+  | Rem -> av_uniform2 I.rem a b
+  | And -> av_uniform2 I.band a b
+  | Or -> av_uniform2 I.bor a b
+  | Xor -> av_uniform2 I.bxor a b
+  | Shr -> av_uniform2 I.shr a b
+
+let transfer_iun op a =
+  match op with
+  | Ineg -> av_neg a
+  | Inot -> av_sub (Affine (0, I.of_const (-1))) a
+  | Iabs -> (
+    match a with
+    | Affine (0, b) -> Affine (0, I.abs b)
+    | Bot -> Bot
+    | _ -> Divergent)
+
+let buffer_av (buf : buffer) =
+  match (buf.buf_elem, buf.buf_range) with
+  | (S32 | U32), Some (lo, hi) -> Affine (0, I.of_ints lo hi)
+  | _ -> float_top
+
+let param_av (p : param) =
+  match (p.p_ty, p.p_range) with
+  | (S32 | U32), Some (lo, hi) -> Affine (0, I.of_ints lo hi)
+  | _ -> float_top
+
+let special_av launch = function
+  | Tid_x ->
+    if launch.ntid_x = 1 then Affine (0, I.of_const 0) else Affine (1, I.of_const 0)
+  | Tid_y -> if launch.ntid_y = 1 then Affine (0, I.of_const 0) else Divergent
+  | Ntid_x -> Affine (0, I.of_const launch.ntid_x)
+  | Ntid_y -> Affine (0, I.of_const launch.ntid_y)
+  | Ctaid_x -> Affine (0, I.of_ints 0 (max 0 (launch.nctaid_x - 1)))
+  | Ctaid_y -> Affine (0, I.of_ints 0 (max 0 (launch.nctaid_y - 1)))
+  | Nctaid_x -> Affine (0, I.of_const launch.nctaid_x)
+  | Nctaid_y -> Affine (0, I.of_const launch.nctaid_y)
+
+let analyze kernel ~launch =
+  let cfg = Cfg.of_kernel kernel in
+  let rpo = Cfg.reverse_postorder cfg in
+  let pdom = Dominance.compute_post cfg in
+  let nb = Array.length kernel.k_blocks in
+  let values = Array.make (max 1 kernel.k_num_vregs) Bot in
+  let bumps = Array.make (max 1 kernel.k_num_vregs) 0 in
+  let div_block = Array.make nb false in
+  List.iter
+    (fun (vid, s) ->
+      if vid >= 0 && vid < Array.length values then
+        values.(vid) <- special_av launch s)
+    kernel.k_specials;
+  (* An undefined register reads as the executor's default value 0. *)
+  let reg_av (r : vreg) =
+    match values.(r.id) with Bot -> Affine (0, I.of_const 0) | v -> v
+  in
+  let operand_av = function
+    | Imm_i c -> Affine (0, I.of_const c)
+    | Imm_f _ -> float_top
+    | Reg r -> reg_av r
+  in
+  let transfer = function
+    | Ibin (op, _, a, b) -> transfer_ibin op (operand_av a) (operand_av b)
+    | Iun (op, _, a) -> transfer_iun op (operand_av a)
+    | Imad (_, a, b, c) ->
+      av_add (av_mul (operand_av a) (operand_av b)) (operand_av c)
+    | Fbin (_, _, a, b) -> av_uniform_all [ operand_av a; operand_av b ]
+    | Fun (_, _, a) -> av_uniform_all [ operand_av a ]
+    | Ffma (_, a, b, c) ->
+      av_uniform_all [ operand_av a; operand_av b; operand_av c ]
+    | Setp (_, _, _, a, b) -> (
+      (* same-stride affines compare uniformly: the tid terms cancel *)
+      match (operand_av a, operand_av b) with
+      | Affine (s1, _), Affine (s2, _) when s1 = s2 -> Affine (0, I.of_ints 0 1)
+      | Bot, _ | _, Bot -> Affine (0, I.of_ints 0 1)
+      | _ -> Divergent)
+    | Selp (_, a, b, p) ->
+      if is_divergent (reg_av p) then Divergent
+      else join (operand_av a) (operand_av b)
+    | Mov (_, a) -> operand_av a
+    | Cvt ((S32_of_u32 | U32_of_s32), _, a) -> operand_av a
+    | Cvt (_, _, a) -> av_uniform_all [ operand_av a ]
+    | Ld (_, { abuf; aindex }) -> (
+      (* Only read-only spaces yield uniform loads: a Global or Shared
+         cell may have been written divergently earlier in the kernel. *)
+      match abuf.buf_space with
+      | Texture | Param when is_uniform (operand_av aindex) -> buffer_av abuf
+      | _ -> Divergent)
+    | Ld_param (_, i) ->
+      if i >= 0 && i < Array.length kernel.k_params then
+        param_av kernel.k_params.(i)
+      else float_top
+    | St _ | Bar -> Bot
+    | Phi (_, ins) ->
+      List.fold_left (fun acc (_, op) -> join acc (operand_av op)) Bot ins
+    | Pi (_, s, _) -> reg_av s
+  in
+  (* Widening for loop-carried bases: a base interval that keeps growing
+     under the same stride jumps to infinity after a few updates. *)
+  let widen_av old nv =
+    match (old, nv) with
+    | Affine (s1, b1), Affine (s2, b2) when s1 = s2 -> Affine (s1, I.widen b1 b2)
+    | _ -> nv
+  in
+  (* Mark the region influenced by a divergent branch at [x]: every
+     block reachable from its successors without crossing the immediate
+     post-dominator (everything reachable when there is none). *)
+  let mark_region x =
+    match kernel.k_blocks.(x).term with
+    | Cbr (_, t, f) ->
+      let stop = Dominance.ipdom pdom x in
+      let changed = ref false in
+      let seen = Array.make nb false in
+      let rec go b =
+        if b >= 0 && b < nb && (not seen.(b)) && Some b <> stop then begin
+          seen.(b) <- true;
+          if not div_block.(b) then begin
+            div_block.(b) <- true;
+            changed := true
+          end;
+          List.iter go (Cfg.succs cfg b)
+        end
+      in
+      go t;
+      go f;
+      !changed
+    | _ -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun x ->
+        match kernel.k_blocks.(x).term with
+        | Cbr (p, _, _) when is_divergent (reg_av p) ->
+          if mark_region x then changed := true
+        | _ -> ())
+      rpo;
+    Array.iter
+      (fun bi ->
+        let blk = kernel.k_blocks.(bi) in
+        Array.iter
+          (fun ins ->
+            match defs ins with
+            | None -> ()
+            | Some d ->
+              let v = transfer ins in
+              let v = if div_block.(bi) then Divergent else v in
+              let old = values.(d.id) in
+              let nv = join old v in
+              if not (av_equal nv old) then begin
+                bumps.(d.id) <- bumps.(d.id) + 1;
+                let nv = if bumps.(d.id) > 8 then widen_av old nv else nv in
+                values.(d.id) <- nv;
+                changed := true
+              end)
+          blk.instrs)
+      rpo
+  done;
+  let div_exit =
+    Array.exists
+      (fun bi -> div_block.(bi) && kernel.k_blocks.(bi).term = Ret)
+      rpo
+  in
+  { values; div_block; div_exit }
+
+let operand_value t = function
+  | Imm_i c -> Affine (0, I.of_const c)
+  | Imm_f _ -> float_top
+  | Reg r -> ( match value t r.id with Bot -> Affine (0, I.of_const 0) | v -> v)

@@ -1,0 +1,60 @@
+(** Uniformity / divergence analysis (lint pass foundation).
+
+    Classifies every virtual register by how its value varies across the
+    threads of a CTA, on the lattice
+
+    {v Uniform  ⊑  TidAffine  ⊑  Divergent v}
+
+    realised as an affine abstract value: [Affine (s, b)] denotes
+    [s * tid.x + base] with [base ∈ b] the same for every thread (so
+    [Affine (0, _)] is Uniform and a nonzero stride is TidAffine);
+    [Divergent] is the top element.  The base interval travels with the
+    stride so the race pass can decide whether two affine shared-memory
+    accesses can collide across threads.
+
+    Control divergence is propagated structurally: a conditional branch
+    on a thread-divergent predicate marks every block between the branch
+    and its immediate post-dominator as divergent (all reachable blocks
+    when the branch has no post-dominator, e.g. a divergent early
+    return), and any value defined inside a divergent block is demoted
+    to [Divergent] — after reconvergence, threads that skipped the
+    definition keep a different (stale) value.
+
+    Sound for overflow-disciplined kernels: affine strides are tracked
+    without modelling 32-bit wrap-around, matching the assumption of the
+    range analysis that arithmetic does not overflow. *)
+
+open Gpr_isa.Types
+
+type av =
+  | Bot                              (** no reachable definition *)
+  | Affine of int * Gpr_util.Interval.t
+      (** [s * tid.x + base], [base] uniform across the CTA's threads *)
+  | Divergent
+
+type t
+
+val analyze : kernel -> launch:launch -> t
+
+val value : t -> int -> av
+(** Fixpoint abstract value of a vreg id ([Bot] if never defined). *)
+
+val operand_value : t -> operand -> av
+(** Abstract value of an operand; an undefined register reads as the
+    executor's default 0. *)
+
+val block_divergent : t -> int -> bool
+(** Does the block execute under thread-divergent control flow? *)
+
+val divergent_exit : t -> bool
+(** Some reachable [Ret] executes under divergent control — threads
+    leave the kernel early while others continue. *)
+
+val join : av -> av -> av
+val av_equal : av -> av -> bool
+
+val is_uniform : av -> bool
+(** Stride 0 (includes [Bot], which reads as the constant 0). *)
+
+val is_divergent : av -> bool
+val av_to_string : av -> string

@@ -169,6 +169,43 @@ let test_errors () =
   expect_error "bb0:\n  mov.s32 %t_0, 1\n  ret\n" "";
   expect_error ".entry f ()\n  mov.s32 %t_0, 1\n  ret\n" "outside a block"
 
+(* QCheck round-trip: seed-parameterised kernels that always contain a
+   barrier, predicated branches and shared-memory traffic — the
+   constructs the lint corpus leans on — must survive
+   [Pp.kernel_to_string] → [Parser.parse] structurally unchanged. *)
+let forced_kernel seed =
+  let b = Builder.create ~name:(Printf.sprintf "forced_%d" seed) in
+  let open Builder in
+  let sh = shared_buffer b S32 "sh" in
+  let out = global_buffer b S32 "out" in
+  let n = param_i32 b ~range:(0, 64) "n" in
+  let tid = tid_x b in
+  st b sh ~$tid ~$(iadd b ~$tid (ci (seed land 0xff)));
+  bar b;
+  if_ b
+    (ilt b ~$tid ~$n)
+    (fun () -> st b out ~$tid ~$(ld b sh ~$tid))
+    (fun () -> if seed land 1 = 0 then st b out ~$tid (ci 0));
+  if seed land 2 = 0 then bar b;
+  if_then b
+    (ige b ~$tid (ci ((seed lsr 2) land 31)))
+    (fun () -> st b sh ~$tid (ci (seed land 7)));
+  if seed land 4 = 0 then
+    for_ b ~lo:(ci 0) ~hi:(ci ((seed lsr 5) land 7)) (fun i ->
+        st b out ~$i ~$i);
+  finish b
+
+let prop_forced_roundtrip =
+  QCheck.Test.make ~name:"bar/cbr/shared kernels round-trip" ~count:100
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let k = forced_kernel seed in
+      let back = roundtrip k in
+      let a = strip_names k and b = strip_names back in
+      a = b
+      || QCheck.Test.fail_reportf "seed %d: round-trip changed kernel:\n%s"
+           seed (Pp.kernel_to_string k))
+
 let test_float_immediates_roundtrip () =
   let b = Builder.create ~name:"fimm" in
   let open Builder in
@@ -192,6 +229,7 @@ let () =
           Alcotest.test_case "all workloads" `Quick test_roundtrip_workloads;
           Alcotest.test_case "parsed kernel executes" `Quick
             test_parsed_kernel_executes;
+          QCheck_alcotest.to_alcotest prop_forced_roundtrip;
         ] );
       ("errors", [ Alcotest.test_case "diagnostics" `Quick test_errors ]);
     ]
