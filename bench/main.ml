@@ -13,7 +13,9 @@
    Tables and figures go to stdout; per-section timings and cache
    statistics go to stderr and to BENCH_engine.json, so stdout is
    byte-comparable across [-j 1] and [-j N] runs.  The static verifier
-   is timed per pass over the registry and reported in BENCH_lint.json.
+   is timed per pass over the registry and reported in BENCH_lint.json;
+   each registered register-file backend is timed over the full
+   registry and reported in BENCH_backend.json.
 
    Run with:  dune exec bench/main.exe -- [-j N] [--cache-dir DIR]
                                           [--no-micro] *)
@@ -192,6 +194,44 @@ let write_engine_json ~jobs ~cache ~timed ~total =
   close_out oc
 
 (* ---------------------------------------------------------------- *)
+(* Per-scheme timing: the full registry analysed and simulated under
+   each registered register-file backend, written to
+   BENCH_backend.json.  Schemes run in registry order, so later schemes
+   reuse whatever shared state (plain traces, baseline stats) earlier
+   ones memoised — the same composition `gpr report --backend` uses. *)
+
+let run_backend_bench () =
+  List.map
+    (fun b ->
+      let name = Gpr_backend.Backend.id b in
+      let t0 = Unix.gettimeofday () in
+      let rows = Gpr_core.Experiments.backend_comparison [ b ] in
+      let secs = Unix.gettimeofday () -. t0 in
+      let mean_delta =
+        List.fold_left
+          (fun acc (r : Gpr_core.Experiments.backend_row) ->
+            acc +. r.b_ipc_vs_baseline_pct)
+          0.0 rows
+        /. float_of_int (max 1 (List.length rows))
+      in
+      (name, secs, List.length rows, mean_delta))
+    Gpr_backend.Registry.all
+
+let write_backend_json entries =
+  let oc = open_out "BENCH_backend.json" in
+  Printf.fprintf oc "{\n  \"backends\": [\n";
+  List.iteri
+    (fun i (name, secs, kernels, mean_delta) ->
+      Printf.fprintf oc
+        "    { \"backend\": \"%s\", \"seconds\": %.3f, \"kernels\": %d, \
+         \"mean_ipc_vs_baseline_pct\": %.2f }%s\n"
+        (json_escape name) secs kernels mean_delta
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+(* ---------------------------------------------------------------- *)
 (* Static verifier benchmark: per-pass time over the Table 4 registry
    plus the diagnostic counts, written to BENCH_lint.json so lint
    throughput regressions are visible alongside the engine timings. *)
@@ -282,18 +322,23 @@ let () =
      figure of the paper; see EXPERIMENTS.md for the paper-vs-measured\n\
      comparison.";
   let t0 = Unix.gettimeofday () in
-  let timed =
+  let timed, backend_entries =
     Gpr_engine.Pool.with_pool ~jobs (fun pool ->
         Gpr_core.Experiments.use_pool (Some pool);
         Fun.protect
           ~finally:(fun () -> Gpr_core.Experiments.use_pool None)
           (fun () ->
-             List.map
-               (fun (name, f) ->
-                  let s0 = Unix.gettimeofday () in
-                  f ();
-                  (name, Unix.gettimeofday () -. s0))
-               sections))
+             let timed =
+               List.map
+                 (fun (name, f) ->
+                    let s0 = Unix.gettimeofday () in
+                    f ();
+                    (name, Unix.gettimeofday () -. s0))
+                 sections
+             in
+             let b0 = Unix.gettimeofday () in
+             let entries = run_backend_bench () in
+             (timed @ [ ("backend", Unix.gettimeofday () -. b0) ], entries)))
   in
   let lint_timed =
     let s0 = Unix.gettimeofday () in
@@ -321,5 +366,12 @@ let () =
   List.iter
     (fun (name, secs) -> Printf.eprintf "[section %-10s %8.2f s]\n" name secs)
     timed;
+  List.iter
+    (fun (name, secs, kernels, mean_delta) ->
+      Printf.eprintf
+        "[backend %-8s %8.2f s  %2d kernels  mean IPC vs baseline %+.1f%%]\n"
+        name secs kernels mean_delta)
+    backend_entries;
   Printf.eprintf "[evaluation pipeline: %.1f s]\n%!" total;
-  write_engine_json ~jobs ~cache ~timed ~total
+  write_engine_json ~jobs ~cache ~timed ~total;
+  write_backend_json backend_entries

@@ -15,13 +15,37 @@ let find_workload name =
   match Registry.by_name name with
   | Some w -> w
   | None ->
-    Printf.eprintf "unknown kernel %s; available: %s\n" name
+    Printf.eprintf "unknown kernel %s, try `gpr list` (available: %s)\n" name
       (String.concat ", " Registry.names);
-    exit 2
+    exit 1
 
 let kernel_arg =
   let doc = "Kernel name (see $(b,gpr list))." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+(* ---------------- register-file scheme selection ---------------- *)
+
+let backend_arg =
+  let doc =
+    "Comma-separated register-file scheme(s) from the backend registry \
+     (available: "
+    ^ String.concat ", " Gpr_backend.Registry.names
+    ^ ")."
+  in
+  Arg.(value
+       & opt (list string) [ "slice" ]
+       & info [ "backend" ] ~docv:"NAME[,NAME...]" ~doc)
+
+let resolve_backends names =
+  List.map
+    (fun n ->
+      match Gpr_backend.Registry.find n with
+      | Some b -> b
+      | None ->
+        Printf.eprintf "unknown backend %s (available: %s)\n" n
+          (String.concat ", " Gpr_backend.Registry.names);
+        exit 1)
+    names
 
 (* ---------------- execution engine plumbing ---------------- *)
 
@@ -163,11 +187,19 @@ let report_cmd =
          & info [] ~docv:"WHAT"
              ~doc:"One of: all, table1, table2, table3, table4, fig8, fig9, \
                    fig10, fig11, fig12, area, power, volta, volta-sim, \
-                   ablations.")
+                   ablations — or a kernel name from $(b,gpr list) for a \
+                   per-scheme comparison (see $(b,--backend)).")
   in
-  let run what jobs cache_dir =
+  let run what backends jobs cache_dir =
+    let schemes = resolve_backends backends in
     with_engine ~jobs ~cache_dir @@ fun () ->
+    (* The classic tables and figures are slice-pipeline reproductions
+       of the paper; [report all] keeps printing them unless a
+       different scheme set is requested, in which case (and for any
+       single kernel name) the per-scheme comparison runs instead. *)
     match what with
+    | "all" when backends <> [ "slice" ] ->
+      Experiments.print_backend_comparison schemes
     | "all" -> Experiments.print_all ()
     | "table1" -> Experiments.print_table1 ()
     | "table2" -> Experiments.print_table2 ()
@@ -183,13 +215,17 @@ let report_cmd =
     | "volta" -> Experiments.print_volta ()
     | "ablations" -> Experiments.print_ablations ()
     | "volta-sim" -> Experiments.print_volta_sim ()
+    | other when Registry.by_name other <> None ->
+      Experiments.print_backend_comparison ~names:[ other ] schemes
     | other ->
-      Printf.eprintf "unknown report %s\n" other;
-      exit 2
+      Printf.eprintf "unknown report or kernel %s, try `gpr list`\n" other;
+      exit 1
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Reproduce a table or figure of the paper")
-    Term.(const run $ what $ jobs_arg $ cache_dir_arg)
+    (Cmd.info "report"
+       ~doc:"Reproduce a table or figure of the paper, or compare \
+             register-file schemes on one kernel")
+    Term.(const run $ what $ backend_arg $ jobs_arg $ cache_dir_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -265,16 +301,19 @@ let check_cmd =
          & info [ "no-shrink" ]
              ~doc:"Report counterexamples without minimising them.")
   in
-  let run seed count max_seconds no_shrink jobs =
+  let run seed count max_seconds no_shrink backends jobs =
     let module R = Gpr_check.Runner in
+    (* Resolve eagerly for the clean unknown-name message; the runner
+       re-validates before the campaign starts. *)
+    ignore (resolve_backends backends);
     let jobs = resolve_jobs jobs in
     let progress s =
       if (s - seed) mod 25 = 0 && s <> seed then
         Printf.printf "  ... %d/%d seeds clean\n%!" (s - seed) count
     in
     let summary =
-      R.run ~shrink:(not no_shrink) ?max_seconds ~progress ~jobs ~seed ~count
-        ()
+      R.run ~shrink:(not no_shrink) ~backends ?max_seconds ~progress ~jobs
+        ~seed ~count ()
     in
     List.iter (fun r -> print_string (R.report_to_string r)) summary.R.reports;
     Printf.printf "checked %d seed%s (%d..%d): %d failure%s\n"
@@ -292,8 +331,12 @@ let check_cmd =
              compressed register file (range analysis, slice allocation, \
              indirection table, TVT/TVE datapath, timing-model invariants) \
              and fail on any divergence, with shrunk counterexamples; \
-             seeds are sharded across the -j engine pool")
-    Term.(const run $ seed $ count $ max_seconds $ no_shrink $ jobs_arg)
+             seeds are sharded across the -j engine pool.  $(b,--backend) \
+             selects which schemes' oracles run (slice expands to the four \
+             classic stages; other schemes run the generic \
+             plain-vs-backend oracle)")
+    Term.(const run $ seed $ count $ max_seconds $ no_shrink $ backend_arg
+          $ jobs_arg)
 
 (* ---------------- lint ---------------- *)
 
@@ -344,9 +387,11 @@ let lint_cmd =
         | None ->
           if not (Sys.file_exists target) then begin
             Printf.eprintf
-              "unknown kernel or file %s; available kernels: %s\n" target
+              "unknown kernel or file %s, try `gpr list` (available \
+               kernels: %s)\n"
+              target
               (String.concat ", " Registry.names);
-            exit 2
+            exit 1
           end;
           let text = In_channel.with_open_text target In_channel.input_all in
           (match Gpr_isa.Parser.parse text with

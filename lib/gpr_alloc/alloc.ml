@@ -121,7 +121,7 @@ let slices_in_use p =
   done;
   !c
 
-let run ?(allow_split = true) kernel ~width_of =
+let run ?(allow_split = true) ?(exclude = fun _ -> false) kernel ~width_of =
   let live = Gpr_analysis.Liveness.compute kernel in
   let intervals = Gpr_analysis.Liveness.intervals live in
   (* Recover each variable's vreg record for typing. *)
@@ -170,32 +170,34 @@ let run ?(allow_split = true) kernel ~width_of =
   in
   List.iter
     (fun (var, start, stop) ->
-       release_names start;
-       let r = Hashtbl.find vregs var in
-       let bits = max 1 (min 32 (width_of r)) in
-       let name =
-         let pool =
-           match Hashtbl.find_opt free_names r.ty with
-           | Some l -> l
-           | None ->
-             let l = ref [] in
-             Hashtbl.replace free_names r.ty l;
-             l
+       if not (exclude var) then begin
+         release_names start;
+         let r = Hashtbl.find vregs var in
+         let bits = max 1 (min 32 (width_of r)) in
+         let name =
+           let pool =
+             match Hashtbl.find_opt free_names r.ty with
+             | Some l -> l
+             | None ->
+               let l = ref [] in
+               Hashtbl.replace free_names r.ty l;
+               l
+           in
+           match !pool with
+           | n :: rest ->
+             pool := rest;
+             n
+           | [] ->
+             let n = !next_name in
+             incr next_name;
+             n
          in
-         match !pool with
-         | n :: rest ->
-           pool := rest;
-           n
-         | [] ->
-           let n = !next_name in
-           incr next_name;
-           n
-       in
-       Hashtbl.replace var_name var name;
-       (match Hashtbl.find_opt name_info name with
-        | Some (ty, b) -> Hashtbl.replace name_info name (ty, max b bits)
-        | None -> Hashtbl.replace name_info name (r.ty, bits));
-       active := (stop, name, r.ty) :: !active)
+         Hashtbl.replace var_name var name;
+         (match Hashtbl.find_opt name_info name with
+          | Some (ty, b) -> Hashtbl.replace name_info name (ty, max b bits)
+          | None -> Hashtbl.replace name_info name (r.ty, bits));
+         active := (stop, name, r.ty) :: !active
+       end)
     intervals;
 
   (* ---- Pass 2: static slice packing of the architectural names. ----

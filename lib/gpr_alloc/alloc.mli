@@ -42,6 +42,7 @@ type t = {
 
 val run :
   ?allow_split:bool ->
+  ?exclude:(int -> bool) ->
   Gpr_isa.Types.kernel ->
   width_of:(Gpr_isa.Types.vreg -> int) ->
   t
@@ -49,7 +50,11 @@ val run :
     range analysis for integers and the precision tuner for floats);
     return 32 to keep a variable uncompressed.  [allow_split] (default
     true) enables the two-register placements of Sec. 4.3; disabling it
-    quantifies the fragmentation those splits exist to avoid. *)
+    quantifies the fragmentation those splits exist to avoid.
+    [exclude] (default none) drops a virtual register from allocation
+    entirely — it gets no architectural name, no placement and adds no
+    pressure; spilling backends use this to keep cold live ranges out
+    of the register file. *)
 
 val baseline : Gpr_isa.Types.kernel -> t
 (** All widths forced to 32 bits: the conventional register file. *)

@@ -14,6 +14,11 @@ let limiter_to_string = function
   | Warp_slots -> "warp slots"
   | Block_slots -> "block slots"
 
+type demand = {
+  d_regs_per_thread : int;
+  d_shared_bytes_per_block : int;
+}
+
 let compute (cfg : Config.t) ~regs_per_thread ~warps_per_block
     ~shared_bytes_per_block =
   if warps_per_block <= 0 then invalid_arg "Occupancy.compute: no warps";
@@ -53,3 +58,7 @@ let compute (cfg : Config.t) ~regs_per_thread ~warps_per_block
     limiter;
     registers_used = blocks * regs_per_block;
   }
+
+let of_demand cfg d ~warps_per_block =
+  compute cfg ~regs_per_thread:d.d_regs_per_thread ~warps_per_block
+    ~shared_bytes_per_block:d.d_shared_bytes_per_block

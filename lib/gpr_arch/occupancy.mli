@@ -24,3 +24,16 @@ val compute :
   shared_bytes_per_block:int ->
   result
 (** @raise Invalid_argument if a single block exceeds an SM resource. *)
+
+type demand = {
+  d_regs_per_thread : int;
+  d_shared_bytes_per_block : int;
+      (** includes any shared memory the register-file scheme itself
+          consumes (e.g. spill slots), on top of the kernel's own *)
+}
+
+val of_demand : Config.t -> demand -> warps_per_block:int -> result
+(** Occupancy from a backend-supplied resource demand: both the
+    register and the shared-memory limits come from the scheme, so a
+    scheme that trades registers for shared memory is charged for both
+    sides of the trade.  Same result (and exceptions) as {!compute}. *)

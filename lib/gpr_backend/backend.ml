@@ -1,0 +1,78 @@
+module Alloc = Gpr_alloc.Alloc
+module Config = Gpr_arch.Config
+module Occupancy = Gpr_arch.Occupancy
+
+type resources = {
+  alloc : Alloc.t;
+  spilled : (int, unit) Hashtbl.t;
+  spill_slots : int;
+}
+
+type cost_model = {
+  read_extra_latency : int;
+  writeback_delay : int;
+  spill_latency : int;
+  uses_indirection : bool;
+}
+
+type area_report = {
+  ar_scheme : string;
+  ar_transistors_per_sm : int;
+  ar_fraction_of_chip : float;
+  ar_notes : string;
+}
+
+module type Scheme = sig
+  val id : string
+  val version : int
+  val describe : string
+  val needs_precision : bool
+
+  val analyze :
+    kernel:Gpr_isa.Types.kernel ->
+    range:Gpr_analysis.Range.t ->
+    precision:Gpr_precision.Precision.assignment option ->
+    resources
+
+  val cost : cost_model
+  val area : Config.t -> area_report
+end
+
+type t = (module Scheme)
+
+let id (module S : Scheme) = S.id
+let describe (module S : Scheme) = S.describe
+
+let fingerprint (module S : Scheme) =
+  Gpr_engine.Fingerprint.scheme ~id:S.id ~version:S.version
+
+let no_spills () : (int, unit) Hashtbl.t = Hashtbl.create 1
+
+let plain_resources alloc = { alloc; spilled = no_spills (); spill_slots = 0 }
+
+let spill_bytes_per_thread r = 4 * r.spill_slots
+
+let sim_mode ?writeback_delay (module S : Scheme) (r : resources) =
+  if S.cost.uses_indirection then
+    Gpr_sim.Sim.Proposed
+      {
+        writeback_delay =
+          Option.value writeback_delay ~default:S.cost.writeback_delay;
+      }
+  else if r.spill_slots > 0 then
+    Gpr_sim.Sim.Spill { latency = S.cost.spill_latency; spilled = r.spilled }
+  else Gpr_sim.Sim.Baseline
+
+(* The scheme owns both sides of the occupancy trade: its register
+   pressure and the shared memory its spill slots consume on top of the
+   kernel's own usage (one 32-bit word per slot per thread). *)
+let occupancy cfg (r : resources) ~warps_per_block ~shared_bytes_per_block =
+  let spill_bytes =
+    spill_bytes_per_thread r * cfg.Config.warp_size * warps_per_block
+  in
+  Occupancy.of_demand cfg
+    {
+      Occupancy.d_regs_per_thread = max 1 r.alloc.Alloc.pressure;
+      d_shared_bytes_per_block = shared_bytes_per_block + spill_bytes;
+    }
+    ~warps_per_block

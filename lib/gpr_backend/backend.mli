@@ -1,0 +1,104 @@
+(** The pluggable register-file scheme contract.
+
+    The paper's slice-compression pipeline used to be hardwired through
+    [Compress] → [Alloc] → [Indirection]/[Datapath] → [Simulate].  A
+    {!Scheme} packages everything the static framework needs to know
+    about one register-file organisation:
+
+    - a stable [id] and [version], mixed into every memo fingerprint so
+      two schemes (or two versions of one scheme) never share a cache
+      entry;
+    - [analyze], the width/placement policy — from the kernel, its
+      integer ranges and an optional float-precision assignment to the
+      {!resources} the scheme asks the SM for;
+    - [cost], the per-access timing model the simulator applies;
+    - [area], the hardware-overhead estimate.
+
+    Schemes are first-class modules; {!Registry} maps the CLI's
+    [--backend] names to them. *)
+
+type resources = {
+  alloc : Gpr_alloc.Alloc.t;
+      (** placements for the registers that stay in the register file *)
+  spilled : (int, unit) Hashtbl.t;
+      (** virtual registers demoted to shared-memory spill slots; empty
+          for register-only schemes *)
+  spill_slots : int;
+      (** peak simultaneously-live spill slots per thread (each one
+          32-bit word of shared memory per thread) *)
+}
+
+type cost_model = {
+  read_extra_latency : int;
+      (** extra pipeline stages on a source read (indirection lookup) *)
+  writeback_delay : int;
+      (** default extra writeback latency (Sec. 3.2.8 for slice) *)
+  spill_latency : int;
+      (** shared round trip paid by each spilled access *)
+  uses_indirection : bool;
+      (** scheme reads through the indirection table (enables the
+          table-arbitration, double-fetch and value-converter paths) *)
+}
+
+type area_report = {
+  ar_scheme : string;
+  ar_transistors_per_sm : int;
+  ar_fraction_of_chip : float;
+  ar_notes : string;
+}
+
+module type Scheme = sig
+  val id : string
+  (** Stable name: the CLI's [--backend] key and the fingerprint tag. *)
+
+  val version : int
+  (** Bump whenever [analyze] or [cost] semantics change; cached
+      results of older versions are then never reused. *)
+
+  val describe : string
+
+  val needs_precision : bool
+  (** Whether [analyze] consumes a float-precision assignment (and the
+      simulation therefore replays the quantised trace). *)
+
+  val analyze :
+    kernel:Gpr_isa.Types.kernel ->
+    range:Gpr_analysis.Range.t ->
+    precision:Gpr_precision.Precision.assignment option ->
+    resources
+
+  val cost : cost_model
+  val area : Gpr_arch.Config.t -> area_report
+end
+
+type t = (module Scheme)
+
+val id : t -> string
+val describe : t -> string
+
+val fingerprint : t -> Gpr_engine.Fingerprint.t
+(** [Fingerprint.scheme] over the scheme's id and version. *)
+
+val no_spills : unit -> (int, unit) Hashtbl.t
+
+val plain_resources : Gpr_alloc.Alloc.t -> resources
+(** Resources of a register-only scheme: no spills. *)
+
+val spill_bytes_per_thread : resources -> int
+
+val sim_mode :
+  ?writeback_delay:int -> t -> resources -> Gpr_sim.Sim.regfile_mode
+(** The simulator mode a scheme's cost model maps to:
+    indirection-table schemes run [Proposed] (at the cost model's
+    writeback delay unless overridden), spilling schemes run [Spill],
+    everything else runs [Baseline]. *)
+
+val occupancy :
+  Gpr_arch.Config.t ->
+  resources ->
+  warps_per_block:int ->
+  shared_bytes_per_block:int ->
+  Gpr_arch.Occupancy.result
+(** Occupancy with both limits taken from the scheme's resources: its
+    register pressure, and the kernel's shared memory plus the spill
+    slots' footprint (4 bytes per slot per thread). *)

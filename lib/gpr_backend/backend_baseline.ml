@@ -1,0 +1,27 @@
+(* The conventional 32-bit register file: every value gets a full
+   register, no indirection, no extra latency anywhere.  This is the
+   reference organisation every other scheme is compared against. *)
+
+let id = "baseline"
+let version = 1
+let describe = "conventional 32-bit register file"
+let needs_precision = false
+
+let analyze ~kernel ~range:_ ~precision:_ =
+  Backend.plain_resources (Gpr_alloc.Alloc.baseline kernel)
+
+let cost =
+  {
+    Backend.read_extra_latency = 0;
+    writeback_delay = 0;
+    spill_latency = 0;
+    uses_indirection = false;
+  }
+
+let area _cfg =
+  {
+    Backend.ar_scheme = id;
+    ar_transistors_per_sm = 0;
+    ar_fraction_of_chip = 0.0;
+    ar_notes = "reference organisation, no added hardware";
+  }

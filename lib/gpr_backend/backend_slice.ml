@@ -1,0 +1,60 @@
+(* The paper's scheme: statically proven narrow widths (range analysis
+   for integers, the precision tuner for floats) packed at 4-bit slice
+   granularity behind an indirection table (Secs. 3–4). *)
+
+open Gpr_isa.Types
+module P = Gpr_precision.Precision
+module Range = Gpr_analysis.Range
+
+let id = "slice"
+let version = 1
+let describe = "slice-compressed register file (the paper's scheme)"
+let needs_precision = true
+
+(* The per-variable width policy, shared with the ablation sweeps (and
+   re-exported by [Compress.width_fn] for compatibility). *)
+let width_fn ~narrow_ints ~narrow_floats ~range (r : vreg) =
+  match r.ty with
+  | Pred -> 32  (* excluded from allocation by liveness anyway *)
+  | F32 ->
+    (match narrow_floats with
+     | None -> 32
+     | Some asg ->
+       let bits = P.var_bits asg in
+       (match Hashtbl.find_opt bits r.id with Some b -> b | None -> 32))
+  | S32 | U32 ->
+    if narrow_ints && r.id < Array.length range.Range.var_bits
+    then Range.var_bitwidth range r.id
+    else 32
+
+let analyze ~kernel ~range ~precision =
+  Backend.plain_resources
+    (Gpr_alloc.Alloc.run kernel
+       ~width_of:(width_fn ~narrow_ints:true ~narrow_floats:precision ~range))
+
+let cost =
+  {
+    Backend.read_extra_latency = 1;  (* source indirection lookup *)
+    writeback_delay = 3;             (* Sec. 3.2.8 default, swept in Fig. 12 *)
+    spill_latency = 0;
+    uses_indirection = true;
+  }
+
+let area (cfg : Gpr_arch.Config.t) =
+  (* Sec. 6.4 counting rules: one extractor per bank on Fermi, half the
+     Fermi extractor count per register file on Volta (one scheduler per
+     processing block vs two per Fermi SM). *)
+  let extractors_per_rf =
+    if cfg.register_files_per_sm > 1 then
+      Gpr_arch.Config.fermi_gtx480.register_banks / 2
+    else cfg.register_banks
+  in
+  let b = Gpr_area.Area.for_config cfg ~extractors_per_rf in
+  {
+    Backend.ar_scheme = id;
+    ar_transistors_per_sm = b.Gpr_area.Area.total_per_sm;
+    ar_fraction_of_chip = b.Gpr_area.Area.fraction_of_chip;
+    ar_notes =
+      "value extractors/converters/truncators, indirection tables, CU \
+       extensions (Sec. 6.4)";
+  }

@@ -1,0 +1,20 @@
+(* Name → scheme mapping for the CLI's --backend flag and the fuzzer's
+   per-backend oracle stages. *)
+
+let all : Backend.t list =
+  [ (module Backend_baseline); (module Backend_slice);
+    (module Backend_spill) ]
+
+let names = List.map Backend.id all
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun s -> Backend.id s = name) all
+
+let find_exn name =
+  match find name with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown backend %s (available: %s)" name
+         (String.concat ", " names))

@@ -1,0 +1,12 @@
+(** Registered register-file schemes, in presentation order. *)
+
+val all : Backend.t list
+
+val names : string list
+
+val find : string -> Backend.t option
+(** Case-insensitive lookup by scheme id. *)
+
+val find_exn : string -> Backend.t
+(** @raise Invalid_argument naming the unknown backend and the
+    available ids. *)

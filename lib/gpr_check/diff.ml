@@ -304,6 +304,182 @@ let check_lint ?(max_steps = 2_000_000) (case : Gen.case) =
            diags = List.length diags;
          })
 
+(* ------------------------------------------------------------------ *)
+(* Scheme-generic oracles: plain-vs-backend for any registered
+   register-file scheme, not just slice.  [analyze] runs with
+   [precision:None] (the tuner needs workload data a fuzz case does not
+   carry), so floats stay 32-bit everywhere; the reference run
+   quantises float definitions to f32 accordingly. *)
+
+module Backend = Gpr_backend.Backend
+
+(* Every live range must be either resident (has a placement) or
+   spilled — never both, never neither.  Execution alone would not
+   catch a dropped register: an unplaced, unspilled write silently
+   passes through [on_write] unchanged. *)
+let check_backend_coverage kernel (res : Backend.resources) =
+  let live = Gpr_analysis.Liveness.compute kernel in
+  List.iter
+    (fun (v, _, _) ->
+       let placed = Alloc.lookup res.Backend.alloc v <> None in
+       let spilled = Hashtbl.mem res.Backend.spilled v in
+       if placed && spilled then
+         fail
+           (Alloc_violation
+              (Printf.sprintf "%%%d is both resident and spilled" v));
+       if (not placed) && not spilled then
+         fail
+           (Alloc_violation
+              (Printf.sprintf "%%%d is neither resident nor spilled" v)))
+    (Gpr_analysis.Liveness.intervals live)
+
+(* A spill slot is one 32-bit shared-memory word: reloads recover the
+   low 32 bits, extended per the destination's signedness. *)
+let spill_roundtrip (d : vreg) iv =
+  let low = iv land Gpr_util.Bits.mask 32 in
+  match d.ty with
+  | S32 -> Gpr_util.Bits.sign_extend ~width:32 low
+  | U32 | F32 | Pred -> Gpr_util.Bits.zero_extend ~width:32 low
+
+let check_backend ?(max_steps = 2_000_000) (b : Backend.t) (case : Gen.case) =
+  guard @@ fun () ->
+  let module S = (val b : Backend.Scheme) in
+  let kernel = case.kernel in
+  let rt = Range.analyze kernel ~launch:case.launch in
+  let res = S.analyze ~kernel ~range:rt ~precision:None in
+  let alloc = res.Backend.alloc in
+  check_alloc_static alloc;
+  check_backend_coverage kernel res;
+  if Hashtbl.length res.Backend.spilled > 0 && res.Backend.spill_slots <= 0
+  then
+    fail
+      (Alloc_violation
+         (Printf.sprintf "%d spilled registers but %d spill slots"
+            (Hashtbl.length res.Backend.spilled) res.Backend.spill_slots));
+  let table = Ind.create alloc in
+  let dsts = dst_of_pc kernel in
+  let ref_quantize pc v =
+    match Hashtbl.find_opt dsts pc with
+    | Some d ->
+      (match Ind.lookup table d.id with
+       | Some p when p.is_float -> F.quantize (Dp.format_of_placement p) v
+       | _ -> F.quantize F.f32 v)
+    | None -> F.quantize F.f32 v
+  in
+  let on_write pc (d : vreg) v =
+    match v with
+    | E.P_int iv ->
+      (match d.ty with
+       | S32 | U32 ->
+         (match Range.var_range rt d.id with
+          | I.Bot -> ()
+          | range ->
+            if not (I.contains range iv) then
+              fail (Range_violation { pc; reg = d; value = iv; range }))
+       | F32 | Pred -> ());
+      (match Ind.lookup table d.id with
+       | Some p when not p.is_float ->
+         let r0, r1 = Dp.store_int p iv in
+         let back = Dp.load_int p ~r0 ~r1 in
+         if back <> iv then
+           fail
+             (Storage_violation
+                { pc; reg = d; value = iv; roundtrip = back; bits = p.bits });
+         E.P_int back
+       | Some _ -> v
+       | None ->
+         if Hashtbl.mem res.Backend.spilled d.id then begin
+           let back = spill_roundtrip d iv in
+           if back <> iv then
+             fail
+               (Storage_violation
+                  { pc; reg = d; value = iv; roundtrip = back; bits = 32 });
+           E.P_int back
+         end
+         else v)
+    | E.P_float fv ->
+      (match Ind.lookup table d.id with
+       | Some p when p.is_float ->
+         let r0, r1 = Dp.store_float p fv in
+         E.P_float (Dp.load_float p ~r0 ~r1)
+       | _ -> E.P_float (F.quantize F.f32 fv))
+  in
+  let run config data =
+    let bindings = E.bindings_for kernel ~data ~shared:case.shared () in
+    ignore
+      (E.run kernel ~launch:case.launch ~params:case.params ~bindings config)
+  in
+  let ref_data = case.data () in
+  run
+    {
+      E.default_config with
+      quantize = Some ref_quantize;
+      max_steps = Some max_steps;
+    }
+    ref_data;
+  let packed_data = case.data () in
+  run
+    { E.default_config with on_write = Some on_write; max_steps = Some max_steps }
+    packed_data;
+  compare_outputs Exact ref_data packed_data
+
+let check_sim_backend ?(max_steps = 2_000_000) (b : Backend.t)
+    (case : Gen.case) =
+  guard @@ fun () ->
+  let module S = (val b : Backend.Scheme) in
+  let kernel = case.kernel in
+  let data = case.data () in
+  let bindings = E.bindings_for kernel ~data ~shared:case.shared () in
+  let trace =
+    match
+      E.run kernel ~launch:case.launch ~params:case.params ~bindings
+        {
+          E.default_config with
+          collect_trace = true;
+          max_steps = Some max_steps;
+        }
+    with
+    | Some t -> t
+    | None -> fail (Exec_failure "trace collection returned no trace")
+  in
+  let rt = Range.analyze kernel ~launch:case.launch in
+  let res = S.analyze ~kernel ~range:rt ~precision:None in
+  let cfg = Gpr_arch.Config.fermi_gtx480 in
+  let warps = trace.Gpr_exec.Trace.warps_per_block in
+  let shared_bytes =
+    4 * List.fold_left (fun acc (_, n) -> acc + n) 0 case.shared
+  in
+  let alloc_base = Alloc.baseline kernel in
+  let occ_base =
+    (Gpr_arch.Occupancy.compute cfg
+       ~regs_per_thread:(max 1 alloc_base.Alloc.pressure)
+       ~warps_per_block:warps
+       ~shared_bytes_per_block:shared_bytes)
+      .Gpr_arch.Occupancy.blocks_per_sm
+  in
+  let occ_s =
+    (Backend.occupancy cfg res ~warps_per_block:warps
+       ~shared_bytes_per_block:shared_bytes)
+      .Gpr_arch.Occupancy.blocks_per_sm
+  in
+  (* A register-only scheme can never lose occupancy to the baseline;
+     a spilling scheme may (its slots consume shared memory), so the
+     invariant only binds when nothing is spilled. *)
+  if res.Backend.spill_slots = 0 && occ_s < occ_base then
+    fail
+      (Sim_violation
+         (Printf.sprintf "%s occupancy %d blocks/SM below baseline %d" S.id
+            occ_s occ_base));
+  let run alloc blocks_per_sm mode =
+    try
+      ignore
+        (Gpr_sim.Sim.run ~check:true ~waves:2 cfg ~trace ~alloc ~blocks_per_sm
+           ~mode)
+    with Gpr_sim.Sim.Invariant_violation msg -> fail (Sim_violation msg)
+  in
+  run alloc_base occ_base Gpr_sim.Sim.Baseline;
+  run res.Backend.alloc occ_s (Backend.sim_mode b res)
+
 let check_sim ?(max_steps = 2_000_000) (case : Gen.case) =
   guard @@ fun () ->
   let kernel = case.kernel in

@@ -97,3 +97,22 @@ val check_sim : ?max_steps:int -> Gen.case -> unit
     file modes with the simulator's self-checks enabled, and assert
     that compressed occupancy is never below baseline.  Raises
     {!Check_failed} with [Sim_violation] / [Exec_failure]. *)
+
+val check_backend : ?max_steps:int -> Gpr_backend.Backend.t -> Gen.case -> unit
+(** Scheme-generic differential oracle: run the scheme's [analyze]
+    (with [precision:None] — fuzz cases carry no tuner data, so floats
+    stay 32-bit), check the allocation's structural invariants plus
+    full coverage (every live range resident XOR spilled), then execute
+    reference vs packed runs where every write round-trips through the
+    scheme's storage — the TVT/TVE datapath for resident placements, a
+    32-bit shared-memory word model for spilled registers — and demand
+    bit-identical outputs. *)
+
+val check_sim_backend :
+  ?max_steps:int -> Gpr_backend.Backend.t -> Gen.case -> unit
+(** Timing-model parity for an arbitrary scheme: replay the case's
+    trace under [Sim.Baseline] and under the scheme's
+    {!Gpr_backend.Backend.sim_mode} at the scheme's occupancy, with the
+    simulator's self-checks enabled.  Register-only schemes must never
+    fall below baseline occupancy; spilling schemes are exempt from
+    that invariant (their slots consume shared memory). *)

@@ -1,4 +1,9 @@
-type stage = Stage_exact | Stage_narrow | Stage_sim | Stage_lint
+type stage =
+  | Stage_exact
+  | Stage_narrow
+  | Stage_sim
+  | Stage_lint
+  | Stage_backend of string
 
 type report = {
   seed : int;
@@ -18,8 +23,21 @@ let stage_name = function
   | Stage_narrow -> "narrow"
   | Stage_sim -> "sim"
   | Stage_lint -> "lint"
+  | Stage_backend name -> "backend:" ^ name
 
-let stages = [ Stage_exact; Stage_narrow; Stage_sim; Stage_lint ]
+(* The slice scheme is what the four classic stages already exercise
+   end to end (exact + narrow differential, timing replay, lint
+   parity), so requesting it expands to those; any other registered
+   scheme gets the generic plain-vs-backend stage. *)
+let stages_for backends =
+  List.concat_map
+    (fun name ->
+      if String.lowercase_ascii name = "slice" then
+        [ Stage_exact; Stage_narrow; Stage_sim; Stage_lint ]
+      else [ Stage_backend name ])
+    backends
+
+let default_backends = [ "slice" ]
 
 let run_stage stage case =
   match stage with
@@ -27,8 +45,12 @@ let run_stage stage case =
   | Stage_narrow -> Diff.check Diff.Narrow case
   | Stage_sim -> Diff.check_sim case
   | Stage_lint -> Diff.check_lint case
+  | Stage_backend name ->
+    let b = Gpr_backend.Registry.find_exn name in
+    Diff.check_backend b case;
+    Diff.check_sim_backend b case
 
-let first_failure case =
+let first_failure stages case =
   let rec go = function
     | [] -> None
     | stage :: rest ->
@@ -38,9 +60,9 @@ let first_failure case =
   in
   go stages
 
-let run_seed ?(shrink = true) seed =
+let run_seed ?(shrink = true) ?(backends = default_backends) seed =
   let case = Gen.generate seed in
-  match first_failure case with
+  match first_failure (stages_for backends) case with
   | None -> None
   | Some (stage, failure) ->
     let shrunk =
@@ -67,14 +89,14 @@ let run_seed ?(shrink = true) seed =
     in
     Some { seed; stage; failure; original = case.kernel; shrunk }
 
-let run_serial ~shrink ~out_of_time ~progress ~seed ~count =
+let run_serial ~shrink ~backends ~out_of_time ~progress ~seed ~count =
   let reports = ref [] in
   let checked = ref 0 in
   (try
      for s = seed to seed + count - 1 do
        if out_of_time () then raise Exit;
        progress s;
-       (match run_seed ~shrink s with
+       (match run_seed ~shrink ~backends s with
         | Some r -> reports := r :: !reports
         | None -> ());
        incr checked
@@ -89,7 +111,7 @@ let run_serial ~shrink ~out_of_time ~progress ~seed ~count =
    summary is identical to a serial run over the same seeds.  The time
    budget is re-checked between chunks, mirroring the serial runner's
    between-seeds check. *)
-let run_sharded pool ~shrink ~out_of_time ~progress ~seed ~count =
+let run_sharded pool ~shrink ~backends ~out_of_time ~progress ~seed ~count =
   let chunk = 4 * Gpr_engine.Pool.jobs pool in
   let reports = ref [] in
   let checked = ref 0 in
@@ -100,7 +122,9 @@ let run_sharded pool ~shrink ~out_of_time ~progress ~seed ~count =
     let seeds = List.init n (fun i -> !s + i) in
     List.iter progress seeds;
     let results =
-      Gpr_engine.Pool.map_list pool (fun sd -> run_seed ~shrink sd) seeds
+      Gpr_engine.Pool.map_list pool
+        (fun sd -> run_seed ~shrink ~backends sd)
+        seeds
     in
     List.iter
       (function Some r -> reports := r :: !reports | None -> ())
@@ -111,18 +135,22 @@ let run_sharded pool ~shrink ~out_of_time ~progress ~seed ~count =
   done;
   { checked = !checked; reports = List.rev !reports }
 
-let run ?(shrink = true) ?max_seconds ?(progress = fun _ -> ()) ?(jobs = 1)
-    ~seed ~count () =
+let run ?(shrink = true) ?(backends = default_backends) ?max_seconds
+    ?(progress = fun _ -> ()) ?(jobs = 1) ~seed ~count () =
+  (* Unknown scheme names fail before any seed runs, not mid-campaign
+     inside a worker domain. *)
+  List.iter (fun name -> ignore (Gpr_backend.Registry.find_exn name)) backends;
   let t0 = Unix.gettimeofday () in
   let out_of_time () =
     match max_seconds with
     | None -> false
     | Some s -> Unix.gettimeofday () -. t0 >= s
   in
-  if jobs <= 1 then run_serial ~shrink ~out_of_time ~progress ~seed ~count
+  if jobs <= 1 then
+    run_serial ~shrink ~backends ~out_of_time ~progress ~seed ~count
   else
     Gpr_engine.Pool.with_pool ~jobs (fun pool ->
-        run_sharded pool ~shrink ~out_of_time ~progress ~seed ~count)
+        run_sharded pool ~shrink ~backends ~out_of_time ~progress ~seed ~count)
 
 (* Lint annotations for a counterexample: static diagnostics often
    explain *why* a shrunk kernel misbehaves (a race the exact stage saw

@@ -1,13 +1,23 @@
 (** Fuzzing campaign driver: generate → check → shrink → report.
 
-    Every seed runs four oracle stages in order: the exact differential
-    mode, the reduced-precision mode, the timing-model replay, and the
-    static/dynamic lint-soundness parity ({!Diff}).  The first failing
-    stage is shrunk with a predicate that demands the same failure
-    class, so the reported counterexample reproduces the original
-    violation, not an artefact of shrinking. *)
+    Every seed runs a sequence of oracle stages derived from the
+    requested scheme list ([backends], default [["slice"]]).  The slice
+    scheme expands to the four classic stages — exact differential,
+    reduced-precision, timing-model replay, and static/dynamic
+    lint-soundness parity ({!Diff}) — while any other registered scheme
+    runs the generic plain-vs-backend oracles
+    ({!Diff.check_backend} + {!Diff.check_sim_backend}).  The first
+    failing stage is shrunk with a predicate that demands the same
+    failure class, so the reported counterexample reproduces the
+    original violation, not an artefact of shrinking. *)
 
-type stage = Stage_exact | Stage_narrow | Stage_sim | Stage_lint
+type stage =
+  | Stage_exact
+  | Stage_narrow
+  | Stage_sim
+  | Stage_lint
+  | Stage_backend of string
+      (** generic scheme oracle for the named registry backend *)
 
 type report = {
   seed : int;
@@ -24,12 +34,14 @@ type summary = {
 
 val stage_name : stage -> string
 
-val run_seed : ?shrink:bool -> int -> report option
-(** Check one seed; [shrink] (default true) minimises any
+val run_seed : ?shrink:bool -> ?backends:string list -> int -> report option
+(** Check one seed against the stages of the given scheme names
+    (default [["slice"]]); [shrink] (default true) minimises any
     counterexample before reporting. *)
 
 val run :
   ?shrink:bool ->
+  ?backends:string list ->
   ?max_seconds:float ->
   ?progress:(int -> unit) ->
   ?jobs:int ->
@@ -37,7 +49,10 @@ val run :
   count:int ->
   unit ->
   summary
-(** Check [count] consecutive seeds starting at [seed].  [max_seconds]
+(** Check [count] consecutive seeds starting at [seed].  [backends]
+    (default [["slice"]]) selects which schemes' oracle stages each
+    seed runs; unknown names raise [Invalid_argument] before any seed
+    is checked.  [max_seconds]
     bounds wall time (checked between seeds, or between chunks when
     parallel — for CI smoke runs); [progress] is called with each seed
     before its chunk runs.

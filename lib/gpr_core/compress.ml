@@ -1,4 +1,3 @@
-open Gpr_isa.Types
 open Gpr_workloads
 module Q = Gpr_quality.Quality
 module P = Gpr_precision.Precision
@@ -22,19 +21,10 @@ type t = {
   high : per_threshold;
 }
 
-let width_fn ~narrow_ints ~narrow_floats ~range (r : vreg) =
-  match r.ty with
-  | Pred -> 32  (* excluded from allocation by liveness anyway *)
-  | F32 ->
-    (match narrow_floats with
-     | None -> 32
-     | Some asg ->
-       let bits = P.var_bits asg in
-       (match Hashtbl.find_opt bits r.id with Some b -> b | None -> 32))
-  | S32 | U32 ->
-    if narrow_ints && r.id < Array.length range.Gpr_analysis.Range.var_bits
-    then Gpr_analysis.Range.var_bitwidth range r.id
-    else 32
+(* The width policy lives with the slice scheme in [Gpr_backend] now;
+   this alias keeps the historical entry point for the ablation sweeps
+   and external callers. *)
+let width_fn = Gpr_backend.Backend_slice.width_fn
 
 (* Tuning cost scales with the site count; large kernels get coarser
    groups and a bounded evaluation budget (both knobs of the original
@@ -137,7 +127,7 @@ let threshold_data t = function
   | Q.High -> t.high
 
 let occupancy t (alloc : Alloc.t) =
-  Gpr_arch.Occupancy.compute Gpr_arch.Config.fermi_gtx480
-    ~regs_per_thread:alloc.pressure
+  Gpr_backend.Backend.occupancy Gpr_arch.Config.fermi_gtx480
+    (Gpr_backend.Backend.plain_resources alloc)
     ~warps_per_block:(Workload.warps_per_block t.w)
     ~shared_bytes_per_block:(Workload.shared_bytes_per_block t.w)

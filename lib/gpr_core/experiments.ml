@@ -382,6 +382,76 @@ let print_fig12 () =
        (fig12_data ()))
 
 (* ------------------------------------------------------------------ *)
+(* Backend comparison: any set of registered register-file schemes on
+   any registry subset.  Schemes that consume a precision assignment
+   (slice) use the high quality threshold. *)
+
+type backend_row = {
+  b_kernel : string;
+  b_backend : string;
+  b_regs : int;
+  b_spill_bytes : int;
+  b_blocks : int;
+  b_occupancy : float;
+  b_ipc : float;
+  b_ipc_vs_baseline_pct : float;
+}
+
+let backend_comparison ?names (backends : Gpr_backend.Backend.t list) =
+  let ws =
+    match names with
+    | None -> Registry.all
+    | Some ns ->
+      List.map
+        (fun n ->
+           match Registry.by_name n with
+           | Some w -> w
+           | None -> failwith ("unknown workload " ^ n))
+        ns
+  in
+  let cs = pmap Compress.analyze ws in
+  (* Baseline IPC first (also fanned out): every row reports its IPC
+     change against the conventional register file. *)
+  let bases = pmap (fun c -> (Simulate.baseline c).Gpr_sim.Sim.gpu_ipc) cs in
+  let pairs =
+    List.concat_map
+      (fun (c, base) -> List.map (fun b -> (c, base, b)) backends)
+      (List.combine cs bases)
+  in
+  pmap
+    (fun ((c : Compress.t), base, b) ->
+       let res = Simulate.backend_resources b c Q.High in
+       let occ = Simulate.backend_occupancy c res in
+       let st = Simulate.backend b c Q.High in
+       {
+         b_kernel = c.w.name;
+         b_backend = Gpr_backend.Backend.id b;
+         b_regs = res.Gpr_backend.Backend.alloc.Gpr_alloc.Alloc.pressure;
+         b_spill_bytes = Gpr_backend.Backend.spill_bytes_per_thread res;
+         b_blocks = occ.Occ.blocks_per_sm;
+         b_occupancy = occ.Occ.occupancy;
+         b_ipc = st.Gpr_sim.Sim.gpu_ipc;
+         b_ipc_vs_baseline_pct =
+           100.0 *. ((st.Gpr_sim.Sim.gpu_ipc /. base) -. 1.0);
+       })
+    pairs
+
+let print_backend_comparison ?names backends =
+  Tab.section "Backend comparison: occupancy and IPC per register-file scheme";
+  Tab.print
+    ~header:[ "Kernel"; "Backend"; "Regs/thread"; "Spill B/thread";
+              "Blocks/SM"; "Occupancy"; "IPC"; "IPC vs baseline" ]
+    (List.map
+       (fun r ->
+          [ r.b_kernel; r.b_backend; string_of_int r.b_regs;
+            string_of_int r.b_spill_bytes; string_of_int r.b_blocks;
+            Tab.pct (100.0 *. r.b_occupancy); Tab.fp ~digits:1 r.b_ipc;
+            Tab.pct r.b_ipc_vs_baseline_pct ])
+       (backend_comparison ?names backends));
+  print_endline
+    "(schemes that consume a precision assignment use the high threshold)"
+
+(* ------------------------------------------------------------------ *)
 (* Sec. 6.4 / 6.5 / 7. *)
 
 let print_breakdown (b : Gpr_area.Area.breakdown) =
@@ -481,7 +551,7 @@ let print_ablation_split () =
          let data = Compress.threshold_data c Gpr_quality.Quality.High in
          let w = Option.get (Registry.by_name name) in
          let width =
-           Compress.width_fn ~narrow_ints:true
+           Gpr_backend.Backend_slice.width_fn ~narrow_ints:true
              ~narrow_floats:(Some data.Compress.assignment) ~range:c.range
          in
          let no_split =
@@ -508,8 +578,8 @@ let print_volta_sim () =
          let w = Option.get (Registry.by_name name) in
          let data = Compress.threshold_data c Gpr_quality.Quality.High in
          let occ alloc =
-           Gpr_arch.Occupancy.compute vcfg
-             ~regs_per_thread:alloc.Gpr_alloc.Alloc.pressure
+           Gpr_backend.Backend.occupancy vcfg
+             (Gpr_backend.Backend.plain_resources alloc)
              ~warps_per_block:(Workload.warps_per_block w)
              ~shared_bytes_per_block:(Workload.shared_bytes_per_block w)
          in

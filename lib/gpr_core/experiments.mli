@@ -91,6 +91,27 @@ val fig12_delays : int list
 val fig12_data : unit -> fig12_row list
 val print_fig12 : unit -> unit
 
+type backend_row = {
+  b_kernel : string;
+  b_backend : string;
+  b_regs : int;               (** register pressure under the scheme *)
+  b_spill_bytes : int;        (** shared spill bytes per thread *)
+  b_blocks : int;
+  b_occupancy : float;
+  b_ipc : float;
+  b_ipc_vs_baseline_pct : float;
+}
+
+val backend_comparison :
+  ?names:string list -> Gpr_backend.Backend.t list -> backend_row list
+(** One row per (kernel, scheme), kernels outermost.  [names] restricts
+    the kernel set (default: the whole registry); unknown names fail.
+    Schemes that consume a precision assignment use the high
+    threshold. *)
+
+val print_backend_comparison :
+  ?names:string list -> Gpr_backend.Backend.t list -> unit
+
 val print_area : unit -> unit
 (** Sec. 6.4 area overhead. *)
 

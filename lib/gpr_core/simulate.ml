@@ -73,8 +73,19 @@ let stats_for (c : Compress.t) variant compute =
     put_cached stats_cache key s;
     s
 
+(* Every simulation memo key names the register-file scheme (id +
+   version, via [Fingerprint.scheme]) whose organisation it models:
+   two backends must never share a cache entry for the same workload.
+   The classic entry points are slice-scheme configurations (baseline
+   is the slice pipeline's reference point). *)
+let scheme_key (s : Gpr_backend.Backend.t) =
+  Fp.to_hex (Gpr_backend.Backend.fingerprint s)
+
 let baseline (c : Compress.t) =
-  stats_for c "baseline" (fun () ->
+  let variant =
+    "baseline/" ^ scheme_key (module Gpr_backend.Backend_baseline)
+  in
+  stats_for c variant (fun () ->
       let trace = trace_for c "plain" None in
       let occ = Compress.occupancy c c.baseline in
       Sim.run cfg ~trace ~alloc:c.baseline ~blocks_per_sm:occ.blocks_per_sm
@@ -82,8 +93,9 @@ let baseline (c : Compress.t) =
 
 let proposed ?(writeback_delay = 3) (c : Compress.t) threshold =
   let variant =
-    Printf.sprintf "proposed/%s/wb%d" (Q.threshold_name threshold)
-      writeback_delay
+    Printf.sprintf "proposed/%s/%s/wb%d"
+      (scheme_key (module Gpr_backend.Backend_slice))
+      (Q.threshold_name threshold) writeback_delay
   in
   stats_for c variant (fun () ->
       let data = Compress.threshold_data c threshold in
@@ -99,7 +111,9 @@ let proposed ?(writeback_delay = 3) (c : Compress.t) threshold =
 
 let artificial (c : Compress.t) threshold =
   let variant =
-    Printf.sprintf "artificial/%s" (Q.threshold_name threshold)
+    Printf.sprintf "artificial/%s/%s"
+      (scheme_key (module Gpr_backend.Backend_slice))
+      (Q.threshold_name threshold)
   in
   stats_for c variant (fun () ->
       let data = Compress.threshold_data c threshold in
@@ -107,3 +121,40 @@ let artificial (c : Compress.t) threshold =
       let occ = Compress.occupancy c data.alloc_both in
       Sim.run cfg ~trace ~alloc:c.baseline ~blocks_per_sm:occ.blocks_per_sm
         ~mode:Sim.Baseline)
+
+(* ------------------------------------------------------------------ *)
+(* Generic scheme entry points: any registered backend through the same
+   trace/occupancy/simulate plumbing the classic entries use. *)
+
+let backend_resources (b : Gpr_backend.Backend.t) (c : Compress.t) threshold =
+  let module S = (val b : Gpr_backend.Backend.Scheme) in
+  let precision =
+    if S.needs_precision then
+      Some (Compress.threshold_data c threshold).Compress.assignment
+    else None
+  in
+  S.analyze ~kernel:c.w.kernel ~range:c.range ~precision
+
+let backend_occupancy (c : Compress.t) (res : Gpr_backend.Backend.resources) =
+  Gpr_backend.Backend.occupancy cfg res
+    ~warps_per_block:(Workload.warps_per_block c.w)
+    ~shared_bytes_per_block:(Workload.shared_bytes_per_block c.w)
+
+let backend ?writeback_delay (b : Gpr_backend.Backend.t) (c : Compress.t)
+    threshold =
+  let module S = (val b : Gpr_backend.Backend.Scheme) in
+  let variant =
+    Printf.sprintf "backend/%s/%s/wb%s" (scheme_key b)
+      (Q.threshold_name threshold)
+      (match writeback_delay with None -> "-" | Some d -> string_of_int d)
+  in
+  stats_for c variant (fun () ->
+      let res = backend_resources b c threshold in
+      let trace =
+        if S.needs_precision then trace_quantized c threshold
+        else trace_plain c
+      in
+      let occ = backend_occupancy c res in
+      Sim.run cfg ~trace ~alloc:res.Gpr_backend.Backend.alloc
+        ~blocks_per_sm:occ.Gpr_arch.Occupancy.blocks_per_sm
+        ~mode:(Gpr_backend.Backend.sim_mode ?writeback_delay b res))

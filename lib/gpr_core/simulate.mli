@@ -25,6 +25,33 @@ val proposed :
 
 val artificial : Compress.t -> Gpr_quality.Quality.threshold -> Gpr_sim.Sim.stats
 
+val backend_resources :
+  Gpr_backend.Backend.t ->
+  Compress.t ->
+  Gpr_quality.Quality.threshold ->
+  Gpr_backend.Backend.resources
+(** Run a scheme's [analyze] over the workload's precomputed range and
+    (when the scheme wants one) precision assignment at the given
+    threshold. *)
+
+val backend_occupancy :
+  Compress.t -> Gpr_backend.Backend.resources -> Gpr_arch.Occupancy.result
+(** Occupancy with both limits (registers, shared memory including
+    spill slots) taken from the scheme's resources. *)
+
+val backend :
+  ?writeback_delay:int ->
+  Gpr_backend.Backend.t ->
+  Compress.t ->
+  Gpr_quality.Quality.threshold ->
+  Gpr_sim.Sim.stats
+(** Simulate the workload under any registered scheme: the quantised
+    trace when the scheme consumes precision, the plain trace
+    otherwise; occupancy and simulator mode from the scheme's
+    resources and cost model.  Memoised like the classic entries, with
+    the scheme's id+version in the key — [backend] on [Backend_slice]
+    reproduces [proposed] exactly. *)
+
 val clear_cache : unit -> unit
 (** Clears the in-memory memo tables only, never the on-disk store. *)
 

@@ -5,8 +5,11 @@ let equal = String.equal
 
 (* Bump whenever analysis, tuning, allocation, input generation or
    simulation semantics change: every fingerprint (and therefore every
-   on-disk store entry) is invalidated at once. *)
-let version = "gpr-engine/1"
+   on-disk store entry) is invalidated at once.
+   2: simulation memo keys carry the backend scheme id+version; entries
+   written before schemes existed are ambiguous and must not be
+   reused. *)
+let version = "gpr-engine/2"
 
 let of_strings parts =
   let buf = Buffer.create 256 in
@@ -36,6 +39,9 @@ let config (c : Gpr_arch.Config.t) =
 
 let threshold th =
   of_strings [ "threshold"; Gpr_quality.Quality.threshold_name th ]
+
+let scheme ~id ~version =
+  of_strings [ "scheme"; id; string_of_int version ]
 
 let pvalue = function
   | Gpr_exec.Exec.P_int i -> Printf.sprintf "i%d" i

@@ -41,6 +41,11 @@ val config : Gpr_arch.Config.t -> t
 
 val threshold : Gpr_quality.Quality.threshold -> t
 
+val scheme : id:string -> version:int -> t
+(** A register-file backend's identity (its stable id and version).
+    Mixed into every simulation memo key so two schemes — or two
+    versions of one scheme — can never share a cache entry. *)
+
 val workload : Gpr_workloads.Workload.t -> t
 (** Everything that determines the static framework's result for a
     workload: kernel text, launch, parameter values, shared layout,

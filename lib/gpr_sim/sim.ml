@@ -5,6 +5,7 @@ module Alloc = Gpr_alloc.Alloc
 type regfile_mode =
   | Baseline
   | Proposed of { writeback_delay : int }
+  | Spill of { latency : int; spilled : (int, unit) Hashtbl.t }
 
 type stats = {
   cycles : int;
@@ -22,6 +23,8 @@ type stats = {
   stall_scoreboard : int;
   stall_no_cu : int;
   idle_cycles : int;
+  spill_loads : int;
+  spill_stores : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -68,9 +71,24 @@ let violated fmt = Printf.ksprintf (fun s -> raise (Invariant_violation s)) fmt
 let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
     ~(trace : Trace.t) ~(alloc : Alloc.t) ~blocks_per_sm ~mode =
   let proposed_delay =
-    match mode with Baseline -> 0 | Proposed { writeback_delay } -> writeback_delay
+    match mode with
+    | Baseline | Spill _ -> 0
+    | Proposed { writeback_delay } -> writeback_delay
   in
-  let is_proposed = match mode with Baseline -> false | Proposed _ -> true in
+  let is_proposed = match mode with Proposed _ -> true | _ -> false in
+  (* Spilling register files keep a subset of registers in shared
+     memory: spilled sources refill before execution and spilled
+     destinations write through after writeback, each paying the shared
+     round trip; accesses serialise at one per cycle on the spill
+     port. *)
+  let is_spilled, spill_latency =
+    match mode with
+    | Spill { latency; spilled } ->
+      ((fun r -> Hashtbl.mem spilled r), latency)
+    | Baseline | Proposed _ -> ((fun _ -> false), 0)
+  in
+  let spill_free = ref 0 in
+  let spill_loads = ref 0 and spill_stores = ref 0 in
 
   (* --- Partition the trace into per-(block, warp) streams. --- *)
   let streams = Hashtbl.create 256 in
@@ -411,6 +429,14 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
         | Ldst -> mem_latency !cycle it
         | Sync -> (0, 1)
       in
+      let lat =
+        match List.length (List.filter is_spilled srcs) with
+        | 0 -> lat
+        | n ->
+          spill_loads := !spill_loads + n;
+          spill_free := max !spill_free !cycle + n;
+          lat + spill_latency + (!spill_free - !cycle - 1)
+      in
       cus.(slot) <-
         Some { c_warp = w; c_item = it; c_ops = ops; c_mem_latency = lat;
                c_unit_busy = busy }
@@ -476,9 +502,17 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
              let complete = now + cu.c_mem_latency in
              let retire_cycle =
                match cu.c_item.t_dst with
-               | Some _ ->
+               | Some d ->
                  let wb = alloc_wb_slot complete in
-                 wb + proposed_delay
+                 let spill_extra =
+                   if is_spilled d then begin
+                     incr spill_stores;
+                     spill_free := max !spill_free wb + 1;
+                     spill_latency + (!spill_free - wb - 1)
+                   end
+                   else 0
+                 in
+                 wb + proposed_delay + spill_extra
                | None -> complete
              in
              schedule (max (now + 1) retire_cycle)
@@ -659,4 +693,6 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
     stall_scoreboard = !stall_scoreboard;
     stall_no_cu = !stall_no_cu;
     idle_cycles = !idle_cycles;
+    spill_loads = !spill_loads;
+    spill_stores = !spill_stores;
   }

@@ -21,6 +21,12 @@
 type regfile_mode =
   | Baseline
   | Proposed of { writeback_delay : int }
+  | Spill of { latency : int; spilled : (int, unit) Hashtbl.t }
+      (** a conventional 32-bit file for the registers that stay, plus
+          shared-memory spill slots for the keys of [spilled]: spilled
+          sources refill before execution and spilled destinations
+          write through after writeback, each paying [latency] cycles;
+          spill accesses serialise at one per cycle *)
 
 type stats = {
   cycles : int;
@@ -39,6 +45,8 @@ type stats = {
   stall_scoreboard : int;
   stall_no_cu : int;
   idle_cycles : int;
+  spill_loads : int;           (** spilled source refills ([Spill] mode) *)
+  spill_stores : int;          (** spilled destination write-throughs *)
 }
 
 exception Invariant_violation of string

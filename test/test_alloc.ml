@@ -144,6 +144,37 @@ let prop_no_overlap_random_widths =
        ignore (check_no_overlap k widths);
        true)
 
+let prop_no_overlap_generated_kernels =
+  (* Same core invariant, over the fuzzer's kernel generator instead of
+     the structured fan/mixed shapes: random CFGs, types and liveness. *)
+  QCheck.Test.make ~name:"no slice overlap on generated kernels" ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+       let k = (Gpr_check.Gen.generate seed).Gpr_check.Gen.kernel in
+       let rng = Gpr_util.Rng.create (seed lxor 0x5f5f) in
+       let cache = Hashtbl.create 16 in
+       let widths (r : vreg) =
+         match Hashtbl.find_opt cache r.id with
+         | Some w -> w
+         | None ->
+           let w = 1 + Gpr_util.Rng.int rng 32 in
+           Hashtbl.replace cache r.id w;
+           w
+       in
+       ignore (check_no_overlap k widths);
+       true)
+
+let prop_no_split_pressure_dominates =
+  (* Splits only ever help: the allocator with splits disabled must
+     never report lower pressure than with them enabled. *)
+  QCheck.Test.make ~name:"forbidding splits never lowers pressure" ~count:40
+    QCheck.(pair (int_range 1 10_000) (int_range 1 32))
+    (fun (seed, w) ->
+       let k = (Gpr_check.Gen.generate seed).Gpr_check.Gen.kernel in
+       let split = A.run ~allow_split:true k ~width_of:(fun _ -> w) in
+       let nosplit = A.run ~allow_split:false k ~width_of:(fun _ -> w) in
+       nosplit.A.pressure >= split.A.pressure)
+
 let test_split_placements_counted () =
   (* Force fragmentation: many 5-slice (17..20-bit) values leave 3-slice
      holes that only splits can use. *)
@@ -202,5 +233,10 @@ let () =
           Alcotest.test_case "workloads fit table" `Quick
             test_workload_allocs_fit_arch_table;
         ] );
-      ("packing-props", [ q prop_no_overlap_random_widths ]);
+      ( "packing-props",
+        [
+          q prop_no_overlap_random_widths;
+          q prop_no_overlap_generated_kernels;
+          q prop_no_split_pressure_dominates;
+        ] );
     ]

@@ -41,6 +41,22 @@ let test_clean_seeds () =
    | [] -> ()
    | r :: _ -> Alcotest.fail (Runner.report_to_string r))
 
+let test_clean_seeds_backend_stages () =
+  (* The scheme-generic oracle stages (plain-vs-backend differential +
+     timing parity) must also be clean on known-good seeds. *)
+  let summary =
+    Runner.run ~shrink:false ~backends:[ "spill"; "baseline" ] ~seed:1
+      ~count:25 ()
+  in
+  Alcotest.(check int) "all checked" 25 summary.Runner.checked;
+  (match summary.Runner.reports with
+   | [] -> ()
+   | r :: _ -> Alcotest.fail (Runner.report_to_string r));
+  Alcotest.(check bool) "unknown backend rejected up front" true
+    (match Runner.run ~shrink:false ~backends:[ "bogus" ] ~seed:1 ~count:1 () with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
 (* Corrupt the analysis result after the fact: collapsing every finite
    range to its lower bound makes the analysis claim values it cannot
    justify, which the runtime soundness hook must catch. *)
@@ -198,6 +214,8 @@ let () =
       ( "oracle",
         [
           Alcotest.test_case "clean seeds" `Quick test_clean_seeds;
+          Alcotest.test_case "clean seeds (backend stages)" `Quick
+            test_clean_seeds_backend_stages;
           Alcotest.test_case "catches bad ranges" `Quick test_catches_bad_ranges;
           Alcotest.test_case "catches bad widths" `Quick test_catches_bad_widths;
           Alcotest.test_case "step budget" `Quick test_exec_step_budget;
