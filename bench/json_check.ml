@@ -1,0 +1,21 @@
+(* Validate JSON artifacts: every file named on the command line must
+   parse under Gpr_obs.Json's strict parser and be non-empty.  Used by
+   the runtest rule for the committed BENCH_*.json files and by CI for
+   freshly produced Chrome traces. *)
+
+let () =
+  let bad = ref false in
+  Array.iteri
+    (fun i file ->
+      if i > 0 then
+        match Gpr_obs.Json.parse_file file with
+        | Ok (Gpr_obs.Json.Obj (_ :: _)) | Ok (Gpr_obs.Json.Arr (_ :: _)) ->
+          Printf.printf "%s: ok\n" file
+        | Ok _ ->
+          bad := true;
+          Printf.eprintf "%s: parses but is empty\n" file
+        | Error msg ->
+          bad := true;
+          Printf.eprintf "%s: %s\n" file msg)
+    Sys.argv;
+  if !bad then exit 1

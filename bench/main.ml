@@ -15,7 +15,10 @@
    byte-comparable across [-j 1] and [-j N] runs.  The static verifier
    is timed per pass over the registry and reported in BENCH_lint.json;
    each registered register-file backend is timed over the full
-   registry and reported in BENCH_backend.json.
+   registry and reported in BENCH_backend.json, with its registry-wide
+   stall-attribution breakdown and the metrics-registry snapshot in
+   BENCH_obs.json.  Every artifact is emitted through Gpr_obs.Json and
+   re-parsed by the bench/json_check runtest rule.
 
    Run with:  dune exec bench/main.exe -- [-j N] [--cache-dir DIR]
                                           [--no-micro] *)
@@ -165,12 +168,12 @@ let sections : (string * (unit -> unit)) list =
     ("ablations", E.print_ablations);
   ]
 
-let json_escape s =
-  String.concat ""
-    (List.map
-       (function
-         | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
-       (List.init (String.length s) (String.get s)))
+(* All BENCH_*.json artifacts are rendered through one escaping-aware
+   emitter ({!Gpr_obs.Json}); a runtest rule parses every committed
+   artifact back with the same library's strict parser. *)
+module J = Gpr_obs.Json
+
+let seconds s = J.Float (Float.round (s *. 1000.0) /. 1000.0)
 
 let write_engine_json ~jobs ~cache ~timed ~total =
   let hits, misses =
@@ -178,20 +181,23 @@ let write_engine_json ~jobs ~cache ~timed ~total =
     | None -> (0, 0)
     | Some s -> (Gpr_engine.Store.hits s, Gpr_engine.Store.misses s)
   in
-  let oc = open_out "BENCH_engine.json" in
-  Printf.fprintf oc "{\n  \"jobs\": %d,\n" jobs;
-  Printf.fprintf oc "  \"cache_dir\": \"%s\",\n"
-    (json_escape (match cache with None -> "" | Some s -> Gpr_engine.Store.dir s));
-  Printf.fprintf oc "  \"cache_hits\": %d,\n  \"cache_misses\": %d,\n" hits misses;
-  Printf.fprintf oc "  \"total_seconds\": %.3f,\n  \"sections\": [\n" total;
-  List.iteri
-    (fun i (name, secs) ->
-       Printf.fprintf oc "    { \"section\": \"%s\", \"seconds\": %.3f }%s\n"
-         (json_escape name) secs
-         (if i = List.length timed - 1 then "" else ","))
-    timed;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc
+  J.write_file "BENCH_engine.json"
+    (J.Obj
+       [
+         ("jobs", J.Int jobs);
+         ( "cache_dir",
+           J.Str (match cache with None -> "" | Some s -> Gpr_engine.Store.dir s)
+         );
+         ("cache_hits", J.Int hits);
+         ("cache_misses", J.Int misses);
+         ("total_seconds", seconds total);
+         ( "sections",
+           J.Arr
+             (List.map
+                (fun (name, secs) ->
+                  J.Obj [ ("section", J.Str name); ("seconds", seconds secs) ])
+                timed) );
+       ])
 
 (* ---------------------------------------------------------------- *)
 (* Per-scheme timing: the full registry analysed and simulated under
@@ -214,22 +220,55 @@ let run_backend_bench () =
           0.0 rows
         /. float_of_int (max 1 (List.length rows))
       in
-      (name, secs, List.length rows, mean_delta))
+      let stalls =
+        List.fold_left
+          (fun acc (r : Gpr_core.Experiments.backend_row) ->
+            Gpr_obs.Stall.add acc r.b_stalls)
+          Gpr_obs.Stall.empty rows
+      in
+      (name, secs, List.length rows, mean_delta, stalls))
     Gpr_backend.Registry.all
 
 let write_backend_json entries =
-  let oc = open_out "BENCH_backend.json" in
-  Printf.fprintf oc "{\n  \"backends\": [\n";
-  List.iteri
-    (fun i (name, secs, kernels, mean_delta) ->
-      Printf.fprintf oc
-        "    { \"backend\": \"%s\", \"seconds\": %.3f, \"kernels\": %d, \
-         \"mean_ipc_vs_baseline_pct\": %.2f }%s\n"
-        (json_escape name) secs kernels mean_delta
-        (if i = List.length entries - 1 then "" else ","))
-    entries;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc
+  J.write_file "BENCH_backend.json"
+    (J.Obj
+       [
+         ( "backends",
+           J.Arr
+             (List.map
+                (fun (name, secs, kernels, mean_delta, _) ->
+                  J.Obj
+                    [
+                      ("backend", J.Str name);
+                      ("seconds", seconds secs);
+                      ("kernels", J.Int kernels);
+                      ( "mean_ipc_vs_baseline_pct",
+                        J.Float (Float.round (mean_delta *. 100.0) /. 100.0) );
+                    ])
+                entries) );
+       ])
+
+(* BENCH_obs.json: the registry-wide stall-attribution breakdown per
+   scheme (summed over every kernel's simulation) plus the metrics
+   registry's final snapshot — the observability counterpart of the
+   timing artifacts above. *)
+let write_obs_json entries =
+  J.write_file "BENCH_obs.json"
+    (J.Obj
+       [
+         ( "backends",
+           J.Arr
+             (List.map
+                (fun (name, _, kernels, _, stalls) ->
+                  match Gpr_obs.Stall.to_json stalls with
+                  | J.Obj fields ->
+                    J.Obj
+                      (("backend", J.Str name) :: ("kernels", J.Int kernels)
+                      :: fields)
+                  | other -> other)
+                entries) );
+         ("metrics", Gpr_obs.Metrics.to_json ());
+       ])
 
 (* ---------------------------------------------------------------- *)
 (* Static verifier benchmark: per-pass time over the Table 4 registry
@@ -283,22 +322,30 @@ let run_lint_bench () =
   Printf.eprintf
     "[lint: %d kernels, %d error(s), %d warning(s), %d info]\n"
     (List.length workloads) (count D.Error) (count D.Warning) (count D.Info);
-  let oc = open_out "BENCH_lint.json" in
-  Printf.fprintf oc "{\n  \"kernels\": %d,\n" (List.length workloads);
-  Printf.fprintf oc "  \"make_ctx_us\": %.1f,\n" ctx_us;
-  Printf.fprintf oc
-    "  \"diagnostics\": { \"error\": %d, \"warning\": %d, \"info\": %d },\n"
-    (count D.Error) (count D.Warning) (count D.Info);
-  Printf.fprintf oc "  \"passes\": [\n";
-  List.iteri
-    (fun i (name, us, n) ->
-      Printf.fprintf oc
-        "    { \"pass\": \"%s\", \"us\": %.1f, \"diags\": %d }%s\n"
-        (json_escape name) us n
-        (if i = List.length per_pass - 1 then "" else ","))
-    per_pass;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc
+  J.write_file "BENCH_lint.json"
+    (J.Obj
+       [
+         ("kernels", J.Int (List.length workloads));
+         ("make_ctx_us", J.Float (Float.round (ctx_us *. 10.0) /. 10.0));
+         ( "diagnostics",
+           J.Obj
+             [
+               ("error", J.Int (count D.Error));
+               ("warning", J.Int (count D.Warning));
+               ("info", J.Int (count D.Info));
+             ] );
+         ( "passes",
+           J.Arr
+             (List.map
+                (fun (name, us, n) ->
+                  J.Obj
+                    [
+                      ("pass", J.Str name);
+                      ("us", J.Float (Float.round (us *. 10.0) /. 10.0));
+                      ("diags", J.Int n);
+                    ])
+                per_pass) );
+       ])
 
 let () =
   Arg.parse speclist
@@ -307,6 +354,9 @@ let () =
   let jobs =
     if !jobs <= 0 then Gpr_engine.Pool.default_jobs () else !jobs
   in
+  (* Metrics feed BENCH_obs.json; enabling them perturbs nothing the
+     artifacts compare (stdout tables are metric-free). *)
+  Gpr_obs.Metrics.set_enabled true;
   let cache =
     if !cache_dir = "" then None
     else begin
@@ -367,11 +417,14 @@ let () =
     (fun (name, secs) -> Printf.eprintf "[section %-10s %8.2f s]\n" name secs)
     timed;
   List.iter
-    (fun (name, secs, kernels, mean_delta) ->
+    (fun (name, secs, kernels, mean_delta, stalls) ->
       Printf.eprintf
-        "[backend %-8s %8.2f s  %2d kernels  mean IPC vs baseline %+.1f%%]\n"
-        name secs kernels mean_delta)
+        "[backend %-8s %8.2f s  %2d kernels  mean IPC vs baseline %+.1f%%  \
+         stalls %s]\n"
+        name secs kernels mean_delta
+        (Gpr_obs.Stall.pct_string stalls))
     backend_entries;
   Printf.eprintf "[evaluation pipeline: %.1f s]\n%!" total;
   write_engine_json ~jobs ~cache ~timed ~total;
-  write_backend_json backend_entries
+  write_backend_json backend_entries;
+  write_obs_json backend_entries

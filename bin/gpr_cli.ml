@@ -435,6 +435,97 @@ let lint_cmd =
           error-severity diagnostic.")
     Term.(const run $ target $ json $ block $ grid)
 
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let backend_one =
+    let doc =
+      "Register-file scheme to profile (one name from the backend \
+       registry; default slice)."
+    in
+    Arg.(value & opt string "slice" & info [ "backend" ] ~docv:"NAME" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Write the Chrome trace-event JSON here (open in chrome://tracing \
+       or https://ui.perfetto.dev)."
+    in
+    Arg.(value & opt string "gpr-trace.json"
+         & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let max_events_arg =
+    let doc =
+      "Cap on recorded trace events; past it events are dropped (and \
+       counted) instead of exhausting memory."
+    in
+    Arg.(value & opt int 200_000 & info [ "max-events" ] ~docv:"N" ~doc)
+  in
+  let run name bname trace_file max_events cache_dir =
+    let store = setup_store cache_dir in
+    Fun.protect ~finally:(fun () -> print_store_stats store) @@ fun () ->
+    let w = find_workload name in
+    let b =
+      match resolve_backends [ bname ] with [ b ] -> b | _ -> assert false
+    in
+    Gpr_obs.Metrics.set_enabled true;
+    let chrome = Gpr_obs.Chrome.create ~max_events () in
+    Gpr_obs.Chrome.name_process chrome ~pid:2 "engine pool";
+    Gpr_obs.Chrome.set_sink (Some chrome);
+    let st =
+      Fun.protect
+        ~finally:(fun () -> Gpr_obs.Chrome.set_sink None)
+        (fun () ->
+          let c = Compress.analyze w in
+          Simulate.profile_backend ~profile:chrome b c Q.High)
+    in
+    let bd = Gpr_sim.Sim.breakdown st in
+    let total = Gpr_obs.Stall.total_slots bd in
+    let pct n = 100.0 *. float_of_int n /. float_of_int (max 1 total) in
+    Tab.section
+      (Printf.sprintf "Issue-slot attribution: %s under %s" name
+         (Gpr_backend.Backend.id b));
+    Tab.print
+      ~header:[ "Outcome"; "Slots"; "Share" ]
+      ([ [ "issued"; string_of_int st.Gpr_sim.Sim.issued_slots;
+           Tab.pct (pct st.Gpr_sim.Sim.issued_slots) ] ]
+      @ List.map
+          (fun cause ->
+            let n = Gpr_obs.Stall.get bd cause in
+            [ "stall: " ^ Gpr_obs.Stall.name cause; string_of_int n;
+              Tab.pct (pct n) ])
+          Gpr_obs.Stall.all);
+    Printf.printf
+      "%d cycles, IPC %.1f, %d bank-conflict fetch retries, %d spill \
+       loads, %d spill stores\n"
+      st.Gpr_sim.Sim.cycles st.Gpr_sim.Sim.gpu_ipc
+      st.Gpr_sim.Sim.bank_conflicts st.Gpr_sim.Sim.spill_loads
+      st.Gpr_sim.Sim.spill_stores;
+    Tab.section "Metrics";
+    List.iter
+      (fun (e : Gpr_obs.Metrics.entry) ->
+        match e with
+        | Gpr_obs.Metrics.Counter { name; count } ->
+          Printf.printf "  %-28s %d\n" name count
+        | Gpr_obs.Metrics.Histogram { name; sum; total; _ } ->
+          Printf.printf "  %-28s count %d, sum %d\n" name total sum)
+      (Gpr_obs.Metrics.snapshot ());
+    Gpr_obs.Chrome.write_file chrome trace_file;
+    Printf.printf "wrote %d trace events to %s (%d dropped)\n"
+      (Gpr_obs.Chrome.num_events chrome)
+      trace_file
+      (Gpr_obs.Chrome.dropped chrome)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile one kernel under a register-file scheme: run the \
+          timing model with self-checks and full stall attribution \
+          enabled, print the issue-slot breakdown and metrics, and \
+          export a Chrome trace-event JSON (per-warp issue spans, \
+          bank-conflict marks) for chrome://tracing / Perfetto.")
+    Term.(const run $ kernel_arg $ backend_one $ trace_arg $ max_events_arg
+          $ cache_dir_arg)
+
 (* ---------------- disasm ---------------- *)
 
 let disasm_cmd =
@@ -456,5 +547,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; pressure_cmd; sim_cmd; report_cmd; disasm_cmd;
-            analyze_cmd; check_cmd; lint_cmd ]))
+          [ list_cmd; pressure_cmd; sim_cmd; report_cmd; profile_cmd;
+            disasm_cmd; analyze_cmd; check_cmd; lint_cmd ]))

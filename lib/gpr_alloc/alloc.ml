@@ -121,6 +121,13 @@ let slices_in_use p =
   done;
   !c
 
+let m_runs = Gpr_obs.Metrics.counter "alloc.runs"
+let m_splits = Gpr_obs.Metrics.counter "alloc.splits"
+
+let m_pressure =
+  Gpr_obs.Metrics.histogram ~buckets:[ 4; 8; 12; 16; 20; 24; 28; 32; 48; 64 ]
+    "alloc.pressure"
+
 let run ?(allow_split = true) ?(exclude = fun _ -> false) kernel ~width_of =
   let live = Gpr_analysis.Liveness.compute kernel in
   let intervals = Gpr_analysis.Liveness.intervals live in
@@ -252,13 +259,19 @@ let run ?(allow_split = true) ?(exclude = fun _ -> false) kernel ~width_of =
        | None -> ())
     var_name;
 
-  {
-    pressure = registers_in_use pool;
-    placements;
-    num_arch_regs = !next_name;
-    peak_slices = slices_in_use pool;
-    split_count = !split_count;
-  }
+  let t =
+    {
+      pressure = registers_in_use pool;
+      placements;
+      num_arch_regs = !next_name;
+      peak_slices = slices_in_use pool;
+      split_count = !split_count;
+    }
+  in
+  Gpr_obs.Metrics.incr m_runs;
+  Gpr_obs.Metrics.add m_splits t.split_count;
+  Gpr_obs.Metrics.observe m_pressure t.pressure;
+  t
 
 let baseline kernel = run kernel ~width_of:(fun _ -> 32)
 

@@ -531,3 +531,82 @@ let check_sim ?(max_steps = 2_000_000) (case : Gen.case) =
   in
   run alloc_base occ_base Gpr_sim.Sim.Baseline;
   run alloc_comp occ_comp (Gpr_sim.Sim.Proposed { writeback_delay = 3 })
+
+(* Observability oracle: the simulator's internal slot accounting is
+   audited by [~check:true], but the *reported* stats record could
+   still lie (field assembled from the wrong ref, a cause dropped from
+   [breakdown], ...).  Recompute the identity from the returned record
+   alone, across all three register-file modes. *)
+let check_obs ?(max_steps = 2_000_000) (case : Gen.case) =
+  guard @@ fun () ->
+  let kernel = case.kernel in
+  let data = case.data () in
+  let bindings = E.bindings_for kernel ~data ~shared:case.shared () in
+  let trace =
+    match
+      E.run kernel ~launch:case.launch ~params:case.params ~bindings
+        {
+          E.default_config with
+          collect_trace = true;
+          max_steps = Some max_steps;
+        }
+    with
+    | Some t -> t
+    | None -> fail (Exec_failure "trace collection returned no trace")
+  in
+  let rt = Range.analyze kernel ~launch:case.launch in
+  let cfg = Gpr_arch.Config.fermi_gtx480 in
+  let shared_bytes =
+    4 * List.fold_left (fun acc (_, n) -> acc + n) 0 case.shared
+  in
+  let occ_of regs spill_bytes =
+    (Gpr_arch.Occupancy.compute cfg ~regs_per_thread:(max 1 regs)
+       ~warps_per_block:trace.Gpr_exec.Trace.warps_per_block
+       ~shared_bytes_per_block:
+         (shared_bytes
+         + (spill_bytes * 32 * trace.Gpr_exec.Trace.warps_per_block)))
+      .Gpr_arch.Occupancy.blocks_per_sm
+  in
+  let audit label (s : Gpr_sim.Sim.stats) =
+    let bd = Gpr_sim.Sim.breakdown s in
+    let slots = Gpr_obs.Stall.total_slots bd in
+    let expected = s.cycles * cfg.warp_schedulers in
+    if slots <> expected then
+      fail
+        (Sim_violation
+           (Printf.sprintf
+              "%s: stall attribution %d slots over %d cycles x %d schedulers \
+               (= %d)"
+              label slots s.cycles cfg.warp_schedulers expected));
+    if s.issued_slots <> s.warp_instructions then
+      fail
+        (Sim_violation
+           (Printf.sprintf "%s: %d issued slots but %d warp instructions"
+              label s.issued_slots s.warp_instructions))
+  in
+  let run label alloc blocks_per_sm mode =
+    match
+      Gpr_sim.Sim.run ~check:true ~waves:2 cfg ~trace ~alloc ~blocks_per_sm
+        ~mode
+    with
+    | s -> audit label s
+    | exception Gpr_sim.Sim.Invariant_violation msg -> fail (Sim_violation msg)
+  in
+  let width_of (r : vreg) =
+    match r.ty with
+    | Pred | F32 -> 32
+    | S32 | U32 -> Range.var_bitwidth rt r.id
+  in
+  let alloc_base = Alloc.baseline kernel in
+  let alloc_comp = Alloc.run kernel ~width_of in
+  run "baseline" alloc_base (occ_of alloc_base.Alloc.pressure 0)
+    Gpr_sim.Sim.Baseline;
+  run "proposed" alloc_comp (occ_of alloc_comp.Alloc.pressure 0)
+    (Gpr_sim.Sim.Proposed { writeback_delay = 3 });
+  (* The spill scheme exercises the spill-port cause. *)
+  let module Sp = Gpr_backend.Backend_spill in
+  let res = Sp.analyze ~kernel ~range:rt ~precision:None in
+  run "spill" res.Backend.alloc
+    (occ_of res.Backend.alloc.Alloc.pressure
+       (Backend.spill_bytes_per_thread res))
+    (Backend.sim_mode (module Sp) res)

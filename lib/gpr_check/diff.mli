@@ -98,6 +98,17 @@ val check_sim : ?max_steps:int -> Gen.case -> unit
     that compressed occupancy is never below baseline.  Raises
     {!Check_failed} with [Sim_violation] / [Exec_failure]. *)
 
+val check_obs : ?max_steps:int -> Gen.case -> unit
+(** Stall-attribution oracle: replay the case's trace under all three
+    register-file modes (baseline, proposed, spill-scheme) and verify,
+    from the {e returned} stats record alone, that every scheduler
+    slot was attributed exactly once —
+    [Gpr_obs.Stall.total_slots (Sim.breakdown stats)
+     = cycles x warp_schedulers] and
+    [issued_slots = warp_instructions].  Complements the simulator's
+    internal [~check:true] audit, which cannot see a stats record
+    assembled from the wrong counters. *)
+
 val check_backend : ?max_steps:int -> Gpr_backend.Backend.t -> Gen.case -> unit
 (** Scheme-generic differential oracle: run the scheme's [analyze]
     (with [precision:None] — fuzz cases carry no tuner data, so floats

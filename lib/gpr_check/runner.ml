@@ -3,6 +3,7 @@ type stage =
   | Stage_narrow
   | Stage_sim
   | Stage_lint
+  | Stage_obs
   | Stage_backend of string
 
 type report = {
@@ -23,6 +24,7 @@ let stage_name = function
   | Stage_narrow -> "narrow"
   | Stage_sim -> "sim"
   | Stage_lint -> "lint"
+  | Stage_obs -> "obs"
   | Stage_backend name -> "backend:" ^ name
 
 (* The slice scheme is what the four classic stages already exercise
@@ -33,7 +35,7 @@ let stages_for backends =
   List.concat_map
     (fun name ->
       if String.lowercase_ascii name = "slice" then
-        [ Stage_exact; Stage_narrow; Stage_sim; Stage_lint ]
+        [ Stage_exact; Stage_narrow; Stage_sim; Stage_lint; Stage_obs ]
       else [ Stage_backend name ])
     backends
 
@@ -45,6 +47,7 @@ let run_stage stage case =
   | Stage_narrow -> Diff.check Diff.Narrow case
   | Stage_sim -> Diff.check_sim case
   | Stage_lint -> Diff.check_lint case
+  | Stage_obs -> Diff.check_obs case
   | Stage_backend name ->
     let b = Gpr_backend.Registry.find_exn name in
     Diff.check_backend b case;

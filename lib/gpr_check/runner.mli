@@ -2,9 +2,10 @@
 
     Every seed runs a sequence of oracle stages derived from the
     requested scheme list ([backends], default [["slice"]]).  The slice
-    scheme expands to the four classic stages — exact differential,
-    reduced-precision, timing-model replay, and static/dynamic
-    lint-soundness parity ({!Diff}) — while any other registered scheme
+    scheme expands to the five classic stages — exact differential,
+    reduced-precision, timing-model replay, static/dynamic
+    lint-soundness parity, and the stall-attribution identity
+    ({!Diff}) — while any other registered scheme
     runs the generic plain-vs-backend oracles
     ({!Diff.check_backend} + {!Diff.check_sim_backend}).  The first
     failing stage is shrunk with a predicate that demands the same
@@ -16,6 +17,9 @@ type stage =
   | Stage_narrow
   | Stage_sim
   | Stage_lint
+  | Stage_obs
+      (** stall-attribution identity over the returned stats records
+          ({!Diff.check_obs}) *)
   | Stage_backend of string
       (** generic scheme oracle for the named registry backend *)
 

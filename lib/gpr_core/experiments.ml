@@ -395,6 +395,7 @@ type backend_row = {
   b_occupancy : float;
   b_ipc : float;
   b_ipc_vs_baseline_pct : float;
+  b_stalls : Gpr_obs.Stall.breakdown;
 }
 
 let backend_comparison ?names (backends : Gpr_backend.Backend.t list) =
@@ -433,23 +434,39 @@ let backend_comparison ?names (backends : Gpr_backend.Backend.t list) =
          b_ipc = st.Gpr_sim.Sim.gpu_ipc;
          b_ipc_vs_baseline_pct =
            100.0 *. ((st.Gpr_sim.Sim.gpu_ipc /. base) -. 1.0);
+         b_stalls = Gpr_sim.Sim.breakdown st;
        })
     pairs
+
+let stall_header =
+  "Stall% "
+  ^ String.concat "/" (List.map Gpr_obs.Stall.short_name Gpr_obs.Stall.all)
 
 let print_backend_comparison ?names backends =
   Tab.section "Backend comparison: occupancy and IPC per register-file scheme";
   Tab.print
     ~header:[ "Kernel"; "Backend"; "Regs/thread"; "Spill B/thread";
-              "Blocks/SM"; "Occupancy"; "IPC"; "IPC vs baseline" ]
+              "Blocks/SM"; "Occupancy"; "IPC"; "IPC vs baseline";
+              "Issue%"; stall_header ]
     (List.map
        (fun r ->
+          let total = Gpr_obs.Stall.total_slots r.b_stalls in
+          let issue_pct =
+            if total = 0 then 0.0
+            else 100.0 *. float_of_int r.b_stalls.Gpr_obs.Stall.bd_issued
+                 /. float_of_int total
+          in
           [ r.b_kernel; r.b_backend; string_of_int r.b_regs;
             string_of_int r.b_spill_bytes; string_of_int r.b_blocks;
             Tab.pct (100.0 *. r.b_occupancy); Tab.fp ~digits:1 r.b_ipc;
-            Tab.pct r.b_ipc_vs_baseline_pct ])
+            Tab.pct r.b_ipc_vs_baseline_pct;
+            Tab.fp ~digits:1 issue_pct;
+            Gpr_obs.Stall.pct_string r.b_stalls ])
        (backend_comparison ?names backends));
   print_endline
-    "(schemes that consume a precision assignment use the high threshold)"
+    "(schemes that consume a precision assignment use the high threshold;\n\
+    \ stall columns attribute every scheduler issue slot: issued + stalls\n\
+    \ = cycles x schedulers)"
 
 (* ------------------------------------------------------------------ *)
 (* Sec. 6.4 / 6.5 / 7. *)

@@ -100,6 +100,8 @@ type backend_row = {
   b_occupancy : float;
   b_ipc : float;
   b_ipc_vs_baseline_pct : float;
+  b_stalls : Gpr_obs.Stall.breakdown;
+      (** per-slot issue/stall attribution of the scheme's simulation *)
 }
 
 val backend_comparison :

@@ -158,3 +158,19 @@ let backend ?writeback_delay (b : Gpr_backend.Backend.t) (c : Compress.t)
       Sim.run cfg ~trace ~alloc:res.Gpr_backend.Backend.alloc
         ~blocks_per_sm:occ.Gpr_arch.Occupancy.blocks_per_sm
         ~mode:(Gpr_backend.Backend.sim_mode ?writeback_delay b res))
+
+(* Profiling deliberately bypasses the stats memo: a trace can only be
+   recorded by actually running the timing model.  The run is
+   self-checking so a profile doubles as an attribution audit; the
+   functional trace memo still applies. *)
+let profile_backend ?writeback_delay ~profile (b : Gpr_backend.Backend.t)
+    (c : Compress.t) threshold =
+  let module S = (val b : Gpr_backend.Backend.Scheme) in
+  let res = backend_resources b c threshold in
+  let trace =
+    if S.needs_precision then trace_quantized c threshold else trace_plain c
+  in
+  let occ = backend_occupancy c res in
+  Sim.run ~check:true ~profile cfg ~trace ~alloc:res.Gpr_backend.Backend.alloc
+    ~blocks_per_sm:occ.Gpr_arch.Occupancy.blocks_per_sm
+    ~mode:(Gpr_backend.Backend.sim_mode ?writeback_delay b res)

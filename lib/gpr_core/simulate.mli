@@ -52,6 +52,18 @@ val backend :
     the scheme's id+version in the key — [backend] on [Backend_slice]
     reproduces [proposed] exactly. *)
 
+val profile_backend :
+  ?writeback_delay:int ->
+  profile:Gpr_obs.Chrome.t ->
+  Gpr_backend.Backend.t ->
+  Compress.t ->
+  Gpr_quality.Quality.threshold ->
+  Gpr_sim.Sim.stats
+(** Like {!backend}, but always runs the timing model (never served
+    from the stats memo — a Chrome trace can only come from a real
+    run), with [~check:true] and the profile collector threaded into
+    {!Gpr_sim.Sim.run}. *)
+
 val clear_cache : unit -> unit
 (** Clears the in-memory memo tables only, never the on-disk store. *)
 

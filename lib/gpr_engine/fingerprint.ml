@@ -8,8 +8,11 @@ let equal = String.equal
    on-disk store entry) is invalidated at once.
    2: simulation memo keys carry the backend scheme id+version; entries
    written before schemes existed are ambiguous and must not be
-   reused. *)
-let version = "gpr-engine/2"
+   reused.
+   3: [Sim.stats] grew the per-slot stall-attribution fields; cached
+   Marshal payloads with the old record layout must not be read back
+   (they would deserialise into the wrong shape). *)
+let version = "gpr-engine/3"
 
 let of_strings parts =
   let buf = Buffer.create 256 in

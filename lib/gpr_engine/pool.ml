@@ -62,12 +62,27 @@ let create ~jobs =
 let fresh_future () =
   { fm = Mutex.create (); fc = Condition.create (); cell = Pending }
 
+let m_tasks = Gpr_obs.Metrics.counter "pool.tasks"
+
 let run_into fut f =
+  (* When a Chrome sink is installed, each task becomes a complete
+     span on the executing domain's lane (wall-clock µs). *)
+  let sink = Gpr_obs.Chrome.sink () in
+  let start = match sink with Some ch -> Gpr_obs.Chrome.now_us ch | None -> 0. in
+  Gpr_obs.Metrics.incr m_tasks;
   let r =
     match f () with
     | v -> Done v
     | exception e -> Failed (e, Printexc.get_raw_backtrace ())
   in
+  (match sink with
+   | Some ch ->
+     Gpr_obs.Chrome.complete ch ~name:"pool task" ~cat:"engine" ~pid:2
+       ~tid:(Domain.self () :> int)
+       ~ts_us:start
+       ~dur_us:(Gpr_obs.Chrome.now_us ch -. start)
+       ()
+   | None -> ());
   Mutex.lock fut.fm;
   fut.cell <- r;
   Condition.broadcast fut.fc;

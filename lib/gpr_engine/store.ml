@@ -29,8 +29,16 @@ let misses t = Mutex.lock t.m; let m = t.misses in Mutex.unlock t.m; m
 let path t ~kind ~key =
   Filename.concat t.dir (kind ^ "-" ^ Fingerprint.to_hex key ^ ".bin")
 
-let count_hit t = Mutex.lock t.m; t.hits <- t.hits + 1; Mutex.unlock t.m
-let count_miss t = Mutex.lock t.m; t.misses <- t.misses + 1; Mutex.unlock t.m
+let m_hits = Gpr_obs.Metrics.counter "store.hits"
+let m_misses = Gpr_obs.Metrics.counter "store.misses"
+
+let count_hit t =
+  Gpr_obs.Metrics.incr m_hits;
+  Mutex.lock t.m; t.hits <- t.hits + 1; Mutex.unlock t.m
+
+let count_miss t =
+  Gpr_obs.Metrics.incr m_misses;
+  Mutex.lock t.m; t.misses <- t.misses + 1; Mutex.unlock t.m
 
 let read_entry file =
   match open_in_bin file with

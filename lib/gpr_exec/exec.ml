@@ -145,6 +145,9 @@ type status = Barrier | Finished
 
 (* ------------------------------------------------------------------ *)
 
+let m_runs = Gpr_obs.Metrics.counter "exec.runs"
+let m_thread_instrs = Gpr_obs.Metrics.counter "exec.thread_instructions"
+
 let run ?(check = false) kernel ~launch ~params ~bindings config =
   let nvr = kernel.k_num_vregs in
   (* Dynamic barrier/race monitor (the runtime counterpart of the static
@@ -735,6 +738,9 @@ let run ?(check = false) kernel ~launch ~params ~bindings config =
   for block_id = 0 to nblocks - 1 do
     run_block block_id
   done;
+
+  Gpr_obs.Metrics.incr m_runs;
+  Gpr_obs.Metrics.add m_thread_instrs !thread_instrs;
 
   if config.collect_trace then
     Some

@@ -1,0 +1,100 @@
+type t = {
+  lock : Mutex.t;
+  max_events : int;
+  mutable events : Json.t list; (* reversed *)
+  mutable n_events : int;
+  mutable metadata : Json.t list; (* reversed; not capped *)
+  mutable n_dropped : int;
+  epoch : float; (* wall-clock origin, seconds *)
+}
+
+let create ?(max_events = 200_000) () =
+  {
+    lock = Mutex.create ();
+    max_events;
+    events = [];
+    n_events = 0;
+    metadata = [];
+    n_dropped = 0;
+    epoch = Unix.gettimeofday ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t ev =
+  locked t (fun () ->
+      if t.n_events >= t.max_events then t.n_dropped <- t.n_dropped + 1
+      else begin
+        t.events <- ev :: t.events;
+        t.n_events <- t.n_events + 1
+      end)
+
+let base ~name ~cat ~pid ~tid ~ts_us ~ph =
+  [
+    ("name", Json.Str name);
+    ("cat", Json.Str cat);
+    ("ph", Json.Str ph);
+    ("pid", Json.Int pid);
+    ("tid", Json.Int tid);
+    ("ts", Json.Float ts_us);
+  ]
+
+let with_args args fields =
+  match args with [] -> fields | _ -> fields @ [ ("args", Json.Obj args) ]
+
+let complete t ~name ?(cat = "gpr") ?(pid = 0) ?(tid = 0) ~ts_us ~dur_us
+    ?(args = []) () =
+  push t
+    (Json.Obj
+       (with_args args
+          (base ~name ~cat ~pid ~tid ~ts_us ~ph:"X"
+          @ [ ("dur", Json.Float dur_us) ])))
+
+let instant t ~name ?(cat = "gpr") ?(pid = 0) ?(tid = 0) ~ts_us ?(args = []) ()
+    =
+  push t
+    (Json.Obj
+       (with_args args
+          (base ~name ~cat ~pid ~tid ~ts_us ~ph:"i" @ [ ("s", Json.Str "t") ])))
+
+let metadata_event t ~name ~pid ~tid ~label =
+  let ev =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str label) ]);
+      ]
+  in
+  locked t (fun () -> t.metadata <- ev :: t.metadata)
+
+let name_process t ~pid label =
+  metadata_event t ~name:"process_name" ~pid ~tid:0 ~label
+
+let name_thread t ~pid ~tid label =
+  metadata_event t ~name:"thread_name" ~pid ~tid ~label
+
+let num_events t = locked t (fun () -> t.n_events)
+let dropped t = locked t (fun () -> t.n_dropped)
+let now_us t = (Unix.gettimeofday () -. t.epoch) *. 1e6
+
+let to_json t =
+  locked t (fun () ->
+      Json.Obj
+        [
+          ( "traceEvents",
+            Json.Arr (List.rev_append t.events (List.rev t.metadata)) );
+          ("displayTimeUnit", Json.Str "ms");
+        ])
+
+let write_file t path = Json.write_file path (to_json t)
+
+(* The sink is process-wide mutable state; an atomic keeps readers on
+   pool worker domains well-defined. *)
+let global_sink : t option Atomic.t = Atomic.make None
+let set_sink s = Atomic.set global_sink s
+let sink () = Atomic.get global_sink

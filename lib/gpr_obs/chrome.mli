@@ -1,0 +1,68 @@
+(** Chrome trace-event collector.
+
+    Produces the legacy Trace Event JSON format
+    ([{"traceEvents": [...]}]) understood by [chrome://tracing] and
+    Perfetto.  Timestamps are in microseconds; the simulator maps one
+    simulated cycle to 1 µs, while wall-clock producers (the engine
+    pool) use {!now_us}.
+
+    The collector is mutex-guarded so pool workers can append
+    concurrently, and bounded: past [max_events] further events are
+    dropped (counted in {!dropped}) rather than exhausting memory. *)
+
+type t
+
+(** [create ?max_events ()] makes an empty collector.  [max_events]
+    defaults to 200_000 ordinary events; metadata events (process /
+    thread names) are not counted against the cap. *)
+val create : ?max_events:int -> unit -> t
+
+(** Complete ("ph":"X") span. *)
+val complete :
+  t ->
+  name:string ->
+  ?cat:string ->
+  ?pid:int ->
+  ?tid:int ->
+  ts_us:float ->
+  dur_us:float ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  unit
+
+(** Instant ("ph":"i", thread-scoped) mark. *)
+val instant :
+  t ->
+  name:string ->
+  ?cat:string ->
+  ?pid:int ->
+  ?tid:int ->
+  ts_us:float ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  unit
+
+(** Metadata events labelling the pid/tid lanes in the viewer. *)
+val name_process : t -> pid:int -> string -> unit
+
+val name_thread : t -> pid:int -> tid:int -> string -> unit
+
+(** Ordinary (non-metadata) events recorded so far. *)
+val num_events : t -> int
+
+(** Events discarded because the cap was reached. *)
+val dropped : t -> int
+
+(** Microseconds since the collector was created (wall clock). *)
+val now_us : t -> float
+
+val to_json : t -> Json.t
+
+(** [write_file t path] writes the trace document plus newline. *)
+val write_file : t -> string -> unit
+
+(** Optional process-wide sink, for producers (the engine pool) that
+    have no channel to thread a collector through call sites. *)
+val set_sink : t option -> unit
+
+val sink : unit -> t option

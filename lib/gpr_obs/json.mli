@@ -1,0 +1,37 @@
+(** Minimal JSON tree: emission with correct string escaping, plus a
+    strict parser used to validate the files we emit (bench artifacts,
+    Chrome traces).  Deliberately tiny — not a general-purpose JSON
+    library, just enough for the repo's artifacts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [escape s] is [s] with JSON string escapes applied (no quotes). *)
+val escape : string -> string
+
+val to_buffer : Buffer.t -> t -> unit
+
+(** Compact rendering (no insignificant whitespace). *)
+val to_string : t -> string
+
+(** [to_channel oc t] writes the compact rendering to [oc]. *)
+val to_channel : out_channel -> t -> unit
+
+(** [write_file path t] writes the rendering plus a trailing newline. *)
+val write_file : string -> t -> unit
+
+(** Strict parse of a complete JSON document (trailing garbage is an
+    error).  Numbers with no fraction/exponent that fit in [int]
+    become [Int]; everything else becomes [Float]. *)
+val parse : string -> (t, string) result
+
+val parse_file : string -> (t, string) result
+
+(** [member k t] is the value bound to key [k] when [t] is an object. *)
+val member : string -> t -> t option

@@ -1,0 +1,154 @@
+type counter = int Atomic.t
+
+type histogram = {
+  h_bounds : int array; (* sorted inclusive upper bounds *)
+  h_counts : int Atomic.t array; (* length = bounds + 1 (overflow) *)
+  h_sum : int Atomic.t;
+  h_total : int Atomic.t;
+}
+
+type cell = C of counter | H of histogram
+
+let recording = Atomic.make false
+let set_enabled b = Atomic.set recording b
+let enabled () = Atomic.get recording
+
+(* Registration is rare and cold; a single mutex keeps the table
+   consistent across domains.  The cells themselves are atomics, so
+   the hot recording path never takes the lock. *)
+let lock = Mutex.create ()
+let table : (string, cell) Hashtbl.t = Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (C c) -> c
+      | Some (H _) ->
+        invalid_arg
+          (Printf.sprintf "Metrics.counter: %S is a histogram" name)
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add table name (C c);
+        c)
+
+let default_buckets = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
+
+let histogram ?(buckets = default_buckets) name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (H h) -> h
+      | Some (C _) ->
+        invalid_arg
+          (Printf.sprintf "Metrics.histogram: %S is a counter" name)
+      | None ->
+        let bounds = Array.of_list (List.sort_uniq compare buckets) in
+        let h =
+          {
+            h_bounds = bounds;
+            h_counts =
+              Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+            h_sum = Atomic.make 0;
+            h_total = Atomic.make 0;
+          }
+        in
+        Hashtbl.add table name (H h);
+        h)
+
+let add c n = if Atomic.get recording && n <> 0 then ignore (Atomic.fetch_and_add c n)
+let incr c = add c 1
+let value c = Atomic.get c
+
+let bucket_index h v =
+  let n = Array.length h.h_bounds in
+  let rec go i = if i >= n then n else if v <= h.h_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if Atomic.get recording then begin
+    ignore (Atomic.fetch_and_add h.h_counts.(bucket_index h v) 1);
+    ignore (Atomic.fetch_and_add h.h_sum v);
+    ignore (Atomic.fetch_and_add h.h_total 1)
+  end
+
+type entry =
+  | Counter of { name : string; count : int }
+  | Histogram of {
+      name : string;
+      sum : int;
+      total : int;
+      buckets : (int option * int) list;
+    }
+
+let snapshot () =
+  let cells =
+    with_lock (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+  in
+  cells
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (name, cell) ->
+         match cell with
+         | C c -> Counter { name; count = Atomic.get c }
+         | H h ->
+           let buckets =
+             Array.to_list
+               (Array.mapi
+                  (fun i c ->
+                    let bound =
+                      if i < Array.length h.h_bounds then Some h.h_bounds.(i)
+                      else None
+                    in
+                    (bound, Atomic.get c))
+                  h.h_counts)
+           in
+           Histogram
+             {
+               name;
+               sum = Atomic.get h.h_sum;
+               total = Atomic.get h.h_total;
+               buckets;
+             })
+
+let reset () =
+  let cells =
+    with_lock (fun () -> Hashtbl.fold (fun _ v acc -> v :: acc) table [])
+  in
+  List.iter
+    (function
+      | C c -> Atomic.set c 0
+      | H h ->
+        Array.iter (fun c -> Atomic.set c 0) h.h_counts;
+        Atomic.set h.h_sum 0;
+        Atomic.set h.h_total 0)
+    cells
+
+let to_json () =
+  Json.Arr
+    (List.map
+       (function
+         | Counter { name; count } ->
+           Json.Obj [ ("name", Json.Str name); ("value", Json.Int count) ]
+         | Histogram { name; sum; total; buckets } ->
+           Json.Obj
+             [
+               ("name", Json.Str name);
+               ("sum", Json.Int sum);
+               ("count", Json.Int total);
+               ( "buckets",
+                 Json.Arr
+                   (List.map
+                      (fun (bound, c) ->
+                        Json.Obj
+                          [
+                            ( "le",
+                              match bound with
+                              | Some b -> Json.Int b
+                              | None -> Json.Null );
+                            ("count", Json.Int c);
+                          ])
+                      buckets) );
+             ])
+       (snapshot ()))

@@ -1,0 +1,59 @@
+(** Process-wide metrics registry: named monotonic counters and
+    fixed-bucket histograms.
+
+    Designed for the hot paths of the simulator and the executor:
+
+    - {b zero-cost when disabled} — recording is a single atomic read
+      of the enable flag (the default is disabled, so library users
+      that never call {!set_enabled} pay almost nothing);
+    - {b Domain-safe} — cells are [Atomic.t], so workers of the
+      [gpr_engine] pool can record concurrently without losing
+      updates; registration is mutex-guarded and idempotent (the same
+      name always yields the same cell).
+
+    Metric names are dotted paths, e.g. ["sim.stall.scoreboard"]. *)
+
+type counter
+type histogram
+
+(** Enable/disable recording process-wide.  Registration and reads
+    work regardless; only {!add}/{!incr}/{!observe} are gated. *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** [counter name] registers (or retrieves) the counter [name].
+    @raise Invalid_argument if [name] is registered as a histogram. *)
+val counter : string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** [histogram ~buckets name] registers (or retrieves) a histogram
+    with the given inclusive upper bounds (sorted ascending); an
+    implicit overflow bucket catches the rest.  [buckets] is only
+    consulted on first registration.
+    @raise Invalid_argument if [name] is registered as a counter. *)
+val histogram : ?buckets:int list -> string -> histogram
+
+val observe : histogram -> int -> unit
+
+type entry =
+  | Counter of { name : string; count : int }
+  | Histogram of {
+      name : string;
+      sum : int;
+      total : int;
+      buckets : (int option * int) list;
+          (** (inclusive upper bound, count); [None] = overflow. *)
+    }
+
+(** All registered metrics, sorted by name. *)
+val snapshot : unit -> entry list
+
+(** Zero every cell (registrations are kept). *)
+val reset : unit -> unit
+
+(** Snapshot rendered as a JSON array of objects. *)
+val to_json : unit -> Json.t

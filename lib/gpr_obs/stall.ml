@@ -1,0 +1,59 @@
+type cause =
+  | Scoreboard
+  | No_free_cu
+  | Bank_conflict
+  | Spill_port
+  | Barrier
+  | Empty
+
+let all = [ Scoreboard; No_free_cu; Bank_conflict; Spill_port; Barrier; Empty ]
+
+let name = function
+  | Scoreboard -> "scoreboard"
+  | No_free_cu -> "no-free-cu"
+  | Bank_conflict -> "bank-conflict"
+  | Spill_port -> "spill-port"
+  | Barrier -> "barrier"
+  | Empty -> "empty"
+
+let short_name = function
+  | Scoreboard -> "sb"
+  | No_free_cu -> "cu"
+  | Bank_conflict -> "bank"
+  | Spill_port -> "spill"
+  | Barrier -> "bar"
+  | Empty -> "idle"
+
+type breakdown = {
+  bd_issued : int;
+  bd_stalls : (cause * int) list;
+}
+
+let empty = { bd_issued = 0; bd_stalls = List.map (fun c -> (c, 0)) all }
+
+let get bd c =
+  match List.assoc_opt c bd.bd_stalls with Some n -> n | None -> 0
+
+let add a b =
+  {
+    bd_issued = a.bd_issued + b.bd_issued;
+    bd_stalls = List.map (fun c -> (c, get a c + get b c)) all;
+  }
+
+let total_slots bd =
+  List.fold_left (fun acc (_, n) -> acc + n) bd.bd_issued bd.bd_stalls
+
+let pct_string bd =
+  let total = total_slots bd in
+  let pct n = if total = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int total in
+  String.concat "/"
+    (List.map (fun c -> Printf.sprintf "%.1f" (pct (get bd c))) all)
+
+let to_json bd =
+  Json.Obj
+    [
+      ("issued", Json.Int bd.bd_issued);
+      ("total_slots", Json.Int (total_slots bd));
+      ( "stalls",
+        Json.Obj (List.map (fun c -> (name c, Json.Int (get bd c))) all) );
+    ]

@@ -1,0 +1,52 @@
+(** Issue-slot stall taxonomy shared by the simulator, the report
+    tables and the bench artifacts.
+
+    Every scheduler slot of every simulated cycle is attributed to
+    exactly one of: an issued instruction, or one of these causes.
+    The accounting identity
+    [issued + sum-of-causes = cycles x schedulers]
+    is enforced by [Sim.run ~check:true] and fuzzed by the
+    [gpr check] observability stage. *)
+
+type cause =
+  | Scoreboard  (** operands pending (RAW / in-flight WAW) *)
+  | No_free_cu  (** ready, but no collector unit was free *)
+  | Bank_conflict
+      (** ready, CUs exhausted while operand fetch was serialised by a
+          register-bank conflict this cycle *)
+  | Spill_port
+      (** blocked on an in-flight access to a spilled register (the
+          single-ported spill path) *)
+  | Barrier  (** warp parked at a barrier, or a [Sync] op draining *)
+  | Empty  (** no resident warp had anything left to issue *)
+
+val all : cause list
+
+(** Long name, e.g. ["bank-conflict"] — used in JSON artifacts. *)
+val name : cause -> string
+
+(** Column-width-friendly name, e.g. ["bank"] — used in tables. *)
+val short_name : cause -> string
+
+(** Issued-vs-stalled slot totals for one simulation (or a sum of
+    simulations). *)
+type breakdown = {
+  bd_issued : int;
+  bd_stalls : (cause * int) list;
+}
+
+val empty : breakdown
+
+(** Pointwise sum. *)
+val add : breakdown -> breakdown -> breakdown
+
+val get : breakdown -> cause -> int
+
+(** Issued + all stall slots. *)
+val total_slots : breakdown -> int
+
+(** Percentages of total slots in {!all} order, e.g.
+    ["12.5/0.0/3.1/0.0/9.4/40.6"]. *)
+val pct_string : breakdown -> string
+
+val to_json : breakdown -> Json.t

@@ -20,12 +20,45 @@ type stats = {
   tex_accesses : int;
   double_fetches : int;
   conversions : int;
+  issued_slots : int;
   stall_scoreboard : int;
   stall_no_cu : int;
+  stall_bank_conflict : int;
+  stall_spill_port : int;
+  stall_barrier : int;
+  stall_empty : int;
+  bank_conflicts : int;
   idle_cycles : int;
   spill_loads : int;
   spill_stores : int;
 }
+
+let breakdown (s : stats) =
+  {
+    Gpr_obs.Stall.bd_issued = s.issued_slots;
+    bd_stalls =
+      [
+        (Gpr_obs.Stall.Scoreboard, s.stall_scoreboard);
+        (Gpr_obs.Stall.No_free_cu, s.stall_no_cu);
+        (Gpr_obs.Stall.Bank_conflict, s.stall_bank_conflict);
+        (Gpr_obs.Stall.Spill_port, s.stall_spill_port);
+        (Gpr_obs.Stall.Barrier, s.stall_barrier);
+        (Gpr_obs.Stall.Empty, s.stall_empty);
+      ];
+  }
+
+(* Aggregate metrics (recorded only when Gpr_obs.Metrics is enabled). *)
+let m_runs = Gpr_obs.Metrics.counter "sim.runs"
+let m_cycles = Gpr_obs.Metrics.counter "sim.cycles"
+let m_issued = Gpr_obs.Metrics.counter "sim.issued_slots"
+let m_bank_conflicts = Gpr_obs.Metrics.counter "sim.bank_conflicts"
+let m_spill_accesses = Gpr_obs.Metrics.counter "sim.spill_accesses"
+
+let m_stall =
+  List.map
+    (fun c ->
+      (c, Gpr_obs.Metrics.counter ("sim.stall." ^ Gpr_obs.Stall.name c)))
+    Gpr_obs.Stall.all
 
 (* ------------------------------------------------------------------ *)
 
@@ -56,6 +89,7 @@ type cu = {
   mutable c_ops : opnd list;
   c_mem_latency : int;  (* precomputed for Ldst items, else unit latency *)
   c_unit_busy : int;    (* cycles the execution unit is occupied *)
+  c_issue : int;        (* cycle the instruction was issued (profiling) *)
 }
 
 type rblock = { mutable rb_warps : wctx list }
@@ -68,7 +102,13 @@ exception Invariant_violation of string
 
 let violated fmt = Printf.ksprintf (fun s -> raise (Invariant_violation s)) fmt
 
-let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
+let unit_label = function
+  | Spu -> "spu"
+  | Sfu -> "sfu"
+  | Ldst -> "ldst"
+  | Sync -> "sync"
+
+let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
     ~(trace : Trace.t) ~(alloc : Alloc.t) ~blocks_per_sm ~mode =
   let proposed_delay =
     match mode with
@@ -240,6 +280,20 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
     try_launch slot
   done;
 
+  (match profile with
+   | Some ch ->
+     Gpr_obs.Chrome.name_process ch ~pid:0 "SM0 warps";
+     Gpr_obs.Chrome.name_process ch ~pid:1 "register-file banks";
+     for w = 0 to (blocks_per_sm * warps_per_block) - 1 do
+       Gpr_obs.Chrome.name_thread ch ~pid:0 ~tid:w
+         (Printf.sprintf "warp %d" w)
+     done;
+     for b = 0 to cfg.register_banks - 1 do
+       Gpr_obs.Chrome.name_thread ch ~pid:1 ~tid:b
+         (Printf.sprintf "bank %d" b)
+     done
+   | None -> ());
+
   (* --- Pipeline state. --- *)
   let cus : cu option array = Array.make cfg.operand_collectors None in
   let events : event list Imap.t ref = ref Imap.empty in
@@ -288,8 +342,23 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
   (* Stats. *)
   let double_fetches = ref 0 in
   let conversions = ref 0 in
+  let issued_slots = ref 0 in
   let stall_scoreboard = ref 0 in
   let stall_no_cu = ref 0 in
+  let stall_bank_conflict = ref 0 in
+  let stall_spill_port = ref 0 in
+  let stall_barrier = ref 0 in
+  let stall_empty = ref 0 in
+  let bank_conflicts = ref 0 in
+  let bump cause n =
+    match (cause : Gpr_obs.Stall.cause) with
+    | Scoreboard -> stall_scoreboard := !stall_scoreboard + n
+    | No_free_cu -> stall_no_cu := !stall_no_cu + n
+    | Bank_conflict -> stall_bank_conflict := !stall_bank_conflict + n
+    | Spill_port -> stall_spill_port := !stall_spill_port + n
+    | Barrier -> stall_barrier := !stall_barrier + n
+    | Empty -> stall_empty := !stall_empty + n
+  in
   let idle_cycles = ref 0 in
   let issued_warp_instrs = ref 0 in
   let executed_threads = ref 0 in
@@ -336,6 +405,11 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
   (* GTO state per scheduler. *)
   let last_issued = Array.make cfg.warp_schedulers None in
   let rr_ptr = Array.make cfg.warp_schedulers 0 in
+  (* Per-scheduler outcome of the current cycle: [None] = issued,
+     [Some cause] = stalled (consumed by the idle fast-forward). *)
+  let slot_cause : Gpr_obs.Stall.cause option array =
+    Array.make cfg.warp_schedulers None
+  in
 
   let scoreboard_ready w (it : Trace.item) =
     let pending r = Hashtbl.mem w.w_scoreboard r in
@@ -363,14 +437,51 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
        before synchronising. *)
     if it.t_unit = Sync then w.w_outstanding = 0 else free_cu () <> None
   in
-  (* Why is this (stalled) warp not issuing?  Used for coarse stall
-     accounting when a scheduler finds no eligible warp. *)
-  let note_stall w =
-    if (not w.w_barrier) && w.w_ptr < Array.length w.w_items then begin
-      let it = w.w_items.(w.w_ptr) in
-      if not (scoreboard_ready w it) then incr stall_scoreboard
-      else if it.t_unit <> Sync && free_cu () = None then incr stall_no_cu
-    end
+  (* Register-fetch bank conflict seen this cycle (set by the operand
+     arbitration stage, consumed by the stall classifier). *)
+  let bank_conflict_cycle = ref false in
+
+  (* Why did this scheduler slot go unused?  Called exactly once per
+     scheduler per cycle when no warp could issue; together with the
+     issued slots this classifies every slot of every cycle, so
+     [issued + sum-of-causes = cycles x schedulers] holds.
+
+     Warps that have drained their stream (possibly with retires still
+     outstanding) have nothing left to issue and do not claim the
+     slot; if only such warps (or none) remain, the slot is [Empty].
+     Otherwise the oldest warp with work pending is blamed, mirroring
+     the greedy-then-oldest pick order of the scheduler. *)
+  let classify_stall mine : Gpr_obs.Stall.cause =
+    let candidates =
+      List.filter
+        (fun w -> w.w_barrier || w.w_ptr < Array.length w.w_items)
+        mine
+    in
+    match candidates with
+    | [] -> Empty
+    | w0 :: rest ->
+      let w =
+        List.fold_left (fun a b -> if b.w_age < a.w_age then b else a) w0 rest
+      in
+      if w.w_barrier then Barrier
+      else begin
+        let it = w.w_items.(w.w_ptr) in
+        if not (scoreboard_ready w it) then begin
+          let pending r = Hashtbl.mem w.w_scoreboard r in
+          let blocked_on_spill =
+            List.exists (fun r -> pending r && is_spilled r) it.t_srcs
+            || (match it.t_dst with
+               | Some d -> pending d && is_spilled d
+               | None -> false)
+          in
+          if blocked_on_spill then Spill_port else Scoreboard
+        end
+        else if it.t_unit = Sync then
+          (* bar.sync waiting for the warp's own in-flight retires. *)
+          Barrier
+        else if !bank_conflict_cycle then Bank_conflict
+        else No_free_cu
+      end
   in
 
   let do_issue w =
@@ -382,6 +493,12 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
     issued_warp_instrs := !issued_warp_instrs + 1;
     executed_threads := !executed_threads + it.t_active;
     if it.t_unit = Sync then begin
+      (match profile with
+       | Some ch ->
+         Gpr_obs.Chrome.instant ch ~name:"barrier" ~cat:"sync" ~pid:0
+           ~tid:w.w_id ~ts_us:(float_of_int !cycle)
+           ~args:[ ("pc", Gpr_obs.Json.Int it.t_pc) ] ()
+       | None -> ());
       (* Barrier: the warp waits until every block warp that still has a
          barrier ahead of it has arrived.  Warps whose threads all
          exited early (no Sync left) never block the others. *)
@@ -439,7 +556,7 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
       in
       cus.(slot) <-
         Some { c_warp = w; c_item = it; c_ops = ops; c_mem_latency = lat;
-               c_unit_busy = busy }
+               c_unit_busy = busy; c_issue = !cycle }
     end
   in
 
@@ -515,8 +632,23 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
                  wb + proposed_delay + spill_extra
                | None -> complete
              in
-             schedule (max (now + 1) retire_cycle)
-               (Retire (cu.c_warp, cu.c_item.t_dst));
+             let retire_cycle = max (now + 1) retire_cycle in
+             schedule retire_cycle (Retire (cu.c_warp, cu.c_item.t_dst));
+             (match profile with
+              | Some ch ->
+                (* One span per warp instruction: issue -> retire. *)
+                Gpr_obs.Chrome.complete ch
+                  ~name:(unit_label cu.c_item.t_unit)
+                  ~cat:"issue" ~pid:0 ~tid:cu.c_warp.w_id
+                  ~ts_us:(float_of_int cu.c_issue)
+                  ~dur_us:(float_of_int (max 1 (retire_cycle - cu.c_issue)))
+                  ~args:
+                    [
+                      ("pc", Gpr_obs.Json.Int cu.c_item.t_pc);
+                      ("active", Gpr_obs.Json.Int cu.c_item.t_active);
+                    ]
+                  ()
+              | None -> ());
              cus.(i) <- None
            end
          | _ -> ())
@@ -542,6 +674,7 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
 
     (* 4. Register-fetch arbitration: one operand per CU, one access per
        bank per cycle. *)
+    bank_conflict_cycle := false;
     let bank_used = Array.make cfg.register_banks false in
     Array.iter
       (fun cu_opt ->
@@ -559,7 +692,24 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
                     o.o_banks <- rest;
                     if rest = [] then
                       o.o_stage <- (if o.o_convert then S_convert else S_done)
-                  | _ -> ())
+                  | b :: _ ->
+                    (* The operand's head bank was already taken this
+                       cycle: fetch serialises behind the conflict. *)
+                    bank_conflict_cycle := true;
+                    incr bank_conflicts;
+                    (match profile with
+                     | Some ch ->
+                       Gpr_obs.Chrome.instant ch ~name:"bank-conflict"
+                         ~cat:"regfile" ~pid:1 ~tid:b
+                         ~ts_us:(float_of_int now)
+                         ~args:
+                           [
+                             ("warp", Gpr_obs.Json.Int cu.c_warp.w_id);
+                             ("reg", Gpr_obs.Json.Int o.o_arch);
+                           ]
+                         ()
+                     | None -> ())
+                  | [] -> ())
              cu.c_ops
          | None -> ())
       cus;
@@ -586,7 +736,11 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
         cus
     end;
 
-    (* 6. Issue: each scheduler picks one warp (GTO or LRR). *)
+    (* 6. Issue: each scheduler picks one warp (GTO or LRR).  Every
+       scheduler slot is attributed exactly once per cycle: to an
+       issue, or to a stall cause recorded in [slot_cause] (kept so
+       the idle fast-forward below can replay it for skipped
+       cycles). *)
     for sched = 0 to cfg.warp_schedulers - 1 do
       let mine =
         List.filter (fun w -> w.w_id mod cfg.warp_schedulers = sched)
@@ -630,10 +784,14 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
       | Some w ->
         progress := true;
         last_issued.(sched) <- Some w;
+        slot_cause.(sched) <- None;
+        incr issued_slots;
         do_issue w
       | None ->
         last_issued.(sched) <- None;
-        List.iter note_stall mine
+        let cause = classify_stall mine in
+        slot_cause.(sched) <- Some cause;
+        bump cause 1
     done;
 
     (* Also retire blocks whose warps had empty streams. *)
@@ -643,6 +801,16 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
       match Imap.min_binding_opt !events with
       | Some (c, _) when c > now + 1 ->
         idle_cycles := !idle_cycles + (c - now - 1);
+        (* The skipped cycles are exact replays of this one (no
+           retire, grant or issue happened, so the machine state is
+           frozen): charge each scheduler its recorded stall cause
+           once per skipped cycle to keep the slot accounting
+           complete. *)
+        Array.iter
+          (function
+            | Some cause -> bump cause (c - now - 1)
+            | None -> ())
+          slot_cause;
         cycle := c
       | _ -> incr cycle
     end
@@ -660,10 +828,29 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
     retire_block_if_done slot
   done;
 
+  (* The loop may never run (all streams empty): [cycles] is clamped
+     to 1 below, so pad the attribution with one all-empty cycle to
+     keep the slot identity exact. *)
+  if !cycle = 0 then stall_empty := !stall_empty + cfg.warp_schedulers;
+
   if check then begin
     if not (finished ()) then
       violated "simulation hit the %d-cycle bailout without draining"
         max_cycles;
+    let attributed =
+      !issued_slots + !stall_scoreboard + !stall_no_cu
+      + !stall_bank_conflict + !stall_spill_port + !stall_barrier
+      + !stall_empty
+    in
+    let slots = max 1 !cycle * cfg.warp_schedulers in
+    if attributed <> slots then
+      violated
+        "stall attribution: %d slots classified over %d cycles x %d \
+         schedulers (= %d slots)"
+        attributed (max 1 !cycle) cfg.warp_schedulers slots;
+    if !issued_slots <> !issued_warp_instrs then
+      violated "stall attribution: %d issued slots but %d warp instructions"
+        !issued_slots !issued_warp_instrs;
     if !retired <> !issued_nonsync then
       violated "conservation: issued %d non-sync instructions but retired %d"
         !issued_nonsync !retired;
@@ -676,6 +863,22 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
   end;
 
   let cycles = max 1 !cycle in
+  Gpr_obs.Metrics.incr m_runs;
+  Gpr_obs.Metrics.add m_cycles cycles;
+  Gpr_obs.Metrics.add m_issued !issued_slots;
+  Gpr_obs.Metrics.add m_bank_conflicts !bank_conflicts;
+  Gpr_obs.Metrics.add m_spill_accesses (!spill_loads + !spill_stores);
+  List.iter
+    (fun (cause, m) ->
+      Gpr_obs.Metrics.add m
+        (match (cause : Gpr_obs.Stall.cause) with
+        | Scoreboard -> !stall_scoreboard
+        | No_free_cu -> !stall_no_cu
+        | Bank_conflict -> !stall_bank_conflict
+        | Spill_port -> !stall_spill_port
+        | Barrier -> !stall_barrier
+        | Empty -> !stall_empty))
+    m_stall;
   let sm_ipc = float_of_int !executed_threads /. float_of_int cycles in
   {
     cycles;
@@ -690,8 +893,14 @@ let run ?(check = false) ?(waves = 6) (cfg : Gpr_arch.Config.t)
     tex_accesses = !tex_accesses;
     double_fetches = !double_fetches;
     conversions = !conversions;
+    issued_slots = !issued_slots;
     stall_scoreboard = !stall_scoreboard;
     stall_no_cu = !stall_no_cu;
+    stall_bank_conflict = !stall_bank_conflict;
+    stall_spill_port = !stall_spill_port;
+    stall_barrier = !stall_barrier;
+    stall_empty = !stall_empty;
+    bank_conflicts = !bank_conflicts;
     idle_cycles = !idle_cycles;
     spill_loads = !spill_loads;
     spill_stores = !spill_stores;

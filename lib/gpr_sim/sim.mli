@@ -42,12 +42,28 @@ type stats = {
   tex_accesses : int;
   double_fetches : int;        (** operand fetches split over two registers *)
   conversions : int;           (** value-converter uses *)
-  stall_scoreboard : int;
-  stall_no_cu : int;
+  issued_slots : int;          (** scheduler slots that issued an instruction
+                                   (equals [warp_instructions]) *)
+  stall_scoreboard : int;      (** slots lost to pending operands *)
+  stall_no_cu : int;           (** slots lost with no free collector unit *)
+  stall_bank_conflict : int;   (** slots lost with CUs stuck behind a
+                                   register-bank conflict this cycle *)
+  stall_spill_port : int;      (** slots lost waiting on an in-flight spilled
+                                   register access ([Spill] mode) *)
+  stall_barrier : int;         (** slots lost to barrier waits / draining *)
+  stall_empty : int;           (** slots with no work left to issue *)
+  bank_conflicts : int;        (** operand-fetch cycles serialised behind a
+                                   busy register bank *)
   idle_cycles : int;
   spill_loads : int;           (** spilled source refills ([Spill] mode) *)
   spill_stores : int;          (** spilled destination write-throughs *)
 }
+
+(** The six [stall_*] counters plus [issued_slots] as a
+    {!Gpr_obs.Stall.breakdown}.  Every scheduler slot of every cycle is
+    attributed exactly once, so
+    [Gpr_obs.Stall.total_slots (breakdown s) = s.cycles * warp_schedulers]. *)
+val breakdown : stats -> Gpr_obs.Stall.breakdown
 
 exception Invariant_violation of string
 (** Raised by {!run} when [~check:true] and a structural invariant of
@@ -56,6 +72,7 @@ exception Invariant_violation of string
 val run :
   ?check:bool ->
   ?waves:int ->
+  ?profile:Gpr_obs.Chrome.t ->
   Gpr_arch.Config.t ->
   trace:Gpr_exec.Trace.t ->
   alloc:Gpr_alloc.Alloc.t ->
@@ -77,4 +94,14 @@ val run :
     - the issued warp-instruction count equals the total stream length
       of the blocks this SM was given;
     - executed thread instructions never exceed 32x warp issues;
-    - the simulation drains rather than hitting the cycle bailout. *)
+    - every scheduler slot of every cycle is attributed exactly once:
+      [issued_slots + sum of stall_* = cycles x warp_schedulers], and
+      [issued_slots = warp_instructions];
+    - the simulation drains rather than hitting the cycle bailout.
+
+    With [~profile:(collector)] the run additionally emits Chrome
+    trace events into the collector: one complete span per warp
+    instruction (pid 0, tid = resident warp id, ts/dur in cycles as
+    µs), instant marks for barriers and for register-bank conflicts
+    (pid 1, tid = bank).  Profiling does not perturb the timing
+    model. *)

@@ -283,6 +283,51 @@ let test_store_version_mismatch () =
   Alcotest.(check bool) "stale-version entry is a miss" true
     (Store.find s ~kind:"t" ~key = None)
 
+let test_warm_stats_byte_identical () =
+  (* A warm [Simulate.backend] hit must hand back *exactly* the stats
+     the cold run produced, for every registered scheme — including
+     spill, whose stats carry the spill counters and spill-port stall
+     attribution.  Byte-level Marshal comparison catches any field the
+     deserialised record could silently mis-assemble (the reason
+     [Fingerprint.version] must move whenever [Sim.stats] changes
+     shape). *)
+  let w =
+    match Gpr_workloads.Registry.by_name "hotspot" with
+    | Some w -> w
+    | None -> Alcotest.fail "hotspot workload missing"
+  in
+  let c = Gpr_core.Compress.analyze w in
+  let threshold = Gpr_quality.Quality.High in
+  let s = Store.create ~dir:(fresh_dir ()) in
+  Gpr_core.Simulate.set_store (Some s);
+  Fun.protect
+    ~finally:(fun () ->
+      Gpr_core.Simulate.set_store None;
+      Gpr_core.Simulate.clear_cache ())
+    (fun () ->
+      List.iter
+        (fun b ->
+          let id = Gpr_backend.Backend.id b in
+          Gpr_core.Simulate.clear_cache ();
+          let cold = Gpr_core.Simulate.backend b c threshold in
+          (* Drop the in-memory memo so the warm read comes off disk. *)
+          Gpr_core.Simulate.clear_cache ();
+          let hits0 = Store.hits s and misses0 = Store.misses s in
+          let warm = Gpr_core.Simulate.backend b c threshold in
+          Alcotest.(check bool) (id ^ ": warm run hit the store") true
+            (Store.hits s > hits0);
+          Alcotest.(check int) (id ^ ": warm run missed nothing") misses0
+            (Store.misses s);
+          Alcotest.(check string) (id ^ ": stats byte-identical")
+            (Marshal.to_string cold [])
+            (Marshal.to_string warm []);
+          (* Spot-check that what round-tripped is also well-formed. *)
+          Alcotest.(check int) (id ^ ": slot identity survives the store")
+            (warm.Gpr_sim.Sim.cycles
+             * Gpr_arch.Config.fermi_gtx480.warp_schedulers)
+            (Gpr_obs.Stall.total_slots (Gpr_sim.Sim.breakdown warm)))
+        Gpr_backend.Registry.all)
+
 let test_store_shared_across_domains () =
   (* One store, many domains: counters stay consistent and every
      memoize returns the right value. *)
@@ -340,6 +385,8 @@ let () =
           Alcotest.test_case "corrupt bytes" `Quick test_store_corrupt_bytes;
           Alcotest.test_case "version mismatch" `Quick
             test_store_version_mismatch;
+          Alcotest.test_case "warm stats byte-identical" `Quick
+            test_warm_stats_byte_identical;
           Alcotest.test_case "shared across domains" `Quick
             test_store_shared_across_domains;
         ] );

@@ -51,7 +51,25 @@ let test_golden_hotspot () =
   check_close "proposed sm_ipc" ~tolerance:0.10 37.1730 sprop.Sim.sm_ipc;
   (* The paper's headline direction: compression must not hurt. *)
   Alcotest.(check bool) "proposed ipc >= baseline" true
-    (sprop.Sim.sm_ipc >= sbase.Sim.sm_ipc)
+    (sprop.Sim.sm_ipc >= sbase.Sim.sm_ipc);
+  (* Stall attribution on a real kernel: the slot identity holds
+     exactly (not within tolerance), scoreboard waits dominate this
+     latency-bound kernel, and only Spill mode may touch the spill
+     port. *)
+  let module Stall = Gpr_obs.Stall in
+  List.iter
+    (fun (label, (s : Sim.stats)) ->
+      Alcotest.(check int) (label ^ " slot identity")
+        (s.Sim.cycles * cfg.warp_schedulers)
+        (Stall.total_slots (Sim.breakdown s));
+      Alcotest.(check int) (label ^ " issued slots") s.Sim.warp_instructions
+        s.Sim.issued_slots;
+      Alcotest.(check bool) (label ^ " scoreboard dominates stalls") true
+        (s.Sim.stall_scoreboard > s.Sim.stall_no_cu
+         && s.Sim.stall_scoreboard > s.Sim.stall_barrier);
+      Alcotest.(check int) (label ^ " no spill-port stalls") 0
+        s.Sim.stall_spill_port)
+    [ ("baseline", sbase); ("proposed", sprop) ]
 
 let () =
   Alcotest.run "golden"

@@ -1,0 +1,332 @@
+(* gpr_obs: metrics registry, JSON emitter/parser, Chrome trace
+   collector, stall taxonomy.
+
+   The headline property is QCheck-driven: gpr_engine pool workers
+   hammering disjoint and shared counters concurrently must never lose
+   an update (the cells are atomics; the registry hands every domain
+   the same cell for the same name).  CI runs this binary both with
+   GPR_JOBS=1 and with -j 4 worth of parallel suites. *)
+
+module J = Gpr_obs.Json
+module Metrics = Gpr_obs.Metrics
+module Chrome = Gpr_obs.Chrome
+module Stall = Gpr_obs.Stall
+module Pool = Gpr_engine.Pool
+
+let qcheck_case ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ---------------------------------------------------------------- *)
+(* Metrics *)
+
+(* Each test owns the process-wide registry for its duration; reset
+   and disable on the way out so ordering between tests cannot matter. *)
+let with_recording f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    f
+
+let metrics_pool_no_lost_updates =
+  qcheck_case ~count:15 "pool workers lose no counter updates"
+    QCheck.(pair (int_range 1 4) (int_range 1 5))
+    (fun (jobs, scale) ->
+      with_recording (fun () ->
+          let shared = Metrics.counter "test.obs.shared" in
+          let workers = 8 and incs = scale * 200 in
+          let worker w =
+            (* Re-register by name inside the domain: idempotent
+               registration must hand back the same cell. *)
+            let mine =
+              Metrics.counter (Printf.sprintf "test.obs.worker.%d" w)
+            in
+            for _ = 1 to incs do
+              Metrics.incr shared;
+              Metrics.incr mine;
+              Metrics.incr (Metrics.counter "test.obs.shared")
+            done
+          in
+          Pool.with_pool ~jobs (fun p ->
+              ignore (Pool.map_list p worker (List.init workers Fun.id)));
+          Metrics.value shared = 2 * workers * incs
+          && List.for_all
+               (fun w ->
+                 Metrics.value
+                   (Metrics.counter (Printf.sprintf "test.obs.worker.%d" w))
+                 = incs)
+               (List.init workers Fun.id)))
+
+let test_metrics_disabled_is_inert () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test.obs.off" in
+  let h = Metrics.histogram "test.obs.off_h" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Metrics.observe h 3;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.value c);
+  Alcotest.(check bool) "recording reported off" false (Metrics.enabled ());
+  Metrics.set_enabled true;
+  Metrics.incr c;
+  Alcotest.(check int) "counts once enabled" 1 (Metrics.value c);
+  Metrics.set_enabled false;
+  Metrics.reset ()
+
+let test_metrics_registration () =
+  with_recording (fun () ->
+      let c = Metrics.counter "test.obs.same" in
+      let c' = Metrics.counter "test.obs.same" in
+      Metrics.incr c;
+      Metrics.incr c';
+      Alcotest.(check int) "same name, same cell" 2 (Metrics.value c);
+      Alcotest.check_raises "counter name taken by histogram"
+        (Invalid_argument "Metrics.histogram: \"test.obs.same\" is a counter")
+        (fun () -> ignore (Metrics.histogram "test.obs.same"));
+      let _h = Metrics.histogram "test.obs.h" in
+      Alcotest.check_raises "histogram name taken by counter"
+        (Invalid_argument "Metrics.counter: \"test.obs.h\" is a histogram")
+        (fun () -> ignore (Metrics.counter "test.obs.h")))
+
+let test_metrics_histogram_buckets () =
+  with_recording (fun () ->
+      let h = Metrics.histogram ~buckets:[ 4; 1; 2 ] "test.obs.buckets" in
+      List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 5; 100 ];
+      let entry =
+        List.find
+          (function
+            | Metrics.Histogram { name; _ } -> name = "test.obs.buckets"
+            | _ -> false)
+          (Metrics.snapshot ())
+      in
+      match entry with
+      | Metrics.Histogram { sum; total; buckets; _ } ->
+        Alcotest.(check int) "total" 7 total;
+        Alcotest.(check int) "sum" 115 sum;
+        (* Bounds are sorted on registration; last bucket is overflow. *)
+        Alcotest.(check (list (pair (option int) int)))
+          "bucket counts"
+          [ (Some 1, 2); (Some 2, 1); (Some 4, 2); (None, 2) ]
+          buckets
+      | _ -> Alcotest.fail "expected a histogram entry")
+
+let test_metrics_snapshot_sorted_and_reset () =
+  with_recording (fun () ->
+      ignore (Metrics.counter "test.obs.zz");
+      ignore (Metrics.counter "test.obs.aa");
+      let names =
+        List.map
+          (function
+            | Metrics.Counter { name; _ } | Metrics.Histogram { name; _ } ->
+              name)
+          (Metrics.snapshot ())
+      in
+      Alcotest.(check (list string)) "sorted" (List.sort compare names) names;
+      Metrics.incr (Metrics.counter "test.obs.aa");
+      Metrics.reset ();
+      Alcotest.(check int) "reset keeps registration, zeroes value" 0
+        (Metrics.value (Metrics.counter "test.obs.aa")));
+  (* to_json must round-trip through our own parser. *)
+  match J.parse (J.to_string (Metrics.to_json ())) with
+  | Ok (J.Arr _) -> ()
+  | Ok _ -> Alcotest.fail "metrics json is not an array"
+  | Error e -> Alcotest.failf "metrics json does not parse: %s" e
+
+(* ---------------------------------------------------------------- *)
+(* Json *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let finite f = if Float.is_nan f || Float.abs f = infinity then 0.0 else f in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun i -> J.Int i) int;
+        map (fun f -> J.Float (finite f)) float;
+        map (fun s -> J.Str s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> J.Arr l) (list_size (int_bound 4) (tree (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> J.Obj kvs)
+              (list_size (int_bound 4)
+                 (pair (string_size ~gen:printable (int_bound 6))
+                    (tree (depth - 1)))) );
+        ]
+  in
+  tree 3
+
+let json_print_parse_roundtrip =
+  qcheck_case ~count:200 "print |> parse is the identity"
+    (QCheck.make ~print:J.to_string json_gen)
+    (fun t ->
+      match J.parse (J.to_string t) with
+      | Ok t' ->
+        (* Integral floats may legitimately come back as Int (the
+           parser promotes fraction-free literals), except that our
+           printer always emits a fraction for floats — so exact
+           structural equality is the contract. *)
+        t' = t
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e)
+
+let test_json_escaping () =
+  let s = "quote\" back\\ slash\nnl\ttab\x01ctl" in
+  (match J.parse (J.to_string (J.Str s)) with
+  | Ok (J.Str s') -> Alcotest.(check string) "escape round-trip" s s'
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error e -> Alcotest.failf "parse: %s" e);
+  (match J.parse {|"Aé中"|} with
+  | Ok (J.Str s') -> Alcotest.(check string) "unicode escapes" "A\xc3\xa9\xe4\xb8\xad" s'
+  | _ -> Alcotest.fail "unicode escape parse failed");
+  Alcotest.(check string) "non-finite floats are null" "null"
+    (J.to_string (J.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (J.to_string (J.Float Float.infinity))
+
+let test_json_rejects_malformed () =
+  let bad =
+    [
+      ""; "{"; "["; "[1,]"; "{\"a\":}"; "{\"a\" 1}"; "tru"; "nul"; "+1";
+      "1 2"; "\"unterminated"; "\"bad \\x escape\""; "[1, 2,"; "{]";
+      "1.2.3"; "--1";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    bad
+
+let test_json_member_and_ints () =
+  match J.parse {|{"a": 1, "b": [2.5, true], "c": 9007199254740993}|} with
+  | Ok t ->
+    Alcotest.(check bool) "int member" true (J.member "a" t = Some (J.Int 1));
+    Alcotest.(check bool) "array member" true
+      (J.member "b" t = Some (J.Arr [ J.Float 2.5; J.Bool true ]));
+    Alcotest.(check bool) "big integral fits OCaml int" true
+      (J.member "c" t = Some (J.Int 9007199254740993));
+    Alcotest.(check bool) "absent member" true (J.member "zz" t = None)
+  | Error e -> Alcotest.failf "parse: %s" e
+
+(* ---------------------------------------------------------------- *)
+(* Chrome collector *)
+
+let test_chrome_cap_and_validity () =
+  let t = Chrome.create ~max_events:5 () in
+  Chrome.name_process t ~pid:0 "proc";
+  Chrome.name_thread t ~pid:0 ~tid:1 "thr";
+  for i = 0 to 9 do
+    Chrome.complete t ~name:"span" ~cat:"test" ~pid:0 ~tid:1
+      ~ts_us:(float_of_int i) ~dur_us:1.0
+      ~args:[ ("i", J.Int i) ]
+      ()
+  done;
+  Chrome.instant t ~name:"late" ~ts_us:99.0 ();
+  Alcotest.(check int) "cap enforced" 5 (Chrome.num_events t);
+  Alcotest.(check int) "drops counted" 6 (Chrome.dropped t);
+  let file = Filename.temp_file "gpr-obs-trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Chrome.write_file t file;
+      match J.parse_file file with
+      | Ok doc -> (
+        match J.member "traceEvents" doc with
+        | Some (J.Arr events) ->
+          (* 5 capped events + 2 metadata events (uncapped). *)
+          Alcotest.(check int) "events + metadata emitted" 7
+            (List.length events);
+          let phases =
+            List.filter_map (fun e -> J.member "ph" e) events
+          in
+          Alcotest.(check bool) "metadata survives the cap" true
+            (List.mem (J.Str "M") phases)
+        | _ -> Alcotest.fail "no traceEvents array")
+      | Error e -> Alcotest.failf "trace does not parse: %s" e)
+
+let test_chrome_sink () =
+  Alcotest.(check bool) "no sink by default" true (Chrome.sink () = None);
+  let t = Chrome.create () in
+  Chrome.set_sink (Some t);
+  Fun.protect
+    ~finally:(fun () -> Chrome.set_sink None)
+    (fun () ->
+      (match Chrome.sink () with
+      | Some t' -> Chrome.instant t' ~name:"via-sink" ~ts_us:0.0 ()
+      | None -> Alcotest.fail "sink not installed");
+      Alcotest.(check int) "event landed in the sink" 1 (Chrome.num_events t));
+  Alcotest.(check bool) "sink cleared" true (Chrome.sink () = None)
+
+(* ---------------------------------------------------------------- *)
+(* Stall taxonomy *)
+
+let test_stall_breakdown_algebra () =
+  let mk issued stalls = { Stall.bd_issued = issued; bd_stalls = stalls } in
+  let a = mk 10 [ (Stall.Scoreboard, 5); (Stall.Empty, 1) ] in
+  let b = mk 2 [ (Stall.Scoreboard, 1); (Stall.Barrier, 3) ] in
+  let s = Stall.add a b in
+  Alcotest.(check int) "issued summed" 12 s.Stall.bd_issued;
+  Alcotest.(check int) "scoreboard summed" 6 (Stall.get s Stall.Scoreboard);
+  Alcotest.(check int) "barrier kept" 3 (Stall.get s Stall.Barrier);
+  Alcotest.(check int) "total slots" 22 (Stall.total_slots s);
+  Alcotest.(check int) "empty breakdown is zero" 0
+    (Stall.total_slots Stall.empty);
+  Alcotest.(check string) "pct on zero total is all zeros"
+    "0.0/0.0/0.0/0.0/0.0/0.0"
+    (Stall.pct_string Stall.empty);
+  let half = mk 1 [ (Stall.Scoreboard, 1) ] in
+  Alcotest.(check string) "pct in [all] order" "50.0/0.0/0.0/0.0/0.0/0.0"
+    (Stall.pct_string half);
+  Alcotest.(check int) "six causes" 6 (List.length Stall.all);
+  (match J.parse (J.to_string (Stall.to_json s)) with
+  | Ok doc ->
+    Alcotest.(check bool) "json total matches" true
+      (J.member "total_slots" doc = Some (J.Int 22))
+  | Error e -> Alcotest.failf "stall json: %s" e)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          metrics_pool_no_lost_updates;
+          Alcotest.test_case "disabled is inert" `Quick
+            test_metrics_disabled_is_inert;
+          Alcotest.test_case "registration" `Quick test_metrics_registration;
+          Alcotest.test_case "histogram buckets" `Quick
+            test_metrics_histogram_buckets;
+          Alcotest.test_case "snapshot + reset" `Quick
+            test_metrics_snapshot_sorted_and_reset;
+        ] );
+      ( "json",
+        [
+          json_print_parse_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_json_rejects_malformed;
+          Alcotest.test_case "member + ints" `Quick test_json_member_and_ints;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "cap + validity" `Quick
+            test_chrome_cap_and_validity;
+          Alcotest.test_case "global sink" `Quick test_chrome_sink;
+        ] );
+      ( "stall",
+        [
+          Alcotest.test_case "breakdown algebra" `Quick
+            test_stall_breakdown_algebra;
+        ] );
+    ]

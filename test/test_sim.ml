@@ -197,6 +197,103 @@ let test_sfu_throughput_bound () =
   Alcotest.(check bool) "spu stream faster" true (s2.Sim.cycles < s.Sim.cycles)
 
 (* ---------------------------------------------------------------- *)
+(* Stall attribution: every scheduler slot of every cycle is accounted
+   for exactly once, so
+   issued_slots + sum of stall_* = cycles x warp_schedulers.
+   Each test also runs under ~check:true, which enforces the same
+   identity inside the model. *)
+
+module Stall = Gpr_obs.Stall
+
+let run_checked ?(waves = 1) ?(blocks = 1) ?(mode = Sim.Baseline) ?alloc trace =
+  let alloc = match alloc with Some a -> a | None -> full_alloc 64 in
+  Sim.run ~check:true ~waves cfg ~trace ~alloc ~blocks_per_sm:blocks ~mode
+
+let check_identity name (s : Sim.stats) =
+  Alcotest.(check int)
+    (name ^ ": slots = cycles x schedulers")
+    (s.Sim.cycles * cfg.warp_schedulers)
+    (Stall.total_slots (Sim.breakdown s));
+  Alcotest.(check int)
+    (name ^ ": issued slots = warp instructions")
+    s.Sim.warp_instructions s.Sim.issued_slots
+
+let test_stall_identity_scoreboard () =
+  let chain =
+    List.init 32 (fun i ->
+        item ~srcs:(if i = 0 then [] else [ i - 1 ]) ~dst:i i)
+  in
+  let s = run_checked (mk_trace chain) in
+  check_identity "chain" s;
+  Alcotest.(check bool) "dependent chain stalls on the scoreboard" true
+    (s.Sim.stall_scoreboard > 0);
+  Alcotest.(check int) "no spill stalls outside Spill mode" 0
+    s.Sim.stall_spill_port
+
+let test_stall_identity_barrier () =
+  (* Warp 0 parks at a barrier while warp 1 grinds through a dependent
+     chain: warp 0's scheduler loses its slots to the barrier wait. *)
+  let w0 = [ item ~warp:0 ~unit_:Sync 0; item ~warp:0 ~dst:40 1 ] in
+  let w1 =
+    List.init 24 (fun i ->
+        item ~warp:1 ~srcs:(if i = 0 then [] else [ i - 1 ]) ~dst:i (i + 2))
+    @ [ item ~warp:1 ~unit_:Sync 26 ]
+  in
+  let s = run_checked (mk_trace ~warps_per_block:2 (w0 @ w1)) in
+  check_identity "barrier" s;
+  Alcotest.(check bool) "barrier wait attributed" true (s.Sim.stall_barrier > 0)
+
+let test_stall_identity_spill_port () =
+  (* Register 0 lives in the spill space; every write makes dependents
+     wait out the spill write-through, which must be attributed to the
+     spill port, not the plain scoreboard. *)
+  let spilled = Hashtbl.create 4 in
+  Hashtbl.replace spilled 0 ();
+  let items =
+    List.concat
+      (List.init 6 (fun i ->
+           [ item ~dst:0 (2 * i); item ~srcs:[ 0 ] ~dst:(i + 1) ((2 * i) + 1) ]))
+  in
+  let s =
+    run_checked ~mode:(Sim.Spill { latency = 40; spilled }) (mk_trace items)
+  in
+  check_identity "spill" s;
+  Alcotest.(check bool) "spill traffic happened" true (s.Sim.spill_stores > 0);
+  Alcotest.(check bool) "spill-port stalls attributed" true
+    (s.Sim.stall_spill_port > 0)
+
+let test_stall_identity_empty_trace () =
+  let s = run_checked (mk_trace []) in
+  check_identity "empty" s;
+  Alcotest.(check int) "degenerate run is one cycle" 1 s.Sim.cycles;
+  Alcotest.(check int) "all slots idle"
+    (s.Sim.cycles * cfg.warp_schedulers)
+    s.Sim.stall_empty
+
+let test_stall_identity_all_modes () =
+  (* One mixed trace through all three register-file models, multiple
+     waves and blocks: the identity is structural, not mode-specific. *)
+  let mem = { T.m_space = Global; m_addresses = Array.init 32 (fun l -> l * 4) } in
+  let body w =
+    List.init 16 (fun i ->
+        if i mod 5 = 4 then item ~warp:w ~unit_:Ldst ~mem ~dst:i (16 * w + i)
+        else item ~warp:w ~srcs:(if i = 0 then [] else [ i - 1 ]) ~dst:i
+            (16 * w + i))
+  in
+  let trace = mk_trace ~warps_per_block:4 (List.concat_map body [ 0; 1; 2; 3 ]) in
+  let spilled = Hashtbl.create 4 in
+  Hashtbl.replace spilled 1 ();
+  List.iter
+    (fun (label, mode) ->
+      let s = run_checked ~waves:3 ~blocks:2 ~mode trace in
+      check_identity label s)
+    [
+      ("baseline", Sim.Baseline);
+      ("proposed", Sim.Proposed { writeback_delay = 3 });
+      ("spill", Sim.Spill { latency = 20; spilled });
+    ]
+
+(* ---------------------------------------------------------------- *)
 (* Cache unit tests *)
 
 let test_cache_basics () =
@@ -277,6 +374,16 @@ let () =
         [
           Alcotest.test_case "barrier completes" `Quick test_barrier_completes;
           Alcotest.test_case "waves scale" `Quick test_waves_scale_work;
+        ] );
+      ( "stall-attribution",
+        [
+          Alcotest.test_case "scoreboard chain" `Quick
+            test_stall_identity_scoreboard;
+          Alcotest.test_case "barrier wait" `Quick test_stall_identity_barrier;
+          Alcotest.test_case "spill port" `Quick test_stall_identity_spill_port;
+          Alcotest.test_case "empty trace" `Quick
+            test_stall_identity_empty_trace;
+          Alcotest.test_case "all modes" `Quick test_stall_identity_all_modes;
         ] );
       ( "memory",
         [
