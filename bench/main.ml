@@ -136,6 +136,8 @@ let run_micro () =
 let jobs = ref 0
 let cache_dir = ref ""
 let no_micro = ref false
+let sim_throughput = ref false
+let sim_kernels = ref ""
 
 let speclist =
   [
@@ -146,6 +148,12 @@ let speclist =
      "DIR  Content-addressed on-disk result cache");
     ("--no-micro", Arg.Set no_micro,
      "  Skip the Bechamel micro-benchmarks (part 2)");
+    ("--sim-throughput", Arg.Set sim_throughput,
+     "  Only time the flat simulator against the Sim_ref oracle over the \
+      registry and write BENCH_sim.json");
+    ("--sim-kernels", Arg.Set_string sim_kernels,
+     "A,B  Restrict --sim-throughput to the named registry kernels (the CI \
+      smoke subset)");
   ]
 
 (* One timed section per table/figure of the evaluation, in
@@ -271,6 +279,162 @@ let write_obs_json entries =
        ])
 
 (* ---------------------------------------------------------------- *)
+(* Simulator throughput: the full registry simulated under every
+   registered backend by the flat engine and by the Sim_ref oracle,
+   written to BENCH_sim.json as cycles/sec per scheme (the ISSUE's
+   ≥5x acceptance artifact).  The oracle run doubles as an in-bench
+   equivalence audit: any stats divergence aborts with exit 1.  The
+   recorded host lets the tier-2 perf-regression test in
+   test/test_sim.ml gate its absolute-throughput comparison to the
+   machine the baseline was committed from. *)
+
+let run_sim_bench () =
+  let module W = Gpr_workloads.Workload in
+  let module Backend = Gpr_backend.Backend in
+  let module Range = Gpr_analysis.Range in
+  let module Sim = Gpr_sim.Sim in
+  let module Sim_ref = Gpr_sim.Sim_ref in
+  let cfg = Gpr_arch.Config.fermi_gtx480 in
+  let waves = 6 in
+  let kernels =
+    if !sim_kernels = "" then Gpr_workloads.Registry.all
+    else begin
+      let wanted =
+        List.filter_map
+          (fun n ->
+            let n = String.trim n in
+            if n = "" then None else Some (String.lowercase_ascii n))
+          (String.split_on_char ',' !sim_kernels)
+      in
+      List.filter
+        (fun (w : W.t) ->
+          List.mem (String.lowercase_ascii w.name) wanted)
+        Gpr_workloads.Registry.all
+    end
+  in
+  if kernels = [] then begin
+    Printf.eprintf "--sim-throughput: no registry kernel matches %S\n"
+      !sim_kernels;
+    exit 2
+  end;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let round1 x = Float.round (x *. 10.0) /. 10.0 in
+  let round2 x = Float.round (x *. 100.0) /. 100.0 in
+  let per_sec cycles secs =
+    if secs <= 0.0 then 0.0 else float_of_int cycles /. secs
+  in
+  let schemes =
+    List.map
+      (fun scheme ->
+        let module S = (val scheme : Backend.Scheme) in
+        let t_cycles = ref 0 and t_fast = ref 0.0 and t_ref = ref 0.0 in
+        let rows =
+          List.map
+            (fun (w : W.t) ->
+              let trace = W.trace w ~quantize:None in
+              let range = Range.analyze w.kernel ~launch:w.launch in
+              let res = S.analyze ~kernel:w.kernel ~range ~precision:None in
+              let occ =
+                (Backend.occupancy cfg res
+                   ~warps_per_block:(W.warps_per_block w)
+                   ~shared_bytes_per_block:(W.shared_bytes_per_block w))
+                  .Gpr_arch.Occupancy.blocks_per_sm
+              in
+              let mode = Backend.sim_mode scheme res in
+              let alloc = res.Gpr_backend.Backend.alloc in
+              let fast, fsec =
+                time (fun () ->
+                    Sim.run ~waves cfg ~trace ~alloc ~blocks_per_sm:occ ~mode)
+              in
+              let slow, rsec =
+                time (fun () ->
+                    Sim_ref.run ~waves cfg ~trace ~alloc ~blocks_per_sm:occ
+                      ~mode)
+              in
+              if Stdlib.compare fast slow <> 0 then begin
+                Printf.eprintf
+                  "--sim-throughput: %s/%s: fast engine diverges from \
+                   Sim_ref\n"
+                  w.name S.id;
+                exit 1
+              end;
+              t_cycles := !t_cycles + fast.Sim.cycles;
+              t_fast := !t_fast +. fsec;
+              t_ref := !t_ref +. rsec;
+              J.Obj
+                [
+                  ("kernel", J.Str w.name);
+                  ("cycles", J.Int fast.Sim.cycles);
+                  ("seconds", seconds fsec);
+                  ("cycles_per_sec", J.Float (round1 (per_sec fast.Sim.cycles fsec)));
+                  ("ref_seconds", seconds rsec);
+                  ( "speedup",
+                    J.Float (round2 (if fsec > 0.0 then rsec /. fsec else 0.0)) );
+                ])
+            kernels
+        in
+        Printf.eprintf
+          "[sim %-8s %7d kcycles  fast %6.2f s (%5.2f Mcyc/s)  ref %6.2f s  \
+           %4.2fx]\n"
+          S.id (!t_cycles / 1000) !t_fast
+          (per_sec !t_cycles !t_fast /. 1e6)
+          !t_ref
+          (if !t_fast > 0.0 then !t_ref /. !t_fast else 0.0);
+        ( S.id, !t_cycles, !t_fast, !t_ref,
+          J.Obj
+            [
+              ("scheme", J.Str S.id);
+              ("cycles", J.Int !t_cycles);
+              ("seconds", seconds !t_fast);
+              ("cycles_per_sec", J.Float (round1 (per_sec !t_cycles !t_fast)));
+              ("ref_seconds", seconds !t_ref);
+              ( "ref_cycles_per_sec",
+                J.Float (round1 (per_sec !t_cycles !t_ref)) );
+              ( "speedup",
+                J.Float
+                  (round2 (if !t_fast > 0.0 then !t_ref /. !t_fast else 0.0))
+              );
+              ("kernels", J.Arr rows);
+            ] ))
+      Gpr_backend.Registry.all
+  in
+  let cycles =
+    List.fold_left (fun a (_, c, _, _, _) -> a + c) 0 schemes
+  in
+  let fast = List.fold_left (fun a (_, _, f, _, _) -> a +. f) 0.0 schemes in
+  let slow = List.fold_left (fun a (_, _, _, r, _) -> a +. r) 0.0 schemes in
+  Printf.eprintf
+    "[sim total    %7d kcycles  fast %6.2f s (%5.2f Mcyc/s)  ref %6.2f s  \
+     %4.2fx]\n%!"
+    (cycles / 1000) fast
+    (per_sec cycles fast /. 1e6)
+    slow
+    (if fast > 0.0 then slow /. fast else 0.0);
+  J.write_file "BENCH_sim.json"
+    (J.Obj
+       [
+         ("host", J.Str (Unix.gethostname ()));
+         ("waves", J.Int waves);
+         ("kernels", J.Int (List.length kernels));
+         ("schemes", J.Arr (List.map (fun (_, _, _, _, j) -> j) schemes));
+         ( "total",
+           J.Obj
+             [
+               ("cycles", J.Int cycles);
+               ("seconds", seconds fast);
+               ("cycles_per_sec", J.Float (round1 (per_sec cycles fast)));
+               ("ref_seconds", seconds slow);
+               ( "speedup",
+                 J.Float
+                   (round2 (if fast > 0.0 then slow /. fast else 0.0)) );
+             ] );
+       ])
+
+(* ---------------------------------------------------------------- *)
 (* Static verifier benchmark: per-pass time over the Table 4 registry
    plus the diagnostic counts, written to BENCH_lint.json so lint
    throughput regressions are visible alongside the engine timings. *)
@@ -350,7 +514,12 @@ let run_lint_bench () =
 let () =
   Arg.parse speclist
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "dune exec bench/main.exe -- [-j N] [--cache-dir DIR] [--no-micro]";
+    "dune exec bench/main.exe -- [-j N] [--cache-dir DIR] [--no-micro]\n\
+    \                            [--sim-throughput [--sim-kernels A,B]]";
+  if !sim_throughput then begin
+    run_sim_bench ();
+    exit 0
+  end;
   let jobs =
     if !jobs <= 0 then Gpr_engine.Pool.default_jobs () else !jobs
   in

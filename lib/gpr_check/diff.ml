@@ -536,7 +536,12 @@ let check_sim ?(max_steps = 2_000_000) (case : Gen.case) =
    audited by [~check:true], but the *reported* stats record could
    still lie (field assembled from the wrong ref, a cause dropped from
    [breakdown], ...).  Recompute the identity from the returned record
-   alone, across all three register-file modes. *)
+   alone, across all three register-file modes; then pin the flat
+   engine byte-equal to the [Sim_ref] oracle on the same inputs, and
+   fuzz the idle fast-forward replay specifically with a stretched
+   machine (long latencies, slow spill port, one resident block) whose
+   runs are dominated by frozen-cause idle stretches rather than the
+   dense cycle-by-cycle path. *)
 let check_obs ?(max_steps = 2_000_000) (case : Gen.case) =
   guard @@ fun () ->
   let kernel = case.kernel in
@@ -584,13 +589,34 @@ let check_obs ?(max_steps = 2_000_000) (case : Gen.case) =
            (Printf.sprintf "%s: %d issued slots but %d warp instructions"
               label s.issued_slots s.warp_instructions))
   in
-  let run label alloc blocks_per_sm mode =
-    match
-      Gpr_sim.Sim.run ~check:true ~waves:2 cfg ~trace ~alloc ~blocks_per_sm
-        ~mode
-    with
-    | s -> audit label s
-    | exception Gpr_sim.Sim.Invariant_violation msg -> fail (Sim_violation msg)
+  let run ?(cfg = cfg) ?(waves = 2) label alloc blocks_per_sm mode =
+    let s =
+      match
+        Gpr_sim.Sim.run ~check:true ~waves cfg ~trace ~alloc ~blocks_per_sm
+          ~mode
+      with
+      | s -> s
+      | exception Gpr_sim.Sim.Invariant_violation msg ->
+        fail (Sim_violation msg)
+    in
+    audit label s;
+    let r =
+      match
+        Gpr_sim.Sim_ref.run ~check:true ~waves cfg ~trace ~alloc ~blocks_per_sm
+          ~mode
+      with
+      | r -> r
+      | exception Gpr_sim.Sim.Invariant_violation msg ->
+        fail
+          (Sim_violation
+             (Printf.sprintf "%s: only Sim_ref violates: %s" label msg))
+    in
+    if Stdlib.compare s r <> 0 then
+      fail
+        (Sim_violation
+           (Printf.sprintf
+              "%s: fast engine diverges from Sim_ref (%d vs %d cycles)" label
+              s.Gpr_sim.Sim.cycles r.Gpr_sim.Sim.cycles))
   in
   let width_of (r : vreg) =
     match r.ty with
@@ -609,4 +635,23 @@ let check_obs ?(max_steps = 2_000_000) (case : Gen.case) =
   run "spill" res.Backend.alloc
     (occ_of res.Backend.alloc.Alloc.pressure
        (Backend.spill_bytes_per_thread res))
+    (Backend.sim_mode (module Sp) res);
+  (* Fast-forward-heavy schedule: one resident block, one wave, and a
+     machine whose latencies dwarf the issue rate, so nearly every
+     cycle is skipped by the idle fast-forward and its frozen stall
+     cause replayed.  Run under the spill mode so the replayed causes
+     include the spill port, the cause most entangled with retire
+     timing. *)
+  let stretched =
+    {
+      cfg with
+      Gpr_arch.Config.spu_latency = 64;
+      sfu_latency = 96;
+      shared_latency = 180;
+      l1_hit_latency = 200;
+      l2_hit_latency = 600;
+      dram_latency = 1200;
+    }
+  in
+  run ~cfg:stretched ~waves:1 "ffwd-heavy" res.Backend.alloc 1
     (Backend.sim_mode (module Sp) res)

@@ -1,5 +1,7 @@
 type t = {
   line_bytes : int;
+  line_shift : int;      (* log2 line_bytes when a power of two, else -1 *)
+  set_mask : int;        (* num_sets - 1 when a power of two, else -1 *)
   num_sets : int;
   assoc : int;
   tags : int array;      (* set * assoc + way; -1 = invalid *)
@@ -12,8 +14,21 @@ type t = {
 let create ~capacity_bytes ~line_bytes ~assoc =
   let lines = max assoc (capacity_bytes / line_bytes) in
   let num_sets = max 1 (lines / assoc) in
+  let line_shift =
+    if line_bytes > 0 && line_bytes land (line_bytes - 1) = 0 then begin
+      let s = ref 0 in
+      while 1 lsl !s < line_bytes do
+        incr s
+      done;
+      !s
+    end
+    else -1
+  in
   {
     line_bytes;
+    line_shift;
+    set_mask =
+      (if num_sets land (num_sets - 1) = 0 then num_sets - 1 else -1);
     num_sets;
     assoc;
     tags = Array.make (num_sets * assoc) (-1);
@@ -23,31 +38,51 @@ let create ~capacity_bytes ~line_bytes ~assoc =
     misses = 0;
   }
 
+(* Top-level helpers (closed over nothing) so [access] allocates
+   nothing: without flambda, a local closure with free variables is
+   heap-allocated on every call. *)
+let rec find_way tags base assoc line way =
+  if way >= assoc then -1
+  else if tags.(base + way) = line then way
+  else find_way tags base assoc line (way + 1)
+
+(* LRU victim: first minimum, as a strict-< scan. *)
+let rec pick_victim lru base assoc way victim =
+  if way >= assoc then victim
+  else
+    pick_victim lru base assoc (way + 1)
+      (if lru.(base + way) < lru.(base + victim) then way else victim)
+
+(* The simulators call this tens of times per modelled cycle, so it is
+   kept allocation-free; the shift replaces the division on the
+   (universal) power-of-two line size.  [lsr] only agrees with [/] on
+   non-negative addresses, hence the guard. *)
 let access t addr =
-  let line = addr / t.line_bytes in
-  let set = line mod t.num_sets in
-  let base = set * t.assoc in
-  t.stamp <- t.stamp + 1;
-  let rec find way =
-    if way >= t.assoc then None
-    else if t.tags.(base + way) = line then Some way
-    else find (way + 1)
+  let line =
+    if t.line_shift >= 0 && addr >= 0 then addr lsr t.line_shift
+    else addr / t.line_bytes
   in
-  match find 0 with
-  | Some way ->
+  let set =
+    (* [land] only agrees with [mod] for non-negative lines. *)
+    if t.set_mask >= 0 && line >= 0 then line land t.set_mask
+    else line mod t.num_sets
+  in
+  let assoc = t.assoc in
+  let base = set * assoc in
+  t.stamp <- t.stamp + 1;
+  let way = find_way t.tags base assoc line 0 in
+  if way >= 0 then begin
     t.lru.(base + way) <- t.stamp;
     t.hits <- t.hits + 1;
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
-    (* Evict LRU way. *)
-    let victim = ref 0 in
-    for way = 1 to t.assoc - 1 do
-      if t.lru.(base + way) < t.lru.(base + !victim) then victim := way
-    done;
-    t.tags.(base + !victim) <- line;
-    t.lru.(base + !victim) <- t.stamp;
+    let victim = pick_victim t.lru base assoc 1 0 in
+    t.tags.(base + victim) <- line;
+    t.lru.(base + victim) <- t.stamp;
     false
+  end
 
 let hits t = t.hits
 let misses t = t.misses

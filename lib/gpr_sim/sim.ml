@@ -1,3 +1,37 @@
+(* Flat cycle-level SM engine.
+
+   Same pipeline model as the original engine (preserved verbatim in
+   [Sim_ref] as the differential oracle) but restructured around flat
+   preallocated state so the steady-state cycle loop allocates nothing:
+
+   - replay traces are packed once per run into per-(block, warp)
+     int-array code streams (unit/pc/dst/active/mem-descriptor/srcs per
+     instruction) with memory accesses pre-coalesced into line lists —
+     the per-issue Hashtbl coalescing of the original engine runs once
+     per static instruction instead of once per dynamic replay;
+   - warp state (pointers, ages, barrier flags, outstanding counts) and
+     the scoreboard are struct-of-arrays over resident-warp slots, with
+     the scoreboard a dense [warps x registers] count array;
+   - the operand collectors are struct-of-arrays with per-CU stage
+     counters so dead stages are skipped in O(1);
+   - retire events live in a grow-only binary min-heap keyed (cycle
+     asc, insertion seq desc) — the descending seq tie-break reproduces
+     the original engine's LIFO bucket order exactly, which matters
+     when two blocks finish on the same cycle and compete for feeder
+     blocks;
+   - the writeback bus and the per-cycle bank/indirection-table claims
+     use generation-stamped rings instead of per-cycle hash tables;
+   - the idle fast-forward jumps straight to the next scheduled retire
+     (scoreboard release / barrier release) while replaying each
+     scheduler's frozen stall cause across the skipped cycles, so
+     stall attribution stays exact.
+
+   Byte-equality with [Sim_ref] on every stats field — including the
+   Hashtbl-iteration order of coalesced cache lines, which the
+   preprocessor captures by building the very same Hashtbl once — is
+   enforced by the equivalence suite in test/test_sim.ml and fuzzed by
+   `gpr check`'s obs stage. *)
+
 open Gpr_isa.Types
 module Trace = Gpr_exec.Trace
 module Alloc = Gpr_alloc.Alloc
@@ -60,53 +94,78 @@ let m_stall =
       (c, Gpr_obs.Metrics.counter ("sim.stall." ^ Gpr_obs.Stall.name c)))
     Gpr_obs.Stall.all
 
-(* ------------------------------------------------------------------ *)
-
-type opnd_stage = S_loc | S_fetch | S_convert | S_done
-
-type opnd = {
-  o_arch : int;
-  mutable o_stage : opnd_stage;
-  mutable o_banks : int list;  (* remaining register-fetch banks *)
-  o_convert : bool;
-}
-
-type wctx = {
-  w_items : Trace.item array;
-  mutable w_ptr : int;
-  w_slot : int;        (* resident-block slot *)
-  w_id : int;          (* resident warp index (bank swizzle, scheduler) *)
-  w_age : int;
-  mutable w_barrier : bool;
-  mutable w_bars_left : int;    (* Sync items not yet issued *)
-  mutable w_outstanding : int;  (* issued, not yet retired *)
-  w_scoreboard : (int, int) Hashtbl.t;
-}
-
-type cu = {
-  c_warp : wctx;
-  c_item : Trace.item;
-  mutable c_ops : opnd list;
-  c_mem_latency : int;  (* precomputed for Ldst items, else unit latency *)
-  c_unit_busy : int;    (* cycles the execution unit is occupied *)
-  c_issue : int;        (* cycle the instruction was issued (profiling) *)
-}
-
-type rblock = { mutable rb_warps : wctx list }
-
-module Imap = Map.Make (Int)
-
-type event = Retire of wctx * int option
-
 exception Invariant_violation of string
 
 let violated fmt = Printf.ksprintf (fun s -> raise (Invariant_violation s)) fmt
 
+(* ------------------------------------------------------------------ *)
+(* Packed-stream encoding.
+
+   One instruction is [6 + nsrcs] words in its stream's code array:
+
+     [o+0]  unit tag        (0 spu, 1 sfu, 2 ldst, 3 sync)
+     [o+1]  pc
+     [o+2]  destination register, or -1
+     [o+3]  active-lane count
+     [o+4]  memory-descriptor index, or -1
+     [o+5]  number of (sorted, distinct) source registers
+     [o+6…] source registers
+
+   Memory descriptors (one per static Ldst-with-memory instruction)
+   live in parallel flat arrays: kind (0 param, 1 shared, 2 global,
+   3 texture), the shared bank-conflict factor, and for global/texture
+   the pre-coalesced cache-line ids in the exact Hashtbl iteration
+   order the reference engine visits them in. *)
+
+let u_spu = 0
+let u_sfu = 1
+let u_ldst = 2
+let u_sync = 3
+
+let tag_of_unit = function
+  | Spu -> u_spu
+  | Sfu -> u_sfu
+  | Ldst -> u_ldst
+  | Sync -> u_sync
+
 let unit_label = function
-  | Spu -> "spu"
-  | Sfu -> "sfu"
-  | Ldst -> "ldst"
-  | Sync -> "sync"
+  | 0 -> "spu"
+  | 1 -> "sfu"
+  | 2 -> "ldst"
+  | _ -> "sync"
+
+(* Operand stages. *)
+let s_loc = 0
+let s_fetch = 1
+let s_convert = 2
+let s_done = 3
+
+(* Stall causes as dense codes (c_issued marks an issued slot). *)
+let c_scoreboard = 0
+let c_no_cu = 1
+let c_bank_conflict = 2
+let c_spill_port = 3
+let c_barrier = 4
+let c_empty = 5
+let c_issued = -1
+
+(* Minimal growable int vector for the preprocessor. *)
+module Vec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 64 0; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let b = Array.make (2 * v.n) 0 in
+      Array.blit v.a 0 b 0 v.n;
+      v.a <- b
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let to_array v = Array.sub v.a 0 v.n
+end
 
 let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
     ~(trace : Trace.t) ~(alloc : Alloc.t) ~blocks_per_sm ~mode =
@@ -116,165 +175,399 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
     | Proposed { writeback_delay } -> writeback_delay
   in
   let is_proposed = match mode with Proposed _ -> true | _ -> false in
-  (* Spilling register files keep a subset of registers in shared
-     memory: spilled sources refill before execution and spilled
-     destinations write through after writeback, each paying the shared
-     round trip; accesses serialise at one per cycle on the spill
-     port. *)
-  let is_spilled, spill_latency =
+  let spilled_tbl, spill_latency =
     match mode with
-    | Spill { latency; spilled } ->
-      ((fun r -> Hashtbl.mem spilled r), latency)
-    | Baseline | Proposed _ -> ((fun _ -> false), 0)
+    | Spill { latency; spilled } -> (Some spilled, latency)
+    | Baseline | Proposed _ -> (None, 0)
   in
+
+  (* ---------------- preprocessing: pack the trace ---------------- *)
+  let wpb = trace.Trace.warps_per_block in
+  let nblocks = trace.Trace.num_blocks in
+  let nstreams = max 1 (nblocks * wpb) in
+  let in_range (it : Trace.item) =
+    it.t_block_id >= 0 && it.t_block_id < nblocks && it.t_warp >= 0
+    && it.t_warp < wpb
+  in
+  (* Bucket item indices per (block, warp) stream, in trace order. *)
+  let s_count = Array.make nstreams 0 in
+  Array.iter
+    (fun it ->
+      if in_range it then
+        let s = (it.Trace.t_block_id * wpb) + it.Trace.t_warp in
+        s_count.(s) <- s_count.(s) + 1)
+    trace.items;
+  let s_items = Array.map (fun n -> Array.make n 0) s_count in
+  let s_fill = Array.make nstreams 0 in
+  Array.iteri
+    (fun idx it ->
+      if in_range it then begin
+        let s = (it.Trace.t_block_id * wpb) + it.Trace.t_warp in
+        s_items.(s).(s_fill.(s)) <- idx;
+        s_fill.(s) <- s_fill.(s) + 1
+      end)
+    trace.items;
+  (* Memory descriptors. *)
+  let md_kind = Vec.create () in
+  let md_factor = Vec.create () in
+  let md_loff = Vec.create () in
+  let md_lcnt = Vec.create () in
+  let md_lines = Vec.create () in
+  let encode_mem (m : Trace.mem_access) =
+    let id = md_kind.Vec.n in
+    (match m.m_space with
+     | Param ->
+       Vec.push md_kind 0;
+       Vec.push md_factor 1;
+       Vec.push md_loff 0;
+       Vec.push md_lcnt 0
+     | Shared ->
+       let counts = Array.make 32 0 in
+       Array.iter
+         (fun a ->
+           let b = a / 4 mod 32 in
+           counts.(b) <- counts.(b) + 1)
+         m.m_addresses;
+       let factor = Array.fold_left max 1 counts in
+       Vec.push md_kind 1;
+       Vec.push md_factor factor;
+       Vec.push md_loff 0;
+       Vec.push md_lcnt 0
+     | Global | Texture ->
+       (* Coalesce into cache-line transactions through the very same
+          Hashtbl the reference engine builds per dynamic issue, so the
+          line visit order (which steers L2/DRAM queueing) is captured
+          exactly. *)
+       let lines = Hashtbl.create 8 in
+       Array.iter
+         (fun a -> Hashtbl.replace lines (a / cfg.l1_line_bytes) ())
+         m.m_addresses;
+       let off = md_lines.Vec.n in
+       Hashtbl.iter (fun line () -> Vec.push md_lines line) lines;
+       Vec.push md_kind (if m.m_space = Texture then 3 else 2);
+       Vec.push md_factor 1;
+       Vec.push md_loff off;
+       Vec.push md_lcnt (Hashtbl.length lines));
+    id
+  in
+  (* Encode every stream. *)
+  let max_reg = ref (-1) in
+  let max_srcs = ref 1 in
+  let st_code = Array.make nstreams [||] in
+  let st_off = Array.make nstreams [||] in
+  let st_bars = Array.make nstreams 0 in
+  let code_buf = Vec.create () in
+  let off_buf = Vec.create () in
+  for s = 0 to nstreams - 1 do
+    code_buf.Vec.n <- 0;
+    off_buf.Vec.n <- 0;
+    let bars = ref 0 in
+    Array.iter
+      (fun idx ->
+        let it = trace.items.(idx) in
+        Vec.push off_buf code_buf.Vec.n;
+        if it.t_unit = Sync then incr bars;
+        let srcs = List.sort_uniq compare it.t_srcs in
+        let ns = List.length srcs in
+        if ns > !max_srcs then max_srcs := ns;
+        let dst = match it.t_dst with Some d -> d | None -> -1 in
+        if dst > !max_reg then max_reg := dst;
+        let mem = match it.t_mem with Some m -> encode_mem m | None -> -1 in
+        Vec.push code_buf (tag_of_unit it.t_unit);
+        Vec.push code_buf it.t_pc;
+        Vec.push code_buf dst;
+        Vec.push code_buf it.t_active;
+        Vec.push code_buf mem;
+        Vec.push code_buf ns;
+        List.iter
+          (fun r ->
+            if r > !max_reg then max_reg := r;
+            Vec.push code_buf r)
+          srcs)
+      s_items.(s);
+    Vec.push off_buf code_buf.Vec.n;
+    st_code.(s) <- Vec.to_array code_buf;
+    st_off.(s) <- Vec.to_array off_buf;
+    st_bars.(s) <- !bars
+  done;
+  let s_len = s_count in
+  let md_kind = Vec.to_array md_kind in
+  let md_factor = Vec.to_array md_factor in
+  let md_loff = Vec.to_array md_loff in
+  let md_lcnt = Vec.to_array md_lcnt in
+  let md_lines = Vec.to_array md_lines in
+
+  (* Per-register precomputation (bank bases, split second banks,
+     converter need, spill residence). *)
+  let nreg = !max_reg + 1 in
+  let rg_base0 = Array.make (max 1 nreg) 0 in
+  let rg_base1 = Array.make (max 1 nreg) (-1) in
+  let rg_convert = Array.make (max 1 nreg) false in
+  let rg_spilled = Array.make (max 1 nreg) false in
+  for r = 0 to nreg - 1 do
+    (match Alloc.lookup alloc r with
+     | None -> rg_base0.(r) <- r
+     | Some p ->
+       rg_base0.(r) <- p.reg0;
+       if is_proposed && Alloc.is_split p then rg_base1.(r) <- p.reg1;
+       if is_proposed && p.is_float && p.slices < 8 then
+         rg_convert.(r) <- true);
+    match spilled_tbl with
+    | Some tbl -> rg_spilled.(r) <- Hashtbl.mem tbl r
+    | None -> ()
+  done;
   let spill_free = ref 0 in
   let spill_loads = ref 0 and spill_stores = ref 0 in
 
-  (* --- Partition the trace into per-(block, warp) streams. --- *)
-  let streams = Hashtbl.create 256 in
-  Array.iter
-    (fun (it : Trace.item) ->
-       let key = (it.t_block_id, it.t_warp) in
-       let l = try Hashtbl.find streams key with Not_found -> ref [] in
-       if not (Hashtbl.mem streams key) then Hashtbl.replace streams key l;
-       l := it :: !l)
-    trace.items;
-  let stream_of block warp =
-    match Hashtbl.find_opt streams (block, warp) with
-    | Some l -> Array.of_list (List.rev !l)
-    | None -> [||]
-  in
-
   (* --- This SM's workload: [waves] waves of resident blocks, drawing
-     block traces round-robin from the measured grid.  All benchmark
-     grids are homogeneous across blocks, so this measures steady-state
-     throughput at the configured occupancy without requiring the
-     functional run to execute [waves * blocks_per_sm * num_sms]
-     blocks. --- *)
-  let my_blocks =
-    List.init
-      (max 1 (waves * blocks_per_sm))
-      (fun i -> i mod trace.num_blocks)
-  in
-  let feeder = ref my_blocks in
+     block traces round-robin from the measured grid (homogeneous
+     grids, as in the reference engine). --- *)
+  let nfeed = max 1 (waves * blocks_per_sm) in
+  let feeder = Array.init nfeed (fun i -> i mod nblocks) in
+  let fd_ptr = ref 0 in
 
-  (* --- Memory hierarchy. --- *)
-  let l1 = Cache.create ~capacity_bytes:cfg.l1_bytes ~line_bytes:cfg.l1_line_bytes ~assoc:4 in
-  let tex = Cache.create ~capacity_bytes:cfg.tex_bytes ~line_bytes:cfg.l1_line_bytes ~assoc:4 in
+  (* --- Memory hierarchy (identical model and state to Sim_ref). --- *)
+  let l1 =
+    Cache.create ~capacity_bytes:cfg.l1_bytes ~line_bytes:cfg.l1_line_bytes
+      ~assoc:4
+  in
+  let tex =
+    Cache.create ~capacity_bytes:cfg.tex_bytes ~line_bytes:cfg.l1_line_bytes
+      ~assoc:4
+  in
   let l2 =
-    Cache.create ~capacity_bytes:(cfg.l2_bytes / cfg.num_sms)
+    Cache.create
+      ~capacity_bytes:(cfg.l2_bytes / cfg.num_sms)
       ~line_bytes:cfg.l1_line_bytes ~assoc:8
   in
   let tex_accesses = ref 0 in
-  (* Bandwidth model: DRAM and L2 serve one line every
-     [dram_line_interval] / [l2_line_interval] cycles (the SM's share of
-     chip bandwidth); requests queue behind the previous service. *)
   let dram_free = ref 0 in
   let l2_free = ref 0 in
 
-  (* Returns (latency, ldst_busy_cycles): latency until the value is
-     back, and how long the LD/ST unit is occupied issuing the access's
-     transactions (coalesced transactions and shared-memory conflicts
-     serialise at one per cycle, as in GPGPU-Sim). *)
-  let mem_latency now (it : Trace.item) =
-    match it.t_mem with
-    | None -> (cfg.spu_latency, 1)
-    | Some m ->
-      (match m.m_space with
-       | Param -> (cfg.spu_latency * 2, 1)  (* constant cache *)
-       | Shared ->
-         (* Bank-conflict serialisation over 32 word-banks. *)
-         let counts = Array.make 32 0 in
-         Array.iter
-           (fun a ->
-              let b = (a / 4) mod 32 in
-              counts.(b) <- counts.(b) + 1)
-           m.m_addresses;
-         let factor = Array.fold_left max 1 counts in
-         (cfg.shared_latency + factor - 1, factor)
-       | Global | Texture ->
-         (* Coalesce per-lane addresses into cache-line transactions. *)
-         let lines = Hashtbl.create 8 in
-         Array.iter
-           (fun a -> Hashtbl.replace lines (a / cfg.l1_line_bytes) ())
-           m.m_addresses;
-         let ntxn = max 1 (Hashtbl.length lines) in
-         let worst = ref 0 in
-         Hashtbl.iter
-           (fun line () ->
-              let addr = line * cfg.l1_line_bytes in
-              let l1_hit =
-                if m.m_space = Texture then begin
-                  incr tex_accesses;
-                  Cache.access tex addr
-                end
-                else Cache.access l1 addr
-              in
-              let lat =
-                if l1_hit then cfg.l1_hit_latency
-                else if Cache.access l2 addr then begin
-                  l2_free := max !l2_free now + cfg.l2_line_interval;
-                  (!l2_free - now) + cfg.l2_hit_latency
-                end
-                else begin
-                  l2_free := max !l2_free now + cfg.l2_line_interval;
-                  dram_free := max !dram_free now + cfg.dram_line_interval;
-                  (!dram_free - now) + cfg.dram_latency
-                end
-              in
-              worst := max !worst lat)
-           lines;
-         (!worst + ntxn - 1, ntxn))
+  (* Latency and LD/ST-busy cycles for a memory descriptor, returned
+     through [ml_lat]/[ml_busy] so the per-issue call allocates
+     nothing. *)
+  let ml_lat = ref 0 in
+  let ml_busy = ref 0 in
+  let rec mem_latency now md =
+    if md < 0 then begin
+      ml_lat := cfg.spu_latency;
+      ml_busy := 1
+    end
+    else
+      match md_kind.(md) with
+      | 0 ->
+        (* constant cache *)
+        ml_lat := cfg.spu_latency * 2;
+        ml_busy := 1
+      | 1 ->
+        let factor = md_factor.(md) in
+        ml_lat := cfg.shared_latency + factor - 1;
+        ml_busy := factor
+      | kind ->
+        let off = md_loff.(md) and cnt = md_lcnt.(md) in
+        let ntxn = max 1 cnt in
+        ml_lat := worst_line now kind off cnt 0 0 + ntxn - 1;
+        ml_busy := ntxn
+  and worst_line now kind off cnt i worst =
+    if i >= cnt then worst
+    else begin
+      let line = md_lines.(off + i) in
+      let addr = line * cfg.l1_line_bytes in
+      let l1_hit =
+        if kind = 3 then begin
+          incr tex_accesses;
+          Cache.access tex addr
+        end
+        else Cache.access l1 addr
+      in
+      let lat =
+        if l1_hit then cfg.l1_hit_latency
+        else if Cache.access l2 addr then begin
+          l2_free := max !l2_free now + cfg.l2_line_interval;
+          !l2_free - now + cfg.l2_hit_latency
+        end
+        else begin
+          l2_free := max !l2_free now + cfg.l2_line_interval;
+          dram_free := max !dram_free now + cfg.dram_line_interval;
+          !dram_free - now + cfg.dram_latency
+        end
+      in
+      worst_line now kind off cnt (i + 1) (if lat > worst then lat else worst)
+    end
   in
 
-  (* --- Resident blocks and warps. --- *)
-  let warps_per_block = trace.warps_per_block in
+  (* ---------------- resident warps: struct of arrays ---------------- *)
+  let nw = blocks_per_sm * wpb in
+  let wa_stream = Array.make (max 1 nw) 0 in
+  let wa_ptr = Array.make (max 1 nw) 0 in
+  let wa_len = Array.make (max 1 nw) 0 in
+  let wa_age = Array.make (max 1 nw) 0 in
+  let wa_bars = Array.make (max 1 nw) 0 in
+  let wa_out = Array.make (max 1 nw) 0 in
+  let wa_barrier = Array.make (max 1 nw) false in
+  let wa_active = Array.make (max 1 nw) false in
+  (* Dense scoreboard: pending-writer count per (warp slot, register). *)
+  let sb = Array.make (max 1 (nw * nreg)) 0 in
+  (* Decoded next instruction per warp slot — one contiguous row
+     [unit; dst; nsrcs; srcs...] per warp (unit -1 = stream drained),
+     refreshed only when the warp's pointer moves.  The issue and
+     stall-classification walks touch just this row and the
+     scoreboard, never the packed streams. *)
+  let nx_stride = 3 + !max_srcs in
+  let nx = Array.make (max 1 (nw * nx_stride)) (-1) in
+  (* Cached scoreboard readiness of each warp's decoded next
+     instruction.  A warp's readiness can only change when its pointer
+     moves (decode), when its own issue bumps the destination's pending
+     count, or when its own retire releases one — all three refresh the
+     cache, so the scheduler scans read a single flag per warp. *)
+  let wa_sbr = Array.make (max 1 nw) false in
+  let rec sb_srcs_ok b base ns k =
+    k >= ns || (sb.(base + nx.(b + 3 + k)) = 0 && sb_srcs_ok b base ns (k + 1))
+  in
+  let scoreboard_ready wi =
+    let b = wi * nx_stride in
+    let base = wi * nreg in
+    sb_srcs_ok b base nx.(b + 2) 0
+    &&
+    let d = nx.(b + 1) in
+    d < 0 || sb.(base + d) = 0
+  in
+  let decode_next wi =
+    let b = wi * nx_stride in
+    if wa_ptr.(wi) >= wa_len.(wi) then begin
+      nx.(b) <- -1;
+      wa_sbr.(wi) <- true
+    end
+    else begin
+      let st = wa_stream.(wi) in
+      let code = st_code.(st) in
+      let o = st_off.(st).(wa_ptr.(wi)) in
+      nx.(b) <- code.(o);
+      nx.(b + 1) <- code.(o + 2);
+      let ns = code.(o + 5) in
+      nx.(b + 2) <- ns;
+      for k = 0 to ns - 1 do
+        nx.(b + 3 + k) <- code.(o + 6 + k)
+      done;
+      wa_sbr.(wi) <- scoreboard_ready wi
+    end
+  in
+  let rb_present = Array.make blocks_per_sm false in
   let age_counter = ref 0 in
-  let active_warps : wctx list ref = ref [] in
-  let rblocks = Array.make blocks_per_sm None in
 
-  let warp_done w =
-    w.w_ptr >= Array.length w.w_items && w.w_outstanding = 0
+  (* Per-scheduler active-warp lists, kept in the reference engine's
+     active_warps order (launch append, order-preserving removal). *)
+  let nsched = cfg.warp_schedulers in
+  (* Power-of-two fast paths for the hot modulo reductions ([mod] is an
+     idiv; both GTX 480 and V100 have power-of-two scheduler and bank
+     counts, so the generic path only runs for exotic custom configs). *)
+  let sched_mask = if nsched land (nsched - 1) = 0 then nsched - 1 else -1 in
+  let sched_of wi = if sched_mask >= 0 then wi land sched_mask else wi mod nsched in
+  let nbanks = cfg.register_banks in
+  let bank_mask = if nbanks land (nbanks - 1) = 0 then nbanks - 1 else -1 in
+  let bank_of x = if bank_mask >= 0 then x land bank_mask else x mod nbanks in
+  let sched_clean = Array.make nsched false in
+  (* Scan-prefix mark per scheduler: positions below it in [scan_w]
+     hold warps known to be non-issuable (and non-drained) since the
+     last walk, so the GTO scan resumes there.  Any event that could
+     make an older warp issuable — a retire that frees it, a barrier
+     release, collector units coming back from exhaustion, resident
+     blocks changing — resets the mark to zero.  List appends
+     (launches) land above the mark and need no reset. *)
+  let scan_pfx = Array.make nsched 0 in
+  let dirty_all () =
+    Array.fill sched_clean 0 nsched false;
+    Array.fill scan_pfx 0 nsched 0
   in
+  let sched_w = Array.init nsched (fun _ -> Array.make (max 1 nw) 0) in
+  let sched_n = Array.make nsched 0 in
+  (* Scan lists for the issue/stall walks: same warps in the same
+     (age-sorted) order, but drained warps — stream exhausted and not
+     parked at a barrier — are pruned lazily during walks.  Such a warp
+     can never issue again and is never a stall candidate, so dropping
+     it is invisible to the reference semantics; the full [sched_w]
+     lists stay authoritative for LRR round-robin indexing. *)
+  let scan_w = Array.init nsched (fun _ -> Array.make (max 1 nw) 0) in
+  let scan_n = Array.make nsched 0 in
+  let sched_push wi =
+    let sd = sched_of wi in
+    sched_clean.(sd) <- false;
+    sched_w.(sd).(sched_n.(sd)) <- wi;
+    sched_n.(sd) <- sched_n.(sd) + 1;
+    scan_w.(sd).(scan_n.(sd)) <- wi;
+    scan_n.(sd) <- scan_n.(sd) + 1
+  in
+  let remove_block_warps slot =
+    dirty_all ();
+    for sd = 0 to nsched - 1 do
+      let a = sched_w.(sd) in
+      let n = sched_n.(sd) in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        let wi = a.(i) in
+        if wi / wpb = slot then wa_active.(wi) <- false
+        else begin
+          a.(!k) <- wi;
+          incr k
+        end
+      done;
+      sched_n.(sd) <- !k;
+      let a = scan_w.(sd) in
+      let n = scan_n.(sd) in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        let wi = a.(i) in
+        if wi / wpb <> slot then begin
+          a.(!k) <- wi;
+          incr k
+        end
+      done;
+      scan_n.(sd) <- !k
+    done
+  in
+  let drained wi = nx.(wi * nx_stride) < 0 && not wa_barrier.(wi) in
+
+  let warp_done wi = wa_ptr.(wi) >= wa_len.(wi) && wa_out.(wi) = 0 in
+  let rec warps_done base w =
+    w >= wpb || (warp_done (base + w) && warps_done base (w + 1))
+  in
+  let block_done slot = warps_done (slot * wpb) 0 in
   let launch_block slot block_id =
-    let warps =
-      List.init warps_per_block (fun w ->
-          incr age_counter;
-          let items = stream_of block_id w in
-          let bars =
-            Array.fold_left
-              (fun acc (it : Trace.item) ->
-                 if it.t_unit = Sync then acc + 1 else acc)
-              0 items
-          in
-          {
-            w_items = items;
-            w_ptr = 0;
-            w_slot = slot;
-            w_id = (slot * warps_per_block) + w;
-            w_age = !age_counter;
-            w_barrier = false;
-            w_bars_left = bars;
-            w_outstanding = 0;
-            w_scoreboard = Hashtbl.create 16;
-          })
-    in
-    rblocks.(slot) <- Some { rb_warps = warps };
-    active_warps := !active_warps @ warps
+    let base = slot * wpb in
+    for w = 0 to wpb - 1 do
+      incr age_counter;
+      let wi = base + w in
+      let s = (block_id * wpb) + w in
+      wa_stream.(wi) <- s;
+      wa_ptr.(wi) <- 0;
+      wa_len.(wi) <- s_len.(s);
+      wa_age.(wi) <- !age_counter;
+      wa_bars.(wi) <- st_bars.(s);
+      wa_out.(wi) <- 0;
+      wa_barrier.(wi) <- false;
+      wa_active.(wi) <- true;
+      decode_next wi
+    done;
+    (* Append in warp order, as the reference engine's
+       [active_warps @ warps] does. *)
+    for w = 0 to wpb - 1 do
+      sched_push (base + w)
+    done;
+    rb_present.(slot) <- true
   in
   let rec try_launch slot =
-    match !feeder with
-    | [] -> rblocks.(slot) <- None
-    | b :: rest ->
-      feeder := rest;
+    if !fd_ptr >= nfeed then rb_present.(slot) <- false
+    else begin
+      let b = feeder.(!fd_ptr) in
+      incr fd_ptr;
       launch_block slot b;
       (* A block whose warps have empty streams retires immediately. *)
-      (match rblocks.(slot) with
-       | Some rb when List.for_all warp_done rb.rb_warps ->
-         active_warps :=
-           List.filter (fun w -> not (List.memq w rb.rb_warps)) !active_warps;
-         try_launch slot
-       | _ -> ())
+      if block_done slot then begin
+        remove_block_warps slot;
+        try_launch slot
+      end
+    end
   in
   for slot = 0 to blocks_per_sm - 1 do
     try_launch slot
@@ -284,7 +577,7 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
    | Some ch ->
      Gpr_obs.Chrome.name_process ch ~pid:0 "SM0 warps";
      Gpr_obs.Chrome.name_process ch ~pid:1 "register-file banks";
-     for w = 0 to (blocks_per_sm * warps_per_block) - 1 do
+     for w = 0 to (blocks_per_sm * wpb) - 1 do
        Gpr_obs.Chrome.name_thread ch ~pid:0 ~tid:w
          (Printf.sprintf "warp %d" w)
      done;
@@ -294,50 +587,208 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
      done
    | None -> ());
 
-  (* --- Pipeline state. --- *)
-  let cus : cu option array = Array.make cfg.operand_collectors None in
-  let events : event list Imap.t ref = ref Imap.empty in
-  let schedule cycle ev =
-    events :=
-      Imap.update cycle
-        (function None -> Some [ ev ] | Some l -> Some (ev :: l))
-        !events
+  (* ---------------- collector units: struct of arrays ---------------- *)
+  let ncu = cfg.operand_collectors in
+  let max_ops = !max_srcs in
+  let cu_busy = Array.make ncu false in
+  let cu_free = ref ncu in
+  let cu_warp = Array.make ncu 0 in
+  let cu_unit = Array.make ncu 0 in
+  let cu_pc = Array.make ncu 0 in
+  let cu_active = Array.make ncu 0 in
+  let cu_dst = Array.make ncu (-1) in
+  let cu_lat = Array.make ncu 0 in
+  let cu_busyc = Array.make ncu 0 in
+  let cu_issued_at = Array.make ncu 0 in
+  let cu_nops = Array.make ncu 0 in
+  let cu_pending = Array.make ncu 0 in
+  let cu_nfetch = Array.make ncu 0 in
+  let cu_nloc = Array.make ncu 0 in
+  (* Busy CUs whose operands are all collected, waiting on an exec
+     unit.  Lets the dispatch stage skip cycles with nothing ready.
+     [ncu_fetch]/[ncu_loc] count CUs with at least one operand in the
+     corresponding stage, so the arbitration walks can stop as soon as
+     every live CU has been visited. *)
+  let n_ready = ref 0 in
+  let ncu_fetch = ref 0 in
+  let ncu_loc = ref 0 in
+  (* Ready CUs as a bitmask (bit i = CU i ready), so dispatch visits
+     exactly the ready slots in ascending index order — the order the
+     reference engine's full scan dispatches in, which matters because
+     it decides who wins the exec-unit and writeback-slot races.  Only
+     usable while every CU index fits one OCaml int. *)
+  let cu_mask_ok = ncu <= 62 in
+  (* One mask per exec-unit class: dispatch iterates the OR of the
+     classes that still have capacity this cycle, so the walk touches
+     only genuinely dispatchable CUs while keeping global index
+     order. *)
+  let ready_spu = ref 0 in
+  let ready_sfu = ref 0 in
+  let ready_ldst = ref 0 in
+  (* ctz via the classic mod-67 perfect hash (2 is a primitive root
+     mod 67, so 2^k mod 67 is injective for k = 0..62). *)
+  let ctz_tbl = Array.make 67 0 in
+  for k = 0 to 62 do
+    ctz_tbl.(1 lsl k mod 67) <- k
+  done;
+  (* [u] is passed explicitly because [do_issue] marks a fresh CU
+     ready before it has stored the unit into [cu_unit]. *)
+  let mark_ready i u =
+    incr n_ready;
+    if cu_mask_ok then begin
+      let m =
+        if u = u_spu then ready_spu
+        else if u = u_sfu then ready_sfu
+        else ready_ldst
+      in
+      m := !m lor (1 lsl i)
+    end
   in
-  (* Writeback bus usage per cycle. *)
-  let wb_used : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let alloc_wb_slot earliest =
-    let c = ref earliest in
-    let rec go () =
-      let used = try Hashtbl.find wb_used !c with Not_found -> 0 in
-      if used < cfg.writeback_width then begin
-        Hashtbl.replace wb_used !c (used + 1)
+  let op_stage = Array.make (ncu * max_ops) s_done in
+  let op_arch = Array.make (ncu * max_ops) 0 in
+  let op_b0 = Array.make (ncu * max_ops) 0 in
+  let op_b1 = Array.make (ncu * max_ops) (-1) in
+  let op_bi = Array.make (ncu * max_ops) 0 in
+  let op_nb = Array.make (ncu * max_ops) 0 in
+  let op_conv = Array.make (ncu * max_ops) false in
+  (* Population counters so empty pipeline stages cost O(1). *)
+  let n_loc = ref 0 in
+  let n_fetch = ref 0 in
+  let n_conv = ref 0 in
+  let rec lowest_free_cu i = if cu_busy.(i) then lowest_free_cu (i + 1) else i in
+
+  (* ---------------- retire-event heap ----------------
+     Min-heap on (cycle asc, seq desc): for events on the same cycle
+     the most recently scheduled retires first, matching the reference
+     engine's prepend-then-iterate bucket order. *)
+  let ev_cyc = ref (Array.make 256 0) in
+  let ev_seq = ref (Array.make 256 0) in
+  let ev_wrp = ref (Array.make 256 0) in
+  let ev_dst = ref (Array.make 256 0) in
+  let ev_n = ref 0 in
+  let ev_stamp = ref 0 in
+  (* Scratch cursors for the heap sifts (hoisted: allocation-free). *)
+  let ev_i = ref 0 in
+  let ev_go = ref false in
+  let ev_swap i j =
+    let c = !ev_cyc and s = !ev_seq and w = !ev_wrp and d = !ev_dst in
+    let t = c.(i) in c.(i) <- c.(j); c.(j) <- t;
+    let t = s.(i) in s.(i) <- s.(j); s.(j) <- t;
+    let t = w.(i) in w.(i) <- w.(j); w.(j) <- t;
+    let t = d.(i) in d.(i) <- d.(j); d.(j) <- t
+  in
+  let ev_before i j =
+    let c = !ev_cyc and s = !ev_seq in
+    c.(i) < c.(j) || (c.(i) = c.(j) && s.(i) > s.(j))
+  in
+  let ev_push cycle warp dst =
+    if !ev_n = Array.length !ev_cyc then begin
+      let grow a =
+        let b = Array.make (2 * !ev_n) 0 in
+        Array.blit !a 0 b 0 !ev_n;
+        a := b
+      in
+      grow ev_cyc; grow ev_seq; grow ev_wrp; grow ev_dst
+    end;
+    incr ev_stamp;
+    let i = !ev_n in
+    (!ev_cyc).(i) <- cycle;
+    (!ev_seq).(i) <- !ev_stamp;
+    (!ev_wrp).(i) <- warp;
+    (!ev_dst).(i) <- dst;
+    ev_n := !ev_n + 1;
+    ev_i := i;
+    ev_go := true;
+    while !ev_go && !ev_i > 0 do
+      let p = (!ev_i - 1) / 2 in
+      if ev_before !ev_i p then begin
+        ev_swap !ev_i p;
+        ev_i := p
       end
-      else begin
-        incr c;
-        go ()
-      end
-    in
-    go ();
-    !c
+      else ev_go := false
+    done;
+  in
+  (* Out-parameters of [ev_pop], so a retire allocates nothing. *)
+  let ev_pw = ref 0 in
+  let ev_pd = ref 0 in
+  let ev_pop () =
+    ev_pw := (!ev_wrp).(0);
+    ev_pd := (!ev_dst).(0);
+    ev_n := !ev_n - 1;
+    if !ev_n > 0 then begin
+      ev_swap 0 !ev_n;
+      ev_i := 0;
+      ev_go := true;
+      while !ev_go do
+        let i = !ev_i in
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let m = if l < !ev_n && ev_before l i then l else i in
+        let m = if r < !ev_n && ev_before r m then r else m in
+        if m <> i then begin
+          ev_swap i m;
+          ev_i := m
+        end
+        else ev_go := false
+      done
+    end
   in
 
-  let placement_of arch = Alloc.lookup alloc arch in
-  let fetch_banks warp arch =
-    match placement_of arch with
-    | None -> [ (arch + warp.w_id) mod cfg.register_banks ]
-    | Some p ->
-      if is_proposed && Alloc.is_split p then
-        [ (p.reg0 + warp.w_id) mod cfg.register_banks;
-          (p.reg1 + warp.w_id) mod cfg.register_banks ]
-      else [ (p.reg0 + warp.w_id) mod cfg.register_banks ]
+  (* ---------------- writeback-bus ring ----------------
+     Slot [c land (size-1)] holds the bus usage of cycle [c]; the
+     stored cycle tag makes stale (past) entries read as free, and the
+     ring regrows whenever two live future bookings would collide. *)
+  let wb_size = ref 2048 in
+  let wb_cyc = ref (Array.make !wb_size (-1)) in
+  let wb_cnt = ref (Array.make !wb_size 0) in
+  let cycle = ref 0 in
+  let rec wb_grow () =
+    let osize = !wb_size and ocyc = !wb_cyc and ocnt = !wb_cnt in
+    wb_size := 2 * osize;
+    wb_cyc := Array.make !wb_size (-1);
+    wb_cnt := Array.make !wb_size 0;
+    let ok = ref true in
+    for i = 0 to osize - 1 do
+      if ocyc.(i) >= !cycle then begin
+        let j = ocyc.(i) land (!wb_size - 1) in
+        if (!wb_cyc).(j) >= !cycle then ok := false
+        else begin
+          (!wb_cyc).(j) <- ocyc.(i);
+          (!wb_cnt).(j) <- ocnt.(i)
+        end
+      end
+    done;
+    if not !ok then begin
+      wb_size := osize;
+      wb_cyc := ocyc;
+      wb_cnt := ocnt;
+      wb_grow ()
+    end
   in
-  let needs_convert arch =
-    is_proposed
-    &&
-    match placement_of arch with
-    | Some p -> p.is_float && p.slices < 8
-    | None -> false
+  let rec alloc_wb_slot c =
+    let i = c land (!wb_size - 1) in
+    let cyc = !wb_cyc and cnt = !wb_cnt in
+    if cyc.(i) = c then
+      if cnt.(i) < cfg.writeback_width then begin
+        cnt.(i) <- cnt.(i) + 1;
+        c
+      end
+      else alloc_wb_slot (c + 1)
+    else if cyc.(i) >= !cycle then begin
+      (* live booking for a different in-flight cycle: ring too small *)
+      wb_grow ();
+      alloc_wb_slot c
+    end
+    else begin
+      cyc.(i) <- c;
+      cnt.(i) <- 1;
+      c
+    end
   in
+
+  (* Generation-stamped per-cycle claims (register banks, indirection
+     table banks). *)
+  let bank_stamp = Array.make cfg.register_banks (-1) in
+  let tbl_stamp = Array.make cfg.register_banks (-1) in
 
   (* Stats. *)
   let double_fetches = ref 0 in
@@ -351,33 +802,31 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
   let stall_empty = ref 0 in
   let bank_conflicts = ref 0 in
   let bump cause n =
-    match (cause : Gpr_obs.Stall.cause) with
-    | Scoreboard -> stall_scoreboard := !stall_scoreboard + n
-    | No_free_cu -> stall_no_cu := !stall_no_cu + n
-    | Bank_conflict -> stall_bank_conflict := !stall_bank_conflict + n
-    | Spill_port -> stall_spill_port := !stall_spill_port + n
-    | Barrier -> stall_barrier := !stall_barrier + n
-    | Empty -> stall_empty := !stall_empty + n
+    if cause = c_scoreboard then stall_scoreboard := !stall_scoreboard + n
+    else if cause = c_no_cu then stall_no_cu := !stall_no_cu + n
+    else if cause = c_bank_conflict then
+      stall_bank_conflict := !stall_bank_conflict + n
+    else if cause = c_spill_port then stall_spill_port := !stall_spill_port + n
+    else if cause = c_barrier then stall_barrier := !stall_barrier + n
+    else stall_empty := !stall_empty + n
   in
   let idle_cycles = ref 0 in
   let issued_warp_instrs = ref 0 in
   let executed_threads = ref 0 in
-  (* Invariant-check accounting ([check] mode): every non-barrier issue
-     must eventually produce exactly one retire event, and the SM must
-     replay exactly the warp instructions of the blocks it was fed. *)
   let issued_nonsync = ref 0 in
   let retired = ref 0 in
   let expected_warp_instrs =
     if not check then 0
-    else
-      List.fold_left
-        (fun acc b ->
-           let per_block = ref 0 in
-           for w = 0 to trace.warps_per_block - 1 do
-             per_block := !per_block + Array.length (stream_of b w)
-           done;
-           acc + !per_block)
-        0 my_blocks
+    else begin
+      let acc = ref 0 in
+      Array.iter
+        (fun b ->
+          for w = 0 to wpb - 1 do
+            acc := !acc + s_len.((b * wpb) + w)
+          done)
+        feeder;
+      !acc
+    end
   in
 
   (* Exec units: next cycle each may accept work. *)
@@ -385,355 +834,527 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
   let sfu_free = ref 0 in
   let ldst_free = ref 0 in
 
-  let cycle = ref 0 in
   let finished () =
-    !feeder = []
-    && Array.for_all (fun rb -> rb = None) rblocks
+    !fd_ptr >= nfeed && Array.for_all not rb_present
   in
-
   let retire_block_if_done slot =
-    match rblocks.(slot) with
-    | None -> ()
-    | Some rb ->
-      if List.for_all warp_done rb.rb_warps then begin
-        active_warps :=
-          List.filter (fun w -> not (List.memq w rb.rb_warps)) !active_warps;
-        try_launch slot
-      end
+    if rb_present.(slot) && block_done slot then begin
+      remove_block_warps slot;
+      try_launch slot
+    end
   in
 
-  (* GTO state per scheduler. *)
-  let last_issued = Array.make cfg.warp_schedulers None in
-  let rr_ptr = Array.make cfg.warp_schedulers 0 in
-  (* Per-scheduler outcome of the current cycle: [None] = issued,
-     [Some cause] = stalled (consumed by the idle fast-forward). *)
-  let slot_cause : Gpr_obs.Stall.cause option array =
-    Array.make cfg.warp_schedulers None
-  in
+  (* GTO/LRR state per scheduler; the recorded outcome of the current
+     cycle per scheduler slot feeds the idle fast-forward. *)
+  let last_idx = Array.make nsched (-1) in
+  let last_age = Array.make nsched 0 in
+  let rr_ptr = Array.make nsched 0 in
+  let slot_cause = Array.make nsched c_issued in
+  (* Stall memo: when a scheduler finds nothing issuable, that outcome
+     (and its cause) can only change if one of its warps retires, a
+     barrier is set or released, the resident-block population
+     changes, or a collector unit frees up from exhaustion.  Until one
+     of those events marks the scheduler dirty, the frozen cause is
+     replayed without rescanning — only the bank-conflict-vs-no-CU
+     leaf, which depends on this cycle's fetch arbitration, is
+     recomputed. *)
+  let memo_cause = Array.make nsched c_empty in
+  let memo_bank = Array.make nsched false in
+  (* Warp blamed by the memoized classification (-1 when the
+     scheduler's warps have all drained).  A retire dirties the memo
+     only if it could change the outcome: the retired warp became
+     issuable, or it is the blamed warp (whose leaf cause reads its
+     scoreboard).  Retires never change list membership or drained
+     status, so any other warp's retire leaves both the no-pick
+     verdict and the frozen cause intact. *)
+  let memo_blame = Array.make nsched (-1) in
+  (* Out-parameter of [classify_stall]: the warp it blamed. *)
+  let classify_blame = ref (-1) in
 
-  let scoreboard_ready w (it : Trace.item) =
-    let pending r = Hashtbl.mem w.w_scoreboard r in
-    (not (List.exists pending it.t_srcs))
-    && (match it.t_dst with Some d -> not (pending d) | None -> true)
-  in
-
-  let free_cu () =
-    let rec go i =
-      if i >= Array.length cus then None
-      else match cus.(i) with None -> Some i | Some _ -> go (i + 1)
-    in
-    go 0
-  in
-
-  (* Can this warp issue its next instruction right now? *)
-  let can_issue w =
-    (not w.w_barrier)
-    && w.w_ptr < Array.length w.w_items
-    &&
-    let it = w.w_items.(w.w_ptr) in
-    scoreboard_ready w it
-    &&
-    (* bar.sync completes the warp's outstanding memory operations
-       before synchronising. *)
-    if it.t_unit = Sync then w.w_outstanding = 0 else free_cu () <> None
-  in
   (* Register-fetch bank conflict seen this cycle (set by the operand
      arbitration stage, consumed by the stall classifier). *)
   let bank_conflict_cycle = ref false in
 
-  (* Why did this scheduler slot go unused?  Called exactly once per
-     scheduler per cycle when no warp could issue; together with the
-     issued slots this classifies every slot of every cycle, so
-     [issued + sum-of-causes = cycles x schedulers] holds.
-
-     Warps that have drained their stream (possibly with retires still
-     outstanding) have nothing left to issue and do not claim the
-     slot; if only such warps (or none) remain, the slot is [Empty].
-     Otherwise the oldest warp with work pending is blamed, mirroring
-     the greedy-then-oldest pick order of the scheduler. *)
-  let classify_stall mine : Gpr_obs.Stall.cause =
-    let candidates =
-      List.filter
-        (fun w -> w.w_barrier || w.w_ptr < Array.length w.w_items)
-        mine
-    in
-    match candidates with
-    | [] -> Empty
-    | w0 :: rest ->
-      let w =
-        List.fold_left (fun a b -> if b.w_age < a.w_age then b else a) w0 rest
-      in
-      if w.w_barrier then Barrier
-      else begin
-        let it = w.w_items.(w.w_ptr) in
-        if not (scoreboard_ready w it) then begin
-          let pending r = Hashtbl.mem w.w_scoreboard r in
-          let blocked_on_spill =
-            List.exists (fun r -> pending r && is_spilled r) it.t_srcs
-            || (match it.t_dst with
-               | Some d -> pending d && is_spilled d
-               | None -> false)
-          in
-          if blocked_on_spill then Spill_port else Scoreboard
-        end
-        else if it.t_unit = Sync then
-          (* bar.sync waiting for the warp's own in-flight retires. *)
-          Barrier
-        else if !bank_conflict_cycle then Bank_conflict
-        else No_free_cu
-      end
+  let can_issue wi =
+    (not wa_barrier.(wi))
+    &&
+    let u = nx.(wi * nx_stride) in
+    u >= 0
+    && (if u = u_sync then wa_out.(wi) = 0 else !cu_free > 0)
+    && wa_sbr.(wi)
   in
 
-  let do_issue w =
-    let it = w.w_items.(w.w_ptr) in
-    if check && not (scoreboard_ready w it) then
-      violated "scoreboard: warp %d issued pc %d with a pending hazard"
-        w.w_id it.t_pc;
-    w.w_ptr <- w.w_ptr + 1;
+  (* Why did this scheduler slot go unused?  Mirrors the reference
+     engine: the oldest warp with work pending (or parked at a barrier)
+     is blamed; warps that drained their stream never claim the slot. *)
+  let rec spill_src_blocked b base ns k =
+    k < ns
+    && ((let r = nx.(b + 3 + k) in
+         sb.(base + r) > 0 && rg_spilled.(r))
+       || spill_src_blocked b base ns (k + 1))
+  in
+  (* Scratch cursors for the scheduler-list walks below (classify and
+     the GTO scan never nest, so they can share them); hoisted so the
+     walks allocate nothing. *)
+  let scr_best = ref (-1) in
+  let scr_k = ref 0 in
+  let scr_j = ref 0 in
+  let scr_flag = ref false in
+  let scr_cnt = ref 0 in
+  let scr_i = ref 0 in
+  (* Per-cycle exec-unit capacity left (dispatch stage): 2 SPU halves,
+     1 SFU, 1 LD/ST.  Once all are claimed no later ready CU can
+     dispatch this cycle, so the walk stops early. *)
+  let scr_spu = ref 0 in
+  let scr_sfu = ref false in
+  let scr_ldst = ref false in
+  let classify_stall sd =
+    (* Scheduler lists are age-sorted (ages come from a monotone
+       counter at launch, appends happen in launch order, removals
+       preserve order), so the first warp with work pending is the
+       oldest — the one the reference engine's min-age fold blames.
+       Drained warps encountered on the way are pruned for good. *)
+    let a = scan_w.(sd) in
+    let n = scan_n.(sd) in
+    let best = scr_best and k = scr_k and j = scr_j in
+    best := -1;
+    k := 0;
+    j := 0;
+    while !best < 0 && !j < n do
+      let wi = a.(!j) in
+      if not (drained wi) then begin
+        a.(!k) <- wi;
+        incr k;
+        best := wi
+      end;
+      incr j
+    done;
+    if !j < n then begin
+      if !k < !j then Array.blit a !j a !k (n - !j);
+      scan_n.(sd) <- !k + (n - !j)
+    end
+    else scan_n.(sd) <- !k;
+    classify_blame := !best;
+    if !best < 0 then c_empty
+    else begin
+      let wi = !best in
+      if wa_barrier.(wi) then c_barrier
+      else begin
+        let b = wi * nx_stride in
+        if not wa_sbr.(wi) then begin
+          let base = wi * nreg in
+          let d = nx.(b + 1) in
+          let blocked_on_spill =
+            spill_src_blocked b base nx.(b + 2) 0
+            || (d >= 0 && sb.(base + d) > 0 && rg_spilled.(d))
+          in
+          if blocked_on_spill then c_spill_port else c_scoreboard
+        end
+        else if nx.(b) = u_sync then
+          (* bar.sync waiting for the warp's own in-flight retires. *)
+          c_barrier
+        else if !bank_conflict_cycle then c_bank_conflict
+        else c_no_cu
+      end
+    end
+  in
+
+  let do_issue wi =
+    let s = wa_stream.(wi) in
+    let code = st_code.(s) in
+    let o = st_off.(s).(wa_ptr.(wi)) in
+    let unit = code.(o) in
+    let pc = code.(o + 1) in
+    let dst = code.(o + 2) in
+    let active = code.(o + 3) in
+    let mem = code.(o + 4) in
+    let ns = code.(o + 5) in
+    if check && not (scoreboard_ready wi) then
+      violated "scoreboard: warp %d issued pc %d with a pending hazard" wi pc;
+    wa_ptr.(wi) <- wa_ptr.(wi) + 1;
+    decode_next wi;
     issued_warp_instrs := !issued_warp_instrs + 1;
-    executed_threads := !executed_threads + it.t_active;
-    if it.t_unit = Sync then begin
+    executed_threads := !executed_threads + active;
+    if unit = u_sync then begin
       (match profile with
        | Some ch ->
-         Gpr_obs.Chrome.instant ch ~name:"barrier" ~cat:"sync" ~pid:0
-           ~tid:w.w_id ~ts_us:(float_of_int !cycle)
-           ~args:[ ("pc", Gpr_obs.Json.Int it.t_pc) ] ()
+         Gpr_obs.Chrome.instant ch ~name:"barrier" ~cat:"sync" ~pid:0 ~tid:wi
+           ~ts_us:(float_of_int !cycle)
+           ~args:[ ("pc", Gpr_obs.Json.Int pc) ]
+           ()
        | None -> ());
       (* Barrier: the warp waits until every block warp that still has a
          barrier ahead of it has arrived.  Warps whose threads all
          exited early (no Sync left) never block the others. *)
-      w.w_bars_left <- w.w_bars_left - 1;
-      w.w_barrier <- true;
-      match rblocks.(w.w_slot) with
-      | None -> w.w_barrier <- false
-      | Some rb ->
-        let all_arrived =
-          List.for_all
-            (fun x -> x.w_barrier || x.w_bars_left = 0)
-            rb.rb_warps
-        in
-        if all_arrived then
-          List.iter (fun x -> x.w_barrier <- false) rb.rb_warps
+      dirty_all ();
+      wa_bars.(wi) <- wa_bars.(wi) - 1;
+      wa_barrier.(wi) <- true;
+      let slot = wi / wpb in
+      if not rb_present.(slot) then wa_barrier.(wi) <- false
+      else begin
+        let base = slot * wpb in
+        let all_arrived = scr_flag in
+        all_arrived := true;
+        for w = 0 to wpb - 1 do
+          let x = base + w in
+          if not (wa_barrier.(x) || wa_bars.(x) = 0) then all_arrived := false
+        done;
+        if !all_arrived then
+          for w = 0 to wpb - 1 do
+            wa_barrier.(base + w) <- false
+          done
+      end
     end
     else begin
       incr issued_nonsync;
-      let slot = Option.get (free_cu ()) in
-      (* Distinct source architectural registers. *)
-      let srcs = List.sort_uniq compare it.t_srcs in
-      let ops =
-        List.map
-          (fun arch ->
-             let banks = fetch_banks w arch in
-             if List.length banks > 1 then incr double_fetches;
-             {
-               o_arch = arch;
-               o_stage = (if is_proposed then S_loc else S_fetch);
-               o_banks = banks;
-               o_convert = needs_convert arch;
-             })
-          srcs
-      in
-      (match it.t_dst with
-       | Some d ->
-         Hashtbl.replace w.w_scoreboard d
-           (1 + Option.value ~default:0 (Hashtbl.find_opt w.w_scoreboard d))
-       | None -> ());
-      w.w_outstanding <- w.w_outstanding + 1;
-      let lat, busy =
-        match it.t_unit with
-        | Spu -> (cfg.spu_latency, 1)
-        | Sfu -> (cfg.sfu_latency, 1)
-        | Ldst -> mem_latency !cycle it
-        | Sync -> (0, 1)
-      in
+      let cu = lowest_free_cu 0 in
+      cu_busy.(cu) <- true;
+      decr cu_free;
+      let ob = cu * max_ops in
+      let spilled_srcs = scr_cnt in
+      spilled_srcs := 0;
+      for k = 0 to ns - 1 do
+        let arch = code.(o + 6 + k) in
+        let oi = ob + k in
+        op_arch.(oi) <- arch;
+        op_b0.(oi) <- bank_of (rg_base0.(arch) + wi);
+        let b1 = rg_base1.(arch) in
+        if b1 >= 0 then begin
+          op_b1.(oi) <- bank_of (b1 + wi);
+          op_nb.(oi) <- 2;
+          incr double_fetches
+        end
+        else begin
+          op_b1.(oi) <- -1;
+          op_nb.(oi) <- 1
+        end;
+        op_bi.(oi) <- 0;
+        op_conv.(oi) <- rg_convert.(arch);
+        if is_proposed then begin
+          op_stage.(oi) <- s_loc;
+          incr n_loc
+        end
+        else begin
+          op_stage.(oi) <- s_fetch;
+          incr n_fetch
+        end;
+        if rg_spilled.(arch) then incr spilled_srcs
+      done;
+      cu_nops.(cu) <- ns;
+      cu_pending.(cu) <- ns;
+      cu_nfetch.(cu) <- (if is_proposed then 0 else ns);
+      cu_nloc.(cu) <- (if is_proposed then ns else 0);
+      if ns = 0 then mark_ready cu unit
+      else if is_proposed then incr ncu_loc
+      else incr ncu_fetch;
+      if dst >= 0 then begin
+        sb.((wi * nreg) + dst) <- sb.((wi * nreg) + dst) + 1;
+        (* The bump can only take readiness away. *)
+        if wa_sbr.(wi) then wa_sbr.(wi) <- scoreboard_ready wi
+      end;
+      wa_out.(wi) <- wa_out.(wi) + 1;
+      if unit = u_spu then begin
+        ml_lat := cfg.spu_latency;
+        ml_busy := 1
+      end
+      else if unit = u_sfu then begin
+        ml_lat := cfg.sfu_latency;
+        ml_busy := 1
+      end
+      else mem_latency !cycle mem;
+      let lat = !ml_lat and busy = !ml_busy in
       let lat =
-        match List.length (List.filter is_spilled srcs) with
-        | 0 -> lat
-        | n ->
+        if !spilled_srcs = 0 then lat
+        else begin
+          let n = !spilled_srcs in
           spill_loads := !spill_loads + n;
           spill_free := max !spill_free !cycle + n;
           lat + spill_latency + (!spill_free - !cycle - 1)
+        end
       in
-      cus.(slot) <-
-        Some { c_warp = w; c_item = it; c_ops = ops; c_mem_latency = lat;
-               c_unit_busy = busy; c_issue = !cycle }
+      cu_warp.(cu) <- wi;
+      cu_unit.(cu) <- unit;
+      cu_pc.(cu) <- pc;
+      cu_active.(cu) <- active;
+      cu_dst.(cu) <- dst;
+      cu_lat.(cu) <- lat;
+      cu_busyc.(cu) <- busy;
+      cu_issued_at.(cu) <- !cycle
     end
   in
 
   (* ---------------- main loop ---------------- *)
   let max_cycles = 200_000_000 in
+  let progress = ref false in
   while (not (finished ())) && !cycle < max_cycles do
     let now = !cycle in
-    let progress = ref false in
+    progress := false;
 
     (* 1. Retire events. *)
-    (match Imap.find_opt now !events with
-     | Some evs ->
-       progress := true;
-       List.iter
-         (fun (Retire (w, dst)) ->
-            (match dst with
-             | Some d ->
-               (match Hashtbl.find_opt w.w_scoreboard d with
-                | Some 1 -> Hashtbl.remove w.w_scoreboard d
-                | Some n -> Hashtbl.replace w.w_scoreboard d (n - 1)
-                | None -> ())
-             | None -> ());
-            w.w_outstanding <- w.w_outstanding - 1;
-            incr retired;
-            if check && w.w_outstanding < 0 then
-              violated "warp %d retired more instructions than it issued" w.w_id;
-            if warp_done w then retire_block_if_done w.w_slot)
-         evs;
-       events := Imap.remove now !events
-     | None -> ());
-    Hashtbl.remove wb_used now;
+    while !ev_n > 0 && (!ev_cyc).(0) <= now do
+      progress := true;
+      ev_pop ();
+      let wi = !ev_pw and d = !ev_pd in
+      if d >= 0 then begin
+        let i = (wi * nreg) + d in
+        if sb.(i) > 0 then sb.(i) <- sb.(i) - 1;
+        if not wa_sbr.(wi) then wa_sbr.(wi) <- scoreboard_ready wi
+      end;
+      wa_out.(wi) <- wa_out.(wi) - 1;
+      incr retired;
+      (let sd = sched_of wi in
+       if memo_blame.(sd) = wi || can_issue wi then begin
+         sched_clean.(sd) <- false;
+         scan_pfx.(sd) <- 0
+       end);
+      if check && wa_out.(wi) < 0 then
+        violated "warp %d retired more instructions than it issued" wi;
+      if warp_done wi then retire_block_if_done (wi / wpb)
+    done;
+    (* Forget the bus bookings of the cycle now being executed (the
+       reference engine's [Hashtbl.remove wb_used now]): a booking
+       chain can only revisit [now] via a zero-latency completion. *)
+    let wbi = now land (!wb_size - 1) in
+    if (!wb_cyc).(wbi) = now then (!wb_cyc).(wbi) <- -1;
 
     (* 2. Dispatch ready collector units to execution units. *)
-    Array.iteri
-      (fun i cu_opt ->
-         match cu_opt with
-         | Some cu when List.for_all (fun o -> o.o_stage = S_done) cu.c_ops ->
-           let unit_ok =
-             (* Initiation intervals follow the Fermi datapath widths: a
-                16-lane SPU needs two cycles per 32-thread warp, the
-                4-lane SFU eight, and the LD/ST unit is busy for its
-                transaction count (at least two cycles per warp). *)
-             match cu.c_item.t_unit with
-             | Spu ->
-               if spu_free.(0) <= now then (spu_free.(0) <- now + 2; true)
-               else if spu_free.(1) <= now then (spu_free.(1) <- now + 2; true)
-               else false
-             | Sfu ->
-               if !sfu_free <= now then (sfu_free := now + 8; true) else false
-             | Ldst ->
-               if !ldst_free <= now then begin
-                 ldst_free := now + max 2 cu.c_unit_busy;
-                 true
-               end
-               else false
-             | Sync -> true
-           in
-           if unit_ok then begin
-             progress := true;
-             let complete = now + cu.c_mem_latency in
-             let retire_cycle =
-               match cu.c_item.t_dst with
-               | Some d ->
-                 let wb = alloc_wb_slot complete in
-                 let spill_extra =
-                   if is_spilled d then begin
-                     incr spill_stores;
-                     spill_free := max !spill_free wb + 1;
-                     spill_latency + (!spill_free - wb - 1)
-                   end
-                   else 0
-                 in
-                 wb + proposed_delay + spill_extra
-               | None -> complete
+    if !n_ready > 0 then begin
+      scr_spu :=
+        (if spu_free.(0) <= now then 1 else 0)
+        + (if spu_free.(1) <= now then 1 else 0);
+      scr_sfu := !sfu_free <= now;
+      scr_ldst := !ldst_free <= now;
+      let rem = scr_cnt and cur = scr_i in
+      if cu_mask_ok then begin
+        rem :=
+          (if !scr_spu > 0 then !ready_spu else 0)
+          lor (if !scr_sfu then !ready_sfu else 0)
+          lor (if !scr_ldst then !ready_ldst else 0);
+        cur := -1
+      end
+      else begin
+        rem := !n_ready;
+        cur := 0
+      end;
+      while
+        (!scr_spu > 0 || !scr_sfu || !scr_ldst)
+        && (if cu_mask_ok then !rem <> 0 else !rem > 0 && !cur < ncu)
+      do
+        let i =
+          if cu_mask_ok then begin
+            let lb = !rem land (- !rem) in
+            rem := !rem - lb;
+            ctz_tbl.(lb mod 67)
+          end
+          else begin
+            let i = !cur in
+            incr cur;
+            i
+          end
+        in
+        if cu_busy.(i) && cu_pending.(i) = 0 then begin
+          (if not cu_mask_ok then decr rem);
+          let unit = cu_unit.(i) in
+          let unit_ok =
+            (* Initiation intervals follow the Fermi datapath widths: a
+               16-lane SPU needs two cycles per 32-thread warp, the
+               4-lane SFU eight, and the LD/ST unit is busy for its
+               transaction count (at least two cycles per warp). *)
+            if unit = u_spu then
+              if spu_free.(0) <= now then begin
+                spu_free.(0) <- now + 2;
+                decr scr_spu;
+                if !scr_spu = 0 then rem := !rem land lnot !ready_spu;
+                true
+              end
+              else if spu_free.(1) <= now then begin
+                spu_free.(1) <- now + 2;
+                decr scr_spu;
+                if !scr_spu = 0 then rem := !rem land lnot !ready_spu;
+                true
+              end
+              else false
+            else if unit = u_sfu then
+              if !sfu_free <= now then begin
+                sfu_free := now + 8;
+                scr_sfu := false;
+                rem := !rem land lnot !ready_sfu;
+                true
+              end
+              else false
+            else if unit = u_ldst then
+              if !ldst_free <= now then begin
+                ldst_free := now + max 2 cu_busyc.(i);
+                scr_ldst := false;
+                rem := !rem land lnot !ready_ldst;
+                true
+              end
+              else false
+            else true
+          in
+          if unit_ok then begin
+            progress := true;
+            let complete = now + cu_lat.(i) in
+            let dst = cu_dst.(i) in
+            let retire_cycle =
+              if dst >= 0 then begin
+                let wb = alloc_wb_slot complete in
+                let spill_extra =
+                  if rg_spilled.(dst) then begin
+                    incr spill_stores;
+                    spill_free := max !spill_free wb + 1;
+                    spill_latency + (!spill_free - wb - 1)
+                  end
+                  else 0
+                in
+                wb + proposed_delay + spill_extra
+              end
+              else complete
+            in
+            let retire_cycle = max (now + 1) retire_cycle in
+            ev_push retire_cycle cu_warp.(i) dst;
+            (match profile with
+             | Some ch ->
+               (* One span per warp instruction: issue -> retire. *)
+               Gpr_obs.Chrome.complete ch ~name:(unit_label unit) ~cat:"issue"
+                 ~pid:0 ~tid:cu_warp.(i)
+                 ~ts_us:(float_of_int cu_issued_at.(i))
+                 ~dur_us:
+                   (float_of_int (max 1 (retire_cycle - cu_issued_at.(i))))
+                 ~args:
+                   [
+                     ("pc", Gpr_obs.Json.Int cu_pc.(i));
+                     ("active", Gpr_obs.Json.Int cu_active.(i));
+                   ]
+                 ()
+             | None -> ());
+            cu_busy.(i) <- false;
+            if !cu_free = 0 then dirty_all ();
+            incr cu_free;
+            decr n_ready;
+            (let m =
+               if unit = u_spu then ready_spu
+               else if unit = u_sfu then ready_sfu
+               else ready_ldst
              in
-             let retire_cycle = max (now + 1) retire_cycle in
-             schedule retire_cycle (Retire (cu.c_warp, cu.c_item.t_dst));
-             (match profile with
-              | Some ch ->
-                (* One span per warp instruction: issue -> retire. *)
-                Gpr_obs.Chrome.complete ch
-                  ~name:(unit_label cu.c_item.t_unit)
-                  ~cat:"issue" ~pid:0 ~tid:cu.c_warp.w_id
-                  ~ts_us:(float_of_int cu.c_issue)
-                  ~dur_us:(float_of_int (max 1 (retire_cycle - cu.c_issue)))
-                  ~args:
-                    [
-                      ("pc", Gpr_obs.Json.Int cu.c_item.t_pc);
-                      ("active", Gpr_obs.Json.Int cu.c_item.t_active);
-                    ]
-                  ()
-              | None -> ());
-             cus.(i) <- None
-           end
-         | _ -> ())
-      cus;
+             m := !m land lnot (1 lsl i))
+          end
+        end
+      done
+    end;
 
     (* 3. Value converter: up to 6 narrow-float operands per cycle. *)
-    let vc_slots = ref 6 in
-    Array.iter
-      (fun cu_opt ->
-         match cu_opt with
-         | Some cu ->
-           List.iter
-             (fun o ->
-                if o.o_stage = S_convert && !vc_slots > 0 then begin
-                  decr vc_slots;
-                  incr conversions;
-                  o.o_stage <- S_done;
-                  progress := true
-                end)
-             cu.c_ops
-         | None -> ())
-      cus;
+    if !n_conv > 0 then begin
+      let vc_slots = scr_cnt in
+      vc_slots := 6;
+      for i = 0 to ncu - 1 do
+        if cu_busy.(i) then
+          for k = 0 to cu_nops.(i) - 1 do
+            let oi = (i * max_ops) + k in
+            if op_stage.(oi) = s_convert && !vc_slots > 0 then begin
+              decr vc_slots;
+              incr conversions;
+              op_stage.(oi) <- s_done;
+              cu_pending.(i) <- cu_pending.(i) - 1;
+              if cu_pending.(i) = 0 then mark_ready i cu_unit.(i);
+              decr n_conv;
+              progress := true
+            end
+          done
+      done
+    end;
 
     (* 4. Register-fetch arbitration: one operand per CU, one access per
        bank per cycle. *)
     bank_conflict_cycle := false;
-    let bank_used = Array.make cfg.register_banks false in
-    Array.iter
-      (fun cu_opt ->
-         match cu_opt with
-         | Some cu ->
-           let granted = ref false in
-           List.iter
-             (fun o ->
-                if (not !granted) && o.o_stage = S_fetch then
-                  match o.o_banks with
-                  | b :: rest when not bank_used.(b) ->
-                    bank_used.(b) <- true;
-                    granted := true;
-                    progress := true;
-                    o.o_banks <- rest;
-                    if rest = [] then
-                      o.o_stage <- (if o.o_convert then S_convert else S_done)
-                  | b :: _ ->
-                    (* The operand's head bank was already taken this
-                       cycle: fetch serialises behind the conflict. *)
-                    bank_conflict_cycle := true;
-                    incr bank_conflicts;
-                    (match profile with
-                     | Some ch ->
-                       Gpr_obs.Chrome.instant ch ~name:"bank-conflict"
-                         ~cat:"regfile" ~pid:1 ~tid:b
-                         ~ts_us:(float_of_int now)
-                         ~args:
-                           [
-                             ("warp", Gpr_obs.Json.Int cu.c_warp.w_id);
-                             ("reg", Gpr_obs.Json.Int o.o_arch);
-                           ]
-                         ()
-                     | None -> ())
-                  | [] -> ())
-             cu.c_ops
-         | None -> ())
-      cus;
+    if !n_fetch > 0 then begin
+      let rem = scr_cnt and cur = scr_i in
+      rem := !ncu_fetch;
+      cur := 0;
+      while !rem > 0 && !cur < ncu do
+        let i = !cur in
+        incr cur;
+        if cu_nfetch.(i) > 0 then begin
+          decr rem;
+          let granted = scr_flag in
+          granted := false;
+          for k = 0 to cu_nops.(i) - 1 do
+            let oi = (i * max_ops) + k in
+            if (not !granted) && op_stage.(oi) = s_fetch then begin
+              let b = if op_bi.(oi) = 0 then op_b0.(oi) else op_b1.(oi) in
+              if bank_stamp.(b) <> now then begin
+                bank_stamp.(b) <- now;
+                granted := true;
+                progress := true;
+                op_nb.(oi) <- op_nb.(oi) - 1;
+                if op_nb.(oi) = 0 then begin
+                  decr n_fetch;
+                  cu_nfetch.(i) <- cu_nfetch.(i) - 1;
+                  if cu_nfetch.(i) = 0 then decr ncu_fetch;
+                  if op_conv.(oi) then begin
+                    op_stage.(oi) <- s_convert;
+                    incr n_conv
+                  end
+                  else begin
+                    op_stage.(oi) <- s_done;
+                    cu_pending.(i) <- cu_pending.(i) - 1;
+                    if cu_pending.(i) = 0 then mark_ready i cu_unit.(i)
+                  end
+                end
+                else op_bi.(oi) <- 1
+              end
+              else begin
+                (* The operand's head bank was already taken this
+                   cycle: fetch serialises behind the conflict. *)
+                bank_conflict_cycle := true;
+                incr bank_conflicts;
+                match profile with
+                | Some ch ->
+                  Gpr_obs.Chrome.instant ch ~name:"bank-conflict"
+                    ~cat:"regfile" ~pid:1 ~tid:b ~ts_us:(float_of_int now)
+                    ~args:
+                      [
+                        ("warp", Gpr_obs.Json.Int cu_warp.(i));
+                        ("reg", Gpr_obs.Json.Int op_arch.(oi));
+                      ]
+                    ()
+                | None -> ()
+              end
+            end
+          done
+        end
+      done
+    end;
 
     (* 5. Source indirection-table arbitration (proposed only). *)
-    if is_proposed then begin
-      let tbl_used = Array.make cfg.register_banks false in
-      Array.iter
-        (fun cu_opt ->
-           match cu_opt with
-           | Some cu ->
-             List.iter
-               (fun o ->
-                  if o.o_stage = S_loc then begin
-                    let b = o.o_arch mod cfg.register_banks in
-                    if not tbl_used.(b) then begin
-                      tbl_used.(b) <- true;
-                      o.o_stage <- S_fetch;
-                      progress := true
-                    end
-                  end)
-               cu.c_ops
-           | None -> ())
-        cus
+    if is_proposed && !n_loc > 0 then begin
+      let rem = scr_cnt and cur = scr_i in
+      rem := !ncu_loc;
+      cur := 0;
+      while !rem > 0 && !cur < ncu do
+        let i = !cur in
+        incr cur;
+        if cu_nloc.(i) > 0 then begin
+          decr rem;
+          for k = 0 to cu_nops.(i) - 1 do
+            let oi = (i * max_ops) + k in
+            if op_stage.(oi) = s_loc then begin
+              let b = bank_of op_arch.(oi) in
+              if tbl_stamp.(b) <> now then begin
+                tbl_stamp.(b) <- now;
+                op_stage.(oi) <- s_fetch;
+                decr n_loc;
+                cu_nloc.(i) <- cu_nloc.(i) - 1;
+                if cu_nloc.(i) = 0 then decr ncu_loc;
+                incr n_fetch;
+                if cu_nfetch.(i) = 0 then incr ncu_fetch;
+                cu_nfetch.(i) <- cu_nfetch.(i) + 1;
+                progress := true
+              end
+            end
+          done
+        end
+      done
     end;
 
     (* 6. Issue: each scheduler picks one warp (GTO or LRR).  Every
@@ -741,78 +1362,113 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
        issue, or to a stall cause recorded in [slot_cause] (kept so
        the idle fast-forward below can replay it for skipped
        cycles). *)
-    for sched = 0 to cfg.warp_schedulers - 1 do
-      let mine =
-        List.filter (fun w -> w.w_id mod cfg.warp_schedulers = sched)
-          !active_warps
-      in
+    for sd = 0 to nsched - 1 do
+      if sched_clean.(sd) then begin
+        (* Frozen stall: nothing relevant changed since this scheduler
+           last scanned and found no issuable warp. *)
+        let cause =
+          if memo_bank.(sd) then
+            if !bank_conflict_cycle then c_bank_conflict else c_no_cu
+          else memo_cause.(sd)
+        in
+        slot_cause.(sd) <- cause;
+        bump cause 1
+      end
+      else begin
       let pick =
         match cfg.scheduler with
-        | Gto ->
+        | Gpr_arch.Config.Gto ->
           (* Greedy: stick with the last warp; else oldest ready. *)
-          let greedy =
-            match last_issued.(sched) with
-            | Some w when List.memq w mine && can_issue w -> Some w
-            | _ -> None
-          in
-          (match greedy with
-           | Some w -> Some w
-           | None ->
-             List.filter can_issue mine
-             |> List.sort (fun a b -> compare a.w_age b.w_age)
-             |> function [] -> None | w :: _ -> Some w)
-        | Lrr ->
-          let n = List.length mine in
-          if n = 0 then None
+          let li = last_idx.(sd) in
+          if
+            li >= 0 && wa_active.(li) && wa_age.(li) = last_age.(sd)
+            && can_issue li
+          then li
           else begin
-            let arr = Array.of_list mine in
-            let start = rr_ptr.(sched) mod n in
+            (* Age-sorted list: the first issuable warp is the oldest
+               issuable warp.  Drained warps are pruned on the way. *)
+            let a = scan_w.(sd) in
+            let n = scan_n.(sd) in
+            let best = scr_best and k = scr_k and j = scr_j in
+            best := -1;
+            let p = scan_pfx.(sd) in
+            let p = if p > n then n else p in
+            k := p;
+            j := p;
+            while !best < 0 && !j < n do
+              let wi = a.(!j) in
+              if not (drained wi) then begin
+                a.(!k) <- wi;
+                incr k;
+                if can_issue wi then best := wi
+              end;
+              incr j
+            done;
+            if !j < n then begin
+              if !k < !j then Array.blit a !j a !k (n - !j);
+              scan_n.(sd) <- !k + (n - !j)
+            end
+            else scan_n.(sd) <- !k;
+            (* On a pick, everything before it is non-issuable; on a
+               miss the memo takes over and the next walk (after a
+               dirty event) restarts from the top. *)
+            scan_pfx.(sd) <- (if !best >= 0 then !k - 1 else 0);
+            !best
+          end
+        | Gpr_arch.Config.Lrr ->
+          let n = sched_n.(sd) in
+          if n = 0 then -1
+          else begin
+            let a = sched_w.(sd) in
+            let start = rr_ptr.(sd) mod n in
             let rec go k =
-              if k >= n then None
+              if k >= n then -1
               else
-                let w = arr.((start + k) mod n) in
-                if can_issue w then begin
-                  rr_ptr.(sched) <- start + k + 1;
-                  Some w
+                let wi = a.((start + k) mod n) in
+                if can_issue wi then begin
+                  rr_ptr.(sd) <- start + k + 1;
+                  wi
                 end
                 else go (k + 1)
             in
             go 0
           end
       in
-      match pick with
-      | Some w ->
+      if pick >= 0 then begin
         progress := true;
-        last_issued.(sched) <- Some w;
-        slot_cause.(sched) <- None;
+        last_idx.(sd) <- pick;
+        last_age.(sd) <- wa_age.(pick);
+        slot_cause.(sd) <- c_issued;
         incr issued_slots;
-        do_issue w
-      | None ->
-        last_issued.(sched) <- None;
-        let cause = classify_stall mine in
-        slot_cause.(sched) <- Some cause;
-        bump cause 1
+        do_issue pick
+      end
+      else begin
+        last_idx.(sd) <- -1;
+        let cause = classify_stall sd in
+        slot_cause.(sd) <- cause;
+        bump cause 1;
+        sched_clean.(sd) <- true;
+        memo_cause.(sd) <- cause;
+        memo_bank.(sd) <- cause = c_bank_conflict || cause = c_no_cu;
+        memo_blame.(sd) <- !classify_blame
+      end
+      end
     done;
 
-    (* Also retire blocks whose warps had empty streams. *)
+    (* Idle fast-forward: jump to the next scheduled event if nothing
+       can change, replaying each scheduler's frozen stall cause once
+       per skipped cycle so the slot accounting stays complete. *)
     if not !progress then begin
       incr idle_cycles;
-      (* Jump to the next scheduled event if nothing can change. *)
-      match Imap.min_binding_opt !events with
-      | Some (c, _) when c > now + 1 ->
+      if !ev_n > 0 && (!ev_cyc).(0) > now + 1 then begin
+        let c = (!ev_cyc).(0) in
         idle_cycles := !idle_cycles + (c - now - 1);
-        (* The skipped cycles are exact replays of this one (no
-           retire, grant or issue happened, so the machine state is
-           frozen): charge each scheduler its recorded stall cause
-           once per skipped cycle to keep the slot accounting
-           complete. *)
         Array.iter
-          (function
-            | Some cause -> bump cause (c - now - 1)
-            | None -> ())
+          (fun cause -> if cause <> c_issued then bump cause (c - now - 1))
           slot_cause;
         cycle := c
-      | _ -> incr cycle
+      end
+      else incr cycle
     end
     else incr cycle;
 
@@ -838,9 +1494,8 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
       violated "simulation hit the %d-cycle bailout without draining"
         max_cycles;
     let attributed =
-      !issued_slots + !stall_scoreboard + !stall_no_cu
-      + !stall_bank_conflict + !stall_spill_port + !stall_barrier
-      + !stall_empty
+      !issued_slots + !stall_scoreboard + !stall_no_cu + !stall_bank_conflict
+      + !stall_spill_port + !stall_barrier + !stall_empty
     in
     let slots = max 1 !cycle * cfg.warp_schedulers in
     if attributed <> slots then

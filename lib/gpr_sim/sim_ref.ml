@@ -1,0 +1,879 @@
+(* Reference implementation of the SM timing model.
+
+   This is the original list/Hashtbl/Map engine, kept verbatim as the
+   differential oracle for the flat engine in [Sim]: every stats field
+   the two produce must be byte-equal on every (trace, alloc,
+   occupancy, mode, waves) input — the equivalence suite in
+   test/test_sim.ml and the fuzzer's obs stage ([Diff.check_obs]) pin
+   this.  It is deliberately not optimised; do not "fix" its
+   performance, change both engines or neither.
+
+   The only edits relative to the historical [Sim]: the public types
+   are re-exported from [Sim] (so callers compare records directly),
+   invariant violations raise [Sim.Invariant_violation], and the
+   metrics registry is not touched (a reference run must not
+   double-count sim.* counters). *)
+
+open Gpr_isa.Types
+module Trace = Gpr_exec.Trace
+module Alloc = Gpr_alloc.Alloc
+
+type regfile_mode = Sim.regfile_mode =
+  | Baseline
+  | Proposed of { writeback_delay : int }
+  | Spill of { latency : int; spilled : (int, unit) Hashtbl.t }
+
+type stats = Sim.stats = {
+  cycles : int;
+  thread_instructions : int;
+  warp_instructions : int;
+  sm_ipc : float;
+  gpu_ipc : float;
+  issued_per_cycle : float;
+  l1_hit_rate : float;
+  tex_hit_rate : float;
+  l2_hit_rate : float;
+  tex_accesses : int;
+  double_fetches : int;
+  conversions : int;
+  issued_slots : int;
+  stall_scoreboard : int;
+  stall_no_cu : int;
+  stall_bank_conflict : int;
+  stall_spill_port : int;
+  stall_barrier : int;
+  stall_empty : int;
+  bank_conflicts : int;
+  idle_cycles : int;
+  spill_loads : int;
+  spill_stores : int;
+}
+
+(* ------------------------------------------------------------------ *)
+
+type opnd_stage = S_loc | S_fetch | S_convert | S_done
+
+type opnd = {
+  o_arch : int;
+  mutable o_stage : opnd_stage;
+  mutable o_banks : int list;  (* remaining register-fetch banks *)
+  o_convert : bool;
+}
+
+type wctx = {
+  w_items : Trace.item array;
+  mutable w_ptr : int;
+  w_slot : int;        (* resident-block slot *)
+  w_id : int;          (* resident warp index (bank swizzle, scheduler) *)
+  w_age : int;
+  mutable w_barrier : bool;
+  mutable w_bars_left : int;    (* Sync items not yet issued *)
+  mutable w_outstanding : int;  (* issued, not yet retired *)
+  w_scoreboard : (int, int) Hashtbl.t;
+}
+
+type cu = {
+  c_warp : wctx;
+  c_item : Trace.item;
+  mutable c_ops : opnd list;
+  c_mem_latency : int;  (* precomputed for Ldst items, else unit latency *)
+  c_unit_busy : int;    (* cycles the execution unit is occupied *)
+  c_issue : int;        (* cycle the instruction was issued (profiling) *)
+}
+
+type rblock = { mutable rb_warps : wctx list }
+
+module Imap = Map.Make (Int)
+
+type event = Retire of wctx * int option
+
+let violated fmt =
+  Printf.ksprintf (fun s -> raise (Sim.Invariant_violation s)) fmt
+
+let unit_label = function
+  | Spu -> "spu"
+  | Sfu -> "sfu"
+  | Ldst -> "ldst"
+  | Sync -> "sync"
+
+let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
+    ~(trace : Trace.t) ~(alloc : Alloc.t) ~blocks_per_sm ~mode =
+  let proposed_delay =
+    match mode with
+    | Baseline | Spill _ -> 0
+    | Proposed { writeback_delay } -> writeback_delay
+  in
+  let is_proposed = match mode with Proposed _ -> true | _ -> false in
+  (* Spilling register files keep a subset of registers in shared
+     memory: spilled sources refill before execution and spilled
+     destinations write through after writeback, each paying the shared
+     round trip; accesses serialise at one per cycle on the spill
+     port. *)
+  let is_spilled, spill_latency =
+    match mode with
+    | Spill { latency; spilled } ->
+      ((fun r -> Hashtbl.mem spilled r), latency)
+    | Baseline | Proposed _ -> ((fun _ -> false), 0)
+  in
+  let spill_free = ref 0 in
+  let spill_loads = ref 0 and spill_stores = ref 0 in
+
+  (* --- Partition the trace into per-(block, warp) streams. --- *)
+  let streams = Hashtbl.create 256 in
+  Array.iter
+    (fun (it : Trace.item) ->
+       let key = (it.t_block_id, it.t_warp) in
+       let l = try Hashtbl.find streams key with Not_found -> ref [] in
+       if not (Hashtbl.mem streams key) then Hashtbl.replace streams key l;
+       l := it :: !l)
+    trace.items;
+  let stream_of block warp =
+    match Hashtbl.find_opt streams (block, warp) with
+    | Some l -> Array.of_list (List.rev !l)
+    | None -> [||]
+  in
+
+  (* --- This SM's workload: [waves] waves of resident blocks, drawing
+     block traces round-robin from the measured grid.  All benchmark
+     grids are homogeneous across blocks, so this measures steady-state
+     throughput at the configured occupancy without requiring the
+     functional run to execute [waves * blocks_per_sm * num_sms]
+     blocks. --- *)
+  let my_blocks =
+    List.init
+      (max 1 (waves * blocks_per_sm))
+      (fun i -> i mod trace.num_blocks)
+  in
+  let feeder = ref my_blocks in
+
+  (* --- Memory hierarchy. --- *)
+  let l1 = Cache.create ~capacity_bytes:cfg.l1_bytes ~line_bytes:cfg.l1_line_bytes ~assoc:4 in
+  let tex = Cache.create ~capacity_bytes:cfg.tex_bytes ~line_bytes:cfg.l1_line_bytes ~assoc:4 in
+  let l2 =
+    Cache.create ~capacity_bytes:(cfg.l2_bytes / cfg.num_sms)
+      ~line_bytes:cfg.l1_line_bytes ~assoc:8
+  in
+  let tex_accesses = ref 0 in
+  (* Bandwidth model: DRAM and L2 serve one line every
+     [dram_line_interval] / [l2_line_interval] cycles (the SM's share of
+     chip bandwidth); requests queue behind the previous service. *)
+  let dram_free = ref 0 in
+  let l2_free = ref 0 in
+
+  (* Returns (latency, ldst_busy_cycles): latency until the value is
+     back, and how long the LD/ST unit is occupied issuing the access's
+     transactions (coalesced transactions and shared-memory conflicts
+     serialise at one per cycle, as in GPGPU-Sim). *)
+  let mem_latency now (it : Trace.item) =
+    match it.t_mem with
+    | None -> (cfg.spu_latency, 1)
+    | Some m ->
+      (match m.m_space with
+       | Param -> (cfg.spu_latency * 2, 1)  (* constant cache *)
+       | Shared ->
+         (* Bank-conflict serialisation over 32 word-banks. *)
+         let counts = Array.make 32 0 in
+         Array.iter
+           (fun a ->
+              let b = (a / 4) mod 32 in
+              counts.(b) <- counts.(b) + 1)
+           m.m_addresses;
+         let factor = Array.fold_left max 1 counts in
+         (cfg.shared_latency + factor - 1, factor)
+       | Global | Texture ->
+         (* Coalesce per-lane addresses into cache-line transactions. *)
+         let lines = Hashtbl.create 8 in
+         Array.iter
+           (fun a -> Hashtbl.replace lines (a / cfg.l1_line_bytes) ())
+           m.m_addresses;
+         let ntxn = max 1 (Hashtbl.length lines) in
+         let worst = ref 0 in
+         Hashtbl.iter
+           (fun line () ->
+              let addr = line * cfg.l1_line_bytes in
+              let l1_hit =
+                if m.m_space = Texture then begin
+                  incr tex_accesses;
+                  Cache.access tex addr
+                end
+                else Cache.access l1 addr
+              in
+              let lat =
+                if l1_hit then cfg.l1_hit_latency
+                else if Cache.access l2 addr then begin
+                  l2_free := max !l2_free now + cfg.l2_line_interval;
+                  (!l2_free - now) + cfg.l2_hit_latency
+                end
+                else begin
+                  l2_free := max !l2_free now + cfg.l2_line_interval;
+                  dram_free := max !dram_free now + cfg.dram_line_interval;
+                  (!dram_free - now) + cfg.dram_latency
+                end
+              in
+              worst := max !worst lat)
+           lines;
+         (!worst + ntxn - 1, ntxn))
+  in
+
+  (* --- Resident blocks and warps. --- *)
+  let warps_per_block = trace.warps_per_block in
+  let age_counter = ref 0 in
+  let active_warps : wctx list ref = ref [] in
+  let rblocks = Array.make blocks_per_sm None in
+
+  let warp_done w =
+    w.w_ptr >= Array.length w.w_items && w.w_outstanding = 0
+  in
+  let launch_block slot block_id =
+    let warps =
+      List.init warps_per_block (fun w ->
+          incr age_counter;
+          let items = stream_of block_id w in
+          let bars =
+            Array.fold_left
+              (fun acc (it : Trace.item) ->
+                 if it.t_unit = Sync then acc + 1 else acc)
+              0 items
+          in
+          {
+            w_items = items;
+            w_ptr = 0;
+            w_slot = slot;
+            w_id = (slot * warps_per_block) + w;
+            w_age = !age_counter;
+            w_barrier = false;
+            w_bars_left = bars;
+            w_outstanding = 0;
+            w_scoreboard = Hashtbl.create 16;
+          })
+    in
+    rblocks.(slot) <- Some { rb_warps = warps };
+    active_warps := !active_warps @ warps
+  in
+  let rec try_launch slot =
+    match !feeder with
+    | [] -> rblocks.(slot) <- None
+    | b :: rest ->
+      feeder := rest;
+      launch_block slot b;
+      (* A block whose warps have empty streams retires immediately. *)
+      (match rblocks.(slot) with
+       | Some rb when List.for_all warp_done rb.rb_warps ->
+         active_warps :=
+           List.filter (fun w -> not (List.memq w rb.rb_warps)) !active_warps;
+         try_launch slot
+       | _ -> ())
+  in
+  for slot = 0 to blocks_per_sm - 1 do
+    try_launch slot
+  done;
+
+  (match profile with
+   | Some ch ->
+     Gpr_obs.Chrome.name_process ch ~pid:0 "SM0 warps";
+     Gpr_obs.Chrome.name_process ch ~pid:1 "register-file banks";
+     for w = 0 to (blocks_per_sm * warps_per_block) - 1 do
+       Gpr_obs.Chrome.name_thread ch ~pid:0 ~tid:w
+         (Printf.sprintf "warp %d" w)
+     done;
+     for b = 0 to cfg.register_banks - 1 do
+       Gpr_obs.Chrome.name_thread ch ~pid:1 ~tid:b
+         (Printf.sprintf "bank %d" b)
+     done
+   | None -> ());
+
+  (* --- Pipeline state. --- *)
+  let cus : cu option array = Array.make cfg.operand_collectors None in
+  let events : event list Imap.t ref = ref Imap.empty in
+  let schedule cycle ev =
+    events :=
+      Imap.update cycle
+        (function None -> Some [ ev ] | Some l -> Some (ev :: l))
+        !events
+  in
+  (* Writeback bus usage per cycle. *)
+  let wb_used : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let alloc_wb_slot earliest =
+    let c = ref earliest in
+    let rec go () =
+      let used = try Hashtbl.find wb_used !c with Not_found -> 0 in
+      if used < cfg.writeback_width then begin
+        Hashtbl.replace wb_used !c (used + 1)
+      end
+      else begin
+        incr c;
+        go ()
+      end
+    in
+    go ();
+    !c
+  in
+
+  let placement_of arch = Alloc.lookup alloc arch in
+  let fetch_banks warp arch =
+    match placement_of arch with
+    | None -> [ (arch + warp.w_id) mod cfg.register_banks ]
+    | Some p ->
+      if is_proposed && Alloc.is_split p then
+        [ (p.reg0 + warp.w_id) mod cfg.register_banks;
+          (p.reg1 + warp.w_id) mod cfg.register_banks ]
+      else [ (p.reg0 + warp.w_id) mod cfg.register_banks ]
+  in
+  let needs_convert arch =
+    is_proposed
+    &&
+    match placement_of arch with
+    | Some p -> p.is_float && p.slices < 8
+    | None -> false
+  in
+
+  (* Stats. *)
+  let double_fetches = ref 0 in
+  let conversions = ref 0 in
+  let issued_slots = ref 0 in
+  let stall_scoreboard = ref 0 in
+  let stall_no_cu = ref 0 in
+  let stall_bank_conflict = ref 0 in
+  let stall_spill_port = ref 0 in
+  let stall_barrier = ref 0 in
+  let stall_empty = ref 0 in
+  let bank_conflicts = ref 0 in
+  let bump cause n =
+    match (cause : Gpr_obs.Stall.cause) with
+    | Scoreboard -> stall_scoreboard := !stall_scoreboard + n
+    | No_free_cu -> stall_no_cu := !stall_no_cu + n
+    | Bank_conflict -> stall_bank_conflict := !stall_bank_conflict + n
+    | Spill_port -> stall_spill_port := !stall_spill_port + n
+    | Barrier -> stall_barrier := !stall_barrier + n
+    | Empty -> stall_empty := !stall_empty + n
+  in
+  let idle_cycles = ref 0 in
+  let issued_warp_instrs = ref 0 in
+  let executed_threads = ref 0 in
+  (* Invariant-check accounting ([check] mode): every non-barrier issue
+     must eventually produce exactly one retire event, and the SM must
+     replay exactly the warp instructions of the blocks it was fed. *)
+  let issued_nonsync = ref 0 in
+  let retired = ref 0 in
+  let expected_warp_instrs =
+    if not check then 0
+    else
+      List.fold_left
+        (fun acc b ->
+           let per_block = ref 0 in
+           for w = 0 to trace.warps_per_block - 1 do
+             per_block := !per_block + Array.length (stream_of b w)
+           done;
+           acc + !per_block)
+        0 my_blocks
+  in
+
+  (* Exec units: next cycle each may accept work. *)
+  let spu_free = [| 0; 0 |] in
+  let sfu_free = ref 0 in
+  let ldst_free = ref 0 in
+
+  let cycle = ref 0 in
+  let finished () =
+    !feeder = []
+    && Array.for_all (fun rb -> rb = None) rblocks
+  in
+
+  let retire_block_if_done slot =
+    match rblocks.(slot) with
+    | None -> ()
+    | Some rb ->
+      if List.for_all warp_done rb.rb_warps then begin
+        active_warps :=
+          List.filter (fun w -> not (List.memq w rb.rb_warps)) !active_warps;
+        try_launch slot
+      end
+  in
+
+  (* GTO state per scheduler. *)
+  let last_issued = Array.make cfg.warp_schedulers None in
+  let rr_ptr = Array.make cfg.warp_schedulers 0 in
+  (* Per-scheduler outcome of the current cycle: [None] = issued,
+     [Some cause] = stalled (consumed by the idle fast-forward). *)
+  let slot_cause : Gpr_obs.Stall.cause option array =
+    Array.make cfg.warp_schedulers None
+  in
+
+  let scoreboard_ready w (it : Trace.item) =
+    let pending r = Hashtbl.mem w.w_scoreboard r in
+    (not (List.exists pending it.t_srcs))
+    && (match it.t_dst with Some d -> not (pending d) | None -> true)
+  in
+
+  let free_cu () =
+    let rec go i =
+      if i >= Array.length cus then None
+      else match cus.(i) with None -> Some i | Some _ -> go (i + 1)
+    in
+    go 0
+  in
+
+  (* Can this warp issue its next instruction right now? *)
+  let can_issue w =
+    (not w.w_barrier)
+    && w.w_ptr < Array.length w.w_items
+    &&
+    let it = w.w_items.(w.w_ptr) in
+    scoreboard_ready w it
+    &&
+    (* bar.sync completes the warp's outstanding memory operations
+       before synchronising. *)
+    if it.t_unit = Sync then w.w_outstanding = 0 else free_cu () <> None
+  in
+  (* Register-fetch bank conflict seen this cycle (set by the operand
+     arbitration stage, consumed by the stall classifier). *)
+  let bank_conflict_cycle = ref false in
+
+  (* Why did this scheduler slot go unused?  Called exactly once per
+     scheduler per cycle when no warp could issue; together with the
+     issued slots this classifies every slot of every cycle, so
+     [issued + sum-of-causes = cycles x schedulers] holds.
+
+     Warps that have drained their stream (possibly with retires still
+     outstanding) have nothing left to issue and do not claim the
+     slot; if only such warps (or none) remain, the slot is [Empty].
+     Otherwise the oldest warp with work pending is blamed, mirroring
+     the greedy-then-oldest pick order of the scheduler. *)
+  let classify_stall mine : Gpr_obs.Stall.cause =
+    let candidates =
+      List.filter
+        (fun w -> w.w_barrier || w.w_ptr < Array.length w.w_items)
+        mine
+    in
+    match candidates with
+    | [] -> Empty
+    | w0 :: rest ->
+      let w =
+        List.fold_left (fun a b -> if b.w_age < a.w_age then b else a) w0 rest
+      in
+      if w.w_barrier then Barrier
+      else begin
+        let it = w.w_items.(w.w_ptr) in
+        if not (scoreboard_ready w it) then begin
+          let pending r = Hashtbl.mem w.w_scoreboard r in
+          let blocked_on_spill =
+            List.exists (fun r -> pending r && is_spilled r) it.t_srcs
+            || (match it.t_dst with
+               | Some d -> pending d && is_spilled d
+               | None -> false)
+          in
+          if blocked_on_spill then Spill_port else Scoreboard
+        end
+        else if it.t_unit = Sync then
+          (* bar.sync waiting for the warp's own in-flight retires. *)
+          Barrier
+        else if !bank_conflict_cycle then Bank_conflict
+        else No_free_cu
+      end
+  in
+
+  let do_issue w =
+    let it = w.w_items.(w.w_ptr) in
+    if check && not (scoreboard_ready w it) then
+      violated "scoreboard: warp %d issued pc %d with a pending hazard"
+        w.w_id it.t_pc;
+    w.w_ptr <- w.w_ptr + 1;
+    issued_warp_instrs := !issued_warp_instrs + 1;
+    executed_threads := !executed_threads + it.t_active;
+    if it.t_unit = Sync then begin
+      (match profile with
+       | Some ch ->
+         Gpr_obs.Chrome.instant ch ~name:"barrier" ~cat:"sync" ~pid:0
+           ~tid:w.w_id ~ts_us:(float_of_int !cycle)
+           ~args:[ ("pc", Gpr_obs.Json.Int it.t_pc) ] ()
+       | None -> ());
+      (* Barrier: the warp waits until every block warp that still has a
+         barrier ahead of it has arrived.  Warps whose threads all
+         exited early (no Sync left) never block the others. *)
+      w.w_bars_left <- w.w_bars_left - 1;
+      w.w_barrier <- true;
+      match rblocks.(w.w_slot) with
+      | None -> w.w_barrier <- false
+      | Some rb ->
+        let all_arrived =
+          List.for_all
+            (fun x -> x.w_barrier || x.w_bars_left = 0)
+            rb.rb_warps
+        in
+        if all_arrived then
+          List.iter (fun x -> x.w_barrier <- false) rb.rb_warps
+    end
+    else begin
+      incr issued_nonsync;
+      let slot = Option.get (free_cu ()) in
+      (* Distinct source architectural registers. *)
+      let srcs = List.sort_uniq compare it.t_srcs in
+      let ops =
+        List.map
+          (fun arch ->
+             let banks = fetch_banks w arch in
+             if List.length banks > 1 then incr double_fetches;
+             {
+               o_arch = arch;
+               o_stage = (if is_proposed then S_loc else S_fetch);
+               o_banks = banks;
+               o_convert = needs_convert arch;
+             })
+          srcs
+      in
+      (match it.t_dst with
+       | Some d ->
+         Hashtbl.replace w.w_scoreboard d
+           (1 + Option.value ~default:0 (Hashtbl.find_opt w.w_scoreboard d))
+       | None -> ());
+      w.w_outstanding <- w.w_outstanding + 1;
+      let lat, busy =
+        match it.t_unit with
+        | Spu -> (cfg.spu_latency, 1)
+        | Sfu -> (cfg.sfu_latency, 1)
+        | Ldst -> mem_latency !cycle it
+        | Sync -> (0, 1)
+      in
+      let lat =
+        match List.length (List.filter is_spilled srcs) with
+        | 0 -> lat
+        | n ->
+          spill_loads := !spill_loads + n;
+          spill_free := max !spill_free !cycle + n;
+          lat + spill_latency + (!spill_free - !cycle - 1)
+      in
+      cus.(slot) <-
+        Some { c_warp = w; c_item = it; c_ops = ops; c_mem_latency = lat;
+               c_unit_busy = busy; c_issue = !cycle }
+    end
+  in
+
+  (* ---------------- main loop ---------------- *)
+  let max_cycles = 200_000_000 in
+  while (not (finished ())) && !cycle < max_cycles do
+    let now = !cycle in
+    let progress = ref false in
+
+    (* 1. Retire events. *)
+    (match Imap.find_opt now !events with
+     | Some evs ->
+       progress := true;
+       List.iter
+         (fun (Retire (w, dst)) ->
+            (match dst with
+             | Some d ->
+               (match Hashtbl.find_opt w.w_scoreboard d with
+                | Some 1 -> Hashtbl.remove w.w_scoreboard d
+                | Some n -> Hashtbl.replace w.w_scoreboard d (n - 1)
+                | None -> ())
+             | None -> ());
+            w.w_outstanding <- w.w_outstanding - 1;
+            incr retired;
+            if check && w.w_outstanding < 0 then
+              violated "warp %d retired more instructions than it issued" w.w_id;
+            if warp_done w then retire_block_if_done w.w_slot)
+         evs;
+       events := Imap.remove now !events
+     | None -> ());
+    Hashtbl.remove wb_used now;
+
+    (* 2. Dispatch ready collector units to execution units. *)
+    Array.iteri
+      (fun i cu_opt ->
+         match cu_opt with
+         | Some cu when List.for_all (fun o -> o.o_stage = S_done) cu.c_ops ->
+           let unit_ok =
+             (* Initiation intervals follow the Fermi datapath widths: a
+                16-lane SPU needs two cycles per 32-thread warp, the
+                4-lane SFU eight, and the LD/ST unit is busy for its
+                transaction count (at least two cycles per warp). *)
+             match cu.c_item.t_unit with
+             | Spu ->
+               if spu_free.(0) <= now then (spu_free.(0) <- now + 2; true)
+               else if spu_free.(1) <= now then (spu_free.(1) <- now + 2; true)
+               else false
+             | Sfu ->
+               if !sfu_free <= now then (sfu_free := now + 8; true) else false
+             | Ldst ->
+               if !ldst_free <= now then begin
+                 ldst_free := now + max 2 cu.c_unit_busy;
+                 true
+               end
+               else false
+             | Sync -> true
+           in
+           if unit_ok then begin
+             progress := true;
+             let complete = now + cu.c_mem_latency in
+             let retire_cycle =
+               match cu.c_item.t_dst with
+               | Some d ->
+                 let wb = alloc_wb_slot complete in
+                 let spill_extra =
+                   if is_spilled d then begin
+                     incr spill_stores;
+                     spill_free := max !spill_free wb + 1;
+                     spill_latency + (!spill_free - wb - 1)
+                   end
+                   else 0
+                 in
+                 wb + proposed_delay + spill_extra
+               | None -> complete
+             in
+             let retire_cycle = max (now + 1) retire_cycle in
+             schedule retire_cycle (Retire (cu.c_warp, cu.c_item.t_dst));
+             (match profile with
+              | Some ch ->
+                (* One span per warp instruction: issue -> retire. *)
+                Gpr_obs.Chrome.complete ch
+                  ~name:(unit_label cu.c_item.t_unit)
+                  ~cat:"issue" ~pid:0 ~tid:cu.c_warp.w_id
+                  ~ts_us:(float_of_int cu.c_issue)
+                  ~dur_us:(float_of_int (max 1 (retire_cycle - cu.c_issue)))
+                  ~args:
+                    [
+                      ("pc", Gpr_obs.Json.Int cu.c_item.t_pc);
+                      ("active", Gpr_obs.Json.Int cu.c_item.t_active);
+                    ]
+                  ()
+              | None -> ());
+             cus.(i) <- None
+           end
+         | _ -> ())
+      cus;
+
+    (* 3. Value converter: up to 6 narrow-float operands per cycle. *)
+    let vc_slots = ref 6 in
+    Array.iter
+      (fun cu_opt ->
+         match cu_opt with
+         | Some cu ->
+           List.iter
+             (fun o ->
+                if o.o_stage = S_convert && !vc_slots > 0 then begin
+                  decr vc_slots;
+                  incr conversions;
+                  o.o_stage <- S_done;
+                  progress := true
+                end)
+             cu.c_ops
+         | None -> ())
+      cus;
+
+    (* 4. Register-fetch arbitration: one operand per CU, one access per
+       bank per cycle. *)
+    bank_conflict_cycle := false;
+    let bank_used = Array.make cfg.register_banks false in
+    Array.iter
+      (fun cu_opt ->
+         match cu_opt with
+         | Some cu ->
+           let granted = ref false in
+           List.iter
+             (fun o ->
+                if (not !granted) && o.o_stage = S_fetch then
+                  match o.o_banks with
+                  | b :: rest when not bank_used.(b) ->
+                    bank_used.(b) <- true;
+                    granted := true;
+                    progress := true;
+                    o.o_banks <- rest;
+                    if rest = [] then
+                      o.o_stage <- (if o.o_convert then S_convert else S_done)
+                  | b :: _ ->
+                    (* The operand's head bank was already taken this
+                       cycle: fetch serialises behind the conflict. *)
+                    bank_conflict_cycle := true;
+                    incr bank_conflicts;
+                    (match profile with
+                     | Some ch ->
+                       Gpr_obs.Chrome.instant ch ~name:"bank-conflict"
+                         ~cat:"regfile" ~pid:1 ~tid:b
+                         ~ts_us:(float_of_int now)
+                         ~args:
+                           [
+                             ("warp", Gpr_obs.Json.Int cu.c_warp.w_id);
+                             ("reg", Gpr_obs.Json.Int o.o_arch);
+                           ]
+                         ()
+                     | None -> ())
+                  | [] -> ())
+             cu.c_ops
+         | None -> ())
+      cus;
+
+    (* 5. Source indirection-table arbitration (proposed only). *)
+    if is_proposed then begin
+      let tbl_used = Array.make cfg.register_banks false in
+      Array.iter
+        (fun cu_opt ->
+           match cu_opt with
+           | Some cu ->
+             List.iter
+               (fun o ->
+                  if o.o_stage = S_loc then begin
+                    let b = o.o_arch mod cfg.register_banks in
+                    if not tbl_used.(b) then begin
+                      tbl_used.(b) <- true;
+                      o.o_stage <- S_fetch;
+                      progress := true
+                    end
+                  end)
+               cu.c_ops
+           | None -> ())
+        cus
+    end;
+
+    (* 6. Issue: each scheduler picks one warp (GTO or LRR).  Every
+       scheduler slot is attributed exactly once per cycle: to an
+       issue, or to a stall cause recorded in [slot_cause] (kept so
+       the idle fast-forward below can replay it for skipped
+       cycles). *)
+    for sched = 0 to cfg.warp_schedulers - 1 do
+      let mine =
+        List.filter (fun w -> w.w_id mod cfg.warp_schedulers = sched)
+          !active_warps
+      in
+      let pick =
+        match cfg.scheduler with
+        | Gto ->
+          (* Greedy: stick with the last warp; else oldest ready. *)
+          let greedy =
+            match last_issued.(sched) with
+            | Some w when List.memq w mine && can_issue w -> Some w
+            | _ -> None
+          in
+          (match greedy with
+           | Some w -> Some w
+           | None ->
+             List.filter can_issue mine
+             |> List.sort (fun a b -> compare a.w_age b.w_age)
+             |> function [] -> None | w :: _ -> Some w)
+        | Lrr ->
+          let n = List.length mine in
+          if n = 0 then None
+          else begin
+            let arr = Array.of_list mine in
+            let start = rr_ptr.(sched) mod n in
+            let rec go k =
+              if k >= n then None
+              else
+                let w = arr.((start + k) mod n) in
+                if can_issue w then begin
+                  rr_ptr.(sched) <- start + k + 1;
+                  Some w
+                end
+                else go (k + 1)
+            in
+            go 0
+          end
+      in
+      match pick with
+      | Some w ->
+        progress := true;
+        last_issued.(sched) <- Some w;
+        slot_cause.(sched) <- None;
+        incr issued_slots;
+        do_issue w
+      | None ->
+        last_issued.(sched) <- None;
+        let cause = classify_stall mine in
+        slot_cause.(sched) <- Some cause;
+        bump cause 1
+    done;
+
+    (* Also retire blocks whose warps had empty streams. *)
+    if not !progress then begin
+      incr idle_cycles;
+      (* Jump to the next scheduled event if nothing can change. *)
+      match Imap.min_binding_opt !events with
+      | Some (c, _) when c > now + 1 ->
+        idle_cycles := !idle_cycles + (c - now - 1);
+        (* The skipped cycles are exact replays of this one (no
+           retire, grant or issue happened, so the machine state is
+           frozen): charge each scheduler its recorded stall cause
+           once per skipped cycle to keep the slot accounting
+           complete. *)
+        Array.iter
+          (function
+            | Some cause -> bump cause (c - now - 1)
+            | None -> ())
+          slot_cause;
+        cycle := c
+      | _ -> incr cycle
+    end
+    else incr cycle;
+
+    (* Handle blocks whose warps never had work (defensive). *)
+    if !cycle land 0xfff = 0 then
+      for slot = 0 to blocks_per_sm - 1 do
+        retire_block_if_done slot
+      done
+  done;
+
+  (* Defensive final drain for empty-stream corner cases. *)
+  for slot = 0 to blocks_per_sm - 1 do
+    retire_block_if_done slot
+  done;
+
+  (* The loop may never run (all streams empty): [cycles] is clamped
+     to 1 below, so pad the attribution with one all-empty cycle to
+     keep the slot identity exact. *)
+  if !cycle = 0 then stall_empty := !stall_empty + cfg.warp_schedulers;
+
+  if check then begin
+    if not (finished ()) then
+      violated "simulation hit the %d-cycle bailout without draining"
+        max_cycles;
+    let attributed =
+      !issued_slots + !stall_scoreboard + !stall_no_cu
+      + !stall_bank_conflict + !stall_spill_port + !stall_barrier
+      + !stall_empty
+    in
+    let slots = max 1 !cycle * cfg.warp_schedulers in
+    if attributed <> slots then
+      violated
+        "stall attribution: %d slots classified over %d cycles x %d \
+         schedulers (= %d slots)"
+        attributed (max 1 !cycle) cfg.warp_schedulers slots;
+    if !issued_slots <> !issued_warp_instrs then
+      violated "stall attribution: %d issued slots but %d warp instructions"
+        !issued_slots !issued_warp_instrs;
+    if !retired <> !issued_nonsync then
+      violated "conservation: issued %d non-sync instructions but retired %d"
+        !issued_nonsync !retired;
+    if !issued_warp_instrs <> expected_warp_instrs then
+      violated "conservation: issued %d warp instructions, trace holds %d"
+        !issued_warp_instrs expected_warp_instrs;
+    if !executed_threads > 32 * !issued_warp_instrs then
+      violated "executed %d thread instructions from %d warp issues"
+        !executed_threads !issued_warp_instrs
+  end;
+
+  let cycles = max 1 !cycle in
+  let sm_ipc = float_of_int !executed_threads /. float_of_int cycles in
+  {
+    cycles;
+    thread_instructions = !executed_threads;
+    warp_instructions = !issued_warp_instrs;
+    sm_ipc;
+    gpu_ipc = sm_ipc *. float_of_int cfg.num_sms;
+    issued_per_cycle = float_of_int !issued_warp_instrs /. float_of_int cycles;
+    l1_hit_rate = Cache.hit_rate l1;
+    tex_hit_rate = Cache.hit_rate tex;
+    l2_hit_rate = Cache.hit_rate l2;
+    tex_accesses = !tex_accesses;
+    double_fetches = !double_fetches;
+    conversions = !conversions;
+    issued_slots = !issued_slots;
+    stall_scoreboard = !stall_scoreboard;
+    stall_no_cu = !stall_no_cu;
+    stall_bank_conflict = !stall_bank_conflict;
+    stall_spill_port = !stall_spill_port;
+    stall_barrier = !stall_barrier;
+    stall_empty = !stall_empty;
+    bank_conflicts = !bank_conflicts;
+    idle_cycles = !idle_cycles;
+    spill_loads = !spill_loads;
+    spill_stores = !spill_stores;
+  }

@@ -1,0 +1,28 @@
+(** Reference cycle-level SM model — the differential oracle for {!Sim}.
+
+    This is the original list/Hashtbl/Map engine, kept unoptimised and
+    byte-for-byte faithful to the historical pipeline model.  The flat
+    production engine ({!Sim.run}) must produce an identical
+    {!Sim.stats} record on every input; the equivalence suite in
+    [test/test_sim.ml] and the fuzzer's obs stage pin the two against
+    each other over generated kernels, all three register-file modes,
+    and multiple wave counts.
+
+    Roughly 5–10x slower than {!Sim.run} — use it only as an oracle,
+    never on a hot path.  Unlike {!Sim.run} it records nothing in the
+    metrics registry, so an oracle run never double-counts the sim.*
+    counters.  With [~check:true] it raises {!Sim.Invariant_violation}
+    on the same structural invariants {!Sim.run} enforces. *)
+
+val run :
+  ?check:bool ->
+  ?waves:int ->
+  ?profile:Gpr_obs.Chrome.t ->
+  Gpr_arch.Config.t ->
+  trace:Gpr_exec.Trace.t ->
+  alloc:Gpr_alloc.Alloc.t ->
+  blocks_per_sm:int ->
+  mode:Sim.regfile_mode ->
+  Sim.stats
+(** Same contract as {!Sim.run} (see its documentation for the model,
+    the [check] invariants and the [profile] events). *)

@@ -322,6 +322,465 @@ let test_cache_hit_rate_reset () =
     (Gpr_sim.Cache.hit_rate c)
 
 (* ---------------------------------------------------------------- *)
+(* Differential equivalence: the flat engine (Sim) against the original
+   list/Hashtbl oracle (Sim_ref).  [Stdlib.compare] over the whole
+   stats record pins every field byte-equal — cycles, IPCs, hit rates,
+   all six stall counters, spill traffic — on the full workload
+   registry under every registered register-file backend, and on
+   generated kernels via a QCheck property (seed count scaled by
+   GPR_SIM_EQ_COUNT; CI runs 500). *)
+
+module Sim_ref = Gpr_sim.Sim_ref
+module W = Gpr_workloads.Workload
+module Backend = Gpr_backend.Backend
+module Range = Gpr_analysis.Range
+module Gen = Gpr_check.Gen
+
+let fast_tests = Sys.getenv_opt "GPR_FAST_TESTS" = Some "1"
+
+let stats_fields (s : Sim.stats) =
+  [
+    ("cycles", string_of_int s.cycles);
+    ("thread_instructions", string_of_int s.thread_instructions);
+    ("warp_instructions", string_of_int s.warp_instructions);
+    ("sm_ipc", Printf.sprintf "%h" s.sm_ipc);
+    ("gpu_ipc", Printf.sprintf "%h" s.gpu_ipc);
+    ("issued_per_cycle", Printf.sprintf "%h" s.issued_per_cycle);
+    ("l1_hit_rate", Printf.sprintf "%h" s.l1_hit_rate);
+    ("tex_hit_rate", Printf.sprintf "%h" s.tex_hit_rate);
+    ("l2_hit_rate", Printf.sprintf "%h" s.l2_hit_rate);
+    ("tex_accesses", string_of_int s.tex_accesses);
+    ("double_fetches", string_of_int s.double_fetches);
+    ("conversions", string_of_int s.conversions);
+    ("issued_slots", string_of_int s.issued_slots);
+    ("stall_scoreboard", string_of_int s.stall_scoreboard);
+    ("stall_no_cu", string_of_int s.stall_no_cu);
+    ("stall_bank_conflict", string_of_int s.stall_bank_conflict);
+    ("stall_spill_port", string_of_int s.stall_spill_port);
+    ("stall_barrier", string_of_int s.stall_barrier);
+    ("stall_empty", string_of_int s.stall_empty);
+    ("bank_conflicts", string_of_int s.bank_conflicts);
+    ("idle_cycles", string_of_int s.idle_cycles);
+    ("spill_loads", string_of_int s.spill_loads);
+    ("spill_stores", string_of_int s.spill_stores);
+  ]
+
+(* Run both engines under ~check:true and demand byte-equal stats (or
+   the same invariant violation).  Returns the fast stats so callers
+   can pile further assertions on top. *)
+let assert_engines_agree ?(cfg = cfg) label ~trace ~alloc ~blocks_per_sm ~mode
+    ~waves =
+  let fast =
+    try Ok (Sim.run ~check:true ~waves cfg ~trace ~alloc ~blocks_per_sm ~mode)
+    with Sim.Invariant_violation m -> Error m
+  in
+  let slow =
+    try
+      Ok (Sim_ref.run ~check:true ~waves cfg ~trace ~alloc ~blocks_per_sm ~mode)
+    with Sim.Invariant_violation m -> Error m
+  in
+  match (fast, slow) with
+  | Ok f, Ok s ->
+    if Stdlib.compare f s <> 0 then begin
+      let diffs =
+        List.concat
+          (List.map2
+             (fun (n, a) (_, b) ->
+               if a = b then []
+               else [ Printf.sprintf "%s: fast=%s ref=%s" n a b ])
+             (stats_fields f) (stats_fields s))
+      in
+      Alcotest.failf "%s (waves=%d): engines diverge on %s" label waves
+        (String.concat "; " diffs)
+    end;
+    f
+  | Error mf, Error ms ->
+    if mf <> ms then
+      Alcotest.failf "%s (waves=%d): different violations: fast=%S ref=%S"
+        label waves mf ms
+    else Alcotest.failf "%s (waves=%d): both engines violate: %s" label waves mf
+  | Error m, Ok _ ->
+    Alcotest.failf "%s (waves=%d): only the fast engine violates: %s" label
+      waves m
+  | Ok _, Error m ->
+    Alcotest.failf "%s (waves=%d): only Sim_ref violates: %s" label waves m
+
+(* Exact pins on the real workloads: every registry kernel under every
+   registered backend (baseline / slice / spill), each mapped through
+   its own occupancy and sim mode exactly as `gpr report --backend`
+   does.  Under GPR_FAST_TESTS=1 only the 2-kernel CI smoke subset
+   runs. *)
+let test_registry_equivalence () =
+  let kernels =
+    if fast_tests then
+      List.filter
+        (fun (w : W.t) -> w.name = "Hotspot" || w.name = "DWT2D")
+        Gpr_workloads.Registry.all
+    else Gpr_workloads.Registry.all
+  in
+  Alcotest.(check bool) "registry non-empty" true (kernels <> []);
+  List.iter
+    (fun (w : W.t) ->
+      let trace = W.trace w ~quantize:None in
+      let range = Range.analyze w.kernel ~launch:w.launch in
+      List.iter
+        (fun (scheme : Backend.t) ->
+          let module S = (val scheme) in
+          let res = S.analyze ~kernel:w.kernel ~range ~precision:None in
+          let occ =
+            (Backend.occupancy cfg res
+               ~warps_per_block:(W.warps_per_block w)
+               ~shared_bytes_per_block:(W.shared_bytes_per_block w))
+              .Gpr_arch.Occupancy.blocks_per_sm
+          in
+          let mode = Backend.sim_mode scheme res in
+          ignore
+            (assert_engines_agree
+               (Printf.sprintf "%s/%s" w.name S.id)
+               ~trace ~alloc:res.Backend.alloc ~blocks_per_sm:occ ~mode
+               ~waves:1))
+        Gpr_backend.Registry.all)
+    kernels
+
+(* Generated kernels: one seed exercises all three register-file modes
+   at two wave counts through both engines. *)
+let check_generated_seed seed =
+  match
+    (try
+       let case = Gen.generate seed in
+       let data = case.Gen.data () in
+       let bindings =
+         E.bindings_for case.Gen.kernel ~data ~shared:case.Gen.shared ()
+       in
+       E.run case.Gen.kernel ~launch:case.Gen.launch ~params:case.Gen.params
+         ~bindings
+         { E.default_config with collect_trace = true; max_steps = Some 500_000 }
+       |> Option.map (fun t -> (case, t))
+     with _ -> None)
+  with
+  | None -> () (* non-executing generator output: nothing to compare *)
+  | Some (case, trace) ->
+    let rt = Range.analyze case.Gen.kernel ~launch:case.Gen.launch in
+    let width_of (r : vreg) =
+      match r.ty with
+      | Pred | F32 -> 32
+      | S32 | U32 -> Range.var_bitwidth rt r.id
+    in
+    let shared_bytes =
+      4 * List.fold_left (fun acc (_, n) -> acc + n) 0 case.Gen.shared
+    in
+    let occ_of regs spill_bytes =
+      (Gpr_arch.Occupancy.compute cfg ~regs_per_thread:(max 1 regs)
+         ~warps_per_block:trace.T.warps_per_block
+         ~shared_bytes_per_block:
+           (shared_bytes + (spill_bytes * 32 * trace.T.warps_per_block)))
+        .Gpr_arch.Occupancy.blocks_per_sm
+    in
+    let alloc_base = A.baseline case.Gen.kernel in
+    let alloc_comp = A.run case.Gen.kernel ~width_of in
+    let module Sp = Gpr_backend.Backend_spill in
+    let res = Sp.analyze ~kernel:case.Gen.kernel ~range:rt ~precision:None in
+    List.iter
+      (fun waves ->
+        ignore
+          (assert_engines_agree
+             (Printf.sprintf "gen%d/baseline" seed)
+             ~trace ~alloc:alloc_base
+             ~blocks_per_sm:(occ_of alloc_base.A.pressure 0)
+             ~mode:Sim.Baseline ~waves);
+        ignore
+          (assert_engines_agree
+             (Printf.sprintf "gen%d/proposed" seed)
+             ~trace ~alloc:alloc_comp
+             ~blocks_per_sm:(occ_of alloc_comp.A.pressure 0)
+             ~mode:(Sim.Proposed { writeback_delay = 3 })
+             ~waves);
+        ignore
+          (assert_engines_agree
+             (Printf.sprintf "gen%d/spill" seed)
+             ~trace ~alloc:res.Backend.alloc
+             ~blocks_per_sm:
+               (occ_of res.Backend.alloc.A.pressure
+                  (Backend.spill_bytes_per_thread res))
+             ~mode:(Backend.sim_mode (module Sp) res)
+             ~waves))
+      [ 1; 6 ]
+
+let eq_count =
+  match Sys.getenv_opt "GPR_SIM_EQ_COUNT" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 40)
+  | None -> if fast_tests then 10 else 40
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"fast engine = Sim_ref on generated kernels"
+    ~count:eq_count
+    (QCheck.int_range 1 1_000_000)
+    (fun seed ->
+      check_generated_seed seed;
+      true)
+
+(* ---------------------------------------------------------------- *)
+(* Idle fast-forward edge cases: schedules engineered so the fast
+   engine's event-jump path (replaying frozen stall causes across
+   skipped cycles) is the dominant regime.  Each case must (a) agree
+   with Sim_ref byte-for-byte and (b) satisfy the slot identity, which
+   ~check:true also enforces inside both engines. *)
+
+let agree_checked ?cfg label ?(waves = 1) ?(blocks = 1) ?(mode = Sim.Baseline)
+    ?alloc trace =
+  let alloc = match alloc with Some a -> a | None -> full_alloc 64 in
+  let s =
+    assert_engines_agree ?cfg label ~trace ~alloc ~blocks_per_sm:blocks ~mode
+      ~waves
+  in
+  check_identity label s;
+  s
+
+let test_ffwd_empty_trace () =
+  let s = agree_checked "ffwd-empty" (mk_trace []) in
+  Alcotest.(check int) "one cycle" 1 s.Sim.cycles
+
+let test_ffwd_single_warp_barrier () =
+  (* A lone warp slamming into back-to-back barriers: every Sync must
+     release immediately (nobody else to wait for), with the dependent
+     chains between barriers driving long idle stretches that the
+     fast-forward jumps over. *)
+  let items =
+    List.concat
+      (List.init 8 (fun r ->
+           [
+             item ~dst:(2 * r) (3 * r);
+             item ~srcs:[ 2 * r ] ~dst:((2 * r) + 1) ((3 * r) + 1);
+             item ~unit_:Sync ((3 * r) + 2);
+           ]))
+  in
+  let s = agree_checked "ffwd-barrier-1warp" (mk_trace items) in
+  Alcotest.(check int) "all issued" 24 s.Sim.warp_instructions;
+  Alcotest.(check bool) "idle cycles were skipped over" true
+    (s.Sim.idle_cycles > 0)
+
+let test_ffwd_deadlock_adjacent_barrier () =
+  (* Warp 1 retires without ever reaching a Sync while warp 0 waits at
+     one: the barrier must release for warp 0 anyway (exited warps
+     cannot hold a block hostage), in both engines identically. *)
+  let w0 =
+    [ item ~warp:0 ~dst:0 0; item ~warp:0 ~unit_:Sync 1;
+      item ~warp:0 ~srcs:[ 0 ] ~dst:1 2 ]
+  in
+  let w1 = [ item ~warp:1 ~dst:8 3 ] in
+  let s =
+    agree_checked "ffwd-deadlock-adjacent"
+      (mk_trace ~warps_per_block:2 (w0 @ w1))
+  in
+  Alcotest.(check int) "all issued" 4 s.Sim.warp_instructions;
+  Alcotest.(check bool) "bounded" true (s.Sim.cycles < 10_000)
+
+let test_ffwd_same_cycle_releases () =
+  (* Two SPU writes issued by different schedulers on the same cycle
+     retire on the same cycle; a reader of both then wakes exactly
+     once.  Repeated so several scoreboard releases collide per run —
+     the retire heap must drain same-cycle events in the reference
+     engine's LIFO bucket order. *)
+  let round r =
+    [
+      item ~warp:0 ~dst:(3 * r) (10 * r);
+      item ~warp:1 ~dst:((3 * r) + 1) ((10 * r) + 1);
+      item ~warp:0
+        ~srcs:[ 3 * r; (3 * r) + 1 ]
+        ~dst:((3 * r) + 2)
+        ((10 * r) + 2);
+      item ~warp:1 ~srcs:[ (3 * r) + 2 ] ((10 * r) + 3);
+    ]
+  in
+  let items = List.concat (List.init 6 round) in
+  let s =
+    agree_checked "ffwd-same-cycle-releases"
+      (mk_trace ~warps_per_block:2 items)
+  in
+  Alcotest.(check bool) "scoreboard stalls present" true
+    (s.Sim.stall_scoreboard > 0)
+
+let test_ffwd_spill_port_saturation () =
+  (* Every register lives in the spill space behind a slow, serialising
+     port: long latencies force deep idle stretches whose frozen cause
+     must replay as Spill_port, not leak into Scoreboard or Empty. *)
+  let spilled = Hashtbl.create 8 in
+  for r = 0 to 7 do
+    Hashtbl.replace spilled r ()
+  done;
+  let items =
+    List.concat
+      (List.init 8 (fun i ->
+           let r = i mod 8 in
+           [
+             item ~dst:r (2 * i);
+             item ~srcs:[ r ] ~dst:((r + 1) mod 8) ((2 * i) + 1);
+           ]))
+  in
+  let s =
+    agree_checked "ffwd-spill-saturation"
+      ~mode:(Sim.Spill { latency = 200; spilled })
+      ~waves:2 (mk_trace items)
+  in
+  Alcotest.(check bool) "spill port saturated" true
+    (s.Sim.stall_spill_port > 0);
+  Alcotest.(check bool) "fast-forward engaged" true (s.Sim.idle_cycles > 0);
+  Alcotest.(check bool) "spill traffic" true
+    (s.Sim.spill_loads > 0 && s.Sim.spill_stores > 0)
+
+(* ---------------------------------------------------------------- *)
+(* Perf regression (tier 2; skipped under GPR_FAST_TESTS=1): re-time
+   the CI smoke subset (Hotspot + DWT2D) per backend with both engines.
+   Two gates:
+   - machine-independent: the flat engine must stay >= 2x faster than
+     the Sim_ref oracle on the same inputs (the committed BENCH_sim.json
+     records >= 5x over the full registry on the baseline host);
+   - absolute (only on the host that produced the committed
+     BENCH_sim.json): per-scheme cycles/sec must not regress more than
+     30% against the committed numbers for these kernels. *)
+
+module Json = Gpr_obs.Json
+
+let smoke_names = [ "Hotspot"; "DWT2D" ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Per-scheme (cycles, fast seconds, ref seconds) over the smoke set,
+   at the same wave count as BENCH_sim.json. *)
+let measure_smoke ~waves =
+  let kernels =
+    List.filter_map Gpr_workloads.Registry.by_name smoke_names
+  in
+  Alcotest.(check int) "smoke kernels found" (List.length smoke_names)
+    (List.length kernels);
+  List.map
+    (fun scheme ->
+      let module S = (val scheme : Backend.Scheme) in
+      let cycles = ref 0 and fast = ref 0.0 and slow = ref 0.0 in
+      List.iter
+        (fun (w : W.t) ->
+          let trace = W.trace w ~quantize:None in
+          let range = Range.analyze w.kernel ~launch:w.launch in
+          let res = S.analyze ~kernel:w.kernel ~range ~precision:None in
+          let occ =
+            (Backend.occupancy cfg res
+               ~warps_per_block:(W.warps_per_block w)
+               ~shared_bytes_per_block:(W.shared_bytes_per_block w))
+              .Gpr_arch.Occupancy.blocks_per_sm
+          in
+          let mode = Backend.sim_mode scheme res in
+          let alloc = res.Backend.alloc in
+          let f, fs =
+            time (fun () ->
+                Sim.run ~waves cfg ~trace ~alloc ~blocks_per_sm:occ ~mode)
+          in
+          let _, rs =
+            time (fun () ->
+                Sim_ref.run ~waves cfg ~trace ~alloc ~blocks_per_sm:occ ~mode)
+          in
+          cycles := !cycles + f.Sim.cycles;
+          fast := !fast +. fs;
+          slow := !slow +. rs)
+        kernels;
+      (S.id, !cycles, !fast, !slow))
+    Gpr_backend.Registry.all
+
+let json_float = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* Committed per-scheme cycles/sec restricted to the smoke kernels:
+   recomputed from the per-kernel rows, not the scheme totals, so the
+   comparison is like-for-like. *)
+let committed_smoke_rate json scheme =
+  match Json.member "schemes" json with
+  | Some (Json.Arr schemes) ->
+    List.find_map
+      (fun sj ->
+        match Json.member "scheme" sj with
+        | Some (Json.Str id) when id = scheme -> (
+          match Json.member "kernels" sj with
+          | Some (Json.Arr rows) ->
+            let cycles = ref 0 and secs = ref 0.0 and found = ref 0 in
+            List.iter
+              (fun row ->
+                match Json.member "kernel" row with
+                | Some (Json.Str k) when List.mem k smoke_names -> (
+                  match
+                    ( Json.member "cycles" row,
+                      json_float (Json.member "seconds" row) )
+                  with
+                  | Some (Json.Int c), Some s ->
+                    incr found;
+                    cycles := !cycles + c;
+                    secs := !secs +. s
+                  | _ -> ())
+                | _ -> ())
+              rows;
+            if !found = List.length smoke_names && !secs > 0.0 then
+              Some (float_of_int !cycles /. !secs)
+            else None
+          | _ -> None)
+        | _ -> None)
+      schemes
+  | _ -> None
+
+let test_sim_throughput_regression () =
+  if fast_tests then ()
+  else begin
+    let json =
+      match Json.parse_file "../BENCH_sim.json" with
+      | Ok j -> Some j
+      | Error _ | (exception Sys_error _) -> None
+    in
+    let waves =
+      match Option.bind json (Json.member "waves") with
+      | Some (Json.Int w) -> w
+      | _ -> 6
+    in
+    let measured = measure_smoke ~waves in
+    (* Gate 1: the flat engine earns its keep on any machine. *)
+    List.iter
+      (fun (id, _, fast, slow) ->
+        let speedup = if fast > 0.0 then slow /. fast else 0.0 in
+        if speedup < 2.0 then
+          Alcotest.failf
+            "%s: flat engine only %.2fx faster than Sim_ref on the smoke \
+             subset (need >= 2x)"
+            id speedup)
+      measured;
+    (* Gate 2: absolute throughput vs the committed baseline, only
+       meaningful on the machine that produced it. *)
+    match json with
+    | None -> () (* no committed baseline: gate 1 already ran *)
+    | Some json ->
+      let same_host =
+        match Json.member "host" json with
+        | Some (Json.Str h) -> h = Unix.gethostname ()
+        | _ -> false
+      in
+      if same_host then
+        List.iter
+          (fun (id, cycles, fast, _) ->
+            match committed_smoke_rate json id with
+            | None -> ()
+            | Some committed ->
+              let rate =
+                if fast > 0.0 then float_of_int cycles /. fast else 0.0
+              in
+              if rate < 0.7 *. committed then
+                Alcotest.failf
+                  "%s: %.2f Mcyc/s is a >30%% regression vs the committed \
+                   %.2f Mcyc/s"
+                  id (rate /. 1e6) (committed /. 1e6))
+          measured
+  end
+
+(* ---------------------------------------------------------------- *)
 (* End-to-end on a real kernel: occupancy helps a latency-bound kernel. *)
 
 let test_occupancy_improves_latency_bound_kernel () =
@@ -392,6 +851,29 @@ let () =
           Alcotest.test_case "cache basics" `Quick test_cache_basics;
           Alcotest.test_case "cache lru" `Quick test_cache_lru_eviction;
           Alcotest.test_case "cache reset" `Quick test_cache_hit_rate_reset;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "registry pins (all backends)" `Quick
+            test_registry_equivalence;
+          QCheck_alcotest.to_alcotest prop_engines_agree;
+        ] );
+      ( "fast-forward",
+        [
+          Alcotest.test_case "empty trace" `Quick test_ffwd_empty_trace;
+          Alcotest.test_case "single-warp barriers" `Quick
+            test_ffwd_single_warp_barrier;
+          Alcotest.test_case "deadlock-adjacent barrier" `Quick
+            test_ffwd_deadlock_adjacent_barrier;
+          Alcotest.test_case "same-cycle releases" `Quick
+            test_ffwd_same_cycle_releases;
+          Alcotest.test_case "spill-port saturation" `Quick
+            test_ffwd_spill_port_saturation;
+        ] );
+      ( "perf",
+        [
+          Alcotest.test_case "throughput regression (tier 2)" `Slow
+            test_sim_throughput_regression;
         ] );
       ( "end-to-end",
         [ Alcotest.test_case "occupancy helps" `Quick
