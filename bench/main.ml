@@ -529,7 +529,7 @@ let () =
   let cache =
     if !cache_dir = "" then None
     else begin
-      let s = Gpr_engine.Store.create ~dir:!cache_dir in
+      let s = Gpr_engine.Store.create ~dir:!cache_dir () in
       Gpr_core.Compress.set_store (Some s);
       Gpr_core.Simulate.set_store (Some s);
       Some s

@@ -71,7 +71,7 @@ let resolve_jobs n = if n <= 0 then Gpr_engine.Pool.default_jobs () else n
 let setup_store = function
   | None -> None
   | Some d ->
-    let s = Gpr_engine.Store.create ~dir:d in
+    let s = Gpr_engine.Store.create ~dir:d () in
     Compress.set_store (Some s);
     Simulate.set_store (Some s);
     Some s
@@ -526,6 +526,237 @@ let profile_cmd =
     Term.(const run $ kernel_arg $ backend_one $ trace_arg $ max_events_arg
           $ cache_dir_arg)
 
+(* ---------------- serve ---------------- *)
+
+let socket_info =
+  Arg.info [ "socket" ] ~docv:"PATH"
+    ~doc:"Unix-domain socket path the daemon listens on."
+
+let socket_req_arg = Arg.(required & opt (some string) None & socket_info)
+let socket_opt_arg = Arg.(value & opt (some string) None & socket_info)
+
+let serve_cmd =
+  let queue_depth =
+    Arg.(value & opt int 64
+         & info [ "queue-depth" ] ~docv:"D"
+             ~doc:"Admission-control bound on queued distinct work items; \
+                   past it requests are rejected with the typed \
+                   $(b,overloaded) error.")
+  in
+  let deadline =
+    Arg.(value & opt int 30_000
+         & info [ "default-deadline-ms" ] ~docv:"T"
+             ~doc:"Deadline for requests that do not carry their own \
+                   $(b,deadline_ms) field.")
+  in
+  let max_frame =
+    Arg.(value & opt int Gpr_serve.Protocol.max_frame_default
+         & info [ "max-frame-bytes" ] ~docv:"N"
+             ~doc:"Largest accepted request frame; bigger frames are \
+                   rejected without buffering the payload.")
+  in
+  let debug_sleep =
+    Arg.(value & flag
+         & info [ "debug-sleep" ]
+             ~doc:"Accept the $(b,sleep) verb (deterministic load tests \
+                   only).")
+  in
+  let cache_max_entries =
+    Arg.(value & opt (some int) None
+         & info [ "cache-max-entries" ] ~docv:"N"
+             ~doc:"Bound the on-disk cache to N entries (LRU eviction).")
+  in
+  let cache_max_bytes =
+    Arg.(value & opt (some int) None
+         & info [ "cache-max-bytes" ] ~docv:"N"
+             ~doc:"Bound the on-disk cache to N payload bytes (LRU \
+                   eviction).")
+  in
+  let run socket jobs queue_depth deadline max_frame debug_sleep cache_dir
+      cache_max_entries cache_max_bytes =
+    let store =
+      match cache_dir with
+      | None -> None
+      | Some d ->
+        let s =
+          Gpr_engine.Store.create ?max_entries:cache_max_entries
+            ?max_bytes:cache_max_bytes ~dir:d ()
+        in
+        Compress.set_store (Some s);
+        Simulate.set_store (Some s);
+        Some s
+    in
+    let workers = resolve_jobs jobs in
+    let cfg =
+      { Gpr_serve.Server.workers; queue_depth; default_deadline_ms = deadline;
+        max_frame_bytes = max_frame; store; debug_sleep }
+    in
+    Gpr_obs.Metrics.set_enabled true;
+    let t = Gpr_serve.Server.create cfg in
+    Gpr_serve.Server.install_signal_handlers t;
+    Printf.eprintf "[gpr serve: listening on %s, %d workers, queue %d]\n%!"
+      socket workers queue_depth;
+    Gpr_serve.Server.run ~socket t;
+    Printf.eprintf
+      "[gpr serve: %d received, %d completed, %d cache hits, %d coalesced, \
+       %d overloaded, %d deadline-expired]\n%!"
+      (Gpr_serve.Server.received t)
+      (Gpr_serve.Server.completed t)
+      (Gpr_serve.Server.cache_hits t)
+      (Gpr_serve.Server.coalesced t)
+      (Gpr_serve.Server.rejected_overloaded t)
+      (Gpr_serve.Server.deadline_expired t);
+    print_store_stats store
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis/simulation daemon on a Unix-domain \
+          socket.  Speaks length-prefixed JSON (plan, lint, estimate, \
+          profile, stats verbs) with a bounded request queue, duplicate \
+          coalescing, per-request deadlines and graceful SIGTERM \
+          shutdown; payloads are byte-identical to the one-shot CLI.")
+    Term.(const run $ socket_req_arg $ jobs_arg $ queue_depth
+          $ deadline $ max_frame $ debug_sleep $ cache_dir_arg
+          $ cache_max_entries $ cache_max_bytes)
+
+(* ---------------- bench ---------------- *)
+
+let bench_cmd =
+  let module Load = Gpr_serve.Load in
+  let serve_flag =
+    Arg.(value & flag
+         & info [ "serve" ]
+             ~doc:"Benchmark the serve daemon (the only mode; \
+                   microbenchmarks live in bench/).")
+  in
+  let attach =
+    Arg.(value & flag
+         & info [ "attach" ]
+             ~doc:"Use an already-running daemon at $(b,--socket) instead \
+                   of spawning one (skips the shutdown assertions).")
+  in
+  let requests =
+    Arg.(value & opt int Load.default_cfg.Load.requests
+         & info [ "requests" ] ~docv:"N" ~doc:"Total requests to replay.")
+  in
+  let concurrency =
+    Arg.(value & opt int Load.default_cfg.Load.concurrency
+         & info [ "concurrency" ] ~docv:"C"
+             ~doc:"Closed-loop client connections (one domain each).")
+  in
+  let duplicate_ratio =
+    Arg.(value & opt float Load.default_cfg.Load.duplicate_ratio
+         & info [ "duplicate-ratio" ] ~docv:"R"
+             ~doc:"Fraction of requests drawn from the hot key pool (exact \
+                   repeats); the rest are salted to force cache misses.")
+  in
+  let queue_depth =
+    Arg.(value & opt int Load.default_cfg.Load.queue_depth
+         & info [ "queue-depth" ] ~docv:"D"
+             ~doc:"Forwarded to the spawned daemon.")
+  in
+  let deadline =
+    Arg.(value & opt int Load.default_cfg.Load.deadline_ms
+         & info [ "deadline-ms" ] ~docv:"T"
+             ~doc:"Per-request deadline in the replayed stream.")
+  in
+  let kernels =
+    Arg.(value & opt (list string) Load.default_cfg.Load.kernels
+         & info [ "kernels" ] ~docv:"NAME[,NAME...]"
+             ~doc:"Registry kernels in the mix.")
+  in
+  let verbs =
+    Arg.(value & opt (list string) Load.default_cfg.Load.verbs
+         & info [ "verbs" ] ~docv:"VERB[,VERB...]"
+             ~doc:"Request verbs in the mix (plan, lint, estimate, \
+                   profile).")
+  in
+  let seed =
+    Arg.(value & opt int Load.default_cfg.Load.seed
+         & info [ "seed" ] ~docv:"N" ~doc:"Stream seed (deterministic mix).")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_serve.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Summary JSON path.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Recompute every distinct payload in-process and require \
+                   the served bytes to match exactly.")
+  in
+  let run serve_flag socket attach jobs requests concurrency duplicate_ratio
+      queue_depth deadline kernels backends verbs seed cache_dir out verify =
+    if not serve_flag then begin
+      Printf.eprintf
+        "gpr bench currently only benchmarks the daemon: pass --serve \
+         (microbenchmarks live in bench/main.exe)\n";
+      exit 2
+    end;
+    (* Resolve names eagerly for the clean unknown-name messages. *)
+    List.iter (fun k -> ignore (find_workload k)) kernels;
+    ignore (resolve_backends backends);
+    let socket =
+      match socket with
+      | Some p -> p
+      | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "gpr-serve-%d.sock" (Unix.getpid ()))
+    in
+    let cfg =
+      { Load.socket; attach; daemon_jobs = resolve_jobs jobs; queue_depth;
+        deadline_ms = deadline; cache_dir; requests; concurrency;
+        duplicate_ratio; kernels; backends; verbs; seed;
+        out = Some out; verify }
+    in
+    match Load.run cfg with
+    | Error m ->
+      Printf.eprintf "gpr bench --serve: %s\n" m;
+      exit 1
+    | Ok s ->
+      Printf.printf
+        "%d ok, %d overloaded, %d deadline-expired, %d errors over %.2fs \
+         (%.0f req/s)\n"
+        s.Load.ok s.Load.rejected s.Load.deadline_exceeded s.Load.errors
+        s.Load.wall_seconds s.Load.throughput_rps;
+      Printf.printf
+        "latency ms: p50 %.2f  p90 %.2f  p99 %.2f  mean %.2f  max %.2f\n"
+        s.Load.p50_ms s.Load.p90_ms s.Load.p99_ms s.Load.mean_ms
+        s.Load.max_ms;
+      Printf.printf "cache hit rate: %.1f%%\n"
+        (100.0 *. s.Load.cache_hit_rate);
+      (match s.Load.verified with
+       | Some true -> print_endline "verify: served payloads byte-identical"
+       | Some false -> print_endline "verify: FAILED"
+       | None -> ());
+      (match s.Load.shutdown_clean with
+       | Some true -> print_endline "shutdown: clean (exit 0, socket removed)"
+       | Some false -> print_endline "shutdown: NOT CLEAN"
+       | None -> ());
+      List.iter (Printf.printf "  error: %s\n") s.Load.error_samples;
+      Printf.printf "wrote %s\n" out;
+      let failed =
+        s.Load.errors > 0
+        || s.Load.verified = Some false
+        || s.Load.shutdown_clean = Some false
+      in
+      if failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Load-test the serve daemon: spawn it (or $(b,--attach) to one), \
+          replay a deterministic mixed request stream from concurrent \
+          clients, and report p50/p99 latency, throughput, reject and \
+          cache-hit rates to stdout and $(b,--out) (BENCH_serve.json).  \
+          Exits 1 on any transport error, payload mismatch under \
+          $(b,--verify), or unclean daemon shutdown.")
+    Term.(const run $ serve_flag $ socket_opt_arg $ attach
+          $ jobs_arg $ requests $ concurrency $ duplicate_ratio
+          $ queue_depth $ deadline $ kernels $ backend_arg $ verbs $ seed
+          $ cache_dir_arg $ out $ verify)
+
 (* ---------------- disasm ---------------- *)
 
 let disasm_cmd =
@@ -548,4 +779,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; pressure_cmd; sim_cmd; report_cmd; profile_cmd;
-            disasm_cmd; analyze_cmd; check_cmd; lint_cmd ]))
+            disasm_cmd; analyze_cmd; check_cmd; lint_cmd; serve_cmd;
+            bench_cmd ]))

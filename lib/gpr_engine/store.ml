@@ -1,8 +1,11 @@
 type t = {
   dir : string;
+  max_entries : int option;
+  max_bytes : int option;
   m : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
   mutable tmp_counter : int;
 }
 
@@ -17,20 +20,29 @@ let rec mkdir_p dir =
      | Unix.Unix_error (Unix.EEXIST, _, _) -> ())
   end
 
-let create ~dir =
+let create ?max_entries ?max_bytes ~dir () =
+  (match max_entries with
+   | Some n when n < 1 -> invalid_arg "Store.create: max_entries < 1"
+   | _ -> ());
+  (match max_bytes with
+   | Some n when n < 1 -> invalid_arg "Store.create: max_bytes < 1"
+   | _ -> ());
   mkdir_p dir;
-  { dir; m = Mutex.create (); hits = 0; misses = 0; tmp_counter = 0 }
+  { dir; max_entries; max_bytes; m = Mutex.create ();
+    hits = 0; misses = 0; evictions = 0; tmp_counter = 0 }
 
 let dir t = t.dir
 
 let hits t = Mutex.lock t.m; let h = t.hits in Mutex.unlock t.m; h
 let misses t = Mutex.lock t.m; let m = t.misses in Mutex.unlock t.m; m
+let evictions t = Mutex.lock t.m; let e = t.evictions in Mutex.unlock t.m; e
 
 let path t ~kind ~key =
   Filename.concat t.dir (kind ^ "-" ^ Fingerprint.to_hex key ^ ".bin")
 
 let m_hits = Gpr_obs.Metrics.counter "store.hits"
 let m_misses = Gpr_obs.Metrics.counter "store.misses"
+let m_evictions = Gpr_obs.Metrics.counter "store.evictions"
 
 let count_hit t =
   Gpr_obs.Metrics.incr m_hits;
@@ -39,6 +51,66 @@ let count_hit t =
 let count_miss t =
   Gpr_obs.Metrics.incr m_misses;
   Mutex.lock t.m; t.misses <- t.misses + 1; Mutex.unlock t.m
+
+let bounded t = t.max_entries <> None || t.max_bytes <> None
+
+(* LRU recency is tracked through entry mtimes: a hit bumps the file's
+   mtime to now, so the oldest mtime is the least recently used entry.
+   Only done for bounded stores — unbounded ones keep the read path
+   syscall-free. *)
+let touch file =
+  try Unix.utimes file 0.0 0.0 with Unix.Unix_error _ -> ()
+
+let is_entry name =
+  Filename.check_suffix name ".bin"
+  && not (String.length name >= 4 && String.sub name 0 4 = ".tmp")
+
+(* Evict oldest-first until both caps hold.  The newest entry is never
+   evicted, so a single value larger than [max_bytes] still caches (the
+   store accelerates repeats; dropping what was just written would turn
+   the cap into a correctness cliff).  Runs under the store mutex so
+   concurrent adders in this process don't double-evict; concurrent
+   processes may both scan, but unlink of a missing file is ignored. *)
+let enforce_caps t =
+  if bounded t then begin
+    let entries =
+      match Sys.readdir t.dir with
+      | exception Sys_error _ -> [||]
+      | names ->
+        Array.to_list names
+        |> List.filter_map (fun name ->
+            if not (is_entry name) then None
+            else
+              let file = Filename.concat t.dir name in
+              match Unix.stat file with
+              | exception Unix.Unix_error _ -> None
+              | st when st.Unix.st_kind = Unix.S_REG ->
+                Some (file, st.Unix.st_mtime, st.Unix.st_size)
+              | _ -> None)
+        |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+        |> Array.of_list
+    in
+    let n = Array.length entries in
+    let total = Array.fold_left (fun a (_, _, sz) -> a + sz) 0 entries in
+    let over i left bytes =
+      i < n - 1  (* keep the newest entry *)
+      && ((match t.max_entries with Some c -> left > c | None -> false)
+          || (match t.max_bytes with Some c -> bytes > c | None -> false))
+    in
+    Mutex.lock t.m;
+    let i = ref 0 and left = ref n and bytes = ref total in
+    while over !i !left !bytes do
+      let file, _, sz = entries.(!i) in
+      (match Unix.unlink file with
+       | () -> t.evictions <- t.evictions + 1;
+         Gpr_obs.Metrics.incr m_evictions
+       | exception Unix.Unix_error _ -> ());
+      left := !left - 1;
+      bytes := !bytes - sz;
+      incr i
+    done;
+    Mutex.unlock t.m
+  end
 
 let read_entry file =
   match open_in_bin file with
@@ -69,8 +141,11 @@ let read_entry file =
     r
 
 let find t ~kind ~key =
-  match read_entry (path t ~kind ~key) with
-  | Some v -> count_hit t; Some v
+  let file = path t ~kind ~key in
+  match read_entry file with
+  | Some v ->
+    if bounded t then touch file;
+    count_hit t; Some v
   | None -> count_miss t; None
 
 let fresh_tmp t =
@@ -83,7 +158,7 @@ let fresh_tmp t =
 
 let add t ~kind ~key v =
   let tmp = fresh_tmp t in
-  match open_out_bin tmp with
+  (match open_out_bin tmp with
   | exception Sys_error _ -> ()
   | oc ->
     (match
@@ -99,7 +174,8 @@ let add t ~kind ~key v =
      | () -> ()
      | exception Sys_error _ ->
        close_out_noerr oc;
-       (try Sys.remove tmp with Sys_error _ -> ()))
+       (try Sys.remove tmp with Sys_error _ -> ())));
+  enforce_caps t
 
 let memoize store ~kind ~key f =
   match store with

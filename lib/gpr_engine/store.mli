@@ -22,8 +22,16 @@
 
 type t
 
-val create : dir:string -> t
-(** Creates [dir] (and missing parents) on first use. *)
+val create : ?max_entries:int -> ?max_bytes:int -> dir:string -> unit -> t
+(** Creates [dir] (and missing parents) on first use.
+
+    When either cap is given the store is bounded: a hit bumps the
+    entry's file mtime (LRU recency), and after every {!add} entries are
+    evicted oldest-mtime-first until at most [max_entries] files totalling
+    at most [max_bytes] remain.  The newest entry is never evicted, so a
+    value larger than [max_bytes] still caches.  Unbounded stores (the
+    default) keep the previous syscall-free read path.
+    @raise Invalid_argument if a cap is < 1. *)
 
 val dir : t -> string
 
@@ -44,3 +52,7 @@ val hits : t -> int
 val misses : t -> int
 (** Counters over {!find}/{!memoize} calls ({!add}-only paths do not
     count).  A warm rerun of the same pipeline reports all hits. *)
+
+val evictions : t -> int
+(** Entries removed by cap enforcement in this process (always 0 for
+    unbounded stores). *)

@@ -1,0 +1,59 @@
+module J = Gpr_obs.Json
+module P = Protocol
+
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let of_fd fd = { fd; open_ = true }
+
+let connect ?(retries = 0) path =
+  let rec go n =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok (of_fd fd)
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if n > 0 then begin
+        Unix.sleepf 0.02;
+        go (n - 1)
+      end
+      else
+        Error
+          (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+  in
+  go retries
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_raw t payload = P.write_frame t.fd payload
+
+let send t req = send_raw t (J.to_string (P.request_to_json req))
+
+let recv ?timeout_s t =
+  match
+    P.read_frame ?timeout_s ~max_bytes:P.max_frame_default t.fd
+  with
+  | `Eof -> `Eof
+  | `Timeout -> `Timeout
+  | `Oversized n -> `Bad (Printf.sprintf "oversized response frame (%d bytes)" n)
+  | `Frame f -> (
+    match J.parse f with
+    | Error e -> `Bad ("response is not JSON: " ^ e)
+    | Ok j -> (
+      match P.response_of_json j with
+      | Ok r -> `Response r
+      | Error e -> `Bad e))
+
+let call ?timeout_s t req =
+  match send t req with
+  | () -> (
+    match recv ?timeout_s t with
+    | `Response r -> Ok r
+    | `Eof -> Error "connection closed by server"
+    | `Timeout -> Error "timed out waiting for response"
+    | `Bad m -> Error m)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("send: " ^ Unix.error_message e)

@@ -1,0 +1,29 @@
+(** Blocking client for the [gpr serve] protocol: one stream socket,
+    one outstanding request at a time (the load generator runs many
+    clients for concurrency). *)
+
+type t
+
+val connect : ?retries:int -> string -> (t, string) result
+(** Connect to a Unix socket path, retrying [retries] times at 20 ms
+    intervals while the daemon comes up (default 0). *)
+
+val of_fd : Unix.file_descr -> t
+(** Wrap a pre-connected socket (e.g. a socketpair end). *)
+
+val close : t -> unit
+
+val send : t -> Protocol.request -> unit
+val send_raw : t -> string -> unit
+(** Send an arbitrary payload as one frame (malformed-input tests). *)
+
+val recv :
+  ?timeout_s:float -> t ->
+  [ `Response of Protocol.response | `Eof | `Timeout | `Bad of string ]
+(** Read the next response frame.  [`Bad] covers frames that are not
+    valid responses (and oversized frames). *)
+
+val call :
+  ?timeout_s:float -> t -> Protocol.request ->
+  (Protocol.response, string) result
+(** {!send} then {!recv}, failing on EOF/timeout/garbage. *)

@@ -1,0 +1,454 @@
+module J = Gpr_obs.Json
+module P = Protocol
+module Rng = Gpr_util.Rng
+module Stats = Gpr_util.Stats
+
+type cfg = {
+  socket : string;
+  attach : bool;
+  daemon_jobs : int;
+  queue_depth : int;
+  deadline_ms : int;
+  cache_dir : string option;
+  requests : int;
+  concurrency : int;
+  duplicate_ratio : float;
+  kernels : string list;
+  backends : string list;
+  verbs : string list;
+  seed : int;
+  out : string option;
+  verify : bool;
+}
+
+let default_cfg =
+  {
+    socket = "";
+    attach = false;
+    daemon_jobs = 4;
+    queue_depth = 64;
+    deadline_ms = 30_000;
+    cache_dir = None;
+    requests = 1000;
+    concurrency = 8;
+    duplicate_ratio = 0.8;
+    kernels = [ "Hotspot"; "DWT2D" ];
+    backends = [ "baseline"; "slice"; "spill" ];
+    verbs = [ "estimate"; "plan"; "lint"; "profile" ];
+    seed = 1;
+    out = None;
+    verify = false;
+  }
+
+type summary = {
+  ok : int;
+  rejected : int;
+  deadline_exceeded : int;
+  errors : int;
+  error_samples : string list;
+  wall_seconds : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  max_ms : float;
+  cache_hit_rate : float;
+  verified : bool option;
+  shutdown_clean : bool option;
+  server_stats : J.t;
+}
+
+(* ---------------- request stream ---------------- *)
+
+(* A template is a request sans id/tag; duplicates share a template and
+   an empty tag (one hot key), unique requests get a per-index tag so
+   they can never be served from the response cache. *)
+let templates cfg =
+  List.concat_map
+    (fun verb ->
+      match verb with
+      | "estimate" | "profile" ->
+        List.concat_map
+          (fun k ->
+            List.map
+              (fun b -> P.request ~id:1 ~kernel:k ~backend:b verb)
+              cfg.backends)
+          cfg.kernels
+      | "plan" | "lint" ->
+        List.map (fun k -> P.request ~id:1 ~kernel:k verb) cfg.kernels
+      | other -> invalid_arg ("gpr bench --serve: unsupported verb " ^ other))
+    cfg.verbs
+
+let stream cfg =
+  let ts = Array.of_list (templates cfg) in
+  if Array.length ts = 0 then
+    invalid_arg "gpr bench --serve: empty kernel/backend/verb mix";
+  let rng = Rng.create (if cfg.seed = 0 then 1 else cfg.seed) in
+  List.init cfg.requests (fun i ->
+      let t = ts.(Rng.int rng (Array.length ts)) in
+      let tag =
+        if Rng.uniform rng < cfg.duplicate_ratio then ""
+        else Printf.sprintf "u%d" i
+      in
+      { t with P.q_id = i + 1; q_tag = tag;
+               q_deadline_ms = Some cfg.deadline_ms })
+
+(* ---------------- per-client replay ---------------- *)
+
+type client_result = {
+  mutable c_ok : int;
+  mutable c_rejected : int;
+  mutable c_deadline : int;
+  mutable c_errors : int;
+  mutable c_error_samples : string list;
+  mutable c_latencies_ms : float list;
+  c_payloads : (string, string) Hashtbl.t;
+      (* key -> first payload seen; duplicates must match byte for byte *)
+  mutable c_mismatch : string option;
+}
+
+let request_key (r : P.request) =
+  (* Mirrors the server's keying: Work.key of the resolved work plus the
+     tag.  Resolution cannot fail here: templates only name registry
+     kernels and registered backends. *)
+  match Work.resolve r with
+  | Ok w -> Work.key w ^ (if r.P.q_tag = "" then "" else "#" ^ r.P.q_tag)
+  | Error e -> invalid_arg ("gpr bench --serve: " ^ e.P.e_message)
+
+let run_client ~socket ~timeout_s reqs =
+  let res =
+    {
+      c_ok = 0;
+      c_rejected = 0;
+      c_deadline = 0;
+      c_errors = 0;
+      c_error_samples = [];
+      c_latencies_ms = [];
+      c_payloads = Hashtbl.create 64;
+      c_mismatch = None;
+    }
+  in
+  let fail msg =
+    res.c_errors <- res.c_errors + 1;
+    if List.length res.c_error_samples < 5 then
+      res.c_error_samples <- msg :: res.c_error_samples
+  in
+  match Client.connect ~retries:250 socket with
+  | Error m ->
+    fail m;
+    res
+  | Ok cl ->
+    List.iter
+      (fun (req : P.request) ->
+        let t0 = Unix.gettimeofday () in
+        match Client.call ~timeout_s cl req with
+        | Error m -> fail (Printf.sprintf "id %d: %s" req.P.q_id m)
+        | Ok resp ->
+          let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          if resp.P.s_id <> req.P.q_id then
+            fail
+              (Printf.sprintf "id mismatch: sent %d, got %d" req.P.q_id
+                 resp.P.s_id)
+          else (
+            res.c_latencies_ms <- dt :: res.c_latencies_ms;
+            match resp.P.s_result with
+            | Ok payload ->
+              res.c_ok <- res.c_ok + 1;
+              let key = request_key req in
+              let bytes = J.to_string payload in
+              (match Hashtbl.find_opt res.c_payloads key with
+              | None -> Hashtbl.replace res.c_payloads key bytes
+              | Some prev ->
+                if prev <> bytes && res.c_mismatch = None then
+                  res.c_mismatch <-
+                    Some
+                      (Printf.sprintf
+                         "duplicate responses for %s differ (%d vs %d bytes)"
+                         key (String.length prev) (String.length bytes)))
+            | Error { P.e_code = P.Overloaded; _ } ->
+              res.c_rejected <- res.c_rejected + 1
+            | Error { P.e_code = P.Deadline_exceeded; _ } ->
+              res.c_deadline <- res.c_deadline + 1
+            | Error e ->
+              fail
+                (Printf.sprintf "id %d: %s: %s" req.P.q_id
+                   (P.code_to_string e.P.e_code)
+                   e.P.e_message)))
+      reqs;
+    Client.close cl;
+    res
+
+(* ---------------- daemon lifecycle ---------------- *)
+
+let spawn_daemon cfg =
+  let args =
+    [
+      "serve"; "--socket"; cfg.socket;
+      "-j"; string_of_int cfg.daemon_jobs;
+      "--queue-depth"; string_of_int cfg.queue_depth;
+      "--default-deadline-ms"; string_of_int cfg.deadline_ms;
+    ]
+    @ match cfg.cache_dir with None -> [] | Some d -> [ "--cache-dir"; d ]
+  in
+  let argv = Array.of_list (Sys.executable_name :: args) in
+  (* The daemon's stdout goes to our stderr so the bench's stdout stays
+     a clean summary. *)
+  Unix.create_process Sys.executable_name argv Unix.stdin Unix.stderr
+    Unix.stderr
+
+let terminate_daemon cfg pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec wait () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        false
+      end
+      else begin
+        Unix.sleepf 0.02;
+        wait ()
+      end
+    | _, Unix.WEXITED 0 -> true
+    | _, _ -> false
+    | exception Unix.Unix_error _ -> false
+  in
+  let exited_clean = wait () in
+  exited_clean && not (Sys.file_exists cfg.socket)
+
+(* ---------------- verification ---------------- *)
+
+(* Byte-identical to the one-shot pipeline: recompute every distinct
+   payload in-process through the same Work.run the daemon uses. *)
+let verify_payloads payloads =
+  let bad = ref None in
+  Hashtbl.iter
+    (fun key (req, bytes) ->
+      if !bad = None then
+        match Work.resolve req with
+        | Error e -> bad := Some (key ^ ": " ^ e.P.e_message)
+        | Ok w ->
+          let local = J.to_string (Work.run w) in
+          if local <> bytes then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "%s: served payload differs from one-shot pipeline (%d vs \
+                    %d bytes)"
+                   key (String.length local) (String.length bytes)))
+    payloads;
+  !bad
+
+(* ---------------- summary ---------------- *)
+
+let member_int name j ~default =
+  match J.member name j with Some (J.Int n) -> n | _ -> default
+
+let summary_to_json cfg s =
+  let r3 f = J.Float (Float.round (f *. 1000.0) /. 1000.0) in
+  J.Obj
+    [
+      ("requests", J.Int cfg.requests);
+      ("concurrency", J.Int cfg.concurrency);
+      ("duplicate_ratio", J.Float cfg.duplicate_ratio);
+      ("deadline_ms", J.Int cfg.deadline_ms);
+      ("queue_depth", J.Int cfg.queue_depth);
+      ("daemon_jobs", J.Int cfg.daemon_jobs);
+      ("kernels", J.Arr (List.map (fun k -> J.Str k) cfg.kernels));
+      ("backends", J.Arr (List.map (fun b -> J.Str b) cfg.backends));
+      ("verbs", J.Arr (List.map (fun v -> J.Str v) cfg.verbs));
+      ("ok", J.Int s.ok);
+      ("rejected", J.Int s.rejected);
+      ("deadline_exceeded", J.Int s.deadline_exceeded);
+      ("errors", J.Int s.errors);
+      ("wall_seconds", r3 s.wall_seconds);
+      ("throughput_rps", r3 s.throughput_rps);
+      ( "latency_ms",
+        J.Obj
+          [
+            ("p50", r3 s.p50_ms);
+            ("p90", r3 s.p90_ms);
+            ("p99", r3 s.p99_ms);
+            ("mean", r3 s.mean_ms);
+            ("max", r3 s.max_ms);
+          ] );
+      ("cache_hit_rate", r3 s.cache_hit_rate);
+      ( "verified",
+        match s.verified with None -> J.Null | Some b -> J.Bool b );
+      ( "shutdown_clean",
+        match s.shutdown_clean with None -> J.Null | Some b -> J.Bool b );
+      ("server", s.server_stats);
+    ]
+
+let run cfg =
+  if cfg.requests <= 0 || cfg.concurrency <= 0 then
+    Error "requests and concurrency must be positive"
+  else begin
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let reqs = stream cfg in
+    let daemon = if cfg.attach then None else Some (spawn_daemon cfg) in
+    (* Probe until the daemon answers a ping. *)
+    let ready =
+      match Client.connect ~retries:500 cfg.socket with
+      | Error m -> Error m
+      | Ok cl -> (
+        match Client.call ~timeout_s:10.0 cl (P.request ~id:1 "ping") with
+        | Ok { P.s_result = Ok _; _ } ->
+          Client.close cl;
+          Ok ()
+        | Ok { P.s_result = Error e; _ } ->
+          Client.close cl;
+          Error ("daemon ping failed: " ^ e.P.e_message)
+        | Error m ->
+          Client.close cl;
+          Error ("daemon ping failed: " ^ m))
+    in
+    match ready with
+    | Error m ->
+      Option.iter (fun pid -> ignore (terminate_daemon cfg pid)) daemon;
+      Error m
+    | Ok () ->
+      (* Shard round-robin so every client sees the duplicate mix. *)
+      let shards = Array.make cfg.concurrency [] in
+      List.iteri
+        (fun i r -> shards.(i mod cfg.concurrency) <- r :: shards.(i mod cfg.concurrency))
+        reqs;
+      Array.iteri (fun i l -> shards.(i) <- List.rev l) shards;
+      let timeout_s =
+        Float.max 30.0 (float_of_int cfg.deadline_ms /. 1000.0 *. 4.0)
+      in
+      let t0 = Unix.gettimeofday () in
+      let domains =
+        Array.map
+          (fun shard ->
+            Domain.spawn (fun () ->
+                run_client ~socket:cfg.socket ~timeout_s shard))
+          shards
+      in
+      let results = Array.map Domain.join domains in
+      let wall = Unix.gettimeofday () -. t0 in
+      (* Server-side stats snapshot before shutdown. *)
+      let server_stats =
+        match Client.connect ~retries:10 cfg.socket with
+        | Error _ -> J.Null
+        | Ok cl ->
+          let s =
+            match
+              Client.call ~timeout_s:10.0 cl (P.request ~id:999_999 "stats")
+            with
+            | Ok { P.s_result = Ok j; _ } -> j
+            | _ -> J.Null
+          in
+          Client.close cl;
+          s
+      in
+      let shutdown_clean =
+        Option.map (fun pid -> terminate_daemon cfg pid) daemon
+      in
+      (* Merge. *)
+      let sum f = Array.fold_left (fun a r -> a + f r) 0 results in
+      let ok = sum (fun r -> r.c_ok) in
+      let rejected = sum (fun r -> r.c_rejected) in
+      let deadline = sum (fun r -> r.c_deadline) in
+      let errors = sum (fun r -> r.c_errors) in
+      let error_samples =
+        Array.to_list results
+        |> List.concat_map (fun r -> List.rev r.c_error_samples)
+      in
+      let errors, error_samples =
+        let mism =
+          Array.to_list results |> List.filter_map (fun r -> r.c_mismatch)
+        in
+        (errors + List.length mism, error_samples @ mism)
+      in
+      let lats =
+        Array.to_list results |> List.concat_map (fun r -> r.c_latencies_ms)
+      in
+      let pc p = if lats = [] then 0.0 else Stats.percentile lats p in
+      (* Cross-client payload consistency + distinct payloads for
+         verification. *)
+      let merged = Hashtbl.create 64 in
+      let req_by_key = Hashtbl.create 64 in
+      List.iter
+        (fun (r : P.request) ->
+          let key = request_key r in
+          if not (Hashtbl.mem req_by_key key) then
+            Hashtbl.replace req_by_key key r)
+        reqs;
+      let cross_mismatch = ref None in
+      Array.iter
+        (fun r ->
+          Hashtbl.iter
+            (fun key bytes ->
+              match Hashtbl.find_opt merged key with
+              | None -> Hashtbl.replace merged key bytes
+              | Some prev ->
+                if prev <> bytes && !cross_mismatch = None then
+                  cross_mismatch :=
+                    Some ("clients saw different payloads for " ^ key))
+            r.c_payloads)
+        results;
+      let errors, error_samples =
+        match !cross_mismatch with
+        | None -> (errors, error_samples)
+        | Some m -> (errors + 1, error_samples @ [ m ])
+      in
+      let verified =
+        if not cfg.verify then None
+        else begin
+          let to_check = Hashtbl.create 64 in
+          Hashtbl.iter
+            (fun key bytes ->
+              match Hashtbl.find_opt req_by_key key with
+              | Some req -> Hashtbl.replace to_check key (req, bytes)
+              | None -> ())
+            merged;
+          match verify_payloads to_check with
+          | None -> Some true
+          | Some m ->
+            prerr_endline ("[gpr bench --serve: verify failed: " ^ m ^ "]");
+            Some false
+        end
+      in
+      let hit_rate =
+        let hits = member_int "cache_hits" server_stats ~default:0 in
+        let coal = member_int "coalesced" server_stats ~default:0 in
+        let enq = member_int "enqueued" server_stats ~default:0 in
+        let keyed = hits + coal + enq in
+        if keyed = 0 then 0.0
+        else float_of_int (hits + coal) /. float_of_int keyed
+      in
+      let s =
+        {
+          ok;
+          rejected;
+          deadline_exceeded = deadline;
+          errors;
+          error_samples =
+            (let rec take n = function
+               | [] -> []
+               | _ when n = 0 -> []
+               | x :: tl -> x :: take (n - 1) tl
+             in
+             take 8 error_samples);
+          wall_seconds = wall;
+          throughput_rps =
+            (if wall > 0.0 then float_of_int (List.length lats) /. wall
+             else 0.0);
+          p50_ms = pc 50.0;
+          p90_ms = pc 90.0;
+          p99_ms = pc 99.0;
+          mean_ms = (if lats = [] then 0.0 else Stats.mean lats);
+          max_ms = (if lats = [] then 0.0 else snd (Stats.min_max lats));
+          cache_hit_rate = hit_rate;
+          verified;
+          shutdown_clean;
+          server_stats;
+        }
+      in
+      Option.iter (fun path -> J.write_file path (summary_to_json cfg s)) cfg.out;
+      Ok s
+  end

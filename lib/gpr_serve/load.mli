@@ -1,0 +1,61 @@
+(** Load generator for the serve daemon ([gpr bench --serve]).
+
+    Builds a deterministic mixed request stream (kernels x backends x
+    verbs, with a configurable fraction of exact duplicates), replays
+    it from [concurrency] closed-loop client connections (one domain
+    each), and reports exact p50/p99 latency, throughput, reject and
+    cache-hit rates plus the server's own [stats] snapshot, optionally
+    written to BENCH_serve.json.
+
+    Unless [attach] is set it spawns the daemon itself (re-executing
+    the running binary with the [serve] verb), and at the end sends it
+    SIGTERM and asserts the graceful-shutdown contract: exit status 0
+    and the socket file removed. *)
+
+type cfg = {
+  socket : string;
+  attach : bool;           (** use an already-running daemon at [socket] *)
+  daemon_jobs : int;       (** spawned daemon: worker count *)
+  queue_depth : int;       (** spawned daemon: admission-control depth *)
+  deadline_ms : int;       (** per-request deadline in the stream *)
+  cache_dir : string option;  (** forwarded to the spawned daemon *)
+  requests : int;
+  concurrency : int;
+  duplicate_ratio : float; (** fraction of requests that repeat a hot key *)
+  kernels : string list;
+  backends : string list;
+  verbs : string list;     (** drawn from plan/lint/estimate/profile *)
+  seed : int;
+  out : string option;     (** write BENCH_serve.json here *)
+  verify : bool;
+      (** recompute every distinct payload in-process through {!Work.run}
+          and require byte-identical serve results *)
+}
+
+val default_cfg : cfg
+
+type summary = {
+  ok : int;
+  rejected : int;            (** typed [overloaded] responses *)
+  deadline_exceeded : int;
+  errors : int;              (** transport or unexpected protocol errors *)
+  error_samples : string list;
+  wall_seconds : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  max_ms : float;
+  cache_hit_rate : float;
+      (** (cache hits + coalesced) / keyed requests, from server stats *)
+  verified : bool option;    (** None when [verify] is off *)
+  shutdown_clean : bool option;  (** None when [attach] *)
+  server_stats : Gpr_obs.Json.t;
+}
+
+val run : cfg -> (summary, string) result
+(** Fails on setup problems (daemon did not come up, connect failures);
+    per-request failures are counted in the summary instead. *)
+
+val summary_to_json : cfg -> summary -> Gpr_obs.Json.t

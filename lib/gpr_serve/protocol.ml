@@ -1,0 +1,249 @@
+module J = Gpr_obs.Json
+
+type error_code =
+  | Overloaded
+  | Deadline_exceeded
+  | Unknown_kernel
+  | Unknown_backend
+  | Bad_request
+  | Parse_error
+  | Oversized_frame
+  | Shutting_down
+  | Internal
+
+let codes =
+  [
+    (Overloaded, "overloaded");
+    (Deadline_exceeded, "deadline_exceeded");
+    (Unknown_kernel, "unknown_kernel");
+    (Unknown_backend, "unknown_backend");
+    (Bad_request, "bad_request");
+    (Parse_error, "parse_error");
+    (Oversized_frame, "oversized_frame");
+    (Shutting_down, "shutting_down");
+    (Internal, "internal");
+  ]
+
+let code_to_string c = List.assoc c codes
+let code_of_string s =
+  List.find_map (fun (c, n) -> if n = s then Some c else None) codes
+
+type error = { e_code : error_code; e_message : string }
+
+type request = {
+  q_id : int;
+  q_verb : string;
+  q_kernel : string option;
+  q_source : string option;
+  q_block : int;
+  q_grid : int;
+  q_backend : string option;
+  q_deadline_ms : int option;
+  q_sleep_ms : int;
+  q_tag : string;
+}
+
+let request ?kernel ?source ?(block = 256) ?(grid = 16) ?backend ?deadline_ms
+    ?(sleep_ms = 0) ?(tag = "") ~id verb =
+  {
+    q_id = id;
+    q_verb = verb;
+    q_kernel = kernel;
+    q_source = source;
+    q_block = block;
+    q_grid = grid;
+    q_backend = backend;
+    q_deadline_ms = deadline_ms;
+    q_sleep_ms = sleep_ms;
+    q_tag = tag;
+  }
+
+type response = {
+  s_id : int;
+  s_result : (J.t, error) result;
+}
+
+let request_to_json r =
+  let opt k = function None -> [] | Some v -> [ (k, J.Str v) ] in
+  J.Obj
+    ([ ("id", J.Int r.q_id); ("verb", J.Str r.q_verb) ]
+    @ opt "kernel" r.q_kernel
+    @ opt "source" r.q_source
+    @ (if r.q_source <> None then
+         [ ("block", J.Int r.q_block); ("grid", J.Int r.q_grid) ]
+       else [])
+    @ opt "backend" r.q_backend
+    @ (match r.q_deadline_ms with
+      | None -> []
+      | Some d -> [ ("deadline_ms", J.Int d) ])
+    @ (if r.q_sleep_ms > 0 then [ ("sleep_ms", J.Int r.q_sleep_ms) ] else [])
+    @ if r.q_tag <> "" then [ ("tag", J.Str r.q_tag) ] else [])
+
+let int_member k j =
+  match J.member k j with
+  | Some (J.Int n) -> Some n
+  | _ -> None
+
+let str_member k j =
+  match J.member k j with
+  | Some (J.Str s) -> Some s
+  | _ -> None
+
+let request_of_json j =
+  match j with
+  | J.Obj _ -> (
+    match (int_member "id" j, str_member "verb" j) with
+    | None, _ -> Error "missing or non-integer \"id\""
+    | Some id, _ when id <= 0 -> Error "\"id\" must be positive"
+    | _, None -> Error "missing or non-string \"verb\""
+    | Some id, Some verb ->
+      Ok
+        {
+          q_id = id;
+          q_verb = verb;
+          q_kernel = str_member "kernel" j;
+          q_source = str_member "source" j;
+          q_block = Option.value (int_member "block" j) ~default:256;
+          q_grid = Option.value (int_member "grid" j) ~default:16;
+          q_backend = str_member "backend" j;
+          q_deadline_ms = int_member "deadline_ms" j;
+          q_sleep_ms = Option.value (int_member "sleep_ms" j) ~default:0;
+          q_tag = Option.value (str_member "tag" j) ~default:"";
+        })
+  | _ -> Error "request must be a JSON object"
+
+let response_to_json r =
+  match r.s_result with
+  | Ok payload ->
+    J.Obj [ ("id", J.Int r.s_id); ("ok", J.Bool true); ("result", payload) ]
+  | Error e ->
+    J.Obj
+      [
+        ("id", J.Int r.s_id);
+        ("ok", J.Bool false);
+        ( "error",
+          J.Obj
+            [
+              ("code", J.Str (code_to_string e.e_code));
+              ("message", J.Str e.e_message);
+            ] );
+      ]
+
+let response_of_json j =
+  match (int_member "id" j, J.member "ok" j) with
+  | Some id, Some (J.Bool true) -> (
+    match J.member "result" j with
+    | Some payload -> Ok { s_id = id; s_result = Ok payload }
+    | None -> Error "ok response without \"result\"")
+  | Some id, Some (J.Bool false) -> (
+    match J.member "error" j with
+    | Some e -> (
+      match (str_member "code" e, str_member "message" e) with
+      | Some code, Some msg -> (
+        match code_of_string code with
+        | Some c -> Ok { s_id = id; s_result = Error { e_code = c; e_message = msg } }
+        | None -> Error ("unknown error code " ^ code))
+      | _ -> Error "error object missing code/message")
+    | None -> Error "error response without \"error\"")
+  | _ -> Error "response missing id/ok"
+
+(* ---------------- framing ---------------- *)
+
+let max_frame_default = 1 lsl 20
+
+let encode_frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  b
+
+type decoder = {
+  max_bytes : int;
+  buf : Buffer.t;
+  mutable off : int;  (* consumed prefix of [buf] *)
+  mutable dead : bool;
+}
+
+let decoder ~max_bytes = { max_bytes; buf = Buffer.create 4096; off = 0; dead = false }
+
+let feed d bytes n = Buffer.add_subbytes d.buf bytes 0 n
+
+let compact d =
+  (* Drop the consumed prefix once it dominates the buffer. *)
+  if d.off > 65536 && d.off * 2 > Buffer.length d.buf then begin
+    let rest = Buffer.sub d.buf d.off (Buffer.length d.buf - d.off) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.off <- 0
+  end
+
+let next d =
+  if d.dead then `Await
+  else begin
+    let avail = Buffer.length d.buf - d.off in
+    if avail < 4 then `Await
+    else begin
+      let byte i = Char.code (Buffer.nth d.buf (d.off + i)) in
+      let len =
+        (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+      in
+      if len > d.max_bytes then begin
+        d.dead <- true;
+        `Oversized len
+      end
+      else if avail < 4 + len then `Await
+      else begin
+        let frame = Buffer.sub d.buf (d.off + 4) len in
+        d.off <- d.off + 4 + len;
+        compact d;
+        `Frame frame
+      end
+    end
+  end
+
+(* ---------------- blocking helpers ---------------- *)
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n = Unix.write fd b off len in
+    write_all fd b (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let b = encode_frame payload in
+  write_all fd b 0 (Bytes.length b)
+
+let read_frame ?timeout_s ~max_bytes fd =
+  let deadline =
+    Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s
+  in
+  let d = decoder ~max_bytes in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match next d with
+    | `Frame f -> `Frame f
+    | `Oversized n -> `Oversized n
+    | `Await -> (
+      let timed_out =
+        match deadline with
+        | None -> false
+        | Some dl ->
+          let left = dl -. Unix.gettimeofday () in
+          left <= 0.0
+          ||
+          (match Unix.select [ fd ] [] [] left with
+           | [], _, _ -> true
+           | _ -> false
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> false)
+      in
+      if timed_out then `Timeout
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> `Eof
+        | n ->
+          feed d chunk n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()

@@ -1,0 +1,104 @@
+(** Wire protocol of the [gpr serve] daemon.
+
+    Framing: every message — request or response — is one length-prefixed
+    JSON document: a 4-byte big-endian unsigned payload length followed
+    by that many bytes of JSON rendered by {!Gpr_obs.Json}.  A frame
+    whose declared length exceeds the receiver's limit is rejected
+    without buffering the payload ({!error_code.Oversized_frame}).
+
+    Requests:
+    {v
+      {"id":1,"verb":"estimate","kernel":"Hotspot","backend":"slice",
+       "deadline_ms":500}
+      {"id":2,"verb":"plan","source":".entry ...","block":256,"grid":16}
+      {"id":3,"verb":"stats"}
+    v}
+
+    Responses:
+    {v
+      {"id":1,"ok":true,"result":{...}}
+      {"id":1,"ok":false,"error":{"code":"overloaded","message":"..."}}
+    v}
+
+    Every well-formed request receives exactly one response carrying the
+    request's [id]; frame- or parse-level failures are answered with an
+    error response with [id] 0 (the reserved id well-behaved clients
+    never use). *)
+
+(** Typed protocol errors.  [code] strings on the wire are the
+    lower-snake-case names below. *)
+type error_code =
+  | Overloaded          (** admission control: request queue full *)
+  | Deadline_exceeded   (** deadline passed while queued or mid-pipeline *)
+  | Unknown_kernel      (** kernel name not in the workload registry *)
+  | Unknown_backend     (** scheme name not in the backend registry *)
+  | Bad_request         (** structurally valid JSON, invalid request *)
+  | Parse_error         (** frame payload is not valid JSON *)
+  | Oversized_frame     (** declared frame length above the limit *)
+  | Shutting_down       (** daemon is draining after SIGTERM *)
+  | Internal            (** unexpected exception in the pipeline *)
+
+val code_to_string : error_code -> string
+val code_of_string : string -> error_code option
+
+type error = { e_code : error_code; e_message : string }
+
+type request = {
+  q_id : int;                   (** client-chosen, echoed in the response; > 0 *)
+  q_verb : string;              (** plan | lint | estimate | profile | stats | ping | sleep *)
+  q_kernel : string option;     (** registry kernel name *)
+  q_source : string option;     (** inline mini-PTX source (plan/lint) *)
+  q_block : int;                (** inline launch: threads per block *)
+  q_grid : int;                 (** inline launch: blocks *)
+  q_backend : string option;    (** scheme name; default slice *)
+  q_deadline_ms : int option;   (** per-request deadline; server default if absent *)
+  q_sleep_ms : int;             (** sleep verb only (load tests) *)
+  q_tag : string;               (** opaque salt mixed into the work key *)
+}
+
+val request : ?kernel:string -> ?source:string -> ?block:int -> ?grid:int ->
+  ?backend:string -> ?deadline_ms:int -> ?sleep_ms:int -> ?tag:string ->
+  id:int -> string -> request
+(** [request ~id verb] with optional fields defaulted as on the wire. *)
+
+type response = {
+  s_id : int;
+  s_result : (Gpr_obs.Json.t, error) result;
+}
+
+val request_to_json : request -> Gpr_obs.Json.t
+val request_of_json : Gpr_obs.Json.t -> (request, string) result
+val response_to_json : response -> Gpr_obs.Json.t
+val response_of_json : Gpr_obs.Json.t -> (response, string) result
+
+(* ---------------- framing ---------------- *)
+
+val max_frame_default : int
+(** 1 MiB. *)
+
+val encode_frame : string -> Bytes.t
+(** Length prefix + payload, ready to write. *)
+
+type decoder
+(** Incremental frame decoder over a byte stream. *)
+
+val decoder : max_bytes:int -> decoder
+
+val feed : decoder -> Bytes.t -> int -> unit
+(** [feed d buf n] appends the first [n] bytes of [buf]. *)
+
+val next : decoder -> [ `Frame of string | `Await | `Oversized of int ]
+(** Pop the next complete frame.  After [`Oversized] the stream is
+    unrecoverable (the length prefix cannot be trusted); the caller
+    should answer with {!error_code.Oversized_frame} and close. *)
+
+(* ---------------- blocking helpers (client side) ---------------- *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Blocking full write of one frame.  @raise Unix.Unix_error *)
+
+val read_frame :
+  ?timeout_s:float -> max_bytes:int -> Unix.file_descr ->
+  [ `Frame of string | `Eof | `Timeout | `Oversized of int ]
+(** Blocking read of one complete frame ([timeout_s] bounds the whole
+    frame, not each byte). *)

@@ -1,0 +1,73 @@
+(** The [gpr serve] daemon core.
+
+    One IO domain multiplexes every connection with [Unix.select];
+    request verbs run on a {!Gpr_engine.Pool} worker fleet.  The layers,
+    in admission order:
+
+    - {b response cache} — completed payloads, keyed by {!Work.key}
+      (plus the request tag); a hit answers without touching the queue;
+    - {b coalescing} — a request whose key is already queued or
+      in flight joins that computation as an extra waiter instead of
+      enqueueing a duplicate;
+    - {b admission control} — a bounded request queue; past
+      [queue_depth] distinct work items the request is rejected with
+      the typed [overloaded] error;
+    - {b deadlines} — every request carries an absolute deadline
+      (default [default_deadline_ms]); it is enforced when the item is
+      dequeued for a worker, checked between pipeline stages inside the
+      worker, and expired items are answered [deadline_exceeded]
+      straight from the queue;
+    - {b graceful shutdown} — {!stop} (or SIGTERM via
+      {!install_signal_handlers}) closes the listener, answers new
+      requests with [shutting_down], lets queued and in-flight work
+      finish or deadline out, flushes every connection and returns.
+
+    Latency histograms, queue-depth and accept/reject/coalesce totals
+    are mirrored into {!Gpr_obs.Metrics}; the [stats] verb snapshots
+    them without going through the queue. *)
+
+type config = {
+  workers : int;             (** worker domains (>= 1) *)
+  queue_depth : int;         (** bound on queued distinct work items *)
+  default_deadline_ms : int;
+  max_frame_bytes : int;
+  store : Gpr_engine.Store.t option;
+      (** shared on-disk result cache for the analysis pipeline *)
+  debug_sleep : bool;        (** accept the [sleep] verb (load tests) *)
+}
+
+val default_config : config
+(** 4 workers, depth 64, 30_000 ms deadline, 1 MiB frames, no store,
+    [sleep] disabled. *)
+
+type t
+
+val create : config -> t
+(** Spawns the worker pool ([workers] real domains; the IO domain never
+    executes work inline). *)
+
+val attach : t -> Unix.file_descr -> unit
+(** Adopt a pre-connected stream socket (e.g. one end of a
+    [socketpair]) as a client connection.  Thread-safe; wakes a running
+    {!run} loop. *)
+
+val stop : t -> unit
+(** Begin graceful shutdown.  Safe from a signal handler or another
+    domain. *)
+
+val run : ?socket:string -> t -> unit
+(** Serve until {!stop}: binds and listens on [socket] when given
+    (removing any stale socket file first, and unlinking it on exit),
+    plus whatever connections {!attach} adds.  Returns once drained.
+    The worker pool is shut down; [t] cannot be reused. *)
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT trigger {!stop}; SIGPIPE is ignored. *)
+
+(* Introspection used by the CLI's post-run summary and the tests. *)
+val received : t -> int
+val completed : t -> int
+val rejected_overloaded : t -> int
+val deadline_expired : t -> int
+val cache_hits : t -> int
+val coalesced : t -> int

@@ -147,7 +147,7 @@ let fresh_dir =
       (Printf.sprintf "gpr-backend-test-%d-%d" (Unix.getpid ()) !n)
 
 let test_backends_never_share_cache_entries () =
-  let s = Store.create ~dir:(fresh_dir ()) in
+  let s = Store.create ~dir:(fresh_dir ()) () in
   Simulate.set_store (Some s);
   Fun.protect
     ~finally:(fun () ->

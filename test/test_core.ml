@@ -126,7 +126,7 @@ let test_compress_store_roundtrip () =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "gpr-core-store-%d" (Unix.getpid ()))
   in
-  let store = Gpr_engine.Store.create ~dir in
+  let store = Gpr_engine.Store.create ~dir () in
   C.set_store (Some store);
   Fun.protect
     ~finally:(fun () -> C.set_store None)

@@ -201,7 +201,7 @@ let entry_file dir =
     Alcotest.failf "expected exactly one entry, found %d" (List.length files)
 
 let test_store_roundtrip () =
-  let s = Store.create ~dir:(fresh_dir ()) in
+  let s = Store.create ~dir:(fresh_dir ()) () in
   let key = Fp.of_strings [ "roundtrip" ] in
   let v = ([ 1; 2; 3 ], [| 1.5; -2.25 |], "hello") in
   Alcotest.(check bool) "cold miss" true (Store.find s ~kind:"t" ~key = None);
@@ -214,7 +214,7 @@ let test_store_roundtrip () =
   Alcotest.(check int) "misses" 2 (Store.misses s)
 
 let test_store_memoize () =
-  let s = Store.create ~dir:(fresh_dir ()) in
+  let s = Store.create ~dir:(fresh_dir ()) () in
   let key = Fp.of_strings [ "memo" ] in
   let calls = ref 0 in
   let f () = incr calls; 40 + 2 in
@@ -236,7 +236,7 @@ let corrupt_with dir f =
 
 let test_store_truncated () =
   let dir = fresh_dir () in
-  let s = Store.create ~dir in
+  let s = Store.create ~dir () in
   let key = Fp.of_strings [ "trunc" ] in
   Store.add s ~kind:"t" ~key [ 1; 2; 3; 4; 5 ];
   corrupt_with dir (fun c -> String.sub c 0 (String.length c / 2));
@@ -250,7 +250,7 @@ let test_store_truncated () =
 
 let test_store_corrupt_bytes () =
   let dir = fresh_dir () in
-  let s = Store.create ~dir in
+  let s = Store.create ~dir () in
   let key = Fp.of_strings [ "corrupt" ] in
   Store.add s ~kind:"t" ~key [| 3.14; 2.71 |];
   corrupt_with dir (fun c ->
@@ -265,7 +265,7 @@ let test_store_corrupt_bytes () =
 
 let test_store_version_mismatch () =
   let dir = fresh_dir () in
-  let s = Store.create ~dir in
+  let s = Store.create ~dir () in
   let key = Fp.of_strings [ "version" ] in
   Store.add s ~kind:"t" ~key 123;
   corrupt_with dir (fun c ->
@@ -298,7 +298,7 @@ let test_warm_stats_byte_identical () =
   in
   let c = Gpr_core.Compress.analyze w in
   let threshold = Gpr_quality.Quality.High in
-  let s = Store.create ~dir:(fresh_dir ()) in
+  let s = Store.create ~dir:(fresh_dir ()) () in
   Gpr_core.Simulate.set_store (Some s);
   Fun.protect
     ~finally:(fun () ->
@@ -331,7 +331,7 @@ let test_warm_stats_byte_identical () =
 let test_store_shared_across_domains () =
   (* One store, many domains: counters stay consistent and every
      memoize returns the right value. *)
-  let s = Store.create ~dir:(fresh_dir ()) in
+  let s = Store.create ~dir:(fresh_dir ()) () in
   let results =
     Pool.with_pool ~jobs:4 (fun p ->
         Pool.map_list p
@@ -345,6 +345,81 @@ let test_store_shared_across_domains () =
     results;
   Alcotest.(check int) "every lookup counted" 40
     (Store.hits s + Store.misses s)
+
+(* ---------------- bounded stores ---------------- *)
+
+let key_file dir ~kind ~key =
+  Filename.concat dir (kind ^ "-" ^ Fp.to_hex key ^ ".bin")
+
+let backdate dir ~kind ~key seconds_ago =
+  let t = Unix.gettimeofday () -. seconds_ago in
+  Unix.utimes (key_file dir ~kind ~key) t t
+
+let test_store_entry_cap_evicts_oldest () =
+  let dir = fresh_dir () in
+  let s = Store.create ~max_entries:2 ~dir () in
+  let k n = Fp.of_strings [ "cap"; n ] in
+  Store.add s ~kind:"t" ~key:(k "a") "a";
+  Store.add s ~kind:"t" ~key:(k "b") "b";
+  (* Deterministic recency regardless of filesystem timestamp
+     granularity: a is clearly the least recently used. *)
+  backdate dir ~kind:"t" ~key:(k "a") 100.0;
+  backdate dir ~kind:"t" ~key:(k "b") 50.0;
+  Store.add s ~kind:"t" ~key:(k "c") "c";
+  Alcotest.(check bool) "oldest evicted" true
+    (Store.find s ~kind:"t" ~key:(k "a") = None);
+  Alcotest.(check bool) "second survives" true
+    (Store.find s ~kind:"t" ~key:(k "b") = Some "b");
+  Alcotest.(check bool) "newest survives" true
+    (Store.find s ~kind:"t" ~key:(k "c") = Some "c");
+  Alcotest.(check int) "one eviction" 1 (Store.evictions s)
+
+let test_store_hit_refreshes_recency () =
+  let dir = fresh_dir () in
+  let s = Store.create ~max_entries:2 ~dir () in
+  let k n = Fp.of_strings [ "lru"; n ] in
+  Store.add s ~kind:"t" ~key:(k "a") 1;
+  Store.add s ~kind:"t" ~key:(k "b") 2;
+  backdate dir ~kind:"t" ~key:(k "a") 100.0;
+  backdate dir ~kind:"t" ~key:(k "b") 50.0;
+  (* Touching a makes b the LRU entry, so the next add evicts b. *)
+  Alcotest.(check bool) "a hits" true
+    (Store.find s ~kind:"t" ~key:(k "a") = Some 1);
+  Store.add s ~kind:"t" ~key:(k "c") 3;
+  Alcotest.(check bool) "recently used survives" true
+    (Store.find s ~kind:"t" ~key:(k "a") = Some 1);
+  Alcotest.(check bool) "stale entry evicted" true
+    (Store.find s ~kind:"t" ~key:(k "b") = None);
+  Alcotest.(check bool) "newest survives" true
+    (Store.find s ~kind:"t" ~key:(k "c") = Some 3)
+
+let test_store_byte_cap_keeps_newest () =
+  let dir = fresh_dir () in
+  (* Cap far below one entry's size: the newest entry must still be
+     served (the cap never evicts what was just written). *)
+  let s = Store.create ~max_bytes:1 ~dir () in
+  let k n = Fp.of_strings [ "bytes"; n ] in
+  let big = String.make 4096 'x' in
+  Store.add s ~kind:"t" ~key:(k "a") big;
+  Alcotest.(check bool) "lone oversized entry survives" true
+    (Store.find s ~kind:"t" ~key:(k "a") = Some big);
+  backdate dir ~kind:"t" ~key:(k "a") 100.0;
+  Store.add s ~kind:"t" ~key:(k "b") big;
+  Alcotest.(check bool) "older entry evicted for bytes" true
+    (Store.find s ~kind:"t" ~key:(k "a") = None);
+  Alcotest.(check bool) "newest survives byte cap" true
+    (Store.find s ~kind:"t" ~key:(k "b") = Some big);
+  Alcotest.(check int) "one eviction" 1 (Store.evictions s)
+
+let test_store_unbounded_never_evicts () =
+  let s = Store.create ~dir:(fresh_dir ()) () in
+  let k n = Fp.of_strings [ "unb"; string_of_int n ] in
+  for i = 1 to 20 do Store.add s ~kind:"t" ~key:(k i) i done;
+  for i = 1 to 20 do
+    Alcotest.(check bool) "entry retained" true
+      (Store.find s ~kind:"t" ~key:(k i) = Some i)
+  done;
+  Alcotest.(check int) "no evictions" 0 (Store.evictions s)
 
 let () =
   Alcotest.run "engine"
@@ -389,5 +464,13 @@ let () =
             test_warm_stats_byte_identical;
           Alcotest.test_case "shared across domains" `Quick
             test_store_shared_across_domains;
+          Alcotest.test_case "entry cap evicts oldest" `Quick
+            test_store_entry_cap_evicts_oldest;
+          Alcotest.test_case "hit refreshes recency" `Quick
+            test_store_hit_refreshes_recency;
+          Alcotest.test_case "byte cap keeps newest" `Quick
+            test_store_byte_cap_keeps_newest;
+          Alcotest.test_case "unbounded never evicts" `Quick
+            test_store_unbounded_never_evicts;
         ] );
     ]
