@@ -138,6 +138,7 @@ let cache_dir = ref ""
 let no_micro = ref false
 let sim_throughput = ref false
 let sim_kernels = ref ""
+let analysis = ref false
 
 let speclist =
   [
@@ -154,6 +155,9 @@ let speclist =
     ("--sim-kernels", Arg.Set_string sim_kernels,
      "A,B  Restrict --sim-throughput to the named registry kernels (the CI \
       smoke subset)");
+    ("--analysis", Arg.Set analysis,
+     "  Only time the static dataflow analyses (intervals vs the full \
+      reduced product) over the registry and write BENCH_analysis.json");
   ]
 
 (* One timed section per table/figure of the evaluation, in
@@ -164,6 +168,7 @@ let sections : (string * (unit -> unit)) list =
     ("table2", E.print_table2);
     ("table3", E.print_table3);
     ("fig8", E.print_fig8);
+    ("widths", E.print_width_report);
     ("table4", E.print_table4);
     ("table1", E.print_table1);
     ("fig9", E.print_fig9);
@@ -291,7 +296,7 @@ let write_obs_json entries =
 let run_sim_bench () =
   let module W = Gpr_workloads.Workload in
   let module Backend = Gpr_backend.Backend in
-  let module Range = Gpr_analysis.Range in
+  let module Width = Gpr_analysis.Width in
   let module Sim = Gpr_sim.Sim in
   let module Sim_ref = Gpr_sim.Sim_ref in
   let cfg = Gpr_arch.Config.fermi_gtx480 in
@@ -336,8 +341,8 @@ let run_sim_bench () =
           List.map
             (fun (w : W.t) ->
               let trace = W.trace w ~quantize:None in
-              let range = Range.analyze w.kernel ~launch:w.launch in
-              let res = S.analyze ~kernel:w.kernel ~range ~precision:None in
+              let width = Width.analyze w.kernel ~launch:w.launch in
+              let res = S.analyze ~kernel:w.kernel ~width ~precision:None in
               let occ =
                 (Backend.occupancy cfg res
                    ~warps_per_block:(W.warps_per_block w)
@@ -435,6 +440,94 @@ let run_sim_bench () =
        ])
 
 (* ---------------------------------------------------------------- *)
+(* Dataflow-analysis benchmark: per-kernel solve time for the interval
+   analysis alone vs the full reduced product (known-bits, congruence
+   and demanded-bits ride on top of the same e-SSA form), plus the
+   narrow-integer deltas the product buys, written to
+   BENCH_analysis.json. *)
+
+let run_analysis_bench () =
+  let module Wd = Gpr_analysis.Width in
+  let module R = Gpr_analysis.Range in
+  let module E = Gpr_core.Experiments in
+  let reps = 3 in
+  let time_us f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps
+  in
+  let round1 x = Float.round (x *. 10.0) /. 10.0 in
+  let meta = E.width_report_data () in
+  let rows =
+    List.map
+      (fun (w : Gpr_workloads.Workload.t) ->
+        let interval_us =
+          time_us (fun () -> R.analyze w.kernel ~launch:w.launch)
+        in
+        let product_us =
+          time_us (fun () -> Wd.analyze w.kernel ~launch:w.launch)
+        in
+        let m =
+          List.find (fun (r : E.width_row) -> r.wr_name = w.name) meta
+        in
+        Printf.eprintf
+          "[analysis %-10s intervals %8.1f us  product %8.1f us  narrow %4d \
+           -> %4d  bits saved %5d]\n"
+          w.name interval_us product_us m.wr_interval_narrow
+          m.wr_product_narrow m.wr_bits_saved;
+        (interval_us, product_us, m))
+      Gpr_workloads.Registry.all
+  in
+  let sum f = List.fold_left (fun a r -> a +. f r) 0.0 rows in
+  let sumi f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let t_interval = sum (fun (i, _, _) -> i)
+  and t_product = sum (fun (_, p, _) -> p) in
+  Printf.eprintf
+    "[analysis total     intervals %8.1f us  product %8.1f us  narrow %4d \
+     -> %4d  bits saved %5d]\n%!"
+    t_interval t_product
+    (sumi (fun (_, _, m) -> m.E.wr_interval_narrow))
+    (sumi (fun (_, _, m) -> m.E.wr_product_narrow))
+    (sumi (fun (_, _, m) -> m.E.wr_bits_saved));
+  J.write_file "BENCH_analysis.json"
+    (J.Obj
+       [
+         ("kernels", J.Int (List.length rows));
+         ( "per_kernel",
+           J.Arr
+             (List.map
+                (fun (ius, pus, (m : E.width_row)) ->
+                  J.Obj
+                    [
+                      ("kernel", J.Str m.E.wr_name);
+                      ("int_vars", J.Int m.E.wr_int_vars);
+                      ("interval_us", J.Float (round1 ius));
+                      ("product_us", J.Float (round1 pus));
+                      ("narrow_interval", J.Int m.E.wr_interval_narrow);
+                      ("narrow_product", J.Int m.E.wr_product_narrow);
+                      ( "delta",
+                        J.Int (m.E.wr_product_narrow - m.E.wr_interval_narrow)
+                      );
+                      ("bits_saved", J.Int m.E.wr_bits_saved);
+                    ])
+                rows) );
+         ( "total",
+           J.Obj
+             [
+               ("interval_us", J.Float (round1 t_interval));
+               ("product_us", J.Float (round1 t_product));
+               ( "narrow_interval",
+                 J.Int (sumi (fun (_, _, m) -> m.E.wr_interval_narrow)) );
+               ( "narrow_product",
+                 J.Int (sumi (fun (_, _, m) -> m.E.wr_product_narrow)) );
+               ( "bits_saved",
+                 J.Int (sumi (fun (_, _, m) -> m.E.wr_bits_saved)) );
+             ] );
+       ])
+
+(* ---------------------------------------------------------------- *)
 (* Static verifier benchmark: per-pass time over the Table 4 registry
    plus the diagnostic counts, written to BENCH_lint.json so lint
    throughput regressions are visible alongside the engine timings. *)
@@ -515,9 +608,14 @@ let () =
   Arg.parse speclist
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "dune exec bench/main.exe -- [-j N] [--cache-dir DIR] [--no-micro]\n\
-    \                            [--sim-throughput [--sim-kernels A,B]]";
+    \                            [--sim-throughput [--sim-kernels A,B]]\n\
+    \                            [--analysis]";
   if !sim_throughput then begin
     run_sim_bench ();
+    exit 0
+  end;
+  if !analysis then begin
+    run_analysis_bench ();
     exit 0
   end;
   let jobs =

@@ -206,6 +206,7 @@ let report_cmd =
     | "table3" -> Experiments.print_table3 ()
     | "table4" -> Experiments.print_table4 ()
     | "fig8" -> Experiments.print_fig8 ()
+    | "widths" -> Experiments.print_width_report ()
     | "fig9" -> Experiments.print_fig9 ()
     | "fig10" -> Experiments.print_fig10 ()
     | "fig11" -> Experiments.print_fig11 ()
@@ -255,12 +256,12 @@ let analyze_cmd =
     | Ok kernel ->
       let kernel = if optimize then Gpr_opt.Opt.run kernel else kernel in
       let launch = Gpr_isa.Types.launch_1d ~block ~grid in
-      let range = Gpr_analysis.Range.analyze kernel ~launch in
+      let width = Gpr_analysis.Width.analyze kernel ~launch in
       let baseline = Gpr_alloc.Alloc.baseline kernel in
       let packed =
         Gpr_alloc.Alloc.run kernel
           ~width_of:
-            (Compress.width_fn ~narrow_ints:true ~narrow_floats:None ~range)
+            (Compress.width_fn ~narrow_ints:true ~narrow_floats:None ~width)
       in
       Printf.printf "kernel %s: %d static instructions, %d blocks\n"
         kernel.Gpr_isa.Types.k_name
@@ -269,8 +270,9 @@ let analyze_cmd =
       Printf.printf
         "register pressure: %d original -> %d with narrow integers\n"
         baseline.Gpr_alloc.Alloc.pressure packed.Gpr_alloc.Alloc.pressure;
-      Printf.printf "narrow integer variables: %d\n"
-        (Gpr_analysis.Range.narrow_int_count range kernel);
+      Printf.printf "narrow integer variables: %d (intervals alone: %d)\n"
+        (Gpr_analysis.Width.narrow_int_count width kernel)
+        (Gpr_analysis.Width.interval_narrow_int_count width kernel);
       print_endline
         "(floats require the data-driven tuner; wrap the kernel as a \
          workload to use it)"
@@ -328,13 +330,14 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Differential fuzzing: run random kernels plain and through the \
-             compressed register file (range analysis, slice allocation, \
+             compressed register file (width analysis, slice allocation, \
              indirection table, TVT/TVE datapath, timing-model invariants) \
              and fail on any divergence, with shrunk counterexamples; \
              seeds are sharded across the -j engine pool.  $(b,--backend) \
-             selects which schemes' oracles run (slice expands to the four \
-             classic stages; other schemes run the generic \
-             plain-vs-backend oracle)")
+             selects which schemes' oracles run (slice expands to the six \
+             classic stages, including the width-analysis soundness \
+             oracle; other schemes run the generic plain-vs-backend \
+             oracle)")
     Term.(const run $ seed $ count $ max_seconds $ no_shrink $ backend_arg
           $ jobs_arg)
 

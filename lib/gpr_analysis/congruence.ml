@@ -1,0 +1,213 @@
+open Gpr_isa.Types
+module I = Gpr_util.Interval
+module Bits = Gpr_util.Bits
+
+type t =
+  | Bot
+  | Cg of { k : int; r : int }
+
+(* Moduli are capped at 2^31 so residue arithmetic (including residue
+   products) stays well inside OCaml's native int range. *)
+let kmax = 31
+
+let top = Cg { k = 0; r = 0 }
+
+let make k r =
+  let k = min k kmax in
+  if k <= 0 then top else Cg { k; r = r land Bits.mask k }
+
+let const c = make kmax c
+
+let is_bot = function Bot -> true | _ -> false
+
+let equal a b =
+  match a, b with
+  | Bot, Bot -> true
+  | Cg a, Cg b -> a.k = b.k && a.r = b.r
+  | _ -> false
+
+let rec ntz x = if x land 1 = 1 then 0 else 1 + ntz (x lsr 1)
+
+let join a b =
+  match a, b with
+  | Bot, x | x, Bot -> x
+  | Cg a, Cg b ->
+    let k = min a.k b.k in
+    let d = (a.r lxor b.r) land Bits.mask k in
+    let k = if d = 0 then k else min k (ntz d) in
+    make k a.r
+
+let meet a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Cg a', Cg b' ->
+    let kmin = min a'.k b'.k in
+    if (a'.r lxor b'.r) land Bits.mask kmin <> 0 then Bot
+    else if a'.k >= b'.k then Cg a'
+    else Cg b'
+
+let mem v t =
+  match t with
+  | Bot -> false
+  | Cg { k; r } -> (v land 0xffff_ffff) land Bits.mask k = r
+
+(* ------------------------------------------------------------------ *)
+(* Transfers.  Residues are of 32-bit wrapped patterns; since
+   2^k | 2^32 the relation survives the executor's wrap and the
+   signed/unsigned reinterpretation. *)
+
+let add a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Cg a, Cg b -> let k = min a.k b.k in make k (a.r + b.r)
+
+let sub a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Cg a, Cg b -> let k = min a.k b.k in make k (a.r - b.r)
+
+(* 2-adic valuation of the whole congruence class. *)
+let class_tz (c : t) =
+  match c with
+  | Bot -> kmax
+  | Cg { k; r } -> if r = 0 then k else min k (ntz r)
+
+let mul a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Cg a', Cg b' ->
+    let k = min a'.k b'.k in
+    let residue = make k (a'.r * b'.r) in
+    let align = make (class_tz a + class_tz b) 0 in
+    meet residue align
+
+let bitwise f a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Cg a, Cg b -> let k = min a.k b.k in make k (f a.r b.r)
+
+let bnot = function
+  | Bot -> Bot
+  | Cg { k; r } -> make k (lnot r)
+
+let shl a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Cg a', Cg b' when b'.k >= 5 ->
+    let c = b'.r land 31 in
+    make (a'.k + c) (a'.r lsl c)
+  | _, Cg _ ->
+    (* Unknown amount: left shifts preserve divisibility. *)
+    let t = class_tz a in
+    if t > 0 then make t 0 else top
+
+let shr a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Cg a', Cg b' when b'.k >= 5 ->
+    (* Low bits of the result come from bits [c ..] of the source —
+       known up to bit [a'.k], for logical and arithmetic shifts
+       alike. *)
+    let c = b'.r land 31 in
+    if c = 0 then Cg a' else make (a'.k - c) (a'.r lsr c)
+  | _ -> top
+
+let binop _ty op a b =
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div | Rem -> (match a, b with Bot, _ | _, Bot -> Bot | _ -> top)
+  | Min | Max ->
+    (* min/max returns one of its operands. *)
+    (match a, b with Bot, _ | _, Bot -> Bot | _ -> join a b)
+  | And -> bitwise ( land ) a b
+  | Or -> bitwise ( lor ) a b
+  | Xor -> bitwise ( lxor ) a b
+  | Shl -> shl a b
+  | Shr -> shr a b
+
+let unop _ty op a =
+  match op with
+  | Ineg -> sub (const 0) a
+  | Inot -> bnot a
+  | Iabs -> (match a with Bot -> Bot | _ -> top)
+
+let mad a b c = add (mul a b) c
+
+(* ------------------------------------------------------------------ *)
+
+let known_low_bits = function
+  | Bot | Cg { k = 0; _ } -> None
+  | Cg { k; r } -> Some (k, r)
+
+let emod x m = ((x mod m) + m) mod m
+
+let refine_interval itv t =
+  match itv, t with
+  | I.Range (I.Finite lo, I.Finite hi), Cg { k; r }
+    when k > 0 && lo >= -0x8000_0000 && hi <= 0xffff_ffff ->
+    (* Within the 32-bit domain the Z-valued interval and the wrapped
+       congruence class describe the same value, so bounds may be
+       pulled inward to the nearest class members. *)
+    let m = 1 lsl k in
+    let lo' = lo + emod (r - lo) m in
+    let hi' = hi - emod (hi - r) m in
+    I.of_ints lo' hi'
+  | _ -> itv
+
+let to_string = function
+  | Bot -> "bot"
+  | Cg { k = 0; _ } -> "top"
+  | Cg { k; r } -> Printf.sprintf "≡%d (mod 2^%d)" r k
+
+(* ------------------------------------------------------------------ *)
+
+let is_int_ty = function S32 | U32 -> true | F32 | Pred -> false
+
+module Domain = struct
+  type nonrec t = t
+
+  let name = "congruence"
+  let bot = Bot
+  let equal = equal
+  let join = join
+  let widen a b = if equal (join a b) a then a else top
+  let narrow a b = if equal a top then b else a
+  let top_of (_ : dtype) = top
+
+  let of_range (_ : dtype) ~lo ~hi = if lo = hi then const lo else top
+
+  let extra_deps (_ : instr) = []
+
+  let operand lookup = function
+    | Reg (r : vreg) -> if is_int_ty r.ty then lookup r.id else top
+    | Imm_i c -> const c
+    | Imm_f _ -> top
+
+  let transfer lookup ins =
+    let op = operand lookup in
+    match ins with
+    | Ibin (o, d, a, b) -> binop d.ty o (op a) (op b)
+    | Iun (o, d, a) -> unop d.ty o (op a)
+    | Imad (_, a, b, c) -> mad (op a) (op b) (op c)
+    | Selp (_, a, b, _) -> join (op a) (op b)
+    | Mov (_, a) -> op a
+    | Cvt (o, _, a) ->
+      (match o with
+       | S32_of_u32 | U32_of_s32 -> op a  (* pattern preserved *)
+       | S32_of_f32 | U32_of_f32 | F32_of_s32 | F32_of_u32 -> top)
+    | Ld (d, { abuf; _ }) ->
+      (match abuf.buf_range with
+       | Some (lo, hi) when lo = hi && is_int_ty d.ty -> const lo
+       | _ -> top)
+    | Ld_param _ -> top  (* solver resolves param ranges *)
+    | Phi (_, ops) ->
+      List.fold_left (fun acc (_, o) -> join acc (op o)) Bot ops
+    | Pi (_, s, f) ->
+      (* Only an exact equality filter refines a congruence. *)
+      (match f.pf_lo, f.pf_hi with
+       | Pb_const lo, Pb_const hi when lo = hi -> meet (lookup s.id) (const lo)
+       | _ -> lookup s.id)
+    | Setp _ | Fbin _ | Fun _ | Ffma _ | St _ | Bar -> top
+end

@@ -1,0 +1,43 @@
+(** Congruence (stride/alignment) abstract domain.
+
+    [Cg {k; r}] denotes every value [v] with [v ≡ r (mod 2^k)]
+    — e.g. [tid*4] is [Cg {k = 2; r = 0}].  Moduli are powers of two
+    up to [2^31], so the relation is preserved by the executor's
+    mod-2^32 wrap and by signed/unsigned reinterpretation.  The domain
+    complements {!Knownbits}: it survives additions of unknown
+    multiples where a bitmask alone would degrade. *)
+
+open Gpr_isa.Types
+
+type t =
+  | Bot                       (** empty set *)
+  | Cg of { k : int; r : int }
+      (** [v ≡ r (mod 2^k)]; invariant [0 <= k <= 31],
+          [0 <= r < 2^k]; [k = 0] is top *)
+
+val top : t
+val const : int -> t
+val equal : t -> t -> bool
+val is_bot : t -> bool
+
+val join : t -> t -> t
+val meet : t -> t -> t
+
+val mem : int -> t -> bool
+(** Membership of the 32-bit wrapped value. *)
+
+val binop : dtype -> ibinop -> t -> t -> t
+val unop : dtype -> iunop -> t -> t
+val mad : t -> t -> t -> t
+
+val known_low_bits : t -> (int * int) option
+(** [known_low_bits t] is [Some (k, r)] when the low [k > 0] bits are
+    exactly [r] — the reduced-product hook into {!Knownbits}. *)
+
+val refine_interval : Gpr_util.Interval.t -> t -> Gpr_util.Interval.t
+(** Tighten finite interval bounds inward to the nearest members of
+    the congruence class. *)
+
+val to_string : t -> string
+
+module Domain : Dataflow.DOMAIN with type t = t

@@ -1,0 +1,214 @@
+open Gpr_isa.Types
+
+module type DOMAIN = sig
+  type t
+
+  val name : string
+  val bot : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+  val narrow : t -> t -> t
+  val top_of : dtype -> t
+  val of_range : dtype -> lo:int -> hi:int -> t
+  val transfer : (int -> t) -> instr -> t
+  val extra_deps : instr -> int list
+end
+
+let is_int_ty = function S32 | U32 -> true | F32 | Pred -> false
+
+(* ------------------------------------------------------------------ *)
+(* Tarjan SCC over the dependence graph *)
+
+let sccs ~n ~deps =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+         if index.(w) = -1 then begin
+           strongconnect w;
+           lowlink.(v) <- min lowlink.(v) lowlink.(w)
+         end
+         else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (deps v);
+    if lowlink.(v) = index.(v) then begin
+      let rec popping acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else popping (w :: acc)
+        | [] -> assert false
+      in
+      out := popping [] :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* Tarjan emits components in reverse topological order of the
+     condensation; with [deps] pointing from user to used, that is
+     dependencies-first — exactly the evaluation order we need.  The
+     accumulator prepends, so restore emission order. *)
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+
+module Make (D : DOMAIN) = struct
+  type result = {
+    ssa_values : D.t array;
+    var_values : D.t array;
+    ty_of : dtype array;
+    tracked : bool array;
+  }
+
+  let solve (ssa : Ssa.t) ~launch =
+    let k = ssa.Ssa.kernel in
+    let n = k.k_num_vregs in
+    let state = Array.make n D.bot in
+
+    (* Definition map. *)
+    let def = Array.make n None in
+    Array.iter
+      (fun blk ->
+         Array.iter
+           (fun ins ->
+              match defs ins with
+              | Some d -> def.(d.id) <- Some ins
+              | None -> ())
+           blk.instrs)
+      k.k_blocks;
+
+    (* Seeds: specials from launch geometry; names with no definition
+       are entry-level (undef or special) and default to top of their
+       type. *)
+    let special_seed = Hashtbl.create 16 in
+    List.iter
+      (fun (id, s) ->
+         let v =
+           match s with
+           | Tid_x -> D.of_range S32 ~lo:0 ~hi:(launch.ntid_x - 1)
+           | Tid_y -> D.of_range S32 ~lo:0 ~hi:(launch.ntid_y - 1)
+           | Ntid_x -> D.of_range S32 ~lo:launch.ntid_x ~hi:launch.ntid_x
+           | Ntid_y -> D.of_range S32 ~lo:launch.ntid_y ~hi:launch.ntid_y
+           | Ctaid_x -> D.of_range S32 ~lo:0 ~hi:(launch.nctaid_x - 1)
+           | Ctaid_y -> D.of_range S32 ~lo:0 ~hi:(launch.nctaid_y - 1)
+           | Nctaid_x -> D.of_range S32 ~lo:launch.nctaid_x ~hi:launch.nctaid_x
+           | Nctaid_y -> D.of_range S32 ~lo:launch.nctaid_y ~hi:launch.nctaid_y
+         in
+         Hashtbl.replace special_seed id v)
+      k.k_specials;
+
+    (* Collect the set of int-typed nodes and their types. *)
+    let ty_of = Array.make n S32 in
+    let tracked = Array.make n false in
+    let note (r : vreg) =
+      if r.id < n then begin
+        ty_of.(r.id) <- r.ty;
+        tracked.(r.id) <- is_int_ty r.ty
+      end
+    in
+    Array.iter
+      (fun blk ->
+         Array.iter
+           (fun ins ->
+              (match defs ins with Some d -> note d | None -> ());
+              List.iter note (uses ins))
+           blk.instrs)
+      k.k_blocks;
+    Hashtbl.iter
+      (fun id _ -> ty_of.(id) <- S32; tracked.(id) <- true)
+      special_seed;
+
+    let lookup v = state.(v) in
+    let eval v =
+      match Hashtbl.find_opt special_seed v with
+      | Some seed -> seed
+      | None ->
+        (match def.(v) with
+         | None -> D.top_of ty_of.(v)  (* undef version *)
+         | Some (Ld_param (d, i)) ->
+           (match k.k_params.(i).p_range with
+            | Some (lo, hi) when is_int_ty d.ty -> D.of_range d.ty ~lo ~hi
+            | _ -> D.top_of d.ty)
+         | Some ins -> D.transfer lookup ins)
+    in
+
+    (* Dependence edges: value -> values it reads (plus domain-specific
+       extras such as π-node futures). *)
+    let deps v =
+      match def.(v) with
+      | None -> []
+      | Some ins ->
+        let reg_deps =
+          uses ins
+          |> List.filter_map (fun (r : vreg) ->
+              if is_int_ty r.ty && r.id < n then Some r.id else None)
+        in
+        reg_deps @ D.extra_deps ins
+    in
+
+    let components = sccs ~n ~deps in
+    List.iter
+      (fun comp ->
+         match comp with
+         | [ v ] when not (List.mem v (deps v)) ->
+           if tracked.(v) then state.(v) <- eval v
+         | _ ->
+           let members = List.filter (fun v -> tracked.(v)) comp in
+           (* Growth phase with widening. *)
+           let changed = ref true in
+           let rounds = ref 0 in
+           while !changed && !rounds < 64 do
+             changed := false;
+             incr rounds;
+             List.iter
+               (fun v ->
+                  let nv = eval v in
+                  let wv =
+                    if !rounds <= 2 then D.join state.(v) nv
+                    else D.widen state.(v) nv
+                  in
+                  if not (D.equal wv state.(v)) then begin
+                    state.(v) <- wv;
+                    changed := true
+                  end)
+               members
+           done;
+           if !changed then
+             (* The round cap fired before a post-fixpoint was reached
+                (the domain's widening was not aggressive enough) —
+                degrade the whole component to top rather than keep an
+                under-approximation. *)
+             List.iter (fun v -> state.(v) <- D.top_of ty_of.(v)) members
+           else
+             (* Narrowing phase (bounded). *)
+             for _ = 1 to 4 do
+               List.iter
+                 (fun v ->
+                    let nv = eval v in
+                    state.(v) <- D.narrow state.(v) nv)
+                 members
+             done)
+      components;
+
+    (* Merge per original variable (Fig. 8d). *)
+    let var_values = Array.make ssa.Ssa.num_orig D.bot in
+    Array.iteri
+      (fun ssa_id orig_id ->
+         if tracked.(ssa_id) then
+           var_values.(orig_id) <- D.join var_values.(orig_id) state.(ssa_id))
+      ssa.Ssa.orig_of_ssa;
+
+    { ssa_values = state; var_values; ty_of; tracked }
+end

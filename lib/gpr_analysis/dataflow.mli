@@ -1,0 +1,69 @@
+(** Sparse e-SSA dataflow framework (generalizes {!Range}'s solver).
+
+    The solver is functorized over an abstract {!DOMAIN}: the interval
+    domain of {!Range}, the tri-state bitmask domain of {!Knownbits}
+    and the stride/alignment domain of {!Congruence} all instantiate
+    it.  The schedule is the CGO'13 one: strongly-connected components
+    of the e-SSA dependence graph are solved dependencies-first;
+    acyclic nodes are evaluated once, cyclic components run a short
+    join phase, then widen to a post-fixpoint, then a bounded
+    narrowing phase. *)
+
+open Gpr_isa.Types
+
+module type DOMAIN = sig
+  type t
+
+  val name : string
+  (** Short identifier used in reports and benchmarks. *)
+
+  val bot : t
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Least upper bound. *)
+
+  val widen : t -> t -> t
+  (** [widen old new_] must reach a post-fixpoint in finitely many
+      steps along any ascending chain. *)
+
+  val narrow : t -> t -> t
+  (** [narrow old new_] may refine [old] towards [new_]; any result
+      that over-approximates the least fixpoint is sound (returning
+      [old] unchanged is always allowed). *)
+
+  val top_of : dtype -> t
+  (** Least informative element for a value of the given type. *)
+
+  val of_range : dtype -> lo:int -> hi:int -> t
+  (** Abstraction of the concrete set [{lo, ..., hi}] — used to seed
+      special registers, parameter ranges and buffer-load results. *)
+
+  val transfer : (int -> t) -> instr -> t
+  (** [transfer lookup ins] abstractly evaluates the defining
+      instruction [ins]; [lookup id] reads the current abstract value
+      of e-SSA name [id].  Must be monotone in the looked-up values. *)
+
+  val extra_deps : instr -> int list
+  (** Dependence edges beyond register operands (e.g. π-node futures
+      for the interval domain). *)
+end
+
+val sccs : n:int -> deps:(int -> int list) -> int list list
+(** Tarjan's algorithm; components are emitted dependencies-first
+    (reverse topological order of the condensation). *)
+
+module Make (D : DOMAIN) : sig
+  type result = {
+    ssa_values : D.t array;  (** per e-SSA name *)
+    var_values : D.t array;  (** per original variable (join of its
+                                 tracked e-SSA versions); [D.bot] for
+                                 untracked variables *)
+    ty_of : dtype array;     (** per e-SSA name *)
+    tracked : bool array;    (** per e-SSA name: integer-typed *)
+  }
+
+  val solve : Ssa.t -> launch:launch -> result
+  (** [solve essa ~launch] runs the sparse solver on an (e-)SSA form
+      kernel.  [launch] seeds the special registers. *)
+end

@@ -1,0 +1,125 @@
+open Gpr_isa.Types
+
+let is_int_ty = function S32 | U32 -> true | F32 | Pred -> false
+
+let rec msb_index x = if x <= 1 then 0 else 1 + msb_index (x lsr 1)
+
+let width_of_mask m = if m = 0 then 0 else msb_index (m land 0xffff_ffff) + 1
+
+(* Low [m] bits set; [m] in 0..32. *)
+let lowmask m = if m >= 32 then 0xffff_ffff else (1 lsl m) - 1
+
+let analyze (kernel : kernel) =
+  let n = kernel.k_num_vregs in
+  let dem = Array.make n 0 in
+  let ty_of = Array.make n S32 in
+  let note (r : vreg) = if r.id < n then ty_of.(r.id) <- r.ty in
+  Array.iter
+    (fun blk ->
+       Array.iter
+         (fun ins ->
+            (match defs ins with Some d -> note d | None -> ());
+            List.iter note (uses ins))
+         blk.instrs;
+       List.iter note (term_uses blk.term))
+    kernel.k_blocks;
+
+  let changed = ref true in
+  let demand (r : vreg) m =
+    let m = min 32 m in
+    if r.id < n && m > dem.(r.id) then begin
+      dem.(r.id) <- m;
+      changed := true
+    end
+  in
+  let dop o m = match o with Reg r -> demand r m | Imm_i _ | Imm_f _ -> () in
+  let demand_all ins m = List.iter (fun r -> demand r m) (uses ins) in
+
+  let propagate ins =
+    match ins with
+    | St ({ aindex; _ }, v) ->
+      (* Outputs and addresses are fully observed. *)
+      dop aindex 32;
+      dop v 32
+    | Ld (_, { aindex; _ }) -> dop aindex 32
+    | Setp (_, _, _, a, b) ->
+      (* A comparison can distinguish any bit. *)
+      dop a 32;
+      dop b 32
+    | Ibin (op, d, a, b) ->
+      let m = dem.(d.id) in
+      (match op with
+       | Add | Sub | Mul ->
+         (* Carries propagate strictly upward: low m bits of the
+            result depend only on low m bits of the inputs. *)
+         dop a m;
+         dop b m
+       | And ->
+         (match a, b with
+          | _, Imm_i c -> dop a (width_of_mask (c land lowmask m))
+          | Imm_i c, _ -> dop b (width_of_mask (c land lowmask m))
+          | _ -> dop a m; dop b m)
+       | Or ->
+         (match a, b with
+          | _, Imm_i c -> dop a (width_of_mask (lnot c land lowmask m))
+          | Imm_i c, _ -> dop b (width_of_mask (lnot c land lowmask m))
+          | _ -> dop a m; dop b m)
+       | Xor -> dop a m; dop b m
+       | Div | Rem | Min | Max ->
+         (* Non-local in the bits: every input bit can flip low
+            result bits. *)
+         if m > 0 then begin dop a 32; dop b 32 end
+       | Shl ->
+         (match b with
+          | Imm_i c -> dop a (max 0 (m - (c land 31)))
+          | _ -> dop a m);
+         (* The executor masks shift amounts to 5 bits. *)
+         dop b (if m = 0 then 0 else 5)
+       | Shr ->
+         (match b with
+          | Imm_i c -> if m > 0 then dop a (m + (c land 31))
+          | _ -> if m > 0 then dop a 32);
+         dop b (if m = 0 then 0 else 5))
+    | Iun (op, d, a) ->
+      let m = dem.(d.id) in
+      (match op with
+       | Ineg | Inot -> dop a m
+       | Iabs -> if m > 0 then dop a 32)
+    | Imad (d, a, b, c) ->
+      let m = dem.(d.id) in
+      dop a m; dop b m; dop c m
+    | Selp (d, a, b, p) ->
+      let m = dem.(d.id) in
+      dop a m;
+      dop b m;
+      if m > 0 then demand p 32
+    | Mov (d, a) -> dop a dem.(d.id)
+    | Cvt (op, d, a) ->
+      (match op with
+       | S32_of_u32 | U32_of_s32 -> dop a dem.(d.id)  (* pattern preserved *)
+       | S32_of_f32 | U32_of_f32 | F32_of_s32 | F32_of_u32 -> dop a 32)
+    | Ld_param _ | Bar -> ()
+    | Fbin _ | Fun _ | Ffma _ -> demand_all ins 32
+    | Phi _ | Pi _ ->
+      (* Not present in executable kernels; be conservative. *)
+      demand_all ins 32
+  in
+
+  let sweeps = ref 0 in
+  while !changed && !sweeps < 1024 do
+    changed := false;
+    incr sweeps;
+    (* Reverse order converges quickly on forward-built kernels. *)
+    for b = Array.length kernel.k_blocks - 1 downto 0 do
+      let blk = kernel.k_blocks.(b) in
+      List.iter (fun r -> demand r 32) (term_uses blk.term);
+      for i = Array.length blk.instrs - 1 downto 0 do
+        propagate blk.instrs.(i)
+      done
+    done
+  done;
+  if !changed then Array.fill dem 0 n 32  (* cap hit: give up soundly *)
+  else
+    (* Width narrowing only applies to integer registers. *)
+    Array.iteri (fun i ty -> if not (is_int_ty ty) then dem.(i) <- 32) ty_of;
+  dem

@@ -1,0 +1,28 @@
+(** Backward demanded-bits analysis.
+
+    For every integer virtual register, computes how many low bits any
+    downstream observer can ever distinguish — stores, addresses,
+    comparisons and branch predicates demand all 32; pure dataflow
+    through add/mul/bitwise chains only demands as many low bits as
+    the consumer itself demands (a [v & 0xff] consumer demands 8 bits
+    of [v], a shift amount demands 5).
+
+    Demand is contiguous from bit 0 by construction (a *width*, not an
+    arbitrary mask): since the register file stores values
+    low-bits-first and re-extends from the stored msb, a value may be
+    truncated to its demanded width without perturbing any demanded
+    bit of any transitive consumer, which is exactly the property the
+    [gpr check] width-soundness stage replays dynamically.
+
+    The analysis is flow-insensitive over original (non-SSA)
+    variables: each variable's demand is the maximum over all its
+    reads anywhere in the kernel, which over-approximates the
+    flow-sensitive answer and is therefore sound.  A written-but-
+    never-read variable ends up with demand 0. *)
+
+open Gpr_isa.Types
+
+val analyze : kernel -> int array
+(** Demanded width (0–32) per virtual register id of the original
+    (executable, non-SSA) kernel.  Entries for float and predicate
+    registers are 32. *)

@@ -1,0 +1,328 @@
+open Gpr_isa.Types
+module Bits = Gpr_util.Bits
+
+type t =
+  | Bot
+  | Kb of { ones : int; unk : int }
+
+let m32 = 0xffff_ffff
+let b31 = 0x8000_0000
+
+let top = Kb { ones = 0; unk = m32 }
+let const c = Kb { ones = c land m32; unk = 0 }
+
+let is_bot = function Bot -> true | _ -> false
+
+let equal a b =
+  match a, b with
+  | Bot, Bot -> true
+  | Kb a, Kb b -> a.ones = b.ones && a.unk = b.unk
+  | _ -> false
+
+(* Known-zero mask of a non-bottom value. *)
+let zeros o u = m32 land lnot (o lor u)
+
+let join a b =
+  match a, b with
+  | Bot, x | x, Bot -> x
+  | Kb a, Kb b ->
+    let ones = a.ones land b.ones in
+    let unk = (a.unk lor b.unk lor (a.ones lxor b.ones)) land m32 in
+    Kb { ones = ones land lnot unk; unk }
+
+let meet a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Kb a, Kb b ->
+    (* Conflict: a bit known-one on one side and known-zero on the other. *)
+    if (a.ones lxor b.ones) land lnot a.unk land lnot b.unk <> 0 then Bot
+    else Kb { ones = a.ones lor b.ones; unk = a.unk land b.unk }
+
+let widen a b = if equal (join a b) a then a else top
+
+let narrow a b =
+  match a, b with
+  | Bot, _ -> Bot
+  | _, Bot -> a
+  | Kb a, Kb b ->
+    (* Refine only bits [a] does not know; keep its own knowledge. *)
+    Kb { ones = a.ones lor (a.unk land b.ones); unk = a.unk land b.unk }
+
+let rec msb_index x = if x <= 1 then 0 else 1 + msb_index (x lsr 1)
+
+let of_range ~lo ~hi =
+  if lo > hi then Bot
+  else if hi - lo >= 0x1_0000_0000 then top
+  else
+    let pl = lo land m32 and ph = hi land m32 in
+    if pl > ph then top  (* sign crossing: no common pattern prefix *)
+    else if pl = ph then const pl
+    else
+      let unk = (1 lsl (msb_index (pl lxor ph) + 1)) - 1 in
+      Kb { ones = pl land lnot unk land m32; unk }
+
+let of_low_bits k r =
+  if k <= 0 then top
+  else
+    let m = Bits.mask (min k 32) in
+    Kb { ones = r land m; unk = m32 land lnot m }
+
+let mem v t =
+  match t with
+  | Bot -> false
+  | Kb { ones; unk } -> (v land m32) land lnot unk land m32 = ones
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions.  All operate on 32-bit patterns, so they stay
+   sound under the executor's mod-2^32 wrap. *)
+
+let band a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Kb a, Kb b ->
+    let ones = a.ones land b.ones in
+    let z = zeros a.ones a.unk lor zeros b.ones b.unk in
+    Kb { ones; unk = m32 land lnot z land lnot ones }
+
+let bor a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Kb a, Kb b ->
+    let ones = a.ones lor b.ones in
+    let z = zeros a.ones a.unk land zeros b.ones b.unk in
+    Kb { ones; unk = m32 land lnot z land lnot ones }
+
+let bxor a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Kb a, Kb b ->
+    let known = m32 land lnot a.unk land lnot b.unk in
+    Kb { ones = (a.ones lxor b.ones) land known; unk = m32 land lnot known }
+
+let bnot = function
+  | Bot -> Bot
+  | Kb { ones; unk } -> Kb { ones = zeros ones unk; unk }
+
+(* Number of trailing bits known to be zero. *)
+let trailing_known_zeros = function
+  | Bot -> 32
+  | Kb { ones; unk } ->
+    let may = ones lor unk in
+    let rec go i = if i >= 32 || (may lsr i) land 1 = 1 then i else go (i + 1) in
+    go 0
+
+let min_pat = function Bot -> 0 | Kb { ones; _ } -> ones
+let max_pat = function Bot -> 0 | Kb { ones; unk } -> ones lor unk
+
+(* Ripple-carry addition of two abstract patterns plus a constant
+   carry-in; each sum bit is known when both operand bits and the
+   incoming carry are, and the carry can re-synchronize when two of
+   the three addends of a column are known equal. *)
+let addlike ~carry0 a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Kb a, Kb b ->
+    let ones = ref 0 and unk = ref 0 in
+    let carry = ref (Some carry0) in
+    for i = 0 to 31 do
+      let xa = if (a.unk lsr i) land 1 = 0 then Some ((a.ones lsr i) land 1) else None in
+      let xb = if (b.unk lsr i) land 1 = 0 then Some ((b.ones lsr i) land 1) else None in
+      (match xa, xb, !carry with
+       | Some x, Some y, Some c ->
+         let s = x + y + c in
+         if s land 1 = 1 then ones := !ones lor (1 lsl i);
+         carry := Some (s lsr 1)
+       | _ ->
+         unk := !unk lor (1 lsl i);
+         (* majority(x, y, c): determined when two inputs are known equal *)
+         carry :=
+           (match xa, xb, !carry with
+            | Some x, Some y, _ when x = y -> Some x
+            | Some x, _, Some c when x = c -> Some x
+            | _, Some y, Some c when y = c -> Some y
+            | _ -> None))
+    done;
+    Kb { ones = !ones; unk = !unk }
+
+let add a b =
+  let r = addlike ~carry0:0 a b in
+  (* No-wrap refinement: when the maximal patterns cannot overflow
+     32 bits, the sum's pattern range gives a common prefix. *)
+  match a, b with
+  | Kb _, Kb _ when max_pat a + max_pat b <= m32 ->
+    meet r (of_range ~lo:(min_pat a + min_pat b) ~hi:(max_pat a + max_pat b))
+  | _ -> r
+
+let sub a b = addlike ~carry0:1 a (bnot b)
+
+let mul a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Kb a', Kb b' when a'.unk = 0 && b'.unk = 0 -> const (a'.ones * b'.ones)
+  | _ ->
+    let tz = min 32 (trailing_known_zeros a + trailing_known_zeros b) in
+    let base =
+      if tz >= 32 then const 0
+      else Kb { ones = 0; unk = m32 land lnot (Bits.mask tz) }
+    in
+    let maxa = max_pat a and maxb = max_pat b in
+    if maxb = 0 || maxa <= m32 / maxb then
+      meet base (of_range ~lo:(min_pat a * min_pat b) ~hi:(maxa * maxb))
+    else base
+
+let shl a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Kb a', Kb b' ->
+    if b'.unk land 31 = 0 then
+      let c = b'.ones land 31 in
+      Kb { ones = (a'.ones lsl c) land m32; unk = (a'.unk lsl c) land m32 }
+    else
+      (* Unknown amount: left shifts preserve trailing zeros. *)
+      let tz = trailing_known_zeros a in
+      if tz >= 32 then const 0
+      else Kb { ones = 0; unk = m32 land lnot (Bits.mask tz) }
+
+let lshr a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Kb a', Kb b' ->
+    if b'.unk land 31 = 0 then
+      let c = b'.ones land 31 in
+      Kb { ones = a'.ones lsr c; unk = a'.unk lsr c }
+    else
+      (* Unknown amount: right shifts preserve leading zeros. *)
+      let maxp = max_pat a in
+      if maxp = 0 then const 0
+      else Kb { ones = 0; unk = (1 lsl (msb_index maxp + 1)) - 1 }
+
+let ashr a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Kb a', Kb b' ->
+    let sign_zero = (a'.ones lor a'.unk) land b31 = 0 in
+    let sign_one = a'.ones land b31 <> 0 in
+    if b'.unk land 31 = 0 then
+      let c = b'.ones land 31 in
+      if c = 0 then Kb a'
+      else
+        let high = m32 land lnot (m32 lsr c) in
+        if sign_zero then Kb { ones = a'.ones lsr c; unk = a'.unk lsr c }
+        else if sign_one then
+          Kb { ones = (a'.ones lsr c) lor high; unk = a'.unk lsr c }
+        else Kb { ones = a'.ones lsr c; unk = (a'.unk lsr c) lor high }
+    else if sign_zero then lshr a top
+    else top
+
+let binop ty op a b =
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div | Rem -> (match a, b with Bot, _ | _, Bot -> Bot | _ -> top)
+  | Min | Max ->
+    (* min/max returns one of its operands. *)
+    (match a, b with Bot, _ | _, Bot -> Bot | _ -> join a b)
+  | And -> band a b
+  | Or -> bor a b
+  | Xor -> bxor a b
+  | Shl -> shl a b
+  | Shr -> if ty = U32 then lshr a b else ashr a b
+
+let unop _ty op a =
+  match op with
+  | Ineg -> sub (const 0) a
+  | Inot -> bnot a
+  | Iabs -> (match a with Bot -> Bot | _ -> top)
+
+let mad a b c = add (mul a b) c
+
+(* ------------------------------------------------------------------ *)
+
+let width ty t =
+  match t with
+  | Bot -> 1
+  | Kb { ones; unk } ->
+    let bits =
+      match ty with
+      | U32 -> Bits.bits_for_unsigned (ones lor unk)
+      | _ ->
+        (* Extremal sign-extended patterns: for the minimum set the
+           sign bit whenever possible and clear unknown low bits; for
+           the maximum the converse. *)
+        let smin_pat = (ones land lnot b31) lor ((ones lor unk) land b31) in
+        let smax_pat = ((ones lor unk) land lnot b31) lor (ones land b31) in
+        let smin = Bits.sign_extend ~width:32 smin_pat in
+        let smax = Bits.sign_extend ~width:32 smax_pat in
+        Bits.bits_for_signed_range (min smin smax) (max smin smax)
+    in
+    max 1 (min 32 bits)
+
+let to_string = function
+  | Bot -> "bot"
+  | Kb { ones; unk } ->
+    String.init 32 (fun i ->
+        let bit = 31 - i in
+        if (unk lsr bit) land 1 = 1 then '?'
+        else if (ones lsr bit) land 1 = 1 then '1'
+        else '0')
+
+(* ------------------------------------------------------------------ *)
+
+let is_int_ty = function S32 | U32 -> true | F32 | Pred -> false
+
+module Domain = struct
+  type nonrec t = t
+
+  let name = "knownbits"
+  let bot = Bot
+  let equal = equal
+  let join = join
+  let widen = widen
+  let narrow = narrow
+  let top_of (_ : dtype) = top
+  let of_range (_ : dtype) ~lo ~hi = of_range ~lo ~hi
+  let extra_deps (_ : instr) = []
+
+  let operand lookup = function
+    | Reg (r : vreg) -> if is_int_ty r.ty then lookup r.id else top
+    | Imm_i c -> const c
+    | Imm_f _ -> top
+
+  (* π-filter [lo, hi] as a pattern prefix; missing or symbolic bounds
+     default to the type's extremes. *)
+  let filter_value ty f =
+    let lo =
+      match f.pf_lo with
+      | Pb_const c -> c
+      | Pb_none | Pb_var _ -> if ty = U32 then 0 else -0x8000_0000
+    in
+    let hi =
+      match f.pf_hi with
+      | Pb_const c -> c
+      | Pb_none | Pb_var _ -> if ty = U32 then m32 else 0x7fff_ffff
+    in
+    of_range ty ~lo ~hi
+
+  let transfer lookup ins =
+    let op = operand lookup in
+    match ins with
+    | Ibin (o, d, a, b) -> binop d.ty o (op a) (op b)
+    | Iun (o, d, a) -> unop d.ty o (op a)
+    | Imad (_, a, b, c) -> mad (op a) (op b) (op c)
+    | Selp (_, a, b, _) -> join (op a) (op b)
+    | Mov (_, a) -> op a
+    | Cvt (o, _, a) ->
+      (match o with
+       | S32_of_u32 | U32_of_s32 -> op a  (* pattern preserved *)
+       | S32_of_f32 | U32_of_f32 | F32_of_s32 | F32_of_u32 -> top)
+    | Ld (d, { abuf; _ }) ->
+      (match abuf.buf_range with
+       | Some (lo, hi) when is_int_ty d.ty -> of_range d.ty ~lo ~hi
+       | _ -> top)
+    | Ld_param _ -> top  (* solver resolves param ranges *)
+    | Phi (_, ops) ->
+      List.fold_left (fun acc (_, o) -> join acc (op o)) Bot ops
+    | Pi (d, s, f) -> meet (lookup s.id) (filter_value d.ty f)
+    | Setp _ | Fbin _ | Fun _ | Ffma _ | St _ | Bar -> top
+end

@@ -1,0 +1,61 @@
+(** Known-bits abstract domain (LLVM-style tri-state bitmask).
+
+    An abstract value tracks, for each of the 32 bits of a value's
+    two's-complement pattern, whether the bit is known-zero, known-one
+    or unknown.  Unlike intervals the domain is exact for bitwise
+    masks and shifts, and — because it abstracts bit *patterns* — it
+    remains sound under 32-bit wrap-around, where the interval
+    analysis must give up.
+
+    Concretization: [Kb {ones; unk}] denotes every 32-bit pattern [p]
+    with [p land (lnot unk) = ones]; signed and unsigned values share
+    their pattern. *)
+
+open Gpr_isa.Types
+
+type t =
+  | Bot                            (** empty set *)
+  | Kb of { ones : int; unk : int }
+      (** invariant: [ones land unk = 0], both within 32 bits *)
+
+val top : t
+val const : int -> t
+(** Singleton (the 32-bit pattern of the given value). *)
+
+val equal : t -> t -> bool
+val is_bot : t -> bool
+
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+val narrow : t -> t -> t
+
+val of_range : lo:int -> hi:int -> t
+(** Common-prefix abstraction of all values in [[lo, hi]]. *)
+
+val of_low_bits : int -> int -> t
+(** [of_low_bits k r]: low [k] bits are exactly [r], the rest unknown
+    — the image of a {!Congruence} class. *)
+
+val mem : int -> t -> bool
+(** [mem v t]: does the 32-bit pattern of [v] lie in the
+    concretization? *)
+
+val binop : dtype -> ibinop -> t -> t -> t
+(** Abstract transfer of an integer binary op, mirroring the
+    executor's wrap semantics (shift amounts masked to 5 bits,
+    [Shr] logical for [U32] and arithmetic otherwise). *)
+
+val unop : dtype -> iunop -> t -> t
+val mad : t -> t -> t -> t
+
+val width : dtype -> t -> int
+(** Required storage width in bits (1–32): unsigned magnitude for
+    [U32], two's-complement signed width otherwise.  [Bot] -> 1. *)
+
+val to_string : t -> string
+(** 32-character MSB-first rendering, e.g. ["000...0101?"];
+    ["bot"] for {!Bot}. *)
+
+module Domain : Dataflow.DOMAIN with type t = t
+(** Instance plugged into {!Dataflow.Make}. *)

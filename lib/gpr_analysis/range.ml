@@ -25,8 +25,8 @@ let clamp_ty (_ : dtype) itv = itv
 (* ------------------------------------------------------------------ *)
 (* Per-node evaluation *)
 
-let eval_operand state = function
-  | Reg (r : vreg) -> if is_int_ty r.ty then state.(r.id) else I.top
+let eval_operand lookup = function
+  | Reg (r : vreg) -> if is_int_ty r.ty then lookup r.id else I.top
   | Imm_i c -> I.of_const c
   | Imm_f _ -> I.top
 
@@ -45,28 +45,28 @@ let eval_ibin op a b =
   | Shl -> I.shl a b
   | Shr -> I.shr a b
 
-let resolve_bound state ~is_lo = function
+let resolve_bound lookup ~is_lo = function
   | Pb_none -> if is_lo then I.Neg_inf else I.Pos_inf
   | Pb_const c -> I.Finite c
   | Pb_var (v, off) ->
-    let itv = state.(v) in
+    let itv = lookup v in
     (* A future: the bound of another variable, plus an offset. *)
     let b = if is_lo then I.lo itv else I.hi itv in
     (match b with
      | I.Finite x -> I.Finite (x + off)
      | inf -> inf)
 
-let eval_filter state f =
-  let lo = resolve_bound state ~is_lo:true f.pf_lo in
-  let hi = resolve_bound state ~is_lo:false f.pf_hi in
+let eval_filter lookup f =
+  let lo = resolve_bound lookup ~is_lo:true f.pf_lo in
+  let hi = resolve_bound lookup ~is_lo:false f.pf_hi in
   I.range lo hi
 
-let eval_instr state ins =
+let eval_instr lookup ins =
   match ins with
   | Ibin (op, d, a, b) ->
-    clamp_ty d.ty (eval_ibin op (eval_operand state a) (eval_operand state b))
+    clamp_ty d.ty (eval_ibin op (eval_operand lookup a) (eval_operand lookup b))
   | Iun (op, d, a) ->
-    let va = eval_operand state a in
+    let va = eval_operand lookup a in
     (match op with
      | Ineg -> clamp_ty d.ty (I.neg va)
      | Iabs -> clamp_ty d.ty (I.abs va)
@@ -74,15 +74,15 @@ let eval_instr state ins =
   | Imad (d, a, b, c) ->
     clamp_ty d.ty
       (I.add
-         (I.mul (eval_operand state a) (eval_operand state b))
-         (eval_operand state c))
+         (I.mul (eval_operand lookup a) (eval_operand lookup b))
+         (eval_operand lookup c))
   | Selp (d, a, b, _) ->
-    clamp_ty d.ty (I.join (eval_operand state a) (eval_operand state b))
-  | Mov (d, a) -> clamp_ty d.ty (eval_operand state a)
+    clamp_ty d.ty (I.join (eval_operand lookup a) (eval_operand lookup b))
+  | Mov (d, a) -> clamp_ty d.ty (eval_operand lookup a)
   | Cvt (op, d, a) ->
     (match op with
      | S32_of_u32 | U32_of_s32 ->
-       let va = eval_operand state a in
+       let va = eval_operand lookup a in
        if I.subset va (top_of_ty d.ty) then va else top_of_ty d.ty
      | S32_of_f32 | U32_of_f32 -> top_of_ty d.ty
      | F32_of_s32 | F32_of_u32 -> I.top)
@@ -91,208 +91,57 @@ let eval_instr state ins =
      | Some (lo, hi) when is_int_ty d.ty -> I.of_ints lo hi
      | _ -> top_of_ty d.ty)
   | Ld_param (d, i) -> (
-      (* Param ranges are attached to the instruction's param entry; the
-         caller passes them via the params array captured in the
-         closure. This variant is handled in [analyze]. *)
+      (* Param ranges are resolved by the solver, which has access to
+         the kernel's param table. *)
       ignore i;
       top_of_ty d.ty)
   | Phi (_, ops) ->
-    List.fold_left (fun acc (_, op) -> I.join acc (eval_operand state op)) I.bot ops
-  | Pi (_, s, f) -> I.meet state.(s.id) (eval_filter state f)
+    List.fold_left (fun acc (_, op) -> I.join acc (eval_operand lookup op)) I.bot ops
+  | Pi (_, s, f) -> I.meet (lookup s.id) (eval_filter lookup f)
   | Setp _ | Fbin _ | Fun _ | Ffma _ | St _ | Bar -> I.top
 
 (* ------------------------------------------------------------------ *)
-(* Tarjan SCC over the dependence graph *)
+(* The interval instance of the generic sparse solver. *)
 
-let sccs ~n ~deps =
-  let index = Array.make n (-1) in
-  let lowlink = Array.make n 0 in
-  let on_stack = Array.make n false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let out = ref [] in
-  let rec strongconnect v =
-    index.(v) <- !counter;
-    lowlink.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-         if index.(w) = -1 then begin
-           strongconnect w;
-           lowlink.(v) <- min lowlink.(v) lowlink.(w)
-         end
-         else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
-      (deps v);
-    if lowlink.(v) = index.(v) then begin
-      let rec popping acc =
-        match !stack with
-        | w :: rest ->
-          stack := rest;
-          on_stack.(w) <- false;
-          if w = v then w :: acc else popping (w :: acc)
-        | [] -> assert false
-      in
-      out := popping [] :: !out
-    end
-  in
-  for v = 0 to n - 1 do
-    if index.(v) = -1 then strongconnect v
-  done;
-  (* Tarjan emits components in reverse topological order of the
-     condensation; with [deps] pointing from user to used, that is
-     dependencies-first — exactly the evaluation order we need.  The
-     accumulator prepends, so restore emission order. *)
-  List.rev !out
+module Dom = struct
+  type t = I.t
+
+  let name = "interval"
+  let bot = I.bot
+  let equal = I.equal
+  let join = I.join
+  let widen = I.widen
+  let narrow = I.narrow
+  let top_of = top_of_ty
+  let of_range (_ : dtype) ~lo ~hi = I.of_ints lo hi
+  let transfer = eval_instr
+
+  let extra_deps = function
+    | Pi (_, _, f) ->
+      (* π-node futures: the bound of another variable. *)
+      let of_bound = function Pb_var (x, _) -> [ x ] | _ -> [] in
+      of_bound f.pf_lo @ of_bound f.pf_hi
+    | _ -> []
+end
+
+module Solver = Dataflow.Make (Dom)
 
 (* ------------------------------------------------------------------ *)
 
 let analyze kernel ~launch =
   let ssa = Essa.convert (Ssa.convert kernel) in
-  let k = ssa.Ssa.kernel in
-  let n = k.k_num_vregs in
-  let state = Array.make n I.bot in
-
-  (* Definition map. *)
-  let def = Array.make n None in
-  Array.iter
-    (fun blk ->
-       Array.iter
-         (fun ins ->
-            match defs ins with
-            | Some d -> def.(d.id) <- Some ins
-            | None -> ())
-         blk.instrs)
-    k.k_blocks;
-
-  (* Seeds: specials from launch geometry; names with no definition are
-     entry-level (undef or special) and default to top of their type. *)
-  let special_seed = Hashtbl.create 16 in
-  List.iter
-    (fun (id, s) ->
-       let itv =
-         match s with
-         | Tid_x -> I.of_ints 0 (launch.ntid_x - 1)
-         | Tid_y -> I.of_ints 0 (launch.ntid_y - 1)
-         | Ntid_x -> I.of_const launch.ntid_x
-         | Ntid_y -> I.of_const launch.ntid_y
-         | Ctaid_x -> I.of_ints 0 (launch.nctaid_x - 1)
-         | Ctaid_y -> I.of_ints 0 (launch.nctaid_y - 1)
-         | Nctaid_x -> I.of_const launch.nctaid_x
-         | Nctaid_y -> I.of_const launch.nctaid_y
-       in
-       Hashtbl.replace special_seed id itv)
-    k.k_specials;
-
-  (* Collect the set of int-typed nodes and their types. *)
-  let ty_of = Array.make n S32 in
-  let tracked = Array.make n false in
-  let note (r : vreg) =
-    if r.id < n then begin
-      ty_of.(r.id) <- r.ty;
-      tracked.(r.id) <- is_int_ty r.ty
-    end
-  in
-  Array.iter
-    (fun blk ->
-       Array.iter
-         (fun ins ->
-            (match defs ins with Some d -> note d | None -> ());
-            List.iter note (uses ins))
-         blk.instrs)
-    k.k_blocks;
-  Hashtbl.iter (fun id _ -> ty_of.(id) <- S32; tracked.(id) <- true) special_seed;
-
-  let eval v =
-    match Hashtbl.find_opt special_seed v with
-    | Some itv -> itv
-    | None ->
-      (match def.(v) with
-       | None -> top_of_ty ty_of.(v)  (* undef version *)
-       | Some (Ld_param (d, i)) ->
-         (match k.k_params.(i).p_range with
-          | Some (lo, hi) when is_int_ty d.ty -> I.of_ints lo hi
-          | _ -> top_of_ty d.ty)
-       | Some ins -> eval_instr state ins)
-  in
-
-  (* Dependence edges: value -> values it reads (including futures). *)
-  let deps v =
-    match def.(v) with
-    | None -> []
-    | Some ins ->
-      let reg_deps =
-        uses ins
-        |> List.filter_map (fun (r : vreg) ->
-            if is_int_ty r.ty && r.id < n then Some r.id else None)
-      in
-      let future_deps =
-        match ins with
-        | Pi (_, _, f) ->
-          let of_bound = function Pb_var (x, _) -> [ x ] | _ -> [] in
-          of_bound f.pf_lo @ of_bound f.pf_hi
-        | _ -> []
-      in
-      reg_deps @ future_deps
-  in
-
-  let components = sccs ~n ~deps in
-  List.iter
-    (fun comp ->
-       match comp with
-       | [ v ] when not (List.mem v (deps v)) ->
-         if tracked.(v) then state.(v) <- eval v
-       | _ ->
-         let members = List.filter (fun v -> tracked.(v)) comp in
-         (* Growth phase with widening. *)
-         let changed = ref true in
-         let rounds = ref 0 in
-         while !changed && !rounds < 64 do
-           changed := false;
-           incr rounds;
-           List.iter
-             (fun v ->
-                let nv = eval v in
-                let wv =
-                  if !rounds <= 2 then I.join state.(v) nv
-                  else I.widen state.(v) nv
-                in
-                if not (I.equal wv state.(v)) then begin
-                  state.(v) <- wv;
-                  changed := true
-                end)
-             members
-         done;
-         (* Narrowing phase (bounded). *)
-         for _ = 1 to 4 do
-           List.iter
-             (fun v ->
-                let nv = eval v in
-                let res = I.narrow state.(v) nv in
-                state.(v) <- res)
-             members
-         done)
-    components;
-
-  (* Merge per original variable (Fig. 8d). *)
-  let var_ranges = Array.make ssa.Ssa.num_orig I.bot in
-  Array.iteri
-    (fun ssa_id orig_id ->
-       if tracked.(ssa_id) then
-         var_ranges.(orig_id) <- I.join var_ranges.(orig_id) state.(ssa_id))
-    ssa.Ssa.orig_of_ssa;
+  let r = Solver.solve ssa ~launch in
 
   let var_bits = Array.make ssa.Ssa.num_orig 32 in
   Array.iteri
     (fun ssa_id orig_id ->
-       if tracked.(ssa_id) then
-         let itv = var_ranges.(orig_id) in
+       if r.Solver.tracked.(ssa_id) then
+         let itv = r.Solver.var_values.(orig_id) in
          let bits =
            match itv with
            | I.Bot -> 1  (* never live *)
            | I.Range (I.Finite lo, I.Finite hi) ->
-             if ty_of.(ssa_id) = U32 && lo >= 0 then
+             if r.Solver.ty_of.(ssa_id) = U32 && lo >= 0 then
                Gpr_util.Bits.bits_for_unsigned_range lo hi
              else Gpr_util.Bits.bits_for_signed_range lo hi
            | I.Range _ -> 32
@@ -300,7 +149,10 @@ let analyze kernel ~launch =
          var_bits.(orig_id) <- min 32 bits)
     ssa.Ssa.orig_of_ssa;
 
-  { essa = ssa; ssa_ranges = state; var_ranges; var_bits }
+  { essa = ssa;
+    ssa_ranges = r.Solver.ssa_values;
+    var_ranges = r.Solver.var_values;
+    var_bits }
 
 let var_range t v = t.var_ranges.(v)
 let var_bitwidth t v = t.var_bits.(v)

@@ -1,0 +1,100 @@
+open Gpr_isa.Types
+module I = Gpr_util.Interval
+module Bits = Gpr_util.Bits
+
+type t = {
+  range : Range.t;
+  known : Knownbits.t array;
+  cong : Congruence.t array;
+  demanded : int array;
+  var_bits : int array;
+}
+
+let is_int_ty = function S32 | U32 -> true | F32 | Pred -> false
+
+module Kb_solver = Dataflow.Make (Knownbits.Domain)
+module Cg_solver = Dataflow.Make (Congruence.Domain)
+
+(* Same width convention as [Range.analyze]'s final pass. *)
+let bits_of_interval ty itv =
+  match itv with
+  | I.Bot -> 1
+  | I.Range (I.Finite lo, I.Finite hi) ->
+    min 32
+      (if ty = U32 && lo >= 0 then Bits.bits_for_unsigned_range lo hi
+       else Bits.bits_for_signed_range lo hi)
+  | I.Range _ -> 32
+
+let analyze kernel ~launch =
+  let range = Range.analyze kernel ~launch in
+  let essa = range.Range.essa in
+  let kb = Kb_solver.solve essa ~launch in
+  let cg = Cg_solver.solve essa ~launch in
+  let demanded = Demanded.analyze kernel in
+  let n = essa.Ssa.num_orig in
+
+  let orig_ty = Array.make n S32 in
+  let orig_tracked = Array.make n false in
+  Array.iteri
+    (fun ssa_id orig_id ->
+       if kb.Kb_solver.tracked.(ssa_id) then begin
+         orig_tracked.(orig_id) <- true;
+         orig_ty.(orig_id) <- kb.Kb_solver.ty_of.(ssa_id)
+       end)
+    essa.Ssa.orig_of_ssa;
+
+  let known = Array.make n Knownbits.Bot in
+  let cong = Array.make n Congruence.Bot in
+  let var_bits = Array.make n 32 in
+  for v = 0 to n - 1 do
+    if orig_tracked.(v) then begin
+      let ty = orig_ty.(v) in
+      let cgv = cg.Cg_solver.var_values.(v) in
+      (* Reduced product: a congruence class pins its low bits
+         exactly, which the bitmask domain can consume directly. *)
+      let kbv =
+        match Congruence.known_low_bits cgv with
+        | Some (k, r) ->
+          Knownbits.meet kb.Kb_solver.var_values.(v) (Knownbits.of_low_bits k r)
+        | None -> kb.Kb_solver.var_values.(v)
+      in
+      known.(v) <- kbv;
+      cong.(v) <- cgv;
+      let w_interval = range.Range.var_bits.(v) in
+      let w_known = Knownbits.width ty kbv in
+      let w_strided =
+        bits_of_interval ty
+          (Congruence.refine_interval (Range.var_range range v) cgv)
+      in
+      let w_demanded = max 1 demanded.(v) in
+      var_bits.(v) <-
+        max 1 (min (min w_interval w_known) (min w_strided w_demanded))
+    end
+  done;
+  { range; known; cong; demanded; var_bits }
+
+let var_bitwidth t v = t.var_bits.(v)
+let interval_bitwidth t v = t.range.Range.var_bits.(v)
+let demanded_width t v = t.demanded.(v)
+let known_bits t v = t.known.(v)
+let congruence t v = t.cong.(v)
+
+let count_narrow bits kernel =
+  let count = ref 0 in
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun blk ->
+       Array.iter
+         (fun ins ->
+            match defs ins with
+            | Some (d : vreg)
+              when is_int_ty d.ty && not (Hashtbl.mem seen d.id) ->
+              Hashtbl.replace seen d.id ();
+              if d.id < Array.length bits && bits.(d.id) < 32 then incr count
+            | _ -> ())
+         blk.instrs)
+    kernel.k_blocks;
+  !count
+
+let narrow_int_count t kernel = count_narrow t.var_bits kernel
+let interval_narrow_int_count t kernel = count_narrow t.range.Range.var_bits kernel

@@ -1,0 +1,51 @@
+(** Reduced-product width authority.
+
+    [analyze] runs the interval analysis ({!Range}), the known-bits
+    and congruence forward domains (both over the same e-SSA form, via
+    {!Dataflow.Make}) and the backward demanded-bits pass
+    ({!Demanded}), then combines them: per original variable the
+    storage width is the minimum of
+
+    - the interval width ([Range.var_bits]),
+    - the known-bits width, after meeting in the congruence class's
+      exactly-known low bits,
+    - the width of the interval tightened inward to the congruence
+      class, and
+    - the demanded width (floored at 1 bit),
+
+    which is never wider than the interval-only answer (dominance) and
+    strictly narrower whenever a bitwise mask, an alignment stride or
+    a dead high part escapes the interval abstraction.  This is the
+    single width source consumed by {!Gpr_core.Compress}, every
+    backend scheme and the linter; the [gpr check] width stage
+    dynamically validates all four ingredients. *)
+
+open Gpr_isa.Types
+
+type t = {
+  range : Range.t;                 (** underlying interval results *)
+  known : Knownbits.t array;
+      (** per original variable, congruence low bits folded in;
+          [Bot] for untracked (float/pred) variables *)
+  cong : Congruence.t array;       (** per original variable *)
+  demanded : int array;            (** per original variable, 0–32 *)
+  var_bits : int array;            (** final product width, 1–32 *)
+}
+
+val analyze : kernel -> launch:launch -> t
+
+val var_bitwidth : t -> int -> int
+(** Product width (the authority). *)
+
+val interval_bitwidth : t -> int -> int
+(** Interval-only width, kept for old-vs-new deltas. *)
+
+val demanded_width : t -> int -> int
+val known_bits : t -> int -> Knownbits.t
+val congruence : t -> int -> Congruence.t
+
+val narrow_int_count : t -> kernel -> int
+(** Number of integer variables with product width below 32 bits. *)
+
+val interval_narrow_int_count : t -> kernel -> int
+(** Same statistic under interval-only widths. *)

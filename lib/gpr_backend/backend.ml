@@ -30,7 +30,7 @@ module type Scheme = sig
 
   val analyze :
     kernel:Gpr_isa.Types.kernel ->
-    range:Gpr_analysis.Range.t ->
+    width:Gpr_analysis.Width.t ->
     precision:Gpr_precision.Precision.assignment option ->
     resources
 

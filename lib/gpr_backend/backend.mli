@@ -9,8 +9,10 @@
       two schemes (or two versions of one scheme) never share a cache
       entry;
     - [analyze], the width/placement policy — from the kernel, its
-      integer ranges and an optional float-precision assignment to the
-      {!resources} the scheme asks the SM for;
+      bit-precise width analysis ({!Gpr_analysis.Width}: intervals ×
+      known-bits × congruence × demanded-bits) and an optional
+      float-precision assignment to the {!resources} the scheme asks
+      the SM for;
     - [cost], the per-access timing model the simulator applies;
     - [area], the hardware-overhead estimate.
 
@@ -63,7 +65,7 @@ module type Scheme = sig
 
   val analyze :
     kernel:Gpr_isa.Types.kernel ->
-    range:Gpr_analysis.Range.t ->
+    width:Gpr_analysis.Width.t ->
     precision:Gpr_precision.Precision.assignment option ->
     resources
 

@@ -7,7 +7,7 @@ let version = 1
 let describe = "conventional 32-bit register file"
 let needs_precision = false
 
-let analyze ~kernel ~range:_ ~precision:_ =
+let analyze ~kernel ~width:_ ~precision:_ =
   Backend.plain_resources (Gpr_alloc.Alloc.baseline kernel)
 
 let cost =

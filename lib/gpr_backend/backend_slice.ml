@@ -4,16 +4,21 @@
 
 open Gpr_isa.Types
 module P = Gpr_precision.Precision
-module Range = Gpr_analysis.Range
+module Width = Gpr_analysis.Width
 
 let id = "slice"
-let version = 1
+
+(* v2: integer widths come from the reduced product of intervals,
+   known bits, congruences and demanded bits ([Gpr_analysis.Width])
+   instead of intervals alone — strictly narrower, never wider. *)
+let version = 2
+
 let describe = "slice-compressed register file (the paper's scheme)"
 let needs_precision = true
 
 (* The per-variable width policy, shared with the ablation sweeps (and
    re-exported by [Compress.width_fn] for compatibility). *)
-let width_fn ~narrow_ints ~narrow_floats ~range (r : vreg) =
+let width_fn ~narrow_ints ~narrow_floats ~width (r : vreg) =
   match r.ty with
   | Pred -> 32  (* excluded from allocation by liveness anyway *)
   | F32 ->
@@ -23,14 +28,14 @@ let width_fn ~narrow_ints ~narrow_floats ~range (r : vreg) =
        let bits = P.var_bits asg in
        (match Hashtbl.find_opt bits r.id with Some b -> b | None -> 32))
   | S32 | U32 ->
-    if narrow_ints && r.id < Array.length range.Range.var_bits
-    then Range.var_bitwidth range r.id
+    if narrow_ints && r.id < Array.length width.Width.var_bits
+    then Width.var_bitwidth width r.id
     else 32
 
-let analyze ~kernel ~range ~precision =
+let analyze ~kernel ~width ~precision =
   Backend.plain_resources
     (Gpr_alloc.Alloc.run kernel
-       ~width_of:(width_fn ~narrow_ints:true ~narrow_floats:precision ~range))
+       ~width_of:(width_fn ~narrow_ints:true ~narrow_floats:precision ~width))
 
 let cost =
   {

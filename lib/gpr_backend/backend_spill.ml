@@ -44,7 +44,7 @@ let slots_needed spilled_intervals =
     events;
   !peak
 
-let analyze ~kernel ~range:_ ~precision:_ =
+let analyze ~kernel ~width:_ ~precision:_ =
   let live = Liveness.compute kernel in
   let intervals = Liveness.intervals live in
   let special_ids =

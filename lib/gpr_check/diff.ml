@@ -2,6 +2,9 @@ open Gpr_isa.Types
 module E = Gpr_exec.Exec
 module I = Gpr_util.Interval
 module Range = Gpr_analysis.Range
+module Width = Gpr_analysis.Width
+module KB = Gpr_analysis.Knownbits
+module CG = Gpr_analysis.Congruence
 module Alloc = Gpr_alloc.Alloc
 module Ind = Gpr_regfile.Indirection
 module Dp = Gpr_regfile.Datapath
@@ -33,6 +36,7 @@ type failure =
     }
   | Exec_failure of string
   | Sim_violation of string
+  | Width_violation of string
   | Lint_unsound of { event : string; diags : int }
 
 exception Check_failed of failure
@@ -46,6 +50,7 @@ let category = function
   | Output_mismatch { mode; _ } -> "output-" ^ mode_name mode
   | Exec_failure _ -> "exec"
   | Sim_violation _ -> "sim"
+  | Width_violation _ -> "width"
   | Lint_unsound _ -> "lint"
 
 let to_string = function
@@ -64,6 +69,7 @@ let to_string = function
       (mode_name mode) buffer index got expected
   | Exec_failure s -> "executor failure: " ^ s
   | Sim_violation s -> "simulator invariant: " ^ s
+  | Width_violation s -> "width analysis violation: " ^ s
   | Lint_unsound { event; diags } ->
     Printf.sprintf
       "lint unsound: dynamic monitor fired (%s) on a kernel the static \
@@ -189,13 +195,37 @@ let compare_outputs mode ref_data packed_data =
        | _ -> mismatch 0 "storage kind" "storage kind")
     ref_data packed_data
 
-let default_analyze k ~launch = Range.analyze k ~launch
+let default_analyze k ~launch = Width.analyze k ~launch
+
+(* Forward soundness is checked on the *reference* run, where the
+   executed values are the ones the static analysis abstracts.  The
+   packed run may legitimately differ from them in bits no consumer
+   demands (demanded-width storage truncates dead high parts), so
+   validating intervals there would be checking the wrong semantics. *)
+let interval_check rt pc (d : vreg) v =
+  (match v with
+   | E.P_int iv when d.ty = S32 || d.ty = U32 ->
+     (match Range.var_range rt d.id with
+      | I.Bot -> ()
+      | range ->
+        if not (I.contains range iv) then
+          fail (Range_violation { pc; reg = d; value = iv; range }))
+   | _ -> ());
+  v
+
+(* The storage contract under demanded-width packing: a write must
+   survive its slices in the low [demanded] bits — the only bits any
+   later read can observe. *)
+let demanded_of (wt : Width.t) (d : vreg) =
+  if d.id < Array.length wt.Width.demanded then max 1 wt.Width.demanded.(d.id)
+  else 32
 
 let check ?(analyze = default_analyze) ?(max_steps = 2_000_000) mode
     (case : Gen.case) =
   guard @@ fun () ->
   let kernel = case.kernel in
-  let rt = analyze kernel ~launch:case.launch in
+  let wt = analyze kernel ~launch:case.launch in
+  let rt = wt.Width.range in
   let float_bits (r : vreg) =
     match mode with
     | Exact -> 32
@@ -205,7 +235,7 @@ let check ?(analyze = default_analyze) ?(max_steps = 2_000_000) mode
     match r.ty with
     | Pred -> 32
     | F32 -> float_bits r
-    | S32 | U32 -> Range.var_bitwidth rt r.id
+    | S32 | U32 -> Width.var_bitwidth wt r.id
   in
   let alloc = Alloc.run kernel ~width_of in
   check_alloc_static alloc;
@@ -224,23 +254,15 @@ let check ?(analyze = default_analyze) ?(max_steps = 2_000_000) mode
     | None -> F.quantize F.f32 v
   in
   (* Packed: round-trip every write through the indirection table and
-     the TVT/TVE datapath, validating integers on the way. *)
+     the TVT/TVE datapath; the low demanded bits must survive. *)
   let on_write pc (d : vreg) v =
     match v with
     | E.P_int iv ->
-      (match d.ty with
-       | S32 | U32 ->
-         (match Range.var_range rt d.id with
-          | I.Bot -> ()
-          | range ->
-            if not (I.contains range iv) then
-              fail (Range_violation { pc; reg = d; value = iv; range }))
-       | F32 | Pred -> ());
       (match Ind.lookup table d.id with
        | Some p when not p.is_float ->
          let r0, r1 = Dp.store_int p iv in
          let back = Dp.load_int p ~r0 ~r1 in
-         if back <> iv then
+         if (back lxor iv) land Gpr_util.Bits.mask (demanded_of wt d) <> 0 then
            fail
              (Storage_violation
                 { pc; reg = d; value = iv; roundtrip = back; bits = p.bits });
@@ -263,6 +285,7 @@ let check ?(analyze = default_analyze) ?(max_steps = 2_000_000) mode
     {
       E.default_config with
       quantize = Some ref_quantize;
+      on_write = Some (interval_check rt);
       max_steps = Some max_steps;
     }
     ref_data;
@@ -271,6 +294,113 @@ let check ?(analyze = default_analyze) ?(max_steps = 2_000_000) mode
     { E.default_config with on_write = Some on_write; max_steps = Some max_steps }
     packed_data;
   compare_outputs mode ref_data packed_data
+
+(* ------------------------------------------------------------------ *)
+(* Width-analysis oracle: validates all four ingredients of the
+   [Gpr_analysis.Width] reduced product against one execution.
+
+   (a) dominance — the product is never wider than the intervals;
+   (b) forward membership — on the reference run every executed
+       integer definition lies in its interval, its known-bits pattern
+       set and its congruence class;
+   (c) storage — a packed run at the product widths round-trips every
+       write through the real indirection/datapath, and the low
+       demanded bits always survive;
+   (d) end-to-end — the packed outputs are byte-identical, i.e. the
+       demanded-bits truncation is unobservable. *)
+
+let check_width ?(max_steps = 2_000_000) (case : Gen.case) =
+  guard @@ fun () ->
+  let kernel = case.kernel in
+  let wt = Width.analyze kernel ~launch:case.launch in
+  let rt = wt.Width.range in
+  Array.iteri
+    (fun v wb ->
+       let ib = rt.Range.var_bits.(v) in
+       if wb > ib then
+         fail
+           (Width_violation
+              (Printf.sprintf
+                 "%%%d: product width %d exceeds interval width %d" v wb ib)))
+    wt.Width.var_bits;
+  let on_ref_write pc (d : vreg) v =
+    (match v with
+     | E.P_int iv when d.ty = S32 || d.ty = U32 ->
+       (match Range.var_range rt d.id with
+        | I.Bot -> ()
+        | range ->
+          if not (I.contains range iv) then
+            fail (Range_violation { pc; reg = d; value = iv; range }));
+       (match Width.known_bits wt d.id with
+        | KB.Bot -> ()
+        | kbv ->
+          if not (KB.mem iv kbv) then
+            fail
+              (Width_violation
+                 (Printf.sprintf
+                    "pc %d wrote %%%s%d = %d outside known bits %s" pc d.name
+                    d.id iv (KB.to_string kbv))));
+       (match Width.congruence wt d.id with
+        | CG.Bot -> ()
+        | cgv ->
+          if not (CG.mem iv cgv) then
+            fail
+              (Width_violation
+                 (Printf.sprintf
+                    "pc %d wrote %%%s%d = %d outside congruence %s" pc d.name
+                    d.id iv (CG.to_string cgv))))
+     | _ -> ());
+    v
+  in
+  let width_of (r : vreg) =
+    match r.ty with
+    | Pred | F32 -> 32
+    | S32 | U32 -> Width.var_bitwidth wt r.id
+  in
+  let alloc = Alloc.run kernel ~width_of in
+  check_alloc_static alloc;
+  let table = Ind.create alloc in
+  let on_write pc (d : vreg) v =
+    match v with
+    | E.P_int iv ->
+      (match Ind.lookup table d.id with
+       | Some p when not p.is_float ->
+         let r0, r1 = Dp.store_int p iv in
+         let back = Dp.load_int p ~r0 ~r1 in
+         if (back lxor iv) land Gpr_util.Bits.mask (demanded_of wt d) <> 0 then
+           fail
+             (Storage_violation
+                { pc; reg = d; value = iv; roundtrip = back; bits = p.bits });
+         E.P_int back
+       | _ -> v)
+    | E.P_float fv ->
+      (* Floats stay at 32 bits here; the storage path is still the
+         real one (f32 placements are identity modulo flush). *)
+      (match Ind.lookup table d.id with
+       | Some p when p.is_float ->
+         let r0, r1 = Dp.store_float p fv in
+         E.P_float (Dp.load_float p ~r0 ~r1)
+       | _ -> E.P_float (F.quantize F.f32 fv))
+  in
+  let run config data =
+    let bindings = E.bindings_for kernel ~data ~shared:case.shared () in
+    ignore
+      (E.run kernel ~launch:case.launch ~params:case.params ~bindings config)
+  in
+  let ref_data = case.data () in
+  run
+    {
+      E.default_config with
+      quantize = Some (fun _ v -> F.quantize F.f32 v);
+      on_write = Some on_ref_write;
+      max_steps = Some max_steps;
+    }
+    ref_data;
+  let packed_data = case.data () in
+  run
+    { E.default_config with on_write = Some on_write; max_steps = Some max_steps }
+    packed_data;
+  compare_outputs Exact ref_data packed_data
 
 (* ------------------------------------------------------------------ *)
 
@@ -345,8 +475,9 @@ let check_backend ?(max_steps = 2_000_000) (b : Backend.t) (case : Gen.case) =
   guard @@ fun () ->
   let module S = (val b : Backend.Scheme) in
   let kernel = case.kernel in
-  let rt = Range.analyze kernel ~launch:case.launch in
-  let res = S.analyze ~kernel ~range:rt ~precision:None in
+  let wt = Width.analyze kernel ~launch:case.launch in
+  let rt = wt.Width.range in
+  let res = S.analyze ~kernel ~width:wt ~precision:None in
   let alloc = res.Backend.alloc in
   check_alloc_static alloc;
   check_backend_coverage kernel res;
@@ -369,19 +500,11 @@ let check_backend ?(max_steps = 2_000_000) (b : Backend.t) (case : Gen.case) =
   let on_write pc (d : vreg) v =
     match v with
     | E.P_int iv ->
-      (match d.ty with
-       | S32 | U32 ->
-         (match Range.var_range rt d.id with
-          | I.Bot -> ()
-          | range ->
-            if not (I.contains range iv) then
-              fail (Range_violation { pc; reg = d; value = iv; range }))
-       | F32 | Pred -> ());
       (match Ind.lookup table d.id with
        | Some p when not p.is_float ->
          let r0, r1 = Dp.store_int p iv in
          let back = Dp.load_int p ~r0 ~r1 in
-         if back <> iv then
+         if (back lxor iv) land Gpr_util.Bits.mask (demanded_of wt d) <> 0 then
            fail
              (Storage_violation
                 { pc; reg = d; value = iv; roundtrip = back; bits = p.bits });
@@ -414,6 +537,7 @@ let check_backend ?(max_steps = 2_000_000) (b : Backend.t) (case : Gen.case) =
     {
       E.default_config with
       quantize = Some ref_quantize;
+      on_write = Some (interval_check rt);
       max_steps = Some max_steps;
     }
     ref_data;
@@ -442,8 +566,8 @@ let check_sim_backend ?(max_steps = 2_000_000) (b : Backend.t)
     | Some t -> t
     | None -> fail (Exec_failure "trace collection returned no trace")
   in
-  let rt = Range.analyze kernel ~launch:case.launch in
-  let res = S.analyze ~kernel ~range:rt ~precision:None in
+  let wt = Width.analyze kernel ~launch:case.launch in
+  let res = S.analyze ~kernel ~width:wt ~precision:None in
   let cfg = Gpr_arch.Config.fermi_gtx480 in
   let warps = trace.Gpr_exec.Trace.warps_per_block in
   let shared_bytes =
@@ -497,11 +621,11 @@ let check_sim ?(max_steps = 2_000_000) (case : Gen.case) =
     | Some t -> t
     | None -> fail (Exec_failure "trace collection returned no trace")
   in
-  let rt = Range.analyze kernel ~launch:case.launch in
+  let wt = Width.analyze kernel ~launch:case.launch in
   let width_of (r : vreg) =
     match r.ty with
     | Pred | F32 -> 32
-    | S32 | U32 -> Range.var_bitwidth rt r.id
+    | S32 | U32 -> Width.var_bitwidth wt r.id
   in
   let alloc_base = Alloc.baseline kernel in
   let alloc_comp = Alloc.run kernel ~width_of in
@@ -559,7 +683,7 @@ let check_obs ?(max_steps = 2_000_000) (case : Gen.case) =
     | Some t -> t
     | None -> fail (Exec_failure "trace collection returned no trace")
   in
-  let rt = Range.analyze kernel ~launch:case.launch in
+  let wt = Width.analyze kernel ~launch:case.launch in
   let cfg = Gpr_arch.Config.fermi_gtx480 in
   let shared_bytes =
     4 * List.fold_left (fun acc (_, n) -> acc + n) 0 case.shared
@@ -621,7 +745,7 @@ let check_obs ?(max_steps = 2_000_000) (case : Gen.case) =
   let width_of (r : vreg) =
     match r.ty with
     | Pred | F32 -> 32
-    | S32 | U32 -> Range.var_bitwidth rt r.id
+    | S32 | U32 -> Width.var_bitwidth wt r.id
   in
   let alloc_base = Alloc.baseline kernel in
   let alloc_comp = Alloc.run kernel ~width_of in
@@ -631,7 +755,7 @@ let check_obs ?(max_steps = 2_000_000) (case : Gen.case) =
     (Gpr_sim.Sim.Proposed { writeback_delay = 3 });
   (* The spill scheme exercises the spill-port cause. *)
   let module Sp = Gpr_backend.Backend_spill in
-  let res = Sp.analyze ~kernel ~range:rt ~precision:None in
+  let res = Sp.analyze ~kernel ~width:wt ~precision:None in
   run "spill" res.Backend.alloc
     (occ_of res.Backend.alloc.Alloc.pressure
        (Backend.spill_bytes_per_thread res))

@@ -55,6 +55,11 @@ type failure =
     }
   | Exec_failure of string  (** executor fault (bounds, step budget, …) *)
   | Sim_violation of string  (** timing-model invariant *)
+  | Width_violation of string
+      (** the {!Gpr_analysis.Width} reduced product broke one of its
+          contracts: product wider than the intervals (dominance), or
+          an executed value escaped its known-bits / congruence
+          abstraction *)
   | Lint_unsound of { event : string; diags : int }
       (** the dynamic barrier/race monitor fired on a kernel the static
           verifier ({!Gpr_lint.Lint}) passed as monitor-clean — a false
@@ -71,17 +76,30 @@ val category : failure -> string
 val to_string : failure -> string
 
 val check :
-  ?analyze:(kernel -> launch:launch -> Gpr_analysis.Range.t) ->
+  ?analyze:(kernel -> launch:launch -> Gpr_analysis.Width.t) ->
   ?max_steps:int ->
   mode ->
   Gen.case ->
   unit
 (** Run the differential oracle; raises {!Check_failed} on any
-    violation.  [analyze] (default {!Gpr_analysis.Range.analyze})
+    violation.  [analyze] (default {!Gpr_analysis.Width.analyze})
     exists so tests can inject a deliberately corrupted analysis and
     watch the oracle catch it.  [max_steps] (default 2M thread
     instructions) bounds runaway kernels, which greedy shrinking can
-    create. *)
+    create.  Interval membership is validated on the reference run;
+    the packed run's storage round-trip is required to preserve the
+    low demanded bits of every write (wider bits may legitimately be
+    dropped by demanded-width storage). *)
+
+val check_width : ?max_steps:int -> Gen.case -> unit
+(** Width-analysis oracle over the {!Gpr_analysis.Width} reduced
+    product: (a) dominance — product widths never exceed interval
+    widths; (b) forward membership — on a reference run, every
+    executed integer definition lies in its interval, known-bits and
+    congruence abstractions; (c) a packed run at the product widths
+    round-trips every write through the indirection/datapath storage
+    with the low demanded bits intact; (d) the packed outputs are
+    byte-identical to the reference. *)
 
 val check_lint : ?max_steps:int -> Gen.case -> unit
 (** Static/dynamic soundness parity: lint the kernel with

@@ -1,6 +1,7 @@
 type stage =
   | Stage_exact
   | Stage_narrow
+  | Stage_width
   | Stage_sim
   | Stage_lint
   | Stage_obs
@@ -22,6 +23,7 @@ type summary = {
 let stage_name = function
   | Stage_exact -> "exact"
   | Stage_narrow -> "narrow"
+  | Stage_width -> "width"
   | Stage_sim -> "sim"
   | Stage_lint -> "lint"
   | Stage_obs -> "obs"
@@ -35,7 +37,8 @@ let stages_for backends =
   List.concat_map
     (fun name ->
       if String.lowercase_ascii name = "slice" then
-        [ Stage_exact; Stage_narrow; Stage_sim; Stage_lint; Stage_obs ]
+        [ Stage_exact; Stage_narrow; Stage_width; Stage_sim; Stage_lint;
+          Stage_obs ]
       else [ Stage_backend name ])
     backends
 
@@ -45,6 +48,7 @@ let run_stage stage case =
   match stage with
   | Stage_exact -> Diff.check Diff.Exact case
   | Stage_narrow -> Diff.check Diff.Narrow case
+  | Stage_width -> Diff.check_width case
   | Stage_sim -> Diff.check_sim case
   | Stage_lint -> Diff.check_lint case
   | Stage_obs -> Diff.check_obs case

@@ -2,8 +2,9 @@
 
     Every seed runs a sequence of oracle stages derived from the
     requested scheme list ([backends], default [["slice"]]).  The slice
-    scheme expands to the five classic stages — exact differential,
-    reduced-precision, timing-model replay, static/dynamic
+    scheme expands to the six classic stages — exact differential,
+    reduced-precision, width-analysis soundness
+    ({!Diff.check_width}), timing-model replay, static/dynamic
     lint-soundness parity, and the stall-attribution identity
     ({!Diff}) — while any other registered scheme
     runs the generic plain-vs-backend oracles
@@ -15,6 +16,9 @@
 type stage =
   | Stage_exact
   | Stage_narrow
+  | Stage_width
+      (** {!Gpr_analysis.Width} reduced-product soundness: dominance,
+          forward membership, demanded-bits storage ({!Diff.check_width}) *)
   | Stage_sim
   | Stage_lint
   | Stage_obs

@@ -14,6 +14,7 @@ type t = {
   w : Workload.t;
   fingerprint : Gpr_engine.Fingerprint.t;
   reference : float array;
+  width : Gpr_analysis.Width.t;
   range : Gpr_analysis.Range.t;
   baseline : Alloc.t;
   int_only : Alloc.t;
@@ -35,7 +36,7 @@ let tuning_knobs sites =
   let budget = if n > 96 then 200 else 140 in
   (min_group, budget)
 
-let tune_threshold (w : Workload.t) ~reference ~range threshold =
+let tune_threshold (w : Workload.t) ~reference ~width threshold =
   let sites = Workload.float_sites w in
   let min_group, budget = tuning_knobs sites in
   let evaluate ~quantize = Workload.evaluate w ~reference ~quantize in
@@ -47,11 +48,11 @@ let tune_threshold (w : Workload.t) ~reference ~range threshold =
   in
   let alloc_float_only =
     Alloc.run w.kernel
-      ~width_of:(width_fn ~narrow_ints:false ~narrow_floats:(Some assignment) ~range)
+      ~width_of:(width_fn ~narrow_ints:false ~narrow_floats:(Some assignment) ~width)
   in
   let alloc_both =
     Alloc.run w.kernel
-      ~width_of:(width_fn ~narrow_ints:true ~narrow_floats:(Some assignment) ~range)
+      ~width_of:(width_fn ~narrow_ints:true ~narrow_floats:(Some assignment) ~width)
   in
   { assignment; achieved_score; alloc_float_only; alloc_both }
 
@@ -79,7 +80,7 @@ let fingerprint (w : Workload.t) = Gpr_engine.Fingerprint.workload w
    on-disk store persists only the computed, closure-free part. *)
 type stored = {
   s_reference : float array;
-  s_range : Gpr_analysis.Range.t;
+  s_width : Gpr_analysis.Width.t;
   s_baseline : Alloc.t;
   s_int_only : Alloc.t;
   s_perfect : per_threshold;
@@ -88,15 +89,15 @@ type stored = {
 
 let compute (w : Workload.t) =
   let reference = Workload.reference w in
-  let range = Gpr_analysis.Range.analyze w.kernel ~launch:w.launch in
+  let width = Gpr_analysis.Width.analyze w.kernel ~launch:w.launch in
   let baseline = Alloc.baseline w.kernel in
   let int_only =
     Alloc.run w.kernel
-      ~width_of:(width_fn ~narrow_ints:true ~narrow_floats:None ~range)
+      ~width_of:(width_fn ~narrow_ints:true ~narrow_floats:None ~width)
   in
-  let perfect = tune_threshold w ~reference ~range Q.Perfect in
-  let high = tune_threshold w ~reference ~range Q.High in
-  { s_reference = reference; s_range = range; s_baseline = baseline;
+  let perfect = tune_threshold w ~reference ~width Q.Perfect in
+  let high = tune_threshold w ~reference ~width Q.High in
+  { s_reference = reference; s_width = width; s_baseline = baseline;
     s_int_only = int_only; s_perfect = perfect; s_high = high }
 
 let analyze (w : Workload.t) =
@@ -113,7 +114,8 @@ let analyze (w : Workload.t) =
           compute w)
     in
     let t =
-      { w; fingerprint = fp; reference = s.s_reference; range = s.s_range;
+      { w; fingerprint = fp; reference = s.s_reference; width = s.s_width;
+        range = s.s_width.Gpr_analysis.Width.range;
         baseline = s.s_baseline; int_only = s.s_int_only;
         perfect = s.s_perfect; high = s.s_high }
     in

@@ -18,7 +18,12 @@ type t = {
   fingerprint : Gpr_engine.Fingerprint.t;
       (** content fingerprint of [w] — the memo/store key *)
   reference : float array;
+  width : Gpr_analysis.Width.t;
+      (** the width authority: intervals × known-bits × congruence ×
+          demanded-bits reduced product *)
   range : Gpr_analysis.Range.t;
+      (** [width.range] — kept as a field for interval-only consumers
+          (ablations, reports) *)
   baseline : Gpr_alloc.Alloc.t;   (** original (32-bit) allocation *)
   int_only : Gpr_alloc.Alloc.t;
   perfect : per_threshold;
@@ -52,6 +57,7 @@ val occupancy :
 val width_fn :
   narrow_ints:bool ->
   narrow_floats:Gpr_precision.Precision.assignment option ->
-  range:Gpr_analysis.Range.t ->
+  width:Gpr_analysis.Width.t ->
   Gpr_isa.Types.vreg -> int
-(** The per-variable width function handed to the allocator. *)
+(** The per-variable width function handed to the allocator.  Integer
+    widths come from the {!Gpr_analysis.Width} reduced product. *)

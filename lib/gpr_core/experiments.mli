@@ -46,6 +46,21 @@ val table4_data : unit -> table4_row list
 val print_table4 : unit -> unit
 
 val print_fig8 : unit -> unit
+
+type width_row = {
+  wr_name : string;
+  wr_int_vars : int;
+  wr_interval_narrow : int;
+  wr_product_narrow : int;
+  wr_bits_saved : int;
+}
+
+val width_report_data : unit -> width_row list
+(** Per registry kernel: integer-variable count, how many are narrow
+    (< 32 bits) under intervals alone vs under the
+    {!Gpr_analysis.Width} reduced product, and the total bits saved. *)
+
+val print_width_report : unit -> unit
 (** The range-analysis worked example. *)
 
 type fig9_row = {

@@ -133,7 +133,7 @@ let backend_resources (b : Gpr_backend.Backend.t) (c : Compress.t) threshold =
       Some (Compress.threshold_data c threshold).Compress.assignment
     else None
   in
-  S.analyze ~kernel:c.w.kernel ~range:c.range ~precision
+  S.analyze ~kernel:c.w.kernel ~width:c.width ~precision
 
 let backend_occupancy (c : Compress.t) (res : Gpr_backend.Backend.resources) =
   Gpr_backend.Backend.occupancy cfg res

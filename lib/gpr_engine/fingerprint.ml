@@ -11,8 +11,12 @@ let equal = String.equal
    reused.
    3: [Sim.stats] grew the per-slot stall-attribution fields; cached
    Marshal payloads with the old record layout must not be read back
-   (they would deserialise into the wrong shape). *)
-let version = "gpr-engine/3"
+   (they would deserialise into the wrong shape).
+   4: integer widths now come from the [Gpr_analysis.Width] reduced
+   product (known-bits × congruence × demanded-bits on top of the
+   intervals) and [Compress]'s stored record carries the full width
+   analysis; both the widths and the record layout changed. *)
+let version = "gpr-engine/4"
 
 let of_strings parts =
   let buf = Buffer.create 256 in

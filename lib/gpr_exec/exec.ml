@@ -211,6 +211,12 @@ let run ?(check = false) kernel ~launch ~params ~bindings config =
   let trace_buf = ref [] in
   let trace_count = ref 0 in
   let thread_instrs = ref 0 in
+  (* Branch terminators are not traced and do not count towards the
+     reported instruction totals, but they must still drain the step
+     budget: a shrink-mutated kernel can contain a loop of empty blocks
+     whose only work is the back-edge, and without this charge such a
+     kernel would spin forever. *)
+  let branch_steps = ref 0 in
   let quantize = config.quantize in
   let on_write = config.on_write in
 
@@ -408,7 +414,17 @@ let run ?(check = false) kernel ~launch ~params ~bindings config =
       end;
       thread_instrs := !thread_instrs + Gpr_util.Bits.popcount mask;
       match config.max_steps with
-      | Some budget when !thread_instrs > budget ->
+      | Some budget when !thread_instrs + !branch_steps > budget ->
+        failwith
+          (Printf.sprintf "%s: step budget of %d thread instructions exceeded"
+             kernel.k_name budget)
+      | _ -> ()
+    in
+
+    let charge_branch mask =
+      branch_steps := !branch_steps + Gpr_util.Bits.popcount mask;
+      match config.max_steps with
+      | Some budget when !thread_instrs + !branch_steps > budget ->
         failwith
           (Printf.sprintf "%s: step budget of %d thread instructions exceeded"
              kernel.k_name budget)
@@ -686,9 +702,11 @@ let run ?(check = false) kernel ~launch ~params ~bindings config =
                 w.exited <- w.exited lor fr.mask;
                 w.stack <- rest
               | Br l ->
+                charge_branch fr.mask;
                 fr.blk <- l;
                 fr.idx <- 0
               | Cbr (p, t, f) ->
+                charge_branch fr.mask;
                 let mt = ref 0 in
                 for lane = 0 to 31 do
                   if fr.mask land (1 lsl lane) <> 0 && geti w p lane <> 0 then

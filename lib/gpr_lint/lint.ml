@@ -7,6 +7,8 @@ module Bits = Gpr_util.Bits
 module Cfg = Gpr_isa.Cfg
 module Dominance = Gpr_analysis.Dominance
 module Range = Gpr_analysis.Range
+module Width = Gpr_analysis.Width
+module KB = Gpr_analysis.Knownbits
 module Liveness = Gpr_analysis.Liveness
 module Alloc = Gpr_alloc.Alloc
 module U = Uniformity
@@ -17,6 +19,7 @@ type ctx = {
   cfg : Cfg.t;
   rpo : int array;
   pdom : Dominance.post;
+  width : Width.t;
   range : Range.t;
   uni : U.t;
   live : Liveness.t;
@@ -27,17 +30,18 @@ type ctx = {
 let kernel_of ctx = ctx.kernel
 let uniformity ctx = ctx.uni
 let range_of ctx = ctx.range
+let width_of ctx = ctx.width
 
-let default_width range (r : vreg) =
+let default_width width (r : vreg) =
   match r.ty with
   | Pred | F32 -> 32
-  | S32 | U32 -> Range.var_bitwidth range r.id
+  | S32 | U32 -> Width.var_bitwidth width r.id
 
 let make_ctx ?(buffer_len = fun _ -> None) ?width_of ?alloc kernel ~launch =
   let cfg = Cfg.of_kernel kernel in
-  let range = Range.analyze kernel ~launch in
+  let width = Width.analyze kernel ~launch in
   let width_of =
-    match width_of with Some f -> f | None -> default_width range
+    match width_of with Some f -> f | None -> default_width width
   in
   let alloc =
     match alloc with Some a -> a | None -> Alloc.run kernel ~width_of
@@ -48,7 +52,8 @@ let make_ctx ?(buffer_len = fun _ -> None) ?width_of ?alloc kernel ~launch =
     cfg;
     rpo = Cfg.reverse_postorder cfg;
     pdom = Dominance.compute_post cfg;
-    range;
+    width;
+    range = width.Width.range;
     uni = U.analyze kernel ~launch;
     live = Liveness.compute kernel;
     alloc;
@@ -381,22 +386,13 @@ let def_sites ctx =
   sites
 
 let required_bits ctx (r : vreg) =
-  (* Clamp to the 32-bit domain first: an interval escaping it means the
-     value wraps at runtime, and a full 32-bit register always holds the
-     wrapped value exactly. *)
-  let clamped =
-    (if r.ty = U32 then I.clamp_u32 else I.clamp_i32)
-      (Range.var_range ctx.range r.id)
-  in
-  match clamped with
-  | I.Bot -> 1
-  | iv -> (
-    match (I.lo iv, I.hi iv) with
-    | I.Finite lo, I.Finite hi ->
-      min 32
-        (if r.ty = U32 && lo >= 0 then Bits.bits_for_unsigned_range lo hi
-         else Bits.bits_for_signed_range lo hi)
-    | _ -> 32)
+  (* The width authority: the reduced product of intervals, known
+     bits, congruence and demanded bits.  Using intervals alone here
+     would flag the narrower (but sound) product placements as
+     corruption. *)
+  if r.id < Array.length ctx.width.Width.var_bits then
+    Width.var_bitwidth ctx.width r.id
+  else 32
 
 let placement_regs (p : Alloc.placement) =
   (p.reg0, p.mask0) :: (if p.reg1 >= 0 then [ (p.reg1, p.mask1) ] else [])
@@ -441,8 +437,9 @@ let compression_pass ctx =
           if p.bits < req then
             diags :=
               diag "compression" "GL301" Diag.Error loc
-                "slice mask for %s stores %d bit(s) but the proven range %s \
-                 needs %d: compressed storage would corrupt the value"
+                "slice mask for %s stores %d bit(s) but the width analysis \
+                 (range %s) needs %d: compressed storage would corrupt the \
+                 value"
                 (vname r)
                 p.bits
                 (I.to_string (Range.var_range ctx.range r.id))
@@ -649,6 +646,97 @@ let defs_pass ctx =
   !use_diags @ !dead_diags
 
 (* ------------------------------------------------------------------ *)
+(* bitwidth: advisory diagnostics straight from the bit-precise
+   dataflow framework — known bits expose redundant masks, demanded
+   bits expose dead high parts, and the executor's 5-bit shift-amount
+   masking exposes meaningless shifts. *)
+
+let bitwidth_pass ctx =
+  let m32 = 0xffff_ffff in
+  let diags = ref [] in
+  let kb_of (r : vreg) =
+    if r.id < Array.length ctx.width.Width.known then
+      ctx.width.Width.known.(r.id)
+    else KB.Bot
+  in
+  let dem_of (r : vreg) =
+    if r.id < Array.length ctx.width.Width.demanded then
+      ctx.width.Width.demanded.(r.id)
+    else 32
+  in
+  let dead_high_reported = Hashtbl.create 16 in
+  Array.iteri
+    (fun bi blk ->
+      Array.iteri
+        (fun i ins ->
+          let loc = Diag.instr_loc bi i in
+          (match ins with
+          | Ibin (And, _, a, b) ->
+            let redundant reg c =
+              match reg with
+              | Reg r when r.ty = S32 || r.ty = U32 -> (
+                match kb_of r with
+                | KB.Kb { ones; unk } ->
+                  let possible = (ones lor unk) land m32 in
+                  if possible land lnot c land m32 = 0 then
+                    diags :=
+                      diag "bitwidth" "GL601" Diag.Info loc
+                        "mask %#x on %s is redundant: every bit it clears is \
+                         already known zero"
+                        (c land m32) (vname r)
+                      :: !diags
+                | _ -> ())
+              | _ -> ()
+            in
+            (match (a, b) with
+            | ra, Imm_i c -> redundant ra c
+            | Imm_i c, rb -> redundant rb c
+            | _ -> ())
+          | Ibin ((Shl | Shr), _, _, amt) ->
+            let provably_oob =
+              match amt with
+              | Imm_i c -> c land 31 <> c
+              | Reg r when r.ty = S32 || r.ty = U32 -> (
+                match Range.var_range ctx.range r.id with
+                | I.Bot -> false
+                | iv -> (
+                  match I.lo iv with I.Finite lo -> lo >= 32 | _ -> false))
+              | Reg _ | Imm_f _ -> false
+            in
+            if provably_oob then
+              diags :=
+                diag "bitwidth" "GL603" Diag.Warning loc
+                  "shift amount is provably >= 32; the datapath masks \
+                   amounts to 5 bits, so this shifts by the amount mod 32"
+                :: !diags
+          | _ -> ());
+          match defs ins with
+          | Some d
+            when (d.ty = S32 || d.ty = U32)
+                 && not (Hashtbl.mem dead_high_reported d.id) ->
+            let dem = dem_of d in
+            if dem > 0 then begin
+              let fwd =
+                min
+                  (Width.interval_bitwidth ctx.width d.id)
+                  (KB.width d.ty (kb_of d))
+              in
+              if dem < fwd then begin
+                Hashtbl.add dead_high_reported d.id ();
+                diags :=
+                  diag "bitwidth" "GL602" Diag.Info loc
+                    "%s carries %d significant bit(s) but consumers only \
+                     read the low %d: the high bits are dead"
+                    (vname d) fwd dem
+                  :: !diags
+              end
+            end
+          | _ -> ())
+        blk.instrs)
+    ctx.kernel.k_blocks;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
 
 type pass = {
   p_name : string;
@@ -672,6 +760,11 @@ let passes =
     };
     { p_name = "bounds"; p_codes = [ "GL401"; "GL402" ]; p_run = bounds_pass };
     { p_name = "defs"; p_codes = [ "GL501"; "GL502" ]; p_run = defs_pass };
+    {
+      p_name = "bitwidth";
+      p_codes = [ "GL601"; "GL602"; "GL603" ];
+      p_run = bitwidth_pass;
+    };
   ]
 
 let run ctx =

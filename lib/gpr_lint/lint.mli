@@ -1,4 +1,4 @@
-(** Static kernel verifier: six analysis passes over a
+(** Static kernel verifier: seven analysis passes over a
     {!Gpr_isa.Types.kernel}, producing {!Diag.t} diagnostics.
 
     The passes, in the order {!passes} lists them:
@@ -26,6 +26,15 @@
     + ["defs"] — [GL501] (warning): a register read on some path before
       any assignment (it silently reads the default 0); [GL502]
       (warning): a dead store — a defined value never used.
+    + ["bitwidth"] — advisory findings from the bit-precise dataflow
+      framework ({!Gpr_analysis.Width}).  [GL601] (info): an [And] with
+      a constant mask that clears only bits already known zero by
+      {!Gpr_analysis.Knownbits}; [GL602] (info): a definition whose
+      demanded-bits width is strictly below its forward
+      (interval × known-bits) width — the high bits are computed but
+      never read; [GL603] (warning): a shift whose amount is provably
+      [>= 32] — the datapath masks amounts to 5 bits, so the shift is
+      by [amount mod 32].
 
     Soundness contract with the dynamic monitor ({!Gpr_exec.Exec.run}
     [~check:true]): if a kernel is {!monitor_clean}, executing it never
@@ -36,8 +45,9 @@ open Gpr_isa.Types
 
 type ctx
 (** Precomputed analysis state shared by the passes: CFG, post-dominators,
-    {!Gpr_analysis.Range}, {!Uniformity}, {!Gpr_analysis.Liveness} and the
-    slice allocation under audit. *)
+    the {!Gpr_analysis.Width} reduced product (which embeds
+    {!Gpr_analysis.Range}), {!Uniformity}, {!Gpr_analysis.Liveness} and
+    the slice allocation under audit. *)
 
 val make_ctx :
   ?buffer_len:(string -> int option) ->
@@ -49,7 +59,8 @@ val make_ctx :
 (** [buffer_len] declares element counts for bound buffers (by name) so
     the bounds pass can check upper bounds; default: unknown.
     [width_of] overrides the bitwidth function fed to the allocator
-    (default: range-analysis widths for integers, 32 for floats);
+    (default: {!Gpr_analysis.Width} reduced-product widths for
+    integers, 32 for floats);
     [alloc] supplies an existing allocation to audit instead of running
     the allocator — both exist so tests can audit deliberately unsound
     configurations. *)
@@ -57,6 +68,7 @@ val make_ctx :
 val kernel_of : ctx -> kernel
 val uniformity : ctx -> Uniformity.t
 val range_of : ctx -> Gpr_analysis.Range.t
+val width_of : ctx -> Gpr_analysis.Width.t
 
 type pass = {
   p_name : string;
@@ -65,7 +77,7 @@ type pass = {
 }
 
 val passes : pass list
-(** The six passes in canonical order. *)
+(** The seven passes in canonical order. *)
 
 val run : ctx -> Diag.t list
 (** All passes, sorted with {!Diag.compare}. *)

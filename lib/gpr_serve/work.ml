@@ -189,13 +189,13 @@ let run_plan_registry ~check (w : W.t) =
 (* Mirrors `gpr analyze`: the static integer framework only (inline
    kernels carry no input data, so the float tuner cannot run). *)
 let run_plan_inline ~check kernel launch =
-  let range = Gpr_analysis.Range.analyze kernel ~launch in
+  let width = Gpr_analysis.Width.analyze kernel ~launch in
   check ();
   let baseline = Gpr_alloc.Alloc.baseline kernel in
   let packed =
     Gpr_alloc.Alloc.run kernel
       ~width_of:
-        (Compress.width_fn ~narrow_ints:true ~narrow_floats:None ~range)
+        (Compress.width_fn ~narrow_ints:true ~narrow_floats:None ~width)
   in
   check ();
   J.Obj
@@ -206,7 +206,9 @@ let run_plan_inline ~check kernel launch =
       ("pressure_original", J.Int baseline.Gpr_alloc.Alloc.pressure);
       ("pressure_narrow_ints", J.Int packed.Gpr_alloc.Alloc.pressure);
       ( "narrow_int_vars",
-        J.Int (Gpr_analysis.Range.narrow_int_count range kernel) );
+        J.Int (Gpr_analysis.Width.narrow_int_count width kernel) );
+      ( "narrow_int_vars_interval",
+        J.Int (Gpr_analysis.Width.interval_narrow_int_count width kernel) );
     ]
 
 let diags_payload kernel diags =

@@ -24,17 +24,32 @@ let hash11 b x =
   let big = fmul b ~$s (cf 43758.5453) in
   fract b ~$big
 
+let hash_lattice b n =
+  (* n ← (n ≪ 13) ⊕ n; h ← n·(n²·15731 + 789221) + 1376312589, all
+     wrapping mod 2³²; the low 16 bits are a uniform sample scaled
+     into [0,1).  This is the classic integer lattice hash the
+     float-hash ports replace. *)
+  let sh = ishl b n (ci 13) in
+  let h0 = ixor b ~$sh n in
+  let hsq = imul b ~$h0 ~$h0 in
+  let t = imad b ~$hsq (ci 15731) (ci 789221) in
+  let r = imad b ~$h0 ~$t (ci 1376312589) in
+  let low = iand b ~$r (ci 0xffff) in
+  let f = itof b ~$low in
+  fmul b ~$f (cf (1.0 /. 65536.0))
+
 let noise2 b ~x ~y =
   let ix = ffloor b x and iy = ffloor b y in
   let fx = fsub b x ~$ix and fy = fsub b y ~$iy in
   let ux = smoothstep01 b ~$fx and uy = smoothstep01 b ~$fy in
+  let xi = ftoi b ~$ix and yi = ftoi b ~$iy in
   let corner dx dy =
-    let cx = fadd b ~$ix (cf dx) and cy = fadd b ~$iy (cf dy) in
-    let n = ffma b ~$cy (cf 57.0) ~$cx in
-    hash11 b ~$n
+    let cx = iadd b ~$xi (ci dx) and cy = iadd b ~$yi (ci dy) in
+    let n = imad b ~$cy (ci 57) ~$cx in
+    hash_lattice b ~$n
   in
-  let n00 = corner 0.0 0.0 and n10 = corner 1.0 0.0 in
-  let n01 = corner 0.0 1.0 and n11 = corner 1.0 1.0 in
+  let n00 = corner 0 0 and n10 = corner 1 0 in
+  let n01 = corner 0 1 and n11 = corner 1 1 in
   let nx0 = mix b ~$n00 ~$n10 ~$ux in
   let nx1 = mix b ~$n01 ~$n11 ~$ux in
   mix b ~$nx0 ~$nx1 ~$uy

@@ -14,10 +14,17 @@ val smoothstep01 : Builder.t -> operand -> vreg
 (** 3t² − 2t³ for t in [0,1]. *)
 
 val hash11 : Builder.t -> operand -> vreg
-(** fract(sin(x) · 43758.5453) — the classic shader hash. *)
+(** fract(sin(x) · 43758.5453) — the classic shader float hash. *)
+
+val hash_lattice : Builder.t -> operand -> vreg
+(** Integer lattice hash: [(n ≪ 13) ⊕ n] fed through the cubic
+    polynomial [h·(h²·15731 + 789221) + 1376312589] with 32-bit wrap,
+    low 16 bits scaled into [0,1).  Matches the integer hashing of the
+    original shaders that the float ports had approximated away. *)
 
 val noise2 : Builder.t -> x:operand -> y:operand -> vreg
-(** Value noise on the integer lattice with smooth interpolation. *)
+(** Value noise on the integer lattice with smooth interpolation;
+    corners are hashed with {!hash_lattice}. *)
 
 val dot3 :
   Builder.t ->

@@ -112,6 +112,7 @@ let deferred_kernel () =
   let nz = texture_buffer b F32 "nz" in
   let depth = texture_buffer b F32 "depth" in
   let albedo = texture_buffer b F32 "albedo" in
+  let gmat = texture_buffer b S32 "gmat" in
   let out = global_buffer b F32 "shaded" in
   let gid, x, y = Glib.pixel_xy b ~width:tex_dim in
   let inv = 1.0 /. float_of_int tex_dim in
@@ -124,7 +125,16 @@ let deferred_kernel () =
   let pz = ld b depth ~$gid in
   let nvx = ld b nx ~$gid and nvy = ld b ny ~$gid and nvz = ld b nz ~$gid in
   let nxn, nyn, nzn = Glib.normalize3 b (~$nvx, ~$nvy, ~$nvz) in
-  let alb = ld b albedo ~$gid in
+  (* Packed material word: bit 31 = emissive flag, bits 8..11 =
+     specular level, bits 0..2 = material id — the original's G-buffer
+     stores materials as a packed integer, not separate floats. *)
+  let gm = ld b gmat ~$gid in
+  let mid = iand b ~$gm (ci 7) in
+  let spec_lvl = iand b ~$(ishr b ~$gm (ci 8)) (ci 15) in
+  let emissive = ilt b ~$gm (ci 0) in
+  let alb0 = ld b albedo ~$gid in
+  let tint = ffma b ~$(itof b ~$mid) (cf 0.0625) (cf 0.55) in
+  let alb = fmul b ~$alb0 ~$tint in
   (* View vector for Blinn-Phong half-vector speculars. *)
   let vx, vy, vz = Glib.normalize3 b (~$(fneg b ~$px), ~$(fneg b ~$py), ~$(fneg b ~$pz)) in
   (* Phase 1: evaluate every light's diffuse and specular partials; all
@@ -176,7 +186,11 @@ let deferred_kernel () =
     List.fold_left (fun acc (_, sp) -> fadd b ~$acc ~$sp)
       (mov b F32 (cf 0.0)) partials
   in
+  let sscale = ffma b ~$(itof b ~$spec_lvl) (cf 0.0625) (cf 0.5) in
+  let specular = fmul b ~$specular ~$sscale in
   let lum = ffma b ~$alb ~$(fadd b (cf 0.05) ~$diffuse) ~$specular in
+  let glow = selp b F32 (cf 0.25) (cf 0.0) emissive in
+  let lum = fadd b ~$lum ~$glow in
   st b out ~$gid ~$(Glib.clamp01 b ~$lum);
   finish b
 
@@ -195,6 +209,15 @@ let deferred : Workload.t =
            ("nz", Gpr_exec.Exec.F_data (Inputs.qfloats_range ~seed:203 ~n:tex_pixels ~lo:0.1 ~hi:1.0));
            ("depth", Gpr_exec.Exec.F_data (Inputs.qfloats ~seed:204 ~n:tex_pixels));
            ("albedo", Gpr_exec.Exec.F_data (Inputs.qfloats ~seed:205 ~n:tex_pixels));
+           ("gmat",
+            Gpr_exec.Exec.I_data
+              (let mid = Inputs.ints ~seed:206 ~n:tex_pixels ~bound:8 in
+               let spec = Inputs.ints ~seed:207 ~n:tex_pixels ~bound:16 in
+               let em = Inputs.ints ~seed:208 ~n:tex_pixels ~bound:2 in
+               (* Stored sign-extended: bit 31 is the emissive flag. *)
+               Array.init tex_pixels (fun i ->
+                   (if em.(i) = 1 then -0x8000_0000 else 0)
+                   + (spec.(i) lsl 8) + mid.(i))));
            ("shaded", Gpr_exec.Exec.F_data (Inputs.zeros_f tex_pixels)) ]);
     shared = [];
     extra_shared_bytes = 0;

@@ -377,6 +377,212 @@ let prop_ranges_sound =
             !ok)
          tracked)
 
+(* --------------------------------------------------------------- *)
+(* Bit-precise domains: known-bits and congruence transfer functions
+   must over-approximate the executor's concrete integer semantics
+   (wrap to 32 bits, shift amounts masked to 5 bits, Div-by-0 -> 0,
+   Rem-by-0 -> x), and the reduced product must dominate the interval
+   widths on every registry kernel — strictly, on at least three. *)
+
+module KB = A.Knownbits
+module CG = A.Congruence
+
+let wrap_u32 x = x land 0xffff_ffff
+
+let wrap_s32 x =
+  let m = x land 0xffff_ffff in
+  if m >= 0x8000_0000 then m - 0x1_0000_0000 else m
+
+(* The executor's integer semantics (Exec.exec_instr, Ibin/Iun/Imad),
+   restated for operands already stored at dtype [ty]. *)
+let conc_binop ty op x y =
+  let wrap = if ty = U32 then wrap_u32 else wrap_s32 in
+  wrap
+    (match op with
+    | Add -> x + y
+    | Sub -> x - y
+    | Mul -> x * y
+    | Div -> if y = 0 then 0 else x / y
+    | Rem -> if y = 0 then x else x mod y
+    | Min -> min x y
+    | Max -> max x y
+    | And -> x land y
+    | Or -> x lor y
+    | Xor -> x lxor y
+    | Shl -> x lsl (y land 31)
+    | Shr -> if ty = U32 then wrap_u32 x lsr (y land 31) else x asr (y land 31))
+
+let conc_unop ty op x =
+  let wrap = if ty = U32 then wrap_u32 else wrap_s32 in
+  wrap (match op with Ineg -> -x | Inot -> lnot x | Iabs -> abs x)
+
+let conc_mad ty x y z =
+  let wrap = if ty = U32 then wrap_u32 else wrap_s32 in
+  wrap ((x * y) + z)
+
+let all_ibinops =
+  [ Add; Sub; Mul; Div; Rem; Min; Max; And; Or; Xor; Shl; Shr ]
+
+let all_iunops = [ Ineg; Inot; Iabs ]
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | Min -> "min" | Max -> "max" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Shr -> "shr"
+
+(* A random abstract value guaranteed to contain the concrete [x]. *)
+let kb_containing rng x =
+  let m = Gpr_util.Rng.int rng 0x1_0000_0000 in
+  KB.Kb { ones = x land lnot m land 0xffff_ffff; unk = m }
+
+let cg_containing rng x =
+  let k = Gpr_util.Rng.int rng 32 in
+  if k = 0 then CG.top
+  else CG.Cg { k; r = wrap_u32 x land ((1 lsl k) - 1) }
+
+let stored rng ty =
+  let wrap = if ty = U32 then wrap_u32 else wrap_s32 in
+  (* bias toward small magnitudes so shifts/masks see realistic amounts *)
+  let raw =
+    match Gpr_util.Rng.int rng 3 with
+    | 0 -> Gpr_util.Rng.int rng 64 - 8
+    | 1 -> Gpr_util.Rng.int rng 0x1_0000
+    | _ -> Gpr_util.Rng.int rng 0x1_0000_0000 - 0x8000_0000
+  in
+  wrap raw
+
+let prop_knownbits_sound =
+  QCheck.Test.make ~name:"known-bits transfer sound vs concrete" ~count:300
+    (QCheck.int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Gpr_util.Rng.create seed in
+      let ty = if Gpr_util.Rng.int rng 2 = 0 then S32 else U32 in
+      let x = stored rng ty and y = stored rng ty and z = stored rng ty in
+      let ax = kb_containing rng x
+      and ay = kb_containing rng y
+      and az = kb_containing rng z in
+      List.iter
+        (fun op ->
+          let c = conc_binop ty op x y in
+          let a = KB.binop ty op ax ay in
+          if not (KB.mem c a) then
+            QCheck.Test.fail_reportf
+              "kb %s %s: %d op %d = %d escapes %s (from %s, %s)"
+              (if ty = U32 then "u32" else "s32")
+              (binop_name op) x y c (KB.to_string a) (KB.to_string ax)
+              (KB.to_string ay))
+        all_ibinops;
+      List.iter
+        (fun op ->
+          let c = conc_unop ty op x in
+          let a = KB.unop ty op ax in
+          if not (KB.mem c a) then
+            QCheck.Test.fail_reportf "kb unop: %d -> %d escapes %s" x c
+              (KB.to_string a))
+        all_iunops;
+      let c = conc_mad ty x y z in
+      let a = KB.mad ax ay az in
+      if not (KB.mem c a) then
+        QCheck.Test.fail_reportf "kb mad: %d,%d,%d -> %d escapes %s" x y z c
+          (KB.to_string a);
+      true)
+
+let prop_congruence_sound =
+  QCheck.Test.make ~name:"congruence transfer sound vs concrete" ~count:300
+    (QCheck.int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Gpr_util.Rng.create seed in
+      let ty = if Gpr_util.Rng.int rng 2 = 0 then S32 else U32 in
+      let x = stored rng ty and y = stored rng ty and z = stored rng ty in
+      let ax = cg_containing rng x
+      and ay = cg_containing rng y
+      and az = cg_containing rng z in
+      List.iter
+        (fun op ->
+          let c = conc_binop ty op x y in
+          let a = CG.binop ty op ax ay in
+          if not (CG.mem c a) then
+            QCheck.Test.fail_reportf
+              "cg %s %s: %d op %d = %d escapes %s (from %s, %s)"
+              (if ty = U32 then "u32" else "s32")
+              (binop_name op) x y c (CG.to_string a) (CG.to_string ax)
+              (CG.to_string ay))
+        all_ibinops;
+      List.iter
+        (fun op ->
+          let c = conc_unop ty op x in
+          let a = CG.unop ty op ax in
+          if not (CG.mem c a) then
+            QCheck.Test.fail_reportf "cg unop: %d -> %d escapes %s" x c
+              (CG.to_string a))
+        all_iunops;
+      let c = conc_mad ty x y z in
+      let a = CG.mad ax ay az in
+      if not (CG.mem c a) then
+        QCheck.Test.fail_reportf "cg mad: %d,%d,%d -> %d escapes %s" x y z c
+          (CG.to_string a);
+      true)
+
+(* Dominance: on every registry kernel the product width never exceeds
+   the interval width, for any variable. *)
+let test_registry_dominance () =
+  List.iter
+    (fun (w : Gpr_workloads.Workload.t) ->
+      let wt = A.Width.analyze w.kernel ~launch:w.launch in
+      Array.iteri
+        (fun id _ ->
+          let p = A.Width.var_bitwidth wt id in
+          let iv = A.Width.interval_bitwidth wt id in
+          if p > iv then
+            Alcotest.failf "%s: %%%d product %d > interval %d" w.name id p iv)
+        wt.A.Width.var_bits)
+    Gpr_workloads.Registry.all
+
+(* The product must actually buy something: strictly more narrow
+   integer variables than intervals alone on at least three registry
+   kernels (the acceptance bar of the width framework), including the
+   three kernels whose integer idioms — lattice hashes, packed
+   G-buffer material words — were chosen to defeat plain intervals. *)
+let test_registry_strictly_narrower () =
+  let improved =
+    List.filter
+      (fun (w : Gpr_workloads.Workload.t) ->
+        let wt = A.Width.analyze w.kernel ~launch:w.launch in
+        A.Width.narrow_int_count wt w.kernel
+        > A.Width.interval_narrow_int_count wt w.kernel)
+      Gpr_workloads.Registry.all
+  in
+  let names = List.map (fun (w : Gpr_workloads.Workload.t) -> w.name) improved in
+  Alcotest.(check bool)
+    (Printf.sprintf ">= 3 kernels strictly narrower (got: %s)"
+       (String.concat " " names))
+    true
+    (List.length improved >= 3);
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (expected ^ " strictly narrower")
+        true (List.mem expected names))
+    [ "Deferred"; "Elevated"; "Pathtracer" ]
+
+(* A value that is written but never read demands 0 bits; its storage
+   width collapses to the 1-bit floor even though its interval needs
+   more. *)
+let test_dead_var_width_one () =
+  let b = Builder.create ~name:"deadvar" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let tid = tid_x b in
+  let x = var b S32 "x" in
+  assign b x (ci 12345);
+  st b out ~$tid ~$tid;
+  let kernel = finish b in
+  let wt = A.Width.analyze kernel ~launch:(launch_1d ~block:32 ~grid:1) in
+  Alcotest.(check int) "demanded 0" 0 (A.Width.demanded_width wt x.id);
+  Alcotest.(check bool) "interval needs > 1 bit" true
+    (A.Width.interval_bitwidth wt x.id > 1);
+  Alcotest.(check int) "product width 1" 1 (A.Width.var_bitwidth wt x.id)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -413,4 +619,18 @@ let () =
         [ QCheck_alcotest.to_alcotest ~verbose:false prop_dominance_brute_force ] );
       ( "range-props",
         [ QCheck_alcotest.to_alcotest ~verbose:false prop_ranges_sound ] );
+      ( "width",
+        [
+          Alcotest.test_case "registry dominance" `Quick
+            test_registry_dominance;
+          Alcotest.test_case "registry strictly narrower" `Quick
+            test_registry_strictly_narrower;
+          Alcotest.test_case "dead var width 1" `Quick
+            test_dead_var_width_one;
+        ] );
+      ( "domain-props",
+        [
+          QCheck_alcotest.to_alcotest ~verbose:false prop_knownbits_sound;
+          QCheck_alcotest.to_alcotest ~verbose:false prop_congruence_sound;
+        ] );
     ]

@@ -44,10 +44,10 @@ let hotspot = Option.get (Gpr_workloads.Registry.by_name "Hotspot")
 let analyze name =
   let b = Reg.find_exn name in
   let module S = (val b : B.Scheme) in
-  let range =
-    Gpr_analysis.Range.analyze hotspot.kernel ~launch:hotspot.launch
+  let width =
+    Gpr_analysis.Width.analyze hotspot.kernel ~launch:hotspot.launch
   in
-  (b, S.analyze ~kernel:hotspot.kernel ~range ~precision:None)
+  (b, S.analyze ~kernel:hotspot.kernel ~width ~precision:None)
 
 let test_baseline_scheme () =
   let _, res = analyze "baseline" in

@@ -57,6 +57,20 @@ let test_clean_seeds_backend_stages () =
      | _ -> false
      | exception Invalid_argument _ -> true)
 
+(* Wrap a (possibly corrupted) interval analysis into the width
+   record the oracle consumes: no known-bits/congruence/demanded
+   refinement, so the product widths are exactly the interval widths
+   under test. *)
+let width_of_range (rt : Range.t) =
+  let n = Array.length rt.Range.var_bits in
+  {
+    Gpr_analysis.Width.range = rt;
+    known = Array.make n Gpr_analysis.Knownbits.Bot;
+    cong = Array.make n Gpr_analysis.Congruence.Bot;
+    demanded = Array.make n 32;
+    var_bits = Array.copy rt.Range.var_bits;
+  }
+
 (* Corrupt the analysis result after the fact: collapsing every finite
    range to its lower bound makes the analysis claim values it cannot
    justify, which the runtime soundness hook must catch. *)
@@ -73,7 +87,8 @@ let collapse_ranges (rt : Range.t) =
         rt.Range.var_ranges;
   }
 
-let bad_analyze k ~launch = collapse_ranges (Range.analyze k ~launch)
+let bad_analyze k ~launch =
+  width_of_range (collapse_ranges (Range.analyze k ~launch))
 
 let test_catches_bad_ranges () =
   let case = Gen.generate 3 in
@@ -92,7 +107,8 @@ let narrow_bits (rt : Range.t) =
       Array.map (fun b -> if b > 2 then b - 2 else b) rt.Range.var_bits;
   }
 
-let narrow_analyze k ~launch = narrow_bits (Range.analyze k ~launch)
+let narrow_analyze k ~launch =
+  width_of_range (narrow_bits (Range.analyze k ~launch))
 
 let test_catches_bad_widths () =
   let case = Gen.generate 3 in
@@ -186,6 +202,46 @@ let test_exec_step_budget () =
     in
     Alcotest.(check bool) "mentions the budget" true (contains msg "budget")
 
+let test_exec_branch_budget () =
+  (* Greedy shrinking can empty a loop body completely, leaving a cycle
+     of blocks whose only work is the branch terminator.  Branches are
+     not traced, but they must still drain the step budget or such a
+     candidate spins forever. *)
+  let b = Gpr_isa.Builder.create ~name:"spin_br" in
+  let open Gpr_isa.Builder in
+  let out = global_buffer b S32 "out" in
+  let gid = global_thread_id_x b in
+  let v = var b S32 "v" in
+  assign b v (ci 0);
+  while_ b
+    (fun () -> ige b ~$v (ci 0))
+    (fun () -> assign b v (ci 1));
+  st b out ~$gid ~$v;
+  let kernel = finish b in
+  Array.iter
+    (fun blk ->
+       blk.instrs <- [||];
+       match blk.term with
+       | Cbr (_, t, _) -> blk.term <- Br t
+       | _ -> ())
+    kernel.k_blocks;
+  let module E = Gpr_exec.Exec in
+  let launch = launch_1d ~block:32 ~grid:1 in
+  let data = [ ("out", E.I_data (Array.make 32 0)) ] in
+  let bindings = E.bindings_for kernel ~data () in
+  match
+    E.run kernel ~launch ~params:[||] ~bindings
+      { E.default_config with max_steps = Some 10_000 }
+  with
+  | _ -> Alcotest.fail "watchdog did not fire on a pure-branch loop"
+  | exception Failure msg ->
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "mentions the budget" true (contains msg "budget")
+
 (* Sharding the seed space over a domain pool must produce the same
    summary as the serial run — seeds are independent and results are
    collected in seed order. *)
@@ -219,6 +275,8 @@ let () =
           Alcotest.test_case "catches bad ranges" `Quick test_catches_bad_ranges;
           Alcotest.test_case "catches bad widths" `Quick test_catches_bad_widths;
           Alcotest.test_case "step budget" `Quick test_exec_step_budget;
+          Alcotest.test_case "step budget (pure-branch loop)" `Quick
+            test_exec_branch_budget;
           Alcotest.test_case "sharded matches serial" `Quick
             test_sharded_matches_serial;
         ] );

@@ -66,7 +66,7 @@ let test_width_fn () =
   let c = C.analyze (hotspot ()) in
   let wf =
     C.width_fn ~narrow_ints:true
-      ~narrow_floats:(Some c.high.assignment) ~range:c.range
+      ~narrow_floats:(Some c.high.assignment) ~width:c.width
   in
   (* Predicates and unknown registers stay at 32 bits. *)
   Alcotest.(check int) "pred 32" 32

@@ -361,6 +361,56 @@ let test_defs_negative () =
   check_lacks k "GL502" ds
 
 (* ------------------------------------------------------------------ *)
+(* Pass 7: bitwidth advisories *)
+
+let test_bitwidth_redundant_mask () =
+  let b = Builder.create ~name:"remask" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let tid = tid_x b in
+  let x = iand b ~$tid (ci 0xff) in
+  (* known bits prove x fits in 8 bits, so this second mask is a no-op *)
+  let y = iand b ~$x (ci 0xffff) in
+  st b out ~$tid ~$y;
+  let k = finish b in
+  let ds = L.lint k ~launch:(launch_1d ~block:32 ~grid:1) in
+  check_has k "GL601" ds
+
+let test_bitwidth_dead_high_bits () =
+  let b = Builder.create ~name:"deadhigh" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let tid = tid_x b in
+  (* v carries ~10 significant bits but only the low 3 are ever read *)
+  let v = imul b ~$tid ~$tid in
+  st b out ~$tid ~$(iand b ~$v (ci 7));
+  let k = finish b in
+  let ds = L.lint k ~launch:(launch_1d ~block:32 ~grid:1) in
+  check_has k "GL602" ds
+
+let test_bitwidth_shift_oob () =
+  let b = Builder.create ~name:"bigshift" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let tid = tid_x b in
+  st b out ~$tid ~$(ishl b ~$tid (ci 33));
+  let k = finish b in
+  let ds = L.lint k ~launch:(launch_1d ~block:32 ~grid:1) in
+  check_has k "GL603" ds;
+  let d = List.find (fun d -> d.D.d_code = "GL603") ds in
+  Alcotest.(check bool) "GL603 is a warning" true (d.D.d_severity = D.Warning)
+
+let test_bitwidth_negative () =
+  let b = Builder.create ~name:"bits_ok" in
+  let open Builder in
+  let out = global_buffer b S32 "out" in
+  let tid = tid_x b in
+  st b out ~$tid ~$(iadd b ~$tid (ci 1));
+  let k = finish b in
+  let ds = L.lint k ~launch:(launch_1d ~block:32 ~grid:1) in
+  List.iter (fun c -> check_lacks k c ds) [ "GL601"; "GL602"; "GL603" ]
+
+(* ------------------------------------------------------------------ *)
 (* Seeded hazard corpus: each kernel must produce its expected static
    code, and where the hazard is dynamically observable the monitor
    must fire too (static and dynamic verdicts agree). *)
@@ -495,6 +545,16 @@ let () =
             test_defs_use_before_assign;
           Alcotest.test_case "dead store" `Quick test_defs_dead_store;
           Alcotest.test_case "negative" `Quick test_defs_negative;
+        ] );
+      ( "bitwidth",
+        [
+          Alcotest.test_case "redundant mask" `Quick
+            test_bitwidth_redundant_mask;
+          Alcotest.test_case "dead high bits" `Quick
+            test_bitwidth_dead_high_bits;
+          Alcotest.test_case "shift out of range" `Quick
+            test_bitwidth_shift_oob;
+          Alcotest.test_case "negative" `Quick test_bitwidth_negative;
         ] );
       ( "corpus",
         [

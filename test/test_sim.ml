@@ -422,11 +422,11 @@ let test_registry_equivalence () =
   List.iter
     (fun (w : W.t) ->
       let trace = W.trace w ~quantize:None in
-      let range = Range.analyze w.kernel ~launch:w.launch in
+      let width = Gpr_analysis.Width.analyze w.kernel ~launch:w.launch in
       List.iter
         (fun (scheme : Backend.t) ->
           let module S = (val scheme) in
-          let res = S.analyze ~kernel:w.kernel ~range ~precision:None in
+          let res = S.analyze ~kernel:w.kernel ~width ~precision:None in
           let occ =
             (Backend.occupancy cfg res
                ~warps_per_block:(W.warps_per_block w)
@@ -460,11 +460,11 @@ let check_generated_seed seed =
   with
   | None -> () (* non-executing generator output: nothing to compare *)
   | Some (case, trace) ->
-    let rt = Range.analyze case.Gen.kernel ~launch:case.Gen.launch in
+    let wt = Gpr_analysis.Width.analyze case.Gen.kernel ~launch:case.Gen.launch in
     let width_of (r : vreg) =
       match r.ty with
       | Pred | F32 -> 32
-      | S32 | U32 -> Range.var_bitwidth rt r.id
+      | S32 | U32 -> Gpr_analysis.Width.var_bitwidth wt r.id
     in
     let shared_bytes =
       4 * List.fold_left (fun acc (_, n) -> acc + n) 0 case.Gen.shared
@@ -479,7 +479,7 @@ let check_generated_seed seed =
     let alloc_base = A.baseline case.Gen.kernel in
     let alloc_comp = A.run case.Gen.kernel ~width_of in
     let module Sp = Gpr_backend.Backend_spill in
-    let res = Sp.analyze ~kernel:case.Gen.kernel ~range:rt ~precision:None in
+    let res = Sp.analyze ~kernel:case.Gen.kernel ~width:wt ~precision:None in
     List.iter
       (fun waves ->
         ignore
@@ -663,8 +663,8 @@ let measure_smoke ~waves =
       List.iter
         (fun (w : W.t) ->
           let trace = W.trace w ~quantize:None in
-          let range = Range.analyze w.kernel ~launch:w.launch in
-          let res = S.analyze ~kernel:w.kernel ~range ~precision:None in
+          let width = Gpr_analysis.Width.analyze w.kernel ~launch:w.launch in
+          let res = S.analyze ~kernel:w.kernel ~width ~precision:None in
           let occ =
             (Backend.occupancy cfg res
                ~warps_per_block:(W.warps_per_block w)
