@@ -139,6 +139,7 @@ let no_micro = ref false
 let sim_throughput = ref false
 let sim_kernels = ref ""
 let analysis = ref false
+let coloc = ref false
 
 let speclist =
   [
@@ -158,6 +159,9 @@ let speclist =
     ("--analysis", Arg.Set analysis,
      "  Only time the static dataflow analyses (intervals vs the full \
       reduced product) over the registry and write BENCH_analysis.json");
+    ("--coloc", Arg.Set coloc,
+     "  Only run the co-scheduling benchmark (registry kernel pairs under \
+      baseline vs slice per dispatch policy) and write BENCH_coloc.json");
   ]
 
 (* One timed section per table/figure of the evaluation, in
@@ -528,6 +532,124 @@ let run_analysis_bench () =
        ])
 
 (* ---------------------------------------------------------------- *)
+(* Co-scheduling benchmark: registry kernel pairs co-resident on one
+   SM under baseline vs slice for each dispatch policy, written to
+   BENCH_coloc.json.  The artifact is the ISSUE's acceptance record:
+   at least one pair must co-schedule strictly more resident blocks
+   under the compressed file AND improve aggregate per-SM IPC. *)
+
+let run_coloc_bench () =
+  let module W = Gpr_workloads.Workload in
+  let module M = Gpr_sim.Sim_multi in
+  let module Q = Gpr_quality.Quality in
+  let pairs = [ ("Hotspot", "DWT2D"); ("CFD", "GICOV") ] in
+  let policies = [ "fifo"; "binpack" ] in
+  let find n =
+    match
+      List.find_opt
+        (fun (w : W.t) -> String.lowercase_ascii w.name = String.lowercase_ascii n)
+        Gpr_workloads.Registry.all
+    with
+    | Some w -> w
+    | None ->
+      Printf.eprintf "--coloc: kernel %s not in the registry\n" n;
+      exit 2
+  in
+  let scheme id =
+    match Gpr_backend.Registry.find id with
+    | Some b -> b
+    | None ->
+      Printf.eprintf "--coloc: backend %s not registered\n" id;
+      exit 2
+  in
+  let base = scheme "baseline" and slice = scheme "slice" in
+  let round2 x = Float.round (x *. 100.0) /. 100.0 in
+  let round3 x = Float.round (x *. 1000.0) /. 1000.0 in
+  let demonstrated = ref false in
+  let records =
+    List.concat_map
+      (fun (a, b) ->
+        let ws = [ find a; find b ] in
+        let cs = List.map Gpr_core.Compress.analyze ws in
+        List.map
+          (fun pname ->
+            let policy =
+              match M.find_policy pname with
+              | Some p -> p
+              | None -> assert false
+            in
+            let co s = Gpr_core.Simulate.colocate ~policy s cs Q.High in
+            let rb = co base and rs = co slice in
+            let agg (r : M.result) = r.M.r_stats.Gpr_sim.Sim.sm_ipc in
+            let gain =
+              if agg rb > 0.0 then (agg rs /. agg rb -. 1.0) *. 100.0 else 0.0
+            in
+            let wins =
+              rs.M.r_peak_resident_blocks > rb.M.r_peak_resident_blocks
+              && agg rs > agg rb
+            in
+            if wins then demonstrated := true;
+            Printf.eprintf
+              "[coloc %-10s+%-10s %-7s blocks %d -> %d  sm_ipc %6.2f -> \
+               %6.2f (%+.1f%%)  fair %.3f -> %.3f]\n%!"
+              a b pname rb.M.r_peak_resident_blocks
+              rs.M.r_peak_resident_blocks (agg rb) (agg rs) gain
+              rb.M.r_fairness rs.M.r_fairness;
+            let side tag (r : M.result) =
+              ( tag,
+                J.Obj
+                  [
+                    ("peak_resident_blocks", J.Int r.M.r_peak_resident_blocks);
+                    ("peak_resident_warps", J.Int r.M.r_peak_resident_warps);
+                    ("sm_ipc", J.Float (round2 (agg r)));
+                    ("co_resident_cycles", J.Int r.M.r_co_resident_cycles);
+                    ("admissions", J.Int r.M.r_admissions);
+                    ("fairness", J.Float (round3 r.M.r_fairness));
+                    ( "tenants",
+                      J.Arr
+                        (Array.to_list
+                           (Array.map
+                              (fun (t : M.tenant_stats) ->
+                                J.Obj
+                                  [
+                                    ("kernel", J.Str t.M.ts_label);
+                                    ( "peak_resident",
+                                      J.Int t.M.ts_peak_resident );
+                                    ("ipc", J.Float (round2 t.M.ts_ipc));
+                                    ( "issue_share",
+                                      J.Float (round3 t.M.ts_issue_share) );
+                                  ])
+                              r.M.r_tenants)) );
+                  ] )
+            in
+            J.Obj
+              [
+                ("kernels", J.Arr [ J.Str a; J.Str b ]);
+                ("policy", J.Str pname);
+                ("ipc_gain_pct", J.Float (round2 gain));
+                ("demonstrates_coresidency", J.Bool wins);
+                side "baseline" rb;
+                side "slice" rs;
+              ])
+          policies)
+      pairs
+  in
+  if not !demonstrated then begin
+    Printf.eprintf
+      "--coloc: no pair/policy co-schedules more blocks AND improves \
+       aggregate IPC under slice\n";
+    exit 1
+  end;
+  J.write_file "BENCH_coloc.json"
+    (J.Obj
+       [
+         ("pairs", J.Int (List.length pairs));
+         ("policies", J.Arr (List.map (fun p -> J.Str p) policies));
+         ("demonstrated", J.Bool !demonstrated);
+         ("records", J.Arr records);
+       ])
+
+(* ---------------------------------------------------------------- *)
 (* Static verifier benchmark: per-pass time over the Table 4 registry
    plus the diagnostic counts, written to BENCH_lint.json so lint
    throughput regressions are visible alongside the engine timings. *)
@@ -609,13 +731,22 @@ let () =
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "dune exec bench/main.exe -- [-j N] [--cache-dir DIR] [--no-micro]\n\
     \                            [--sim-throughput [--sim-kernels A,B]]\n\
-    \                            [--analysis]";
+    \                            [--analysis] [--coloc]";
   if !sim_throughput then begin
     run_sim_bench ();
     exit 0
   end;
   if !analysis then begin
     run_analysis_bench ();
+    exit 0
+  end;
+  if !coloc then begin
+    (if !cache_dir <> "" then begin
+       let s = Gpr_engine.Store.create ~dir:!cache_dir () in
+       Gpr_core.Compress.set_store (Some s);
+       Gpr_core.Simulate.set_store (Some s)
+     end);
+    run_coloc_bench ();
     exit 0
   end;
   let jobs =

@@ -47,6 +47,16 @@ let resolve_backends names =
         exit 1)
     names
 
+let resolve_policy name =
+  match Gpr_sim.Sim_multi.find_policy name with
+  | Some p -> p
+  | None ->
+    Printf.eprintf
+      "unknown policy %s, try `--policy fifo|rr|binpack` (available: %s)\n"
+      name
+      (String.concat ", " Gpr_sim.Sim_multi.policy_names);
+    exit 1
+
 (* ---------------- execution engine plumbing ---------------- *)
 
 let jobs_arg =
@@ -529,6 +539,106 @@ let profile_cmd =
     Term.(const run $ kernel_arg $ backend_one $ trace_arg $ max_events_arg
           $ cache_dir_arg)
 
+(* ---------------- colocate ---------------- *)
+
+let colocate_cmd =
+  let module M = Gpr_sim.Sim_multi in
+  let kernels =
+    Arg.(required & pos 0 (some (list string)) None
+         & info [] ~docv:"KERNEL[,KERNEL...]"
+             ~doc:"Comma-separated kernel set to co-schedule on one SM \
+                   (see $(b,gpr list)).")
+  in
+  let backend_one =
+    let doc =
+      "Register-file scheme the co-scheduled SM runs (one name from the \
+       backend registry, default slice); the table compares it against \
+       the baseline scheme."
+    in
+    Arg.(value & opt string "slice" & info [ "backend" ] ~docv:"NAME" ~doc)
+  in
+  let policy =
+    Arg.(value & opt string "fifo"
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Block-dispatch policy: $(b,fifo) (global submission \
+                   order), $(b,rr) (round-robin over kernels) or \
+                   $(b,binpack) (pressure-aware best-fit).")
+  in
+  let waves =
+    Arg.(value & opt int 6
+         & info [ "waves" ] ~docv:"N"
+             ~doc:"Blocks fed per kernel, as a multiple of its isolated \
+                   blocks/SM.")
+  in
+  let run names bname pname waves jobs cache_dir =
+    let ws = List.map find_workload names in
+    let b =
+      match resolve_backends [ bname ] with [ b ] -> b | _ -> assert false
+    in
+    let policy = resolve_policy pname in
+    let module P = (val policy : M.POLICY) in
+    with_engine ~jobs ~cache_dir @@ fun () ->
+    let cs = List.map Compress.analyze ws in
+    let base =
+      match Gpr_backend.Registry.find "baseline" with
+      | Some b -> b
+      | None -> assert false
+    in
+    let sid = Gpr_backend.Backend.id b in
+    let co b = Simulate.colocate ~waves ~policy b cs Q.High in
+    let rb = co base in
+    let rs = if sid = "baseline" then rb else co b in
+    let ipc_change a c =
+      if a > 0.0 then Printf.sprintf "%+.1f%%" (100.0 *. ((c /. a) -. 1.0))
+      else "-"
+    in
+    Tab.section
+      (Printf.sprintf "Co-scheduling %s: baseline vs %s (policy %s, %d waves)"
+         (String.concat "+" names) sid P.id waves);
+    Tab.print
+      ~header:
+        [ "Kernel"; "Peak blocks (base)"; "Peak blocks (" ^ sid ^ ")";
+          "IPC (base)"; "IPC (" ^ sid ^ ")"; "IPC change"; "Issue share" ]
+      (List.mapi
+         (fun i (w : W.t) ->
+           let tb = rb.M.r_tenants.(i) and ts = rs.M.r_tenants.(i) in
+           [ w.name;
+             string_of_int tb.M.ts_peak_resident;
+             string_of_int ts.M.ts_peak_resident;
+             Tab.fp tb.M.ts_ipc; Tab.fp ts.M.ts_ipc;
+             ipc_change tb.M.ts_ipc ts.M.ts_ipc;
+             Tab.pct (100.0 *. ts.M.ts_issue_share) ])
+         ws
+      @ [ [ "(aggregate)";
+            string_of_int rb.M.r_peak_resident_blocks;
+            string_of_int rs.M.r_peak_resident_blocks;
+            Tab.fp rb.M.r_stats.Gpr_sim.Sim.sm_ipc;
+            Tab.fp rs.M.r_stats.Gpr_sim.Sim.sm_ipc;
+            ipc_change rb.M.r_stats.Gpr_sim.Sim.sm_ipc
+              rs.M.r_stats.Gpr_sim.Sim.sm_ipc;
+            "-" ] ]);
+    let co_pct (r : M.result) =
+      100.0 *. float_of_int r.M.r_co_resident_cycles
+      /. float_of_int (max 1 r.M.r_stats.Gpr_sim.Sim.cycles)
+    in
+    Printf.printf "co-resident cycles: %s (baseline) -> %s (%s)\n"
+      (Tab.pct (co_pct rb)) (Tab.pct (co_pct rs)) sid;
+    Printf.printf "fairness (Jain over issued slots): %.3f -> %.3f\n"
+      rb.M.r_fairness rs.M.r_fairness;
+    Printf.printf "admissions: %d -> %d blocks (policy %s: %s)\n"
+      rb.M.r_admissions rs.M.r_admissions P.id P.describe
+  in
+  Cmd.v
+    (Cmd.info "colocate"
+       ~doc:
+         "Co-schedule a kernel set on one SM under a register-file \
+          scheme and a block-dispatch policy, and compare the \
+          per-kernel and aggregate co-residency (peak resident blocks, \
+          IPC, issue shares, fairness) against the baseline register \
+          file — the compression-bought multiprogramming gain.")
+    Term.(const run $ kernels $ backend_one $ policy $ waves $ jobs_arg
+          $ cache_dir_arg)
+
 (* ---------------- serve ---------------- *)
 
 let socket_info =
@@ -782,5 +892,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; pressure_cmd; sim_cmd; report_cmd; profile_cmd;
-            disasm_cmd; analyze_cmd; check_cmd; lint_cmd; serve_cmd;
-            bench_cmd ]))
+            colocate_cmd; disasm_cmd; analyze_cmd; check_cmd; lint_cmd;
+            serve_cmd; bench_cmd ]))

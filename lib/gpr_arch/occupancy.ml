@@ -62,3 +62,41 @@ let compute (cfg : Config.t) ~regs_per_thread ~warps_per_block
 let of_demand cfg d ~warps_per_block =
   compute cfg ~regs_per_thread:d.d_regs_per_thread ~warps_per_block
     ~shared_bytes_per_block:d.d_shared_bytes_per_block
+
+(* ------------------------------------------------------------------ *)
+(* Combined-demand admission for the concurrent-kernel dispatcher. *)
+
+type usage = {
+  u_registers : int;
+  u_shared_bytes : int;
+  u_warps : int;
+  u_blocks : int;
+}
+
+let no_usage = { u_registers = 0; u_shared_bytes = 0; u_warps = 0; u_blocks = 0 }
+
+let block_usage (cfg : Config.t) d ~warps_per_block =
+  if warps_per_block <= 0 then invalid_arg "Occupancy.block_usage: no warps";
+  {
+    u_registers =
+      Config.registers_per_block cfg ~regs_per_thread:d.d_regs_per_thread
+        ~warps_per_block;
+    u_shared_bytes = d.d_shared_bytes_per_block;
+    u_warps = warps_per_block;
+    u_blocks = 1;
+  }
+
+let add_usage a b =
+  {
+    u_registers = a.u_registers + b.u_registers;
+    u_shared_bytes = a.u_shared_bytes + b.u_shared_bytes;
+    u_warps = a.u_warps + b.u_warps;
+    u_blocks = a.u_blocks + b.u_blocks;
+  }
+
+let fits (cfg : Config.t) resident candidate =
+  resident.u_registers + candidate.u_registers <= cfg.registers_per_sm
+  && resident.u_shared_bytes + candidate.u_shared_bytes
+     <= cfg.shared_mem_bytes
+  && resident.u_warps + candidate.u_warps <= cfg.max_warps
+  && resident.u_blocks + candidate.u_blocks <= cfg.max_blocks

@@ -37,3 +37,36 @@ val of_demand : Config.t -> demand -> warps_per_block:int -> result
     register and the shared-memory limits come from the scheme, so a
     scheme that trades registers for shared memory is charged for both
     sides of the trade.  Same result (and exceptions) as {!compute}. *)
+
+(** {2 Combined-demand admission}
+
+    The concurrent-kernel dispatcher ({!Gpr_sim.Sim_multi}) admits
+    blocks from {e different} kernels onto one SM.  Admission is over
+    the combined footprint: the sum of every resident block's
+    register, shared-memory (including scheme spill bytes), warp-slot
+    and block-slot usage must stay within the SM limits.  A single
+    kernel admitted greedily through {!fits} reaches exactly
+    {!compute}'s [blocks_per_sm] — the two views agree by
+    construction. *)
+
+type usage = {
+  u_registers : int;     (** physical registers claimed *)
+  u_shared_bytes : int;
+  u_warps : int;
+  u_blocks : int;
+}
+
+val no_usage : usage
+
+val block_usage : Config.t -> demand -> warps_per_block:int -> usage
+(** Footprint of one resident block of a kernel with the given demand
+    (registers at warp granularity, as in {!Config.registers_per_block}).
+    @raise Invalid_argument if [warps_per_block <= 0]. *)
+
+val add_usage : usage -> usage -> usage
+(** Component-wise sum. *)
+
+val fits : Config.t -> usage -> usage -> bool
+(** [fits cfg resident candidate]: can a block with footprint
+    [candidate] join an SM already carrying [resident] without
+    exceeding any of the four limits? *)

@@ -66,13 +66,16 @@ let sim_mode ?writeback_delay (module S : Scheme) (r : resources) =
 (* The scheme owns both sides of the occupancy trade: its register
    pressure and the shared memory its spill slots consume on top of the
    kernel's own usage (one 32-bit word per slot per thread). *)
-let occupancy cfg (r : resources) ~warps_per_block ~shared_bytes_per_block =
+let demand cfg (r : resources) ~warps_per_block ~shared_bytes_per_block =
   let spill_bytes =
     spill_bytes_per_thread r * cfg.Config.warp_size * warps_per_block
   in
+  {
+    Occupancy.d_regs_per_thread = max 1 r.alloc.Alloc.pressure;
+    d_shared_bytes_per_block = shared_bytes_per_block + spill_bytes;
+  }
+
+let occupancy cfg (r : resources) ~warps_per_block ~shared_bytes_per_block =
   Occupancy.of_demand cfg
-    {
-      Occupancy.d_regs_per_thread = max 1 r.alloc.Alloc.pressure;
-      d_shared_bytes_per_block = shared_bytes_per_block + spill_bytes;
-    }
+    (demand cfg r ~warps_per_block ~shared_bytes_per_block)
     ~warps_per_block

@@ -95,6 +95,18 @@ val sim_mode :
     writeback delay unless overridden), spilling schemes run [Spill],
     everything else runs [Baseline]. *)
 
+val demand :
+  Gpr_arch.Config.t ->
+  resources ->
+  warps_per_block:int ->
+  shared_bytes_per_block:int ->
+  Gpr_arch.Occupancy.demand
+(** The per-block resource demand a scheme's resources impose: its
+    register pressure, and the kernel's shared memory plus the spill
+    slots' footprint (4 bytes per slot per thread).  This is the exact
+    demand {!occupancy} computes from, and the admission footprint the
+    concurrent-kernel dispatcher charges per resident block. *)
+
 val occupancy :
   Gpr_arch.Config.t ->
   resources ->

@@ -779,3 +779,144 @@ let check_obs ?(max_steps = 2_000_000) (case : Gen.case) =
   in
   run ~cfg:stretched ~waves:1 "ffwd-heavy" res.Backend.alloc 1
     (Backend.sim_mode (module Sp) res)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent-kernel co-scheduling oracle. *)
+
+let check_coloc ?(max_steps = 2_000_000) (b : Backend.t) (case : Gen.case) =
+  guard @@ fun () ->
+  let module S = (val b : Backend.Scheme) in
+  let module Multi = Gpr_sim.Sim_multi in
+  let cfg = Gpr_arch.Config.fermi_gtx480 in
+  let trace_of (c : Gen.case) =
+    let data = c.Gen.data () in
+    let bindings = E.bindings_for c.Gen.kernel ~data ~shared:c.Gen.shared () in
+    E.run c.Gen.kernel ~launch:c.Gen.launch ~params:c.Gen.params ~bindings
+      {
+        E.default_config with
+        collect_trace = true;
+        max_steps = Some max_steps;
+      }
+  in
+  (* A tenant at the scheme's demand, budgeted for two waves of its
+     isolated occupancy — the same workload its isolated reference run
+     replays. *)
+  let tenant_of label (c : Gen.case) trace =
+    let wt = Width.analyze c.Gen.kernel ~launch:c.Gen.launch in
+    let res = S.analyze ~kernel:c.Gen.kernel ~width:wt ~precision:None in
+    let wpb = trace.Gpr_exec.Trace.warps_per_block in
+    let shared_bytes =
+      4 * List.fold_left (fun acc (_, n) -> acc + n) 0 c.Gen.shared
+    in
+    let demand =
+      Backend.demand cfg res ~warps_per_block:wpb
+        ~shared_bytes_per_block:shared_bytes
+    in
+    let occ = Gpr_arch.Occupancy.of_demand cfg demand ~warps_per_block:wpb in
+    let bpsm = occ.Gpr_arch.Occupancy.blocks_per_sm in
+    ( {
+        Multi.t_label = label;
+        t_trace = trace;
+        t_alloc = res.Backend.alloc;
+        t_mode = Backend.sim_mode b res;
+        t_demand = demand;
+        t_blocks = 2 * bpsm;
+      },
+      bpsm )
+  in
+  (* Isolated reference for one tenant; also pins the singleton
+     identity: [run_multi] on the tenant alone must reproduce
+     [Sim.run] byte for byte. *)
+  let isolated label (t : Multi.tenant) bpsm =
+    let s =
+      match
+        Gpr_sim.Sim.run ~check:true ~waves:2 cfg ~trace:t.Multi.t_trace
+          ~alloc:t.Multi.t_alloc ~blocks_per_sm:bpsm ~mode:t.Multi.t_mode
+      with
+      | s -> s
+      | exception Gpr_sim.Sim.Invariant_violation msg ->
+        fail (Sim_violation (label ^ ": " ^ msg))
+    in
+    let m =
+      match Multi.run ~check:true cfg [ t ] with
+      | m -> m
+      | exception Gpr_sim.Sim.Invariant_violation msg ->
+        fail (Sim_violation (label ^ " (singleton run_multi): " ^ msg))
+    in
+    if Stdlib.compare s m.Multi.r_stats <> 0 then
+      fail
+        (Sim_violation
+           (Printf.sprintf
+              "%s: singleton run_multi diverges from Sim.run (%d vs %d \
+               cycles)"
+              label s.Gpr_sim.Sim.cycles
+              m.Multi.r_stats.Gpr_sim.Sim.cycles));
+    s
+  in
+  match trace_of case with
+  | None -> fail (Exec_failure "trace collection returned no trace")
+  | Some trace ->
+    let t0, bpsm0 = tenant_of "k0" case trace in
+    let s0 = isolated "k0" t0 bpsm0 in
+    (* The co-tenant is generated from a seed derived from the case's,
+       so shrinking the case never perturbs its companion; a companion
+       that does not execute degrades to co-scheduling the case with
+       itself, which still exercises the multi-tenant dispatcher. *)
+    let companion = Gen.generate (case.Gen.seed lxor 0x2b992d) in
+    let t1, bpsm1 =
+      match trace_of companion with
+      | Some tr when Array.length tr.Gpr_exec.Trace.items > 0 ->
+        tenant_of "k1" companion tr
+      | Some _ | None | (exception _) -> tenant_of "k1" case trace
+    in
+    let s1 = isolated "k1" t1 bpsm1 in
+    List.iter
+      (fun policy ->
+        let module P = (val policy : Multi.POLICY) in
+        let r =
+          match Multi.run ~check:true ~policy cfg [ t0; t1 ] with
+          | r -> r
+          | exception Gpr_sim.Sim.Invariant_violation msg ->
+            fail (Sim_violation (Printf.sprintf "coloc/%s: %s" P.id msg))
+        in
+        (* Per-kernel replay identity: co-residency may change the
+           timing, never the retired instruction stream. *)
+        let expect label (iso : Gpr_sim.Sim.stats) (ts : Multi.tenant_stats)
+            =
+          if ts.Multi.ts_warp_instructions <> iso.Gpr_sim.Sim.warp_instructions
+          then
+            fail
+              (Sim_violation
+                 (Printf.sprintf
+                    "coloc/%s: %s issued %d warp instructions co-scheduled \
+                     but %d isolated"
+                    P.id label ts.Multi.ts_warp_instructions
+                    iso.Gpr_sim.Sim.warp_instructions));
+          if
+            ts.Multi.ts_thread_instructions
+            <> iso.Gpr_sim.Sim.thread_instructions
+          then
+            fail
+              (Sim_violation
+                 (Printf.sprintf
+                    "coloc/%s: %s executed %d thread instructions \
+                     co-scheduled but %d isolated"
+                    P.id label ts.Multi.ts_thread_instructions
+                    iso.Gpr_sim.Sim.thread_instructions))
+        in
+        expect "k0" s0 r.Multi.r_tenants.(0);
+        expect "k1" s1 r.Multi.r_tenants.(1);
+        (* Aggregate conservation over the kernel set. *)
+        if
+          r.Multi.r_stats.Gpr_sim.Sim.warp_instructions
+          <> s0.Gpr_sim.Sim.warp_instructions
+             + s1.Gpr_sim.Sim.warp_instructions
+        then
+          fail
+            (Sim_violation
+               (Printf.sprintf
+                  "coloc/%s: aggregate warp instructions %d <> %d + %d"
+                  P.id r.Multi.r_stats.Gpr_sim.Sim.warp_instructions
+                  s0.Gpr_sim.Sim.warp_instructions
+                  s1.Gpr_sim.Sim.warp_instructions)))
+      Multi.policies

@@ -145,3 +145,20 @@ val check_sim_backend :
     simulator's self-checks enabled.  Register-only schemes must never
     fall below baseline occupancy; spilling schemes are exempt from
     that invariant (their slots consume shared memory). *)
+
+val check_coloc : ?max_steps:int -> Gpr_backend.Backend.t -> Gen.case -> unit
+(** Concurrent-kernel co-scheduling oracle under the given scheme.
+    Pairs the case with a companion kernel generated from a seed
+    derived from the case's (falling back to self-pairing when the
+    companion does not execute) and asserts, for every dispatch
+    policy:
+
+    - singleton identity — {!Gpr_sim.Sim_multi.run} on each tenant
+      alone is byte-identical to {!Gpr_sim.Sim.run};
+    - per-kernel replay — each kernel's co-scheduled warp- and
+      thread-instruction totals equal its isolated run (co-residency
+      changes timing, never the work), and the aggregate is their sum;
+    - the engine's internal per-kernel and aggregate slot-attribution
+      and conservation identities ([~check:true]).
+
+    Raises {!Check_failed} with [Sim_violation] / [Exec_failure]. *)

@@ -6,6 +6,7 @@ type stage =
   | Stage_lint
   | Stage_obs
   | Stage_backend of string
+  | Stage_coloc of string
 
 type report = {
   seed : int;
@@ -28,6 +29,7 @@ let stage_name = function
   | Stage_lint -> "lint"
   | Stage_obs -> "obs"
   | Stage_backend name -> "backend:" ^ name
+  | Stage_coloc name -> "coloc:" ^ name
 
 (* The slice scheme is what the four classic stages already exercise
    end to end (exact + narrow differential, timing replay, lint
@@ -38,8 +40,8 @@ let stages_for backends =
     (fun name ->
       if String.lowercase_ascii name = "slice" then
         [ Stage_exact; Stage_narrow; Stage_width; Stage_sim; Stage_lint;
-          Stage_obs ]
-      else [ Stage_backend name ])
+          Stage_obs; Stage_coloc name ]
+      else [ Stage_backend name; Stage_coloc name ])
     backends
 
 let default_backends = [ "slice" ]
@@ -56,6 +58,8 @@ let run_stage stage case =
     let b = Gpr_backend.Registry.find_exn name in
     Diff.check_backend b case;
     Diff.check_sim_backend b case
+  | Stage_coloc name ->
+    Diff.check_coloc (Gpr_backend.Registry.find_exn name) case
 
 let first_failure stages case =
   let rec go = function

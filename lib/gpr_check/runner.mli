@@ -8,7 +8,9 @@
     lint-soundness parity, and the stall-attribution identity
     ({!Diff}) — while any other registered scheme
     runs the generic plain-vs-backend oracles
-    ({!Diff.check_backend} + {!Diff.check_sim_backend}).  The first
+    ({!Diff.check_backend} + {!Diff.check_sim_backend}).  Every scheme
+    additionally runs the concurrent-kernel co-scheduling oracle
+    ({!Diff.check_coloc}).  The first
     failing stage is shrunk with a predicate that demands the same
     failure class, so the reported counterexample reproduces the
     original violation, not an artefact of shrinking. *)
@@ -26,6 +28,12 @@ type stage =
           ({!Diff.check_obs}) *)
   | Stage_backend of string
       (** generic scheme oracle for the named registry backend *)
+  | Stage_coloc of string
+      (** concurrent-kernel co-scheduling oracle under the named
+          scheme ({!Diff.check_coloc}): singleton byte-identity vs
+          {!Gpr_sim.Sim.run}, per-kernel replay identity vs the
+          isolated runs, and the per-kernel + aggregate
+          slot-attribution identities, under every dispatch policy *)
 
 type report = {
   seed : int;

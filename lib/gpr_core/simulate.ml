@@ -15,6 +15,10 @@ module Store = Gpr_engine.Store
    re-executes a kernel or the timing model. *)
 let trace_cache : (string, Gpr_exec.Trace.t) Hashtbl.t = Hashtbl.create 32
 let stats_cache : (string, Sim.stats) Hashtbl.t = Hashtbl.create 32
+
+let coloc_cache : (string, Gpr_sim.Sim_multi.result) Hashtbl.t =
+  Hashtbl.create 8
+
 let cache_mutex = Mutex.create ()
 
 let store : Store.t option ref = ref None
@@ -24,6 +28,7 @@ let clear_cache () =
   Mutex.lock cache_mutex;
   Hashtbl.reset trace_cache;
   Hashtbl.reset stats_cache;
+  Hashtbl.reset coloc_cache;
   Mutex.unlock cache_mutex
 
 let cfg = Gpr_arch.Config.fermi_gtx480
@@ -158,6 +163,75 @@ let backend ?writeback_delay (b : Gpr_backend.Backend.t) (c : Compress.t)
       Sim.run cfg ~trace ~alloc:res.Gpr_backend.Backend.alloc
         ~blocks_per_sm:occ.Gpr_arch.Occupancy.blocks_per_sm
         ~mode:(Gpr_backend.Backend.sim_mode ?writeback_delay b res))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent-kernel co-scheduling: one SM hosting a kernel *set*
+   under a dispatch policy. *)
+
+module Multi = Gpr_sim.Sim_multi
+
+(* A kernel's seat at the co-scheduled SM: its scheme trace and
+   allocation, the admission demand the scheme reports (the same demand
+   its isolated occupancy is computed from), and a fixed block budget of
+   [waves] waves at its isolated occupancy — so the co-scheduled run
+   replays exactly the workload of [waves] isolated waves. *)
+let colocate_tenant ?writeback_delay ~waves (b : Gpr_backend.Backend.t)
+    (c : Compress.t) threshold =
+  let module S = (val b : Gpr_backend.Backend.Scheme) in
+  let res = backend_resources b c threshold in
+  let trace =
+    if S.needs_precision then trace_quantized c threshold else trace_plain c
+  in
+  let occ = backend_occupancy c res in
+  let wpb = Workload.warps_per_block c.Compress.w in
+  let demand =
+    Gpr_backend.Backend.demand cfg res ~warps_per_block:wpb
+      ~shared_bytes_per_block:(Workload.shared_bytes_per_block c.Compress.w)
+  in
+  {
+    Multi.t_label = c.Compress.w.Workload.name;
+    t_trace = trace;
+    t_alloc = res.Gpr_backend.Backend.alloc;
+    t_mode = Gpr_backend.Backend.sim_mode ?writeback_delay b res;
+    t_demand = demand;
+    t_blocks = max 1 (waves * occ.Gpr_arch.Occupancy.blocks_per_sm);
+  }
+
+let colocate ?writeback_delay ?(waves = 6) ?(policy = Multi.fifo) ?check
+    (b : Gpr_backend.Backend.t) (cs : Compress.t list) threshold =
+  let module P = (val policy : Multi.POLICY) in
+  (* The memo key names the kernel *set* in order (dispatch is
+     submission-order sensitive), the scheme, the policy, the wave count
+     and the writeback override, on top of the architecture. *)
+  let key =
+    Printf.sprintf "coloc/%s/%s/%s/%s/w%d/wb%s"
+      (String.concat "+"
+         (List.map (fun (c : Compress.t) -> Fp.to_hex c.fingerprint) cs))
+      (Lazy.force cfg_fp) (scheme_key b) P.id waves
+      (match writeback_delay with None -> "-" | Some d -> string_of_int d)
+  in
+  match (check, find_cached coloc_cache key) with
+  | None, Some r | Some false, Some r -> r
+  | _ ->
+    let compute () =
+      let tenants =
+        List.map
+          (fun c -> colocate_tenant ?writeback_delay ~waves b c threshold)
+          cs
+      in
+      Multi.run ?check ~policy cfg tenants
+    in
+    (* Self-checking runs always execute (the point is the oracle, not
+       the answer) and are not persisted. *)
+    let r =
+      match check with
+      | Some true -> compute ()
+      | _ ->
+        let fp = Fp.of_strings [ "coloc"; key ] in
+        Store.memoize !store ~kind:"coloc" ~key:fp compute
+    in
+    put_cached coloc_cache key r;
+    r
 
 (* Profiling deliberately bypasses the stats memo: a trace can only be
    recorded by actually running the timing model.  The run is

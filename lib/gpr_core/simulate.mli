@@ -52,6 +52,26 @@ val backend :
     the scheme's id+version in the key — [backend] on [Backend_slice]
     reproduces [proposed] exactly. *)
 
+val colocate :
+  ?writeback_delay:int ->
+  ?waves:int ->
+  ?policy:(module Gpr_sim.Sim_multi.POLICY) ->
+  ?check:bool ->
+  Gpr_backend.Backend.t ->
+  Compress.t list ->
+  Gpr_quality.Quality.threshold ->
+  Gpr_sim.Sim_multi.result
+(** Co-schedule a kernel set on one SM under the given scheme and
+    dispatch policy ({!Gpr_sim.Sim_multi}).  Each kernel contributes
+    [waves] waves of blocks at its {e isolated} occupancy, with the
+    admission demand taken from {!Gpr_backend.Backend.demand} — so the
+    co-scheduled run replays exactly the workload of the kernels'
+    isolated runs, and co-residency gains come only from packing.
+    Memoised like the stats entries, keyed by the ordered kernel-set
+    fingerprints + scheme + policy + waves; [?check:true] runs the
+    self-checking oracle and is never served from (or written to) the
+    memo. *)
+
 val profile_backend :
   ?writeback_delay:int ->
   profile:Gpr_obs.Chrome.t ->

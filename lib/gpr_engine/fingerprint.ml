@@ -15,8 +15,12 @@ let equal = String.equal
    4: integer widths now come from the [Gpr_analysis.Width] reduced
    product (known-bits × congruence × demanded-bits on top of the
    intervals) and [Compress]'s stored record carries the full width
-   analysis; both the widths and the record layout changed. *)
-let version = "gpr-engine/4"
+   analysis; both the widths and the record layout changed.
+   5: concurrent-kernel simulation — memo keys may now name a kernel
+   set plus a dispatch policy ("coloc" entries marshal the
+   [Sim_multi.result] layout), and the admission demand is computed
+   through [Backend.demand]; pre-coloc entries must not alias. *)
+let version = "gpr-engine/5"
 
 let of_strings parts =
   let buf = Buffer.create 256 in

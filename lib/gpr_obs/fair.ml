@@ -1,0 +1,10 @@
+let jain xs =
+  List.iter
+    (fun x ->
+      if x < 0.0 then invalid_arg "Fair.jain: negative share")
+    xs;
+  let n = List.length xs in
+  let sum = List.fold_left ( +. ) 0.0 xs in
+  let sq = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+  if n = 0 || sq = 0.0 then 1.0
+  else sum *. sum /. (float_of_int n *. sq)

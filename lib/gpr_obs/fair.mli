@@ -1,0 +1,13 @@
+(** Fairness indices for shared-resource accounting.
+
+    Used by the concurrent-kernel simulator to summarise how evenly
+    co-scheduled kernels shared the SM's issue slots. *)
+
+val jain : float list -> float
+(** Jain's fairness index: [(sum x)^2 / (n * sum x^2)].  Ranges from
+    [1/n] (one party monopolised the resource) to [1.0] (perfectly
+    even).  Conventions for degenerate inputs: an empty list or an
+    all-zero allocation is perfectly fair ([1.0]); negative shares are
+    rejected.
+
+    @raise Invalid_argument on a negative share. *)

@@ -38,13 +38,14 @@ type request = {
   q_block : int;
   q_grid : int;
   q_backend : string option;
+  q_policy : string option;
   q_deadline_ms : int option;
   q_sleep_ms : int;
   q_tag : string;
 }
 
-let request ?kernel ?source ?(block = 256) ?(grid = 16) ?backend ?deadline_ms
-    ?(sleep_ms = 0) ?(tag = "") ~id verb =
+let request ?kernel ?source ?(block = 256) ?(grid = 16) ?backend ?policy
+    ?deadline_ms ?(sleep_ms = 0) ?(tag = "") ~id verb =
   {
     q_id = id;
     q_verb = verb;
@@ -53,6 +54,7 @@ let request ?kernel ?source ?(block = 256) ?(grid = 16) ?backend ?deadline_ms
     q_block = block;
     q_grid = grid;
     q_backend = backend;
+    q_policy = policy;
     q_deadline_ms = deadline_ms;
     q_sleep_ms = sleep_ms;
     q_tag = tag;
@@ -73,6 +75,7 @@ let request_to_json r =
          [ ("block", J.Int r.q_block); ("grid", J.Int r.q_grid) ]
        else [])
     @ opt "backend" r.q_backend
+    @ opt "policy" r.q_policy
     @ (match r.q_deadline_ms with
       | None -> []
       | Some d -> [ ("deadline_ms", J.Int d) ])
@@ -106,6 +109,7 @@ let request_of_json j =
           q_block = Option.value (int_member "block" j) ~default:256;
           q_grid = Option.value (int_member "grid" j) ~default:16;
           q_backend = str_member "backend" j;
+          q_policy = str_member "policy" j;
           q_deadline_ms = int_member "deadline_ms" j;
           q_sleep_ms = Option.value (int_member "sleep_ms" j) ~default:0;
           q_tag = Option.value (str_member "tag" j) ~default:"";

@@ -45,20 +45,21 @@ type error = { e_code : error_code; e_message : string }
 
 type request = {
   q_id : int;                   (** client-chosen, echoed in the response; > 0 *)
-  q_verb : string;              (** plan | lint | estimate | profile | stats | ping | sleep *)
+  q_verb : string;              (** plan | lint | estimate | profile | colocate | stats | ping | sleep *)
   q_kernel : string option;     (** registry kernel name *)
   q_source : string option;     (** inline mini-PTX source (plan/lint) *)
   q_block : int;                (** inline launch: threads per block *)
   q_grid : int;                 (** inline launch: blocks *)
   q_backend : string option;    (** scheme name; default slice *)
+  q_policy : string option;     (** dispatch policy (colocate); default fifo *)
   q_deadline_ms : int option;   (** per-request deadline; server default if absent *)
   q_sleep_ms : int;             (** sleep verb only (load tests) *)
   q_tag : string;               (** opaque salt mixed into the work key *)
 }
 
 val request : ?kernel:string -> ?source:string -> ?block:int -> ?grid:int ->
-  ?backend:string -> ?deadline_ms:int -> ?sleep_ms:int -> ?tag:string ->
-  id:int -> string -> request
+  ?backend:string -> ?policy:string -> ?deadline_ms:int -> ?sleep_ms:int ->
+  ?tag:string -> id:int -> string -> request
 (** [request ~id verb] with optional fields defaulted as on the wire. *)
 
 type response = {

@@ -18,6 +18,7 @@ type t =
   | Lint_inline of Gpr_isa.Types.kernel * Gpr_isa.Types.launch
   | Estimate of W.t * Backend.t
   | Profile of W.t * Backend.t
+  | Colocate of W.t list * Backend.t * (module Gpr_sim.Sim_multi.POLICY)
 
 let err code fmt =
   Printf.ksprintf (fun m -> Error { P.e_code = code; P.e_message = m }) fmt
@@ -38,6 +39,14 @@ let resolve_backend name =
   | None ->
     err P.Unknown_backend "unknown backend %s (available: %s)" name
       (String.concat ", " Gpr_backend.Registry.names)
+
+let resolve_policy name =
+  match Gpr_sim.Sim_multi.find_policy name with
+  | Some p -> Ok p
+  | None ->
+    err P.Bad_request
+      "unknown policy %s, try `--policy fifo|rr|binpack` (available: %s)" name
+      (String.concat ", " Gpr_sim.Sim_multi.policy_names)
 
 let resolve_inline ~source ~block ~grid =
   if block <= 0 || grid <= 0 then
@@ -90,6 +99,35 @@ let resolve (r : P.request) =
       ~inline:(fun (k, l) -> Lint_inline (k, l))
   | "estimate" -> registry_and_backend (fun w b -> Estimate (w, b))
   | "profile" -> registry_and_backend (fun w b -> Profile (w, b))
+  | "colocate" -> (
+    match r.P.q_kernel with
+    | None ->
+      err P.Bad_request
+        "verb colocate needs a comma-separated \"kernel\" set of registry \
+         names"
+    | Some names -> (
+      let names =
+        String.split_on_char ',' names
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      match names with
+      | [] -> err P.Bad_request "verb colocate: empty kernel set"
+      | _ ->
+        let rec resolve_all = function
+          | [] -> Ok []
+          | n :: rest ->
+            Result.bind (resolve_kernel n) (fun w ->
+                Result.map (fun ws -> w :: ws) (resolve_all rest))
+        in
+        Result.bind (resolve_all names) (fun ws ->
+            Result.bind
+              (resolve_backend (Option.value r.P.q_backend ~default:"slice"))
+              (fun b ->
+                Result.map
+                  (fun p -> Colocate (ws, b, p))
+                  (resolve_policy
+                     (Option.value r.P.q_policy ~default:"fifo"))))))
   | v -> err P.Bad_request "unknown verb %s" v
 
 (* Registry workloads are a fixed static set, so within one process the
@@ -114,11 +152,16 @@ let key = function
       (Gpr_engine.Fingerprint.to_hex (Gpr_engine.Fingerprint.launch l))
   | Estimate (w, b) -> Printf.sprintf "estimate:%s:%s" w.W.name (backend_tag b)
   | Profile (w, b) -> Printf.sprintf "profile:%s:%s" w.W.name (backend_tag b)
+  | Colocate (ws, b, p) ->
+    let module PM = (val p : Gpr_sim.Sim_multi.POLICY) in
+    Printf.sprintf "colocate:%s:%s:%s"
+      (String.concat "+" (List.map (fun (w : W.t) -> w.W.name) ws))
+      (backend_tag b) PM.id
 
 let cacheable = function
   | Ping | Sleep _ -> false
   | Plan_registry _ | Plan_inline _ | Lint_registry _ | Lint_inline _
-  | Estimate _ | Profile _ -> true
+  | Estimate _ | Profile _ | Colocate _ -> true
 
 (* ---------------- handlers ---------------- *)
 
@@ -295,6 +338,51 @@ let run_profile ~check (w : W.t) b =
       ("spill_stores", J.Int st.Gpr_sim.Sim.spill_stores);
     ]
 
+(* Mirrors `gpr colocate` for the requested scheme only (the CLI's
+   baseline comparison column is two requests away). *)
+let run_colocate ~check ws b policy =
+  let module M = Gpr_sim.Sim_multi in
+  let cs =
+    List.map
+      (fun w ->
+        let c = Compress.analyze w in
+        check ();
+        c)
+      ws
+  in
+  let r = Simulate.colocate ~policy b cs Q.High in
+  check ();
+  J.Obj
+    [
+      ("kernels", J.Arr (List.map (fun (w : W.t) -> J.Str w.W.name) ws));
+      ("backend", J.Str (Backend.id b));
+      ("policy", J.Str r.M.r_policy);
+      ( "tenants",
+        J.Arr
+          (Array.to_list
+             (Array.map
+                (fun (t : M.tenant_stats) ->
+                  J.Obj
+                    [
+                      ("kernel", J.Str t.M.ts_label);
+                      ("blocks_launched", J.Int t.M.ts_blocks_launched);
+                      ("peak_resident", J.Int t.M.ts_peak_resident);
+                      ("issued_slots", J.Int t.M.ts_issued_slots);
+                      ("warp_instructions", J.Int t.M.ts_warp_instructions);
+                      ("ipc", J.Float t.M.ts_ipc);
+                      ("issue_share", J.Float t.M.ts_issue_share);
+                    ])
+                r.M.r_tenants)) );
+      ("cycles", J.Int r.M.r_stats.Gpr_sim.Sim.cycles);
+      ("ipc", J.Float r.M.r_stats.Gpr_sim.Sim.gpu_ipc);
+      ("sm_ipc", J.Float r.M.r_stats.Gpr_sim.Sim.sm_ipc);
+      ("peak_resident_blocks", J.Int r.M.r_peak_resident_blocks);
+      ("peak_resident_warps", J.Int r.M.r_peak_resident_warps);
+      ("co_resident_cycles", J.Int r.M.r_co_resident_cycles);
+      ("admissions", J.Int r.M.r_admissions);
+      ("fairness", J.Float r.M.r_fairness);
+    ]
+
 let run ?(check = fun () -> ()) = function
   | Ping -> J.Obj [ ("pong", J.Bool true) ]
   | Sleep ms -> run_sleep ~check ms
@@ -304,3 +392,4 @@ let run ?(check = fun () -> ()) = function
   | Lint_inline (k, l) -> run_lint_inline ~check k l
   | Estimate (w, b) -> run_estimate ~check w b
   | Profile (w, b) -> run_profile ~check w b
+  | Colocate (ws, b, p) -> run_colocate ~check ws b p

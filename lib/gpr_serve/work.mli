@@ -25,11 +25,20 @@ type t =
   | Lint_inline of Gpr_isa.Types.kernel * Gpr_isa.Types.launch
   | Estimate of Gpr_workloads.Workload.t * Gpr_backend.Backend.t
   | Profile of Gpr_workloads.Workload.t * Gpr_backend.Backend.t
+  | Colocate of
+      Gpr_workloads.Workload.t list
+      * Gpr_backend.Backend.t
+      * (module Gpr_sim.Sim_multi.POLICY)
+      (** co-schedule a kernel set on one SM ({!Gpr_core.Simulate.colocate});
+          the request names the set as a comma-separated ["kernel"]
+          field and the dispatch policy as ["policy"] (default fifo) *)
 
 val resolve : Protocol.request -> (t, Protocol.error) result
 (** Map a request onto a work item.  Unknown kernel / backend names
     return the typed [unknown_kernel] / [unknown_backend] errors (with
-    the same "try [gpr list]" guidance the CLI prints); structural
+    the same "try [gpr list]" guidance the CLI prints); an unknown
+    colocate policy returns [bad_request] with the "try
+    [--policy fifo|rr|binpack]" guidance; structural
     problems (missing kernel, unparseable inline source, estimate on an
     inline kernel) return [bad_request].  Never raises. *)
 

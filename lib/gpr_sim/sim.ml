@@ -467,6 +467,58 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
   let nbanks = cfg.register_banks in
   let bank_mask = if nbanks land (nbanks - 1) = 0 then nbanks - 1 else -1 in
   let bank_of x = if bank_mask >= 0 then x land bank_mask else x mod nbanks in
+  (* Incremental issuable set, one bit per warp of the scheduler (bit
+     [wi / nsched]): [m_ready] holds warps whose decoded next
+     instruction is a non-sync unit with a clean scoreboard and no
+     barrier; [m_sync] the same for bar.sync with no outstanding
+     retires.  Refreshed at every event that can change a warp's
+     issuability — decode, its own issue's scoreboard bump, its own
+     retire, barrier park/release, launch and block removal — so the
+     GTO pick reads [m_sync | m_ready] (the ready half gated on a free
+     collector unit, the only cross-warp input) and visits exactly the
+     issuable warps instead of scanning past stalled ones.  Configs
+     with more warps per scheduler than bits fall back to the scan
+     path; the age-sorted scan lists stay authoritative for stall
+     classification either way. *)
+  let use_mask = nw > 0 && (nw - 1) / nsched <= 61 in
+  let m_ready = Array.make nsched 0 in
+  let m_sync = Array.make nsched 0 in
+  let w_bit = Array.init (max 1 nw) (fun wi -> 1 lsl (wi / nsched)) in
+  let refresh_mask wi =
+    if use_mask then begin
+      let sd = sched_of wi in
+      let bit = w_bit.(wi) in
+      let u = nx.(wi * nx_stride) in
+      if
+        wa_active.(wi) && (not wa_barrier.(wi)) && wa_sbr.(wi) && u >= 0
+      then
+        if u = u_sync then begin
+          m_ready.(sd) <- m_ready.(sd) land lnot bit;
+          m_sync.(sd) <-
+            (if wa_out.(wi) = 0 then m_sync.(sd) lor bit
+             else m_sync.(sd) land lnot bit)
+        end
+        else begin
+          m_ready.(sd) <- m_ready.(sd) lor bit;
+          m_sync.(sd) <- m_sync.(sd) land lnot bit
+        end
+      else begin
+        m_ready.(sd) <- m_ready.(sd) land lnot bit;
+        m_sync.(sd) <- m_sync.(sd) land lnot bit
+      end
+    end
+  in
+  (* Trailing-zero count for single-bit masks (the extracted LSB). *)
+  let ctz v =
+    let v = ref v and n = ref 0 in
+    if !v land 0xFFFFFFFF = 0 then begin v := !v lsr 32; n := !n + 32 end;
+    if !v land 0xFFFF = 0 then begin v := !v lsr 16; n := !n + 16 end;
+    if !v land 0xFF = 0 then begin v := !v lsr 8; n := !n + 8 end;
+    if !v land 0xF = 0 then begin v := !v lsr 4; n := !n + 4 end;
+    if !v land 0x3 = 0 then begin v := !v lsr 2; n := !n + 2 end;
+    if !v land 0x1 = 0 then incr n;
+    !n
+  in
   let sched_clean = Array.make nsched false in
   (* Scan-prefix mark per scheduler: positions below it in [scan_w]
      hold warps known to be non-issuable (and non-drained) since the
@@ -506,7 +558,10 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
       let k = ref 0 in
       for i = 0 to n - 1 do
         let wi = a.(i) in
-        if wi / wpb = slot then wa_active.(wi) <- false
+        if wi / wpb = slot then begin
+          wa_active.(wi) <- false;
+          refresh_mask wi
+        end
         else begin
           a.(!k) <- wi;
           incr k
@@ -547,7 +602,8 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
       wa_out.(wi) <- 0;
       wa_barrier.(wi) <- false;
       wa_active.(wi) <- true;
-      decode_next wi
+      decode_next wi;
+      refresh_mask wi
     done;
     (* Append in warp order, as the reference engine's
        [active_warps @ warps] does. *)
@@ -1003,7 +1059,13 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
           for w = 0 to wpb - 1 do
             wa_barrier.(base + w) <- false
           done
-      end
+      end;
+      (* Park/release settled: re-derive the whole block's issuability
+         (a release can wake warps on every scheduler). *)
+      let base = (wi / wpb) * wpb in
+      for w = 0 to wpb - 1 do
+        refresh_mask (base + w)
+      done
     end
     else begin
       incr issued_nonsync;
@@ -1079,7 +1141,10 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
       cu_dst.(cu) <- dst;
       cu_lat.(cu) <- lat;
       cu_busyc.(cu) <- busy;
-      cu_issued_at.(cu) <- !cycle
+      cu_issued_at.(cu) <- !cycle;
+      (* Decode moved the pointer and the destination bump may have
+         taken readiness away: one refresh covers both. *)
+      refresh_mask wi
     end
   in
 
@@ -1101,6 +1166,7 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
         if not wa_sbr.(wi) then wa_sbr.(wi) <- scoreboard_ready wi
       end;
       wa_out.(wi) <- wa_out.(wi) - 1;
+      refresh_mask wi;
       incr retired;
       (let sd = sched_of wi in
        if memo_blame.(sd) = wi || can_issue wi then begin
@@ -1384,6 +1450,33 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
             li >= 0 && wa_active.(li) && wa_age.(li) = last_age.(sd)
             && can_issue li
           then li
+          else if use_mask then begin
+            (* Incremental issuable set: the scheduler's sync-ready
+               warps plus (collector unit permitting) its ready warps,
+               oldest age wins — exactly the oldest issuable warp the
+               scan below would reach, without visiting stalled
+               ones. *)
+            let m =
+              m_sync.(sd) lor (if !cu_free > 0 then m_ready.(sd) else 0)
+            in
+            if m = 0 then -1
+            else begin
+              let best = scr_best and k = scr_k in
+              best := -1;
+              k := max_int;
+              let r = ref m in
+              while !r <> 0 do
+                let lsb = !r land - !r in
+                r := !r lxor lsb;
+                let wi = (ctz lsb * nsched) + sd in
+                if wa_age.(wi) < !k then begin
+                  k := wa_age.(wi);
+                  best := wi
+                end
+              done;
+              !best
+            end
+          end
           else begin
             (* Age-sorted list: the first issuable warp is the oldest
                issuable warp.  Drained warps are pruned on the way. *)

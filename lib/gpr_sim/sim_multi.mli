@@ -1,0 +1,117 @@
+(** Concurrent-kernel SM timing model.
+
+    One SM hosts resident thread blocks from {e multiple kernels}
+    simultaneously: each tenant carries its own trace, allocation and
+    register-file mode, the block dispatcher refills freed capacity
+    from the cross-kernel pending queues under the combined
+    register + shared-memory (including spill-slot) limits of
+    {!Gpr_arch.Occupancy.fits}, and every per-warp structure
+    (scoreboard, collector operands, bank swizzles) is keyed by the
+    warp's resident slot, so kernels never alias registers.
+
+    The cycle model is exactly {!Sim_ref}'s — same memory hierarchy,
+    collector/bank/writeback structure, GTO/LRR issue, stall taxonomy
+    and idle fast-forward — generalised over tenants.  On a singleton
+    tenant set whose [t_blocks] equals [waves * blocks_per_sm] and
+    whose demand reproduces the kernel's occupancy, {!run} is
+    byte-identical to {!Sim.run} (pinned by the differential suite in
+    test/test_sim.ml and the fuzzer's coloc stage).
+
+    The shared structures are genuinely shared between tenants: L1/tex/
+    L2 caches, DRAM/L2 bandwidth, collector units, execution units, the
+    writeback bus and the single spill port, so co-resident kernels
+    interfere exactly where the hardware would make them. *)
+
+type tenant = {
+  t_label : string;  (** kernel name, for stats and Chrome lanes *)
+  t_trace : Gpr_exec.Trace.t;
+  t_alloc : Gpr_alloc.Alloc.t;
+  t_mode : Sim.regfile_mode;
+  t_demand : Gpr_arch.Occupancy.demand;
+      (** per-block admission footprint as the scheme reports it
+          (registers at {!Gpr_arch.Config.registers_per_block}
+          granularity; shared bytes including scheme spill slots) *)
+  t_blocks : int;
+      (** blocks fed to this SM (the workload), drawn round-robin from
+          the tenant's grid as in {!Sim.run} *)
+}
+
+(** Per-kernel share of the co-scheduled run. *)
+type tenant_stats = {
+  ts_label : string;
+  ts_blocks_launched : int;
+  ts_peak_resident : int;   (** most blocks of this kernel co-resident *)
+  ts_issued_slots : int;
+  ts_warp_instructions : int;
+  ts_thread_instructions : int;
+  ts_breakdown : Gpr_obs.Stall.breakdown;
+      (** issue/stall slots attributed to this kernel's warps ([Empty]
+          slots have no owner and stay aggregate-only) *)
+  ts_ipc : float;           (** thread instructions / total cycles *)
+  ts_issue_share : float;   (** fraction of all issued slots *)
+}
+
+type result = {
+  r_stats : Sim.stats;  (** aggregate, same shape as a single-kernel run *)
+  r_tenants : tenant_stats array;
+  r_policy : string;
+  r_peak_resident_blocks : int;  (** most blocks co-resident, any kernel *)
+  r_peak_resident_warps : int;
+  r_co_resident_cycles : int;
+      (** cycles with blocks of >= 2 distinct kernels resident *)
+  r_admissions : int;  (** blocks launched across all tenants *)
+  r_fairness : float;
+      (** Jain index over per-kernel issued-slot counts: 1 = perfectly
+          even, 1/n = one kernel monopolised the SM *)
+}
+
+(** A pending head block the dispatcher could admit right now.
+    Candidates handed to a policy all {e fit} the free resources and
+    arrive in global submission order. *)
+type pending = {
+  p_tenant : int;
+  p_arrival : int;  (** global submission stamp (tenant-major) *)
+  p_regs : int;     (** register footprint of the block *)
+  p_warps : int;
+}
+
+(** Block-dispatch policy: pick which fitting pending block fills the
+    freed capacity.  [free_regs] is the SM's current register headroom;
+    [last] is the tenant admitted most recently (-1 initially).
+    Policies are stateless; returning [None] on a non-empty candidate
+    list stalls dispatch until the next free-up. *)
+module type POLICY = sig
+  val id : string
+  val describe : string
+  val pick : free_regs:int -> last:int -> pending list -> pending option
+end
+
+val fifo : (module POLICY)
+(** Global submission order (backfilling past heads that do not fit). *)
+
+val rr : (module POLICY)
+(** Round-robin over kernels with a fitting head. *)
+
+val binpack : (module POLICY)
+(** Pressure-aware: the fitting head whose register demand best fills
+    the free register headroom; ties in submission order. *)
+
+val policies : (module POLICY) list
+val policy_names : string list
+val find_policy : string -> (module POLICY) option
+
+val run :
+  ?check:bool ->
+  ?profile:Gpr_obs.Chrome.t ->
+  ?policy:(module POLICY) ->
+  Gpr_arch.Config.t ->
+  tenant list ->
+  result
+(** Co-schedule the tenant set on one SM until every fed block of every
+    kernel has drained.  [check] additionally enforces the per-kernel
+    and aggregate slot-attribution and conservation identities
+    (raising {!Sim.Invariant_violation}).  [profile] records one Chrome
+    lane (pid) per kernel plus a bank lane.  Default policy: {!fifo}.
+
+    @raise Invalid_argument if the tenant list is empty or a single
+    block of some kernel exceeds the SM resources outright. *)

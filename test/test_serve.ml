@@ -154,6 +154,48 @@ let test_unknown_names () =
   let r = call c (P.request ~id:3 "frobnicate") in
   check_error "unknown verb" P.Bad_request r
 
+let contains hay needle =
+  let n = String.length needle in
+  let rec scan i =
+    i + n <= String.length hay && (String.sub hay i n = needle || scan (i + 1))
+  in
+  scan 0
+
+(* The colocate twins of the CLI's exit-1 hints, checked at the resolve
+   layer (no simulation runs on these paths). *)
+let test_colocate_unknown_names () =
+  let expect_err what code needle req =
+    match Work.resolve req with
+    | Ok _ -> Alcotest.failf "%s: resolved instead of failing" what
+    | Error e ->
+      Alcotest.(check bool) (what ^ ": code") true (e.P.e_code = code);
+      Alcotest.(check bool)
+        (what ^ ": message carries the hint")
+        true
+        (contains e.P.e_message needle)
+  in
+  expect_err "unknown kernel-set member" P.Unknown_kernel "try `gpr list`"
+    (P.request ~id:1 ~kernel:"Hotspot,no-such-kernel" "colocate");
+  expect_err "unknown policy" P.Bad_request "--policy fifo|rr|binpack"
+    (P.request ~id:2 ~kernel:"Hotspot,DWT2D" ~policy:"sjf" "colocate");
+  expect_err "unknown backend" P.Unknown_backend "available"
+    (P.request ~id:3 ~kernel:"Hotspot,DWT2D" ~backend:"no-such" "colocate");
+  expect_err "missing kernel set" P.Bad_request "kernel"
+    (P.request ~id:4 "colocate");
+  match
+    Work.resolve
+      (P.request ~id:5 ~kernel:"Hotspot, DWT2D" ~policy:"FIFO" "colocate")
+  with
+  | Ok (Work.Colocate (ws, _, p)) ->
+    let module PM = (val p : Gpr_sim.Sim_multi.POLICY) in
+    Alcotest.(check (list string))
+      "set parses with spaces, policy case-insensitively"
+      [ "Hotspot"; "DWT2D" ]
+      (List.map (fun (w : Gpr_workloads.Workload.t) -> w.name) ws);
+    Alcotest.(check string) "policy id" "fifo" PM.id
+  | Ok _ -> Alcotest.fail "resolved to the wrong work item"
+  | Error e -> Alcotest.failf "valid colocate rejected: %s" e.P.e_message
+
 (* ---------------- malformed input ---------------- *)
 
 let test_malformed_json () =
@@ -294,17 +336,19 @@ let arb_request =
       let* id = int_range 1 10_000 in
       let* verb =
         oneofl [ "ping"; "stats"; "plan"; "lint"; "estimate"; "profile";
-                 "sleep"; "bogus"; "" ]
+                 "colocate"; "sleep"; "bogus"; "" ]
       in
-      let* kernel = oneofl [ None; Some "Hotspot"; Some "nope" ] in
+      let* kernel = oneofl [ None; Some "Hotspot"; Some "nope";
+                             Some "Hotspot,nope" ] in
       let* backend = oneofl [ None; Some "slice"; Some "baseline";
                               Some "wat" ] in
+      let* policy = oneofl [ None; Some "fifo"; Some "sjf" ] in
       let* tag = oneofl [ ""; "t1" ] in
       let* deadline_ms = oneofl [ None; Some 60_000 ] in
       return
         { P.q_id = id; q_verb = verb; q_kernel = kernel; q_source = None;
-          q_block = 256; q_grid = 16; q_backend = backend; q_deadline_ms
-          = deadline_ms; q_sleep_ms = 0; q_tag = tag })
+          q_block = 256; q_grid = 16; q_backend = backend; q_policy = policy;
+          q_deadline_ms = deadline_ms; q_sleep_ms = 0; q_tag = tag })
   in
   QCheck.make gen
     ~print:(fun r -> J.to_string (P.request_to_json r))
@@ -372,6 +416,8 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_roundtrip;
           Alcotest.test_case "unknown names" `Quick test_unknown_names;
+          Alcotest.test_case "colocate unknown names" `Quick
+            test_colocate_unknown_names;
           Alcotest.test_case "malformed JSON" `Quick test_malformed_json;
           Alcotest.test_case "oversized frame" `Quick test_oversized_frame;
           Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;

@@ -747,10 +747,10 @@ let test_sim_throughput_regression () =
     List.iter
       (fun (id, _, fast, slow) ->
         let speedup = if fast > 0.0 then slow /. fast else 0.0 in
-        if speedup < 2.0 then
+        if speedup < 2.5 then
           Alcotest.failf
             "%s: flat engine only %.2fx faster than Sim_ref on the smoke \
-             subset (need >= 2x)"
+             subset (need >= 2.5x with the incremental issuable set)"
             id speedup)
       measured;
     (* Gate 2: absolute throughput vs the committed baseline, only
