@@ -140,6 +140,7 @@ let sim_throughput = ref false
 let sim_kernels = ref ""
 let analysis = ref false
 let coloc = ref false
+let faults = ref false
 
 let speclist =
   [
@@ -162,6 +163,9 @@ let speclist =
     ("--coloc", Arg.Set coloc,
      "  Only run the co-scheduling benchmark (registry kernel pairs under \
       baseline vs slice per dispatch policy) and write BENCH_coloc.json");
+    ("--faults", Arg.Set faults,
+     "  Only run the fault-injection campaign (permanent register-file \
+      defects swept under every scheme) and write BENCH_faults.json");
   ]
 
 (* One timed section per table/figure of the evaluation, in
@@ -650,6 +654,75 @@ let run_coloc_bench () =
        ])
 
 (* ---------------------------------------------------------------- *)
+(* Fault-injection campaign: the growing defect population swept under
+   every registered scheme, written to BENCH_faults.json.  The artifact
+   is the ISSUE's acceptance record: slice and rrcd must absorb
+   strictly more faults (mean per fuzz case before its first output
+   corruption) than the conventional baseline file. *)
+
+let run_faults_bench () =
+  let module F = Gpr_check.Faults in
+  let backends = Gpr_backend.Registry.names in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    F.run
+      ~progress:(fun ~scheme ~injected ~corrupted ->
+        Printf.eprintf "[faults %-8s %2d injected: %s]\n%!" scheme injected
+          (if corrupted then "corruption" else "clean"))
+      ~backends ()
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let absorbed name =
+    match List.find_opt (fun r -> r.F.fr_scheme = name) results with
+    | Some r -> r.F.fr_absorbed_mean
+    | None ->
+      Printf.eprintf "--faults: scheme %s missing from the campaign\n" name;
+      exit 2
+  in
+  let base = absorbed "baseline" in
+  let demonstrated = absorbed "slice" > base && absorbed "rrcd" > base in
+  List.iter
+    (fun (r : F.scheme_result) ->
+      Printf.eprintf "[faults %-8s mean %4.1f  min %2d  first %s]\n%!"
+        r.F.fr_scheme r.F.fr_absorbed_mean r.F.fr_absorbed
+        (match r.F.fr_first_corrupt with
+        | Some k -> string_of_int k
+        | None -> "none"))
+    results;
+  if not demonstrated then begin
+    Printf.eprintf
+      "--faults: slice/rrcd do not absorb strictly more faults than the \
+       baseline file\n";
+    exit 1
+  end;
+  let round2 x = Float.round (x *. 100.0) /. 100.0 in
+  J.write_file "BENCH_faults.json"
+    (J.Obj
+       [
+         ("schemes", J.Arr (List.map (fun b -> J.Str b) backends));
+         ("demonstrated", J.Bool demonstrated);
+         ("elapsed_seconds", seconds elapsed);
+         ( "results",
+           J.Arr
+             (List.map
+                (fun (r : F.scheme_result) ->
+                  J.Obj
+                    [
+                      ("scheme", J.Str r.F.fr_scheme);
+                      ("cases", J.Int r.F.fr_cases);
+                      ("max_faults", J.Int r.F.fr_max_faults);
+                      ( "first_corrupt",
+                        match r.F.fr_first_corrupt with
+                        | Some k -> J.Int k
+                        | None -> J.Null );
+                      ("absorbed_min", J.Int r.F.fr_absorbed);
+                      ( "absorbed_mean",
+                        J.Float (round2 r.F.fr_absorbed_mean) );
+                    ])
+                results) );
+       ])
+
+(* ---------------------------------------------------------------- *)
 (* Static verifier benchmark: per-pass time over the Table 4 registry
    plus the diagnostic counts, written to BENCH_lint.json so lint
    throughput regressions are visible alongside the engine timings. *)
@@ -731,7 +804,7 @@ let () =
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "dune exec bench/main.exe -- [-j N] [--cache-dir DIR] [--no-micro]\n\
     \                            [--sim-throughput [--sim-kernels A,B]]\n\
-    \                            [--analysis] [--coloc]";
+    \                            [--analysis] [--coloc] [--faults]";
   if !sim_throughput then begin
     run_sim_bench ();
     exit 0
@@ -747,6 +820,10 @@ let () =
        Gpr_core.Simulate.set_store (Some s)
      end);
     run_coloc_bench ();
+    exit 0
+  end;
+  if !faults then begin
+    run_faults_bench ();
     exit 0
   end;
   let jobs =

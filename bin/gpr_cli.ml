@@ -189,6 +189,48 @@ let sim_cmd =
        ~doc:"Simulate one kernel on the baseline and proposed register files")
     Term.(const run $ kernel_arg $ delay $ cache_dir_arg)
 
+(* ---------------- fault campaign (check --faults / report --pareto) --- *)
+
+(* With the default --backend the whole registry is swept: the campaign
+   is a cross-scheme comparison, so one scheme alone is rarely what you
+   want. *)
+let fault_campaign ~seed ~cases ~max_faults backends =
+  let names =
+    if backends = [ "slice" ] then Gpr_backend.Registry.names else backends
+  in
+  ignore (resolve_backends names);
+  let progress ~scheme ~injected ~corrupted =
+    Printf.printf "  %-8s %2d injected: %s\n%!" scheme injected
+      (if corrupted then "first corruption" else "clean")
+  in
+  Gpr_check.Faults.run ~seed ~cases ~max_faults ~progress ~backends:names ()
+
+let print_fault_campaign (results : Gpr_check.Faults.scheme_result list) =
+  Tab.section
+    "Fault-injection campaign: permanent defects absorbed before the first \
+     output corruption";
+  Tab.print
+    ~header:[ "Scheme"; "Mean absorbed"; "Min absorbed"; "First corruption";
+              "Cases"; "Sweep max" ]
+    (List.map
+       (fun (r : Gpr_check.Faults.scheme_result) ->
+          [ r.Gpr_check.Faults.fr_scheme;
+            Tab.fp ~digits:1 r.Gpr_check.Faults.fr_absorbed_mean;
+            string_of_int r.Gpr_check.Faults.fr_absorbed;
+            (match r.Gpr_check.Faults.fr_first_corrupt with
+             | Some k -> string_of_int k
+             | None -> "none");
+            string_of_int r.Gpr_check.Faults.fr_cases;
+            string_of_int r.Gpr_check.Faults.fr_max_faults ])
+       results);
+  print_endline
+    "(the defect stream is prefix-stable and shared across schemes, so\n\
+    \ \"absorbed k\" means the same first k defects for every scheme;\n\
+    \ mean absorbed averages each fuzz case's own first corruption, min\n\
+    \ is the unluckiest case; corruption ground truth is the scheme's\n\
+    \ fault-free outputs, which the differential oracle pins to the\n\
+    \ plain reference)"
+
 (* ---------------- report ---------------- *)
 
 let report_cmd =
@@ -200,9 +242,39 @@ let report_cmd =
                    ablations — or a kernel name from $(b,gpr list) for a \
                    per-scheme comparison (see $(b,--backend)).")
   in
-  let run what backends jobs cache_dir =
-    let schemes = resolve_backends backends in
+  let pareto =
+    Arg.(value & flag
+         & info [ "pareto" ]
+             ~doc:"Cross-scheme Pareto table: geomean IPC, area overhead, \
+                   register-file energy, energy-delay product and \
+                   fault-injection coverage per scheme, over the whole \
+                   kernel registry.  With the default $(b,--backend) every \
+                   registered scheme is compared.")
+  in
+  let run what pareto backends jobs cache_dir =
+    let schemes =
+      resolve_backends
+        (if pareto && backends = [ "slice" ] then Gpr_backend.Registry.names
+         else backends)
+    in
     with_engine ~jobs ~cache_dir @@ fun () ->
+    if pareto then begin
+      (* The fault sweep is cheap next to the timing simulations, so the
+         Pareto view always includes live coverage numbers. *)
+      let results =
+        fault_campaign ~seed:1 ~cases:20 ~max_faults:12
+          (List.map Gpr_backend.Backend.id schemes)
+      in
+      let coverage =
+        List.map
+          (fun (r : Gpr_check.Faults.scheme_result) ->
+             ( r.Gpr_check.Faults.fr_scheme,
+               r.Gpr_check.Faults.fr_absorbed_mean ))
+          results
+      in
+      Experiments.print_pareto ~fault_coverage:coverage schemes
+    end
+    else
     (* The classic tables and figures are slice-pipeline reproductions
        of the paper; [report all] keeps printing them unless a
        different scheme set is requested, in which case (and for any
@@ -234,9 +306,10 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Reproduce a table or figure of the paper, or compare \
-             register-file schemes on one kernel")
-    Term.(const run $ what $ backend_arg $ jobs_arg $ cache_dir_arg)
+       ~doc:"Reproduce a table or figure of the paper, compare register-file \
+             schemes on one kernel, or print the cross-scheme Pareto table \
+             ($(b,--pareto))")
+    Term.(const run $ what $ pareto $ backend_arg $ jobs_arg $ cache_dir_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -313,7 +386,35 @@ let check_cmd =
          & info [ "no-shrink" ]
              ~doc:"Report counterexamples without minimising them.")
   in
-  let run seed count max_seconds no_shrink backends jobs =
+  let faults_flag =
+    Arg.(value & flag
+         & info [ "faults" ]
+             ~doc:"Run the fault-injection campaign instead of the \
+                   differential fuzzer: inject a growing, prefix-stable \
+                   population of permanent register-file defects \
+                   (stuck-at bits, dead entries, dead banks) and report \
+                   how many each scheme absorbs before its first output \
+                   corruption.  With the default $(b,--backend) the \
+                   whole scheme registry is swept.")
+  in
+  let fault_max =
+    Arg.(value & opt int 12
+         & info [ "fault-max" ] ~docv:"K"
+             ~doc:"Fault-count ceiling of the $(b,--faults) sweep.")
+  in
+  let fault_cases =
+    Arg.(value & opt int 20
+         & info [ "fault-cases" ] ~docv:"N"
+             ~doc:"Fuzz cases checked at every fault count of the \
+                   $(b,--faults) sweep.")
+  in
+  let run seed count max_seconds no_shrink faults fault_max fault_cases
+      backends jobs =
+    if faults then
+      print_fault_campaign
+        (fault_campaign ~seed ~cases:fault_cases ~max_faults:fault_max
+           backends)
+    else begin
     let module R = Gpr_check.Runner in
     (* Resolve eagerly for the clean unknown-name message; the runner
        re-validates before the campaign starts. *)
@@ -336,6 +437,7 @@ let check_cmd =
       (List.length summary.R.reports)
       (if List.length summary.R.reports = 1 then "" else "s");
     if summary.R.reports <> [] then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "check"
@@ -347,9 +449,10 @@ let check_cmd =
              selects which schemes' oracles run (slice expands to the six \
              classic stages, including the width-analysis soundness \
              oracle; other schemes run the generic plain-vs-backend \
-             oracle)")
-    Term.(const run $ seed $ count $ max_seconds $ no_shrink $ backend_arg
-          $ jobs_arg)
+             oracle).  $(b,--faults) switches to the fault-injection \
+             campaign")
+    Term.(const run $ seed $ count $ max_seconds $ no_shrink $ faults_flag
+          $ fault_max $ fault_cases $ backend_arg $ jobs_arg)
 
 (* ---------------- lint ---------------- *)
 
@@ -623,8 +726,14 @@ let colocate_cmd =
     in
     Printf.printf "co-resident cycles: %s (baseline) -> %s (%s)\n"
       (Tab.pct (co_pct rb)) (Tab.pct (co_pct rs)) sid;
-    Printf.printf "fairness (Jain over issued slots): %.3f -> %.3f\n"
-      rb.M.r_fairness rs.M.r_fairness;
+    let fair f =
+      (* 0.0 is Fair.jain's out-of-band sentinel: nobody issued a
+         single slot, so starvation-of-all must not print as a score. *)
+      if Gpr_obs.Fair.degenerate f then "n/a (no slots issued)"
+      else Printf.sprintf "%.3f" f
+    in
+    Printf.printf "fairness (Jain over issued slots): %s -> %s\n"
+      (fair rb.M.r_fairness) (fair rs.M.r_fairness);
     Printf.printf "admissions: %d -> %d blocks (policy %s: %s)\n"
       rb.M.r_admissions rs.M.r_admissions P.id P.describe
   in

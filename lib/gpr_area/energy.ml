@@ -1,0 +1,102 @@
+(* Per-bank static/dynamic register-file energy, a GREENER-style
+   power-gating estimate (arXiv:1709.04697) and the energy-delay
+   product.
+
+   The model is deliberately relative, not absolute: the constants
+   below are representative 40 nm-class per-access and per-KB-leakage
+   figures, and every scheme is scored with the same constants, so only
+   the *ratios* between schemes carry meaning (like the transistor
+   counts in {!Area}).
+
+   Dynamic energy scales with how much of a 1024-bit register row an
+   access actually toggles: a conventional file always pays the full
+   row, a slice-compressed file only the occupied 4-bit slice columns
+   (plus its indirection-table and converter overheads, and a full
+   extra row per double fetch).  Static energy scales with the
+   non-gated fraction of the file's capacity over the run: GREENER
+   gates registers the compile-time liveness proves dead, which the
+   slice schemes can piggyback on their static placement tables. *)
+
+type params = {
+  p_row_read_pj : float;  (* full 1024-bit row read *)
+  p_row_write_pj : float;
+  p_table_pj : float;     (* one indirection-table lookup *)
+  p_convert_pj : float;   (* one float pack/unpack conversion *)
+  p_spill_pj : float;     (* one shared-memory spill round-trip *)
+  p_leak_pj_per_kb_cycle : float; (* leakage per KB of un-gated capacity *)
+}
+
+let default_params =
+  {
+    p_row_read_pj = 20.0;
+    p_row_write_pj = 22.0;
+    p_table_pj = 0.8;
+    p_convert_pj = 1.1;
+    p_spill_pj = 55.0;
+    p_leak_pj_per_kb_cycle = 0.08;
+  }
+
+type report = {
+  e_scheme : string;
+  e_reads : int;           (* warp-level operand fetches (incl. doubles) *)
+  e_writes : int;          (* warp-level destination writebacks *)
+  e_row_fraction : float;  (* mean fraction of a row an access toggles *)
+  e_gated_fraction : float;(* share of RF capacity power-gated (GREENER) *)
+  e_dynamic_nj : float;
+  e_static_nj : float;
+  e_total_nj : float;
+  e_cycles : int;
+  e_edp : float;           (* total energy (nJ) x cycles *)
+}
+
+let clamp01 f = Float.max 0.0 (Float.min 1.0 f)
+
+let estimate ?(params = default_params) (cfg : Gpr_arch.Config.t) ~scheme
+    ~reads ~writes ~table_reads ~conversions ~spill_accesses ~avg_slices
+    ~gating ~resident_warps ~pressure ~cycles () =
+  let row_fraction =
+    clamp01 (avg_slices /. float_of_int Gpr_arch.Config.slices_per_register)
+  in
+  let dynamic_pj =
+    (float_of_int reads *. row_fraction *. params.p_row_read_pj)
+    +. (float_of_int writes *. row_fraction *. params.p_row_write_pj)
+    +. (float_of_int table_reads *. params.p_table_pj)
+    +. (float_of_int conversions *. params.p_convert_pj)
+    +. (float_of_int spill_accesses *. params.p_spill_pj)
+  in
+  (* Allocated share of the SM's register capacity over the run. *)
+  let used_fraction =
+    clamp01
+      (float_of_int (pressure * cfg.warp_size * resident_warps)
+      /. float_of_int (max 1 cfg.registers_per_sm))
+  in
+  let gated_fraction =
+    match gating with
+    | None -> 0.0 (* no gating hardware: the whole file leaks *)
+    | Some live_share ->
+      (* GREENER: unallocated registers gate for the whole run;
+         allocated ones gate outside their live intervals. *)
+      clamp01 (1.0 -. (used_fraction *. clamp01 live_share))
+  in
+  let capacity_kb = float_of_int (cfg.registers_per_sm * 4) /. 1024.0 in
+  let static_pj =
+    capacity_kb
+    *. (1.0 -. gated_fraction)
+    *. params.p_leak_pj_per_kb_cycle
+    *. float_of_int cycles
+  in
+  let dynamic_nj = dynamic_pj /. 1000.0 in
+  let static_nj = static_pj /. 1000.0 in
+  let total_nj = dynamic_nj +. static_nj in
+  {
+    e_scheme = scheme;
+    e_reads = reads;
+    e_writes = writes;
+    e_row_fraction = row_fraction;
+    e_gated_fraction = gated_fraction;
+    e_dynamic_nj = dynamic_nj;
+    e_static_nj = static_nj;
+    e_total_nj = total_nj;
+    e_cycles = cycles;
+    e_edp = total_nj *. float_of_int cycles;
+  }

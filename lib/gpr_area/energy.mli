@@ -1,0 +1,64 @@
+(** Per-bank static/dynamic register-file energy, with a GREENER-style
+    (arXiv:1709.04697) liveness power-gating estimate and the
+    energy-delay product.
+
+    Like {!Area}, the model is relative: every scheme is scored with
+    the same representative constants, so only ratios between schemes
+    are meaningful.  The module depends on nothing above [gpr_arch]; it
+    takes plain access counters, which {!Gpr_core.Simulate} derives
+    from the trace and the timing statistics. *)
+
+type params = {
+  p_row_read_pj : float;  (** full 1024-bit row read *)
+  p_row_write_pj : float;
+  p_table_pj : float;  (** one indirection-table lookup *)
+  p_convert_pj : float;  (** one float pack/unpack conversion *)
+  p_spill_pj : float;  (** one shared-memory spill round trip *)
+  p_leak_pj_per_kb_cycle : float;
+      (** leakage per KB of un-gated capacity per cycle *)
+}
+
+val default_params : params
+
+type report = {
+  e_scheme : string;
+  e_reads : int;  (** warp-level operand fetches, double fetches included *)
+  e_writes : int;  (** warp-level destination writebacks *)
+  e_row_fraction : float;
+      (** mean fraction of a register row an access toggles (1.0 for the
+          conventional file, occupied-slices/8 under compression) *)
+  e_gated_fraction : float;
+      (** share of the file's capacity power-gated over the run — 0 when
+          the scheme carries no gating hardware *)
+  e_dynamic_nj : float;
+  e_static_nj : float;
+  e_total_nj : float;
+  e_cycles : int;
+  e_edp : float;  (** total energy (nJ) × cycles *)
+}
+
+val estimate :
+  ?params:params ->
+  Gpr_arch.Config.t ->
+  scheme:string ->
+  reads:int ->
+  writes:int ->
+  table_reads:int ->
+  conversions:int ->
+  spill_accesses:int ->
+  avg_slices:float ->
+  gating:float option ->
+  resident_warps:int ->
+  pressure:int ->
+  cycles:int ->
+  unit ->
+  report
+(** [gating] is [None] for a scheme with no power gating (the whole
+    file leaks for the whole run) and [Some live_share] for a
+    GREENER-gated file, where [live_share] is the average fraction of
+    an allocated register's lifetime it is actually live (from
+    {!Gpr_analysis.Liveness}): unallocated capacity gates for the whole
+    run, allocated capacity outside its live intervals.  [avg_slices]
+    is the mean number of occupied 4-bit slices per accessed register;
+    [resident_warps] and [pressure] size the allocated share of the
+    file. *)

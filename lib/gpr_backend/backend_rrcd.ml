@@ -1,0 +1,197 @@
+(* RRCD-style compression-enabled redirection (after "Reliability
+   Enhancement of GPU Register Files with Compression", arXiv:2105.03859):
+   the slice scheme's width analysis proves most values need only a few
+   4-bit slices, so when a physical register cell is faulty the
+   allocation can be *redirected* — repacked into the surviving healthy
+   slices — instead of losing the kernel.  The indirection table the
+   slice scheme already carries makes the remap free at access time:
+   only the static table contents change.
+
+   With no faults the scheme is exactly the slice allocation (and is
+   registered that way); [with_faults] builds the fault-aware instance
+   the injection campaign exercises. *)
+
+module Width = Gpr_analysis.Width
+module Alloc = Gpr_alloc.Alloc
+module Fault = Gpr_regfile.Fault
+
+let id = "rrcd"
+let version = 1
+
+let describe =
+  "slice compression with fault-redirected placements (RRCD-style)"
+
+let needs_precision = true
+
+(* Indirection entries carry 6-bit physical register ids
+   ([Indirection.entry_bits] must stay within 32 bits), so redirection
+   packs into this fixed window. *)
+let max_regs = 64
+
+(* Repack an allocation's distinct storage atoms into the healthy
+   slices of a faulty register file.  [check_alloc_static] guarantees
+   distinct storage tuples are slice-disjoint (the table is static), so
+   the atom is the unit of redirection: variables sharing a tuple keep
+   sharing after the move.  Returns [(alloc', true)] on success —
+   no placement touches a faulty slice — or [(alloc, false)] when the
+   healthy capacity cannot hold the kernel (the width analysis could
+   not prove it fits) and the original allocation is kept. *)
+let redirect (alloc : Alloc.t) ~banks ~(faults : Fault.t list) =
+  if faults = [] then (alloc, true)
+  else begin
+    let c = Fault.compile ~banks ~regs:max_regs faults in
+    let atoms = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun _ (p : Alloc.placement) ->
+        Hashtbl.replace atoms (p.reg0, p.mask0, p.reg1, p.mask1) p)
+      alloc.placements;
+    (* Deterministic repack order. *)
+    let order =
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) atoms [])
+    in
+    let popc = Gpr_util.Bits.popcount in
+    let free =
+      Array.init max_regs (fun r -> 0xff land lnot (Fault.bad_slices c r))
+    in
+    let take r k =
+      (* Lowest k free slices of r. *)
+      let m = ref 0 and got = ref 0 in
+      for s = 0 to 7 do
+        if !got < k && free.(r) land (1 lsl s) <> 0 then begin
+          m := !m lor (1 lsl s);
+          incr got
+        end
+      done;
+      free.(r) <- free.(r) land lnot !m;
+      !m
+    in
+    let exception Unplaceable in
+    match
+      let mapping = Hashtbl.create 32 in
+      List.iter
+        (fun key ->
+          let p = Hashtbl.find atoms key in
+          let s = p.Alloc.slices in
+          let rec find_single r =
+            if r >= max_regs then None
+            else if popc free.(r) >= s then Some r
+            else find_single (r + 1)
+          in
+          let placed =
+            match find_single 0 with
+            | Some r ->
+              let m = take r s in
+              { p with reg0 = r; mask0 = m; reg1 = -1; mask1 = 0 }
+            | None ->
+              (* Split: sweep up fragmented capacity first, then cover
+                 the remainder from one more register. *)
+              let rec find_any r =
+                if r >= max_regs then raise Unplaceable
+                else if free.(r) > 0 then r
+                else find_any (r + 1)
+              in
+              let ra = find_any 0 in
+              let k = min (popc free.(ra)) (s - 1) in
+              let rec find_rest r =
+                if r >= max_regs then raise Unplaceable
+                else if r <> ra && popc free.(r) >= s - k then r
+                else find_rest (r + 1)
+              in
+              let rb = find_rest 0 in
+              let ma = take ra k in
+              let mb = take rb (s - k) in
+              { p with reg0 = ra; mask0 = ma; reg1 = rb; mask1 = mb }
+          in
+          Hashtbl.replace mapping key placed)
+        order;
+      mapping
+    with
+    | exception Unplaceable -> (alloc, false)
+    | mapping ->
+      let placements = Hashtbl.create (Hashtbl.length alloc.placements) in
+      Hashtbl.iter
+        (fun v (p : Alloc.placement) ->
+          Hashtbl.replace placements v
+            (Hashtbl.find mapping (p.reg0, p.mask0, p.reg1, p.mask1)))
+        alloc.placements;
+      let used = Array.make max_regs false in
+      let splits = ref 0 in
+      Hashtbl.iter
+        (fun _ (p : Alloc.placement) ->
+          used.(p.reg0) <- true;
+          if p.reg1 >= 0 then used.(p.reg1) <- true)
+        mapping;
+      Hashtbl.iter
+        (fun _ (p : Alloc.placement) -> if p.reg1 >= 0 then incr splits)
+        mapping;
+      let pressure = Array.fold_left (fun a u -> if u then a + 1 else a) 0 used in
+      ( {
+          alloc with
+          Alloc.placements;
+          pressure;
+          split_count = !splits;
+        },
+        true )
+  end
+
+let slice_alloc ~kernel ~width ~precision =
+  Alloc.run kernel
+    ~width_of:
+      (Backend_slice.width_fn ~narrow_ints:true ~narrow_floats:precision
+         ~width)
+
+let analyze ~kernel ~width ~precision =
+  Backend.plain_resources (slice_alloc ~kernel ~width ~precision)
+
+(* Same datapath as the slice scheme: source indirection lookup plus
+   the delayed compressing writeback. *)
+let cost =
+  {
+    Backend.read_extra_latency = 1;
+    writeback_delay = 3;
+    spill_latency = 0;
+    uses_indirection = true;
+  }
+
+let area (cfg : Gpr_arch.Config.t) =
+  (* The slice hardware, plus the fault map the redirecting allocator
+     consults: one valid bit per 4-bit slice of the physical file's
+     64-register window per bank, at 6 transistors per SRAM-ish cell. *)
+  let extractors_per_rf =
+    if cfg.register_files_per_sm > 1 then
+      Gpr_arch.Config.fermi_gtx480.register_banks / 2
+    else cfg.register_banks
+  in
+  let b = Gpr_area.Area.for_config cfg ~extractors_per_rf in
+  let fault_map = cfg.register_banks * max_regs * 8 * 6 in
+  {
+    Backend.ar_scheme = id;
+    ar_transistors_per_sm = b.Gpr_area.Area.total_per_sm + fault_map;
+    ar_fraction_of_chip =
+      b.Gpr_area.Area.fraction_of_chip
+      *. float_of_int (b.Gpr_area.Area.total_per_sm + fault_map)
+      /. float_of_int (max 1 b.Gpr_area.Area.total_per_sm);
+    ar_notes =
+      "slice hardware (Sec. 6.4) plus a per-slice fault map for \
+       redirected placement";
+  }
+
+(* The fault-aware instance: the slice allocation redirected around
+   [faults].  Used by the injection campaign and the QCheck properties;
+   the registered scheme is the fault-free instance above. *)
+let with_faults ~banks (faults : Fault.t list) : Backend.t =
+  (module struct
+    let id = id
+    let version = version
+    let describe = describe
+    let needs_precision = needs_precision
+
+    let analyze ~kernel ~width ~precision =
+      let alloc, _ok =
+        redirect (slice_alloc ~kernel ~width ~precision) ~banks ~faults
+      in
+      Backend.plain_resources alloc
+
+    let cost = cost
+    let area = area
+  end)

@@ -3,7 +3,7 @@
 
 let all : Backend.t list =
   [ (module Backend_baseline); (module Backend_slice);
-    (module Backend_spill) ]
+    (module Backend_rrcd); (module Backend_spill) ]
 
 let names = List.map Backend.id all
 

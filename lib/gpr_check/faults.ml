@@ -1,0 +1,229 @@
+(* Fault-injection campaign: how many permanent register-file defects
+   does each scheme absorb before an output corrupts?
+
+   Corruption ground truth is the differential oracle's: a scheme's
+   fault-free packed run is byte-identical to the plain reference run
+   (that is exactly what [Diff.check_backend] fuzzes), so the
+   fault-free packed outputs stand in for the reference here, and a
+   faulted run counts as corrupted the moment any output buffer
+   deviates from them — or the faulted execution crashes outright (a
+   corrupted index or loop bound is a corruption, not a tooling
+   error).
+
+   Faults are injected at the storage round-trip of every register
+   write ([Datapath.store_*] images corrupted per [Fault.corrupt]
+   before [Datapath.load_*]); permanent defects make write-time
+   corruption equivalent to read-time corruption.  The per-scheme
+   fault stream is shared and prefix-stable ([Fault.place]), so
+   "absorbed k faults" means the same first k defects for every
+   scheme:
+
+   - baseline stores every value across all 8 slices of a register, so
+     any defect in an allocated register's demanded bits corrupts;
+   - slice only occupies the slices the width analysis proved
+     necessary — defects in unoccupied slices of live registers are
+     absorbed for free;
+   - rrcd additionally *redirects* placements off the faulty slices
+     ([Backend_rrcd.redirect]) whenever the healthy capacity still
+     holds the kernel, so it absorbs everything short of capacity
+     exhaustion;
+   - spill keeps its spilled live ranges in shared memory, immune to
+     register-file defects. *)
+
+open Gpr_isa.Types
+module E = Gpr_exec.Exec
+module Width = Gpr_analysis.Width
+module Alloc = Gpr_alloc.Alloc
+module Ind = Gpr_regfile.Indirection
+module Dp = Gpr_regfile.Datapath
+module Fault = Gpr_regfile.Fault
+module F = Gpr_fp.Format_
+module Backend = Gpr_backend.Backend
+
+(* Placements stay below 64 registers (6-bit indirection ids), so this
+   window bounds where a fault can land *after* redirection ... *)
+let max_regs = 64
+
+(* ... while the defect population itself is drawn over the low window
+   the small fuzz kernels actually occupy, so the sweep stresses the
+   schemes instead of sprinkling faults over registers nobody uses. *)
+let fault_window_regs = 16
+
+let spill_roundtrip (d : vreg) iv =
+  let low = iv land Gpr_util.Bits.mask 32 in
+  match d.ty with
+  | S32 -> Gpr_util.Bits.sign_extend ~width:32 low
+  | U32 | F32 | Pred -> Gpr_util.Bits.zero_extend ~width:32 low
+
+(* One faulted packed run: every write round-trips through the real
+   indirection/datapath with the stored register images corrupted per
+   the compiled fault set.  Returns the output buffers. *)
+let run_case (res : Backend.resources) (case : Gen.case) comp =
+  let kernel = case.kernel in
+  let table = Ind.create res.Backend.alloc in
+  let corrupt2 (p : Alloc.placement) r0 r1 =
+    let r0 = Fault.corrupt comp ~reg:p.reg0 r0 in
+    let r1 = if p.reg1 >= 0 then Fault.corrupt comp ~reg:p.reg1 r1 else r1 in
+    (r0, r1)
+  in
+  let on_write _pc (d : vreg) v =
+    match v with
+    | E.P_int iv ->
+      (match Ind.lookup table d.id with
+       | Some p when not p.is_float ->
+         let r0, r1 = Dp.store_int p iv in
+         let r0, r1 = corrupt2 p r0 r1 in
+         E.P_int (Dp.load_int p ~r0 ~r1)
+       | Some _ -> v
+       | None ->
+         if Hashtbl.mem res.Backend.spilled d.id then
+           E.P_int (spill_roundtrip d iv)
+         else v)
+    | E.P_float fv ->
+      (match Ind.lookup table d.id with
+       | Some p when p.is_float ->
+         let r0, r1 = Dp.store_float p fv in
+         let r0, r1 = corrupt2 p r0 r1 in
+         E.P_float (Dp.load_float p ~r0 ~r1)
+       | _ -> E.P_float (F.quantize F.f32 fv))
+  in
+  let data = case.data () in
+  let bindings = E.bindings_for kernel ~data ~shared:case.shared () in
+  ignore
+    (E.run kernel ~launch:case.launch ~params:case.params ~bindings
+       {
+         E.default_config with
+         on_write = Some on_write;
+         max_steps = Some 2_000_000;
+       });
+  data
+
+let float_bits_eq a b =
+  Int32.bits_of_float a = Int32.bits_of_float b
+  || (Float.is_nan a && Float.is_nan b)
+
+let outputs_equal a b =
+  List.for_all2
+    (fun (_, x) (_, y) ->
+      match (x, y) with
+      | E.I_data u, E.I_data v -> u = v
+      | E.F_data u, E.F_data v ->
+        Array.length u = Array.length v
+        && (let ok = ref true in
+            Array.iteri
+              (fun i e -> if not (float_bits_eq e v.(i)) then ok := false)
+              u;
+            !ok)
+      | _ -> false)
+    a b
+
+type scheme_result = {
+  fr_scheme : string;
+  fr_cases : int;
+  fr_max_faults : int;
+  fr_first_corrupt : int option;
+      (* smallest injected-fault count that corrupted any case *)
+  fr_absorbed : int; (* faults absorbed before the first corruption *)
+  fr_absorbed_mean : float;
+      (* mean over cases of the per-case absorbed count — the
+         population-level [fr_absorbed] is the minimum and collapses to
+         the single unluckiest case, while the mean measures how much
+         of the fuzz population a scheme actually shields *)
+}
+
+let scheme_resources ~banks name =
+  let name = String.lowercase_ascii name in
+  if name = "rrcd" then
+    (* The fault-aware instance: re-redirect the slice allocation for
+       every fault set of the sweep.  The base allocation per case is
+       computed once. *)
+    fun (case : Gen.case) ->
+      let wt = Width.analyze case.kernel ~launch:case.launch in
+      let base =
+        Gpr_backend.Backend_rrcd.slice_alloc ~kernel:case.kernel ~width:wt
+          ~precision:None
+      in
+      fun faults ->
+        Backend.plain_resources
+          (fst (Gpr_backend.Backend_rrcd.redirect base ~banks ~faults))
+  else
+    let b = Gpr_backend.Registry.find_exn name in
+    let module S = (val b : Backend.Scheme) in
+    fun (case : Gen.case) ->
+      let wt = Width.analyze case.kernel ~launch:case.launch in
+      let res = S.analyze ~kernel:case.kernel ~width:wt ~precision:None in
+      fun _faults -> res
+
+let run_scheme ?(seed = 1) ?(cases = 20) ?(max_faults = 12) ?progress ~banks
+    name =
+  let cs = List.init cases (fun i -> Gen.generate (seed + i)) in
+  let prepared =
+    let prep = scheme_resources ~banks name in
+    List.map (fun case -> (case, prep case)) cs
+  in
+  (* Ground truth: the scheme's fault-free outputs (byte-identical to
+     the plain reference by the differential oracle). *)
+  let clean =
+    List.map
+      (fun ((case : Gen.case), resf) ->
+        run_case (resf []) case (Fault.none ~banks ~regs:max_regs))
+      prepared
+  in
+  (* Per-case first-corruption sweep, fault count outermost so the
+     growing defect population is compiled once per count.  A case
+     already corrupted at a smaller count stays corrupted ("first
+     corruption" — cumulative permanent defects are not re-tested for
+     accidental masking at larger counts). *)
+  let items = Array.of_list (List.combine prepared clean) in
+  let first = Array.make (Array.length items) None in
+  let k = ref 1 in
+  let all_corrupt () = Array.for_all Option.is_some first in
+  while !k <= max_faults && not (all_corrupt ()) do
+    let fs = Fault.place ~seed ~count:!k ~banks ~regs:fault_window_regs in
+    let comp = Fault.compile ~banks ~regs:max_regs fs in
+    let newly = ref 0 in
+    Array.iteri
+      (fun i (((case : Gen.case), resf), ref_out) ->
+        if first.(i) = None then
+          let bad =
+            match run_case (resf fs) case comp with
+            | out -> not (outputs_equal ref_out out)
+            | exception _ -> true
+          in
+          if bad then begin
+            first.(i) <- Some !k;
+            incr newly
+          end)
+      items;
+    (match progress with
+    | Some f -> f ~scheme:name ~injected:!k ~corrupted:(!newly > 0)
+    | None -> ());
+    incr k
+  done;
+  let firsts = Array.to_list first in
+  let population_first =
+    List.filter_map Fun.id firsts
+    |> function [] -> None | ks -> Some (List.fold_left min max_int ks)
+  in
+  let absorbed_of = function Some k -> k - 1 | None -> max_faults in
+  {
+    fr_scheme = String.lowercase_ascii name;
+    fr_cases = cases;
+    fr_max_faults = max_faults;
+    fr_first_corrupt = population_first;
+    fr_absorbed = absorbed_of population_first;
+    fr_absorbed_mean =
+      (if cases = 0 then 0.0
+       else
+         float_of_int
+           (List.fold_left (fun acc f -> acc + absorbed_of f) 0 firsts)
+         /. float_of_int cases);
+  }
+
+let run ?seed ?cases ?max_faults ?progress
+    ?(cfg = Gpr_arch.Config.fermi_gtx480) ~backends () =
+  List.map
+    (fun name ->
+      run_scheme ?seed ?cases ?max_faults ?progress
+        ~banks:cfg.Gpr_arch.Config.register_banks name)
+    backends

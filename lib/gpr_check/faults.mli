@@ -1,0 +1,60 @@
+(** Fault-injection campaign: sweep a growing, prefix-stable population
+    of permanent register-file defects ({!Gpr_regfile.Fault.place})
+    under each scheme and report how many it absorbs before the first
+    output corruption.
+
+    Corruption ground truth is the differential oracle's: a scheme's
+    fault-free packed outputs are byte-identical to the plain reference
+    (what {!Diff.check_backend} fuzzes), so a faulted run is corrupted
+    the moment any output deviates from the fault-free packed run — or
+    crashes outright.  Faults are applied to the stored register images
+    at every write's datapath round-trip; for permanent defects this is
+    equivalent to corrupting every read.
+
+    The ["rrcd"] scheme is special-cased to its fault-aware instance:
+    its slice allocation is re-redirected
+    ({!Gpr_backend.Backend_rrcd.redirect}) for every fault set of the
+    sweep, modelling firmware that knows the defect map. *)
+
+type scheme_result = {
+  fr_scheme : string;
+  fr_cases : int;  (** fuzz cases per fault count *)
+  fr_max_faults : int;  (** sweep ceiling *)
+  fr_first_corrupt : int option;
+      (** smallest injected-fault count that corrupted any case; [None]
+          when the whole sweep stayed clean *)
+  fr_absorbed : int;
+      (** faults absorbed before the first corruption anywhere in the
+          population ([fr_max_faults] when the sweep stayed clean) —
+          the strict minimum over cases *)
+  fr_absorbed_mean : float;
+      (** mean over cases of the per-case absorbed count; unlike the
+          minimum it does not collapse to the single unluckiest case,
+          so it is the headline coverage figure *)
+}
+
+val run_scheme :
+  ?seed:int ->
+  ?cases:int ->
+  ?max_faults:int ->
+  ?progress:(scheme:string -> injected:int -> corrupted:bool -> unit) ->
+  banks:int ->
+  string ->
+  scheme_result
+(** Sweep one scheme (by registry id).  [seed] (default 1) fixes both
+    the fuzz cases and the defect population; [cases] (default 20) fuzz
+    cases are checked at every fault count up to [max_faults] (default
+    12).  Each case is swept to its own first corruption; the sweep
+    stops early once every case has corrupted. *)
+
+val run :
+  ?seed:int ->
+  ?cases:int ->
+  ?max_faults:int ->
+  ?progress:(scheme:string -> injected:int -> corrupted:bool -> unit) ->
+  ?cfg:Gpr_arch.Config.t ->
+  backends:string list ->
+  unit ->
+  scheme_result list
+(** {!run_scheme} over a scheme list, sharing the defect population
+    (banks from [cfg], default Fermi GTX 480). *)

@@ -695,6 +695,84 @@ let print_volta_sim () =
     \ relative to Fermi — consistent with the paper's Sec. 7 expectation\n\
     \ that register shortage persists but is milder per thread)"
 
+(* ------------------------------------------------------------------ *)
+(* Cross-scheme Pareto: IPC x area x energy x fault coverage.  One row
+   per registered scheme, aggregated over the whole kernel registry, so
+   the trade-off every backend buys is visible on a single line. *)
+
+type pareto_row = {
+  p_scheme : string;
+  p_ipc_geomean_pct : float;
+  p_area_fraction : float;
+  p_energy_nj : float;
+  p_edp : float;
+  p_gated_pct : float;
+  p_fault_absorbed : float option;
+}
+
+let pareto_data ?(fault_coverage = []) (backends : Gpr_backend.Backend.t list)
+    =
+  let cs = analyzed_all () in
+  let bases = pmap (fun c -> (Simulate.baseline c).Gpr_sim.Sim.gpu_ipc) cs in
+  let pairs =
+    List.concat_map
+      (fun b -> List.map (fun (c, base) -> (b, c, base)) (List.combine cs bases))
+      backends
+  in
+  let cells =
+    pmap
+      (fun (b, c, base) ->
+         let st = Simulate.backend b c Q.High in
+         let e = Simulate.backend_energy b c Q.High in
+         ( Gpr_backend.Backend.id b,
+           100.0 *. ((st.Gpr_sim.Sim.gpu_ipc /. base) -. 1.0),
+           e ))
+      pairs
+  in
+  List.map
+    (fun b ->
+       let id = Gpr_backend.Backend.id b in
+       let mine = List.filter (fun (i, _, _) -> i = id) cells in
+       let es = List.map (fun (_, _, e) -> e) mine in
+       let mean f = Stats.mean (List.map f es) in
+       let module S = (val b : Gpr_backend.Backend.Scheme) in
+       {
+         p_scheme = id;
+         p_ipc_geomean_pct =
+           Stats.geomean_ratio (List.map (fun (_, p, _) -> p) mine);
+         p_area_fraction = (S.area cfg).Gpr_backend.Backend.ar_fraction_of_chip;
+         p_energy_nj = mean (fun e -> e.Gpr_area.Energy.e_total_nj);
+         p_edp = mean (fun e -> e.Gpr_area.Energy.e_edp);
+         p_gated_pct =
+           100.0 *. mean (fun e -> e.Gpr_area.Energy.e_gated_fraction);
+         p_fault_absorbed = List.assoc_opt id fault_coverage;
+       })
+    backends
+
+let print_pareto ?fault_coverage backends =
+  Tab.section
+    "Cross-scheme Pareto: IPC x area x energy x fault coverage (geomean/mean \
+     over the registry)";
+  Tab.print
+    ~header:[ "Scheme"; "IPC vs baseline"; "Area overhead"; "Energy (nJ)";
+              "EDP (nJ*cyc)"; "Gated capacity"; "Faults absorbed" ]
+    (List.map
+       (fun r ->
+          [ r.p_scheme;
+            Tab.pct r.p_ipc_geomean_pct;
+            Tab.pct ~digits:2 (100.0 *. r.p_area_fraction);
+            Tab.fp ~digits:1 r.p_energy_nj;
+            Tab.fp ~digits:0 r.p_edp;
+            Tab.pct r.p_gated_pct;
+            (match r.p_fault_absorbed with
+             | Some n -> Tab.fp ~digits:1 n
+             | None -> "-") ])
+       (pareto_data ?fault_coverage backends));
+  print_endline
+    "(energy and EDP are relative-model figures -- only the ratios between\n\
+    \ schemes carry meaning; faults absorbed come from `gpr check --faults`\n\
+    \ and are omitted when the campaign was not run)"
+
 let print_ablations () =
   print_ablation_scheduler ();
   print_ablation_banks ();

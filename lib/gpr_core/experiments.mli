@@ -129,6 +129,33 @@ val backend_comparison :
 val print_backend_comparison :
   ?names:string list -> Gpr_backend.Backend.t list -> unit
 
+type pareto_row = {
+  p_scheme : string;
+  p_ipc_geomean_pct : float;
+      (** geomean IPC change vs the conventional file, over the registry *)
+  p_area_fraction : float;  (** scheme hardware overhead, chip fraction *)
+  p_energy_nj : float;      (** mean register-file energy per kernel run *)
+  p_edp : float;            (** mean energy-delay product *)
+  p_gated_pct : float;      (** mean GREENER-gated capacity share *)
+  p_fault_absorbed : float option;
+      (** mean faults absorbed before first corruption, when a
+          fault-injection campaign ran *)
+}
+
+val pareto_data :
+  ?fault_coverage:(string * float) list ->
+  Gpr_backend.Backend.t list ->
+  pareto_row list
+(** One row per scheme: IPC aggregated with {!Gpr_util.Stats.geomean_ratio}
+    over the whole kernel registry, energy figures averaged from
+    {!Simulate.backend_energy} at the high threshold, area from the
+    scheme's own estimate.  [fault_coverage] maps scheme ids to the
+    mean absorbed-fault counts of a fault-injection campaign (typically
+    from [gpr check --faults]); schemes without an entry render "-". *)
+
+val print_pareto :
+  ?fault_coverage:(string * float) list -> Gpr_backend.Backend.t list -> unit
+
 val print_area : unit -> unit
 (** Sec. 6.4 area overhead. *)
 

@@ -19,6 +19,9 @@ let stats_cache : (string, Sim.stats) Hashtbl.t = Hashtbl.create 32
 let coloc_cache : (string, Gpr_sim.Sim_multi.result) Hashtbl.t =
   Hashtbl.create 8
 
+let energy_cache : (string, Gpr_area.Energy.report) Hashtbl.t =
+  Hashtbl.create 16
+
 let cache_mutex = Mutex.create ()
 
 let store : Store.t option ref = ref None
@@ -29,6 +32,7 @@ let clear_cache () =
   Hashtbl.reset trace_cache;
   Hashtbl.reset stats_cache;
   Hashtbl.reset coloc_cache;
+  Hashtbl.reset energy_cache;
   Mutex.unlock cache_mutex
 
 let cfg = Gpr_arch.Config.fermi_gtx480
@@ -163,6 +167,91 @@ let backend ?writeback_delay (b : Gpr_backend.Backend.t) (c : Compress.t)
       Sim.run cfg ~trace ~alloc:res.Gpr_backend.Backend.alloc
         ~blocks_per_sm:occ.Gpr_arch.Occupancy.blocks_per_sm
         ~mode:(Gpr_backend.Backend.sim_mode ?writeback_delay b res))
+
+(* ------------------------------------------------------------------ *)
+(* Energy: derived from the memoised trace and timing stats, then
+   itself memoised ("energy" entries; the engine fingerprint bump to
+   /6 covers the new payload kind). *)
+
+let backend_energy ?writeback_delay (b : Gpr_backend.Backend.t)
+    (c : Compress.t) threshold =
+  let module S = (val b : Gpr_backend.Backend.Scheme) in
+  let key =
+    Printf.sprintf "energy/%s/%s/%s/%s/wb%s"
+      (Fp.to_hex c.fingerprint) (Lazy.force cfg_fp) (scheme_key b)
+      (Q.threshold_name threshold)
+      (match writeback_delay with None -> "-" | Some d -> string_of_int d)
+  in
+  match find_cached energy_cache key with
+  | Some r -> r
+  | None ->
+    let compute () =
+      let stats = backend ?writeback_delay b c threshold in
+      let res = backend_resources b c threshold in
+      let trace =
+        if S.needs_precision then trace_quantized c threshold
+        else trace_plain c
+      in
+      (* Warp-level access counts from the functional trace; the extra
+         row fetch of every split (double-fetch) placement comes from
+         the timing stats. *)
+      let reads = ref 0 and writes = ref 0 in
+      Array.iter
+        (fun (it : Gpr_exec.Trace.item) ->
+          reads := !reads + List.length it.t_srcs;
+          if it.t_dst <> None then incr writes)
+        trace.Gpr_exec.Trace.items;
+      let reads = !reads + stats.Sim.double_fetches in
+      let alloc = res.Gpr_backend.Backend.alloc in
+      (* Mean occupied slices per distinct storage atom (8 when nothing
+         is compressed, i.e. the conventional file). *)
+      let atoms = Hashtbl.create 32 in
+      Hashtbl.iter
+        (fun _ (p : Gpr_alloc.Alloc.placement) ->
+          Hashtbl.replace atoms (p.reg0, p.mask0, p.reg1, p.mask1) p.slices)
+        alloc.Gpr_alloc.Alloc.placements;
+      let avg_slices =
+        if Hashtbl.length atoms = 0 then
+          float_of_int Gpr_arch.Config.slices_per_register
+        else
+          float_of_int (Hashtbl.fold (fun _ s acc -> acc + s) atoms 0)
+          /. float_of_int (Hashtbl.length atoms)
+      in
+      (* GREENER gating rides the static placement table, which the
+         conventional file does not have: its gating input is the mean
+         live share of an allocated register's program span, from the
+         compile-time liveness. *)
+      let gating =
+        if Gpr_backend.Backend.id b = "baseline" then None
+        else
+          let live = Gpr_analysis.Liveness.compute c.w.Workload.kernel in
+          let ivs = Gpr_analysis.Liveness.intervals live in
+          let points = max 1 (Gpr_analysis.Liveness.num_points live) in
+          let span =
+            List.fold_left
+              (fun acc (_, s, e) -> acc + (e - s + 1))
+              0 ivs
+          in
+          Some
+            (float_of_int span
+            /. float_of_int (points * max 1 (List.length ivs)))
+      in
+      let occ = backend_occupancy c res in
+      Gpr_area.Energy.estimate cfg ~scheme:(Gpr_backend.Backend.id b)
+        ~reads ~writes:!writes
+        ~table_reads:(if S.cost.Gpr_backend.Backend.uses_indirection
+                      then reads else 0)
+        ~conversions:stats.Sim.conversions
+        ~spill_accesses:(stats.Sim.spill_loads + stats.Sim.spill_stores)
+        ~avg_slices ~gating
+        ~resident_warps:occ.Gpr_arch.Occupancy.warps_per_sm
+        ~pressure:alloc.Gpr_alloc.Alloc.pressure
+        ~cycles:stats.Sim.cycles ()
+    in
+    let fp = Fp.of_strings [ "energy"; key ] in
+    let r = Store.memoize !store ~kind:"energy" ~key:fp compute in
+    put_cached energy_cache key r;
+    r
 
 (* ------------------------------------------------------------------ *)
 (* Concurrent-kernel co-scheduling: one SM hosting a kernel *set*

@@ -52,6 +52,22 @@ val backend :
     the scheme's id+version in the key — [backend] on [Backend_slice]
     reproduces [proposed] exactly. *)
 
+val backend_energy :
+  ?writeback_delay:int ->
+  Gpr_backend.Backend.t ->
+  Compress.t ->
+  Gpr_quality.Quality.threshold ->
+  Gpr_area.Energy.report
+(** Register-file energy and energy-delay product of the workload under
+    a scheme ({!Gpr_area.Energy}): warp-level access counts from the
+    memoised functional trace, cycles/double-fetches/conversions/spill
+    traffic from the memoised timing stats, mean occupied slices from
+    the scheme's allocation, and the GREENER gating input (mean live
+    share of an allocated register's program span) from
+    {!Gpr_analysis.Liveness} — the conventional file gets no gating.
+    Memoised like the stats entries ("energy" payloads; engine
+    fingerprint /6). *)
+
 val colocate :
   ?writeback_delay:int ->
   ?waves:int ->

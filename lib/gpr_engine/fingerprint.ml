@@ -19,8 +19,13 @@ let equal = String.equal
    5: concurrent-kernel simulation — memo keys may now name a kernel
    set plus a dispatch policy ("coloc" entries marshal the
    [Sim_multi.result] layout), and the admission demand is computed
-   through [Backend.demand]; pre-coloc entries must not alias. *)
-let version = "gpr-engine/5"
+   through [Backend.demand]; pre-coloc entries must not alias.
+   6: energy reports join the memoised payloads ("energy" entries
+   marshal the [Gpr_area.Energy.report] layout) and [Fair.jain] now
+   returns the 0.0 sentinel for an all-zero allocation, changing the
+   fairness field of stored coloc results; pre-energy entries must not
+   be read back. *)
+let version = "gpr-engine/6"
 
 let of_strings parts =
   let buf = Buffer.create 256 in

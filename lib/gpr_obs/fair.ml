@@ -6,5 +6,12 @@ let jain xs =
   let n = List.length xs in
   let sum = List.fold_left ( +. ) 0.0 xs in
   let sq = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
-  if n = 0 || sq = 0.0 then 1.0
+  (* Jain's index proper is only defined over a non-empty allocation
+     with at least one positive share; its range is [1/n, 1].  An empty
+     or all-zero allocation (nobody got anything — e.g. every tenant
+     starved) must not read as perfect fairness, so it maps to the
+     out-of-band sentinel 0.0. *)
+  if n = 0 || sq = 0.0 then 0.0
   else sum *. sum /. (float_of_int n *. sq)
+
+let degenerate f = f = 0.0

@@ -6,8 +6,15 @@
 val jain : float list -> float
 (** Jain's fairness index: [(sum x)^2 / (n * sum x^2)].  Ranges from
     [1/n] (one party monopolised the resource) to [1.0] (perfectly
-    even).  Conventions for degenerate inputs: an empty list or an
-    all-zero allocation is perfectly fair ([1.0]); negative shares are
-    rejected.
+    even) whenever at least one share is positive.  An empty list or an
+    all-zero allocation is degenerate — no resource was handed out at
+    all, so no fairness can be claimed — and returns the out-of-band
+    sentinel [0.0] (Jain's index proper never goes below [1/n]).
+    Renderers should print such a value as "n/a" rather than as a
+    score; see {!degenerate}.
 
     @raise Invalid_argument on a negative share. *)
+
+val degenerate : float -> bool
+(** [degenerate f] is true when [f] is the sentinel {!jain} returns for
+    an empty or all-zero allocation. *)

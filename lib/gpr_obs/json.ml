@@ -28,11 +28,18 @@ let escape s =
   escape_to buf s;
   Buffer.contents buf
 
+let number f = if Float.is_finite f then Float f else Null
+
 let float_repr f =
   if Float.is_nan f || Float.abs f = infinity then
-    (* NaN/inf are not representable in JSON; null is the least-bad
-       spelling and keeps the document parseable. *)
-    "null"
+    (* NaN/inf are not representable in JSON.  Refusing at emission
+       (rather than silently writing "null" or a bare "nan" token)
+       surfaces the bug at the producer, where the stack still names
+       it, instead of downstream at the json_check gate.  Producers
+       that genuinely mean "no value" build [Null] — see {!number}. *)
+    invalid_arg
+      (Printf.sprintf "Gpr_obs.Json: non-finite float %h has no JSON encoding"
+         f)
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
   else
@@ -82,11 +89,14 @@ let to_channel oc t =
   Buffer.output_buffer oc buf
 
 let write_file path t =
+  (* Render before opening: if the document is rejected (non-finite
+     float), an existing artifact at [path] must survive untouched. *)
+  let s = to_string t in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      to_channel oc t;
+      output_string oc s;
       output_char oc '\n')
 
 exception Parse_error of string

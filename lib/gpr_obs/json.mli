@@ -15,15 +15,29 @@ type t =
 (** [escape s] is [s] with JSON string escapes applied (no quotes). *)
 val escape : string -> string
 
-val to_buffer : Buffer.t -> t -> unit
+(** [number f] is [Float f] when [f] is finite and [Null] otherwise —
+    the explicit spelling for producers whose non-finite values mean
+    "no measurement".  Emitting [Float nan]/[Float infinity] directly
+    is a programming error and raises at render time. *)
+val number : float -> t
 
-(** Compact rendering (no insignificant whitespace). *)
+val to_buffer : Buffer.t -> t -> unit
+(** @raise Invalid_argument on a non-finite [Float] — NaN/inf have no
+    JSON encoding; use {!number} (or [Null]) for optional values. *)
+
+(** Compact rendering (no insignificant whitespace).
+    @raise Invalid_argument on a non-finite [Float]. *)
 val to_string : t -> string
 
-(** [to_channel oc t] writes the compact rendering to [oc]. *)
+(** [to_channel oc t] writes the compact rendering to [oc].
+    @raise Invalid_argument on a non-finite [Float]. *)
 val to_channel : out_channel -> t -> unit
 
-(** [write_file path t] writes the rendering plus a trailing newline. *)
+(** [write_file path t] writes the rendering plus a trailing newline.
+    The document is rendered (and any non-finite [Float] rejected)
+    before the file is opened, so a rejected document never clobbers an
+    existing artifact.
+    @raise Invalid_argument on a non-finite [Float]. *)
 val write_file : string -> t -> unit
 
 (** Strict parse of a complete JSON document (trailing garbage is an

@@ -1,0 +1,147 @@
+(* Permanent register-file fault model.
+
+   Faults live in the per-thread static physical register space — the
+   same space [Alloc.placement] reg0/reg1 indexes (kept < 64 so
+   indirection entries stay within [Indirection.entry_bits]).  A
+   register's bank is [reg mod banks], matching the timing model's
+   mapping modulo the per-warp offset: the timing engines rotate a
+   warp's registers across banks, so a dead *bank* is modelled there as
+   a bank-level redirect rather than per-register.
+
+   All three fault kinds are permanent (manufacturing or wear-out
+   defects), so corrupting a value once at store time is equivalent to
+   corrupting it at every read: the storage is write-once-read-many per
+   dynamic definition and the defect never changes. *)
+
+type t =
+  | Stuck_bit of { reg : int; bit : int; value : bool }
+      (* one bit of one 32-bit register column permanently reads [value] *)
+  | Dead_bank of int (* every register on this bank reads 0 *)
+  | Dead_entry of int (* one register reads 0 *)
+
+let pp = function
+  | Stuck_bit { reg; bit; value } ->
+    Printf.sprintf "stuck r%d.b%d=%d" reg bit (if value then 1 else 0)
+  | Dead_bank b -> Printf.sprintf "dead-bank %d" b
+  | Dead_entry r -> Printf.sprintf "dead r%d" r
+
+(* ------------------------------------------------------------------ *)
+(* Seeded placement *)
+
+(* Draw a stream of distinct faults.  Prefix-stable by construction:
+   [place ~count:(k+1)] extends [place ~count:k] with one more fault,
+   so a sweep over increasing fault counts injects a growing prefix of
+   one fixed defect population. *)
+let place ~seed ~count ~banks ~regs =
+  if count < 0 then invalid_arg "Fault.place: negative count";
+  if banks <= 0 || regs <= 0 then invalid_arg "Fault.place: empty register file";
+  let rng = Gpr_util.Rng.create (0x6661756c lxor seed) in
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let n = ref 0 in
+  while !n < count do
+    let f =
+      (* Mostly single stuck bits (the common defect), occasionally a
+         whole dead entry, rarely a dead bank. *)
+      match Gpr_util.Rng.int rng 12 with
+      | 0 -> Dead_bank (Gpr_util.Rng.int rng banks)
+      | 1 | 2 -> Dead_entry (Gpr_util.Rng.int rng regs)
+      | _ ->
+        Stuck_bit
+          {
+            reg = Gpr_util.Rng.int rng regs;
+            bit = Gpr_util.Rng.int rng 32;
+            value = Gpr_util.Rng.bool rng;
+          }
+    in
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      acc := f :: !acc;
+      incr n
+    end
+  done;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Compiled form *)
+
+type compiled = {
+  c_banks : int;
+  c_regs : int;
+  c_dead_bank : bool array; (* per bank *)
+  c_dead_reg : bool array; (* per register (entry dead or its bank dead) *)
+  c_or : int array; (* per register: stuck-at-1 mask *)
+  c_andn : int array; (* per register: stuck-at-0 mask (bits to clear) *)
+  c_bad_slices : int array; (* per register: 8-bit mask of unusable slices *)
+}
+
+let compile ~banks ~regs faults =
+  let c =
+    {
+      c_banks = banks;
+      c_regs = regs;
+      c_dead_bank = Array.make banks false;
+      c_dead_reg = Array.make regs false;
+      c_or = Array.make regs 0;
+      c_andn = Array.make regs 0;
+      c_bad_slices = Array.make regs 0;
+    }
+  in
+  List.iter
+    (fun f ->
+      match f with
+      | Dead_bank b ->
+        let b = b mod banks in
+        c.c_dead_bank.(b) <- true;
+        for r = 0 to regs - 1 do
+          if r mod banks = b then begin
+            c.c_dead_reg.(r) <- true;
+            c.c_bad_slices.(r) <- 0xff
+          end
+        done
+      | Dead_entry r ->
+        if r < regs then begin
+          c.c_dead_reg.(r) <- true;
+          c.c_bad_slices.(r) <- 0xff
+        end
+      | Stuck_bit { reg; bit; value } ->
+        if reg < regs then begin
+          let m = 1 lsl (bit land 31) in
+          if value then c.c_or.(reg) <- c.c_or.(reg) lor m
+          else c.c_andn.(reg) <- c.c_andn.(reg) lor m;
+          c.c_bad_slices.(reg) <-
+            c.c_bad_slices.(reg) lor (1 lsl ((bit land 31) / 4))
+        end)
+    faults;
+  c
+
+let none ~banks ~regs = compile ~banks ~regs []
+
+let corrupt c ~reg img =
+  if reg >= c.c_regs then img
+  else if c.c_dead_reg.(reg) then 0
+  else (img lor c.c_or.(reg)) land lnot c.c_andn.(reg) land 0xFFFFFFFF
+
+let is_clean c ~reg =
+  reg >= c.c_regs
+  || ((not c.c_dead_reg.(reg)) && c.c_or.(reg) = 0 && c.c_andn.(reg) = 0)
+
+let bad_slices c reg = if reg >= c.c_regs then 0 else c.c_bad_slices.(reg)
+let dead_bank c b = c.c_dead_bank.(b mod c.c_banks)
+
+(* Spare-column view for the timing model: accesses to a dead bank are
+   served by the nearest healthy bank scanning upward, concentrating
+   its traffic (and conflicts) there.  Identity when no bank is dead;
+   degenerate all-dead files keep the identity map. *)
+let bank_redirect c =
+  let n = c.c_banks in
+  Array.init n (fun b ->
+      if not c.c_dead_bank.(b) then b
+      else
+        let rec scan k = (* at most n steps; fall back to b *)
+          if k > n then b
+          else
+            let b' = (b + k) mod n in
+            if c.c_dead_bank.(b') then scan (k + 1) else b'
+        in
+        scan 1)

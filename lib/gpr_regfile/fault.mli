@@ -1,0 +1,57 @@
+(** Permanent register-file fault model: stuck-at bits, dead banks and
+    dead entries, with seeded deterministic placement.
+
+    Faults are expressed in the per-thread static physical register
+    space — the space {!Gpr_alloc.Alloc.placement} indexes (registers
+    stay below 64 so indirection entries fit
+    {!Indirection.entry_bits}).  A register's bank is [reg mod banks],
+    the timing model's mapping modulo the per-warp offset.
+
+    All kinds are permanent defects, so corrupting a stored image once
+    is equivalent to corrupting every read of it: register storage is
+    write-once-read-many per dynamic definition. *)
+
+type t =
+  | Stuck_bit of { reg : int; bit : int; value : bool }
+      (** One bit of one 32-bit register column permanently reads
+          [value]. *)
+  | Dead_bank of int  (** Every register on this bank reads 0. *)
+  | Dead_entry of int  (** One register reads 0. *)
+
+val pp : t -> string
+
+val place : seed:int -> count:int -> banks:int -> regs:int -> t list
+(** [place ~seed ~count ~banks ~regs] draws [count] distinct faults
+    over a [regs]-register, [banks]-bank file.  Deterministic in
+    [seed], and prefix-stable: [place ~count:(k+1)] extends
+    [place ~count:k] by exactly one fault, so a sweep over increasing
+    counts injects a growing prefix of one fixed defect population.
+    Mix: mostly stuck bits, some dead entries, rare dead banks. *)
+
+(** Compiled fault set, for fast application at access time. *)
+type compiled
+
+val compile : banks:int -> regs:int -> t list -> compiled
+val none : banks:int -> regs:int -> compiled
+(** [none ~banks ~regs] is [compile ~banks ~regs []]. *)
+
+val corrupt : compiled -> reg:int -> int -> int
+(** [corrupt c ~reg img] is the 32-bit image actually read back from
+    physical register [reg] whose cell holds [img]: 0 for a dead
+    entry/bank, stuck bits forced otherwise.  Identity when [reg] is
+    clean or out of the modelled window. *)
+
+val is_clean : compiled -> reg:int -> bool
+(** No fault touches this register. *)
+
+val bad_slices : compiled -> int -> int
+(** 8-bit mask of 4-bit slices of the given register that a fault makes
+    unusable (dead → [0xff]; each stuck bit marks its slice). *)
+
+val dead_bank : compiled -> int -> bool
+
+val bank_redirect : compiled -> int array
+(** Spare-column view for the timing model: a [banks]-long map sending
+    each dead bank to the nearest healthy bank scanning upward (its
+    traffic, and conflicts, concentrate there) and every healthy bank
+    to itself.  The identity map when no bank is dead. *)

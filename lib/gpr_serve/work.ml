@@ -380,7 +380,10 @@ let run_colocate ~check ws b policy =
       ("peak_resident_warps", J.Int r.M.r_peak_resident_warps);
       ("co_resident_cycles", J.Int r.M.r_co_resident_cycles);
       ("admissions", J.Int r.M.r_admissions);
-      ("fairness", J.Float r.M.r_fairness);
+      (* Degenerate (all tenants starved) emits null, not a score. *)
+      ( "fairness",
+        if Gpr_obs.Fair.degenerate r.M.r_fairness then J.Null
+        else J.Float r.M.r_fairness );
     ]
 
 let run ?(check = fun () -> ()) = function

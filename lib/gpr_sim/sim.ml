@@ -167,8 +167,9 @@ module Vec = struct
   let to_array v = Array.sub v.a 0 v.n
 end
 
-let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
-    ~(trace : Trace.t) ~(alloc : Alloc.t) ~blocks_per_sm ~mode =
+let run ?(check = false) ?(waves = 6) ?(faults = []) ?profile
+    (cfg : Gpr_arch.Config.t) ~(trace : Trace.t) ~(alloc : Alloc.t)
+    ~blocks_per_sm ~mode =
   let proposed_delay =
     match mode with
     | Baseline | Spill _ -> 0
@@ -467,6 +468,14 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
   let nbanks = cfg.register_banks in
   let bank_mask = if nbanks land (nbanks - 1) = 0 then nbanks - 1 else -1 in
   let bank_of x = if bank_mask >= 0 then x land bank_mask else x mod nbanks in
+  (* Dead register banks are spare-column remapped: their fetch traffic
+     is served by the nearest healthy bank (identity map when no fault
+     names a bank, so fault-free runs are bit-identical to before). *)
+  let bank_redirect =
+    Gpr_regfile.Fault.bank_redirect
+      (Gpr_regfile.Fault.compile ~banks:nbanks ~regs:64 faults)
+  in
+  let rbank_of x = bank_redirect.(bank_of x) in
   (* Incremental issuable set, one bit per warp of the scheduler (bit
      [wi / nsched]): [m_ready] holds warps whose decoded next
      instruction is a non-sync unit with a clean scoreboard and no
@@ -1079,10 +1088,10 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
         let arch = code.(o + 6 + k) in
         let oi = ob + k in
         op_arch.(oi) <- arch;
-        op_b0.(oi) <- bank_of (rg_base0.(arch) + wi);
+        op_b0.(oi) <- rbank_of (rg_base0.(arch) + wi);
         let b1 = rg_base1.(arch) in
         if b1 >= 0 then begin
-          op_b1.(oi) <- bank_of (b1 + wi);
+          op_b1.(oi) <- rbank_of (b1 + wi);
           op_nb.(oi) <- 2;
           incr double_fetches
         end

@@ -72,6 +72,7 @@ exception Invariant_violation of string
 val run :
   ?check:bool ->
   ?waves:int ->
+  ?faults:Gpr_regfile.Fault.t list ->
   ?profile:Gpr_obs.Chrome.t ->
   Gpr_arch.Config.t ->
   trace:Gpr_exec.Trace.t ->
@@ -82,6 +83,11 @@ val run :
 (** [alloc] supplies placements: pass {!Gpr_alloc.Alloc.baseline}'s
     result for [Baseline] mode and the packed allocation for
     [Proposed]. [blocks_per_sm] comes from {!Gpr_arch.Occupancy}.
+    [faults] (default none) injects permanent register-file defects
+    into the timing model: any {!Gpr_regfile.Fault.Dead_bank} has its
+    fetch traffic spare-column remapped onto the nearest healthy bank,
+    concentrating conflicts there.  An empty fault list is
+    bit-identical to a run without the parameter.
     [waves] (default 6) is the number of block waves fed through each
     resident slot; block traces are drawn round-robin from the grid.
 

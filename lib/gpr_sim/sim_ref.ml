@@ -96,8 +96,9 @@ let unit_label = function
   | Ldst -> "ldst"
   | Sync -> "sync"
 
-let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
-    ~(trace : Trace.t) ~(alloc : Alloc.t) ~blocks_per_sm ~mode =
+let run ?(check = false) ?(waves = 6) ?(faults = []) ?profile
+    (cfg : Gpr_arch.Config.t) ~(trace : Trace.t) ~(alloc : Alloc.t)
+    ~blocks_per_sm ~mode =
   let proposed_delay =
     match mode with
     | Baseline | Spill _ -> 0
@@ -310,14 +311,20 @@ let run ?(check = false) ?(waves = 6) ?profile (cfg : Gpr_arch.Config.t)
   in
 
   let placement_of arch = Alloc.lookup alloc arch in
+  (* Spare-column remap for dead register banks, mirroring [Sim]'s
+     redirect (identity when no fault names a bank). *)
+  let bank_redirect =
+    Gpr_regfile.Fault.bank_redirect
+      (Gpr_regfile.Fault.compile ~banks:cfg.register_banks ~regs:64 faults)
+  in
+  let rbank x = bank_redirect.(x mod cfg.register_banks) in
   let fetch_banks warp arch =
     match placement_of arch with
-    | None -> [ (arch + warp.w_id) mod cfg.register_banks ]
+    | None -> [ rbank (arch + warp.w_id) ]
     | Some p ->
       if is_proposed && Alloc.is_split p then
-        [ (p.reg0 + warp.w_id) mod cfg.register_banks;
-          (p.reg1 + warp.w_id) mod cfg.register_banks ]
-      else [ (p.reg0 + warp.w_id) mod cfg.register_banks ]
+        [ rbank (p.reg0 + warp.w_id); rbank (p.reg1 + warp.w_id) ]
+      else [ rbank (p.reg0 + warp.w_id) ]
   in
   let needs_convert arch =
     is_proposed

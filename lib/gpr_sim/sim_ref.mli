@@ -17,6 +17,7 @@
 val run :
   ?check:bool ->
   ?waves:int ->
+  ?faults:Gpr_regfile.Fault.t list ->
   ?profile:Gpr_obs.Chrome.t ->
   Gpr_arch.Config.t ->
   trace:Gpr_exec.Trace.t ->

@@ -32,8 +32,13 @@ let percentile xs p =
     let a = Array.of_list sorted in
     let n = Array.length a in
     if n = 1 then a.(0)
+    else if Float.is_nan p then nan
     else
+      (* Clamp the interpolation rank into [0, n-1]: a percentile
+         outside [0, 100] saturates at the extremes instead of
+         indexing out of bounds. *)
       let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let rank = Float.max 0.0 (Float.min rank (float_of_int (n - 1))) in
       let lo = int_of_float (floor rank) in
       let hi = min (n - 1) (lo + 1) in
       let frac = rank -. float_of_int lo in

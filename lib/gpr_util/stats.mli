@@ -11,4 +11,6 @@ val geomean_ratio : float list -> float
 val stddev : float list -> float
 val min_max : float list -> float * float
 val percentile : float list -> float -> float
-(** [percentile xs p] with [p] in [0, 100]; linear interpolation. *)
+(** [percentile xs p] with [p] in [0, 100]; linear interpolation.
+    Out-of-range [p] clamps to the nearest extreme (p < 0 behaves as 0,
+    p > 100 as 100); [nan] for an empty list or a [nan] percentile. *)

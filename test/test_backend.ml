@@ -21,7 +21,7 @@ module Simulate = Gpr_core.Simulate
 let test_registry () =
   Alcotest.(check (list string))
     "registered schemes"
-    [ "baseline"; "slice"; "spill" ]
+    [ "baseline"; "slice"; "rrcd"; "spill" ]
     Reg.names;
   Alcotest.(check bool) "case-insensitive find" true (Reg.find "SPILL" <> None);
   Alcotest.(check bool) "unknown is None" true (Reg.find "bogus" = None);

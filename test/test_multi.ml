@@ -470,8 +470,14 @@ let prop_admitted_sets_within_limits =
 
 let test_jain_index () =
   let open Gpr_obs.Fair in
-  Alcotest.(check (float 1e-9)) "empty is fair" 1.0 (jain []);
-  Alcotest.(check (float 1e-9)) "all-zero is fair" 1.0 (jain [ 0.0; 0.0 ]);
+  (* No tenant issued anything: there is no allocation to rate, so the
+     0.0 sentinel (outside Jain's [1/n, 1] range) marks the degenerate
+     case instead of the old misleading "perfectly fair" 1.0. *)
+  Alcotest.(check (float 1e-9)) "empty is degenerate" 0.0 (jain []);
+  Alcotest.(check (float 1e-9)) "all-zero is degenerate" 0.0 (jain [ 0.0; 0.0 ]);
+  Alcotest.(check bool) "degenerate sentinel" true (degenerate (jain []));
+  Alcotest.(check bool) "proper values not degenerate" false
+    (degenerate (jain [ 4.0; 1.0 ]));
   Alcotest.(check (float 1e-9)) "even split" 1.0 (jain [ 3.0; 3.0; 3.0 ]);
   Alcotest.(check (float 1e-9)) "monopoly" 0.25 (jain [ 1.0; 0.0; 0.0; 0.0 ]);
   Alcotest.(check (float 1e-9)) "textbook 4:1" 0.735294117647058854

@@ -188,11 +188,45 @@ let test_json_escaping () =
   | Error e -> Alcotest.failf "parse: %s" e);
   (match J.parse {|"Aé中"|} with
   | Ok (J.Str s') -> Alcotest.(check string) "unicode escapes" "A\xc3\xa9\xe4\xb8\xad" s'
-  | _ -> Alcotest.fail "unicode escape parse failed");
-  Alcotest.(check string) "non-finite floats are null" "null"
-    (J.to_string (J.Float Float.nan));
-  Alcotest.(check string) "inf is null" "null"
-    (J.to_string (J.Float Float.infinity))
+  | _ -> Alcotest.fail "unicode escape parse failed")
+
+(* Non-finite floats used to be silently emitted as null; emission now
+   rejects them (JSON has no encoding for nan/inf), and [J.number] is
+   the explicit opt-in for the old null-mapping behaviour. *)
+let test_json_nonfinite_rejected () =
+  let raises f =
+    match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "emitting %h raises" f)
+        true
+        (raises (fun () -> J.to_string (J.Float f)));
+      Alcotest.(check bool)
+        (Printf.sprintf "%h nested in an object raises" f)
+        true
+        (raises (fun () -> J.to_string (J.Obj [ ("x", J.Float f) ]))))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  Alcotest.(check string) "number maps non-finite to null" "null"
+    (J.to_string (J.number Float.nan));
+  Alcotest.(check string) "number keeps finite floats" "2.5"
+    (J.to_string (J.number 2.5));
+  (* Rejection happens before the file is opened, so an existing
+     artifact is never truncated by a failing write. *)
+  let path = Filename.temp_file "gpr_json" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      J.write_file path (J.Obj [ ("ok", J.Bool true) ]);
+      let before = In_channel.with_open_bin path In_channel.input_all in
+      Alcotest.(check bool) "bad write raises" true
+        (raises (fun () ->
+             J.write_file path (J.Obj [ ("x", J.Float Float.nan) ])));
+      let after = In_channel.with_open_bin path In_channel.input_all in
+      Alcotest.(check string) "artifact preserved on rejection" before after)
 
 let test_json_rejects_malformed () =
   let bad =
@@ -314,6 +348,8 @@ let () =
         [
           json_print_parse_roundtrip;
           Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "non-finite rejected" `Quick
+            test_json_nonfinite_rejected;
           Alcotest.test_case "rejects malformed" `Quick
             test_json_rejects_malformed;
           Alcotest.test_case "member + ints" `Quick test_json_member_and_ints;

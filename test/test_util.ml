@@ -334,6 +334,33 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "median" 2.0
     (Gpr_util.Stats.percentile [ 1.0; 2.0; 3.0 ] 50.0)
 
+(* The rank used to go out of bounds for p outside [0, 100]; it now
+   clamps to the extreme order statistics. *)
+let test_percentile_edges () =
+  let xs = [ 5.0; 1.0; 3.0 ] in
+  let pc p = Gpr_util.Stats.percentile xs p in
+  Alcotest.(check (float 0.0)) "p=0 is the minimum" 1.0 (pc 0.0);
+  Alcotest.(check (float 0.0)) "p=100 is the maximum" 5.0 (pc 100.0);
+  Alcotest.(check (float 0.0)) "p<0 clamps to the minimum" 1.0 (pc (-10.0));
+  Alcotest.(check (float 0.0)) "p>100 clamps to the maximum" 5.0 (pc 1000.0);
+  Alcotest.(check (float 0.0)) "singleton, any p" 7.0
+    (Gpr_util.Stats.percentile [ 7.0 ] 250.0);
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Gpr_util.Stats.percentile [] 50.0));
+  Alcotest.(check bool) "nan p is nan" true
+    (Float.is_nan (pc Float.nan))
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:500
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 1 20) (float_range (-100.0) 100.0))
+        (float_range (-50.0) 150.0)
+        (float_range (-50.0) 150.0))
+    (fun (xs, p1, p2) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Gpr_util.Stats.percentile xs lo <= Gpr_util.Stats.percentile xs hi)
+
 (* ---------------------------------------------------------------- *)
 (* Image *)
 
@@ -402,7 +429,12 @@ let () =
           Alcotest.test_case "mean" `Quick test_rng_mean;
           Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
         ] );
-      ("stats", [ Alcotest.test_case "stats" `Quick test_stats ]);
+      ( "stats",
+        [
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+        ] );
+      qsuite "stats-props" [ prop_percentile_monotone ];
       ("image", [ Alcotest.test_case "image" `Quick test_image ]);
       ("tab", [ Alcotest.test_case "render" `Quick test_tab_render ]);
     ]
